@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/appdb"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func TestParseRates(t *testing.T) {
+	r, err := parseRates("10, 8,6,4,1")
+	if err != nil {
+		t.Fatalf("parseRates: %v", err)
+	}
+	if r.CPU != 10 || r.Mem != 8 || r.IO != 6 || r.Net != 4 || r.Idle != 1 {
+		t.Errorf("rates = %+v", r)
+	}
+	if _, err := parseRates("1,2,3"); err == nil {
+		t.Error("3 rates: want error")
+	}
+	if _, err := parseRates("a,b,c,d,e"); err == nil {
+		t.Error("non-numeric: want error")
+	}
+}
+
+func TestRunRequiresExactlyOneInput(t *testing.T) {
+	if err := run("", "", 1, "", "", 0, 0, "", ""); err == nil {
+		t.Error("neither -app nor -trace: want error")
+	}
+	if err := run("XSpim", "x.csv", 1, "", "", 0, 0, "", ""); err == nil {
+		t.Error("both -app and -trace: want error")
+	}
+}
+
+func TestRunClassifiesApp(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "db.json")
+	if err := run("XSpim", "", 1, dbPath, "10,8,6,4,1", 0, 0, "", ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	db, err := appdb.LoadFile(dbPath)
+	if err != nil {
+		t.Fatalf("db not written: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("db has %d records", db.Len())
+	}
+	rec, err := db.Latest("XSpim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Class != "io" {
+		t.Errorf("XSpim stored class = %s, want io", rec.Class)
+	}
+}
+
+func TestRunClassifiesTraceCSV(t *testing.T) {
+	// Build a real trace file via the testbed.
+	entry, err := workload.Find("PostMark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := testbed.ProfileEntry(entry, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "postmark.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 1, "", "", 0, 0, "", ""); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownApp(t *testing.T) {
+	if err := run("NoSuchApp", "", 1, "", "", 0, 0, "", ""); err == nil {
+		t.Error("unknown app: want error")
+	}
+}
+
+func TestRunRejectsMissingTrace(t *testing.T) {
+	if err := run("", "/does/not/exist.csv", 1, "", "", 0, 0, "", ""); err == nil {
+		t.Error("missing trace file: want error")
+	}
+}
+
+func TestRunSaveAndReuseModel(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	// Train once and save.
+	if err := run("XSpim", "", 1, "", "", 0, 0, "", modelPath); err != nil {
+		t.Fatalf("train+save: %v", err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	// Classify again reusing the saved model (no retraining).
+	if err := run("XSpim", "", 1, "", "", 0, 0, modelPath, ""); err != nil {
+		t.Fatalf("reuse model: %v", err)
+	}
+	if err := run("XSpim", "", 1, "", "", 0, 0, filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Error("missing model file: want error")
+	}
+}

@@ -1,0 +1,190 @@
+// Command appdbtool inspects and maintains application-database files
+// produced by appclass -db: list applications, summarize one
+// application's learned behaviour, price it with provider rates,
+// predict its next run time, and prune old records.
+//
+// Usage:
+//
+//	appdbtool list appdb.json
+//	appdbtool summary -app PostMark appdb.json
+//	appdbtool quote -app PostMark -rates 10,8,6,4,1 appdb.json
+//	appdbtool predict -app PostMark appdb.json
+//	appdbtool prune -keep 5 appdb.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appdb"
+	"repro/internal/costmodel"
+	"repro/internal/predict"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "appdbtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: appdbtool <command> [flags] <appdb.json>
+commands:
+  list     list applications with their modal class and run counts
+  summary  print one application's learned behaviour (-app NAME)
+  quote    price an application (-app NAME -rates a,b,g,d,e)
+  predict  predict an application's next run time (-app NAME [-k N])
+  prune    keep only the newest records per application (-keep N)`)
+}
+
+func run(cmd string, args []string, stdout io.Writer) error {
+	switch cmd {
+	case "list":
+		return withDB(args, nil, func(db *appdb.DB, _ *flag.FlagSet) error {
+			for _, c := range appclass.All() {
+				for _, app := range db.ByClass(c) {
+					s, err := db.Summarize(app)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(stdout, "%-20s %-8s %d runs, mean %v\n",
+						app, c.Display(), s.Runs, s.MeanExecution.Round(time.Second))
+				}
+			}
+			fmt.Fprintf(stdout, "total: %d records, %v of execution\n",
+				db.Len(), db.TotalExecution().Round(time.Second))
+			return nil
+		})
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+		app := fs.String("app", "", "application name")
+		return withDB(args, fs, func(db *appdb.DB, _ *flag.FlagSet) error {
+			if *app == "" {
+				return fmt.Errorf("summary: -app is required")
+			}
+			s, err := db.Summarize(*app)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "application: %s\nruns: %d\nclass: %s\nmean execution: %v\ncomposition:",
+				s.App, s.Runs, s.Class.Display(), s.MeanExecution.Round(time.Second))
+			for _, c := range appclass.All() {
+				if f := s.MeanComposition[c]; f > 0 {
+					fmt.Fprintf(stdout, " %s=%.2f%%", c.Display(), 100*f)
+				}
+			}
+			fmt.Fprintln(stdout)
+			return nil
+		})
+	case "quote":
+		fs := flag.NewFlagSet("quote", flag.ContinueOnError)
+		app := fs.String("app", "", "application name")
+		rates := fs.String("rates", "", "cpu,mem,io,net,idle unit prices")
+		return withDB(args, fs, func(db *appdb.DB, _ *flag.FlagSet) error {
+			if *app == "" || *rates == "" {
+				return fmt.Errorf("quote: -app and -rates are required")
+			}
+			r, err := parseRates(*rates)
+			if err != nil {
+				return err
+			}
+			s, err := db.Summarize(*app)
+			if err != nil {
+				return err
+			}
+			q, err := costmodel.QuoteRun(*app, s.MeanComposition, s.MeanExecution, r)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s: unit cost %.4f/hour, mean run cost %.4f\n",
+				q.App, q.UnitCost, q.RunCost)
+			return nil
+		})
+	case "predict":
+		fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+		app := fs.String("app", "", "application name")
+		k := fs.Int("k", 3, "neighbours")
+		return withDB(args, fs, func(db *appdb.DB, _ *flag.FlagSet) error {
+			if *app == "" {
+				return fmt.Errorf("predict: -app is required")
+			}
+			p, err := predict.New(db, *k)
+			if err != nil {
+				return err
+			}
+			est, err := p.PredictApp(db, *app)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s: predicted execution %v (± %v over %d neighbours)\n",
+				*app, est.Execution.Round(time.Second), est.Spread.Round(time.Second), len(est.Neighbors))
+			return nil
+		})
+	case "prune":
+		fs := flag.NewFlagSet("prune", flag.ContinueOnError)
+		keep := fs.Int("keep", 10, "records to keep per application")
+		return withDBPath(args, fs, func(db *appdb.DB, path string) error {
+			dropped := db.Prune(*keep)
+			if err := db.SaveFile(path); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "dropped %d records, kept %d\n", dropped, db.Len())
+			return nil
+		})
+	case "help", "-h", "--help":
+		usage(stdout)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try: appdbtool help)", cmd)
+	}
+}
+
+// withDB parses flags (when fs is non-nil), loads the database from the
+// single positional argument, and invokes fn.
+func withDB(args []string, fs *flag.FlagSet, fn func(*appdb.DB, *flag.FlagSet) error) error {
+	return withDBPath(args, fs, func(db *appdb.DB, _ string) error { return fn(db, fs) })
+}
+
+func withDBPath(args []string, fs *flag.FlagSet, fn func(*appdb.DB, string) error) error {
+	if fs != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		args = fs.Args()
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one database file, got %v", args)
+	}
+	db, err := appdb.LoadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return fn(db, args[0])
+}
+
+func parseRates(spec string) (costmodel.Rates, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 5 {
+		return costmodel.Rates{}, fmt.Errorf("rates must be 5 comma-separated numbers, got %q", spec)
+	}
+	vals := make([]float64, 5)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return costmodel.Rates{}, fmt.Errorf("rate %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return costmodel.Rates{CPU: vals[0], Mem: vals[1], IO: vals[2], Net: vals[3], Idle: vals[4]}, nil
+}

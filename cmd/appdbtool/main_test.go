@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appdb"
+)
+
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	db := appdb.New()
+	put := func(app string, c appclass.Class, exec time.Duration) {
+		err := db.Put(appdb.Record{
+			App: app, Class: c,
+			Composition:   map[appclass.Class]float64{c: 1},
+			ExecutionTime: exec, Samples: int(exec / (5 * time.Second)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("seis", appclass.CPU, 600*time.Second)
+	put("seis", appclass.CPU, 620*time.Second)
+	put("postmark", appclass.IO, 260*time.Second)
+	put("postmark", appclass.IO, 250*time.Second)
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestList(t *testing.T) {
+	path := writeTestDB(t)
+	var out bytes.Buffer
+	if err := run("list", []string{path}, &out); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, want := range []string{"seis", "postmark", "CPU", "I/O", "total: 4 records"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	path := writeTestDB(t)
+	var out bytes.Buffer
+	if err := run("summary", []string{"-app", "seis", path}, &out); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if !strings.Contains(out.String(), "runs: 2") || !strings.Contains(out.String(), "class: CPU") {
+		t.Errorf("summary output:\n%s", out.String())
+	}
+	if err := run("summary", []string{path}, &out); err == nil {
+		t.Error("summary without -app: want error")
+	}
+	if err := run("summary", []string{"-app", "ghost", path}, &out); err == nil {
+		t.Error("unknown app: want error")
+	}
+}
+
+func TestQuote(t *testing.T) {
+	path := writeTestDB(t)
+	var out bytes.Buffer
+	if err := run("quote", []string{"-app", "seis", "-rates", "10,8,6,4,1", path}, &out); err != nil {
+		t.Fatalf("quote: %v", err)
+	}
+	if !strings.Contains(out.String(), "unit cost 10.0000/hour") {
+		t.Errorf("quote output:\n%s", out.String())
+	}
+	if err := run("quote", []string{"-app", "seis", path}, &out); err == nil {
+		t.Error("quote without rates: want error")
+	}
+	if err := run("quote", []string{"-app", "seis", "-rates", "1,2", path}, &out); err == nil {
+		t.Error("bad rates: want error")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	path := writeTestDB(t)
+	var out bytes.Buffer
+	if err := run("predict", []string{"-app", "postmark", path}, &out); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if !strings.Contains(out.String(), "predicted execution 4m") {
+		t.Errorf("predict output:\n%s", out.String())
+	}
+}
+
+func TestPrune(t *testing.T) {
+	path := writeTestDB(t)
+	var out bytes.Buffer
+	if err := run("prune", []string{"-keep", "1", path}, &out); err != nil {
+		t.Fatalf("prune: %v", err)
+	}
+	if !strings.Contains(out.String(), "dropped 2 records, kept 2") {
+		t.Errorf("prune output:\n%s", out.String())
+	}
+	db, err := appdb.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("db after prune = %d records", db.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("bogus", nil, &out); err == nil {
+		t.Error("unknown command: want error")
+	}
+	if err := run("list", []string{"/no/such/file.json"}, &out); err == nil {
+		t.Error("missing file: want error")
+	}
+	if err := run("list", []string{"a", "b"}, &out); err == nil {
+		t.Error("two files: want error")
+	}
+	if err := run("help", nil, &out); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}

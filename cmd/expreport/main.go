@@ -1,0 +1,187 @@
+// Command expreport regenerates every table and figure of the paper's
+// evaluation section and prints them as a single report — the data
+// behind EXPERIMENTS.md. Individual experiments can be selected with
+// flags; with no selection the whole evaluation runs.
+//
+// Usage:
+//
+//	expreport                    # everything
+//	expreport -table3 -figure3
+//	expreport -figure3csv dir/   # also dump Figure 3 scatter data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table2  = flag.Bool("table2", false, "Table 2: application registry")
+		table3  = flag.Bool("table3", false, "Table 3: class compositions")
+		figure3 = flag.Bool("figure3", false, "Figure 3: clustering diagrams")
+		figure4 = flag.Bool("figure4", false, "Figure 4: schedule throughput")
+		figure5 = flag.Bool("figure5", false, "Figure 5: per-application throughput")
+		table4  = flag.Bool("table4", false, "Table 4: concurrent vs sequential")
+		cost    = flag.Bool("cost", false, "Section 5.3: classification cost")
+		csvDir  = flag.String("figure3csv", "", "directory to write Figure 3 scatter CSVs")
+		md      = flag.String("markdown", "", "write the whole evaluation as a Markdown report to this file and exit")
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	)
+	flag.Parse()
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.Generate(f, *seed); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *md)
+		return
+	}
+	any := *table2 || *table3 || *figure3 || *figure4 || *figure5 || *table4 || *cost
+	sel := selection{
+		table2: *table2 || !any, table3: *table3 || !any, figure3: *figure3 || !any,
+		figure4: *figure4 || !any, figure5: *figure5 || !any, table4: *table4 || !any,
+		cost: *cost || !any, csvDir: *csvDir, seed: *seed,
+	}
+	if err := run(sel); err != nil {
+		fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type selection struct {
+	table2, table3, figure3, figure4, figure5, table4, cost bool
+	csvDir                                                  string
+	seed                                                    int64
+}
+
+func run(sel selection) error {
+	if sel.table2 {
+		fmt.Println("== Table 2: training and testing applications ==")
+		if err := experiments.RenderTable2(os.Stdout, experiments.Table2()); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	needSvc := sel.table3 || sel.figure3
+	if needSvc {
+		svc, err := experiments.NewTrainedService(sel.seed)
+		if err != nil {
+			return err
+		}
+		if sel.figure3 {
+			diagrams, err := experiments.Figure3(svc, sel.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Figure 3: application clustering diagrams (PCA feature space) ==")
+			if err := experiments.RenderFigure3(os.Stdout, diagrams); err != nil {
+				return err
+			}
+			fmt.Println()
+			for _, d := range diagrams {
+				if err := experiments.RenderFigure3Scatter(os.Stdout, d, 72, 20); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+			if sel.csvDir != "" {
+				if err := os.MkdirAll(sel.csvDir, 0o755); err != nil {
+					return err
+				}
+				for i, d := range diagrams {
+					path := filepath.Join(sel.csvDir, fmt.Sprintf("figure3%c.csv", 'a'+i))
+					f, err := os.Create(path)
+					if err != nil {
+						return err
+					}
+					if err := experiments.WriteFigure3CSV(f, d); err != nil {
+						f.Close()
+						return err
+					}
+					if err := f.Close(); err != nil {
+						return err
+					}
+					fmt.Printf("wrote %s (%d points)\n", path, len(d.Points))
+				}
+				fmt.Println()
+			}
+		}
+		if sel.table3 {
+			rows, err := experiments.Table3(svc, sel.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 3: application class compositions ==")
+			if err := experiments.RenderTable3(os.Stdout, rows); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+
+	if sel.figure4 || sel.figure5 {
+		f4, err := experiments.Figure4(sel.seed)
+		if err != nil {
+			return err
+		}
+		if sel.figure4 {
+			fmt.Println("== Figure 4: system throughput of the ten schedules ==")
+			if err := experiments.RenderFigure4(os.Stdout, f4); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if sel.figure5 {
+			f5, err := experiments.Figure5(f4)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Figure 5: per-application throughput ==")
+			if err := experiments.RenderFigure5(os.Stdout, f5); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+
+	if sel.table4 {
+		t4, err := experiments.Table4(sel.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 4: concurrent vs sequential execution ==")
+		if err := experiments.RenderTable4(os.Stdout, t4); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if sel.cost {
+		c, err := experiments.ClassificationCost(sel.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Section 5.3: classification cost ==")
+		if err := experiments.RenderCost(os.Stdout, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable2Only(t *testing.T) {
+	if err := run(selection{table2: true, seed: 1}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFigure3WithCSVDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	dir := filepath.Join(t.TempDir(), "fig3")
+	if err := run(selection{figure3: true, csvDir: dir, seed: 1}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"figure3a.csv", "figure3b.csv", "figure3c.csv", "figure3d.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s not written: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	if err := run(selection{table4: true, seed: 1}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

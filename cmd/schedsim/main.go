@@ -1,0 +1,108 @@
+// Command schedsim runs the paper's scheduling experiments on the
+// simulated testbed: Figure 4 (system throughput of the ten schedules),
+// Figure 5 (per-application throughput under the class-aware SPN
+// schedule vs the field), and Table 4 (concurrent vs sequential
+// execution of a CPU job and an I/O job).
+//
+// Usage:
+//
+//	schedsim -figure4
+//	schedsim -figure5
+//	schedsim -table4
+//	schedsim            # all three
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig4     = flag.Bool("figure4", false, "run the ten-schedule throughput experiment")
+		fig5     = flag.Bool("figure5", false, "run the per-application throughput comparison")
+		table4   = flag.Bool("table4", false, "run the concurrent-vs-sequential experiment")
+		online   = flag.Bool("online", false, "run the online (arriving-jobs) policy comparison")
+		learning = flag.Bool("learning", false, "run the two-wave learning experiment")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	)
+	flag.Parse()
+	all := !*fig4 && !*fig5 && !*table4 && !*online && !*learning
+	if err := run(*fig4 || all, *fig5 || all, *table4 || all, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "schedsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *online || all {
+		if err := runOnline(); err != nil {
+			fmt.Fprintf(os.Stderr, "schedsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *learning || all {
+		if err := runLearning(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "schedsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runLearning(seed int64) error {
+	r, err := experiments.LearningWaves(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Learning over historical runs: blind wave vs learned wave ==")
+	return experiments.RenderLearning(os.Stdout, r)
+}
+
+func runOnline() error {
+	r, err := experiments.OnlineScheduling(0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Online scheduling: class-aware vs random placement ==")
+	return experiments.RenderOnline(os.Stdout, r)
+}
+
+func run(fig4, fig5, table4 bool, seed int64) error {
+	var f4 *experiments.Figure4Result
+	if fig4 || fig5 {
+		var err error
+		f4, err = experiments.Figure4(seed)
+		if err != nil {
+			return err
+		}
+	}
+	if fig4 {
+		fmt.Println("== Figure 4: system throughput of the ten schedules ==")
+		if err := experiments.RenderFigure4(os.Stdout, f4); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if fig5 {
+		f5, err := experiments.Figure5(f4)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 5: per-application throughput ==")
+		if err := experiments.RenderFigure5(os.Stdout, f5); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if table4 {
+		t4, err := experiments.Table4(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 4: concurrent vs sequential execution ==")
+		if err := experiments.RenderTable4(os.Stdout, t4); err != nil {
+			return err
+		}
+	}
+	return nil
+}

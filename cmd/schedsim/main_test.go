@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunTable4Only(t *testing.T) {
+	if err := run(false, false, true, 3); err != nil {
+		t.Fatalf("run table4: %v", err)
+	}
+}
+
+func TestRunFigure4And5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	if err := run(true, true, false, 3); err != nil {
+		t.Fatalf("run figures: %v", err)
+	}
+}

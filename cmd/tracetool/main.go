@@ -1,0 +1,157 @@
+// Command tracetool inspects and transforms the trace CSVs produced by
+// vmprofiler: print summary information, per-metric statistics,
+// downsample, or project onto a metric subset (e.g. the Table-1 expert
+// metrics).
+//
+// Usage:
+//
+//	tracetool info  run.csv
+//	tracetool stats run.csv
+//	tracetool downsample -factor 2 run.csv > half.csv
+//	tracetool project -metrics cpu_user,io_bi run.csv > small.csv
+//	tracetool expert run.csv > expert.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	if err := run(cmd, args, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: tracetool <command> [flags] <trace.csv>
+commands:
+  info        print trace dimensions and time span
+  stats       print per-metric summary statistics
+  downsample  keep every N-th snapshot (-factor N)
+  project     keep selected metrics (-metrics a,b,c)
+  expert      keep the Table-1 expert metrics`)
+}
+
+func run(cmd string, args []string, stdout io.Writer) error {
+	switch cmd {
+	case "info":
+		return withTrace(args, func(tr *metrics.Trace) error { return info(stdout, tr) })
+	case "stats":
+		return withTrace(args, func(tr *metrics.Trace) error { return statsCmd(stdout, tr) })
+	case "downsample":
+		fs := flag.NewFlagSet("downsample", flag.ContinueOnError)
+		factor := fs.Int("factor", 2, "keep every N-th snapshot")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		return withTrace(fs.Args(), func(tr *metrics.Trace) error {
+			out, err := downsample(tr, *factor)
+			if err != nil {
+				return err
+			}
+			return out.WriteCSV(stdout)
+		})
+	case "project":
+		fs := flag.NewFlagSet("project", flag.ContinueOnError)
+		names := fs.String("metrics", "", "comma-separated metric names to keep")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *names == "" {
+			return fmt.Errorf("project: -metrics is required")
+		}
+		return withTrace(fs.Args(), func(tr *metrics.Trace) error {
+			out, err := tr.Project(strings.Split(*names, ","))
+			if err != nil {
+				return err
+			}
+			return out.WriteCSV(stdout)
+		})
+	case "expert":
+		return withTrace(args, func(tr *metrics.Trace) error {
+			out, err := tr.Project(metrics.ExpertNames())
+			if err != nil {
+				return err
+			}
+			return out.WriteCSV(stdout)
+		})
+	case "help", "-h", "--help":
+		usage(stdout)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try: tracetool help)", cmd)
+	}
+}
+
+func withTrace(args []string, fn func(*metrics.Trace) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one trace file, got %v", args)
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := metrics.ReadCSV(f)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", args[0], err)
+	}
+	return fn(tr)
+}
+
+func info(w io.Writer, tr *metrics.Trace) error {
+	var span time.Duration
+	if tr.Len() > 0 {
+		span = tr.Duration()
+	}
+	_, err := fmt.Fprintf(w, "node: %s\nsnapshots: %d\nmetrics: %d\nspan: %v\n",
+		tr.Node(), tr.Len(), tr.Schema().Len(), span)
+	return err
+}
+
+func statsCmd(w io.Writer, tr *metrics.Trace) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tmean\tstddev\tmin\tmax\tmedian")
+	for _, name := range tr.Schema().Names() {
+		col, err := tr.Column(name)
+		if err != nil {
+			return err
+		}
+		s, err := stats.Summarize(col)
+		if err != nil {
+			return fmt.Errorf("metric %s: %w", name, err)
+		}
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\n",
+			name, s.Mean, s.StdDev, s.Min, s.Max, s.Median)
+	}
+	return tw.Flush()
+}
+
+func downsample(tr *metrics.Trace, factor int) (*metrics.Trace, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("downsample factor must be >= 1, got %d", factor)
+	}
+	out := metrics.NewTrace(tr.Schema(), tr.Node())
+	for i := 0; i < tr.Len(); i += factor {
+		if err := out.Append(tr.At(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

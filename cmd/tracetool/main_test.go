@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func writeTestTrace(t *testing.T, snapshots int) string {
+	t.Helper()
+	schema, err := metrics.NewSchema([]string{"cpu_user", "io_bi", "bytes_out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := metrics.NewTrace(schema, "vm1")
+	for i := 0; i < snapshots; i++ {
+		err := tr.Append(metrics.Snapshot{
+			Time: time.Duration(i*5) * time.Second, Node: "vm1",
+			Values: []float64{float64(i), float64(i * 10), float64(i * 100)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInfo(t *testing.T) {
+	path := writeTestTrace(t, 10)
+	var out bytes.Buffer
+	if err := run("info", []string{path}, &out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, want := range []string{"node: vm1", "snapshots: 10", "metrics: 3", "span: 45s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	path := writeTestTrace(t, 10)
+	var out bytes.Buffer
+	if err := run("stats", []string{path}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "cpu_user") || !strings.Contains(out.String(), "median") {
+		t.Errorf("stats output incomplete:\n%s", out.String())
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	path := writeTestTrace(t, 10)
+	var out bytes.Buffer
+	if err := run("downsample", []string{"-factor", "2", path}, &out); err != nil {
+		t.Fatalf("downsample: %v", err)
+	}
+	tr, err := metrics.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("downsample output not valid CSV: %v", err)
+	}
+	if tr.Len() != 5 {
+		t.Errorf("downsampled to %d snapshots, want 5", tr.Len())
+	}
+	if v, _ := tr.Value(1, "cpu_user"); v != 2 {
+		t.Errorf("second kept snapshot cpu_user = %v, want 2", v)
+	}
+}
+
+func TestProject(t *testing.T) {
+	path := writeTestTrace(t, 4)
+	var out bytes.Buffer
+	if err := run("project", []string{"-metrics", "io_bi", path}, &out); err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	tr, err := metrics.ReadCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema().Len() != 1 || !tr.Schema().Contains("io_bi") {
+		t.Errorf("projected schema = %v", tr.Schema().Names())
+	}
+}
+
+func TestProjectRequiresMetrics(t *testing.T) {
+	path := writeTestTrace(t, 2)
+	var out bytes.Buffer
+	if err := run("project", []string{path}, &out); err == nil {
+		t.Error("project without -metrics: want error")
+	}
+}
+
+func TestExpertRequiresExpertMetrics(t *testing.T) {
+	// The 3-metric test trace lacks most expert metrics.
+	path := writeTestTrace(t, 2)
+	var out bytes.Buffer
+	if err := run("expert", []string{path}, &out); err == nil {
+		t.Error("expert on trace without expert metrics: want error")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("bogus", nil, &out); err == nil {
+		t.Error("unknown command: want error")
+	}
+	if err := run("info", []string{"/does/not/exist.csv"}, &out); err == nil {
+		t.Error("missing file: want error")
+	}
+	if err := run("info", []string{"a", "b"}, &out); err == nil {
+		t.Error("two files: want error")
+	}
+	path := writeTestTrace(t, 4)
+	if err := run("downsample", []string{"-factor", "0", path}, &out); err == nil {
+		t.Error("factor 0: want error")
+	}
+	if err := run("help", nil, &out); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+// Command vmprofiler runs one registry application inside the simulated
+// VM testbed, collects its performance trace through the Ganglia bus
+// and the performance profiler, and writes the trace as CSV — the
+// "performance profiler" half of the paper's Figure 1.
+//
+// Usage:
+//
+//	vmprofiler -app PostMark -seed 7 -o postmark.csv
+//	vmprofiler -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "", "registry application to profile (see -list)")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		out  = flag.String("o", "", "output CSV path (default stdout)")
+		list = flag.Bool("list", false, "list registry applications and exit")
+	)
+	flag.Parse()
+
+	if err := run(*app, *seed, *out, *list, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "vmprofiler: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, seed int64, out string, list bool, stdout, status io.Writer) error {
+	if list {
+		fmt.Fprintln(stdout, "training applications:")
+		for _, e := range workload.TrainingSet() {
+			fmt.Fprintf(stdout, "  %-18s %s\n", e.Name, e.Description)
+		}
+		fmt.Fprintln(stdout, "test applications:")
+		for _, e := range workload.TestSet() {
+			fmt.Fprintf(stdout, "  %-18s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+	if app == "" {
+		return fmt.Errorf("-app is required (use -list to see options)")
+	}
+	entry, err := workload.Find(app)
+	if err != nil {
+		return err
+	}
+	res, err := testbed.ProfileEntry(entry, seed)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.Trace.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "profiled %s: %d snapshots over %v (%d announcements in the pool)\n",
+		entry.Name, res.Trace.Len(), res.Elapsed, res.PoolAnnouncements)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestRunList(t *testing.T) {
+	var out, status bytes.Buffer
+	if err := run("", 1, "", true, &out, &status); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, want := range []string{"PostMark", "SPECseis96_A", "training applications"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunProfileToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var out, status bytes.Buffer
+	if err := run("XSpim", 1, path, false, &out, &status); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := metrics.ReadCSV(f)
+	if err != nil {
+		t.Fatalf("output not a valid trace CSV: %v", err)
+	}
+	if tr.Len() == 0 || tr.Schema().Len() != 33 {
+		t.Errorf("trace = %d snapshots x %d metrics", tr.Len(), tr.Schema().Len())
+	}
+	if !strings.Contains(status.String(), "profiled XSpim") {
+		t.Errorf("status = %q", status.String())
+	}
+}
+
+func TestRunProfileToStdout(t *testing.T) {
+	var out, status bytes.Buffer
+	if err := run("XSpim", 1, "", false, &out, &status); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := metrics.ReadCSV(&out); err != nil {
+		t.Errorf("stdout not a valid trace CSV: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, status bytes.Buffer
+	if err := run("", 1, "", false, &out, &status); err == nil {
+		t.Error("missing -app: want error")
+	}
+	if err := run("NoSuchApp", 1, "", false, &out, &status); err == nil {
+		t.Error("unknown app: want error")
+	}
+	if err := run("XSpim", 1, "/nonexistent-dir/x.csv", false, &out, &status); err == nil {
+		t.Error("unwritable output: want error")
+	}
+}

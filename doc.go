@@ -1,0 +1,15 @@
+// Package repro is a complete Go reproduction of Zhang & Figueiredo,
+// "Application Classification through Monitoring and Learning of
+// Resource Consumption Patterns" (IPDPS 2006): a PCA + 3-nearest-
+// neighbour classifier that learns an application's resource-consumption
+// class (CPU-, I/O-, paging-, network-intensive, or idle) from
+// system-level metrics collected while the application runs in a
+// dedicated virtual machine, plus the class-aware scheduling that class
+// knowledge enables.
+//
+// The module root carries the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation, plus
+// ablations. The library lives under internal/ (see README.md for the
+// architecture map), the executables under cmd/, and runnable examples
+// under examples/.
+package repro

@@ -1,0 +1,61 @@
+// Multistage: classify an interactive VMD session snapshot by snapshot
+// and segment it into execution stages (think time, file upload, GUI
+// interaction over VNC) — the paper's motivation for identifying the
+// stages of long-running applications so schedulers can react to stage
+// changes (e.g. by migrating the VM).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	svc, err := core.NewService(core.Options{Seed: 42})
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	entry, err := workload.Find("VMD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := testbed.ProfileEntry(entry, 11)
+	if err != nil {
+		log.Fatalf("profile: %v", err)
+	}
+	result, err := svc.Classifier().ClassifyTrace(run.Trace)
+	if err != nil {
+		log.Fatalf("classify: %v", err)
+	}
+
+	// Segment the classified run: 5-snapshot majority smoothing,
+	// minimum stage length 3 snapshots (15 s).
+	stages, err := classify.DetectStages(run.Trace, result, 5, 3)
+	if err != nil {
+		log.Fatalf("stages: %v", err)
+	}
+
+	fmt.Printf("VMD session: %d snapshots, overall class %s\n",
+		run.Trace.Len(), result.Class.Display())
+	fmt.Println("detected execution stages:")
+	for i, st := range stages {
+		fmt.Printf("  %d. %-8s %6v -> %6v (%d snapshots, %v)\n",
+			i+1, st.Class.Display(),
+			st.Start.Round(time.Second), st.End.Round(time.Second),
+			st.Snapshots, st.Duration().Round(time.Second))
+	}
+	fmt.Printf("timeline: %s\n", classify.StageSummary(stages))
+
+	// Compare against the ground-truth phases the workload executed.
+	fmt.Println("ground-truth phases of the session:")
+	for _, pc := range run.App.PhaseChanges {
+		fmt.Printf("  %6v %s\n", pc.At.Round(time.Second), pc.Phase)
+	}
+}

@@ -1,0 +1,76 @@
+// Predictor: execution-time prediction from learned class compositions —
+// the run-time-prediction complement the paper positions its classifier
+// next to (Section 7). Several historical runs of each application are
+// profiled and classified; the predictor then estimates a new run's
+// execution time from the k most similar historical runs in
+// class-composition space.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+func main() {
+	svc, err := core.NewService(core.Options{Seed: 42})
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Build history: three runs each of three applications with
+	// different seeds (input jitter varies run times).
+	apps := []string{"CH3D", "PostMark", "Sftp"}
+	for _, app := range apps {
+		entry, err := workload.Find(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			report, err := svc.ProfileAndClassify(entry, seed)
+			if err != nil {
+				log.Fatalf("profile %s: %v", app, err)
+			}
+			fmt.Printf("history: %-9s run %d  class=%-7s elapsed=%v\n",
+				app, seed, report.Result.Class, report.Elapsed.Round(time.Second))
+		}
+	}
+
+	p, err := predict.New(svc.DB(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredictor over %d historical runs:\n", p.Len())
+	for _, app := range apps {
+		est, err := p.PredictApp(svc.DB(), app)
+		if err != nil {
+			log.Fatalf("predict %s: %v", app, err)
+		}
+		fmt.Printf("  %-9s predicted %v (spread ±%v)\n",
+			app, est.Execution.Round(time.Second), est.Spread.Round(time.Second))
+	}
+
+	// Validate against a held-out fourth run of each application.
+	fmt.Println("\nheld-out fourth runs:")
+	for _, app := range apps {
+		entry, err := workload.Find(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := svc.ProfileAndClassify(entry, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := p.Predict(report.Result.Composition)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * (est.Execution.Seconds() - report.Elapsed.Seconds()) / report.Elapsed.Seconds()
+		fmt.Printf("  %-9s actual %v, predicted %v (%+.1f%%)\n",
+			app, report.Elapsed.Round(time.Second), est.Execution.Round(time.Second), errPct)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: train the application classifier on the five
+// class-representative applications, profile one application in the
+// simulated VM testbed, and print its class and class composition —
+// the paper's core loop in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Train the classification center (PCA + 3-NN) on profiling runs of
+	// SPECseis96 (CPU), PostMark (I/O), Pagebench (paging), Ettcp
+	// (network) and an idle machine.
+	svc, err := core.NewService(core.Options{Seed: 42})
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Profile and classify an application the classifier has never
+	// seen: the Bonnie file-system benchmark.
+	entry, err := workload.Find("Bonnie")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := svc.ProfileAndClassify(entry, 7)
+	if err != nil {
+		log.Fatalf("classify: %v", err)
+	}
+
+	fmt.Printf("application:  %s\n", report.App)
+	fmt.Printf("execution:    %v (%d snapshots at 5s)\n",
+		report.Elapsed.Round(time.Second), report.Samples)
+	fmt.Printf("class:        %s\n", report.Result.Class.Display())
+	fmt.Println("composition:")
+	for _, c := range appclass.All() {
+		if f := report.Result.Composition[c]; f > 0 {
+			fmt.Printf("  %-8s %6.2f%%\n", c.Display(), 100*f)
+		}
+	}
+
+	// The run is now in the application database, ready for schedulers.
+	rec, err := svc.DB().Latest("Bonnie")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database:     class=%s execution=%v\n",
+		rec.Class, rec.ExecutionTime.Round(time.Second))
+}

@@ -1,0 +1,141 @@
+// Vmfarm: the VMPlant + migration story around the classifier
+// (Sections 1 and 2) — define application-specific VM execution
+// environments as DAGs, clone them onto shared hosts, run a mixed batch,
+// detect each VM's currently active stage with the classifier, and let
+// the migration advisor fix same-class collisions the way a
+// stage-aware load balancer would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/vmm"
+	"repro/internal/vmplant"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Define a VM execution environment as a configuration DAG and
+	// register it with the plant.
+	plan, err := vmplant.NewPlan("grid-node", []vmplant.Action{
+		vmplant.WithMemory(256 * 1024),
+		{Name: "mount-scratch", DependsOn: []string{"set-memory"}},
+		vmplant.WithVCPUs(1),
+		{Name: "stage-input", DependsOn: []string{"mount-scratch"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plant := vmplant.NewPlant()
+	if err := plant.Register(plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan %q validated; action order: %v\n", plan.Name(), plan.Order())
+
+	// 2. Clone three VMs onto one shared host and give each a job — a
+	// deliberately bad, class-colliding placement.
+	cluster := vmm.NewCluster()
+	host := vmm.NewHost(vmm.HostConfig{Name: "host1"})
+	if err := cluster.AddHost(host); err != nil {
+		log.Fatal(err)
+	}
+	vms := make([]*vmm.VM, 3)
+	jobs := []func() (*workload.App, error){
+		func() (*workload.App, error) {
+			return workload.NewCH3D(300, workload.Config{Seed: 1})
+		},
+		func() (*workload.App, error) {
+			return workload.NewSPECseis(workload.SPECseisSmall, workload.Config{Seed: 2})
+		},
+		func() (*workload.App, error) {
+			return workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Seed: 3})
+		},
+	}
+	for i := range vms {
+		vm, err := plant.Clone("grid-node", host, "", int64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err := jobs[i]()
+		if err != nil {
+			log.Fatal(err)
+		}
+		vm.AddJob(job)
+		vms[i] = vm
+		fmt.Printf("cloned %s <- %s\n", vm.Name(), job.Name())
+	}
+
+	// 3. Train the classifier and watch each VM live through gmond.
+	svc, err := core.NewService(core.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bus := ganglia.NewBus()
+	gm, err := ganglia.NewGmetad("farm", bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, vm := range vms {
+		agent, err := ganglia.NewGmond(vm, bus, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := agent.Start(cluster.Queue()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cluster.RunFor(90 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Classify each VM's current activity from the aggregator state.
+	schema := metrics.DefaultSchema()
+	placement := sched.Placement{}
+	for _, vm := range vms {
+		vals := make([]float64, schema.Len())
+		for i, name := range schema.Names() {
+			v, _, err := gm.Latest(vm.Name(), name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vals[i] = v
+		}
+		class, err := svc.Classifier().ClassifySnapshot(schema, vals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s current stage: %s\n", vm.Name(), class.Display())
+		placement[vm.Name()] = []appclass.Class{class}
+	}
+
+	// 5. Two CPU stages collide on the host; the advisor proposes the
+	// fix a stage-aware load balancer would execute.
+	collidingDemo := sched.Placement{
+		"host1-slotA": {placement["grid-node-1"][0], placement["grid-node-2"][0]},
+		"host1-slotB": {placement["grid-node-3"][0]},
+	}
+	fmt.Printf("\nco-location collisions before: %d\n", sched.Collisions(collidingDemo))
+	moves, err := sched.AdviseMigrations(collidingDemo, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range moves {
+		if m.SwapWith != "" {
+			fmt.Printf("advise: swap a %s job on %s with a %s job on %s\n", m.Class, m.From, m.SwapWith, m.To)
+		} else {
+			fmt.Printf("advise: migrate a %s job from %s to %s\n", m.Class, m.From, m.To)
+		}
+	}
+	after, err := sched.Apply(collidingDemo, moves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-location collisions after:  %d\n", sched.Collisions(after))
+}

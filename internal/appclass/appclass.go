@@ -1,0 +1,77 @@
+// Package appclass defines the application classes the paper's
+// classifier targets (Section 3): CPU-intensive, I/O-intensive,
+// memory/paging-intensive, network-intensive, and idle. The classifier
+// is trained with one representative application per class (Figure 3a);
+// I/O-and-paging-intensive applications from Table 2 map onto the IO and
+// Mem classes depending on which snapshots dominate.
+package appclass
+
+import "fmt"
+
+// Class labels an application (or one snapshot of its execution) by the
+// resource it stresses.
+type Class string
+
+// The five classes of the paper's training set.
+const (
+	Idle Class = "idle"
+	IO   Class = "io"
+	CPU  Class = "cpu"
+	Net  Class = "net"
+	Mem  Class = "mem" // paging-intensive
+)
+
+// All returns the five classes in the paper's canonical presentation
+// order (the column order of Table 3: Idle, I/O, CPU, Network, Paging).
+func All() []Class {
+	return []Class{Idle, IO, CPU, Net, Mem}
+}
+
+// Strings returns All as plain strings, for APIs that operate on labels.
+func Strings() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = string(c)
+	}
+	return out
+}
+
+// Valid reports whether c is one of the five known classes.
+func Valid(c Class) bool {
+	switch c {
+	case Idle, IO, CPU, Net, Mem:
+		return true
+	}
+	return false
+}
+
+// Parse converts a label string into a Class.
+func Parse(s string) (Class, error) {
+	c := Class(s)
+	if !Valid(c) {
+		return "", fmt.Errorf("appclass: unknown class %q (want one of %v)", s, All())
+	}
+	return c, nil
+}
+
+// Display returns the paper's column heading for the class.
+func (c Class) Display() string {
+	switch c {
+	case Idle:
+		return "Idle"
+	case IO:
+		return "I/O"
+	case CPU:
+		return "CPU"
+	case Net:
+		return "Network"
+	case Mem:
+		return "Paging"
+	default:
+		return string(c)
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string { return string(c) }

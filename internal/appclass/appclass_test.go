@@ -1,0 +1,61 @@
+package appclass
+
+import "testing"
+
+func TestAllHasFiveClassesInTable3Order(t *testing.T) {
+	all := All()
+	want := []Class{Idle, IO, CPU, Net, Mem}
+	if len(all) != 5 {
+		t.Fatalf("All() = %d classes, want 5", len(all))
+	}
+	for i, c := range want {
+		if all[i] != c {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i], c)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, c := range All() {
+		if !Valid(c) {
+			t.Errorf("Valid(%s) = false", c)
+		}
+	}
+	if Valid("disk") {
+		t.Error("Valid(disk) = true")
+	}
+	if Valid("") {
+		t.Error("Valid(\"\") = true")
+	}
+}
+
+func TestParse(t *testing.T) {
+	c, err := Parse("cpu")
+	if err != nil || c != CPU {
+		t.Errorf("Parse(cpu) = (%v,%v)", c, err)
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse(bogus): want error")
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	cases := map[Class]string{
+		Idle: "Idle", IO: "I/O", CPU: "CPU", Net: "Network", Mem: "Paging",
+	}
+	for c, want := range cases {
+		if got := c.Display(); got != want {
+			t.Errorf("%s.Display() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class("weird").Display(); got != "weird" {
+		t.Errorf("unknown Display = %q", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	s := Strings()
+	if len(s) != 5 || s[2] != "cpu" {
+		t.Errorf("Strings() = %v", s)
+	}
+}

@@ -1,0 +1,243 @@
+// Package appdb implements the paper's application database (Figure 1):
+// it stores, per application, the post-processed classification results
+// of historical runs — class, class composition, and execution time —
+// which schedulers query to make class-aware placement decisions. The
+// store is an in-memory map with JSON persistence.
+package appdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// Record is one historical run of an application.
+type Record struct {
+	// App is the application name.
+	App string `json:"app"`
+	// Class is the majority-vote application class of the run.
+	Class appclass.Class `json:"class"`
+	// Composition is the class composition (fractions summing to ~1).
+	Composition map[appclass.Class]float64 `json:"composition"`
+	// ExecutionTime is the run's t1 - t0.
+	ExecutionTime time.Duration `json:"execution_time_ns"`
+	// Samples is the number of snapshots m in the run.
+	Samples int `json:"samples"`
+}
+
+// Validate checks the record's invariants.
+func (r Record) Validate() error {
+	if r.App == "" {
+		return fmt.Errorf("appdb: record has empty application name")
+	}
+	if !appclass.Valid(r.Class) {
+		return fmt.Errorf("appdb: record for %q has invalid class %q", r.App, r.Class)
+	}
+	if r.ExecutionTime < 0 {
+		return fmt.Errorf("appdb: record for %q has negative execution time", r.App)
+	}
+	if r.Samples < 0 {
+		return fmt.Errorf("appdb: record for %q has negative sample count", r.App)
+	}
+	var total float64
+	for c, f := range r.Composition {
+		if !appclass.Valid(c) {
+			return fmt.Errorf("appdb: record for %q has invalid composition class %q", r.App, c)
+		}
+		if f < 0 || f > 1 {
+			return fmt.Errorf("appdb: record for %q has composition fraction %v outside [0,1]", r.App, f)
+		}
+		total += f
+	}
+	if len(r.Composition) > 0 && (total < 0.99 || total > 1.01) {
+		return fmt.Errorf("appdb: record for %q has composition summing to %v", r.App, total)
+	}
+	return nil
+}
+
+// DB stores classification records keyed by application name. It is safe
+// for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	records map[string][]Record
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{records: make(map[string][]Record)}
+}
+
+// Put appends a run record for its application.
+func (db *DB) Put(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records[r.App] = append(db.records[r.App], r)
+	return nil
+}
+
+// Runs returns all records of an application, oldest first.
+func (db *DB) Runs(app string) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]Record(nil), db.records[app]...)
+}
+
+// Apps returns all application names, sorted.
+func (db *DB) Apps() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.records))
+	for a := range db.records {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, rs := range db.records {
+		n += len(rs)
+	}
+	return n
+}
+
+// Latest returns the most recent record of an application.
+func (db *DB) Latest(app string) (Record, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rs := db.records[app]
+	if len(rs) == 0 {
+		return Record{}, fmt.Errorf("appdb: no records for application %q", app)
+	}
+	return rs[len(rs)-1], nil
+}
+
+// Summary aggregates an application's historical runs: the modal class,
+// the mean composition, and the mean execution time — the "statistical
+// abstracts of the application behavior" the paper stores for
+// scheduling.
+type Summary struct {
+	App             string
+	Runs            int
+	Class           appclass.Class
+	MeanComposition map[appclass.Class]float64
+	MeanExecution   time.Duration
+}
+
+// Summarize aggregates all runs of an application.
+func (db *DB) Summarize(app string) (Summary, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rs := db.records[app]
+	if len(rs) == 0 {
+		return Summary{}, fmt.Errorf("appdb: no records for application %q", app)
+	}
+	classCounts := make(map[appclass.Class]int)
+	comp := make(map[appclass.Class]float64)
+	var execSum time.Duration
+	for _, r := range rs {
+		classCounts[r.Class]++
+		for c, f := range r.Composition {
+			comp[c] += f
+		}
+		execSum += r.ExecutionTime
+	}
+	for c := range comp {
+		comp[c] /= float64(len(rs))
+	}
+	var modal appclass.Class
+	best := -1
+	for c, n := range classCounts {
+		if n > best || (n == best && c < modal) {
+			modal, best = c, n
+		}
+	}
+	return Summary{
+		App:             app,
+		Runs:            len(rs),
+		Class:           modal,
+		MeanComposition: comp,
+		MeanExecution:   execSum / time.Duration(len(rs)),
+	}, nil
+}
+
+// persistedDB is the JSON wire format.
+type persistedDB struct {
+	Records []Record `json:"records"`
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	doc := persistedDB{}
+	for _, app := range db.appsLocked() {
+		doc.Records = append(doc.Records, db.records[app]...)
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("appdb: encode: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) appsLocked() []string {
+	out := make([]string, 0, len(db.records))
+	for a := range db.records {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var doc persistedDB
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("appdb: decode: %w", err)
+	}
+	db := New()
+	for i, rec := range doc.Records {
+		if err := db.Put(rec); err != nil {
+			return nil, fmt.Errorf("appdb: record %d: %w", i, err)
+		}
+	}
+	return db, nil
+}
+
+// SaveFile persists the database to a file path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("appdb: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database from a file path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("appdb: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

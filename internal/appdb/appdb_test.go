@@ -1,0 +1,186 @@
+package appdb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+func rec(app string, class appclass.Class, exec time.Duration) Record {
+	return Record{
+		App:           app,
+		Class:         class,
+		Composition:   map[appclass.Class]float64{class: 1},
+		ExecutionTime: exec,
+		Samples:       int(exec / (5 * time.Second)),
+	}
+}
+
+func TestPutAndQuery(t *testing.T) {
+	db := New()
+	if err := db.Put(rec("PostMark", appclass.IO, 260*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(rec("PostMark", appclass.IO, 280*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2", db.Len())
+	}
+	runs := db.Runs("PostMark")
+	if len(runs) != 2 || runs[0].ExecutionTime != 260*time.Second {
+		t.Errorf("Runs = %+v", runs)
+	}
+	latest, err := db.Latest("PostMark")
+	if err != nil || latest.ExecutionTime != 280*time.Second {
+		t.Errorf("Latest = (%+v, %v)", latest, err)
+	}
+	if _, err := db.Latest("ghost"); err == nil {
+		t.Error("Latest(ghost): want error")
+	}
+	if apps := db.Apps(); len(apps) != 1 || apps[0] != "PostMark" {
+		t.Errorf("Apps = %v", apps)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	db := New()
+	bad := []Record{
+		{App: "", Class: appclass.IO},
+		{App: "x", Class: "nope"},
+		{App: "x", Class: appclass.IO, ExecutionTime: -time.Second},
+		{App: "x", Class: appclass.IO, Samples: -1},
+		{App: "x", Class: appclass.IO, Composition: map[appclass.Class]float64{"weird": 1}},
+		{App: "x", Class: appclass.IO, Composition: map[appclass.Class]float64{appclass.IO: 2}},
+		{App: "x", Class: appclass.IO, Composition: map[appclass.Class]float64{appclass.IO: 0.4}},
+	}
+	for i, r := range bad {
+		if err := db.Put(r); err == nil {
+			t.Errorf("bad record %d accepted: %+v", i, r)
+		}
+	}
+	if db.Len() != 0 {
+		t.Errorf("Len = %d after rejected puts", db.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := New()
+	_ = db.Put(Record{
+		App: "A", Class: appclass.CPU,
+		Composition:   map[appclass.Class]float64{appclass.CPU: 0.9, appclass.IO: 0.1},
+		ExecutionTime: 100 * time.Second,
+	})
+	_ = db.Put(Record{
+		App: "A", Class: appclass.CPU,
+		Composition:   map[appclass.Class]float64{appclass.CPU: 0.7, appclass.IO: 0.3},
+		ExecutionTime: 200 * time.Second,
+	})
+	_ = db.Put(Record{
+		App: "A", Class: appclass.IO,
+		Composition:   map[appclass.Class]float64{appclass.IO: 1},
+		ExecutionTime: 300 * time.Second,
+	})
+	s, err := db.Summarize("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs != 3 || s.Class != appclass.CPU {
+		t.Errorf("summary = %+v, want modal class cpu over 3 runs", s)
+	}
+	if s.MeanExecution != 200*time.Second {
+		t.Errorf("mean execution = %v, want 200s", s.MeanExecution)
+	}
+	wantIO := (0.1 + 0.3 + 1.0) / 3
+	if got := s.MeanComposition[appclass.IO]; got < wantIO-1e-9 || got > wantIO+1e-9 {
+		t.Errorf("mean io composition = %v, want %v", got, wantIO)
+	}
+	if _, err := db.Summarize("ghost"); err == nil {
+		t.Error("Summarize(ghost): want error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	_ = db.Put(rec("A", appclass.CPU, 100*time.Second))
+	_ = db.Put(rec("B", appclass.Net, 50*time.Second))
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Len() != 2 {
+		t.Errorf("loaded Len = %d", loaded.Len())
+	}
+	got, err := loaded.Latest("B")
+	if err != nil || got.Class != appclass.Net || got.ExecutionTime != 50*time.Second {
+		t.Errorf("loaded B = (%+v, %v)", got, err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := Load(strings.NewReader(`{"records":[{"app":"","class":"io"}]}`)); err == nil {
+		t.Error("invalid record: want error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := New()
+	_ = db.Put(rec("A", appclass.Mem, 10*time.Second))
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("loaded Len = %d", loaded.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = db.Put(rec("app", appclass.IO, time.Second))
+				db.Runs("app")
+				db.Apps()
+				_, _ = db.Summarize("app")
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Errorf("Len = %d, want 800", db.Len())
+	}
+}
+
+func TestRunsReturnsCopy(t *testing.T) {
+	db := New()
+	_ = db.Put(rec("A", appclass.IO, time.Second))
+	runs := db.Runs("A")
+	runs[0].App = "mutated"
+	if got, _ := db.Latest("A"); got.App != "A" {
+		t.Error("Runs exposes internal storage")
+	}
+}

@@ -1,0 +1,79 @@
+package appdb
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// ByClass returns the applications whose modal class matches c, sorted
+// by name — the query a class-aware scheduler issues ("give me the
+// I/O-intensive applications").
+func (db *DB) ByClass(c appclass.Class) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for app, rs := range db.records {
+		counts := make(map[appclass.Class]int)
+		for _, r := range rs {
+			counts[r.Class]++
+		}
+		var modal appclass.Class
+		best := -1
+		for cl, n := range counts {
+			if n > best || (n == best && cl < modal) {
+				modal, best = cl, n
+			}
+		}
+		if modal == c {
+			out = append(out, app)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prune keeps at most keep most-recent records per application,
+// returning the number of records dropped. A keep of zero or less
+// removes nothing.
+func (db *DB) Prune(keep int) int {
+	if keep <= 0 {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for app, rs := range db.records {
+		if len(rs) > keep {
+			dropped += len(rs) - keep
+			db.records[app] = append([]Record(nil), rs[len(rs)-keep:]...)
+		}
+	}
+	return dropped
+}
+
+// ClassCounts tallies the modal class of every application.
+func (db *DB) ClassCounts() map[appclass.Class]int {
+	out := make(map[appclass.Class]int)
+	for _, c := range appclass.All() {
+		if n := len(db.ByClass(c)); n > 0 {
+			out[c] = n
+		}
+	}
+	return out
+}
+
+// TotalExecution sums the execution time of every stored run — the
+// accounting view a provider bills from.
+func (db *DB) TotalExecution() time.Duration {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var sum time.Duration
+	for _, rs := range db.records {
+		for _, r := range rs {
+			sum += r.ExecutionTime
+		}
+	}
+	return sum
+}

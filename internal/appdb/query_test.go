@@ -1,0 +1,83 @@
+package appdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+func seedQueryDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	put := func(r Record) {
+		if err := db.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(rec("seis", appclass.CPU, 600*time.Second))
+	put(rec("seis", appclass.CPU, 610*time.Second))
+	put(rec("seis", appclass.IO, 900*time.Second)) // one anomalous run
+	put(rec("postmark", appclass.IO, 260*time.Second))
+	put(rec("netpipe", appclass.Net, 370*time.Second))
+	return db
+}
+
+func TestByClass(t *testing.T) {
+	db := seedQueryDB(t)
+	cpu := db.ByClass(appclass.CPU)
+	if len(cpu) != 1 || cpu[0] != "seis" {
+		t.Errorf("ByClass(cpu) = %v", cpu)
+	}
+	io := db.ByClass(appclass.IO)
+	if len(io) != 1 || io[0] != "postmark" {
+		t.Errorf("ByClass(io) = %v (modal class must win)", io)
+	}
+	if got := db.ByClass(appclass.Mem); len(got) != 0 {
+		t.Errorf("ByClass(mem) = %v, want empty", got)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	db := seedQueryDB(t)
+	counts := db.ClassCounts()
+	if counts[appclass.CPU] != 1 || counts[appclass.IO] != 1 || counts[appclass.Net] != 1 {
+		t.Errorf("ClassCounts = %v", counts)
+	}
+	if _, ok := counts[appclass.Mem]; ok {
+		t.Error("empty class present in counts")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	db := seedQueryDB(t)
+	dropped := db.Prune(1)
+	if dropped != 2 {
+		t.Errorf("Prune dropped %d, want 2", dropped)
+	}
+	runs := db.Runs("seis")
+	if len(runs) != 1 {
+		t.Fatalf("seis has %d runs after prune", len(runs))
+	}
+	// The newest record survives.
+	if runs[0].ExecutionTime != 900*time.Second {
+		t.Errorf("kept run = %+v, want the newest", runs[0])
+	}
+	if db.Prune(0) != 0 {
+		t.Error("Prune(0) should drop nothing")
+	}
+	if db.Prune(5) != 0 {
+		t.Error("Prune above size should drop nothing")
+	}
+}
+
+func TestTotalExecution(t *testing.T) {
+	db := seedQueryDB(t)
+	want := (600 + 610 + 900 + 260 + 370) * time.Second
+	if got := db.TotalExecution(); got != want {
+		t.Errorf("TotalExecution = %v, want %v", got, want)
+	}
+	if New().TotalExecution() != 0 {
+		t.Error("empty DB total should be 0")
+	}
+}

@@ -1,0 +1,257 @@
+// Package classify implements the paper's classification center
+// (Figure 1, right; Figure 2 pipeline): the data preprocessor selects
+// the expert-chosen performance metrics and normalizes them to zero mean
+// and unit variance, the PCA processor extracts the principal components
+// (q = 2 in the paper's configuration), and a trained 3-NN classifier
+// assigns each snapshot a class; the majority vote of the snapshot
+// classes is the application's class, and the per-class fractions are
+// its class composition.
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/appclass"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+	"repro/internal/pca"
+)
+
+// Config parameterizes the classification center. The zero value is the
+// paper's configuration.
+type Config struct {
+	// ExpertMetrics are the preselected metrics (Table 1). Defaults to
+	// metrics.ExpertNames().
+	ExpertMetrics []string
+	// Components fixes the number of principal components (paper: 2).
+	// Mutually exclusive with MinFractionVariance.
+	Components int
+	// MinFractionVariance selects components by cumulative explained
+	// variance instead of a fixed count.
+	MinFractionVariance float64
+	// K is the neighbour count of the k-NN classifier (paper: 3).
+	K int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.ExpertMetrics) == 0 {
+		c.ExpertMetrics = metrics.ExpertNames()
+	}
+	if c.Components == 0 && c.MinFractionVariance == 0 {
+		c.Components = 2
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	return c
+}
+
+// TrainingRun is one labelled profiling run used to train the
+// classifier.
+type TrainingRun struct {
+	Class appclass.Class
+	Trace *metrics.Trace
+}
+
+// Classifier is a trained classification center.
+type Classifier struct {
+	cfg        Config
+	normalizer *pca.Normalizer
+	model      *pca.Model
+	nn         *knn.Classifier
+	// trainPoints and trainLabels retain the projected training data
+	// for the clustering diagrams (Figure 3a).
+	trainPoints *linalg.Matrix
+	trainLabels []appclass.Class
+}
+
+// Train builds a classifier from labelled runs. Every training trace
+// must contain the configured expert metrics.
+func Train(runs []TrainingRun, cfg Config) (*Classifier, error) {
+	cfg = cfg.withDefaults()
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("classify: no training runs")
+	}
+	var rows [][]float64
+	var labels []appclass.Class
+	for i, run := range runs {
+		if !appclass.Valid(run.Class) {
+			return nil, fmt.Errorf("classify: training run %d has invalid class %q", i, run.Class)
+		}
+		if run.Trace == nil || run.Trace.Len() == 0 {
+			return nil, fmt.Errorf("classify: training run %d (%s) has no snapshots", i, run.Class)
+		}
+		proj, err := run.Trace.Project(cfg.ExpertMetrics)
+		if err != nil {
+			return nil, fmt.Errorf("classify: training run %d (%s): %w", i, run.Class, err)
+		}
+		for s := 0; s < proj.Len(); s++ {
+			rows = append(rows, proj.At(s).Values)
+			labels = append(labels, run.Class)
+		}
+	}
+	raw, err := linalg.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("classify: assemble training matrix: %w", err)
+	}
+
+	norm, err := pca.FitNormalizer(raw)
+	if err != nil {
+		return nil, fmt.Errorf("classify: fit normalizer: %w", err)
+	}
+	normalized, err := norm.Apply(raw)
+	if err != nil {
+		return nil, err
+	}
+	model, err := pca.Fit(normalized, pca.Options{
+		Components:          cfg.Components,
+		MinFractionVariance: cfg.MinFractionVariance,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("classify: fit PCA: %w", err)
+	}
+	features, err := model.Transform(normalized)
+	if err != nil {
+		return nil, err
+	}
+	nn, err := knn.New(cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("classify: build k-NN: %w", err)
+	}
+	points := make([]linalg.Vector, features.Rows())
+	labelStrs := make([]string, features.Rows())
+	for i := range points {
+		points[i] = features.Row(i)
+		labelStrs[i] = string(labels[i])
+	}
+	if err := nn.Train(points, labelStrs); err != nil {
+		return nil, fmt.Errorf("classify: train k-NN: %w", err)
+	}
+	if model.Q == 2 {
+		// The paper's 2-D feature space admits the grid index; results
+		// are identical, queries are an order of magnitude faster.
+		if err := nn.EnableIndex(); err != nil {
+			return nil, fmt.Errorf("classify: index k-NN: %w", err)
+		}
+	}
+	return &Classifier{
+		cfg:         cfg,
+		normalizer:  norm,
+		model:       model,
+		nn:          nn,
+		trainPoints: features,
+		trainLabels: labels,
+	}, nil
+}
+
+// Config returns the effective configuration (defaults resolved).
+func (c *Classifier) Config() Config { return c.cfg }
+
+// Model exposes the fitted PCA model (for reports and ablations).
+func (c *Classifier) Model() *pca.Model { return c.model }
+
+// TrainingPoints returns the projected training data and its labels —
+// the contents of the paper's Figure 3a clustering diagram.
+func (c *Classifier) TrainingPoints() (*linalg.Matrix, []appclass.Class) {
+	return c.trainPoints.Clone(), append([]appclass.Class(nil), c.trainLabels...)
+}
+
+// Result is the outcome of classifying one application run.
+type Result struct {
+	// Class is the application class: the majority vote of the snapshot
+	// classes.
+	Class appclass.Class
+	// Composition maps each class to the fraction of snapshots
+	// assigned to it (Table 3's rows).
+	Composition map[appclass.Class]float64
+	// Snapshots is the per-snapshot class vector C(1×m).
+	Snapshots []appclass.Class
+	// Points is the m×q matrix of PCA feature coordinates, the data
+	// behind the Figure 3 clustering diagrams.
+	Points *linalg.Matrix
+}
+
+// featuresOf runs the preprocess→normalize→PCA pipeline on a trace.
+func (c *Classifier) featuresOf(trace *metrics.Trace) (*linalg.Matrix, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("classify: empty trace")
+	}
+	proj, err := trace.Project(c.cfg.ExpertMetrics)
+	if err != nil {
+		return nil, fmt.Errorf("classify: project trace: %w", err)
+	}
+	normalized, err := c.normalizer.Apply(proj.Matrix())
+	if err != nil {
+		return nil, err
+	}
+	return c.model.Transform(normalized)
+}
+
+// ClassifyTrace classifies every snapshot of a profiling run and
+// aggregates the result.
+func (c *Classifier) ClassifyTrace(trace *metrics.Trace) (*Result, error) {
+	features, err := c.featuresOf(trace)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := c.nn.ClassifyBatch(features)
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]appclass.Class, len(labels))
+	counts := make(map[appclass.Class]float64)
+	for i, l := range labels {
+		cl, err := appclass.Parse(l)
+		if err != nil {
+			return nil, err
+		}
+		classes[i] = cl
+		counts[cl]++
+	}
+	composition := make(map[appclass.Class]float64, len(counts))
+	var best appclass.Class
+	bestCount := -1.0
+	for cl, n := range counts {
+		composition[cl] = n / float64(len(classes))
+		if n > bestCount || (n == bestCount && cl < best) {
+			best, bestCount = cl, n
+		}
+	}
+	return &Result{
+		Class:       best,
+		Composition: composition,
+		Snapshots:   classes,
+		Points:      features,
+	}, nil
+}
+
+// ClassifySnapshot classifies a single snapshot given the full metric
+// vector in the trace schema used at call sites. The snapshot's values
+// must be ordered by schema, which must contain the expert metrics.
+func (c *Classifier) ClassifySnapshot(schema *metrics.Schema, values []float64) (appclass.Class, error) {
+	if schema.Len() != len(values) {
+		return "", fmt.Errorf("classify: %d values for %d-metric schema", len(values), schema.Len())
+	}
+	idx, err := schema.Subset(c.cfg.ExpertMetrics)
+	if err != nil {
+		return "", err
+	}
+	x := make(linalg.Vector, len(idx))
+	for i, j := range idx {
+		x[i] = values[j]
+	}
+	normalized, err := c.normalizer.ApplyVec(x)
+	if err != nil {
+		return "", err
+	}
+	feat, err := c.model.TransformVec(normalized)
+	if err != nil {
+		return "", err
+	}
+	label, err := c.nn.Classify(feat)
+	if err != nil {
+		return "", err
+	}
+	return appclass.Parse(label)
+}

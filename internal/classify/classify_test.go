@@ -1,0 +1,349 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/metrics"
+)
+
+// classSignature returns typical expert-metric values for a class:
+// {cpu_system, cpu_user, bytes_in, bytes_out, io_bi, io_bo, swap_in, swap_out}.
+func classSignature(c appclass.Class) []float64 {
+	switch c {
+	case appclass.CPU:
+		return []float64{3, 95, 500, 500, 5, 5, 0, 0}
+	case appclass.IO:
+		return []float64{12, 8, 500, 500, 3000, 3000, 0, 0}
+	case appclass.Net:
+		return []float64{10, 8, 4e5, 8e6, 5, 5, 0, 0}
+	case appclass.Mem:
+		return []float64{5, 20, 500, 500, 5500, 5500, 5000, 5000}
+	default: // idle
+		return []float64{0.3, 0.5, 300, 300, 2, 2, 0, 0}
+	}
+}
+
+// syntheticTrace builds a trace of n snapshots around a class signature
+// with multiplicative noise.
+func syntheticTrace(t *testing.T, c appclass.Class, n int, seed int64) *metrics.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := metrics.NewTrace(metrics.ExpertSchema(), "vm1")
+	sig := classSignature(c)
+	for i := 0; i < n; i++ {
+		vals := make([]float64, len(sig))
+		for j, v := range sig {
+			vals[j] = v * (1 + 0.15*rng.NormFloat64())
+			if vals[j] < 0 {
+				vals[j] = 0
+			}
+		}
+		err := tr.Append(metrics.Snapshot{
+			Time: time.Duration(i*5) * time.Second, Node: "vm1", Values: vals,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func trainSynthetic(t *testing.T, cfg Config) *Classifier {
+	t.Helper()
+	var runs []TrainingRun
+	for i, c := range appclass.All() {
+		runs = append(runs, TrainingRun{Class: c, Trace: syntheticTrace(t, c, 60, int64(i+1))})
+	}
+	cl, err := Train(runs, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return cl
+}
+
+func TestTrainDefaultsMatchPaper(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	cfg := cl.Config()
+	if cfg.K != 3 {
+		t.Errorf("K = %d, want 3", cfg.K)
+	}
+	if cfg.Components != 2 {
+		t.Errorf("Components = %d, want 2", cfg.Components)
+	}
+	if len(cfg.ExpertMetrics) != 8 {
+		t.Errorf("ExpertMetrics = %d, want 8", len(cfg.ExpertMetrics))
+	}
+	if cl.Model().Q != 2 {
+		t.Errorf("PCA Q = %d, want 2", cl.Model().Q)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Error("no runs: want error")
+	}
+	if _, err := Train([]TrainingRun{{Class: "bogus", Trace: syntheticTrace(t, appclass.CPU, 5, 1)}}, Config{}); err == nil {
+		t.Error("invalid class: want error")
+	}
+	if _, err := Train([]TrainingRun{{Class: appclass.CPU, Trace: nil}}, Config{}); err == nil {
+		t.Error("nil trace: want error")
+	}
+	empty := metrics.NewTrace(metrics.ExpertSchema(), "vm1")
+	if _, err := Train([]TrainingRun{{Class: appclass.CPU, Trace: empty}}, Config{}); err == nil {
+		t.Error("empty trace: want error")
+	}
+	// Trace lacking expert metrics.
+	s, _ := metrics.NewSchema([]string{"unrelated"})
+	bad := metrics.NewTrace(s, "vm1")
+	_ = bad.Append(metrics.Snapshot{Node: "vm1", Values: []float64{1}})
+	if _, err := Train([]TrainingRun{{Class: appclass.CPU, Trace: bad}}, Config{}); err == nil {
+		t.Error("missing expert metrics: want error")
+	}
+}
+
+func TestClassifyPureTraces(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	for i, c := range appclass.All() {
+		tr := syntheticTrace(t, c, 40, int64(100+i))
+		res, err := cl.ClassifyTrace(tr)
+		if err != nil {
+			t.Fatalf("ClassifyTrace(%s): %v", c, err)
+		}
+		if res.Class != c {
+			t.Errorf("class of %s trace = %s, composition %v", c, res.Class, res.Composition)
+		}
+		if res.Composition[c] < 0.8 {
+			t.Errorf("composition[%s] = %v, want dominant", c, res.Composition[c])
+		}
+		if len(res.Snapshots) != 40 {
+			t.Errorf("snapshot classes = %d, want 40", len(res.Snapshots))
+		}
+		if res.Points.Rows() != 40 || res.Points.Cols() != 2 {
+			t.Errorf("points shape %dx%d, want 40x2", res.Points.Rows(), res.Points.Cols())
+		}
+	}
+}
+
+func TestClassifyMixedTrace(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	// Interleave CPU and IO snapshots 70/30.
+	tr := metrics.NewTrace(metrics.ExpertSchema(), "vm1")
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 100; i++ {
+		c := appclass.CPU
+		if i%10 >= 7 {
+			c = appclass.IO
+		}
+		sig := classSignature(c)
+		vals := make([]float64, len(sig))
+		for j, v := range sig {
+			vals[j] = v * (1 + 0.1*rng.NormFloat64())
+		}
+		_ = tr.Append(metrics.Snapshot{Time: time.Duration(i*5) * time.Second, Node: "vm1", Values: vals})
+	}
+	res, err := cl.ClassifyTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != appclass.CPU {
+		t.Errorf("majority class = %s, want cpu", res.Class)
+	}
+	if math.Abs(res.Composition[appclass.CPU]-0.7) > 0.1 {
+		t.Errorf("cpu composition = %v, want ~0.7", res.Composition[appclass.CPU])
+	}
+	if math.Abs(res.Composition[appclass.IO]-0.3) > 0.1 {
+		t.Errorf("io composition = %v, want ~0.3", res.Composition[appclass.IO])
+	}
+}
+
+func TestCompositionSumsToOne(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	res, err := cl.ClassifyTrace(syntheticTrace(t, appclass.Net, 30, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range res.Composition {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("composition sums to %v", total)
+	}
+}
+
+func TestClassifySnapshotMatchesTrace(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	tr := syntheticTrace(t, appclass.Mem, 10, 9)
+	res, err := cl.ClassifyTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		got, err := cl.ClassifySnapshot(tr.Schema(), tr.At(i).Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res.Snapshots[i] {
+			t.Errorf("snapshot %d: ClassifySnapshot = %s, trace said %s", i, got, res.Snapshots[i])
+		}
+	}
+}
+
+func TestClassifySnapshotValidation(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	if _, err := cl.ClassifySnapshot(metrics.ExpertSchema(), []float64{1}); err == nil {
+		t.Error("arity mismatch: want error")
+	}
+	s, _ := metrics.NewSchema([]string{"x"})
+	if _, err := cl.ClassifySnapshot(s, []float64{1}); err == nil {
+		t.Error("schema without expert metrics: want error")
+	}
+}
+
+func TestClassifyTraceFromFullSchema(t *testing.T) {
+	// Traces carrying all 33 metrics must classify identically to their
+	// expert projection.
+	cl := trainSynthetic(t, Config{})
+	full := metrics.NewTrace(metrics.DefaultSchema(), "vm1")
+	rng := rand.New(rand.NewSource(77))
+	sig := classSignature(appclass.IO)
+	expert := metrics.ExpertNames()
+	for i := 0; i < 25; i++ {
+		vals := make([]float64, full.Schema().Len())
+		for j := range vals {
+			vals[j] = rng.Float64() * 10 // irrelevant metrics: noise
+		}
+		for k, name := range expert {
+			idx, _ := full.Schema().Index(name)
+			vals[idx] = sig[k] * (1 + 0.1*rng.NormFloat64())
+		}
+		_ = full.Append(metrics.Snapshot{Time: time.Duration(i*5) * time.Second, Node: "vm1", Values: vals})
+	}
+	res, err := cl.ClassifyTrace(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != appclass.IO {
+		t.Errorf("class = %s, want io", res.Class)
+	}
+}
+
+func TestTrainingPointsExposedForFigure3a(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	pts, labels := cl.TrainingPoints()
+	if pts.Rows() != 300 || pts.Cols() != 2 {
+		t.Fatalf("training points %dx%d, want 300x2", pts.Rows(), pts.Cols())
+	}
+	if len(labels) != 300 {
+		t.Fatalf("labels = %d", len(labels))
+	}
+	// Returned matrix must be a copy.
+	pts.Set(0, 0, 1e9)
+	pts2, _ := cl.TrainingPoints()
+	if pts2.At(0, 0) == 1e9 {
+		t.Error("TrainingPoints exposes internal storage")
+	}
+}
+
+func TestAlternativeConfigs(t *testing.T) {
+	// k=1 and q=1 must still train and classify pure traces.
+	cl := trainSynthetic(t, Config{K: 1, Components: 1})
+	res, err := cl.ClassifyTrace(syntheticTrace(t, appclass.Net, 20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != appclass.Net {
+		t.Errorf("k=1/q=1 class = %s, want net", res.Class)
+	}
+	// Variance-driven component selection.
+	cl2 := trainSynthetic(t, Config{MinFractionVariance: 0.99})
+	if cl2.Model().Q < 2 {
+		t.Errorf("Q = %d for 99%% variance, want >= 2", cl2.Model().Q)
+	}
+}
+
+func TestEvaluateOnHeldOutRuns(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	// Held-out runs with fresh seeds.
+	var runs []TrainingRun
+	for i, c := range appclass.All() {
+		runs = append(runs, TrainingRun{Class: c, Trace: syntheticTrace(t, c, 30, int64(900+i))})
+	}
+	ev, err := Evaluate(cl, runs)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if ev.Runs.Total() != 5 {
+		t.Fatalf("run matrix total = %d", ev.Runs.Total())
+	}
+	if acc := ev.Runs.Accuracy(); acc != 1 {
+		t.Errorf("run-level accuracy = %v, want 1 on clean held-out data", acc)
+	}
+	if acc := ev.Snapshots.Accuracy(); acc < 0.9 {
+		t.Errorf("snapshot-level accuracy = %v, want > 0.9", acc)
+	}
+	for _, c := range appclass.All() {
+		if r := ev.Runs.Recall(string(c)); r != 1 {
+			t.Errorf("recall(%s) = %v", c, r)
+		}
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("nil classifier: want error")
+	}
+	if _, err := Evaluate(cl, nil); err == nil {
+		t.Error("no runs: want error")
+	}
+	bad := []TrainingRun{{Class: "weird", Trace: syntheticTrace(t, appclass.CPU, 5, 1)}}
+	if _, err := Evaluate(cl, bad); err == nil {
+		t.Error("invalid label: want error")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	var runs []TrainingRun
+	for rep := 0; rep < 3; rep++ {
+		for i, c := range appclass.All() {
+			runs = append(runs, TrainingRun{
+				Class: c, Trace: syntheticTrace(t, c, 40, int64(rep*100+i)),
+			})
+		}
+	}
+	acc, verdicts, err := CrossValidate(runs, Config{})
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if len(verdicts) != len(runs) {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	if acc < 0.9 {
+		t.Errorf("leave-one-out accuracy = %v, want >= 0.9 on clean synthetic runs", acc)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	if _, _, err := CrossValidate(nil, Config{}); err == nil {
+		t.Error("no runs: want error")
+	}
+	single := []TrainingRun{
+		{Class: appclass.CPU, Trace: syntheticTrace(t, appclass.CPU, 10, 1)},
+		{Class: appclass.IO, Trace: syntheticTrace(t, appclass.IO, 10, 2)},
+	}
+	if _, _, err := CrossValidate(single, Config{}); err == nil {
+		t.Error("singleton classes: want error")
+	}
+	bad := []TrainingRun{
+		{Class: "weird", Trace: syntheticTrace(t, appclass.CPU, 10, 1)},
+		{Class: "weird", Trace: syntheticTrace(t, appclass.CPU, 10, 2)},
+	}
+	if _, _, err := CrossValidate(bad, Config{}); err == nil {
+		t.Error("invalid label: want error")
+	}
+}

@@ -1,0 +1,55 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/appclass"
+)
+
+// CrossValidate scores the classification pipeline by leave-one-out
+// cross-validation over labelled runs: each run in turn is held out,
+// the classifier is trained on the rest (which must still cover every
+// class present in the held-out run's label set), and the held-out
+// run's majority-vote class is compared with its label. It returns the
+// fraction of held-out runs classified correctly and the per-run
+// verdicts aligned with the input.
+func CrossValidate(runs []TrainingRun, cfg Config) (float64, []bool, error) {
+	if len(runs) < 2 {
+		return 0, nil, fmt.Errorf("classify: cross-validation needs at least 2 runs, got %d", len(runs))
+	}
+	// Every class must appear at least twice, or its held-out run
+	// cannot be classified as itself.
+	counts := map[appclass.Class]int{}
+	for i, r := range runs {
+		if !appclass.Valid(r.Class) {
+			return 0, nil, fmt.Errorf("classify: run %d has invalid label %q", i, r.Class)
+		}
+		counts[r.Class]++
+	}
+	for c, n := range counts {
+		if n < 2 {
+			return 0, nil, fmt.Errorf("classify: class %s has only %d run; leave-one-out needs 2+", c, n)
+		}
+	}
+	verdicts := make([]bool, len(runs))
+	correct := 0
+	for i := range runs {
+		held := runs[i]
+		rest := make([]TrainingRun, 0, len(runs)-1)
+		rest = append(rest, runs[:i]...)
+		rest = append(rest, runs[i+1:]...)
+		cl, err := Train(rest, cfg)
+		if err != nil {
+			return 0, nil, fmt.Errorf("classify: fold %d: %w", i, err)
+		}
+		out, err := cl.ClassifyTrace(held.Trace)
+		if err != nil {
+			return 0, nil, fmt.Errorf("classify: fold %d classify: %w", i, err)
+		}
+		if out.Class == held.Class {
+			verdicts[i] = true
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(runs)), verdicts, nil
+}

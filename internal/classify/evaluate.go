@@ -1,0 +1,50 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/appclass"
+	"repro/internal/stats"
+)
+
+// Evaluation is the outcome of scoring a classifier against labelled
+// runs: one confusion matrix at run level (each run's majority-vote
+// class vs its label) and one at snapshot level (every snapshot vs the
+// run's label — an upper bound on disagreement, since mixed runs
+// legitimately contain off-label snapshots).
+type Evaluation struct {
+	Runs      *stats.ConfusionMatrix
+	Snapshots *stats.ConfusionMatrix
+}
+
+// Evaluate classifies every labelled run and tallies both matrices.
+func Evaluate(cl *Classifier, runs []TrainingRun) (*Evaluation, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("classify: nil classifier")
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("classify: no runs to evaluate")
+	}
+	ev := &Evaluation{
+		Runs:      stats.NewConfusionMatrix(appclass.Strings()),
+		Snapshots: stats.NewConfusionMatrix(appclass.Strings()),
+	}
+	for i, run := range runs {
+		if !appclass.Valid(run.Class) {
+			return nil, fmt.Errorf("classify: run %d has invalid label %q", i, run.Class)
+		}
+		out, err := cl.ClassifyTrace(run.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("classify: evaluate run %d: %w", i, err)
+		}
+		if err := ev.Runs.Add(string(run.Class), string(out.Class)); err != nil {
+			return nil, err
+		}
+		for _, s := range out.Snapshots {
+			if err := ev.Snapshots.Add(string(run.Class), string(s)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,83 @@
+package classify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/appclass"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// trainFromTestbed profiles the five training applications end to end
+// and trains the classifier, as Section 4.2.3 describes.
+func trainFromTestbed(t testing.TB, cfg Config) *Classifier {
+	t.Helper()
+	var runs []TrainingRun
+	for _, e := range workload.TrainingSet() {
+		res, err := testbed.ProfileEntry(e, 1)
+		if err != nil {
+			t.Fatalf("profile %s: %v", e.Name, err)
+		}
+		runs = append(runs, TrainingRun{Class: e.Expected, Trace: res.Trace})
+	}
+	cl, err := Train(runs, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return cl
+}
+
+// TestTable3DominantClasses is the reproduction of Table 3's headline
+// result: each test application's majority class must match the class
+// the paper reports as dominant.
+func TestTable3DominantClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	cl := trainFromTestbed(t, Config{})
+
+	// Dominant class per Table 3.
+	want := map[string]appclass.Class{
+		"SPECseis96_A": appclass.CPU,
+		"SPECseis96_C": appclass.CPU,
+		"CH3D":         appclass.CPU,
+		"SimpleScalar": appclass.CPU,
+		"PostMark":     appclass.IO,
+		"Bonnie":       appclass.IO,
+		"SPECseis96_B": appclass.CPU, // paper: 50.39% CPU, 42.87% I/O
+		"Stream":       appclass.IO,
+		"PostMark_NFS": appclass.Net,
+		"NetPIPE":      appclass.Net,
+		"Autobench":    appclass.Net,
+		"Sftp":         appclass.Net,
+		"XSpim":        appclass.IO, // paper: 77.78% I/O
+		"VMD":          appclass.IO, // paper: 40.70% I/O, 37.21% idle
+	}
+	for _, e := range workload.TestSet() {
+		res, err := testbed.ProfileEntry(e, 2)
+		if err != nil {
+			t.Fatalf("profile %s: %v", e.Name, err)
+		}
+		out, err := cl.ClassifyTrace(res.Trace)
+		if err != nil {
+			t.Fatalf("classify %s: %v", e.Name, err)
+		}
+		t.Logf("%-14s samples=%4d class=%-5s composition=%s",
+			e.Name, res.Trace.Len(), out.Class, fmtComposition(out.Composition))
+		if w := want[e.Name]; out.Class != w {
+			t.Errorf("%s classified %s, paper's dominant class is %s (composition %v)",
+				e.Name, out.Class, w, out.Composition)
+		}
+	}
+}
+
+func fmtComposition(comp map[appclass.Class]float64) string {
+	s := ""
+	for _, c := range appclass.All() {
+		if v, ok := comp[c]; ok && v > 0 {
+			s += fmt.Sprintf("%s=%.1f%% ", c, v*100)
+		}
+	}
+	return s
+}

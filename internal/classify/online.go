@@ -1,0 +1,137 @@
+package classify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Online is the streaming classifier the paper's future work calls for
+// ("it is possible to consider the classifier for online training",
+// Section 5.3): snapshots are classified as they arrive, the running
+// class composition is maintained incrementally, and drift in the
+// incoming metric distribution is tracked with streaming mean/variance
+// so a controller can decide when retraining is warranted.
+type Online struct {
+	cl     *Classifier
+	schema *metrics.Schema
+	subset []int
+
+	counts map[appclass.Class]int
+	total  int
+	last   appclass.Class
+
+	// drift tracks the incoming distribution of each expert metric.
+	drift []stats.Welford
+	// history records the class sequence for stage analysis.
+	history []TimedClass
+}
+
+// TimedClass is one classified snapshot in arrival order.
+type TimedClass struct {
+	At    time.Duration
+	Class appclass.Class
+}
+
+// NewOnline wraps a trained classifier for streaming input against the
+// given snapshot schema.
+func NewOnline(cl *Classifier, schema *metrics.Schema) (*Online, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("classify: nil classifier")
+	}
+	subset, err := schema.Subset(cl.cfg.ExpertMetrics)
+	if err != nil {
+		return nil, fmt.Errorf("classify: online schema: %w", err)
+	}
+	return &Online{
+		cl:     cl,
+		schema: schema,
+		subset: subset,
+		counts: make(map[appclass.Class]int),
+		drift:  make([]stats.Welford, len(subset)),
+	}, nil
+}
+
+// Observe classifies one arriving snapshot and updates the running
+// state, returning the snapshot's class.
+func (o *Online) Observe(snap metrics.Snapshot) (appclass.Class, error) {
+	if len(snap.Values) != o.schema.Len() {
+		return "", fmt.Errorf("classify: snapshot has %d values, schema %d", len(snap.Values), o.schema.Len())
+	}
+	class, err := o.cl.ClassifySnapshot(o.schema, snap.Values)
+	if err != nil {
+		return "", err
+	}
+	o.counts[class]++
+	o.total++
+	o.last = class
+	o.history = append(o.history, TimedClass{At: snap.Time, Class: class})
+	for i, j := range o.subset {
+		o.drift[i].Add(snap.Values[j])
+	}
+	return class, nil
+}
+
+// Seen returns the number of snapshots observed.
+func (o *Online) Seen() int { return o.total }
+
+// Last returns the most recent snapshot class.
+func (o *Online) Last() appclass.Class { return o.last }
+
+// Composition returns the running class composition.
+func (o *Online) Composition() map[appclass.Class]float64 {
+	out := make(map[appclass.Class]float64, len(o.counts))
+	if o.total == 0 {
+		return out
+	}
+	for c, n := range o.counts {
+		out[c] = float64(n) / float64(o.total)
+	}
+	return out
+}
+
+// Class returns the running majority-vote class.
+func (o *Online) Class() (appclass.Class, error) {
+	if o.total == 0 {
+		return "", fmt.Errorf("classify: no snapshots observed")
+	}
+	var best appclass.Class
+	bestN := -1
+	for c, n := range o.counts {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	return best, nil
+}
+
+// History returns the classified snapshot sequence.
+func (o *Online) History() []TimedClass {
+	return append([]TimedClass(nil), o.history...)
+}
+
+// DriftScore measures how far the observed stream's per-metric means
+// have moved from the classifier's training normalization, in units of
+// training standard deviations (the maximum across metrics). Large
+// scores suggest retraining.
+func (o *Online) DriftScore() float64 {
+	params := o.cl.normalizer.Params()
+	var worst float64
+	for i := range o.subset {
+		if o.drift[i].Count() == 0 {
+			continue
+		}
+		z := params[i]
+		d := (o.drift[i].Mean() - z.Mean) / z.StdDev
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

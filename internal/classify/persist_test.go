@@ -1,0 +1,87 @@
+package classify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/appclass"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	var buf bytes.Buffer
+	if err := cl.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Configurations match.
+	if loaded.Config().K != cl.Config().K {
+		t.Errorf("K = %d, want %d", loaded.Config().K, cl.Config().K)
+	}
+	if loaded.Model().Q != cl.Model().Q {
+		t.Errorf("Q = %d, want %d", loaded.Model().Q, cl.Model().Q)
+	}
+	// The loaded classifier must classify identically.
+	for i, c := range appclass.All() {
+		tr := syntheticTrace(t, c, 25, int64(500+i))
+		want, err := cl.ClassifyTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.ClassifyTrace(tr)
+		if err != nil {
+			t.Fatalf("loaded classify: %v", err)
+		}
+		if got.Class != want.Class {
+			t.Errorf("class %s: loaded %s, original %s", c, got.Class, want.Class)
+		}
+		for j := range want.Snapshots {
+			if got.Snapshots[j] != want.Snapshots[j] {
+				t.Fatalf("class %s snapshot %d: loaded %s, original %s",
+					c, j, got.Snapshots[j], want.Snapshots[j])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("bad version: want error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("empty model: want error")
+	}
+}
+
+func TestLoadValidatesShape(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	var buf bytes.Buffer
+	if err := cl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt specific fields and confirm rejection.
+	base := buf.String()
+	for _, corruption := range []struct {
+		name string
+		old  string
+		new  string
+	}{
+		{"even k", `"k":3`, `"k":4`},
+		{"zero q", `"q":2`, `"q":0`},
+	} {
+		doc := strings.Replace(base, corruption.old, corruption.new, 1)
+		if doc == base {
+			t.Fatalf("corruption %q did not apply", corruption.name)
+		}
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("corruption %q accepted", corruption.name)
+		}
+	}
+}

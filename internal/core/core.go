@@ -1,0 +1,135 @@
+// Package core assembles the paper's complete application
+// classification system (Figure 1): the performance profiler collects
+// metric snapshots of an application's dedicated VM, the classification
+// center (PCA + 3-NN) classifies each snapshot and votes the
+// application class, and the application database stores class,
+// composition and execution time of every historical run for use by
+// cost models and class-aware schedulers.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appdb"
+	"repro/internal/classify"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Classifier configures the classification center; the zero value
+	// is the paper's configuration (8 expert metrics, q = 2, k = 3).
+	Classifier classify.Config
+}
+
+// Service is a trained application classifier with its application
+// database.
+type Service struct {
+	opts       Options
+	classifier *classify.Classifier
+	db         *appdb.DB
+}
+
+// NewService profiles the five training applications of Section 4.2.3
+// on the simulated testbed, trains the classification center on them,
+// and returns a ready service.
+func NewService(opts Options) (*Service, error) {
+	var runs []classify.TrainingRun
+	for _, e := range workload.TrainingSet() {
+		res, err := testbed.ProfileEntry(e, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: profile training app %s: %w", e.Name, err)
+		}
+		runs = append(runs, classify.TrainingRun{Class: e.Expected, Trace: res.Trace})
+	}
+	return NewServiceFromRuns(runs, opts)
+}
+
+// NewServiceFromRuns trains a service from caller-provided labelled
+// runs (e.g. traces loaded from disk).
+func NewServiceFromRuns(runs []classify.TrainingRun, opts Options) (*Service, error) {
+	cl, err := classify.Train(runs, opts.Classifier)
+	if err != nil {
+		return nil, fmt.Errorf("core: train: %w", err)
+	}
+	return NewServiceWithClassifier(cl, opts)
+}
+
+// NewServiceWithClassifier wraps an already-trained classifier (e.g.
+// one restored with classify.Load) in a fresh service.
+func NewServiceWithClassifier(cl *classify.Classifier, opts Options) (*Service, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("core: nil classifier")
+	}
+	return &Service{opts: opts, classifier: cl, db: appdb.New()}, nil
+}
+
+// Classifier exposes the trained classification center.
+func (s *Service) Classifier() *classify.Classifier { return s.classifier }
+
+// DB exposes the application database.
+func (s *Service) DB() *appdb.DB { return s.db }
+
+// RunReport is the post-processed outcome of one profiled and
+// classified application run (the record stored in the application
+// database, plus the feature-space points for clustering diagrams).
+type RunReport struct {
+	App     string
+	Result  *classify.Result
+	Trace   *metrics.Trace
+	Elapsed time.Duration
+	Samples int
+}
+
+// ProfileAndClassify runs a registry entry end to end: profile the
+// application in its VM, classify the trace, and store the
+// post-processed record in the application database.
+func (s *Service) ProfileAndClassify(e workload.Entry, seed int64) (*RunReport, error) {
+	res, err := testbed.ProfileEntry(e, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: profile %s: %w", e.Name, err)
+	}
+	return s.ClassifyTrace(e.Name, res.Trace, res.Elapsed)
+}
+
+// ClassifyTrace classifies an already-collected trace and stores the
+// record.
+func (s *Service) ClassifyTrace(app string, trace *metrics.Trace, elapsed time.Duration) (*RunReport, error) {
+	out, err := s.classifier.ClassifyTrace(trace)
+	if err != nil {
+		return nil, fmt.Errorf("core: classify %s: %w", app, err)
+	}
+	rec := appdb.Record{
+		App:           app,
+		Class:         out.Class,
+		Composition:   out.Composition,
+		ExecutionTime: elapsed,
+		Samples:       trace.Len(),
+	}
+	if err := s.db.Put(rec); err != nil {
+		return nil, fmt.Errorf("core: store %s: %w", app, err)
+	}
+	return &RunReport{
+		App:     app,
+		Result:  out,
+		Trace:   trace,
+		Elapsed: elapsed,
+		Samples: trace.Len(),
+	}, nil
+}
+
+// Quote prices an application from its historical runs using the
+// Section 4.4 cost model.
+func (s *Service) Quote(app string, rates costmodel.Rates) (costmodel.Quote, error) {
+	summary, err := s.db.Summarize(app)
+	if err != nil {
+		return costmodel.Quote{}, err
+	}
+	return costmodel.QuoteRun(app, summary.MeanComposition, summary.MeanExecution, rates)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/classify"
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	s, err := NewService(Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return s
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	s := newService(t)
+	e, err := workload.Find("PostMark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.ProfileAndClassify(e, 2)
+	if err != nil {
+		t.Fatalf("ProfileAndClassify: %v", err)
+	}
+	if report.Result.Class != appclass.IO {
+		t.Errorf("PostMark class = %s, want io", report.Result.Class)
+	}
+	if report.Samples < 20 || report.Elapsed <= 0 {
+		t.Errorf("report = %d samples, %v elapsed", report.Samples, report.Elapsed)
+	}
+	// The run must be in the database.
+	rec, err := s.DB().Latest("PostMark")
+	if err != nil {
+		t.Fatalf("DB record: %v", err)
+	}
+	if rec.Class != appclass.IO || rec.Samples != report.Samples {
+		t.Errorf("stored record = %+v", rec)
+	}
+}
+
+func TestServiceQuote(t *testing.T) {
+	s := newService(t)
+	e, err := workload.Find("CH3D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProfileAndClassify(e, 2); err != nil {
+		t.Fatal(err)
+	}
+	rates := costmodel.Rates{CPU: 10, Mem: 8, IO: 6, Net: 4, Idle: 1}
+	q, err := s.Quote("CH3D", rates)
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	// CH3D is ~100% CPU: unit cost near the CPU rate.
+	if q.UnitCost < 9 || q.UnitCost > 10.5 {
+		t.Errorf("CH3D unit cost = %v, want ~10 (pure CPU)", q.UnitCost)
+	}
+	if q.RunCost <= 0 {
+		t.Errorf("run cost = %v", q.RunCost)
+	}
+	if _, err := s.Quote("ghost", rates); err == nil {
+		t.Error("Quote for unknown app: want error")
+	}
+}
+
+func TestNewServiceFromRunsValidation(t *testing.T) {
+	if _, err := NewServiceFromRuns(nil, Options{}); err == nil {
+		t.Error("no runs: want error")
+	}
+}
+
+func TestServiceCustomConfig(t *testing.T) {
+	s, err := NewService(Options{Seed: 1, Classifier: classify.Config{K: 1, Components: 2}})
+	if err != nil {
+		t.Fatalf("NewService(k=1): %v", err)
+	}
+	if s.Classifier().Config().K != 1 {
+		t.Errorf("K = %d, want 1", s.Classifier().Config().K)
+	}
+}
+
+func TestClassifyTraceStoresExecutionTime(t *testing.T) {
+	s := newService(t)
+	e, err := workload.Find("Sftp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.ProfileAndClassify(e, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.DB().Latest("Sftp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ExecutionTime != report.Elapsed || rec.ExecutionTime < time.Minute {
+		t.Errorf("stored execution time %v, report %v", rec.ExecutionTime, report.Elapsed)
+	}
+}

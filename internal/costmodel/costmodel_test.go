@@ -1,0 +1,97 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+var testRates = Rates{CPU: 10, Mem: 8, IO: 6, Net: 4, Idle: 1}
+
+func TestUnitCostPureClasses(t *testing.T) {
+	cases := []struct {
+		class appclass.Class
+		want  float64
+	}{
+		{appclass.CPU, 10}, {appclass.Mem, 8}, {appclass.IO, 6},
+		{appclass.Net, 4}, {appclass.Idle, 1},
+	}
+	for _, c := range cases {
+		got, err := UnitCost(map[appclass.Class]float64{c.class: 1}, testRates)
+		if err != nil {
+			t.Fatalf("UnitCost(%s): %v", c.class, err)
+		}
+		if got != c.want {
+			t.Errorf("UnitCost(%s) = %v, want %v", c.class, got, c.want)
+		}
+	}
+}
+
+func TestUnitCostWeightedAverage(t *testing.T) {
+	comp := map[appclass.Class]float64{
+		appclass.CPU: 0.5, appclass.IO: 0.3, appclass.Idle: 0.2,
+	}
+	got, err := UnitCost(comp, testRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*10 + 0.3*6 + 0.2*1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("UnitCost = %v, want %v", got, want)
+	}
+}
+
+func TestUnitCostValidation(t *testing.T) {
+	if _, err := UnitCost(map[appclass.Class]float64{"weird": 1}, testRates); err == nil {
+		t.Error("invalid class: want error")
+	}
+	if _, err := UnitCost(map[appclass.Class]float64{appclass.CPU: 1.5}, testRates); err == nil {
+		t.Error("fraction > 1: want error")
+	}
+	if _, err := UnitCost(map[appclass.Class]float64{appclass.CPU: -0.1}, testRates); err == nil {
+		t.Error("negative fraction: want error")
+	}
+	if _, err := UnitCost(map[appclass.Class]float64{appclass.CPU: 0.8, appclass.IO: 0.8}, testRates); err == nil {
+		t.Error("overfull composition: want error")
+	}
+	if _, err := UnitCost(nil, Rates{CPU: -1}); err == nil {
+		t.Error("negative rate: want error")
+	}
+}
+
+func TestUnitCostEmptyComposition(t *testing.T) {
+	got, err := UnitCost(nil, testRates)
+	if err != nil || got != 0 {
+		t.Errorf("UnitCost(nil) = (%v,%v), want (0,nil)", got, err)
+	}
+}
+
+func TestRunCost(t *testing.T) {
+	comp := map[appclass.Class]float64{appclass.CPU: 1}
+	got, err := RunCost(comp, 30*time.Minute, testRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-12 { // 10/hour * 0.5h
+		t.Errorf("RunCost = %v, want 5", got)
+	}
+	if _, err := RunCost(comp, -time.Second, testRates); err == nil {
+		t.Error("negative execution: want error")
+	}
+}
+
+func TestQuoteRun(t *testing.T) {
+	comp := map[appclass.Class]float64{appclass.Net: 1}
+	q, err := QuoteRun("Sftp", comp, time.Hour, testRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.App != "Sftp" || q.UnitCost != 4 || math.Abs(q.RunCost-4) > 1e-12 {
+		t.Errorf("Quote = %+v", q)
+	}
+	if _, err := QuoteRun("x", map[appclass.Class]float64{"bad": 1}, time.Hour, testRates); err == nil {
+		t.Error("invalid composition: want error")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+	"repro/internal/profiler"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// CostResult is the Section 5.3 classification-cost measurement: the
+// wall-clock cost of the filtering stage and the classification stage
+// (training + PCA + per-snapshot classification) over a large snapshot
+// pool, reduced to a per-sample unit cost. The paper measured 72 s
+// filtering + 50 s classification for 8000 snapshots (~15 ms/sample) on
+// 2001-era hardware.
+type CostResult struct {
+	Samples           int
+	FilterTime        time.Duration
+	ClassifyTime      time.Duration
+	UnitCostPerSample time.Duration
+}
+
+// costPoolSize matches the paper's 8000-snapshot measurement.
+const costPoolSize = 8000
+
+// ClassificationCost rebuilds an 8000-snapshot pool from SPECseis96
+// (medium) profiling data, replays it through the multicast bus and the
+// performance filter, then times training plus classification.
+func ClassificationCost(seed int64) (*CostResult, error) {
+	// Collect training traces and a large target trace.
+	var trainingRuns []classify.TrainingRun
+	for _, e := range workload.TrainingSet() {
+		res, err := testbed.ProfileEntry(e, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cost training %s: %w", e.Name, err)
+		}
+		trainingRuns = append(trainingRuns, classify.TrainingRun{Class: e.Expected, Trace: res.Trace})
+	}
+	entry, err := workload.Find("SPECseis96_A")
+	if err != nil {
+		return nil, err
+	}
+	res, err := testbed.ProfileEntry(entry, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cost target run: %w", err)
+	}
+	base := res.Trace
+	// Pad/trim the pool to exactly costPoolSize snapshots by cycling
+	// through the run.
+	pool := metrics.NewTrace(base.Schema(), base.Node())
+	for pool.Len() < costPoolSize {
+		remaining := costPoolSize - pool.Len()
+		end := base.Len()
+		if end > remaining {
+			end = remaining
+		}
+		slice, err := base.Slice(0, end)
+		if err != nil {
+			return nil, err
+		}
+		if err := pool.Merge(slice); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 1: the performance filter. Replay the pool through the
+	// multicast bus (with a second chatty node, as in the real subnet)
+	// and extract the target's snapshots.
+	filterStart := time.Now()
+	bus := ganglia.NewBus()
+	prof, err := profiler.New(bus, pool.Schema())
+	if err != nil {
+		return nil, err
+	}
+	names := pool.Schema().Names()
+	for i := 0; i < pool.Len(); i++ {
+		snap := pool.At(i)
+		for j, name := range names {
+			bus.Announce(ganglia.Announcement{Node: snap.Node, Metric: name, Value: snap.Values[j], At: snap.Time})
+			bus.Announce(ganglia.Announcement{Node: "other-node", Metric: name, Value: 0, At: snap.Time})
+		}
+	}
+	filtered, err := prof.Extract(pool.Node(), 0, pool.At(pool.Len()-1).Time)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cost filter: %w", err)
+	}
+	filterTime := time.Since(filterStart)
+
+	// Stage 2: train the classifier, run PCA feature extraction and
+	// classify every snapshot.
+	classifyStart := time.Now()
+	cl, err := classify.Train(trainingRuns, classify.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cost train: %w", err)
+	}
+	if _, err := cl.ClassifyTrace(filtered); err != nil {
+		return nil, fmt.Errorf("experiments: cost classify: %w", err)
+	}
+	classifyTime := time.Since(classifyStart)
+
+	return &CostResult{
+		Samples:           filtered.Len(),
+		FilterTime:        filterTime,
+		ClassifyTime:      classifyTime,
+		UnitCostPerSample: (filterTime + classifyTime) / time.Duration(filtered.Len()),
+	}, nil
+}
+
+// RenderCost writes the Section 5.3 measurement.
+func RenderCost(w io.Writer, r *CostResult) error {
+	_, err := fmt.Fprintf(w,
+		"classification cost over %d snapshots:\n"+
+			"  performance filter: %v\n"+
+			"  train + PCA + classify: %v\n"+
+			"  unit cost: %v per sample (paper: ~15 ms on 2001-era hardware)\n",
+		r.Samples, r.FilterTime, r.ClassifyTime, r.UnitCostPerSample)
+	return err
+}

@@ -1,0 +1,243 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) from the simulated testbed: Table 2 (the
+// training/testing application registry), Figure 3 (PCA clustering
+// diagrams), Table 3 (class compositions), Figure 4 (system throughput
+// of the ten schedules), Figure 5 (per-application throughput), Table 4
+// (concurrent vs sequential execution), and the Section 5.3
+// classification cost. Each experiment returns structured rows plus a
+// text rendering.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// DefaultSeed makes all experiment runs reproducible.
+const DefaultSeed = 2006 // the paper's publication year
+
+// NewTrainedService trains the classifier exactly as the evaluation
+// does. Shared by several experiments.
+func NewTrainedService(seed int64) (*core.Service, error) {
+	return core.NewService(core.Options{Seed: seed})
+}
+
+// Table2Row is one application of the paper's Table 2.
+type Table2Row struct {
+	Name        string
+	Description string
+	Expected    appclass.Class
+	Training    bool
+}
+
+// Table2 lists the training and testing applications.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, e := range append(workload.TrainingSet(), workload.TestSet()...) {
+		rows = append(rows, Table2Row{
+			Name:        e.Name,
+			Description: e.Description,
+			Expected:    e.Expected,
+			Training:    e.Training,
+		})
+	}
+	return rows
+}
+
+// RenderTable2 writes Table 2 as text.
+func RenderTable2(w io.Writer, rows []Table2Row) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tExpected\tRole\tDescription")
+	for _, r := range rows {
+		role := "test"
+		if r.Training {
+			role = "train"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Name, r.Expected.Display(), role, r.Description)
+	}
+	return tw.Flush()
+}
+
+// Table3Row is one application's class composition (a row of Table 3).
+type Table3Row struct {
+	App         string
+	Samples     int
+	Composition map[appclass.Class]float64
+	Class       appclass.Class
+	// PaperDominant is the class the paper reports as dominant, for the
+	// reproduction check.
+	PaperDominant appclass.Class
+}
+
+// paperDominant maps each Table 3 row to the paper's dominant class.
+var paperDominant = map[string]appclass.Class{
+	"SPECseis96_A": appclass.CPU,
+	"SPECseis96_C": appclass.CPU,
+	"CH3D":         appclass.CPU,
+	"SimpleScalar": appclass.CPU,
+	"PostMark":     appclass.IO,
+	"Bonnie":       appclass.IO,
+	"SPECseis96_B": appclass.CPU,
+	"Stream":       appclass.IO,
+	"PostMark_NFS": appclass.Net,
+	"NetPIPE":      appclass.Net,
+	"Autobench":    appclass.Net,
+	"Sftp":         appclass.Net,
+	"VMD":          appclass.IO,
+	"XSpim":        appclass.IO,
+}
+
+// Table3 profiles and classifies every test application.
+func Table3(svc *core.Service, seed int64) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, e := range workload.TestSet() {
+		report, err := svc.ProfileAndClassify(e, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 3 row %s: %w", e.Name, err)
+		}
+		rows = append(rows, Table3Row{
+			App:           e.Name,
+			Samples:       report.Samples,
+			Composition:   report.Result.Composition,
+			Class:         report.Result.Class,
+			PaperDominant: paperDominant[e.Name],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 writes Table 3 as text with the paper's column order.
+func RenderTable3(w io.Writer, rows []Table3Row) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Test Application\t# Samples\tIdle\tI/O\tCPU\tNetwork\tPaging\tClass\tPaper")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d", r.App, r.Samples)
+		for _, c := range appclass.All() {
+			f := r.Composition[c]
+			if f == 0 {
+				fmt.Fprint(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%.2f%%", 100*f)
+			}
+		}
+		match := ""
+		if r.Class != r.PaperDominant {
+			match = " (!)"
+		}
+		fmt.Fprintf(tw, "\t%s\t%s%s\n", r.Class.Display(), r.PaperDominant.Display(), match)
+	}
+	return tw.Flush()
+}
+
+// Figure3Point is one snapshot in the 2-D principal-component space.
+type Figure3Point struct {
+	PC1, PC2 float64
+	Class    appclass.Class
+}
+
+// Figure3Diagram is one panel of Figure 3.
+type Figure3Diagram struct {
+	Title  string
+	Points []Figure3Point
+}
+
+// Figure3 produces the four clustering diagrams: (a) the training data,
+// (b) SimpleScalar, (c) Autobench, (d) VMD.
+func Figure3(svc *core.Service, seed int64) ([]Figure3Diagram, error) {
+	var diagrams []Figure3Diagram
+
+	pts, labels := svc.Classifier().TrainingPoints()
+	train := Figure3Diagram{Title: "(a) Training data"}
+	for i := 0; i < pts.Rows(); i++ {
+		train.Points = append(train.Points, Figure3Point{
+			PC1: pts.At(i, 0), PC2: pts.At(i, 1), Class: labels[i],
+		})
+	}
+	diagrams = append(diagrams, train)
+
+	for _, panel := range []struct {
+		title string
+		app   string
+	}{
+		{"(b) SimpleScalar", "SimpleScalar"},
+		{"(c) Autobench", "Autobench"},
+		{"(d) VMD", "VMD"},
+	} {
+		e, err := workload.Find(panel.app)
+		if err != nil {
+			return nil, err
+		}
+		res, err := testbed.ProfileEntry(e, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 3 %s: %w", panel.app, err)
+		}
+		out, err := svc.Classifier().ClassifyTrace(res.Trace)
+		if err != nil {
+			return nil, err
+		}
+		d := Figure3Diagram{Title: panel.title}
+		for i := 0; i < out.Points.Rows(); i++ {
+			d.Points = append(d.Points, Figure3Point{
+				PC1: out.Points.At(i, 0), PC2: out.Points.At(i, 1), Class: out.Snapshots[i],
+			})
+		}
+		diagrams = append(diagrams, d)
+	}
+	return diagrams, nil
+}
+
+// RenderFigure3 summarizes each diagram as per-class centroids and
+// counts (a text stand-in for the scatter plots).
+func RenderFigure3(w io.Writer, diagrams []Figure3Diagram) error {
+	for _, d := range diagrams {
+		fmt.Fprintf(w, "%s (%d snapshots)\n", d.Title, len(d.Points))
+		type agg struct {
+			n        int
+			pc1, pc2 float64
+		}
+		byClass := map[appclass.Class]*agg{}
+		for _, p := range d.Points {
+			a := byClass[p.Class]
+			if a == nil {
+				a = &agg{}
+				byClass[p.Class] = a
+			}
+			a.n++
+			a.pc1 += p.PC1
+			a.pc2 += p.PC2
+		}
+		tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  Class\tSnapshots\tCentroid PC1\tCentroid PC2")
+		for _, c := range appclass.All() {
+			a := byClass[c]
+			if a == nil {
+				continue
+			}
+			fmt.Fprintf(tw, "  %s\t%d\t%.2f\t%.2f\n",
+				c.Display(), a.n, a.pc1/float64(a.n), a.pc2/float64(a.n))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure3CSV dumps one diagram's raw points for external plotting.
+func WriteFigure3CSV(w io.Writer, d Figure3Diagram) error {
+	if _, err := fmt.Fprintln(w, "pc1,pc2,class"); err != nil {
+		return err
+	}
+	for _, p := range d.Points {
+		if _, err := fmt.Fprintf(w, "%g,%g,%s\n", p.PC1, p.PC2, p.Class); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/appclass"
+	"repro/internal/sched"
+)
+
+func TestTable2HasAllApplications(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 19 {
+		t.Fatalf("Table 2 has %d rows, want 19 (5 training + 14 testing)", len(rows))
+	}
+	var training int
+	for _, r := range rows {
+		if r.Training {
+			training++
+		}
+		if r.Name == "" || r.Description == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	if training != 5 {
+		t.Errorf("training rows = %d, want 5", training)
+	}
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PostMark") {
+		t.Error("rendered Table 2 missing PostMark")
+	}
+}
+
+func TestTable3ReproducesDominantClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	svc, err := NewTrainedService(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Table3(svc, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("Table 3 has %d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if r.Class != r.PaperDominant {
+			t.Errorf("%s: dominant class %s, paper %s (composition %v)",
+				r.App, r.Class, r.PaperDominant, r.Composition)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SPECseis96_B") {
+		t.Error("rendered Table 3 missing SPECseis96_B")
+	}
+	// The database recorded every run.
+	if svc.DB().Len() != 14 {
+		t.Errorf("application DB has %d records, want 14", svc.DB().Len())
+	}
+}
+
+func TestFigure3DiagramsSeparateTrainingClusters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	svc, err := NewTrainedService(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diagrams, err := Figure3(svc, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diagrams) != 4 {
+		t.Fatalf("got %d diagrams, want 4", len(diagrams))
+	}
+	// (a) must contain all five training classes.
+	seen := map[appclass.Class]bool{}
+	for _, p := range diagrams[0].Points {
+		seen[p.Class] = true
+	}
+	for _, c := range appclass.All() {
+		if !seen[c] {
+			t.Errorf("training diagram missing class %s", c)
+		}
+	}
+	// Centroids of distinct classes must be separated in the 2-D space.
+	centroid := func(d Figure3Diagram, c appclass.Class) (x, y float64, n int) {
+		for _, p := range d.Points {
+			if p.Class == c {
+				x += p.PC1
+				y += p.PC2
+				n++
+			}
+		}
+		if n > 0 {
+			x /= float64(n)
+			y /= float64(n)
+		}
+		return
+	}
+	classes := appclass.All()
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			x1, y1, n1 := centroid(diagrams[0], classes[i])
+			x2, y2, n2 := centroid(diagrams[0], classes[j])
+			if n1 == 0 || n2 == 0 {
+				continue
+			}
+			dx, dy := x1-x2, y1-y2
+			if dx*dx+dy*dy < 0.3*0.3 {
+				t.Errorf("classes %s and %s overlap in PCA space: (%.2f,%.2f) vs (%.2f,%.2f)",
+					classes[i], classes[j], x1, y1, x2, y2)
+			}
+		}
+	}
+	// (b) SimpleScalar is CPU; (c) Autobench is network.
+	for _, check := range []struct {
+		idx  int
+		want appclass.Class
+	}{{1, appclass.CPU}, {2, appclass.Net}} {
+		counts := map[appclass.Class]int{}
+		for _, p := range diagrams[check.idx].Points {
+			counts[p.Class]++
+		}
+		best, bestN := appclass.Class(""), -1
+		for c, n := range counts {
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		if best != check.want {
+			t.Errorf("diagram %s dominated by %s, want %s", diagrams[check.idx].Title, best, check.want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure3(&buf, diagrams); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Training data") {
+		t.Error("rendered Figure 3 missing titles")
+	}
+	var csv bytes.Buffer
+	if err := WriteFigure3CSV(&csv, diagrams[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "pc1,pc2,class\n") {
+		t.Error("Figure 3 CSV header missing")
+	}
+}
+
+func TestFigure4And5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	f4, err := Figure4(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Results) != 10 {
+		t.Fatalf("Figure 4 has %d schedules", len(f4.Results))
+	}
+	if f4.SPN == nil || f4.MarginOverAverage <= 0 {
+		t.Errorf("SPN margin = %v, want positive", f4.MarginOverAverage)
+	}
+	if best := sched.Best(f4.Results); best.Schedule != sched.SPN() {
+		t.Errorf("best schedule = %s, want SPN", best.Schedule)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure4(&buf, f4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "class-aware choice") {
+		t.Error("rendered Figure 4 missing the class-aware marker")
+	}
+
+	f5, err := Figure5(f4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sched.Kinds() {
+		if f5.Stats[k].SPN < f5.Stats[k].Avg {
+			t.Errorf("%c SPN below average", k)
+		}
+	}
+	buf.Reset()
+	if err := RenderFigure5(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NetPIPE") {
+		t.Error("rendered Figure 5 missing NetPIPE row")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r, err := Table4(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ConcurrentMakespan >= r.SequentialTotal {
+		t.Errorf("concurrent %v not faster than sequential %v", r.ConcurrentMakespan, r.SequentialTotal)
+	}
+	var buf bytes.Buffer
+	if err := RenderTable4(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Concurrent") {
+		t.Error("rendered Table 4 incomplete")
+	}
+}
+
+func TestClassificationCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	r, err := ClassificationCost(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples != 8000 {
+		t.Errorf("cost pool = %d samples, want the paper's 8000", r.Samples)
+	}
+	if r.UnitCostPerSample <= 0 {
+		t.Errorf("unit cost = %v", r.UnitCostPerSample)
+	}
+	var buf bytes.Buffer
+	if err := RenderCost(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unit cost") {
+		t.Error("rendered cost report incomplete")
+	}
+}
+
+func TestOnlineScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	r, err := OnlineScheduling(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ClassAware >= r.Random {
+		t.Errorf("class-aware turnaround %v not below random %v", r.ClassAware, r.Random)
+	}
+	if r.Improvement <= 0 {
+		t.Errorf("improvement = %v", r.Improvement)
+	}
+	var buf bytes.Buffer
+	if err := RenderOnline(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "class-aware") {
+		t.Error("rendered online report incomplete")
+	}
+}
+
+func TestLearningWaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	r, err := LearningWaves(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Improvement <= 0 {
+		t.Errorf("learning improvement = %v, want positive (wave1 %v, wave2 %v)",
+			r.Improvement, r.Wave1, r.Wave2)
+	}
+	want := map[string]appclass.Class{
+		"seis": appclass.CPU, "postmark": appclass.IO, "netpipe": appclass.Net,
+	}
+	for typ, c := range want {
+		if r.LearnedClasses[typ] != c {
+			t.Errorf("learned class of %s = %s, want %s", typ, r.LearnedClasses[typ], c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderLearning(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "learning improved") {
+		t.Error("rendered learning report incomplete")
+	}
+}
+
+func TestRenderFigure3Scatter(t *testing.T) {
+	d := Figure3Diagram{
+		Title: "test",
+		Points: []Figure3Point{
+			{PC1: -1, PC2: -1, Class: appclass.Idle},
+			{PC1: 1, PC2: 1, Class: appclass.Net},
+			{PC1: 0, PC2: 0, Class: appclass.CPU},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure3Scatter(&buf, d, 20, 10); err != nil {
+		t.Fatalf("RenderFigure3Scatter: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"legend:", "x=Network", "+", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	if err := RenderFigure3Scatter(&buf, d, 2, 2); err == nil {
+		t.Error("tiny canvas: want error")
+	}
+	if err := RenderFigure3Scatter(&buf, Figure3Diagram{Title: "empty"}, 20, 10); err == nil {
+		t.Error("empty diagram: want error")
+	}
+	// Degenerate extent (single point) must still render.
+	one := Figure3Diagram{Title: "one", Points: []Figure3Point{{PC1: 2, PC2: 2, Class: appclass.IO}}}
+	if err := RenderFigure3Scatter(&buf, one, 20, 10); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}

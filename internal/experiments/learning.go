@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+// LearningResult is the learning-over-historical-runs experiment: the
+// paper's abstract run as a service. A first wave of applications
+// arrives with no history and is placed blind while the live monitoring
+// stack profiles them; a second wave of the same applications is placed
+// with the classes learned from the first.
+type LearningResult struct {
+	// Wave1 is the blind wave's mean turnaround.
+	Wave1 time.Duration
+	// Wave2 is the learned wave's mean turnaround.
+	Wave2 time.Duration
+	// Improvement is the relative turnaround reduction from learning.
+	Improvement float64
+	// LearnedClasses maps each application type to its learned class.
+	LearnedClasses map[string]appclass.Class
+}
+
+// learningTypes are the application types of the experiment stream.
+var learningTypes = []string{"seis", "postmark", "netpipe"}
+
+func buildLearningJob(typ string, instance int) (vmm.Job, error) {
+	name := fmt.Sprintf("%s-%d", typ, instance)
+	seed := int64(instance)
+	switch typ {
+	case "seis":
+		return workload.NewSPECseis(workload.SPECseisSmall, workload.Config{Name: name, Seed: seed})
+	case "postmark":
+		return workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Name: name, Seed: seed})
+	case "netpipe":
+		return workload.NewNetPIPE(0, workload.Config{Name: name, Seed: seed})
+	default:
+		return nil, fmt.Errorf("experiments: unknown learning type %q", typ)
+	}
+}
+
+// LearningWaves runs the two-wave experiment.
+func LearningWaves(seed int64) (*LearningResult, error) {
+	svc, err := core.NewService(core.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cluster := vmm.NewCluster()
+	var hosts []*vmm.Host
+	for i := 0; i < 3; i++ {
+		h := vmm.NewHost(vmm.HostConfig{
+			Name: fmt.Sprintf("host%d", i),
+			CPUs: 1.2, NetInKBps: 20000, NetOutKBps: 20000,
+		})
+		if err := cluster.AddHost(h); err != nil {
+			return nil, err
+		}
+		hosts = append(hosts, h)
+	}
+	lm, err := manager.NewLearning(cluster, manager.Config{
+		Hosts: hosts, CapacityPerHost: 2, Policy: manager.ClassAwarePolicy{},
+	}, svc)
+	if err != nil {
+		return nil, err
+	}
+
+	runWave := func(wave int) (time.Duration, error) {
+		start := len(lm.Completed())
+		submitted := 0
+		for submitted < 6 {
+			typ := learningTypes[submitted%len(learningTypes)]
+			job, err := buildLearningJob(typ, wave*10+submitted)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := lm.SubmitTyped(job, typ); err == nil {
+				submitted++
+			}
+			if err := cluster.RunFor(time.Minute); err != nil {
+				return 0, err
+			}
+		}
+		for lm.Active() > 0 && cluster.Now() < 24*time.Hour {
+			if err := cluster.RunFor(time.Minute); err != nil {
+				return 0, err
+			}
+		}
+		if lm.Active() > 0 {
+			return 0, fmt.Errorf("experiments: wave %d jobs never finished", wave)
+		}
+		recs := lm.Completed()[start:]
+		var sum time.Duration
+		for _, r := range recs {
+			sum += r.Turnaround
+		}
+		return sum / time.Duration(len(recs)), nil
+	}
+
+	wave1, err := runWave(1)
+	if err != nil {
+		return nil, err
+	}
+	wave2, err := runWave(2)
+	if err != nil {
+		return nil, err
+	}
+	learned := make(map[string]appclass.Class, len(learningTypes))
+	for _, typ := range learningTypes {
+		c, ok := lm.KnownClass(typ)
+		if !ok {
+			return nil, fmt.Errorf("experiments: type %s never learned", typ)
+		}
+		learned[typ] = c
+	}
+	return &LearningResult{
+		Wave1:          wave1,
+		Wave2:          wave2,
+		Improvement:    1 - wave2.Seconds()/wave1.Seconds(),
+		LearnedClasses: learned,
+	}, nil
+}
+
+// RenderLearning writes the two-wave comparison.
+func RenderLearning(w io.Writer, r *LearningResult) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Wave\tClass knowledge\tMean turnaround")
+	fmt.Fprintf(tw, "1\tnone (profiled while running)\t%v\n", r.Wave1.Round(time.Second))
+	fmt.Fprintf(tw, "2\tlearned from wave 1\t%v\n", r.Wave2.Round(time.Second))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "learning improved mean turnaround by %.1f%% (paper's headline: 22.11%%)\n", 100*r.Improvement)
+	fmt.Fprint(w, "learned classes:")
+	for _, typ := range learningTypes {
+		fmt.Fprintf(w, " %s=%s", typ, r.LearnedClasses[typ])
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/appclass"
+)
+
+// classGlyphs assigns one plot character per class, mirroring the
+// paper's per-class markers.
+var classGlyphs = map[appclass.Class]byte{
+	appclass.Idle: '.',
+	appclass.IO:   'o',
+	appclass.CPU:  '+',
+	appclass.Net:  'x',
+	appclass.Mem:  '#',
+}
+
+// RenderFigure3Scatter draws one clustering diagram as an ASCII scatter
+// plot (the paper's Figure 3 panels are PC1/PC2 scatter plots). Cells
+// holding several classes show the most frequent one.
+func RenderFigure3Scatter(w io.Writer, d Figure3Diagram, width, height int) error {
+	if width < 16 || height < 8 {
+		return fmt.Errorf("experiments: scatter needs at least 16x8, got %dx%d", width, height)
+	}
+	if len(d.Points) == 0 {
+		return fmt.Errorf("experiments: diagram %q has no points", d.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range d.Points {
+		minX, maxX = math.Min(minX, p.PC1), math.Max(maxX, p.PC1)
+		minY, maxY = math.Min(minY, p.PC2), math.Max(maxY, p.PC2)
+	}
+	// Degenerate extents still render: give them a unit span.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	// counts[row][col][class] votes for the cell's glyph.
+	type cell map[appclass.Class]int
+	grid := make([][]cell, height)
+	for r := range grid {
+		grid[r] = make([]cell, width)
+	}
+	for _, p := range d.Points {
+		col := int(float64(width-1) * (p.PC1 - minX) / (maxX - minX))
+		row := int(float64(height-1) * (p.PC2 - minY) / (maxY - minY))
+		row = height - 1 - row // PC2 grows upward
+		if grid[row][col] == nil {
+			grid[row][col] = cell{}
+		}
+		grid[row][col][p.Class]++
+	}
+
+	fmt.Fprintf(w, "%s — PC1 in [%.2f, %.2f], PC2 in [%.2f, %.2f]\n",
+		d.Title, minX, maxX, minY, maxY)
+	for r := 0; r < height; r++ {
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			line[c] = ' '
+			if grid[r][c] == nil {
+				continue
+			}
+			var best appclass.Class
+			bestN := 0
+			for _, cl := range appclass.All() {
+				if n := grid[r][c][cl]; n > bestN {
+					best, bestN = cl, n
+				}
+			}
+			line[c] = classGlyphs[best]
+		}
+		fmt.Fprintf(w, "|%s|\n", line)
+	}
+	fmt.Fprint(w, "legend:")
+	for _, cl := range appclass.All() {
+		fmt.Fprintf(w, " %c=%s", classGlyphs[cl], cl.Display())
+	}
+	fmt.Fprintln(w)
+	return nil
+}

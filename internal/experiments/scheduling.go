@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/sched"
+)
+
+// Figure4Result is the full Figure 4 experiment: system throughput of
+// every schedule plus the class-oblivious baseline.
+type Figure4Result struct {
+	// Results holds one entry per schedule, in Enumerate order.
+	Results []*sched.Result
+	// WeightedAverage is the expected system throughput of a random
+	// class-oblivious scheduler.
+	WeightedAverage float64
+	// CPULoadOnly is the expected system throughput of a scheduler that
+	// knows only each job's CPU demand — the baseline the paper argues
+	// class knowledge improves on.
+	CPULoadOnly float64
+	// SPN is the class-aware schedule's result.
+	SPN *sched.Result
+	// MarginOverAverage is SPN's relative throughput gain over the
+	// weighted average (the paper measured +22.11%).
+	MarginOverAverage float64
+}
+
+// Figure4 runs all ten schedules.
+func Figure4(seed int64) (*Figure4Result, error) {
+	results, weighted, err := sched.RunAll(sched.Config{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 4: %w", err)
+	}
+	out := &Figure4Result{Results: results, WeightedAverage: weighted}
+	spn := sched.SPN()
+	for _, r := range results {
+		if r.Schedule == spn {
+			out.SPN = r
+		}
+	}
+	if out.SPN == nil {
+		return nil, fmt.Errorf("experiments: figure 4 results missing SPN")
+	}
+	out.MarginOverAverage = out.SPN.SystemThroughput/weighted - 1
+	cpuOnly, err := sched.CPULoadOnlyExpectation(results)
+	if err != nil {
+		return nil, err
+	}
+	out.CPULoadOnly = cpuOnly
+	return out, nil
+}
+
+// RenderFigure4 writes the schedule-throughput table.
+func RenderFigure4(w io.Writer, f *Figure4Result) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tSchedule\tSystem throughput (jobs/day)")
+	for i, r := range f.Results {
+		marker := ""
+		if r == f.SPN {
+			marker = "  <- class-aware choice"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.0f%s\n", i+1, r.Schedule, r.SystemThroughput, marker)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "weighted average (random scheduler):      %.0f jobs/day\n", f.WeightedAverage)
+	fmt.Fprintf(w, "CPU-load-only scheduler expectation:      %.0f jobs/day\n", f.CPULoadOnly)
+	fmt.Fprintf(w, "class-aware (SPN) margin over random:     %+.2f%% (paper: +22.11%%)\n", 100*f.MarginOverAverage)
+	fmt.Fprintf(w, "class-aware (SPN) margin over CPU-only:   %+.2f%%\n", 100*(f.SPN.SystemThroughput/f.CPULoadOnly-1))
+	return nil
+}
+
+// Figure5Result is the per-application throughput comparison.
+type Figure5Result struct {
+	Stats map[sched.Kind]sched.KindStats
+}
+
+// Figure5 derives the per-application series from Figure 4's runs.
+func Figure5(f *Figure4Result) (*Figure5Result, error) {
+	stats, err := sched.AppThroughputStats(f.Results)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 5: %w", err)
+	}
+	return &Figure5Result{Stats: stats}, nil
+}
+
+// RenderFigure5 writes the MIN/MAX/AVG/SPN table.
+func RenderFigure5(w io.Writer, f *Figure5Result) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tMIN\tAVG\tMAX\tSPN\tSPN vs AVG")
+	names := map[sched.Kind]string{
+		sched.KindS: "SPECseis96 (S)",
+		sched.KindP: "PostMark (P)",
+		sched.KindN: "NetPIPE (N)",
+	}
+	for _, k := range sched.Kinds() {
+		st := f.Stats[k]
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%+.2f%%\n",
+			names[k], st.Min, st.Avg, st.Max, st.SPN, 100*(st.SPN/st.Avg-1))
+	}
+	return tw.Flush()
+}
+
+// Table4 runs the concurrent-vs-sequential experiment.
+func Table4(seed int64) (*sched.Table4Result, error) {
+	res, err := sched.ConcurrentVsSequential(seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table 4: %w", err)
+	}
+	return res, nil
+}
+
+// RenderTable4 writes the Table 4 comparison.
+func RenderTable4(w io.Writer, r *sched.Table4Result) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Execution\tCH3D\tPostMark\tTime to finish both")
+	fmt.Fprintf(tw, "Concurrent\t%.0f s\t%.0f s\t%.0f s\n",
+		r.ConcurrentCH3D.Seconds(), r.ConcurrentPostMark.Seconds(), r.ConcurrentMakespan.Seconds())
+	fmt.Fprintf(tw, "Sequential\t%.0f s\t%.0f s\t%.0f s\n",
+		r.SequentialCH3D.Seconds(), r.SequentialPostMark.Seconds(), r.SequentialTotal.Seconds())
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "concurrent sharing finishes both %.1f%% sooner (paper: 613 s vs 752 s)\n", 100*r.Speedup())
+	return nil
+}

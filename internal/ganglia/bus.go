@@ -1,0 +1,100 @@
+// Package ganglia simulates the Ganglia distributed monitoring system
+// the paper's profiler is built on: per-node gmond agents announce their
+// metrics on a multicast channel using a listen/announce protocol, so
+// every listener on the subnet receives the performance data of all
+// nodes and must filter for the node it cares about — exactly the
+// situation the paper's "performance filter" exists to handle. A gmetad
+// aggregator maintains the latest state of the whole subnet and serves
+// it as an XML dump.
+package ganglia
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Announcement is one metric value multicast by a gmond agent.
+type Announcement struct {
+	// Node is the announcing node (the VM name / the paper's VMIP).
+	Node string
+	// Metric is the canonical metric name.
+	Metric string
+	// Value is the metric value.
+	Value float64
+	// At is the simulated announcement time.
+	At time.Duration
+}
+
+// Listener receives every announcement on the bus (multicast: no
+// per-node addressing).
+type Listener interface {
+	OnAnnounce(a Announcement)
+}
+
+// ListenerFunc adapts a function to the Listener interface.
+type ListenerFunc func(a Announcement)
+
+// OnAnnounce implements Listener.
+func (f ListenerFunc) OnAnnounce(a Announcement) { f(a) }
+
+// Bus is the multicast channel of the listen/announce protocol. Delivery
+// is synchronous and in subscription order, which keeps the simulation
+// deterministic; the multicast property the paper relies on — every
+// listener sees every node — is preserved. An optional loss model drops
+// announcements the way the real UDP multicast transport does.
+type Bus struct {
+	listeners []Listener
+	delivered int
+	dropped   int
+	lossRate  float64
+	lossRNG   *rand.Rand
+}
+
+// NewBus creates an empty, lossless bus.
+func NewBus() *Bus { return &Bus{} }
+
+// SetLoss enables the loss model: each announcement is independently
+// dropped with probability rate. Rate 0 disables loss.
+func (b *Bus) SetLoss(rate float64, seed int64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("ganglia: loss rate %v outside [0,1)", rate)
+	}
+	b.lossRate = rate
+	if rate > 0 {
+		b.lossRNG = rand.New(rand.NewSource(seed))
+	} else {
+		b.lossRNG = nil
+	}
+	return nil
+}
+
+// Subscribe registers a listener for all future announcements.
+func (b *Bus) Subscribe(l Listener) error {
+	if l == nil {
+		return fmt.Errorf("ganglia: cannot subscribe nil listener")
+	}
+	b.listeners = append(b.listeners, l)
+	return nil
+}
+
+// Announce multicasts a to every listener, subject to the loss model.
+func (b *Bus) Announce(a Announcement) {
+	if b.lossRNG != nil && b.lossRNG.Float64() < b.lossRate {
+		b.dropped++
+		return
+	}
+	b.delivered++
+	for _, l := range b.listeners {
+		l.OnAnnounce(a)
+	}
+}
+
+// Delivered returns the number of announcements multicast so far.
+func (b *Bus) Delivered() int { return b.delivered }
+
+// Dropped returns the number of announcements lost to the loss model.
+func (b *Bus) Dropped() int { return b.dropped }
+
+// Listeners returns the number of subscribed listeners.
+func (b *Bus) Listeners() int { return len(b.listeners) }

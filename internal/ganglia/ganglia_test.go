@@ -1,0 +1,226 @@
+package ganglia
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// fakeSource is a MetricSource with settable values.
+type fakeSource struct {
+	name   string
+	values map[string]float64
+}
+
+func (f *fakeSource) Name() string { return f.name }
+func (f *fakeSource) Sample() map[string]float64 {
+	out := make(map[string]float64, len(f.values))
+	for k, v := range f.values {
+		out[k] = v
+	}
+	return out
+}
+
+func TestBusMulticastsToAllListeners(t *testing.T) {
+	bus := NewBus()
+	var got1, got2 []Announcement
+	if err := bus.Subscribe(ListenerFunc(func(a Announcement) { got1 = append(got1, a) })); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Subscribe(ListenerFunc(func(a Announcement) { got2 = append(got2, a) })); err != nil {
+		t.Fatal(err)
+	}
+	bus.Announce(Announcement{Node: "vm1", Metric: "cpu_user", Value: 42})
+	if len(got1) != 1 || len(got2) != 1 {
+		t.Fatalf("listeners got %d/%d announcements, want 1/1", len(got1), len(got2))
+	}
+	if got1[0].Value != 42 || got2[0].Node != "vm1" {
+		t.Errorf("announcement content mismatch: %+v %+v", got1[0], got2[0])
+	}
+	if bus.Delivered() != 1 || bus.Listeners() != 2 {
+		t.Errorf("Delivered=%d Listeners=%d", bus.Delivered(), bus.Listeners())
+	}
+}
+
+func TestBusRejectsNilListener(t *testing.T) {
+	if err := NewBus().Subscribe(nil); err == nil {
+		t.Fatal("nil listener: want error")
+	}
+}
+
+func TestGmondAnnouncesAllMetricsPeriodically(t *testing.T) {
+	bus := NewBus()
+	src := &fakeSource{name: "vm1", values: map[string]float64{"b": 2, "a": 1, "c": 3}}
+	var got []Announcement
+	_ = bus.Subscribe(ListenerFunc(func(a Announcement) { got = append(got, a) }))
+	g, err := NewGmond(src, bus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := simtime.NewEventQueue(simtime.NewClock())
+	if err := g.Start(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RunUntil(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Default 5s interval: announcements at 5s and 10s, 3 metrics each.
+	if len(got) != 6 {
+		t.Fatalf("got %d announcements, want 6", len(got))
+	}
+	// Sorted metric order within a round.
+	if got[0].Metric != "a" || got[1].Metric != "b" || got[2].Metric != "c" {
+		t.Errorf("metric order = %v %v %v, want a b c", got[0].Metric, got[1].Metric, got[2].Metric)
+	}
+	if got[0].At != 5*time.Second || got[3].At != 10*time.Second {
+		t.Errorf("announce times = %v, %v", got[0].At, got[3].At)
+	}
+	if g.Sent() != 6 {
+		t.Errorf("Sent = %d, want 6", g.Sent())
+	}
+}
+
+func TestGmondStop(t *testing.T) {
+	bus := NewBus()
+	src := &fakeSource{name: "vm1", values: map[string]float64{"a": 1}}
+	g, err := NewGmond(src, bus, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := simtime.NewEventQueue(simtime.NewClock())
+	if err := g.Start(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if err := q.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.Sent() != 3 {
+		t.Errorf("Sent = %d after stop, want 3", g.Sent())
+	}
+}
+
+func TestGmondValidation(t *testing.T) {
+	bus := NewBus()
+	src := &fakeSource{name: "vm1", values: nil}
+	if _, err := NewGmond(nil, bus, 0); err == nil {
+		t.Error("nil source: want error")
+	}
+	if _, err := NewGmond(src, nil, 0); err == nil {
+		t.Error("nil bus: want error")
+	}
+	if _, err := NewGmond(src, bus, -time.Second); err == nil {
+		t.Error("negative interval: want error")
+	}
+	g, err := NewGmond(src, bus, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := simtime.NewEventQueue(simtime.NewClock())
+	if err := g.Start(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(q); err == nil {
+		t.Error("double start: want error")
+	}
+}
+
+func TestGmetadAggregatesLatest(t *testing.T) {
+	bus := NewBus()
+	gm, err := NewGmetad("acis", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Announce(Announcement{Node: "vm1", Metric: "cpu_user", Value: 10, At: time.Second})
+	bus.Announce(Announcement{Node: "vm1", Metric: "cpu_user", Value: 20, At: 2 * time.Second})
+	bus.Announce(Announcement{Node: "vm2", Metric: "cpu_user", Value: 5, At: 2 * time.Second})
+	v, at, err := gm.Latest("vm1", "cpu_user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20 || at != 2*time.Second {
+		t.Errorf("Latest = (%v,%v), want (20,2s)", v, at)
+	}
+	if nodes := gm.Nodes(); len(nodes) != 2 || nodes[0] != "vm1" {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if _, _, err := gm.Latest("vmX", "cpu_user"); err == nil {
+		t.Error("unknown node: want error")
+	}
+	if _, _, err := gm.Latest("vm1", "nope"); err == nil {
+		t.Error("unknown metric: want error")
+	}
+}
+
+func TestGmetadXMLRoundTrip(t *testing.T) {
+	bus := NewBus()
+	gm, err := NewGmetad("acis", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Announce(Announcement{Node: "vm1", Metric: "cpu_user", Value: 33.5, At: 5 * time.Second})
+	bus.Announce(Announcement{Node: "vm1", Metric: "bytes_in", Value: 1e6, At: 5 * time.Second})
+	bus.Announce(Announcement{Node: "vm2", Metric: "cpu_user", Value: 1.5, At: 10 * time.Second})
+
+	var buf bytes.Buffer
+	if err := gm.WriteXML(&buf, 15*time.Second); err != nil {
+		t.Fatalf("WriteXML: %v", err)
+	}
+	xml := buf.String()
+	if !strings.Contains(xml, `CLUSTER`) || !strings.Contains(xml, `NAME="vm1"`) {
+		t.Errorf("XML missing expected structure:\n%s", xml)
+	}
+	parsed, err := ParseXML(&buf)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	if parsed["vm1"]["cpu_user"] != 33.5 || parsed["vm2"]["cpu_user"] != 1.5 {
+		t.Errorf("parsed = %v", parsed)
+	}
+}
+
+func TestParseXMLRejectsGarbage(t *testing.T) {
+	if _, err := ParseXML(strings.NewReader("not xml at all")); err == nil {
+		t.Fatal("garbage input: want error")
+	}
+}
+
+func TestGmetadFailureDetection(t *testing.T) {
+	bus := NewBus()
+	gm, err := NewGmetad("acis", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Announce(Announcement{Node: "vm1", Metric: "heartbeat", Value: 1, At: 5 * time.Second})
+	bus.Announce(Announcement{Node: "vm2", Metric: "heartbeat", Value: 1, At: 90 * time.Second})
+
+	last, err := gm.LastSeen("vm1")
+	if err != nil || last != 5*time.Second {
+		t.Errorf("LastSeen(vm1) = (%v, %v)", last, err)
+	}
+	if _, err := gm.LastSeen("ghost"); err == nil {
+		t.Error("LastSeen(ghost): want error")
+	}
+
+	// At t=100s with a 30s TTL, vm1 (last seen 5s) is dead, vm2 alive.
+	alive, dead := gm.AliveNodes(100*time.Second, 30*time.Second)
+	if len(alive) != 1 || alive[0] != "vm2" {
+		t.Errorf("alive = %v", alive)
+	}
+	if len(dead) != 1 || dead[0] != "vm1" {
+		t.Errorf("dead = %v", dead)
+	}
+
+	// A fresh announcement resurrects the node.
+	bus.Announce(Announcement{Node: "vm1", Metric: "heartbeat", Value: 2, At: 95 * time.Second})
+	alive, dead = gm.AliveNodes(100*time.Second, 30*time.Second)
+	if len(alive) != 2 || len(dead) != 0 {
+		t.Errorf("after resurrection: alive=%v dead=%v", alive, dead)
+	}
+}

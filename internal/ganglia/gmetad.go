@@ -1,0 +1,164 @@
+package ganglia
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Gmetad aggregates the latest announcement of every (node, metric) pair
+// seen on the bus, like the Ganglia meta-daemon polling its data
+// sources. It can serve the cluster state as an XML document in a
+// gmond-like wire format.
+type Gmetad struct {
+	cluster string
+	state   map[string]map[string]Announcement // node -> metric -> latest
+}
+
+// NewGmetad creates an aggregator for the named cluster and subscribes
+// it to the bus.
+func NewGmetad(cluster string, bus *Bus) (*Gmetad, error) {
+	g := &Gmetad{
+		cluster: cluster,
+		state:   make(map[string]map[string]Announcement),
+	}
+	if err := bus.Subscribe(ListenerFunc(g.onAnnounce)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *Gmetad) onAnnounce(a Announcement) {
+	node, ok := g.state[a.Node]
+	if !ok {
+		node = make(map[string]Announcement)
+		g.state[a.Node] = node
+	}
+	node[a.Metric] = a
+}
+
+// Nodes returns the names of all nodes seen, sorted.
+func (g *Gmetad) Nodes() []string {
+	out := make([]string, 0, len(g.state))
+	for n := range g.state {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LastSeen returns the time of the newest announcement from a node.
+func (g *Gmetad) LastSeen(node string) (time.Duration, error) {
+	n, ok := g.state[node]
+	if !ok {
+		return 0, fmt.Errorf("ganglia: gmetad has no node %q", node)
+	}
+	var newest time.Duration
+	for _, a := range n {
+		if a.At > newest {
+			newest = a.At
+		}
+	}
+	return newest, nil
+}
+
+// AliveNodes partitions the known nodes into alive and dead: a node is
+// dead when its newest announcement is older than ttl at time now (the
+// gmond heartbeat-staleness rule).
+func (g *Gmetad) AliveNodes(now, ttl time.Duration) (alive, dead []string) {
+	for _, node := range g.Nodes() {
+		last, err := g.LastSeen(node)
+		if err != nil {
+			continue
+		}
+		if now-last > ttl {
+			dead = append(dead, node)
+		} else {
+			alive = append(alive, node)
+		}
+	}
+	return alive, dead
+}
+
+// Latest returns the most recent value of a node's metric.
+func (g *Gmetad) Latest(node, metric string) (float64, time.Duration, error) {
+	n, ok := g.state[node]
+	if !ok {
+		return 0, 0, fmt.Errorf("ganglia: gmetad has no node %q", node)
+	}
+	a, ok := n[metric]
+	if !ok {
+		return 0, 0, fmt.Errorf("ganglia: gmetad has no metric %q for node %q", metric, node)
+	}
+	return a.Value, a.At, nil
+}
+
+// XML wire format, a simplified version of the gmond cluster dump.
+
+type xmlMetric struct {
+	XMLName xml.Name `xml:"METRIC"`
+	Name    string   `xml:"NAME,attr"`
+	Val     float64  `xml:"VAL,attr"`
+	TN      float64  `xml:"TN,attr"` // seconds since the value was reported
+}
+
+type xmlHost struct {
+	XMLName xml.Name    `xml:"HOST"`
+	Name    string      `xml:"NAME,attr"`
+	Metrics []xmlMetric `xml:"METRIC"`
+}
+
+type xmlCluster struct {
+	XMLName xml.Name  `xml:"CLUSTER"`
+	Name    string    `xml:"NAME,attr"`
+	Hosts   []xmlHost `xml:"HOST"`
+}
+
+// WriteXML dumps the aggregated cluster state as XML. now anchors the
+// TN (time since report) attributes.
+func (g *Gmetad) WriteXML(w io.Writer, now time.Duration) error {
+	doc := xmlCluster{Name: g.cluster}
+	for _, node := range g.Nodes() {
+		h := xmlHost{Name: node}
+		names := make([]string, 0, len(g.state[node]))
+		for m := range g.state[node] {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			a := g.state[node][m]
+			h.Metrics = append(h.Metrics, xmlMetric{
+				Name: m,
+				Val:  a.Value,
+				TN:   (now - a.At).Seconds(),
+			})
+		}
+		doc.Hosts = append(doc.Hosts, h)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("ganglia: encode cluster XML: %w", err)
+	}
+	return nil
+}
+
+// ParseXML reads a cluster dump produced by WriteXML, returning
+// node -> metric -> value.
+func ParseXML(r io.Reader) (map[string]map[string]float64, error) {
+	var doc xmlCluster
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ganglia: decode cluster XML: %w", err)
+	}
+	out := make(map[string]map[string]float64, len(doc.Hosts))
+	for _, h := range doc.Hosts {
+		m := make(map[string]float64, len(h.Metrics))
+		for _, metric := range h.Metrics {
+			m[metric.Name] = metric.Val
+		}
+		out[h.Name] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package ganglia
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// MetricSource supplies a node's current metric values. The VM simulator
+// implements it; the paper's real system read /proc and vmstat.
+type MetricSource interface {
+	// Name identifies the node.
+	Name() string
+	// Sample returns the current value of every monitored metric.
+	Sample() map[string]float64
+}
+
+// Gmond is a per-node monitoring agent. At every announce interval it
+// samples its node and multicasts one announcement per metric, just as
+// gmond periodically announces its metric list. The paper extended
+// gmond's default metric list with four vmstat metrics; here the metric
+// list is whatever the source reports.
+type Gmond struct {
+	source   MetricSource
+	bus      *Bus
+	interval time.Duration
+	stop     func()
+	sent     int
+}
+
+// DefaultAnnounceInterval matches the paper's 5-second sampling period.
+const DefaultAnnounceInterval = 5 * time.Second
+
+// NewGmond creates an agent for source announcing on bus every interval
+// (DefaultAnnounceInterval when zero).
+func NewGmond(source MetricSource, bus *Bus, interval time.Duration) (*Gmond, error) {
+	if source == nil || bus == nil {
+		return nil, fmt.Errorf("ganglia: gmond needs a source and a bus")
+	}
+	if interval < 0 {
+		return nil, fmt.Errorf("ganglia: negative announce interval %v", interval)
+	}
+	if interval == 0 {
+		interval = DefaultAnnounceInterval
+	}
+	return &Gmond{source: source, bus: bus, interval: interval}, nil
+}
+
+// Start schedules the agent's periodic announcements on q.
+func (g *Gmond) Start(q *simtime.EventQueue) error {
+	if g.stop != nil {
+		return fmt.Errorf("ganglia: gmond for %q already started", g.source.Name())
+	}
+	stop, err := q.Every(g.interval, g.announce)
+	if err != nil {
+		return fmt.Errorf("ganglia: start gmond for %q: %w", g.source.Name(), err)
+	}
+	g.stop = stop
+	return nil
+}
+
+// Stop cancels future announcements.
+func (g *Gmond) Stop() {
+	if g.stop != nil {
+		g.stop()
+		g.stop = nil
+	}
+}
+
+// Sent returns the number of announcements this agent has multicast.
+func (g *Gmond) Sent() int { return g.sent }
+
+// announce samples the node and multicasts every metric. Metrics are
+// announced in sorted name order for determinism.
+func (g *Gmond) announce(now time.Duration) {
+	sample := g.source.Sample()
+	names := make([]string, 0, len(sample))
+	for name := range sample {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g.bus.Announce(Announcement{
+			Node:   g.source.Name(),
+			Metric: name,
+			Value:  sample[name],
+			At:     now,
+		})
+		g.sent++
+	}
+}

@@ -1,0 +1,47 @@
+package ganglia
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler serves the aggregator's cluster state the way a real gmetad
+// answers its interactive port: an XML dump of every host's latest
+// metrics. The clock function supplies the current simulated time for
+// the TN (seconds since reported) attributes.
+func (g *Gmetad) Handler(clock func() time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "gmetad: only GET is supported", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		if err := g.WriteXML(w, clock()); err != nil {
+			// Headers are already gone; all we can do is report.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// FetchClusterState retrieves and parses a gmetad XML dump from url
+// using the given HTTP client (nil for http.DefaultClient), returning
+// node -> metric -> value.
+func FetchClusterState(client *http.Client, url string) (map[string]map[string]float64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("ganglia: fetch cluster state: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ganglia: gmetad returned %s", resp.Status)
+	}
+	state, err := ParseXML(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return state, nil
+}

@@ -1,0 +1,68 @@
+package ganglia
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newServedGmetad(t *testing.T) (*Gmetad, *httptest.Server) {
+	t.Helper()
+	bus := NewBus()
+	gm, err := NewGmetad("acis", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Announce(Announcement{Node: "vm1", Metric: "cpu_user", Value: 42.5, At: 5 * time.Second})
+	bus.Announce(Announcement{Node: "vm2", Metric: "cpu_user", Value: 7, At: 10 * time.Second})
+	srv := httptest.NewServer(gm.Handler(func() time.Duration { return 15 * time.Second }))
+	t.Cleanup(srv.Close)
+	return gm, srv
+}
+
+func TestGmetadHTTPServesClusterState(t *testing.T) {
+	_, srv := newServedGmetad(t)
+	state, err := FetchClusterState(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatalf("FetchClusterState: %v", err)
+	}
+	if state["vm1"]["cpu_user"] != 42.5 {
+		t.Errorf("vm1 cpu_user = %v", state["vm1"]["cpu_user"])
+	}
+	if state["vm2"]["cpu_user"] != 7 {
+		t.Errorf("vm2 cpu_user = %v", state["vm2"]["cpu_user"])
+	}
+}
+
+func TestGmetadHTTPRejectsPost(t *testing.T) {
+	_, srv := newServedGmetad(t)
+	resp, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestFetchClusterStateErrors(t *testing.T) {
+	if _, err := FetchClusterState(nil, "http://127.0.0.1:1/nothing-here"); err == nil {
+		t.Error("unreachable server: want error")
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := FetchClusterState(bad.Client(), bad.URL); err == nil {
+		t.Error("500 response: want error")
+	}
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not xml"))
+	}))
+	defer garbage.Close()
+	if _, err := FetchClusterState(garbage.Client(), garbage.URL); err == nil {
+		t.Error("garbage body: want error")
+	}
+}

@@ -1,0 +1,65 @@
+package ganglia
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ReplaySource adapts a recorded trace to the MetricSource interface, so
+// traces captured earlier (or on real machines) can be fed through the
+// live monitoring pipeline: a gmond agent samples the replay one
+// snapshot per announce interval.
+type ReplaySource struct {
+	mu    sync.Mutex
+	trace *metrics.Trace
+	next  int
+	loop  bool
+}
+
+// NewReplaySource wraps a non-empty trace. When loop is true the replay
+// wraps around at the end; otherwise the final snapshot repeats (a
+// finished machine keeps reporting its last state).
+func NewReplaySource(trace *metrics.Trace, loop bool) (*ReplaySource, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("ganglia: replay needs a non-empty trace")
+	}
+	return &ReplaySource{trace: trace, loop: loop}, nil
+}
+
+// Name implements MetricSource.
+func (r *ReplaySource) Name() string { return r.trace.Node() }
+
+// Position returns the index of the next snapshot to be replayed.
+func (r *ReplaySource) Position() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Sample implements MetricSource: each call serves the next snapshot.
+func (r *ReplaySource) Sample() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.next
+	if idx >= r.trace.Len() {
+		if r.loop {
+			idx = 0
+			r.next = 0
+		} else {
+			idx = r.trace.Len() - 1
+		}
+	}
+	snap := r.trace.At(idx)
+	out := make(map[string]float64, r.trace.Schema().Len())
+	for i, name := range r.trace.Schema().Names() {
+		out[name] = snap.Values[i]
+	}
+	if r.next < r.trace.Len() || r.loop {
+		r.next++
+	}
+	return out
+}
+
+var _ MetricSource = (*ReplaySource)(nil)

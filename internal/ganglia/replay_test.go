@@ -1,0 +1,114 @@
+package ganglia
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+func replayTrace(t *testing.T, n int) *metrics.Trace {
+	t.Helper()
+	schema, err := metrics.NewSchema([]string{"m1", "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := metrics.NewTrace(schema, "replayed-vm")
+	for i := 0; i < n; i++ {
+		err := tr.Append(metrics.Snapshot{
+			Time: time.Duration(i*5) * time.Second, Node: "replayed-vm",
+			Values: []float64{float64(i), float64(i * 2)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestReplaySourceServesSnapshotsInOrder(t *testing.T) {
+	src, err := NewReplaySource(replayTrace(t, 3), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "replayed-vm" {
+		t.Errorf("Name = %q", src.Name())
+	}
+	for i := 0; i < 3; i++ {
+		s := src.Sample()
+		if s["m1"] != float64(i) || s["m2"] != float64(i*2) {
+			t.Errorf("sample %d = %v", i, s)
+		}
+	}
+	// Past the end (no loop): the last snapshot repeats.
+	for i := 0; i < 2; i++ {
+		if s := src.Sample(); s["m1"] != 2 {
+			t.Errorf("post-end sample = %v, want last snapshot", s)
+		}
+	}
+}
+
+func TestReplaySourceLoops(t *testing.T) {
+	src, err := NewReplaySource(replayTrace(t, 2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{
+		src.Sample()["m1"], src.Sample()["m1"],
+		src.Sample()["m1"], src.Sample()["m1"],
+	}
+	want := []float64{0, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("looped samples = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplaySourceValidation(t *testing.T) {
+	if _, err := NewReplaySource(nil, false); err == nil {
+		t.Error("nil trace: want error")
+	}
+	schema, _ := metrics.NewSchema([]string{"a"})
+	if _, err := NewReplaySource(metrics.NewTrace(schema, "x"), false); err == nil {
+		t.Error("empty trace: want error")
+	}
+}
+
+// TestReplayThroughLivePipeline: a recorded trace replayed through gmond
+// and the bus reaches a gmetad aggregator with the right values.
+func TestReplayThroughLivePipeline(t *testing.T) {
+	src, err := NewReplaySource(replayTrace(t, 5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewBus()
+	gm, err := NewGmetad("replay", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewGmond(src, bus, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := simtime.NewEventQueue(simtime.NewClock())
+	if err := agent.Start(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RunUntil(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Three announce rounds -> the replay served snapshots 0,1,2; the
+	// aggregator holds the latest.
+	v, at, err := gm.Latest("replayed-vm", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || at != 15*time.Second {
+		t.Errorf("latest = (%v, %v), want (2, 15s)", v, at)
+	}
+	if src.Position() != 3 {
+		t.Errorf("replay position = %d, want 3", src.Position())
+	}
+}

@@ -1,0 +1,235 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// GridIndex accelerates nearest-neighbour queries over two-dimensional
+// feature spaces (the classifier's PCA output is 2-D) by bucketing
+// training points into a uniform grid and searching outward in rings.
+// Results are exactly the brute-force neighbours; the index only changes
+// the search order.
+type GridIndex struct {
+	cell       float64
+	minX, minY float64
+	maxX, maxY float64
+	buckets    map[[2]int][]int
+	points     []linalg.Vector
+	labels     []string
+}
+
+// NewGridIndex builds an index over 2-D points. The cell size is chosen
+// so the average bucket holds targetPerCell points (default 8 when <= 0).
+func NewGridIndex(points []linalg.Vector, labels []string, targetPerCell int) (*GridIndex, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("knn: grid index needs points")
+	}
+	if len(points) != len(labels) {
+		return nil, fmt.Errorf("knn: %d points but %d labels", len(points), len(labels))
+	}
+	if targetPerCell <= 0 {
+		targetPerCell = 8
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i, p := range points {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("knn: grid index requires 2-D points, point %d has %d dims", i, len(p))
+		}
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	area := spanX * spanY
+	var cell float64
+	switch {
+	case area > 0:
+		cell = math.Sqrt(area * float64(targetPerCell) / float64(len(points)))
+	case spanX > 0:
+		cell = spanX * float64(targetPerCell) / float64(len(points))
+	case spanY > 0:
+		cell = spanY * float64(targetPerCell) / float64(len(points))
+	default:
+		cell = 1 // all points identical
+	}
+	// Bound the grid to at most ~256 cells per axis so elongated data
+	// cannot produce degenerate, ring-search-hostile geometries.
+	if bound := math.Max(spanX, spanY) / 256; cell < bound {
+		cell = bound
+	}
+	g := &GridIndex{
+		cell: cell, minX: minX, minY: minY, maxX: maxX, maxY: maxY,
+		buckets: make(map[[2]int][]int),
+		labels:  append([]string(nil), labels...),
+	}
+	g.points = make([]linalg.Vector, len(points))
+	for i, p := range points {
+		g.points[i] = p.Clone()
+		key := g.cellOf(p[0], p[1])
+		g.buckets[key] = append(g.buckets[key], i)
+	}
+	return g, nil
+}
+
+func (g *GridIndex) cellOf(x, y float64) [2]int {
+	return [2]int{int(math.Floor((x - g.minX) / g.cell)), int(math.Floor((y - g.minY) / g.cell))}
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.points) }
+
+// Neighbors returns the k nearest indexed points to x, closest first,
+// identical to the brute-force result (ties broken by insertion order).
+func (g *GridIndex) Neighbors(x linalg.Vector, k int) ([]Neighbor, error) {
+	if len(x) != 2 {
+		return nil, fmt.Errorf("knn: grid query must be 2-D, got %d dims", len(x))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: k must be positive, got %d", k)
+	}
+	if k > len(g.points) {
+		k = len(g.points)
+	}
+	center := g.cellOf(x[0], x[1])
+	var cand []Neighbor
+	// Expand square rings until the k-th best distance is guaranteed:
+	// any point in a cell at Chebyshev ring distance > r is at least
+	// r*cell away from the query. Rings nearer than the data's bounding
+	// box are empty and are skipped outright (a query far outside the
+	// grid would otherwise march millions of empty rings); the last ring
+	// that can contain data is the Chebyshev distance from the query
+	// cell to the far corner of the box.
+	maxCorner := g.cellOf(g.maxX, g.maxY)
+	firstRing := maxInt(
+		0,
+		-center[0], center[0]-maxCorner[0],
+		-center[1], center[1]-maxCorner[1],
+	)
+	maxRing := maxInt(
+		absInt(center[0]), absInt(center[0]-maxCorner[0]),
+		absInt(center[1]), absInt(center[1]-maxCorner[1]),
+	) + 1
+	for r := firstRing; r <= maxRing; r++ {
+		g.scanRing(center, r, x, &cand)
+		if len(cand) == len(g.points) {
+			break // everything collected; no farther ring can help
+		}
+		if len(cand) >= k {
+			sort.SliceStable(cand, func(i, j int) bool {
+				if cand[i].Distance != cand[j].Distance {
+					return cand[i].Distance < cand[j].Distance
+				}
+				return cand[i].Index < cand[j].Index
+			})
+			if cand[k-1].Distance <= float64(r)*g.cell {
+				return cand[:k], nil
+			}
+		}
+		if len(cand) == len(g.points) {
+			break
+		}
+	}
+	sort.SliceStable(cand, func(i, j int) bool {
+		if cand[i].Distance != cand[j].Distance {
+			return cand[i].Distance < cand[j].Distance
+		}
+		return cand[i].Index < cand[j].Index
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// scanRing adds all points from cells at exactly Chebyshev distance r
+// from the center cell. Scans are clamped to the data's cell bounding
+// box [0, maxCell] so the cost per ring is bounded by the box
+// perimeter, not the ring radius.
+func (g *GridIndex) scanRing(center [2]int, r int, x linalg.Vector, cand *[]Neighbor) int {
+	maxCell := g.cellOf(g.maxX, g.maxY)
+	add := func(cx, cy int) int {
+		if cx < 0 || cy < 0 || cx > maxCell[0] || cy > maxCell[1] {
+			return 0
+		}
+		n := 0
+		for _, idx := range g.buckets[[2]int{cx, cy}] {
+			p := g.points[idx]
+			dx, dy := p[0]-x[0], p[1]-x[1]
+			*cand = append(*cand, Neighbor{
+				Index:    idx,
+				Label:    g.labels[idx],
+				Distance: math.Hypot(dx, dy),
+			})
+			n++
+		}
+		return n
+	}
+	if r == 0 {
+		return add(center[0], center[1])
+	}
+	n := 0
+	loX := maxInt(center[0]-r, 0)
+	hiX := minInt(center[0]+r, maxCell[0])
+	for cx := loX; cx <= hiX; cx++ {
+		n += add(cx, center[1]-r)
+		n += add(cx, center[1]+r)
+	}
+	loY := maxInt(center[1]-r+1, 0)
+	hiY := minInt(center[1]+r-1, maxCell[1])
+	for cy := loY; cy <= hiY; cy++ {
+		n += add(center[0]-r, cy)
+		n += add(center[0]+r, cy)
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Classify returns the majority label of x's k nearest neighbours with
+// the same tie rule as Classifier.Classify.
+func (g *GridIndex) Classify(x linalg.Vector, k int) (string, error) {
+	nbrs, err := g.Neighbors(x, k)
+	if err != nil {
+		return "", err
+	}
+	counts := make(map[string]int, len(nbrs))
+	best := 0
+	for _, n := range nbrs {
+		counts[n.Label]++
+		if counts[n.Label] > best {
+			best = counts[n.Label]
+		}
+	}
+	for _, n := range nbrs {
+		if counts[n.Label] == best {
+			return n.Label, nil
+		}
+	}
+	return "", fmt.Errorf("knn: vote produced no label") // unreachable
+}

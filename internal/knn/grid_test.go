@@ -1,0 +1,316 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func randomCluster(rng *rand.Rand, n int, cx, cy float64, label string) ([]linalg.Vector, []string) {
+	pts := make([]linalg.Vector, n)
+	labels := make([]string, n)
+	for i := range pts {
+		pts[i] = linalg.Vector{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+		labels[i] = label
+	}
+	return pts, labels
+}
+
+func buildBoth(t *testing.T, rng *rand.Rand, n int) (*Classifier, *GridIndex) {
+	t.Helper()
+	var pts []linalg.Vector
+	var labels []string
+	for i, c := range []struct {
+		x, y  float64
+		label string
+	}{{0, 0, "a"}, {8, 0, "b"}, {0, 8, "c"}, {8, 8, "d"}} {
+		p, l := randomCluster(rng, n/4+i%2, c.x, c.y, c.label)
+		pts = append(pts, p...)
+		labels = append(labels, l...)
+	}
+	brute, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := brute.Train(pts, labels); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGridIndex(pts, labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return brute, grid
+}
+
+// Property: the grid index returns exactly the brute-force neighbours
+// (same indices in the same order) for random queries, including
+// queries far outside the data extent.
+func TestGridIndexAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	brute, grid := buildBoth(t, rng, 200)
+	for trial := 0; trial < 300; trial++ {
+		var q linalg.Vector
+		switch trial % 3 {
+		case 0: // in-distribution
+			q = linalg.Vector{rng.Float64() * 8, rng.Float64() * 8}
+		case 1: // near the edges
+			q = linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		default: // far away
+			q = linalg.Vector{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+		}
+		want, err := brute.Neighbors(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := grid.Neighbors(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d neighbors, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index {
+				t.Fatalf("trial %d query %v: neighbor %d = idx %d (d=%v), want idx %d (d=%v)",
+					trial, q, i, got[i].Index, got[i].Distance, want[i].Index, want[i].Distance)
+			}
+		}
+		bl, err := brute.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gl, err := grid.Classify(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bl != gl {
+			t.Fatalf("trial %d: labels differ %q vs %q", trial, bl, gl)
+		}
+	}
+}
+
+func TestGridIndexValidation(t *testing.T) {
+	if _, err := NewGridIndex(nil, nil, 0); err == nil {
+		t.Error("no points: want error")
+	}
+	if _, err := NewGridIndex([]linalg.Vector{{1, 2, 3}}, []string{"a"}, 0); err == nil {
+		t.Error("3-D point: want error")
+	}
+	if _, err := NewGridIndex([]linalg.Vector{{1, 2}}, []string{"a", "b"}, 0); err == nil {
+		t.Error("label count mismatch: want error")
+	}
+	g, err := NewGridIndex([]linalg.Vector{{1, 2}}, []string{"a"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Neighbors(linalg.Vector{1}, 3); err == nil {
+		t.Error("1-D query: want error")
+	}
+	if _, err := g.Neighbors(linalg.Vector{1, 2}, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestGridIndexIdenticalPoints(t *testing.T) {
+	pts := []linalg.Vector{{5, 5}, {5, 5}, {5, 5}}
+	g, err := NewGridIndex(pts, []string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatalf("degenerate extent: %v", err)
+	}
+	nbrs, err := g.Neighbors(linalg.Vector{5, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0].Index != 0 || nbrs[1].Index != 1 {
+		t.Errorf("identical points neighbors = %v", nbrs)
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestGridIndexKLargerThanData(t *testing.T) {
+	g, err := NewGridIndex([]linalg.Vector{{0, 0}, {1, 1}}, []string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := g.Neighbors(linalg.Vector{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 {
+		t.Errorf("got %d neighbors, want all 2", len(nbrs))
+	}
+}
+
+func TestClassifyBatchParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	brute, _ := buildBoth(t, rng, 120)
+	queries := linalg.NewMatrix(257, 2)
+	for i := 0; i < queries.Rows(); i++ {
+		queries.Set(i, 0, rng.Float64()*10-1)
+		queries.Set(i, 1, rng.Float64()*10-1)
+	}
+	serial, err := brute.ClassifyBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7, 1000} {
+		parallel, err := brute.ClassifyBatchParallel(queries, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("workers=%d row %d: %q vs %q", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestClassifyBatchParallelEmpty(t *testing.T) {
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ClassifyBatchParallel(linalg.NewMatrix(0, 2), 4)
+	if err != nil || out != nil {
+		t.Errorf("empty batch = (%v, %v)", out, err)
+	}
+}
+
+func TestClassifyBatchParallelPropagatesError(t *testing.T) {
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untrained classifier: every row errors.
+	if _, err := c.ClassifyBatchParallel(linalg.NewMatrix(8, 2), 4); err == nil {
+		t.Error("untrained parallel classify: want error")
+	}
+}
+
+func BenchmarkBruteForceNeighbors(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	var pts []linalg.Vector
+	var labels []string
+	for i := 0; i < 4000; i++ {
+		pts = append(pts, linalg.Vector{rng.NormFloat64() * 4, rng.NormFloat64() * 4})
+		labels = append(labels, []string{"a", "b", "c"}[i%3])
+	}
+	c, err := New(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Train(pts, labels); err != nil {
+		b.Fatal(err)
+	}
+	q := linalg.Vector{0.5, -0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Neighbors(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridIndexNeighbors(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	var pts []linalg.Vector
+	var labels []string
+	for i := 0; i < 4000; i++ {
+		pts = append(pts, linalg.Vector{rng.NormFloat64() * 4, rng.NormFloat64() * 4})
+		labels = append(labels, []string{"a", "b", "c"}[i%3])
+	}
+	g, err := NewGridIndex(pts, labels, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := linalg.Vector{0.5, -0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Neighbors(q, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEnableIndexTransparent(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	brute, _ := buildBoth(t, rng, 100)
+	indexed, _ := buildBoth(t, rng, 100) // same seed consumed differently...
+	_ = indexed
+	// Build an identical classifier and index it.
+	rng2 := rand.New(rand.NewSource(81))
+	withIdx, _ := buildBoth(t, rng2, 100)
+	if err := withIdx.EnableIndex(); err != nil {
+		t.Fatalf("EnableIndex: %v", err)
+	}
+	if !withIdx.Indexed() {
+		t.Fatal("Indexed() = false after EnableIndex")
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := linalg.Vector{rng.Float64()*12 - 2, rng.Float64()*12 - 2}
+		a, err := brute.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := withIdx.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("trial %d: indexed %q != brute %q", trial, b, a)
+		}
+	}
+}
+
+func TestEnableIndexValidation(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableIndex(); err == nil {
+		t.Error("untrained: want error")
+	}
+	if err := c.Train([]linalg.Vector{{1, 2, 3}}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableIndex(); err == nil {
+		t.Error("3-D data: want error")
+	}
+	m, err := New(3, WithDistance(Manhattan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train([]linalg.Vector{{1, 2}}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableIndex(); err == nil {
+		t.Error("custom distance: want error")
+	}
+}
+
+func TestTrainInvalidatesIndex(t *testing.T) {
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]linalg.Vector{{0, 0}}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]linalg.Vector{{9, 9}}, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Indexed() {
+		t.Error("index survived new training data")
+	}
+	got, err := c.Classify(linalg.Vector{9, 9})
+	if err != nil || got != "b" {
+		t.Errorf("post-retrain classify = (%q, %v)", got, err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package knn implements the k-nearest-neighbour classifier of
+// Section 3: the class of a test point is the majority vote of the k
+// training points geometrically closest to it in the feature space. The
+// paper uses k = 3 ("an odd number") over the two-dimensional PCA
+// feature space.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Distance measures how far apart two feature vectors are.
+type Distance func(a, b linalg.Vector) (float64, error)
+
+// Euclidean is the default distance.
+func Euclidean(a, b linalg.Vector) (float64, error) { return a.Dist(b) }
+
+// Manhattan is the L1 distance, available for ablation experiments.
+func Manhattan(a, b linalg.Vector) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("knn: manhattan distance of %d vs %d dims", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s, nil
+}
+
+// Classifier is a k-NN classifier over labelled feature vectors.
+type Classifier struct {
+	k      int
+	dist   Distance
+	points []linalg.Vector
+	labels []string
+	dims   int
+	// index, when enabled, accelerates Euclidean 2-D queries without
+	// changing results.
+	index *GridIndex
+	// customDist records whether WithDistance replaced the Euclidean
+	// default (the grid index hard-codes Euclidean geometry).
+	customDist bool
+}
+
+// Option configures a Classifier.
+type Option func(*Classifier)
+
+// WithDistance overrides the Euclidean default.
+func WithDistance(d Distance) Option {
+	return func(c *Classifier) {
+		c.dist = d
+		c.customDist = true
+	}
+}
+
+// New creates a k-NN classifier. k must be positive and odd (the paper's
+// tie-avoidance rule).
+func New(k int, opts ...Option) (*Classifier, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: k must be positive, got %d", k)
+	}
+	if k%2 == 0 {
+		return nil, fmt.Errorf("knn: k must be odd (the paper's rule), got %d", k)
+	}
+	c := &Classifier{k: k, dist: Euclidean}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// K returns the configured neighbour count.
+func (c *Classifier) K() int { return c.k }
+
+// Len returns the number of training points.
+func (c *Classifier) Len() int { return len(c.points) }
+
+// Train adds labelled points to the training set. All points across all
+// Train calls must have the same dimensionality.
+func (c *Classifier) Train(points []linalg.Vector, labels []string) error {
+	if len(points) != len(labels) {
+		return fmt.Errorf("knn: %d points but %d labels", len(points), len(labels))
+	}
+	for i, p := range points {
+		if len(p) == 0 {
+			return fmt.Errorf("knn: empty training point at %d", i)
+		}
+		if c.dims == 0 {
+			c.dims = len(p)
+		}
+		if len(p) != c.dims {
+			return fmt.Errorf("knn: training point %d has %d dims, want %d", i, len(p), c.dims)
+		}
+		if labels[i] == "" {
+			return fmt.Errorf("knn: empty label at %d", i)
+		}
+		c.points = append(c.points, p.Clone())
+		c.labels = append(c.labels, labels[i])
+	}
+	// New training data invalidates any built index.
+	c.index = nil
+	return nil
+}
+
+// EnableIndex builds a grid index over the training data, accelerating
+// subsequent queries. It requires two-dimensional points and the
+// Euclidean distance (the classifier's PCA feature space satisfies
+// both); results are identical to brute force.
+func (c *Classifier) EnableIndex() error {
+	if len(c.points) == 0 {
+		return fmt.Errorf("knn: cannot index an untrained classifier")
+	}
+	if c.dims != 2 {
+		return fmt.Errorf("knn: grid index requires 2-D points, trained on %d dims", c.dims)
+	}
+	// The index hard-codes Euclidean geometry.
+	if c.customDist {
+		return fmt.Errorf("knn: grid index requires the Euclidean distance")
+	}
+	idx, err := NewGridIndex(c.points, c.labels, 0)
+	if err != nil {
+		return err
+	}
+	c.index = idx
+	return nil
+}
+
+// Indexed reports whether a grid index is active.
+func (c *Classifier) Indexed() bool { return c.index != nil }
+
+// Neighbor is one training point ranked by distance to a query.
+type Neighbor struct {
+	Index    int
+	Label    string
+	Distance float64
+}
+
+// Neighbors returns the k training points nearest to x, closest first.
+// Equal distances break ties by training insertion order, keeping
+// results deterministic.
+func (c *Classifier) Neighbors(x linalg.Vector) ([]Neighbor, error) {
+	if len(c.points) == 0 {
+		return nil, fmt.Errorf("knn: classifier has no training data")
+	}
+	if len(x) != c.dims {
+		return nil, fmt.Errorf("knn: query has %d dims, trained on %d", len(x), c.dims)
+	}
+	if c.index != nil {
+		return c.index.Neighbors(x, c.k)
+	}
+	all := make([]Neighbor, len(c.points))
+	for i, p := range c.points {
+		d, err := c.dist(x, p)
+		if err != nil {
+			return nil, err
+		}
+		all[i] = Neighbor{Index: i, Label: c.labels[i], Distance: d}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Distance < all[j].Distance })
+	k := c.k
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}
+
+// Classify returns the majority label of the k nearest neighbours of x.
+// If the vote ties (possible with more classes than k), the label of the
+// nearest neighbour among the tied labels wins.
+func (c *Classifier) Classify(x linalg.Vector) (string, error) {
+	nbrs, err := c.Neighbors(x)
+	if err != nil {
+		return "", err
+	}
+	counts := make(map[string]int, len(nbrs))
+	best := 0
+	for _, n := range nbrs {
+		counts[n.Label]++
+		if counts[n.Label] > best {
+			best = counts[n.Label]
+		}
+	}
+	// Neighbors are sorted by distance: the first tied label is the
+	// nearest one.
+	for _, n := range nbrs {
+		if counts[n.Label] == best {
+			return n.Label, nil
+		}
+	}
+	return "", fmt.Errorf("knn: vote produced no label") // unreachable
+}
+
+// ClassifyBatch classifies each row of a matrix, returning one label per
+// row.
+func (c *Classifier) ClassifyBatch(rows *linalg.Matrix) ([]string, error) {
+	out := make([]string, rows.Rows())
+	for i := 0; i < rows.Rows(); i++ {
+		label, err := c.Classify(rows.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("knn: row %d: %w", i, err)
+		}
+		out[i] = label
+	}
+	return out, nil
+}

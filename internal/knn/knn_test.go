@@ -1,0 +1,301 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func newTrained(t *testing.T, k int) *Classifier {
+	t.Helper()
+	c, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two clusters: "a" around (0,0), "b" around (10,10).
+	points := []linalg.Vector{
+		{0, 0}, {0.5, 0}, {0, 0.5},
+		{10, 10}, {10.5, 10}, {10, 10.5},
+	}
+	labels := []string{"a", "a", "a", "b", "b", "b"}
+	if err := c.Train(points, labels); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("negative k: want error")
+	}
+	if _, err := New(4); err == nil {
+		t.Error("even k: want error (paper requires odd)")
+	}
+	if _, err := New(3); err != nil {
+		t.Errorf("k=3: %v", err)
+	}
+}
+
+func TestClassifyTwoClusters(t *testing.T) {
+	c := newTrained(t, 3)
+	for _, tc := range []struct {
+		x    linalg.Vector
+		want string
+	}{
+		{linalg.Vector{0.2, 0.2}, "a"},
+		{linalg.Vector{9.8, 10.1}, "b"},
+		{linalg.Vector{-5, -5}, "a"},
+		{linalg.Vector{100, 100}, "b"},
+	} {
+		got, err := c.Classify(tc.x)
+		if err != nil {
+			t.Fatalf("Classify(%v): %v", tc.x, err)
+		}
+		if got != tc.want {
+			t.Errorf("Classify(%v) = %q, want %q", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNeighborsSortedAndLimited(t *testing.T) {
+	c := newTrained(t, 3)
+	nbrs, err := c.Neighbors(linalg.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 3 {
+		t.Fatalf("got %d neighbors, want 3", len(nbrs))
+	}
+	if nbrs[0].Distance != 0 {
+		t.Errorf("nearest distance = %v, want 0 (exact training point)", nbrs[0].Distance)
+	}
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i].Distance < nbrs[i-1].Distance {
+			t.Errorf("neighbors not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestClassifyTieFallsBackToNearest(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct labels: every 3-vote is a 1-1-1 tie; the nearest
+	// neighbour must win.
+	err = c.Train([]linalg.Vector{{0, 0}, {2, 0}, {4, 0}}, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify(linalg.Vector{0.4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "x" {
+		t.Errorf("tie broken to %q, want nearest label x", got)
+	}
+}
+
+func TestClassifyFewerPointsThanK(t *testing.T) {
+	c, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]linalg.Vector{{0}}, []string{"only"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify(linalg.Vector{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "only" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]linalg.Vector{{1}}, []string{"a", "b"}); err == nil {
+		t.Error("count mismatch: want error")
+	}
+	if err := c.Train([]linalg.Vector{{}}, []string{"a"}); err == nil {
+		t.Error("empty point: want error")
+	}
+	if err := c.Train([]linalg.Vector{{1, 2}}, []string{""}); err == nil {
+		t.Error("empty label: want error")
+	}
+	if err := c.Train([]linalg.Vector{{1, 2}}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]linalg.Vector{{1}}, []string{"a"}); err == nil {
+		t.Error("dimension change: want error")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify(linalg.Vector{1}); err == nil {
+		t.Error("untrained classify: want error")
+	}
+	if err := c.Train([]linalg.Vector{{1, 2}}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify(linalg.Vector{1}); err == nil {
+		t.Error("wrong query dims: want error")
+	}
+}
+
+func TestTrainClonesPoints(t *testing.T) {
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := linalg.Vector{1, 1}
+	if err := c.Train([]linalg.Vector{p}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 999
+	got, err := c.Classify(linalg.Vector{1, 1})
+	if err != nil || got != "a" {
+		t.Errorf("training data aliased caller storage: (%q,%v)", got, err)
+	}
+	nbrs, _ := c.Neighbors(linalg.Vector{1, 1})
+	if nbrs[0].Distance != 0 {
+		t.Errorf("training point mutated: distance %v", nbrs[0].Distance)
+	}
+}
+
+func TestClassifyBatch(t *testing.T) {
+	c := newTrained(t, 3)
+	m := linalg.NewMatrix(2, 2)
+	m.Set(0, 0, 0.1)
+	m.Set(1, 0, 9.9)
+	m.Set(1, 1, 9.9)
+	labels, err := c.ClassifyBatch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != "a" || labels[1] != "b" {
+		t.Errorf("batch = %v, want [a b]", labels)
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	d, err := Manhattan(linalg.Vector{0, 0}, linalg.Vector{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 7 {
+		t.Errorf("Manhattan = %v, want 7", d)
+	}
+	if _, err := Manhattan(linalg.Vector{1}, linalg.Vector{1, 2}); err == nil {
+		t.Error("dim mismatch: want error")
+	}
+}
+
+func TestWithDistanceOption(t *testing.T) {
+	c, err := New(1, WithDistance(Manhattan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]linalg.Vector{{0, 0}, {5, 5}}, []string{"near", "far"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify(linalg.Vector{1, 1})
+	if err != nil || got != "near" {
+		t.Errorf("Classify = (%q,%v)", got, err)
+	}
+}
+
+// Property: 1-NN classifies every training point as its own label
+// (with distinct points).
+func TestOneNNMemorizesTrainingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []linalg.Vector
+	var labels []string
+	for i := 0; i < 60; i++ {
+		points = append(points, linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+		labels = append(labels, []string{"a", "b", "c"}[i%3])
+	}
+	if err := c.Train(points, labels); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		got, err := c.Classify(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[i] {
+			// Identical coordinates with different labels can
+			// legitimately flip; ensure the points really differ.
+			dup := false
+			for j, q := range points {
+				if j != i && math.Abs(q[0]-p[0]) < 1e-12 && math.Abs(q[1]-p[1]) < 1e-12 {
+					dup = true
+				}
+			}
+			if !dup {
+				t.Fatalf("1-NN misclassified its own training point %d: %q != %q", i, got, labels[i])
+			}
+		}
+	}
+}
+
+// Property: predictions are invariant under translation of the whole
+// space.
+func TestTranslationInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		var points []linalg.Vector
+		var labels []string
+		for i := 0; i < 30; i++ {
+			points = append(points, linalg.Vector{rng.NormFloat64() * 5, rng.NormFloat64() * 5})
+			labels = append(labels, []string{"a", "b"}[i%2])
+		}
+		shift := linalg.Vector{rng.NormFloat64() * 100, rng.NormFloat64() * 100}
+		c1, _ := New(3)
+		c2, _ := New(3)
+		if err := c1.Train(points, labels); err != nil {
+			t.Fatal(err)
+		}
+		shifted := make([]linalg.Vector, len(points))
+		for i, p := range points {
+			s, _ := p.Add(shift)
+			shifted[i] = s
+		}
+		if err := c2.Train(shifted, labels); err != nil {
+			t.Fatal(err)
+		}
+		q := linalg.Vector{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		qs, _ := q.Add(shift)
+		l1, err := c1.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := c2.Classify(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1 != l2 {
+			t.Fatalf("trial %d: translation changed prediction %q -> %q", trial, l1, l2)
+		}
+	}
+}

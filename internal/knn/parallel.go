@@ -1,0 +1,56 @@
+package knn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// ClassifyBatchParallel classifies each row of a matrix using up to
+// workers goroutines (0 selects GOMAXPROCS). Output order matches the
+// input rows and is identical to ClassifyBatch; queries are independent,
+// so the split is a simple row-range partition per worker.
+func (c *Classifier) ClassifyBatchParallel(rows *linalg.Matrix, workers int) ([]string, error) {
+	n := rows.Rows()
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return c.ClassifyBatch(rows)
+	}
+
+	out := make([]string, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				label, err := c.Classify(rows.Row(i))
+				if err != nil {
+					errs[w] = fmt.Errorf("knn: row %d: %w", i, err)
+					return
+				}
+				out[i] = label
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchSymmetric(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// BenchmarkSymmetricEigen measures the Jacobi eigensolver at the sizes
+// the classifier uses (8x8 covariance) and beyond.
+func BenchmarkSymmetricEigen(b *testing.B) {
+	for _, n := range []int{8, 16, 33} {
+		n := n
+		b.Run(fmt.Sprintf("n-%d", n), func(b *testing.B) {
+			m := benchSymmetric(n, int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SymmetricEigen(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSVD measures the one-sided Jacobi SVD on snapshot-matrix
+// shapes (many rows, few columns).
+func BenchmarkSVD(b *testing.B) {
+	for _, rows := range []int{100, 1000} {
+		rows := rows
+		b.Run(fmt.Sprintf("rows-%d-cols-8", rows), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(rows)))
+			m := NewMatrix(rows, 8)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < 8; j++ {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SVD(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCovariance measures the covariance of a full profiling run
+// (thousands of snapshots by 8 expert metrics).
+func BenchmarkCovariance(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMatrix(4000, 8)
+	for i := 0; i < 4000; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Covariance(m)
+	}
+}

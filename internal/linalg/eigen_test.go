@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{3, 0}, {0, 1}})
+	res, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatalf("SymmetricEigen: %v", err)
+	}
+	if !res.Values.Equal(Vector{3, 1}, 1e-10) {
+		t.Errorf("values = %v, want [3 1]", res.Values)
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+	m := mustFromRows(t, [][]float64{{2, 1}, {1, 2}})
+	res, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatalf("SymmetricEigen: %v", err)
+	}
+	if math.Abs(res.Values[0]-3) > 1e-10 || math.Abs(res.Values[1]-1) > 1e-10 {
+		t.Errorf("values = %v, want [3 1]", res.Values)
+	}
+	v0 := res.Vectors.Col(0)
+	inv := 1 / math.Sqrt2
+	if !v0.Equal(Vector{inv, inv}, 1e-9) {
+		t.Errorf("first eigenvector = %v, want [%v %v]", v0, inv, inv)
+	}
+}
+
+func TestSymmetricEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymmetricEigen(NewMatrix(2, 3)); err == nil {
+		t.Fatal("want error for non-square input")
+	}
+}
+
+func TestSymmetricEigenRejectsAsymmetric(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {0, 1}})
+	if _, err := SymmetricEigen(m); err == nil {
+		t.Fatal("want error for asymmetric input")
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64() * 5
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// Property: A*v = λ*v for every returned eigenpair, eigenvectors are
+// orthonormal, and the trace equals the eigenvalue sum.
+func TestSymmetricEigenResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		m := randomSymmetric(rng, n)
+		res, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		scale := 1 + m.FrobeniusNorm()
+		for k := 0; k < n; k++ {
+			v := res.Vectors.Col(k)
+			av, err := m.MulVec(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv := v.Scale(res.Values[k])
+			diff, _ := av.Sub(lv)
+			if diff.Norm() > 1e-8*scale {
+				t.Fatalf("trial %d: residual |Av-λv| = %v for pair %d", trial, diff.Norm(), k)
+			}
+			if math.Abs(v.Norm()-1) > 1e-9 {
+				t.Fatalf("trial %d: eigenvector %d not unit norm: %v", trial, k, v.Norm())
+			}
+		}
+		// Orthogonality.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				d, _ := res.Vectors.Col(a).Dot(res.Vectors.Col(b))
+				if math.Abs(d) > 1e-8 {
+					t.Fatalf("trial %d: eigenvectors %d,%d not orthogonal: %v", trial, a, b, d)
+				}
+			}
+		}
+		tr, _ := m.Trace()
+		if math.Abs(tr-res.Values.Sum()) > 1e-8*scale {
+			t.Fatalf("trial %d: trace %v != eigenvalue sum %v", trial, tr, res.Values.Sum())
+		}
+		// Descending order.
+		for k := 1; k < n; k++ {
+			if res.Values[k] > res.Values[k-1]+1e-10*scale {
+				t.Fatalf("trial %d: eigenvalues not descending: %v", trial, res.Values)
+			}
+		}
+	}
+}
+
+// Property: eigendecomposition reconstructs the original matrix,
+// A = V diag(λ) Vᵀ.
+func TestSymmetricEigenReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		m := randomSymmetric(rng, n)
+		res, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, res.Values[i])
+		}
+		vd, err := res.Vectors.Mul(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := vd.Mul(res.Vectors.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Equal(m, 1e-7*(1+m.FrobeniusNorm())) {
+			t.Fatalf("trial %d: reconstruction mismatch", trial)
+		}
+	}
+}
+
+func TestSymmetricEigenSignConvention(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{2, 1}, {1, 2}})
+	res, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		v := res.Vectors.Col(k)
+		_, at := absMaxIdx(v)
+		if v[at] < 0 {
+			t.Errorf("column %d: largest-magnitude entry is negative: %v", k, v)
+		}
+	}
+}
+
+func absMaxIdx(v Vector) (float64, int) {
+	best, at := math.Abs(v[0]), 0
+	for i, x := range v[1:] {
+		if a := math.Abs(x); a > best {
+			best, at = a, i+1
+		}
+	}
+	return best, at
+}

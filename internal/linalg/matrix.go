@@ -1,0 +1,295 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix. It panics if either
+// dimension is negative; a zero dimension yields an empty matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix(%d,%d) with negative dimension", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal
+// length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: FromRows row %d has %d cols, want %d", ErrDimension, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	out := make(Vector, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v Vector) error {
+	if len(v) != m.cols {
+		return fmt.Errorf("%w: SetRow len %d, want %d", ErrDimension, len(v), m.cols)
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+	return nil
+}
+
+// SetCol copies v into column j.
+func (m *Matrix) SetCol(j int, v Vector) error {
+	if len(v) != m.rows {
+		return fmt.Errorf("%w: SetCol len %d, want %d", ErrDimension, len(v), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+	return nil
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("%w: Add %dx%d vs %dx%d", ErrDimension, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := NewMatrix(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + n.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - n.
+func (m *Matrix) Sub(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("%w: Sub %dx%d vs %dx%d", ErrDimension, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := NewMatrix(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - n.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns a*m.
+func (m *Matrix) Scale(a float64) *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = a * m.data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m*n.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("%w: Mul %dx%d by %dx%d", ErrDimension, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := NewMatrix(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			nk := n.data[k*n.cols : (k+1)*n.cols]
+			for j, nkj := range nk {
+				oi[j] += mik * nkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m *Matrix) MulVec(v Vector) (Vector, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: MulVec %dx%d by %d", ErrDimension, m.rows, m.cols, len(v))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether m and n have the same shape and elements within
+// tol of each other.
+func (m *Matrix) Equal(n *Matrix, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	return Vector(m.data).Norm()
+}
+
+// Trace returns the trace of a square matrix.
+func (m *Matrix) Trace() (float64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("%w: Trace of %dx%d matrix", ErrDimension, m.rows, m.cols)
+	}
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.At(i, i)
+	}
+	return t, nil
+}
+
+// String renders the matrix for debugging output.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix %dx%d\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% 10.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Covariance returns the sample covariance matrix of a data matrix whose
+// rows are observations and whose columns are variables. With r
+// observations the normalization is 1/(r-1); a matrix with fewer than two
+// rows yields a zero covariance matrix.
+func Covariance(data *Matrix) *Matrix {
+	r, c := data.Rows(), data.Cols()
+	cov := NewMatrix(c, c)
+	if r < 2 {
+		return cov
+	}
+	means := make([]float64, c)
+	for j := 0; j < c; j++ {
+		var s float64
+		for i := 0; i < r; i++ {
+			s += data.At(i, j)
+		}
+		means[j] = s / float64(r)
+	}
+	for a := 0; a < c; a++ {
+		for b := a; b < c; b++ {
+			var s float64
+			for i := 0; i < r; i++ {
+				s += (data.At(i, a) - means[a]) * (data.At(i, b) - means[b])
+			}
+			v := s / float64(r-1)
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov
+}

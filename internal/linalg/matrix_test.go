@@ -1,0 +1,317 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("FromRows with ragged rows: want error")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatalf("FromRows(nil): %v", err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("shape = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity(3)[%d,%d] = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatrixSetRowCol(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if err := m.SetRow(0, Vector{1, 2, 3}); err != nil {
+		t.Fatalf("SetRow: %v", err)
+	}
+	if err := m.SetCol(2, Vector{9, 8}); err != nil {
+		t.Fatalf("SetCol: %v", err)
+	}
+	if !m.Row(0).Equal(Vector{1, 2, 9}, 0) {
+		t.Errorf("Row(0) = %v", m.Row(0))
+	}
+	if !m.Col(2).Equal(Vector{9, 8}, 0) {
+		t.Errorf("Col(2) = %v", m.Col(2))
+	}
+	if err := m.SetRow(0, Vector{1}); err == nil {
+		t.Error("SetRow wrong length: want error")
+	}
+	if err := m.SetCol(0, Vector{1}); err == nil {
+		t.Error("SetCol wrong length: want error")
+	}
+}
+
+func TestMatrixIndexPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Row(5) },
+		func() { m.Col(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 {
+		t.Errorf("T[2,1] = %v, want 6", tr.At(2, 1))
+	}
+	if !m.T().T().Equal(m, 0) {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestMatrixAddSubScale(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{10, 20}, {30, 40}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if sum.At(1, 1) != 44 {
+		t.Errorf("Add[1,1] = %v, want 44", sum.At(1, 1))
+	}
+	diff, err := b.Sub(a)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if diff.At(0, 0) != 9 {
+		t.Errorf("Sub[0,0] = %v, want 9", diff.At(0, 0))
+	}
+	if got := a.Scale(3).At(1, 0); got != 9 {
+		t.Errorf("Scale[1,0] = %v, want 9", got)
+	}
+	if _, err := a.Add(NewMatrix(1, 2)); err == nil {
+		t.Error("Add with shape mismatch: want error")
+	}
+	if _, err := a.Sub(NewMatrix(1, 2)); err == nil {
+		t.Error("Sub with shape mismatch: want error")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := mustFromRows(t, [][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("Mul with inner-dim mismatch: want error")
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.Mul(Identity(3))
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !got.Equal(a, 0) {
+		t.Error("A*I != A")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec(Vector{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if !got.Equal(Vector{3, 7}, 1e-12) {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+	if _, err := a.MulVec(Vector{1}); err == nil {
+		t.Error("MulVec with mismatch: want error")
+	}
+}
+
+func TestMatrixIsSymmetric(t *testing.T) {
+	sym := mustFromRows(t, [][]float64{{2, 1}, {1, 2}})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported as asymmetric")
+	}
+	asym := mustFromRows(t, [][]float64{{2, 1}, {0, 2}})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported as symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(0) {
+		t.Error("non-square matrix reported as symmetric")
+	}
+}
+
+func TestMatrixTrace(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	tr, err := m.Trace()
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if tr != 5 {
+		t.Errorf("Trace = %v, want 5", tr)
+	}
+	if _, err := NewMatrix(2, 3).Trace(); err == nil {
+		t.Error("Trace of non-square: want error")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := mustFromRows(t, [][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Error("String returned empty")
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated variables.
+	data := mustFromRows(t, [][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov := Covariance(data)
+	if math.Abs(cov.At(0, 0)-1) > 1e-12 {
+		t.Errorf("var(x) = %v, want 1", cov.At(0, 0))
+	}
+	if math.Abs(cov.At(1, 1)-4) > 1e-12 {
+		t.Errorf("var(y) = %v, want 4", cov.At(1, 1))
+	}
+	if math.Abs(cov.At(0, 1)-2) > 1e-12 {
+		t.Errorf("cov(x,y) = %v, want 2", cov.At(0, 1))
+	}
+}
+
+func TestCovarianceFewRows(t *testing.T) {
+	one := mustFromRows(t, [][]float64{{1, 2}})
+	cov := Covariance(one)
+	if cov.FrobeniusNorm() != 0 {
+		t.Error("covariance with one row should be zero")
+	}
+}
+
+// Property: covariance matrices are symmetric positive semi-definite
+// (checked via xᵀCx >= 0 for random x).
+func TestCovariancePSDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rows := 3 + rng.Intn(20)
+		cols := 1 + rng.Intn(6)
+		data := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				data.Set(i, j, rng.NormFloat64()*10)
+			}
+		}
+		cov := Covariance(data)
+		if !cov.IsSymmetric(1e-9) {
+			t.Fatalf("trial %d: covariance not symmetric", trial)
+		}
+		x := make(Vector, cols)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		cx, err := cov.MulVec(x)
+		if err != nil {
+			t.Fatalf("MulVec: %v", err)
+		}
+		q, err := x.Dot(cx)
+		if err != nil {
+			t.Fatalf("Dot: %v", err)
+		}
+		if q < -1e-7*(1+cov.FrobeniusNorm()) {
+			t.Fatalf("trial %d: covariance not PSD, xᵀCx = %v", trial, q)
+		}
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(a, b [2][2]float64) bool {
+		am := NewMatrix(2, 2)
+		bm := NewMatrix(2, 2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				am.Set(i, j, sanitize(a[i][j]))
+				bm.Set(i, j, sanitize(b[i][j]))
+			}
+		}
+		ab, err := am.Mul(bm)
+		if err != nil {
+			return false
+		}
+		btat, err := bm.T().Mul(am.T())
+		if err != nil {
+			return false
+		}
+		return ab.T().Equal(btat, 1e-6*(1+ab.FrobeniusNorm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e3)
+}

@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVDResult holds a thin singular value decomposition A = U * diag(S) * Vᵀ
+// where A is r×c, U is r×c (columns orthonormal when S[i] > 0), S has
+// length c (descending), and V is c×c with orthonormal columns.
+type SVDResult struct {
+	U *Matrix
+	S Vector
+	V *Matrix
+}
+
+// onesidedMaxSweeps bounds the Hestenes one-sided Jacobi iteration.
+const onesidedMaxSweeps = 96
+
+// SVD computes a thin singular value decomposition of a using the
+// Hestenes one-sided Jacobi method (orthogonalizing the columns of a
+// working copy by plane rotations). It requires r >= c, which always
+// holds for the classifier's snapshot matrices (thousands of samples by
+// at most a few dozen metrics).
+func SVD(a *Matrix) (*SVDResult, error) {
+	r, c := a.Rows(), a.Cols()
+	if r < c {
+		return nil, fmt.Errorf("%w: SVD requires rows >= cols, got %dx%d", ErrDimension, r, c)
+	}
+	if c == 0 {
+		return &SVDResult{U: NewMatrix(r, 0), S: Vector{}, V: NewMatrix(0, 0)}, nil
+	}
+	u := a.Clone()
+	v := Identity(c)
+
+	eps := 1e-14
+	for sweep := 0; sweep < onesidedMaxSweeps; sweep++ {
+		converged := true
+		for p := 0; p < c-1; p++ {
+			for q := p + 1; q < c; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < r; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					alpha += up * up
+					beta += uq * uq
+					gamma += up * uq
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				converged = false
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := t * cs
+				for i := 0; i < r; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, cs*up-sn*uq)
+					u.Set(i, q, sn*up+cs*uq)
+				}
+				for i := 0; i < c; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, cs*vp-sn*vq)
+					v.Set(i, q, sn*vp+cs*vq)
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Column norms of the rotated matrix are the singular values.
+	s := make(Vector, c)
+	for j := 0; j < c; j++ {
+		s[j] = u.Col(j).Norm()
+	}
+	idx := make([]int, c)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return s[idx[x]] > s[idx[y]] })
+
+	sortedS := make(Vector, c)
+	sortedU := NewMatrix(r, c)
+	sortedV := NewMatrix(c, c)
+	for newCol, oldCol := range idx {
+		sortedS[newCol] = s[oldCol]
+		for i := 0; i < r; i++ {
+			val := u.At(i, oldCol)
+			if s[oldCol] > 0 {
+				val /= s[oldCol]
+			}
+			sortedU.Set(i, newCol, val)
+		}
+		for i := 0; i < c; i++ {
+			sortedV.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	// Keep U and V sign-consistent: flip both together so that
+	// U*diag(S)*Vᵀ is preserved while V's columns follow the same
+	// largest-entry-positive convention as the eigensolver.
+	for j := 0; j < c; j++ {
+		bestAbs, bestVal := 0.0, 0.0
+		for i := 0; i < c; i++ {
+			if a := math.Abs(sortedV.At(i, j)); a > bestAbs {
+				bestAbs, bestVal = a, sortedV.At(i, j)
+			}
+		}
+		if bestVal < 0 {
+			for i := 0; i < c; i++ {
+				sortedV.Set(i, j, -sortedV.At(i, j))
+			}
+			for i := 0; i < r; i++ {
+				sortedU.Set(i, j, -sortedU.At(i, j))
+			}
+		}
+	}
+	return &SVDResult{U: sortedU, S: sortedS, V: sortedV}, nil
+}

@@ -1,0 +1,139 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{3, 0}, {0, 2}, {0, 0}})
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatalf("SVD: %v", err)
+	}
+	if !res.S.Equal(Vector{3, 2}, 1e-10) {
+		t.Errorf("singular values = %v, want [3 2]", res.S)
+	}
+}
+
+func TestSVDRejectsWide(t *testing.T) {
+	if _, err := SVD(NewMatrix(2, 3)); err == nil {
+		t.Fatal("want error for rows < cols")
+	}
+}
+
+func TestSVDEmptyCols(t *testing.T) {
+	res, err := SVD(NewMatrix(3, 0))
+	if err != nil {
+		t.Fatalf("SVD: %v", err)
+	}
+	if len(res.S) != 0 {
+		t.Errorf("S = %v, want empty", res.S)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value must be ~0.
+	a := mustFromRows(t, [][]float64{{1, 2}, {2, 4}, {3, 6}})
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatalf("SVD: %v", err)
+	}
+	if res.S[1] > 1e-9 {
+		t.Errorf("rank-1 matrix: second singular value = %v, want ~0", res.S[1])
+	}
+}
+
+// Property: A = U diag(S) Vᵀ, U and V have orthonormal columns, and S is
+// nonnegative descending.
+func TestSVDReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		r := 3 + rng.Intn(12)
+		c := 1 + rng.Intn(r) // ensure r >= c
+		a := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, rng.NormFloat64()*3)
+			}
+		}
+		res, err := SVD(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k := 0; k < c; k++ {
+			if res.S[k] < 0 {
+				t.Fatalf("trial %d: negative singular value %v", trial, res.S[k])
+			}
+			if k > 0 && res.S[k] > res.S[k-1]+1e-10 {
+				t.Fatalf("trial %d: singular values not descending: %v", trial, res.S)
+			}
+		}
+		d := NewMatrix(c, c)
+		for i := 0; i < c; i++ {
+			d.Set(i, i, res.S[i])
+		}
+		ud, err := res.U.Mul(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := ud.Mul(res.V.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Equal(a, 1e-7*(1+a.FrobeniusNorm())) {
+			t.Fatalf("trial %d: U S Vᵀ does not reconstruct A", trial)
+		}
+		// V orthonormal.
+		vtv, err := res.V.T().Mul(res.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vtv.Equal(Identity(c), 1e-8) {
+			t.Fatalf("trial %d: VᵀV != I", trial)
+		}
+	}
+}
+
+// Property: the singular values of A are the square roots of the
+// eigenvalues of AᵀA. This is the identity that makes SVD a valid
+// cross-check for covariance-based PCA.
+func TestSVDEigenConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		r := 4 + rng.Intn(10)
+		c := 2 + rng.Intn(4)
+		if c > r {
+			c = r
+		}
+		a := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		svd, err := SVD(a)
+		if err != nil {
+			t.Fatalf("SVD: %v", err)
+		}
+		ata, err := a.T().Mul(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eig, err := SymmetricEigen(ata)
+		if err != nil {
+			t.Fatalf("SymmetricEigen: %v", err)
+		}
+		for k := 0; k < c; k++ {
+			lam := eig.Values[k]
+			if lam < 0 {
+				lam = 0
+			}
+			want := math.Sqrt(lam)
+			if math.Abs(svd.S[k]-want) > 1e-7*(1+want) {
+				t.Fatalf("trial %d: S[%d] = %v, sqrt(eig) = %v", trial, k, svd.S[k], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package linalg provides the dense linear algebra needed by the
+// application classifier: vectors, matrices, a Jacobi eigensolver for
+// symmetric matrices, and a one-sided Jacobi SVD used to cross-check the
+// PCA implementation. Everything is stdlib-only and sized for the small
+// (tens of dimensions, thousands of samples) problems the paper works
+// with; clarity and numerical robustness are preferred over blocking or
+// cache tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned (wrapped) whenever operand shapes do not
+// conform.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector of float64 values.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: Add %d vs %d", ErrDimension, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: Sub %d vs %d", ErrDimension, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns a*v.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: Dot %d vs %d", ErrDimension, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm returns the Euclidean (L2) norm of v, computed with scaling to
+// avoid overflow for large components.
+func (v Vector) Norm() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vector) Dist(w Vector) (float64, error) {
+	d, err := v.Sub(w)
+	if err != nil {
+		return 0, err
+	}
+	return d.Norm(), nil
+}
+
+// Normalize returns v scaled to unit norm. A zero vector is returned
+// unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v.Clone()
+	}
+	return v.Scale(1 / n)
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v. The mean of an empty vector is 0.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Max returns the maximum element and its index. It panics on an empty
+// vector, which is always a programming error here.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// AbsMax returns the maximum absolute element value.
+func (v Vector) AbsMax() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether v and w have the same length and elements within
+// tol of each other.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorAdd(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	got, err := v.Add(w)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	want := Vector{5, 7, 9}
+	if !got.Equal(want, 0) {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+}
+
+func TestVectorAddDimensionMismatch(t *testing.T) {
+	_, err := Vector{1}.Add(Vector{1, 2})
+	if err == nil {
+		t.Fatal("Add with mismatched lengths: want error, got nil")
+	}
+}
+
+func TestVectorSub(t *testing.T) {
+	got, err := Vector{4, 5, 6}.Sub(Vector{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if !got.Equal(Vector{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v, want [3 3 3]", got)
+	}
+}
+
+func TestVectorSubDimensionMismatch(t *testing.T) {
+	if _, err := (Vector{1, 2}).Sub(Vector{1}); err == nil {
+		t.Fatal("Sub with mismatched lengths: want error, got nil")
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	got := Vector{1, -2, 3}.Scale(2)
+	if !got.Equal(Vector{2, -4, 6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	got, err := Vector{1, 2, 3}.Dot(Vector{4, 5, 6})
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotDimensionMismatch(t *testing.T) {
+	if _, err := (Vector{1}).Dot(Vector{1, 2}); err == nil {
+		t.Fatal("Dot with mismatched lengths: want error, got nil")
+	}
+}
+
+func TestVectorNorm(t *testing.T) {
+	if got := (Vector{3, 4}).Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := (Vector{}).Norm(); got != 0 {
+		t.Errorf("Norm of empty = %v, want 0", got)
+	}
+	if got := (Vector{0, 0}).Norm(); got != 0 {
+		t.Errorf("Norm of zero = %v, want 0", got)
+	}
+}
+
+func TestVectorNormOverflowResistance(t *testing.T) {
+	big := math.MaxFloat64 / 4
+	v := Vector{big, big}
+	got := v.Norm()
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("Norm of large vector overflowed: %v", got)
+	}
+	want := big * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Norm = %v, want %v", got, want)
+	}
+}
+
+func TestVectorDist(t *testing.T) {
+	d, err := Vector{1, 1}.Dist(Vector{4, 5})
+	if err != nil {
+		t.Fatalf("Dist: %v", err)
+	}
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{3, 4}.Normalize()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("Normalize norm = %v, want 1", v.Norm())
+	}
+	z := Vector{0, 0}.Normalize()
+	if !z.Equal(Vector{0, 0}, 0) {
+		t.Errorf("Normalize zero = %v, want zero", z)
+	}
+}
+
+func TestVectorSumMean(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	if v.Sum() != 10 {
+		t.Errorf("Sum = %v, want 10", v.Sum())
+	}
+	if v.Mean() != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", v.Mean())
+	}
+	if (Vector{}).Mean() != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+}
+
+func TestVectorMax(t *testing.T) {
+	val, at := Vector{1, 9, 3}.Max()
+	if val != 9 || at != 1 {
+		t.Errorf("Max = (%v,%d), want (9,1)", val, at)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Max of empty vector should panic")
+		}
+	}()
+	Vector{}.Max()
+}
+
+func TestVectorAbsMax(t *testing.T) {
+	if got := (Vector{1, -7, 3}).AbsMax(); got != 7 {
+		t.Errorf("AbsMax = %v, want 7", got)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+// Property: the triangle inequality holds for the Euclidean distance.
+func TestVectorTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		va, vb, vc := clampVec(a[:]), clampVec(b[:]), clampVec(c[:])
+		ab, _ := va.Dist(vb)
+		bc, _ := vb.Dist(vc)
+		ac, _ := va.Dist(vc)
+		return ac <= ab+bc+1e-9*(1+ab+bc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |v·w| <= |v||w|.
+func TestVectorCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		va, vb := clampVec(a[:]), clampVec(b[:])
+		dot, _ := va.Dot(vb)
+		lhs := math.Abs(dot)
+		rhs := va.Norm() * vb.Norm()
+		return lhs <= rhs*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampVec maps arbitrary quick-generated floats into a numerically sane
+// range and replaces NaN/Inf so that properties test algebra rather than
+// float pathologies.
+func clampVec(xs []float64) Vector {
+	out := make(Vector, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		out[i] = math.Mod(x, 1e6)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+	"repro/internal/profiler"
+	"repro/internal/vmm"
+)
+
+// LearningManager is the complete system of the paper's abstract run as
+// a service: applications arrive identified only by a type name; an
+// application with no history is placed by load alone and profiled
+// through the live monitoring stack (gmond → multicast bus →
+// performance filter) while it runs; on completion its trace is
+// classified and recorded in the application database, so the *next*
+// arrival of the same type is placed class-aware. "Application class
+// information ... learned over historical runs ... used to assist
+// multi-dimensional resource scheduling."
+type LearningManager struct {
+	*Manager
+	svc     *core.Service
+	cluster *vmm.Cluster
+	bus     *ganglia.Bus
+	prof    *profiler.Profiler
+	// tracked maps an active job name to its profiling session.
+	tracked map[string]*session
+	// learned counts completed classifications per application type.
+	learned map[string]int
+}
+
+// session is one job's live profiling state.
+type session struct {
+	appType   string
+	vmName    string
+	agent     *ganglia.Gmond
+	submitted time.Duration
+}
+
+// NewLearning wraps a manager configuration with a trained
+// classification service and a live monitoring stack.
+func NewLearning(cluster *vmm.Cluster, cfg Config, svc *core.Service) (*LearningManager, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("manager: nil classification service")
+	}
+	m, err := New(cluster, cfg)
+	if err != nil {
+		return nil, err
+	}
+	bus := ganglia.NewBus()
+	prof, err := profiler.New(bus, metrics.DefaultSchema())
+	if err != nil {
+		return nil, err
+	}
+	lm := &LearningManager{
+		Manager: m,
+		svc:     svc,
+		cluster: cluster,
+		bus:     bus,
+		prof:    prof,
+		tracked: make(map[string]*session),
+		learned: make(map[string]int),
+	}
+	cluster.Observe(lm.onLearnTick)
+	return lm, nil
+}
+
+// KnownClass looks up the class the database has learned for an
+// application type; ok is false for unseen types.
+func (lm *LearningManager) KnownClass(appType string) (appclass.Class, bool) {
+	summary, err := lm.svc.DB().Summarize(appType)
+	if err != nil {
+		return "", false
+	}
+	return summary.Class, true
+}
+
+// Learned returns how many runs of the type have been classified.
+func (lm *LearningManager) Learned(appType string) int { return lm.learned[appType] }
+
+// SubmitTyped places a job of the named application type: class-aware
+// when the type has history, load-balanced otherwise. The job's VM is
+// monitored by a gmond agent for the whole run.
+func (lm *LearningManager) SubmitTyped(job vmm.Job, appType string) (Placement, error) {
+	if appType == "" {
+		return Placement{}, fmt.Errorf("manager: empty application type")
+	}
+	class, _ := lm.KnownClass(appType) // "" = unknown
+	placement, err := lm.Submit(job, class)
+	if err != nil {
+		return Placement{}, err
+	}
+	agent, err := ganglia.NewGmond(placement.VM, lm.bus, ganglia.DefaultAnnounceInterval)
+	if err != nil {
+		return Placement{}, err
+	}
+	if err := agent.Start(lm.cluster.Queue()); err != nil {
+		return Placement{}, err
+	}
+	lm.tracked[job.Name()] = &session{
+		appType:   appType,
+		vmName:    placement.VM.Name(),
+		agent:     agent,
+		submitted: lm.cluster.Now(),
+	}
+	return placement, nil
+}
+
+// onLearnTick classifies and records the runs that completed this tick.
+func (lm *LearningManager) onLearnTick(now time.Duration) {
+	for jobName, s := range lm.tracked {
+		if _, stillActive := lm.active[jobName]; stillActive {
+			continue // Manager.onTick has not released it yet
+		}
+		s.agent.Stop()
+		delete(lm.tracked, jobName)
+		// The first announcement lands one interval after submission.
+		t0 := s.submitted + ganglia.DefaultAnnounceInterval
+		trace, _, err := lm.prof.ExtractSkipIncomplete(s.vmName, t0, now)
+		if err != nil {
+			// A run shorter than one announce interval yields no
+			// snapshots; nothing to learn from it.
+			continue
+		}
+		if _, err := lm.svc.ClassifyTrace(s.appType, trace, now-s.submitted); err != nil {
+			continue
+		}
+		lm.learned[s.appType]++
+	}
+}

@@ -1,0 +1,169 @@
+package manager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+func learningSite(t testing.TB) (*vmm.Cluster, []*vmm.Host) {
+	t.Helper()
+	cluster := vmm.NewCluster()
+	var hosts []*vmm.Host
+	for i := 0; i < 3; i++ {
+		h := vmm.NewHost(vmm.HostConfig{
+			Name: fmt.Sprintf("host%d", i),
+			CPUs: 1.2, NetInKBps: 20000, NetOutKBps: 20000,
+		})
+		if err := cluster.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	return cluster, hosts
+}
+
+func newLearning(t *testing.T) (*LearningManager, *vmm.Cluster) {
+	t.Helper()
+	svc, err := core.NewService(core.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, hosts := learningSite(t)
+	lm, err := NewLearning(cluster, Config{
+		Hosts: hosts, CapacityPerHost: 2, Policy: ClassAwarePolicy{},
+	}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lm, cluster
+}
+
+func TestNewLearningValidation(t *testing.T) {
+	cluster, hosts := learningSite(t)
+	if _, err := NewLearning(cluster, Config{Hosts: hosts, CapacityPerHost: 2, Policy: ClassAwarePolicy{}}, nil); err == nil {
+		t.Error("nil service: want error")
+	}
+}
+
+func TestLearningManagerLearnsClassFromFirstRun(t *testing.T) {
+	lm, cluster := newLearning(t)
+	if _, ok := lm.KnownClass("postmark"); ok {
+		t.Fatal("class known before any run")
+	}
+	job, err := workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Name: "pm-1", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lm.SubmitTyped(job, "postmark"); err != nil {
+		t.Fatalf("SubmitTyped: %v", err)
+	}
+	if _, err := lm.SubmitTyped(nil, ""); err == nil {
+		t.Error("empty application type: want error")
+	}
+	// Run until the job finishes and the tick after classifies it.
+	for lm.Active() > 0 && cluster.Now() < time.Hour {
+		if err := cluster.RunFor(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lm.Learned("postmark") != 1 {
+		t.Fatalf("Learned = %d, want 1", lm.Learned("postmark"))
+	}
+	class, ok := lm.KnownClass("postmark")
+	if !ok {
+		t.Fatal("class still unknown after a completed run")
+	}
+	if class != appclass.IO {
+		t.Errorf("learned class = %s, want io", class)
+	}
+	// The database holds the run with its execution time.
+	rec, err := lm.svc.DB().Latest("postmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ExecutionTime < 2*time.Minute || rec.Samples < 10 {
+		t.Errorf("stored record = %+v", rec)
+	}
+}
+
+// TestLearningImprovesSecondWave is the end-to-end story of the paper's
+// abstract: a first wave of unknown applications is placed blind; their
+// runs are profiled and classified; the second wave of the same types is
+// placed class-aware and finishes sooner.
+func TestLearningImprovesSecondWave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	lm, cluster := newLearning(t)
+	types := []string{"seis", "postmark", "netpipe"}
+	build := func(typ string, instance int) vmm.Job {
+		name := fmt.Sprintf("%s-%d", typ, instance)
+		seed := int64(instance)
+		var j vmm.Job
+		var err error
+		switch typ {
+		case "seis":
+			j, err = workload.NewSPECseis(workload.SPECseisSmall, workload.Config{Name: name, Seed: seed})
+		case "postmark":
+			j, err = workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Name: name, Seed: seed})
+		default:
+			j, err = workload.NewNetPIPE(0, workload.Config{Name: name, Seed: seed})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	runWave := func(wave int) time.Duration {
+		start := len(lm.Completed())
+		submitted := 0
+		for submitted < 6 {
+			typ := types[submitted%3]
+			if _, err := lm.SubmitTyped(build(typ, wave*10+submitted), typ); err == nil {
+				submitted++
+			}
+			if err := cluster.RunFor(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for lm.Active() > 0 && cluster.Now() < 24*time.Hour {
+			if err := cluster.RunFor(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs := lm.Completed()[start:]
+		var sum time.Duration
+		for _, r := range recs {
+			sum += r.Turnaround
+		}
+		return sum / time.Duration(len(recs))
+	}
+
+	wave1 := runWave(1)
+	// After wave 1, every type's class is known.
+	for _, typ := range types {
+		if _, ok := lm.KnownClass(typ); !ok {
+			t.Fatalf("type %s not learned after wave 1", typ)
+		}
+	}
+	wave2 := runWave(2)
+	t.Logf("wave 1 (unknown classes): %v; wave 2 (learned classes): %v", wave1, wave2)
+	if wave2 > wave1 {
+		t.Errorf("learned-class wave slower: %v vs %v", wave2, wave1)
+	}
+	// Learned classes match ground truth.
+	want := map[string]appclass.Class{"seis": appclass.CPU, "postmark": appclass.IO, "netpipe": appclass.Net}
+	for typ, wantClass := range want {
+		got, _ := lm.KnownClass(typ)
+		if got != wantClass {
+			t.Errorf("learned class of %s = %s, want %s", typ, got, wantClass)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package manager implements the resource manager of the paper's
+// Figure 1 — the component the performance profiler "interfaces with
+// ... to receive data collection instructions" and the consumer of the
+// application database's class knowledge. It runs a VMPlant-style
+// grid site online: job requests arrive over time, each job gets a
+// dedicated VM cloned onto a physical host chosen by a placement
+// policy, and finished jobs release their VMs. Two policies are
+// provided: class-oblivious random placement and the paper's
+// class-aware placement, which avoids co-locating jobs of the same
+// class on one host.
+package manager
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+// HostView is the placement-relevant state of one host.
+type HostView struct {
+	// Name identifies the host.
+	Name string
+	// VMs is the number of VMs currently placed.
+	VMs int
+	// Capacity is the maximum number of VMs the host accepts.
+	Capacity int
+	// ClassCounts counts the running jobs per class.
+	ClassCounts map[appclass.Class]int
+}
+
+// Free reports the remaining VM slots.
+func (h HostView) Free() int { return h.Capacity - h.VMs }
+
+// Policy chooses a host for a new job. It returns an index into views;
+// every view passed in has at least one free slot.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Choose picks the host for a job of the given (possibly unknown)
+	// class.
+	Choose(views []HostView, class appclass.Class) (int, error)
+}
+
+// RandomPolicy places jobs uniformly at random — the class-oblivious
+// baseline of Section 5.2.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy creates a seeded random policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *RandomPolicy) Name() string { return "random" }
+
+// Choose implements Policy.
+func (p *RandomPolicy) Choose(views []HostView, _ appclass.Class) (int, error) {
+	if len(views) == 0 {
+		return 0, fmt.Errorf("manager: no hosts with capacity")
+	}
+	return p.rng.Intn(len(views)), nil
+}
+
+// ClassAwarePolicy places each job on the host running the fewest jobs
+// of the same class (ties broken by load, then by name), using the
+// class knowledge the application classifier learned over historical
+// runs.
+type ClassAwarePolicy struct{}
+
+// Name implements Policy.
+func (ClassAwarePolicy) Name() string { return "class-aware" }
+
+// Choose implements Policy.
+func (ClassAwarePolicy) Choose(views []HostView, class appclass.Class) (int, error) {
+	if len(views) == 0 {
+		return 0, fmt.Errorf("manager: no hosts with capacity")
+	}
+	best := 0
+	for i := 1; i < len(views); i++ {
+		a, b := views[i], views[best]
+		sameA, sameB := a.ClassCounts[class], b.ClassCounts[class]
+		switch {
+		case sameA != sameB:
+			if sameA < sameB {
+				best = i
+			}
+		case a.VMs != b.VMs:
+			if a.VMs < b.VMs {
+				best = i
+			}
+		case a.Name < b.Name:
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// JobRecord is the outcome of one managed job.
+type JobRecord struct {
+	Job        string
+	Class      appclass.Class
+	Host       string
+	Submitted  time.Duration
+	Completed  time.Duration
+	Turnaround time.Duration
+}
+
+// activeJob tracks a running job's placement.
+type activeJob struct {
+	job       vmm.Job
+	class     appclass.Class
+	host      *vmm.Host
+	vmName    string
+	submitted time.Duration
+}
+
+// Manager runs the grid site.
+type Manager struct {
+	cluster   *vmm.Cluster
+	hosts     []*vmm.Host
+	capacity  int
+	policy    Policy
+	vmMemKB   float64
+	seq       int
+	active    map[string]*activeJob
+	completed []JobRecord
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Hosts is the physical host pool (owned by Cluster).
+	Hosts []*vmm.Host
+	// CapacityPerHost bounds the VMs per host.
+	CapacityPerHost int
+	// Policy chooses placements.
+	Policy Policy
+	// VMMemKB sizes each cloned VM (default 256 MB).
+	VMMemKB float64
+}
+
+// New creates a manager over an existing cluster whose hosts are given
+// in cfg.
+func New(cluster *vmm.Cluster, cfg Config) (*Manager, error) {
+	if cluster == nil {
+		return nil, fmt.Errorf("manager: nil cluster")
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("manager: no hosts")
+	}
+	if cfg.CapacityPerHost <= 0 {
+		return nil, fmt.Errorf("manager: capacity must be positive, got %d", cfg.CapacityPerHost)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("manager: nil policy")
+	}
+	if cfg.VMMemKB == 0 {
+		cfg.VMMemKB = 256 * 1024
+	}
+	m := &Manager{
+		cluster:  cluster,
+		hosts:    cfg.Hosts,
+		capacity: cfg.CapacityPerHost,
+		policy:   cfg.Policy,
+		vmMemKB:  cfg.VMMemKB,
+		active:   make(map[string]*activeJob),
+	}
+	cluster.Observe(m.onTick)
+	return m, nil
+}
+
+// views builds the placement state of hosts with free capacity.
+func (m *Manager) views() ([]HostView, []*vmm.Host) {
+	var views []HostView
+	var hosts []*vmm.Host
+	for _, h := range m.hosts {
+		if len(h.VMs()) >= m.capacity {
+			continue
+		}
+		v := HostView{
+			Name:        h.Name(),
+			VMs:         len(h.VMs()),
+			Capacity:    m.capacity,
+			ClassCounts: make(map[appclass.Class]int),
+		}
+		for _, a := range m.active {
+			if a.host == h {
+				v.ClassCounts[a.class]++
+			}
+		}
+		views = append(views, v)
+		hosts = append(hosts, h)
+	}
+	return views, hosts
+}
+
+// Placement describes where a submitted job landed.
+type Placement struct {
+	// VM is the dedicated VM cloned for the job.
+	VM *vmm.VM
+	// Host is the physical host the VM was placed on.
+	Host string
+}
+
+// Submit places a job with its (classifier-learned) class on a host
+// chosen by the policy, cloning a dedicated VM for it. An empty class
+// means "unknown" (the application has no history yet); the class-aware
+// policy then balances by load only. Submit fails when no host has
+// capacity.
+func (m *Manager) Submit(job vmm.Job, class appclass.Class) (Placement, error) {
+	if job == nil {
+		return Placement{}, fmt.Errorf("manager: nil job")
+	}
+	if _, dup := m.active[job.Name()]; dup {
+		return Placement{}, fmt.Errorf("manager: job %q already active", job.Name())
+	}
+	views, hosts := m.views()
+	if len(views) == 0 {
+		return Placement{}, fmt.Errorf("manager: no hosts with free capacity for %q", job.Name())
+	}
+	idx, err := m.policy.Choose(views, class)
+	if err != nil {
+		return Placement{}, err
+	}
+	if idx < 0 || idx >= len(hosts) {
+		return Placement{}, fmt.Errorf("manager: policy chose host %d of %d", idx, len(hosts))
+	}
+	host := hosts[idx]
+	m.seq++
+	vmName := fmt.Sprintf("mgr-vm-%d", m.seq)
+	vm := vmm.NewVM(vmm.VMConfig{Name: vmName, MemKB: m.vmMemKB, VCPUs: 1, Seed: int64(m.seq)})
+	vm.AddJob(job)
+	if err := host.AddVM(vm); err != nil {
+		return Placement{}, fmt.Errorf("manager: place %q: %w", job.Name(), err)
+	}
+	m.active[job.Name()] = &activeJob{
+		job: job, class: class, host: host, vmName: vmName,
+		submitted: m.cluster.Now(),
+	}
+	return Placement{VM: vm, Host: host.Name()}, nil
+}
+
+// onTick releases the VMs of finished jobs and records their outcomes.
+func (m *Manager) onTick(now time.Duration) {
+	for name, a := range m.active {
+		if !a.job.Done() {
+			continue
+		}
+		if err := a.host.RemoveVM(a.vmName); err == nil {
+			m.completed = append(m.completed, JobRecord{
+				Job: name, Class: a.class, Host: a.host.Name(),
+				Submitted: a.submitted, Completed: now,
+				Turnaround: now - a.submitted,
+			})
+			delete(m.active, name)
+		}
+	}
+}
+
+// Active returns the number of running jobs.
+func (m *Manager) Active() int { return len(m.active) }
+
+// Completed returns the finished jobs, oldest first.
+func (m *Manager) Completed() []JobRecord {
+	out := append([]JobRecord(nil), m.completed...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Completed < out[j].Completed })
+	return out
+}
+
+// MeanTurnaround averages the completed jobs' turnaround times.
+func (m *Manager) MeanTurnaround() (time.Duration, error) {
+	if len(m.completed) == 0 {
+		return 0, fmt.Errorf("manager: no completed jobs")
+	}
+	var sum time.Duration
+	for _, r := range m.completed {
+		sum += r.Turnaround
+	}
+	return sum / time.Duration(len(m.completed)), nil
+}
+
+// Workload helpers for the online experiment.
+
+// StreamJob builds the i-th job of a repeating S, P, N arrival pattern,
+// returning the job and the class the application database would report
+// for it.
+func StreamJob(i int, seed int64) (vmm.Job, appclass.Class, error) {
+	name := fmt.Sprintf("job-%d", i)
+	switch i % 3 {
+	case 0:
+		j, err := workload.NewSPECseis(workload.SPECseisSmall, workload.Config{Name: name, Seed: seed})
+		return j, appclass.CPU, err
+	case 1:
+		j, err := workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Name: name, Seed: seed})
+		return j, appclass.IO, err
+	default:
+		j, err := workload.NewNetPIPE(0, workload.Config{Name: name, Seed: seed})
+		return j, appclass.Net, err
+	}
+}

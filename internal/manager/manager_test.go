@@ -1,0 +1,212 @@
+package manager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/vmm"
+)
+
+// site builds a cluster with n homogeneous hosts.
+func site(t testing.TB, n int) (*vmm.Cluster, []*vmm.Host) {
+	t.Helper()
+	cluster := vmm.NewCluster()
+	var hosts []*vmm.Host
+	for i := 0; i < n; i++ {
+		h := vmm.NewHost(vmm.HostConfig{Name: fmt.Sprintf("host%d", i), CPUs: 2})
+		if err := cluster.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	return cluster, hosts
+}
+
+func TestManagerValidation(t *testing.T) {
+	cluster, hosts := site(t, 2)
+	if _, err := New(nil, Config{Hosts: hosts, CapacityPerHost: 2, Policy: ClassAwarePolicy{}}); err == nil {
+		t.Error("nil cluster: want error")
+	}
+	if _, err := New(cluster, Config{CapacityPerHost: 2, Policy: ClassAwarePolicy{}}); err == nil {
+		t.Error("no hosts: want error")
+	}
+	if _, err := New(cluster, Config{Hosts: hosts, Policy: ClassAwarePolicy{}}); err == nil {
+		t.Error("zero capacity: want error")
+	}
+	if _, err := New(cluster, Config{Hosts: hosts, CapacityPerHost: 2}); err == nil {
+		t.Error("nil policy: want error")
+	}
+}
+
+func TestSubmitPlacesAndCompletes(t *testing.T) {
+	cluster, hosts := site(t, 2)
+	m, err := New(cluster, Config{Hosts: hosts, CapacityPerHost: 2, Policy: ClassAwarePolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, class, err := StreamJob(1, 5) // PostMark, io
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != appclass.IO {
+		t.Fatalf("StreamJob(1) class = %s", class)
+	}
+	if _, err := m.Submit(job, class); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if m.Active() != 1 {
+		t.Fatalf("Active = %d", m.Active())
+	}
+	if _, err := m.Submit(job, class); err == nil {
+		t.Error("duplicate submit: want error")
+	}
+	if err := cluster.RunFor(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if m.Active() != 0 {
+		t.Fatalf("job still active after 20 min")
+	}
+	recs := m.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("completed = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Turnaround < 2*time.Minute || r.Turnaround > 15*time.Minute {
+		t.Errorf("turnaround = %v", r.Turnaround)
+	}
+	// The VM was released.
+	total := 0
+	for _, h := range hosts {
+		total += len(h.VMs())
+	}
+	if total != 0 {
+		t.Errorf("%d VMs still placed after completion", total)
+	}
+	mean, err := m.MeanTurnaround()
+	if err != nil || mean != r.Turnaround {
+		t.Errorf("MeanTurnaround = (%v, %v)", mean, err)
+	}
+}
+
+func TestSubmitRejectsWhenFull(t *testing.T) {
+	cluster, hosts := site(t, 1)
+	m, err := New(cluster, Config{Hosts: hosts, CapacityPerHost: 1, Policy: NewRandomPolicy(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, c1, err := StreamJob(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(j1, c1); err != nil {
+		t.Fatal(err)
+	}
+	j2, c2, err := StreamJob(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(j2, c2); err == nil {
+		t.Error("submit beyond capacity: want error")
+	}
+}
+
+func TestClassAwarePolicySpreadsClasses(t *testing.T) {
+	views := []HostView{
+		{Name: "a", VMs: 2, Capacity: 3, ClassCounts: map[appclass.Class]int{appclass.CPU: 2}},
+		{Name: "b", VMs: 2, Capacity: 3, ClassCounts: map[appclass.Class]int{appclass.IO: 2}},
+	}
+	idx, err := (ClassAwarePolicy{}).Choose(views, appclass.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if views[idx].Name != "b" {
+		t.Errorf("CPU job placed on %s, want the host without CPU jobs", views[idx].Name)
+	}
+	idx, err = (ClassAwarePolicy{}).Choose(views, appclass.IO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if views[idx].Name != "a" {
+		t.Errorf("IO job placed on %s, want the host without IO jobs", views[idx].Name)
+	}
+	if _, err := (ClassAwarePolicy{}).Choose(nil, appclass.CPU); err == nil {
+		t.Error("no hosts: want error")
+	}
+	if _, err := NewRandomPolicy(1).Choose(nil, appclass.CPU); err == nil {
+		t.Error("random with no hosts: want error")
+	}
+}
+
+// TestOnlineClassAwareBeatsRandom is the online version of the paper's
+// scheduling result: over a stream of arriving jobs, class-aware
+// placement yields lower mean turnaround than random placement.
+func TestOnlineClassAwareBeatsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	runStream := func(policy Policy) time.Duration {
+		// Uniprocessor-class hosts with modest NICs: co-locating two
+		// jobs of the same class on one host contends (CPU, disk, or
+		// network) while mixed pairs coexist — the paper's testbed
+		// economics at pairwise scale.
+		cluster := vmm.NewCluster()
+		var hosts []*vmm.Host
+		for i := 0; i < 3; i++ {
+			h := vmm.NewHost(vmm.HostConfig{
+				Name: fmt.Sprintf("host%d", i),
+				CPUs: 1.2, NetInKBps: 20000, NetOutKBps: 20000,
+			})
+			if err := cluster.AddHost(h); err != nil {
+				t.Fatal(err)
+			}
+			hosts = append(hosts, h)
+		}
+		m, err := New(cluster, Config{Hosts: hosts, CapacityPerHost: 2, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const jobs = 12
+		submitted := 0
+		// Submit one job every simulated minute; retry when full.
+		for submitted < jobs {
+			job, class, err := StreamJob(submitted, int64(submitted))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Submit(job, class); err == nil {
+				submitted++
+			}
+			if err := cluster.RunFor(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain.
+		for m.Active() > 0 && cluster.Now() < 6*time.Hour {
+			if err := cluster.RunFor(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.Active() > 0 {
+			t.Fatalf("%s: %d jobs never finished", policy.Name(), m.Active())
+		}
+		mean, err := m.MeanTurnaround()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: mean turnaround %v over %d jobs", policy.Name(), mean, jobs)
+		return mean
+	}
+	aware := runStream(ClassAwarePolicy{})
+	// Average several random seeds for a fair expectation.
+	var randomSum time.Duration
+	const trials = 3
+	for s := int64(0); s < trials; s++ {
+		randomSum += runStream(NewRandomPolicy(s))
+	}
+	random := randomSum / trials
+	if aware >= random {
+		t.Errorf("class-aware mean turnaround %v not better than random %v", aware, random)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV encodes the trace as CSV with a header row of
+// "time_s,node,<metric names...>". Times are written in seconds.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"time_s", "node"}, t.schema.Names()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: write CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < t.Len(); i++ {
+		s := t.At(i)
+		row[0] = strconv.FormatFloat(s.Time.Seconds(), 'g', -1, 64)
+		row[1] = s.Node
+		for j, v := range s.Values {
+			row[2+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV decodes a trace written by WriteCSV. The schema is
+// reconstructed from the header.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: read CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "time_s" || header[1] != "node" {
+		return nil, fmt.Errorf("metrics: malformed CSV header %v", header)
+	}
+	schema, err := NewSchema(header[2:])
+	if err != nil {
+		return nil, fmt.Errorf("metrics: CSV header schema: %w", err)
+	}
+	var trace *Trace
+	for lineNo := 1; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("metrics: read CSV line %d: %w", lineNo, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("metrics: CSV line %d has %d fields, want %d", lineNo, len(rec), len(header))
+		}
+		secs, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: CSV line %d time: %w", lineNo, err)
+		}
+		if trace == nil {
+			trace = NewTrace(schema, rec[1])
+		}
+		vals := make([]float64, schema.Len())
+		for j := range vals {
+			v, err := strconv.ParseFloat(rec[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: CSV line %d metric %q: %w", lineNo, schema.Name(j), err)
+			}
+			vals[j] = v
+		}
+		snap := Snapshot{
+			Time:   time.Duration(secs * float64(time.Second)),
+			Node:   rec[1],
+			Values: vals,
+		}
+		if err := trace.Append(snap); err != nil {
+			return nil, fmt.Errorf("metrics: CSV line %d: %w", lineNo, err)
+		}
+	}
+	if trace == nil {
+		trace = NewTrace(schema, "")
+	}
+	return trace, nil
+}
+
+// traceJSON is the wire form of a trace.
+type traceJSON struct {
+	Node    string         `json:"node"`
+	Metrics []string       `json:"metrics"`
+	Samples []snapshotJSON `json:"samples"`
+}
+
+type snapshotJSON struct {
+	TimeSeconds float64   `json:"time_s"`
+	Values      []float64 `json:"values"`
+}
+
+// MarshalJSON encodes the trace as a compact JSON document.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	doc := traceJSON{
+		Node:    t.node,
+		Metrics: t.schema.Names(),
+		Samples: make([]snapshotJSON, 0, t.Len()),
+	}
+	for i := 0; i < t.Len(); i++ {
+		s := t.At(i)
+		doc.Samples = append(doc.Samples, snapshotJSON{
+			TimeSeconds: s.Time.Seconds(),
+			Values:      append([]float64(nil), s.Values...),
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a trace encoded by MarshalJSON.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var doc traceJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("metrics: unmarshal trace: %w", err)
+	}
+	schema, err := NewSchema(doc.Metrics)
+	if err != nil {
+		return fmt.Errorf("metrics: trace JSON schema: %w", err)
+	}
+	nt := NewTrace(schema, doc.Node)
+	for i, s := range doc.Samples {
+		snap := Snapshot{
+			Time:   time.Duration(s.TimeSeconds * float64(time.Second)),
+			Node:   doc.Node,
+			Values: s.Values,
+		}
+		if err := nt.Append(snap); err != nil {
+			return fmt.Errorf("metrics: trace JSON sample %d: %w", i, err)
+		}
+	}
+	*t = *nt
+	return nil
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV exercises the trace CSV decoder with arbitrary input: it
+// must never panic, and any input it accepts must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_s,node,m1\n0,vm1,1.5\n5,vm1,2.5\n")
+	f.Add("time_s,node\n")
+	f.Add("bogus\n")
+	f.Add("time_s,node,m1,m1\n0,vm1,1,2\n")
+	f.Add("time_s,node,m1\n0,vm1,NaN\n")
+	f.Add("time_s,node,m1\n5,vm1,1\n0,vm1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(bytes.NewBufferString(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("encoded trace failed to decode: %v", err)
+		}
+		if back.Len() != tr.Len() || !back.Schema().Equal(tr.Schema()) {
+			t.Fatalf("round trip changed shape: %d/%d snapshots", back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzTraceJSON exercises the JSON codec the same way.
+func FuzzTraceJSON(f *testing.F) {
+	f.Add([]byte(`{"node":"vm1","metrics":["a"],"samples":[{"time_s":0,"values":[1]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"node":"x","metrics":["a","a"],"samples":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		var tr Trace
+		if err := tr.UnmarshalJSON(input); err != nil {
+			return
+		}
+		data, err := tr.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted trace failed to marshal: %v", err)
+		}
+		var back Trace
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("marshalled trace failed to unmarshal: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d/%d", back.Len(), tr.Len())
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import "fmt"
+
+// Info describes one metric the way gmond's metric metadata does: its
+// unit, a human-readable description, and whether it is a rate (per
+// second) or a gauge (instantaneous level).
+type Info struct {
+	// Unit is the measurement unit ("percent", "KB/s", ...).
+	Unit string
+	// Description explains the metric.
+	Description string
+	// Rate is true for per-second counters, false for gauges.
+	Rate bool
+}
+
+// metadata holds the Info of every canonical metric.
+var metadata = map[string]Info{
+	CPUNum:      {Unit: "CPUs", Description: "number of CPUs", Rate: false},
+	CPUSpeed:    {Unit: "MHz", Description: "CPU clock speed", Rate: false},
+	CPUUser:     {Unit: "percent", Description: "CPU time in user code", Rate: false},
+	CPUNice:     {Unit: "percent", Description: "CPU time at reduced priority", Rate: false},
+	CPUSystem:   {Unit: "percent", Description: "CPU time in the kernel", Rate: false},
+	CPUIdle:     {Unit: "percent", Description: "idle CPU time", Rate: false},
+	CPUWIO:      {Unit: "percent", Description: "CPU time waiting on I/O", Rate: false},
+	CPUAIdle:    {Unit: "percent", Description: "idle CPU headroom", Rate: false},
+	LoadOne:     {Unit: "processes", Description: "1-minute load average", Rate: false},
+	LoadFive:    {Unit: "processes", Description: "5-minute load average", Rate: false},
+	LoadFifteen: {Unit: "processes", Description: "15-minute load average", Rate: false},
+	ProcRun:     {Unit: "processes", Description: "runnable processes", Rate: false},
+	ProcTotal:   {Unit: "processes", Description: "total processes", Rate: false},
+	MemTotal:    {Unit: "KB", Description: "total memory", Rate: false},
+	MemFree:     {Unit: "KB", Description: "free memory", Rate: false},
+	MemShared:   {Unit: "KB", Description: "shared memory", Rate: false},
+	MemBuffers:  {Unit: "KB", Description: "buffer memory", Rate: false},
+	MemCached:   {Unit: "KB", Description: "page-cache memory", Rate: false},
+	SwapTotal:   {Unit: "KB", Description: "total swap space", Rate: false},
+	SwapFree:    {Unit: "KB", Description: "free swap space", Rate: false},
+	BytesIn:     {Unit: "bytes/s", Description: "network receive rate", Rate: true},
+	BytesOut:    {Unit: "bytes/s", Description: "network transmit rate", Rate: true},
+	PktsIn:      {Unit: "packets/s", Description: "network receive packet rate", Rate: true},
+	PktsOut:     {Unit: "packets/s", Description: "network transmit packet rate", Rate: true},
+	DiskTotal:   {Unit: "GB", Description: "total disk space", Rate: false},
+	DiskFree:    {Unit: "GB", Description: "free disk space", Rate: false},
+	PartMaxUsed: {Unit: "percent", Description: "fullest partition utilization", Rate: false},
+	Boottime:    {Unit: "s", Description: "boot timestamp", Rate: false},
+	Heartbeat:   {Unit: "count", Description: "gmond heartbeat counter", Rate: false},
+	IOBI:        {Unit: "blocks/s", Description: "blocks read from block devices (vmstat bi)", Rate: true},
+	IOBO:        {Unit: "blocks/s", Description: "blocks written to block devices (vmstat bo)", Rate: true},
+	SwapIn:      {Unit: "KB/s", Description: "memory swapped in from disk (vmstat si)", Rate: true},
+	SwapOut:     {Unit: "KB/s", Description: "memory swapped out to disk (vmstat so)", Rate: true},
+}
+
+// Describe returns the metadata of a canonical metric.
+func Describe(name string) (Info, error) {
+	info, ok := metadata[name]
+	if !ok {
+		return Info{}, fmt.Errorf("metrics: no metadata for metric %q", name)
+	}
+	return info, nil
+}

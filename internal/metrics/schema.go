@@ -1,0 +1,180 @@
+// Package metrics defines the performance-metric schema the classifier
+// consumes: the 29 default Ganglia gmond metrics plus the four
+// vmstat-derived metrics the paper adds (I/O blocks in/out, pages swapped
+// in/out), for a total of n = 33 metrics per snapshot. It also provides
+// the Snapshot and Trace containers and their CSV/JSON codecs.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Metric names. The 29 defaults follow the Ganglia 2.5/3.0 gmond metric
+// list the paper's testbed used (numeric metrics only; string metrics
+// such as machine_type carry no classification signal and are omitted
+// from the numeric schema, with heartbeat standing in as the liveness
+// metric). The four trailing names are the vmstat additions from
+// Section 4.1.
+const (
+	CPUNum      = "cpu_num"       // number of CPUs
+	CPUSpeed    = "cpu_speed"     // CPU clock, MHz
+	CPUUser     = "cpu_user"      // percent CPU user (Table 1)
+	CPUNice     = "cpu_nice"      // percent CPU nice
+	CPUSystem   = "cpu_system"    // percent CPU system (Table 1)
+	CPUIdle     = "cpu_idle"      // percent CPU idle
+	CPUWIO      = "cpu_wio"       // percent CPU waiting on I/O
+	CPUAIdle    = "cpu_aidle"     // percent CPU idle since boot
+	LoadOne     = "load_one"      // 1-minute load average
+	LoadFive    = "load_five"     // 5-minute load average
+	LoadFifteen = "load_fifteen"  // 15-minute load average
+	ProcRun     = "proc_run"      // running processes
+	ProcTotal   = "proc_total"    // total processes
+	MemTotal    = "mem_total"     // total memory, kB
+	MemFree     = "mem_free"      // free memory, kB
+	MemShared   = "mem_shared"    // shared memory, kB
+	MemBuffers  = "mem_buffers"   // buffer memory, kB
+	MemCached   = "mem_cached"    // page-cache memory, kB
+	SwapTotal   = "swap_total"    // total swap, kB
+	SwapFree    = "swap_free"     // free swap, kB
+	BytesIn     = "bytes_in"      // network bytes/s in (Table 1)
+	BytesOut    = "bytes_out"     // network bytes/s out (Table 1)
+	PktsIn      = "pkts_in"       // network packets/s in
+	PktsOut     = "pkts_out"      // network packets/s out
+	DiskTotal   = "disk_total"    // total disk, GB
+	DiskFree    = "disk_free"     // free disk, GB
+	PartMaxUsed = "part_max_used" // max partition utilization, percent
+	Boottime    = "boottime"      // boot timestamp, s
+	Heartbeat   = "heartbeat"     // gmond heartbeat counter
+
+	// vmstat additions (Section 4.1, Table 1).
+	IOBI    = "io_bi"    // blocks/s received from block devices
+	IOBO    = "io_bo"    // blocks/s sent to block devices
+	SwapIn  = "swap_in"  // kB/s swapped in from disk
+	SwapOut = "swap_out" // kB/s swapped out to disk
+)
+
+// DefaultNames lists the full 33-metric schema in canonical order:
+// the 29 Ganglia defaults followed by the 4 vmstat additions.
+func DefaultNames() []string {
+	return []string{
+		CPUNum, CPUSpeed, CPUUser, CPUNice, CPUSystem, CPUIdle, CPUWIO,
+		CPUAIdle, LoadOne, LoadFive, LoadFifteen, ProcRun, ProcTotal,
+		MemTotal, MemFree, MemShared, MemBuffers, MemCached, SwapTotal,
+		SwapFree, BytesIn, BytesOut, PktsIn, PktsOut, DiskTotal, DiskFree,
+		PartMaxUsed, Boottime, Heartbeat,
+		IOBI, IOBO, SwapIn, SwapOut,
+	}
+}
+
+// ExpertNames lists the p = 8 metrics of Table 1 that the preprocessor
+// selects by expert knowledge: one correlated pair per application class.
+func ExpertNames() []string {
+	return []string{
+		CPUSystem, CPUUser, // CPU-intensive
+		BytesIn, BytesOut, // network-intensive
+		IOBI, IOBO, // IO-intensive
+		SwapIn, SwapOut, // memory(paging)-intensive
+	}
+}
+
+// Schema is an immutable ordered set of metric names with O(1) index
+// lookup. Snapshots and traces are always interpreted against a schema.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from names. Duplicate or empty names are
+// rejected.
+func NewSchema(names []string) (*Schema, error) {
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range s.names {
+		if n == "" {
+			return nil, fmt.Errorf("metrics: empty metric name at position %d", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("metrics: duplicate metric name %q", n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// DefaultSchema returns the canonical 33-metric schema.
+func DefaultSchema() *Schema {
+	s, err := NewSchema(DefaultNames())
+	if err != nil {
+		panic("metrics: default schema invalid: " + err.Error())
+	}
+	return s
+}
+
+// ExpertSchema returns the 8-metric Table-1 schema.
+func ExpertSchema() *Schema {
+	s, err := NewSchema(ExpertNames())
+	if err != nil {
+		panic("metrics: expert schema invalid: " + err.Error())
+	}
+	return s
+}
+
+// Len returns the number of metrics in the schema.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns a copy of the metric names in order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Index returns the position of name and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Name returns the metric name at position i.
+func (s *Schema) Name(i int) string {
+	if i < 0 || i >= len(s.names) {
+		panic(fmt.Sprintf("metrics: schema index %d out of range [0,%d)", i, len(s.names)))
+	}
+	return s.names[i]
+}
+
+// Contains reports whether the schema includes name.
+func (s *Schema) Contains(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// Equal reports whether two schemas have identical names in identical
+// order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i, n := range s.names {
+		if o.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset verifies every name exists in the schema and returns their
+// indices in the order given, enabling projection of snapshots onto a
+// sub-schema (the preprocessor's n → p reduction).
+func (s *Schema) Subset(names []string) ([]int, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := s.index[n]
+		if !ok {
+			available := append([]string(nil), s.names...)
+			sort.Strings(available)
+			return nil, fmt.Errorf("metrics: metric %q not in schema %v", n, available)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}

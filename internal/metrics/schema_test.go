@@ -1,0 +1,146 @@
+package metrics
+
+import "testing"
+
+func TestDefaultSchemaHas33Metrics(t *testing.T) {
+	s := DefaultSchema()
+	if s.Len() != 33 {
+		t.Fatalf("default schema has %d metrics, paper requires n = 33", s.Len())
+	}
+}
+
+func TestExpertSchemaHas8Metrics(t *testing.T) {
+	s := ExpertSchema()
+	if s.Len() != 8 {
+		t.Fatalf("expert schema has %d metrics, Table 1 requires p = 8", s.Len())
+	}
+}
+
+func TestExpertMetricsAreInDefaultSchema(t *testing.T) {
+	def := DefaultSchema()
+	for _, n := range ExpertNames() {
+		if !def.Contains(n) {
+			t.Errorf("expert metric %q missing from default schema", n)
+		}
+	}
+}
+
+func TestExpertMetricsPairPerClass(t *testing.T) {
+	// Table 1: exactly four correlated pairs, one per class.
+	want := [][2]string{
+		{CPUSystem, CPUUser},
+		{BytesIn, BytesOut},
+		{IOBI, IOBO},
+		{SwapIn, SwapOut},
+	}
+	names := ExpertNames()
+	if len(names) != 8 {
+		t.Fatalf("expert names = %d, want 8", len(names))
+	}
+	for i, pair := range want {
+		if names[2*i] != pair[0] || names[2*i+1] != pair[1] {
+			t.Errorf("pair %d = (%s,%s), want (%s,%s)", i, names[2*i], names[2*i+1], pair[0], pair[1])
+		}
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	if _, err := NewSchema([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate names: want error")
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema([]string{"a", ""}); err == nil {
+		t.Fatal("empty name: want error")
+	}
+}
+
+func TestSchemaIndexAndName(t *testing.T) {
+	s, err := NewSchema([]string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, ok := s.Index("y")
+	if !ok || i != 1 {
+		t.Errorf("Index(y) = (%d,%v), want (1,true)", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) should not exist")
+	}
+	if s.Name(2) != "z" {
+		t.Errorf("Name(2) = %q, want z", s.Name(2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Name out of range should panic")
+		}
+	}()
+	s.Name(3)
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, _ := NewSchema([]string{"x", "y"})
+	b, _ := NewSchema([]string{"x", "y"})
+	c, _ := NewSchema([]string{"y", "x"})
+	if !a.Equal(b) {
+		t.Error("identical schemas reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("reordered schemas reported equal")
+	}
+}
+
+func TestSchemaSubset(t *testing.T) {
+	s := DefaultSchema()
+	idx, err := s.Subset([]string{CPUUser, SwapOut})
+	if err != nil {
+		t.Fatalf("Subset: %v", err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("Subset returned %d indices", len(idx))
+	}
+	if s.Name(idx[0]) != CPUUser || s.Name(idx[1]) != SwapOut {
+		t.Errorf("Subset indices resolve to %q,%q", s.Name(idx[0]), s.Name(idx[1]))
+	}
+	if _, err := s.Subset([]string{"nope"}); err == nil {
+		t.Error("Subset with unknown metric: want error")
+	}
+}
+
+func TestSchemaNamesIsCopy(t *testing.T) {
+	s := DefaultSchema()
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Name(0) == "mutated" {
+		t.Error("Names() exposes internal storage")
+	}
+}
+
+func TestEveryDefaultMetricHasMetadata(t *testing.T) {
+	for _, name := range DefaultNames() {
+		info, err := Describe(name)
+		if err != nil {
+			t.Errorf("Describe(%s): %v", name, err)
+			continue
+		}
+		if info.Unit == "" || info.Description == "" {
+			t.Errorf("metric %s has incomplete metadata: %+v", name, info)
+		}
+	}
+	if _, err := Describe("warp_factor"); err == nil {
+		t.Error("unknown metric: want error")
+	}
+}
+
+func TestVmstatAdditionsAreRates(t *testing.T) {
+	for _, name := range []string{IOBI, IOBO, SwapIn, SwapOut} {
+		info, err := Describe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Rate {
+			t.Errorf("metric %s should be a rate", name)
+		}
+	}
+}

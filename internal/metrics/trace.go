@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// Snapshot is one sample of every metric in a schema for one node at one
+// instant of simulated time. Values are ordered by the owning trace's
+// schema.
+type Snapshot struct {
+	// Time is the simulated timestamp of the sample.
+	Time time.Duration
+	// Node identifies the monitored node (the paper's "VMIP").
+	Node string
+	// Values holds one value per schema metric, in schema order.
+	Values []float64
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	c := s
+	c.Values = append([]float64(nil), s.Values...)
+	return c
+}
+
+// Trace is the "application performance data pool" of Section 4.1: an
+// ordered series of snapshots of one node between application start t0
+// and end t1, interpreted against a schema. The paper writes it as the
+// matrix A(n×m) with n metrics and m snapshots; Matrix() returns the
+// transposed, row-per-snapshot (m×n) layout that the learning packages
+// consume.
+type Trace struct {
+	schema    *Schema
+	node      string
+	snapshots []Snapshot
+}
+
+// NewTrace creates an empty trace for one node against a schema.
+func NewTrace(schema *Schema, node string) *Trace {
+	return &Trace{schema: schema, node: node}
+}
+
+// Schema returns the trace's schema.
+func (t *Trace) Schema() *Schema { return t.schema }
+
+// Node returns the monitored node identifier.
+func (t *Trace) Node() string { return t.node }
+
+// Len returns the number of snapshots m.
+func (t *Trace) Len() int { return len(t.snapshots) }
+
+// Append adds a snapshot. The snapshot's node must match the trace's
+// node and its value count must match the schema.
+func (t *Trace) Append(s Snapshot) error {
+	if s.Node != t.node {
+		return fmt.Errorf("metrics: snapshot node %q does not match trace node %q", s.Node, t.node)
+	}
+	if len(s.Values) != t.schema.Len() {
+		return fmt.Errorf("metrics: snapshot has %d values, schema has %d metrics", len(s.Values), t.schema.Len())
+	}
+	if n := len(t.snapshots); n > 0 && s.Time < t.snapshots[n-1].Time {
+		return fmt.Errorf("metrics: snapshot time %v before previous %v", s.Time, t.snapshots[n-1].Time)
+	}
+	t.snapshots = append(t.snapshots, s.Clone())
+	return nil
+}
+
+// At returns the i-th snapshot (shared storage; callers must not mutate).
+func (t *Trace) At(i int) Snapshot {
+	if i < 0 || i >= len(t.snapshots) {
+		panic(fmt.Sprintf("metrics: snapshot index %d out of range [0,%d)", i, len(t.snapshots)))
+	}
+	return t.snapshots[i]
+}
+
+// Value returns the named metric of the i-th snapshot.
+func (t *Trace) Value(i int, name string) (float64, error) {
+	j, ok := t.schema.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("metrics: metric %q not in trace schema", name)
+	}
+	return t.At(i).Values[j], nil
+}
+
+// Column returns the full time series of one metric.
+func (t *Trace) Column(name string) ([]float64, error) {
+	j, ok := t.schema.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("metrics: metric %q not in trace schema", name)
+	}
+	out := make([]float64, len(t.snapshots))
+	for i, s := range t.snapshots {
+		out[i] = s.Values[j]
+	}
+	return out, nil
+}
+
+// Duration returns t1 - t0, the span between the first and last
+// snapshots (zero for traces with fewer than two snapshots).
+func (t *Trace) Duration() time.Duration {
+	if len(t.snapshots) < 2 {
+		return 0
+	}
+	return t.snapshots[len(t.snapshots)-1].Time - t.snapshots[0].Time
+}
+
+// Matrix renders the trace as an m×n matrix: one row per snapshot, one
+// column per schema metric.
+func (t *Trace) Matrix() *linalg.Matrix {
+	m := linalg.NewMatrix(len(t.snapshots), t.schema.Len())
+	for i, s := range t.snapshots {
+		for j, v := range s.Values {
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// Project returns a new trace containing only the named metrics, in the
+// order given — the preprocessor's data-extraction step (n → p).
+func (t *Trace) Project(names []string) (*Trace, error) {
+	idx, err := t.schema.Subset(names)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := NewSchema(names)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTrace(sub, t.node)
+	for _, s := range t.snapshots {
+		vals := make([]float64, len(idx))
+		for k, j := range idx {
+			vals[k] = s.Values[j]
+		}
+		out.snapshots = append(out.snapshots, Snapshot{Time: s.Time, Node: s.Node, Values: vals})
+	}
+	return out, nil
+}
+
+// Slice returns a new trace holding snapshots [from, to) sharing the
+// same schema — used by the sliding-window stage detector.
+func (t *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 || to > len(t.snapshots) || from > to {
+		return nil, fmt.Errorf("metrics: slice [%d,%d) out of range [0,%d]", from, to, len(t.snapshots))
+	}
+	out := NewTrace(t.schema, t.node)
+	for _, s := range t.snapshots[from:to] {
+		out.snapshots = append(out.snapshots, s.Clone())
+	}
+	return out, nil
+}
+
+// Merge appends all snapshots of other (same schema and node required),
+// used to pool several training runs of one application.
+func (t *Trace) Merge(other *Trace) error {
+	if !t.schema.Equal(other.schema) {
+		return fmt.Errorf("metrics: cannot merge traces with different schemas")
+	}
+	// Preserve monotone time by shifting the merged run to start after
+	// the existing one while keeping its internal spacing.
+	var offset time.Duration
+	if n := len(t.snapshots); n > 0 && len(other.snapshots) > 0 {
+		if first := other.snapshots[0].Time; first <= t.snapshots[n-1].Time {
+			offset = t.snapshots[n-1].Time - first + time.Second
+		}
+	}
+	for _, s := range other.snapshots {
+		cp := s.Clone()
+		cp.Node = t.node
+		cp.Time += offset
+		t.snapshots = append(t.snapshots, cp)
+	}
+	return nil
+}

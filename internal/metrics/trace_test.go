@@ -1,0 +1,294 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func smallSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]string{"m1", "m2", "m3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func snap(at time.Duration, node string, vals ...float64) Snapshot {
+	return Snapshot{Time: at, Node: node, Values: vals}
+}
+
+func TestTraceAppendAndAccess(t *testing.T) {
+	tr := NewTrace(smallSchema(t), "vm1")
+	if err := tr.Append(snap(0, "vm1", 1, 2, 3)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := tr.Append(snap(5*time.Second, "vm1", 4, 5, 6)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	v, err := tr.Value(1, "m2")
+	if err != nil || v != 5 {
+		t.Errorf("Value(1,m2) = (%v,%v), want (5,nil)", v, err)
+	}
+	col, err := tr.Column("m3")
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Column(m3) = %v", col)
+	}
+	if tr.Duration() != 5*time.Second {
+		t.Errorf("Duration = %v, want 5s", tr.Duration())
+	}
+}
+
+func TestTraceAppendValidation(t *testing.T) {
+	tr := NewTrace(smallSchema(t), "vm1")
+	if err := tr.Append(snap(0, "other", 1, 2, 3)); err == nil {
+		t.Error("wrong node: want error")
+	}
+	if err := tr.Append(snap(0, "vm1", 1)); err == nil {
+		t.Error("wrong arity: want error")
+	}
+	if err := tr.Append(snap(10*time.Second, "vm1", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(snap(5*time.Second, "vm1", 1, 2, 3)); err == nil {
+		t.Error("non-monotone time: want error")
+	}
+}
+
+func TestTraceAppendClones(t *testing.T) {
+	tr := NewTrace(smallSchema(t), "vm1")
+	vals := []float64{1, 2, 3}
+	if err := tr.Append(Snapshot{Node: "vm1", Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 99
+	if tr.At(0).Values[0] != 1 {
+		t.Error("Append aliases caller storage")
+	}
+}
+
+func TestTraceMatrix(t *testing.T) {
+	tr := NewTrace(smallSchema(t), "vm1")
+	_ = tr.Append(snap(0, "vm1", 1, 2, 3))
+	_ = tr.Append(snap(time.Second, "vm1", 4, 5, 6))
+	m := tr.Matrix()
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("Matrix shape %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("Matrix[1,2] = %v, want 6", m.At(1, 2))
+	}
+}
+
+func TestTraceProject(t *testing.T) {
+	tr := NewTrace(smallSchema(t), "vm1")
+	_ = tr.Append(snap(0, "vm1", 1, 2, 3))
+	p, err := tr.Project([]string{"m3", "m1"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Schema().Len() != 2 {
+		t.Fatalf("projected schema len = %d", p.Schema().Len())
+	}
+	if p.At(0).Values[0] != 3 || p.At(0).Values[1] != 1 {
+		t.Errorf("projected values = %v, want [3 1]", p.At(0).Values)
+	}
+	if _, err := tr.Project([]string{"missing"}); err == nil {
+		t.Error("Project with unknown metric: want error")
+	}
+}
+
+func TestTraceSlice(t *testing.T) {
+	tr := NewTrace(smallSchema(t), "vm1")
+	for i := 0; i < 5; i++ {
+		_ = tr.Append(snap(time.Duration(i)*time.Second, "vm1", float64(i), 0, 0))
+	}
+	s, err := tr.Slice(1, 3)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if s.Len() != 2 || s.At(0).Values[0] != 1 {
+		t.Errorf("Slice = len %d first %v", s.Len(), s.At(0).Values)
+	}
+	if _, err := tr.Slice(3, 1); err == nil {
+		t.Error("inverted slice: want error")
+	}
+	if _, err := tr.Slice(0, 99); err == nil {
+		t.Error("overlong slice: want error")
+	}
+}
+
+func TestTraceMergePreservesSpacingAndMonotonicity(t *testing.T) {
+	a := NewTrace(smallSchema(t), "vm1")
+	_ = a.Append(snap(0, "vm1", 1, 1, 1))
+	_ = a.Append(snap(5*time.Second, "vm1", 2, 2, 2))
+	b := NewTrace(smallSchema(t), "vm2")
+	_ = b.Append(snap(0, "vm2", 3, 3, 3))
+	_ = b.Append(snap(5*time.Second, "vm2", 4, 4, 4))
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("merged len = %d, want 4", a.Len())
+	}
+	for i := 1; i < a.Len(); i++ {
+		if a.At(i).Time <= a.At(i-1).Time {
+			t.Fatalf("merged times not increasing at %d: %v then %v", i, a.At(i-1).Time, a.At(i).Time)
+		}
+	}
+	gap := a.At(3).Time - a.At(2).Time
+	if gap != 5*time.Second {
+		t.Errorf("merged internal spacing = %v, want 5s", gap)
+	}
+	if a.At(2).Node != "vm1" {
+		t.Errorf("merged node = %q, want vm1", a.At(2).Node)
+	}
+}
+
+func TestTraceMergeSchemaMismatch(t *testing.T) {
+	a := NewTrace(smallSchema(t), "vm1")
+	other, _ := NewSchema([]string{"x"})
+	b := NewTrace(other, "vm1")
+	if err := a.Merge(b); err == nil {
+		t.Error("schema mismatch: want error")
+	}
+}
+
+func buildTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	tr := NewTrace(smallSchema(t), "vm1")
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		err := tr.Append(snap(time.Duration(i*5)*time.Second, "vm1",
+			rng.Float64()*100, rng.Float64()*1e6, rng.NormFloat64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := buildTrace(t, 20)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != tr.Len() || !got.Schema().Equal(tr.Schema()) || got.Node() != tr.Node() {
+		t.Fatalf("round trip mismatch: len %d/%d node %q/%q", got.Len(), tr.Len(), got.Node(), tr.Node())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		want, have := tr.At(i), got.At(i)
+		if want.Time != have.Time {
+			t.Fatalf("snapshot %d time %v != %v", i, have.Time, want.Time)
+		}
+		for j := range want.Values {
+			if want.Values[j] != have.Values[j] {
+				t.Fatalf("snapshot %d value %d: %v != %v", i, j, have.Values[j], want.Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformedHeader(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("bogus,node,m1\n")); err == nil {
+		t.Error("malformed header: want error")
+	}
+}
+
+func TestReadCSVRejectsBadValue(t *testing.T) {
+	in := "time_s,node,m1\n0,vm1,notanumber\n"
+	if _, err := ReadCSV(bytes.NewBufferString(in)); err == nil {
+		t.Error("bad value: want error")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	tr, err := ReadCSV(bytes.NewBufferString("time_s,node,m1\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := buildTrace(t, 10)
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Trace
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Len() != tr.Len() || !got.Schema().Equal(tr.Schema()) {
+		t.Fatalf("JSON round trip mismatch")
+	}
+	for i := 0; i < tr.Len(); i++ {
+		for j, v := range tr.At(i).Values {
+			if got.At(i).Values[j] != v {
+				t.Fatalf("sample %d value %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// Property: CSV round-trips preserve every value exactly for finite
+// inputs.
+func TestTraceCSVRoundTripProperty(t *testing.T) {
+	schema, _ := NewSchema([]string{"a", "b"})
+	f := func(raw [6][2]float64) bool {
+		tr := NewTrace(schema, "vmX")
+		for i, row := range raw {
+			vals := make([]float64, 2)
+			for j, v := range row {
+				if v != v || v > 1e300 || v < -1e300 { // NaN or huge
+					v = 0
+				}
+				vals[j] = v
+			}
+			if err := tr.Append(Snapshot{
+				Time:   time.Duration(i) * time.Second,
+				Node:   "vmX",
+				Values: vals,
+			}); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || got.Len() != tr.Len() {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			for j := range tr.At(i).Values {
+				if got.At(i).Values[j] != tr.At(i).Values[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestPCADirectionsScaleDominatedWithoutNormalization is the
+// normalization ablation DESIGN.md calls out: without zero-mean/
+// unit-variance preprocessing, whichever metric has the largest raw
+// units (e.g. bytes/s vs CPU percent) owns the first principal
+// component regardless of the class structure, which is why the paper's
+// preprocessor normalizes before PCA.
+func TestPCADirectionsScaleDominatedWithoutNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		// Two informative metrics with equal class signal, but metric 0
+		// measured in units 1e6 times larger.
+		n := 200
+		data := linalg.NewMatrix(n, 2)
+		for i := 0; i < n; i++ {
+			signal := float64(i%2)*10 + rng.NormFloat64()
+			data.Set(i, 0, signal*1e6)
+			data.Set(i, 1, signal+rng.NormFloat64())
+		}
+
+		raw, err := Fit(data, Options{Components: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Without normalization PC1 is essentially the big-unit axis.
+		if w := math.Abs(raw.Components.At(0, 0)); w < 0.999 {
+			t.Fatalf("trial %d: raw PC1 weight on the large-unit metric = %v, expected ~1 (scale domination)", trial, w)
+		}
+
+		norm, err := FitNormalizer(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := norm.Apply(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balanced, err := Fit(nd, Options{Components: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After normalization the equally informative metrics share PC1.
+		w0 := math.Abs(balanced.Components.At(0, 0))
+		w1 := math.Abs(balanced.Components.At(1, 0))
+		if math.Abs(w0-w1) > 0.15 {
+			t.Fatalf("trial %d: normalized PC1 weights = (%v, %v), expected balanced", trial, w0, w1)
+		}
+	}
+}
+
+// TestPCAInvariantUnderOrthogonalRotation checks a defining property:
+// rotating the (centered) data rotates the principal directions with it,
+// leaving eigenvalues unchanged.
+func TestPCAInvariantUnderOrthogonalRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	data := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		data.Set(i, 0, rng.NormFloat64()*5)
+		data.Set(i, 1, rng.NormFloat64())
+	}
+	theta := 0.7
+	rot, err := linalg.FromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := data.Mul(rot.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Fit(data, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(rotated, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if math.Abs(a.Eigenvalues[k]-b.Eigenvalues[k]) > 1e-8*(1+a.Eigenvalues[k]) {
+			t.Errorf("eigenvalue %d changed under rotation: %v vs %v", k, a.Eigenvalues[k], b.Eigenvalues[k])
+		}
+		// b's direction should be the rotation of a's (up to sign).
+		ra, err := rot.MulVec(a.Components.Col(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dot, err := ra.Dot(b.Components.Col(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Errorf("direction %d not rotated consistently: |dot| = %v", k, math.Abs(dot))
+		}
+	}
+}

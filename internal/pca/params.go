@@ -1,0 +1,47 @@
+package pca
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// The constructors in this file rebuild fitted models from persisted
+// parameters (internal/classify's Save/Load).
+
+// NormalizerFromParams reconstructs a normalizer from per-column z-score
+// parameters.
+func NormalizerFromParams(zs []stats.ZScore) *Normalizer {
+	return &Normalizer{zs: append([]stats.ZScore(nil), zs...)}
+}
+
+// ColMeans exposes the training-data column means of a fitted model.
+func (m *Model) ColMeans() []float64 {
+	return append([]float64(nil), m.colMeans...)
+}
+
+// ModelFromParams reconstructs a PCA model from its persisted
+// parameters: the p×q component matrix, all p eigenvalues, the retained
+// component count q, and the training column means.
+func ModelFromParams(components *linalg.Matrix, eigenvalues []float64, q int, colMeans []float64) (*Model, error) {
+	if components == nil {
+		return nil, fmt.Errorf("pca: nil components")
+	}
+	p := components.Rows()
+	if q <= 0 || q != components.Cols() {
+		return nil, fmt.Errorf("pca: q = %d does not match components %dx%d", q, p, components.Cols())
+	}
+	if len(colMeans) != p {
+		return nil, fmt.Errorf("pca: %d column means for %d metrics", len(colMeans), p)
+	}
+	if len(eigenvalues) < q {
+		return nil, fmt.Errorf("pca: %d eigenvalues for q = %d", len(eigenvalues), q)
+	}
+	return &Model{
+		Components:  components.Clone(),
+		Eigenvalues: append(linalg.Vector(nil), eigenvalues...),
+		Q:           q,
+		colMeans:    append(linalg.Vector(nil), colMeans...),
+	}, nil
+}

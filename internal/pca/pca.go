@@ -1,0 +1,297 @@
+// Package pca implements the preprocessing and feature-extraction stages
+// of the paper's classification center (Section 4.2): zero-mean /
+// unit-variance normalization of the expert-selected metrics, and
+// Principal Component Analysis selecting the components that explain a
+// minimal fraction of the variance (configured in the paper to extract
+// exactly two). A variance-ranking automated feature selector implements
+// the paper's stated future work.
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Normalizer rescales each column (metric) to zero mean and unit
+// variance using parameters learned from training data, so test data is
+// normalized consistently with training data.
+type Normalizer struct {
+	zs []stats.ZScore
+}
+
+// FitNormalizer learns per-column normalization parameters from a
+// row-per-observation matrix.
+func FitNormalizer(data *linalg.Matrix) (*Normalizer, error) {
+	if data.Rows() == 0 || data.Cols() == 0 {
+		return nil, fmt.Errorf("pca: cannot fit normalizer on %dx%d data", data.Rows(), data.Cols())
+	}
+	zs := make([]stats.ZScore, data.Cols())
+	for j := 0; j < data.Cols(); j++ {
+		zs[j] = stats.FitZScore(data.Col(j))
+	}
+	return &Normalizer{zs: zs}, nil
+}
+
+// Dims returns the number of columns the normalizer expects.
+func (n *Normalizer) Dims() int { return len(n.zs) }
+
+// Apply returns a normalized copy of data.
+func (n *Normalizer) Apply(data *linalg.Matrix) (*linalg.Matrix, error) {
+	if data.Cols() != len(n.zs) {
+		return nil, fmt.Errorf("pca: normalizer fitted on %d columns, got %d", len(n.zs), data.Cols())
+	}
+	out := linalg.NewMatrix(data.Rows(), data.Cols())
+	for i := 0; i < data.Rows(); i++ {
+		for j := 0; j < data.Cols(); j++ {
+			out.Set(i, j, n.zs[j].Apply(data.At(i, j)))
+		}
+	}
+	return out, nil
+}
+
+// ApplyVec normalizes a single observation.
+func (n *Normalizer) ApplyVec(x linalg.Vector) (linalg.Vector, error) {
+	if len(x) != len(n.zs) {
+		return nil, fmt.Errorf("pca: normalizer fitted on %d columns, got vector of %d", len(n.zs), len(x))
+	}
+	out := make(linalg.Vector, len(x))
+	for j, v := range x {
+		out[j] = n.zs[j].Apply(v)
+	}
+	return out, nil
+}
+
+// Params exposes the learned per-column z-score parameters.
+func (n *Normalizer) Params() []stats.ZScore {
+	return append([]stats.ZScore(nil), n.zs...)
+}
+
+// Options configures a PCA fit. Exactly one of Components and
+// MinFractionVariance should be set; setting neither defaults to the
+// paper's q = 2, and setting both is rejected.
+type Options struct {
+	// Components fixes the number of principal components to keep.
+	Components int
+	// MinFractionVariance keeps the smallest number of leading
+	// components whose cumulative explained variance reaches this
+	// fraction (0 < f <= 1).
+	MinFractionVariance float64
+}
+
+// Model is a fitted PCA: an orthogonal projection from p input metrics
+// onto q principal components.
+type Model struct {
+	// Components is p×q; column i is the i-th principal direction.
+	Components *linalg.Matrix
+	// Eigenvalues holds all p eigenvalues of the covariance matrix,
+	// descending.
+	Eigenvalues linalg.Vector
+	// Q is the number of retained components.
+	Q int
+	// colMeans are the training-data column means subtracted before
+	// projection.
+	colMeans linalg.Vector
+}
+
+// Fit computes a PCA of row-per-observation data (typically already
+// normalized).
+func Fit(data *linalg.Matrix, opts Options) (*Model, error) {
+	p := data.Cols()
+	if data.Rows() < 2 || p == 0 {
+		return nil, fmt.Errorf("pca: need at least 2 observations and 1 metric, got %dx%d", data.Rows(), p)
+	}
+	if opts.Components != 0 && opts.MinFractionVariance != 0 {
+		return nil, fmt.Errorf("pca: set either Components or MinFractionVariance, not both")
+	}
+	if opts.Components < 0 || opts.Components > p {
+		return nil, fmt.Errorf("pca: Components %d out of range [0,%d]", opts.Components, p)
+	}
+	if opts.MinFractionVariance < 0 || opts.MinFractionVariance > 1 {
+		return nil, fmt.Errorf("pca: MinFractionVariance %v out of (0,1]", opts.MinFractionVariance)
+	}
+
+	cov := linalg.Covariance(data)
+	eig, err := linalg.SymmetricEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition: %w", err)
+	}
+	// Clamp tiny negative eigenvalues produced by roundoff.
+	for i, v := range eig.Values {
+		if v < 0 {
+			eig.Values[i] = 0
+		}
+	}
+
+	q := opts.Components
+	if q == 0 {
+		if opts.MinFractionVariance == 0 {
+			q = 2 // the paper's configuration
+		} else {
+			q = componentsForFraction(eig.Values, opts.MinFractionVariance)
+		}
+	}
+	if q > p {
+		q = p
+	}
+	comps := linalg.NewMatrix(p, q)
+	for j := 0; j < q; j++ {
+		if err := comps.SetCol(j, eig.Vectors.Col(j)); err != nil {
+			return nil, err
+		}
+	}
+	means := make(linalg.Vector, p)
+	for j := 0; j < p; j++ {
+		means[j] = data.Col(j).Mean()
+	}
+	return &Model{Components: comps, Eigenvalues: eig.Values, Q: q, colMeans: means}, nil
+}
+
+func componentsForFraction(eigenvalues linalg.Vector, fraction float64) int {
+	total := eigenvalues.Sum()
+	if total <= 0 {
+		return 1
+	}
+	var cum float64
+	for i, v := range eigenvalues {
+		cum += v
+		if cum/total >= fraction-1e-12 {
+			return i + 1
+		}
+	}
+	return len(eigenvalues)
+}
+
+// ExplainedVariance returns the fraction of total variance explained by
+// each eigenvalue.
+func (m *Model) ExplainedVariance() []float64 {
+	total := m.Eigenvalues.Sum()
+	out := make([]float64, len(m.Eigenvalues))
+	if total <= 0 {
+		return out
+	}
+	for i, v := range m.Eigenvalues {
+		out[i] = v / total
+	}
+	return out
+}
+
+// CumulativeExplained returns the cumulative variance fraction of the
+// retained q components.
+func (m *Model) CumulativeExplained() float64 {
+	ev := m.ExplainedVariance()
+	var cum float64
+	for i := 0; i < m.Q && i < len(ev); i++ {
+		cum += ev[i]
+	}
+	return cum
+}
+
+// Transform projects row-per-observation data onto the retained
+// components, producing an (rows × q) matrix.
+func (m *Model) Transform(data *linalg.Matrix) (*linalg.Matrix, error) {
+	if data.Cols() != m.Components.Rows() {
+		return nil, fmt.Errorf("pca: model fitted on %d metrics, got %d", m.Components.Rows(), data.Cols())
+	}
+	centered := linalg.NewMatrix(data.Rows(), data.Cols())
+	for i := 0; i < data.Rows(); i++ {
+		for j := 0; j < data.Cols(); j++ {
+			centered.Set(i, j, data.At(i, j)-m.colMeans[j])
+		}
+	}
+	return centered.Mul(m.Components)
+}
+
+// TransformVec projects one observation onto the retained components.
+func (m *Model) TransformVec(x linalg.Vector) (linalg.Vector, error) {
+	if len(x) != m.Components.Rows() {
+		return nil, fmt.Errorf("pca: model fitted on %d metrics, got vector of %d", m.Components.Rows(), len(x))
+	}
+	centered := make(linalg.Vector, len(x))
+	for j, v := range x {
+		centered[j] = v - m.colMeans[j]
+	}
+	out := make(linalg.Vector, m.Q)
+	for j := 0; j < m.Q; j++ {
+		d, err := centered.Dot(m.Components.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out[j] = d
+	}
+	return out, nil
+}
+
+// FitSVD computes the same model through a singular value decomposition
+// of the centered data matrix instead of the covariance eigenproblem.
+// It exists as a numerical cross-check: both routes must agree.
+func FitSVD(data *linalg.Matrix, opts Options) (*Model, error) {
+	p := data.Cols()
+	r := data.Rows()
+	if r < 2 || p == 0 {
+		return nil, fmt.Errorf("pca: need at least 2 observations and 1 metric, got %dx%d", r, p)
+	}
+	if r < p {
+		return nil, fmt.Errorf("pca: FitSVD needs rows >= cols, got %dx%d", r, p)
+	}
+	means := make(linalg.Vector, p)
+	for j := 0; j < p; j++ {
+		means[j] = data.Col(j).Mean()
+	}
+	centered := linalg.NewMatrix(r, p)
+	for i := 0; i < r; i++ {
+		for j := 0; j < p; j++ {
+			centered.Set(i, j, data.At(i, j)-means[j])
+		}
+	}
+	svd, err := linalg.SVD(centered)
+	if err != nil {
+		return nil, fmt.Errorf("pca: svd: %w", err)
+	}
+	eigenvalues := make(linalg.Vector, p)
+	for i, s := range svd.S {
+		eigenvalues[i] = s * s / float64(r-1)
+	}
+	q := opts.Components
+	if opts.Components != 0 && opts.MinFractionVariance != 0 {
+		return nil, fmt.Errorf("pca: set either Components or MinFractionVariance, not both")
+	}
+	if q == 0 {
+		if opts.MinFractionVariance == 0 {
+			q = 2
+		} else {
+			q = componentsForFraction(eigenvalues, opts.MinFractionVariance)
+		}
+	}
+	if q > p {
+		q = p
+	}
+	comps := linalg.NewMatrix(p, q)
+	for j := 0; j < q; j++ {
+		if err := comps.SetCol(j, svd.V.Col(j)); err != nil {
+			return nil, err
+		}
+	}
+	return &Model{Components: comps, Eigenvalues: eigenvalues, Q: q, colMeans: means}, nil
+}
+
+// AgreesWith reports whether two models span the same principal
+// subspace, comparing each retained direction up to sign within tol.
+func (m *Model) AgreesWith(o *Model, tol float64) bool {
+	if m.Q != o.Q || m.Components.Rows() != o.Components.Rows() {
+		return false
+	}
+	for j := 0; j < m.Q; j++ {
+		a, b := m.Components.Col(j), o.Components.Col(j)
+		dot, err := a.Dot(b)
+		if err != nil {
+			return false
+		}
+		if math.Abs(math.Abs(dot)-1) > tol {
+			return false
+		}
+	}
+	return true
+}

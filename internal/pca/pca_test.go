@@ -1,0 +1,276 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func randomData(rng *rand.Rand, rows, cols int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64()*float64(j+1)+float64(j)*3)
+		}
+	}
+	return m
+}
+
+func TestFitNormalizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randomData(rng, 200, 4)
+	n, err := FitNormalizer(data)
+	if err != nil {
+		t.Fatalf("FitNormalizer: %v", err)
+	}
+	if n.Dims() != 4 {
+		t.Fatalf("Dims = %d", n.Dims())
+	}
+	norm, err := n.Apply(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		col := linalg.Vector(norm.Col(j))
+		if math.Abs(col.Mean()) > 1e-9 {
+			t.Errorf("column %d mean = %v, want ~0", j, col.Mean())
+		}
+	}
+}
+
+func TestNormalizerApplyVecMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randomData(rng, 50, 3)
+	n, err := FitNormalizer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := n.Apply(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.ApplyVec(data.Row(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(norm.Row(7), 1e-12) {
+		t.Errorf("ApplyVec = %v, row-apply = %v", v, norm.Row(7))
+	}
+}
+
+func TestNormalizerValidation(t *testing.T) {
+	if _, err := FitNormalizer(linalg.NewMatrix(0, 3)); err == nil {
+		t.Error("empty data: want error")
+	}
+	rng := rand.New(rand.NewSource(3))
+	n, err := FitNormalizer(randomData(rng, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Apply(linalg.NewMatrix(5, 3)); err == nil {
+		t.Error("wrong width: want error")
+	}
+	if _, err := n.ApplyVec(linalg.Vector{1}); err == nil {
+		t.Error("wrong vector length: want error")
+	}
+}
+
+// Build data with a dominant direction: points along (1,1)/sqrt(2) plus
+// small orthogonal noise.
+func anisotropicData(rng *rand.Rand, n int) *linalg.Matrix {
+	m := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		t := rng.NormFloat64() * 10
+		o := rng.NormFloat64() * 0.5
+		m.Set(i, 0, (t-o)/math.Sqrt2)
+		m.Set(i, 1, (t+o)/math.Sqrt2)
+	}
+	return m
+}
+
+func TestFitFindsDominantDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := anisotropicData(rng, 500)
+	m, err := Fit(data, Options{Components: 1})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	pc1 := m.Components.Col(0)
+	want := linalg.Vector{1 / math.Sqrt2, 1 / math.Sqrt2}
+	dot, _ := pc1.Dot(want)
+	if math.Abs(math.Abs(dot)-1) > 1e-2 {
+		t.Errorf("PC1 = %v, want ~%v", pc1, want)
+	}
+	if ev := m.ExplainedVariance(); ev[0] < 0.95 {
+		t.Errorf("PC1 explains %v of variance, want > 0.95", ev[0])
+	}
+}
+
+func TestFitDefaultsToTwoComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := Fit(randomData(rng, 100, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Q != 2 {
+		t.Errorf("Q = %d, want the paper's default 2", m.Q)
+	}
+	if m.Components.Rows() != 8 || m.Components.Cols() != 2 {
+		t.Errorf("components shape %dx%d", m.Components.Rows(), m.Components.Cols())
+	}
+}
+
+func TestFitMinFractionVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := anisotropicData(rng, 300)
+	m, err := Fit(data, Options{MinFractionVariance: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Q != 1 {
+		t.Errorf("Q = %d, want 1 (PC1 alone explains >90%%)", m.Q)
+	}
+	m2, err := Fit(data, Options{MinFractionVariance: 0.9999999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Q != 2 {
+		t.Errorf("Q = %d, want 2 for near-total variance", m2.Q)
+	}
+}
+
+func TestFitOptionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := randomData(rng, 20, 3)
+	if _, err := Fit(data, Options{Components: 2, MinFractionVariance: 0.9}); err == nil {
+		t.Error("both options: want error")
+	}
+	if _, err := Fit(data, Options{Components: -1}); err == nil {
+		t.Error("negative components: want error")
+	}
+	if _, err := Fit(data, Options{Components: 99}); err == nil {
+		t.Error("too many components: want error")
+	}
+	if _, err := Fit(data, Options{MinFractionVariance: 1.5}); err == nil {
+		t.Error("fraction > 1: want error")
+	}
+	if _, err := Fit(linalg.NewMatrix(1, 3), Options{}); err == nil {
+		t.Error("single row: want error")
+	}
+}
+
+func TestTransformReducesDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := randomData(rng, 100, 8)
+	m, err := Fit(data, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 100 || out.Cols() != 2 {
+		t.Fatalf("transformed shape %dx%d, want 100x2", out.Rows(), out.Cols())
+	}
+	// Projections onto orthonormal directions of centered data have
+	// zero mean.
+	for j := 0; j < 2; j++ {
+		if mean := linalg.Vector(out.Col(j)).Mean(); math.Abs(mean) > 1e-9 {
+			t.Errorf("projected column %d mean = %v", j, mean)
+		}
+	}
+	if _, err := m.Transform(linalg.NewMatrix(5, 3)); err == nil {
+		t.Error("wrong width: want error")
+	}
+}
+
+func TestTransformVecMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := randomData(rng, 60, 5)
+	m, err := Fit(data, Options{Components: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.TransformVec(data.Row(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(full.Row(11), 1e-10) {
+		t.Errorf("TransformVec = %v, Transform row = %v", v, full.Row(11))
+	}
+	if _, err := m.TransformVec(linalg.Vector{1}); err == nil {
+		t.Error("wrong length: want error")
+	}
+}
+
+// Property: covariance-eigen PCA and SVD PCA agree on the principal
+// subspace and eigenvalues — the cross-check that validates the manual
+// implementation.
+func TestFitAgreesWithFitSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		rows := 30 + rng.Intn(100)
+		cols := 2 + rng.Intn(6)
+		data := randomData(rng, rows, cols)
+		a, err := Fit(data, Options{Components: 2})
+		if err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		b, err := FitSVD(data, Options{Components: 2})
+		if err != nil {
+			t.Fatalf("FitSVD: %v", err)
+		}
+		if !a.AgreesWith(b, 1e-6) {
+			t.Fatalf("trial %d: eigen and SVD PCA disagree on the subspace", trial)
+		}
+		for i := 0; i < cols; i++ {
+			if math.Abs(a.Eigenvalues[i]-b.Eigenvalues[i]) > 1e-7*(1+a.Eigenvalues[i]) {
+				t.Fatalf("trial %d: eigenvalue %d: %v vs %v", trial, i, a.Eigenvalues[i], b.Eigenvalues[i])
+			}
+		}
+	}
+}
+
+// Property: the total variance is preserved by the eigendecomposition
+// (sum of eigenvalues equals sum of column variances).
+func TestEigenvaluesSumToTotalVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := randomData(rng, 200, 6)
+	m, err := Fit(data, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalVar float64
+	for j := 0; j < 6; j++ {
+		col := data.Col(j)
+		mean := linalg.Vector(col).Mean()
+		var s float64
+		for _, v := range col {
+			d := v - mean
+			s += d * d
+		}
+		totalVar += s / float64(len(col)-1)
+	}
+	if math.Abs(m.Eigenvalues.Sum()-totalVar) > 1e-8*(1+totalVar) {
+		t.Errorf("eigenvalue sum %v != total variance %v", m.Eigenvalues.Sum(), totalVar)
+	}
+}
+
+func TestCumulativeExplained(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := anisotropicData(rng, 300)
+	m, err := Fit(data, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CumulativeExplained(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("keeping all components explains %v, want 1", got)
+	}
+}

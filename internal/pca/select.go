@@ -1,0 +1,87 @@
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// SelectFeatures implements the automated feature selection the paper
+// leaves as future work, following the relevance/redundancy principle it
+// cites (Yu & Liu 2004): rank metrics by variance after normalization
+// (relevance proxy — constant metrics carry no class signal), then greedily
+// keep metrics whose absolute Pearson correlation with every
+// already-kept metric stays below maxCorrelation (redundancy filter).
+// It returns the indices of the selected columns, in selection order.
+func SelectFeatures(data *linalg.Matrix, maxKeep int, maxCorrelation float64) ([]int, error) {
+	p := data.Cols()
+	if p == 0 || data.Rows() < 2 {
+		return nil, fmt.Errorf("pca: cannot select features from %dx%d data", data.Rows(), p)
+	}
+	if maxKeep <= 0 || maxKeep > p {
+		maxKeep = p
+	}
+	if maxCorrelation <= 0 || maxCorrelation > 1 {
+		return nil, fmt.Errorf("pca: maxCorrelation %v out of (0,1]", maxCorrelation)
+	}
+
+	cols := make([][]float64, p)
+	variances := make([]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j] = data.Col(j)
+		variances[j] = stats.Variance(cols[j])
+	}
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return variances[order[a]] > variances[order[b]] })
+
+	var kept []int
+	for _, j := range order {
+		if len(kept) >= maxKeep {
+			break
+		}
+		if variances[j] <= 0 {
+			continue // constant metric: irrelevant
+		}
+		redundant := false
+		for _, k := range kept {
+			if math.Abs(pearson(cols[j], cols[k])) > maxCorrelation {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, j)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("pca: no informative features found")
+	}
+	return kept, nil
+}
+
+// pearson returns the Pearson correlation coefficient of two
+// equal-length series, or 0 when either is constant.
+func pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,97 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestSelectFeaturesDropsConstantAndRedundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Columns: 0 = signal, 1 = copy of 0 (redundant), 2 = constant,
+	// 3 = independent signal with smaller variance.
+	n := 300
+	data := linalg.NewMatrix(n, 4)
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 3
+		data.Set(i, 0, a)
+		data.Set(i, 1, a*2+0.001*rng.NormFloat64())
+		data.Set(i, 2, 7)
+		data.Set(i, 3, b)
+	}
+	kept, err := SelectFeatures(data, 0, 0.9)
+	if err != nil {
+		t.Fatalf("SelectFeatures: %v", err)
+	}
+	has := func(j int) bool {
+		for _, k := range kept {
+			if k == j {
+				return true
+			}
+		}
+		return false
+	}
+	if has(2) {
+		t.Error("constant column kept")
+	}
+	if has(0) && has(1) {
+		t.Error("both redundant copies kept")
+	}
+	if !has(3) {
+		t.Error("independent signal dropped")
+	}
+}
+
+func TestSelectFeaturesMaxKeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := linalg.NewMatrix(100, 5)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 5; j++ {
+			data.Set(i, j, rng.NormFloat64()*float64(j+1))
+		}
+	}
+	kept, err := SelectFeatures(data, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Errorf("kept %d features, want 2", len(kept))
+	}
+	// Variance ranking: the widest columns (4 then 3) come first.
+	if kept[0] != 4 {
+		t.Errorf("first kept = %d, want highest-variance column 4", kept[0])
+	}
+}
+
+func TestSelectFeaturesValidation(t *testing.T) {
+	if _, err := SelectFeatures(linalg.NewMatrix(1, 2), 0, 0.9); err == nil {
+		t.Error("too few rows: want error")
+	}
+	data := linalg.NewMatrix(10, 2)
+	if _, err := SelectFeatures(data, 0, 1.5); err == nil {
+		t.Error("bad correlation bound: want error")
+	}
+	// All-constant data has no informative features.
+	if _, err := SelectFeatures(data, 0, 0.9); err == nil {
+		t.Error("constant data: want error")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r := pearson(xs, []float64{2, 4, 6, 8}); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v, want 1", r)
+	}
+	if r := pearson(xs, []float64{8, 6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v, want -1", r)
+	}
+	if r := pearson(xs, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant series correlation = %v, want 0", r)
+	}
+	if r := pearson(xs, []float64{1, 2}); r != 0 {
+		t.Errorf("mismatched lengths = %v, want 0", r)
+	}
+}

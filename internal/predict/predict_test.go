@@ -1,0 +1,162 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appdb"
+)
+
+func record(app string, class appclass.Class, frac float64, exec time.Duration) appdb.Record {
+	comp := map[appclass.Class]float64{class: frac}
+	if frac < 1 {
+		comp[appclass.Idle] = 1 - frac
+	}
+	return appdb.Record{App: app, Class: class, Composition: comp, ExecutionTime: exec}
+}
+
+func seededDB(t *testing.T) *appdb.DB {
+	t.Helper()
+	db := appdb.New()
+	// CPU-heavy runs take ~600s; network runs ~200s.
+	for i, exec := range []time.Duration{590 * time.Second, 600 * time.Second, 610 * time.Second} {
+		if err := db.Put(record("cpuapp", appclass.CPU, 0.95-float64(i)*0.01, exec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, exec := range []time.Duration{195 * time.Second, 200 * time.Second, 205 * time.Second} {
+		if err := db.Put(record("netapp", appclass.Net, 0.93-float64(i)*0.01, exec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPredictUsesNearestRuns(t *testing.T) {
+	p, err := New(seededDB(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 6 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	est, err := p.Predict(map[appclass.Class]float64{appclass.CPU: 0.94, appclass.Idle: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Execution < 580*time.Second || est.Execution > 620*time.Second {
+		t.Errorf("CPU-like estimate = %v, want ~600s", est.Execution)
+	}
+	if len(est.Neighbors) != 3 {
+		t.Fatalf("neighbors = %d", len(est.Neighbors))
+	}
+	for _, n := range est.Neighbors {
+		if n.Class != appclass.CPU {
+			t.Errorf("neighbor from wrong cluster: %+v", n)
+		}
+	}
+	est2, err := p.Predict(map[appclass.Class]float64{appclass.Net: 0.9, appclass.Idle: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Execution > 250*time.Second {
+		t.Errorf("network-like estimate = %v, want ~200s", est2.Execution)
+	}
+}
+
+func TestPredictSpread(t *testing.T) {
+	p, err := New(seededDB(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Predict(map[appclass.Class]float64{appclass.CPU: 0.94, appclass.Idle: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbour executions are 590/600/610: spread ~10s.
+	if est.Spread < 5*time.Second || est.Spread > 20*time.Second {
+		t.Errorf("spread = %v, want ~10s", est.Spread)
+	}
+}
+
+func TestPredictExactMatchDominates(t *testing.T) {
+	db := appdb.New()
+	if err := db.Put(record("a", appclass.IO, 1, 100*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(record("b", appclass.CPU, 1, 900*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Predict(map[appclass.Class]float64{appclass.IO: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverse-distance weighting: the exact match should dominate.
+	if math.Abs(est.Execution.Seconds()-100) > 1 {
+		t.Errorf("estimate = %v, want ~100s", est.Execution)
+	}
+}
+
+func TestPredictApp(t *testing.T) {
+	db := seededDB(t)
+	p, err := New(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.PredictApp(db, "netapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Execution < 180*time.Second || est.Execution > 220*time.Second {
+		t.Errorf("PredictApp(netapp) = %v", est.Execution)
+	}
+	if _, err := p.PredictApp(db, "ghost"); err == nil {
+		t.Error("unknown app: want error")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	if _, err := New(nil, 3); err == nil {
+		t.Error("nil db: want error")
+	}
+	if _, err := New(appdb.New(), 3); err == nil {
+		t.Error("empty db: want error")
+	}
+	if _, err := New(seededDB(t), 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	p, err := New(seededDB(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(map[appclass.Class]float64{"weird": 1}); err == nil {
+		t.Error("invalid class: want error")
+	}
+	if _, err := p.Predict(map[appclass.Class]float64{appclass.CPU: 2}); err == nil {
+		t.Error("fraction > 1: want error")
+	}
+}
+
+func TestPredictKLargerThanData(t *testing.T) {
+	db := appdb.New()
+	if err := db.Put(record("only", appclass.CPU, 1, 300*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(db, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Predict(map[appclass.Class]float64{appclass.CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Execution != 300*time.Second || est.Spread != 0 {
+		t.Errorf("single-record estimate = %+v", est)
+	}
+}

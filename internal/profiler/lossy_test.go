@@ -1,0 +1,115 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+)
+
+// feedLossy announces n complete snapshots for vm1 over a bus with the
+// given loss rate and returns the profiler.
+func feedLossy(t *testing.T, schema *metrics.Schema, n int, loss float64) *Profiler {
+	t.Helper()
+	bus := ganglia.NewBus()
+	if err := bus.SetLoss(loss, 99); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		at := time.Duration(i*5) * time.Second
+		for j, name := range schema.Names() {
+			bus.Announce(ganglia.Announcement{Node: "vm1", Metric: name, Value: float64(j), At: at})
+		}
+	}
+	return p
+}
+
+func TestBusLossModel(t *testing.T) {
+	bus := ganglia.NewBus()
+	if err := bus.SetLoss(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		bus.Announce(ganglia.Announcement{Node: "vm1", Metric: "m", Value: 1})
+	}
+	if bus.Dropped() == 0 {
+		t.Error("loss model dropped nothing at 50%")
+	}
+	if bus.Delivered()+bus.Dropped() != 1000 {
+		t.Errorf("delivered %d + dropped %d != 1000", bus.Delivered(), bus.Dropped())
+	}
+	frac := float64(bus.Dropped()) / 1000
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("drop fraction = %v, want ~0.5", frac)
+	}
+	if err := bus.SetLoss(1.5, 1); err == nil {
+		t.Error("loss rate >= 1: want error")
+	}
+	if err := bus.SetLoss(-0.1, 1); err == nil {
+		t.Error("negative loss rate: want error")
+	}
+}
+
+func TestStrictExtractFailsUnderLoss(t *testing.T) {
+	schema, err := metrics.NewSchema([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := feedLossy(t, schema, 200, 0.1)
+	if _, err := p.Extract("vm1", 0, time.Hour); err == nil {
+		t.Error("strict Extract under 10% loss: want error (some snapshot must be incomplete)")
+	}
+}
+
+func TestLenientExtractSkipsIncompleteSnapshots(t *testing.T) {
+	schema, err := metrics.NewSchema([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := feedLossy(t, schema, 200, 0.1)
+	trace, skipped, err := p.ExtractSkipIncomplete("vm1", 0, time.Hour)
+	if err != nil {
+		t.Fatalf("ExtractSkipIncomplete: %v", err)
+	}
+	if skipped == 0 {
+		t.Error("expected skipped snapshots under 10% loss")
+	}
+	if trace.Len() == 0 {
+		t.Fatal("no complete snapshots survived")
+	}
+	if trace.Len()+skipped != 200 {
+		t.Errorf("kept %d + skipped %d != 200", trace.Len(), skipped)
+	}
+	// Surviving snapshots are complete and correct.
+	for i := 0; i < trace.Len(); i++ {
+		for j, v := range trace.At(i).Values {
+			if v != float64(j) {
+				t.Fatalf("snapshot %d metric %d = %v, want %d", i, j, v, j)
+			}
+		}
+	}
+}
+
+func TestLenientExtractAllLost(t *testing.T) {
+	schema, err := metrics.NewSchema([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := ganglia.NewBus()
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only metric "a" ever arrives: every snapshot is incomplete.
+	for i := 1; i <= 5; i++ {
+		bus.Announce(ganglia.Announcement{Node: "vm1", Metric: "a", Value: 1, At: time.Duration(i) * time.Second})
+	}
+	if _, _, err := p.ExtractSkipIncomplete("vm1", 0, time.Hour); err == nil {
+		t.Error("all snapshots incomplete: want error")
+	}
+}

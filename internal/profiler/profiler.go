@@ -1,0 +1,145 @@
+// Package profiler implements the paper's performance profiler
+// (Figure 1): it listens on the Ganglia multicast bus — therefore
+// receiving the performance data of every node in the subnet — and its
+// performance filter extracts the snapshots of one target application
+// node between the application's start time t0 and end time t1,
+// producing the application performance data pool A(n×m) as a
+// metrics.Trace.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+)
+
+// Profiler buffers every announcement seen on the bus and filters
+// per-node traces out of the pool on demand.
+type Profiler struct {
+	schema *metrics.Schema
+	// pool is the raw multicast data pool: node -> time -> metric -> value.
+	pool map[string]map[time.Duration]map[string]float64
+	seen int
+}
+
+// New creates a profiler expecting the given metric schema and
+// subscribes it to the bus.
+func New(bus *ganglia.Bus, schema *metrics.Schema) (*Profiler, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("profiler: nil schema")
+	}
+	p := &Profiler{
+		schema: schema,
+		pool:   make(map[string]map[time.Duration]map[string]float64),
+	}
+	if err := bus.Subscribe(ganglia.ListenerFunc(p.onAnnounce)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Profiler) onAnnounce(a ganglia.Announcement) {
+	p.seen++
+	if !p.schema.Contains(a.Metric) {
+		// Not a metric the classifier consumes; the real filter drops
+		// these too.
+		return
+	}
+	byTime, ok := p.pool[a.Node]
+	if !ok {
+		byTime = make(map[time.Duration]map[string]float64)
+		p.pool[a.Node] = byTime
+	}
+	byMetric, ok := byTime[a.At]
+	if !ok {
+		byMetric = make(map[string]float64, p.schema.Len())
+		byTime[a.At] = byMetric
+	}
+	byMetric[a.Metric] = a.Value
+}
+
+// Seen returns the total number of announcements observed (all nodes,
+// all metrics), i.e. the size of the raw data pool.
+func (p *Profiler) Seen() int { return p.seen }
+
+// Nodes returns all node names present in the pool, sorted.
+func (p *Profiler) Nodes() []string {
+	out := make([]string, 0, len(p.pool))
+	for n := range p.pool {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Extract runs the performance filter: it selects the snapshots of the
+// target node with t0 <= time <= t1 and assembles them into a trace.
+// Snapshots missing any schema metric are rejected, because a partial
+// sample would silently skew normalization downstream. Use
+// ExtractSkipIncomplete when the transport may lose announcements.
+func (p *Profiler) Extract(target string, t0, t1 time.Duration) (*metrics.Trace, error) {
+	trace, skipped, err := p.extract(target, t0, t1, false)
+	if err != nil {
+		return nil, err
+	}
+	_ = skipped // strict mode errors instead of skipping
+	return trace, nil
+}
+
+// ExtractSkipIncomplete is the lossy-transport variant of Extract:
+// snapshots with any missing metric (e.g. dropped multicast packets)
+// are skipped rather than failing the whole extraction. It returns the
+// trace and the number of skipped snapshots.
+func (p *Profiler) ExtractSkipIncomplete(target string, t0, t1 time.Duration) (*metrics.Trace, int, error) {
+	return p.extract(target, t0, t1, true)
+}
+
+func (p *Profiler) extract(target string, t0, t1 time.Duration, skipIncomplete bool) (*metrics.Trace, int, error) {
+	if t1 < t0 {
+		return nil, 0, fmt.Errorf("profiler: t1 %v before t0 %v", t1, t0)
+	}
+	byTime, ok := p.pool[target]
+	if !ok {
+		return nil, 0, fmt.Errorf("profiler: no data for node %q (have %v)", target, p.Nodes())
+	}
+	times := make([]time.Duration, 0, len(byTime))
+	for at := range byTime {
+		if at >= t0 && at <= t1 {
+			times = append(times, at)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	trace := metrics.NewTrace(p.schema, target)
+	skipped := 0
+	names := p.schema.Names()
+	for _, at := range times {
+		byMetric := byTime[at]
+		vals := make([]float64, p.schema.Len())
+		complete := true
+		for i, name := range names {
+			v, ok := byMetric[name]
+			if !ok {
+				if skipIncomplete {
+					complete = false
+					break
+				}
+				return nil, 0, fmt.Errorf("profiler: snapshot of %q at %v missing metric %q", target, at, name)
+			}
+			vals[i] = v
+		}
+		if !complete {
+			skipped++
+			continue
+		}
+		if err := trace.Append(metrics.Snapshot{Time: at, Node: target, Values: vals}); err != nil {
+			return nil, 0, fmt.Errorf("profiler: assemble trace: %w", err)
+		}
+	}
+	if trace.Len() == 0 {
+		return nil, skipped, fmt.Errorf("profiler: no complete snapshots for %q in [%v,%v]", target, t0, t1)
+	}
+	return trace, skipped, nil
+}

@@ -1,0 +1,133 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+)
+
+func announceSnapshot(bus *ganglia.Bus, node string, at time.Duration, schema *metrics.Schema, base float64) {
+	for i, name := range schema.Names() {
+		bus.Announce(ganglia.Announcement{Node: node, Metric: name, Value: base + float64(i), At: at})
+	}
+}
+
+func testSchema(t *testing.T) *metrics.Schema {
+	t.Helper()
+	s, err := metrics.NewSchema([]string{"m1", "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProfilerFiltersTargetNode(t *testing.T) {
+	bus := ganglia.NewBus()
+	schema := testSchema(t)
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multicast: two nodes announce; the filter must pick one.
+	for i := 1; i <= 3; i++ {
+		at := time.Duration(i*5) * time.Second
+		announceSnapshot(bus, "vm1", at, schema, 10)
+		announceSnapshot(bus, "vm2", at, schema, 99)
+	}
+	tr, err := p.Extract("vm1", 0, time.Minute)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("trace has %d snapshots, want 3", tr.Len())
+	}
+	v, err := tr.Value(0, "m1")
+	if err != nil || v != 10 {
+		t.Errorf("vm1 m1 = %v, want 10 (not vm2's 99)", v)
+	}
+	if nodes := p.Nodes(); len(nodes) != 2 {
+		t.Errorf("pool nodes = %v, want both subnet nodes", nodes)
+	}
+}
+
+func TestProfilerTimeWindow(t *testing.T) {
+	bus := ganglia.NewBus()
+	schema := testSchema(t)
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		announceSnapshot(bus, "vm1", time.Duration(i*5)*time.Second, schema, 1)
+	}
+	tr, err := p.Extract("vm1", 10*time.Second, 25*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 10,15,20,25 -> 4 snapshots.
+	if tr.Len() != 4 {
+		t.Errorf("windowed trace has %d snapshots, want 4", tr.Len())
+	}
+	if tr.At(0).Time != 10*time.Second || tr.At(3).Time != 25*time.Second {
+		t.Errorf("window bounds = [%v,%v]", tr.At(0).Time, tr.At(3).Time)
+	}
+}
+
+func TestProfilerRejectsIncompleteSnapshot(t *testing.T) {
+	bus := ganglia.NewBus()
+	schema := testSchema(t)
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Announce(ganglia.Announcement{Node: "vm1", Metric: "m1", Value: 1, At: 5 * time.Second})
+	// m2 never announced for this instant.
+	if _, err := p.Extract("vm1", 0, time.Minute); err == nil {
+		t.Fatal("incomplete snapshot: want error")
+	}
+}
+
+func TestProfilerIgnoresUnknownMetrics(t *testing.T) {
+	bus := ganglia.NewBus()
+	schema := testSchema(t)
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	announceSnapshot(bus, "vm1", 5*time.Second, schema, 1)
+	bus.Announce(ganglia.Announcement{Node: "vm1", Metric: "exotic", Value: 7, At: 5 * time.Second})
+	tr, err := p.Extract("vm1", 0, time.Minute)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("trace has %d snapshots, want 1", tr.Len())
+	}
+	if p.Seen() != 3 {
+		t.Errorf("Seen = %d, want 3 (raw pool counts everything)", p.Seen())
+	}
+}
+
+func TestProfilerErrors(t *testing.T) {
+	bus := ganglia.NewBus()
+	schema := testSchema(t)
+	if _, err := New(bus, nil); err == nil {
+		t.Error("nil schema: want error")
+	}
+	p, err := New(bus, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Extract("ghost", 0, time.Minute); err == nil {
+		t.Error("unknown node: want error")
+	}
+	announceSnapshot(bus, "vm1", 5*time.Second, schema, 1)
+	if _, err := p.Extract("vm1", time.Minute, 0); err == nil {
+		t.Error("inverted window: want error")
+	}
+	if _, err := p.Extract("vm1", time.Hour, 2*time.Hour); err == nil {
+		t.Error("empty window: want error")
+	}
+}

@@ -1,0 +1,210 @@
+// Package report assembles the full evaluation into a Markdown document
+// of paper-vs-measured tables — a regenerable EXPERIMENTS file. Each
+// section renders one experiment's structured result; Generate runs
+// everything in order.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+)
+
+// paperTable3 holds the paper's Table 3 compositions for side-by-side
+// rendering (fractions in percent; zero means the paper printed "–").
+var paperTable3 = map[string][5]float64{
+	// Columns follow appclass.All(): Idle, I/O, CPU, Network, Paging.
+	"SPECseis96_A": {0, 0.26, 99.71, 0, 0.03},
+	"SPECseis96_C": {0, 0, 100, 0, 0},
+	"CH3D":         {0, 0, 100, 0, 0},
+	"SimpleScalar": {0, 0, 100, 0, 0},
+	"PostMark":     {0, 96.15, 0, 0, 3.85},
+	"Bonnie":       {0, 86.17, 4.26, 0, 9.57},
+	"SPECseis96_B": {0.21, 42.87, 50.39, 0, 6.52},
+	"Stream":       {1.04, 79.17, 0, 0, 19.79},
+	"PostMark_NFS": {0, 0, 0, 100, 0},
+	"NetPIPE":      {4.05, 4.05, 0, 91.89, 0},
+	"Autobench":    {0, 0, 0, 100, 0},
+	"Sftp":         {0, 2.17, 0, 97.83, 0},
+	"VMD":          {37.21, 40.70, 0, 22.09, 0},
+	"XSpim":        {22.22, 77.78, 0, 0, 0},
+}
+
+// paperSamples holds the paper's Table 3 sample counts.
+var paperSamples = map[string]int{
+	"SPECseis96_A": 3434, "SPECseis96_C": 112, "CH3D": 45, "SimpleScalar": 62,
+	"PostMark": 52, "Bonnie": 94, "SPECseis96_B": 5150, "Stream": 96,
+	"PostMark_NFS": 77, "NetPIPE": 74, "Autobench": 172, "Sftp": 46,
+	"VMD": 86, "XSpim": 9,
+}
+
+func pct(v float64) string {
+	if v == 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%.2f%%", v)
+}
+
+// Table3 renders the composition comparison as Markdown.
+func Table3(w io.Writer, rows []experiments.Table3Row) error {
+	fmt.Fprintln(w, "## Table 3 — application class compositions (measured, with paper values in parentheses)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Application | Samples (paper) | Idle | I/O | CPU | Network | Paging | Dominant |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		paper := paperTable3[r.App]
+		fmt.Fprintf(w, "| %s | %d (%d) |", r.App, r.Samples, paperSamples[r.App])
+		for i, c := range appclass.All() {
+			fmt.Fprintf(w, " %s (%s) |", pct(100*r.Composition[c]), pct(paper[i]))
+		}
+		mark := "✓"
+		if r.Class != r.PaperDominant {
+			mark = "✗"
+		}
+		fmt.Fprintf(w, " %s %s |\n", r.Class.Display(), mark)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Figure4 renders the schedule table as Markdown.
+func Figure4(w io.Writer, f *experiments.Figure4Result) error {
+	fmt.Fprintln(w, "## Figure 4 — system throughput of the ten schedules")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| # | Schedule | Jobs/day | |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for i, r := range f.Results {
+		note := ""
+		if r == f.SPN {
+			note = "← class-aware choice"
+		}
+		fmt.Fprintf(w, "| %d | `%s` | %.0f | %s |\n", i+1, r.Schedule, r.SystemThroughput, note)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "- random-scheduler expectation: **%.0f** jobs/day\n", f.WeightedAverage)
+	fmt.Fprintf(w, "- CPU-load-only scheduler expectation: **%.0f** jobs/day\n", f.CPULoadOnly)
+	fmt.Fprintf(w, "- class-aware margin over random: **%+.2f%%** (paper: +22.11%%)\n", 100*f.MarginOverAverage)
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Figure5 renders the per-application throughput comparison.
+func Figure5(w io.Writer, f *experiments.Figure5Result) error {
+	fmt.Fprintln(w, "## Figure 5 — per-application throughput")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Application | MIN | AVG | MAX | SPN | SPN vs AVG |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	names := map[sched.Kind]string{
+		sched.KindS: "SPECseis96 (S)",
+		sched.KindP: "PostMark (P)",
+		sched.KindN: "NetPIPE (N)",
+	}
+	for _, k := range sched.Kinds() {
+		st := f.Stats[k]
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.0f | %+.2f%% |\n",
+			names[k], st.Min, st.Avg, st.Max, st.SPN, 100*(st.SPN/st.Avg-1))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Table4 renders the concurrent-vs-sequential comparison.
+func Table4(w io.Writer, r *sched.Table4Result) error {
+	fmt.Fprintln(w, "## Table 4 — concurrent vs sequential execution")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Execution | CH3D | PostMark | Finish both |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	fmt.Fprintf(w, "| Concurrent | %.0f s | %.0f s | %.0f s |\n",
+		r.ConcurrentCH3D.Seconds(), r.ConcurrentPostMark.Seconds(), r.ConcurrentMakespan.Seconds())
+	fmt.Fprintf(w, "| Sequential | %.0f s | %.0f s | %.0f s |\n",
+		r.SequentialCH3D.Seconds(), r.SequentialPostMark.Seconds(), r.SequentialTotal.Seconds())
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Concurrent sharing finishes both **%.1f%%** sooner (paper: 613 s vs 752 s).\n\n", 100*r.Speedup())
+	return nil
+}
+
+// Cost renders the Section 5.3 measurement.
+func Cost(w io.Writer, r *experiments.CostResult) error {
+	fmt.Fprintln(w, "## Section 5.3 — classification cost")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Stage | Paper (8000 snapshots) | Measured |")
+	fmt.Fprintln(w, "|---|---|---|")
+	fmt.Fprintf(w, "| performance filter | 72 s | %v |\n", r.FilterTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "| train + PCA + classify | 50 s | %v |\n", r.ClassifyTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "| unit cost per sample | ~15 ms | %v |\n", r.UnitCostPerSample.Round(time.Microsecond))
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Learning renders the two-wave learning experiment.
+func Learning(w io.Writer, r *experiments.LearningResult) error {
+	fmt.Fprintln(w, "## Learning over historical runs")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Wave | Class knowledge | Mean turnaround |")
+	fmt.Fprintln(w, "|---|---|---|")
+	fmt.Fprintf(w, "| 1 | none (profiled while running) | %v |\n", r.Wave1.Round(time.Second))
+	fmt.Fprintf(w, "| 2 | learned from wave 1 | %v |\n", r.Wave2.Round(time.Second))
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Learning improved mean turnaround by **%.1f%%** (paper headline: 22.11%%).\n\n", 100*r.Improvement)
+	return nil
+}
+
+// Generate runs the entire evaluation and writes the Markdown report.
+func Generate(w io.Writer, seed int64) error {
+	fmt.Fprintln(w, "# Evaluation report — generated by cmd/expreport")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Seed %d. Regenerate with `go run ./cmd/expreport -markdown <file>`.\n\n", seed)
+
+	svc, err := experiments.NewTrainedService(seed)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Table3(svc, seed)
+	if err != nil {
+		return err
+	}
+	if err := Table3(w, rows); err != nil {
+		return err
+	}
+
+	f4, err := experiments.Figure4(seed)
+	if err != nil {
+		return err
+	}
+	if err := Figure4(w, f4); err != nil {
+		return err
+	}
+	f5, err := experiments.Figure5(f4)
+	if err != nil {
+		return err
+	}
+	if err := Figure5(w, f5); err != nil {
+		return err
+	}
+
+	t4, err := experiments.Table4(seed)
+	if err != nil {
+		return err
+	}
+	if err := Table4(w, t4); err != nil {
+		return err
+	}
+
+	cost, err := experiments.ClassificationCost(seed)
+	if err != nil {
+		return err
+	}
+	if err := Cost(w, cost); err != nil {
+		return err
+	}
+
+	learn, err := experiments.LearningWaves(seed)
+	if err != nil {
+		return err
+	}
+	return Learning(w, learn)
+}

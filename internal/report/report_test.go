@@ -1,0 +1,125 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+)
+
+func TestPaperTable3CoversEveryRow(t *testing.T) {
+	// Every paper row must exist, and its composition must sum to ~100%.
+	if len(paperTable3) != 14 {
+		t.Fatalf("paper table has %d rows, want 14", len(paperTable3))
+	}
+	for app, comp := range paperTable3 {
+		var sum float64
+		for _, v := range comp {
+			sum += v
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("paper row %s sums to %v", app, sum)
+		}
+		if _, ok := paperSamples[app]; !ok {
+			t.Errorf("paper row %s missing sample count", app)
+		}
+	}
+}
+
+func TestTable3Markdown(t *testing.T) {
+	rows := []experiments.Table3Row{
+		{
+			App: "PostMark", Samples: 48,
+			Composition:   map[appclass.Class]float64{appclass.IO: 1},
+			Class:         appclass.IO,
+			PaperDominant: appclass.IO,
+		},
+		{
+			App: "CH3D", Samples: 45,
+			Composition:   map[appclass.Class]float64{appclass.Net: 1},
+			Class:         appclass.Net,
+			PaperDominant: appclass.CPU,
+		},
+	}
+	var buf bytes.Buffer
+	if err := Table3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| PostMark | 48 (52) |") {
+		t.Errorf("missing row:\n%s", out)
+	}
+	if !strings.Contains(out, "I/O ✓") {
+		t.Error("match marker missing")
+	}
+	if !strings.Contains(out, "Network ✗") {
+		t.Error("mismatch marker missing")
+	}
+}
+
+func TestSectionRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	t4 := &sched.Table4Result{
+		ConcurrentCH3D: 518 * time.Second, ConcurrentPostMark: 241 * time.Second,
+		ConcurrentMakespan: 518 * time.Second,
+		SequentialCH3D:     495 * time.Second, SequentialPostMark: 240 * time.Second,
+		SequentialTotal: 735 * time.Second,
+	}
+	if err := Table4(&buf, t4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| Concurrent | 518 s | 241 s | 518 s |") {
+		t.Errorf("table 4 markdown:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	cost := &experiments.CostResult{
+		Samples: 8000, FilterTime: 71 * time.Millisecond,
+		ClassifyTime: 966 * time.Millisecond, UnitCostPerSample: 130 * time.Microsecond,
+	}
+	if err := Cost(&buf, cost); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "~15 ms") {
+		t.Error("cost section missing paper value")
+	}
+
+	buf.Reset()
+	learn := &experiments.LearningResult{
+		Wave1: 513 * time.Second, Wave2: 411 * time.Second, Improvement: 0.199,
+		LearnedClasses: map[string]appclass.Class{"seis": appclass.CPU},
+	}
+	if err := Learning(&buf, learn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "19.9%") {
+		t.Errorf("learning section:\n%s", buf.String())
+	}
+}
+
+func TestGenerateFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, experiments.DefaultSeed); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Table 3", "## Figure 4", "## Figure 5", "## Table 4",
+		"## Section 5.3", "## Learning over historical runs",
+		"class-aware choice",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "✗") {
+		t.Error("report contains a dominant-class mismatch")
+	}
+}

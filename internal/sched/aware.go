@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassAware is the scheduler the paper proposes: given the class of
+// every job (learned by the application classifier over historical
+// runs), it spreads jobs of the same class across VMs so that each VM
+// mixes classes and contends on no single resource. Jobs are grouped by
+// kind and dealt round-robin to the VMs.
+func ClassAware(jobs []Kind, vms, slotsPerVM int) ([][]Kind, error) {
+	if vms <= 0 || slotsPerVM <= 0 {
+		return nil, fmt.Errorf("sched: need positive vms and slots, got %d x %d", vms, slotsPerVM)
+	}
+	if len(jobs) != vms*slotsPerVM {
+		return nil, fmt.Errorf("sched: %d jobs do not fill %d VMs x %d slots", len(jobs), vms, slotsPerVM)
+	}
+	// Deal per class, largest class first, round-robin over VMs,
+	// skipping full VMs.
+	byKind := map[Kind][]Kind{}
+	for _, j := range jobs {
+		byKind[j] = append(byKind[j], j)
+	}
+	kinds := make([]Kind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if len(byKind[kinds[i]]) != len(byKind[kinds[j]]) {
+			return len(byKind[kinds[i]]) > len(byKind[kinds[j]])
+		}
+		return kindRank(kinds[i]) < kindRank(kinds[j])
+	})
+	placement := make([][]Kind, vms)
+	next := 0
+	for _, k := range kinds {
+		for range byKind[k] {
+			placed := false
+			for tries := 0; tries < vms; tries++ {
+				vm := (next + tries) % vms
+				if len(placement[vm]) < slotsPerVM {
+					placement[vm] = append(placement[vm], k)
+					next = (vm + 1) % vms
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("sched: internal error, no free slot")
+			}
+		}
+	}
+	return placement, nil
+}
+
+// ClassAwareSchedule runs the class-aware scheduler on the Figure 4
+// workload (three jobs each of S, P, N onto three VMs) and returns the
+// resulting schedule — always the all-mixed SPN placement.
+func ClassAwareSchedule() (Schedule, error) {
+	jobs := []Kind{
+		KindS, KindS, KindS,
+		KindP, KindP, KindP,
+		KindN, KindN, KindN,
+	}
+	placement, err := ClassAware(jobs, 3, 3)
+	if err != nil {
+		return Schedule{}, err
+	}
+	var s Schedule
+	for i, g := range placement {
+		if len(g) != 3 {
+			return Schedule{}, fmt.Errorf("sched: VM %d has %d jobs, want 3", i, len(g))
+		}
+		s[i] = Group{g[0], g[1], g[2]}
+	}
+	return s.Canonical(), nil
+}

@@ -1,0 +1,67 @@
+package sched
+
+import "fmt"
+
+// The paper argues that class knowledge "conveys more information than
+// CPU load in isolation" (Section 1). CPULoadOnlyExpectation quantifies
+// that: a scheduler that knows only each job's CPU demand can spread
+// the CPU-heavy S jobs one per VM, but cannot distinguish the
+// I/O-intensive P jobs from the network-intensive N jobs, so it places
+// them arbitrarily. Its expected system throughput is the
+// multiplicity-weighted average over exactly the schedules consistent
+// with its knowledge — between the random scheduler and the full
+// class-aware scheduler.
+
+// cpuSpreadConsistent reports whether a schedule places exactly one
+// CPU-heavy (S) job on each VM — the only constraint a CPU-load-only
+// scheduler can enforce.
+func cpuSpreadConsistent(s Schedule) bool {
+	for _, g := range s {
+		var nS int
+		for _, k := range g {
+			if k == KindS {
+				nS++
+			}
+		}
+		if nS != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CPULoadOnlyExpectation computes the expected system throughput of the
+// CPU-load-only scheduler from full Figure-4 results, weighting the
+// consistent schedules by their assignment multiplicities.
+func CPULoadOnlyExpectation(results []*Result) (float64, error) {
+	if len(results) == 0 {
+		return 0, fmt.Errorf("sched: no results")
+	}
+	_, weights := Enumerate()
+	var weightedSum, weightTotal float64
+	for _, r := range results {
+		if !cpuSpreadConsistent(r.Schedule) {
+			continue
+		}
+		w := float64(weights[r.Schedule])
+		weightedSum += w * r.SystemThroughput
+		weightTotal += w
+	}
+	if weightTotal == 0 {
+		return 0, fmt.Errorf("sched: results contain no CPU-spread-consistent schedule")
+	}
+	return weightedSum / weightTotal, nil
+}
+
+// CPUSpreadSchedules returns the schedules a CPU-load-only scheduler
+// might produce, in Enumerate order.
+func CPUSpreadSchedules() []Schedule {
+	schedules, _ := Enumerate()
+	var out []Schedule
+	for _, s := range schedules {
+		if cpuSpreadConsistent(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

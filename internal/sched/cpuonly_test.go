@@ -1,0 +1,62 @@
+package sched
+
+import "testing"
+
+func TestCPUSpreadSchedules(t *testing.T) {
+	got := CPUSpreadSchedules()
+	// Of the ten schedules, exactly two place one S per VM:
+	// {(SPN),(SPN),(SPN)} and {(SPP),(SPN),(SNN)}.
+	if len(got) != 2 {
+		t.Fatalf("CPU-spread schedules = %v, want 2", got)
+	}
+	want := map[string]bool{
+		"{(SPN),(SPN),(SPN)}": true,
+		"{(SPP),(SPN),(SNN)}": true,
+	}
+	for _, s := range got {
+		if !want[s.String()] {
+			t.Errorf("unexpected CPU-spread schedule %s", s)
+		}
+	}
+}
+
+func TestCPULoadOnlyExpectationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	results, randomAvg, err := RunAll(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuOnly, err := CPULoadOnlyExpectation(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spn := Best(results).SystemThroughput
+	t.Logf("random=%.0f cpu-only=%.0f class-aware=%.0f", randomAvg, cpuOnly, spn)
+	// The paper's information hierarchy: more knowledge, more throughput.
+	if !(cpuOnly > randomAvg) {
+		t.Errorf("CPU-load-only expectation %.0f not above random %.0f", cpuOnly, randomAvg)
+	}
+	if !(spn > cpuOnly) {
+		t.Errorf("class-aware %.0f not above CPU-load-only %.0f", spn, cpuOnly)
+	}
+}
+
+func TestCPULoadOnlyExpectationErrors(t *testing.T) {
+	if _, err := CPULoadOnlyExpectation(nil); err == nil {
+		t.Error("no results: want error")
+	}
+	seg := Schedule{
+		{KindS, KindS, KindS},
+		{KindP, KindP, KindP},
+		{KindN, KindN, KindN},
+	}.Canonical()
+	r, err := Run(seg, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CPULoadOnlyExpectation([]*Result{r}); err == nil {
+		t.Error("no consistent schedule in results: want error")
+	}
+}

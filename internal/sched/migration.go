@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/appclass"
+)
+
+// The paper's introduction motivates stage detection with process
+// migration: "with process migration techniques it is possible to
+// migrate an application during its execution for load balancing" when
+// a multi-stage application's current stage starts competing with its
+// VM neighbours. AdviseMigrations is that consumer: given each VM's
+// currently active stage classes (from classify.DetectStages or the
+// online classifier), it proposes moves that reduce same-class
+// co-location.
+
+// Placement maps VM name to the current stage classes of its jobs.
+type Placement map[string][]appclass.Class
+
+// Migration is one proposed move. When SwapWith is non-empty the move
+// is an exchange: a SwapWith-class job travels from To back to From in
+// the same step, which lets the advisor fix placements on fully packed
+// VMs.
+type Migration struct {
+	// Class is the class of the job to move.
+	Class appclass.Class
+	// From and To are VM names.
+	From, To string
+	// SwapWith, when set, is the class of the job moved back from To.
+	SwapWith appclass.Class
+}
+
+// collisions scores a placement: one point for every same-class pair
+// beyond the first job of a class on a VM.
+func collisions(p Placement) int {
+	var score int
+	for _, classes := range p {
+		counts := map[appclass.Class]int{}
+		for _, c := range classes {
+			counts[c]++
+		}
+		for _, n := range counts {
+			if n > 1 {
+				score += n - 1
+			}
+		}
+	}
+	return score
+}
+
+// AdviseMigrations proposes migrations (greedy, best-improvement) that
+// reduce class collisions without putting more than slotsPerVM jobs on
+// any VM. It returns the moves in application order; applying them in
+// order to the input placement yields the advised placement. Idle-class
+// jobs are never moved (they contend with nothing).
+func AdviseMigrations(p Placement, slotsPerVM int) ([]Migration, error) {
+	if slotsPerVM <= 0 {
+		return nil, fmt.Errorf("sched: slotsPerVM must be positive, got %d", slotsPerVM)
+	}
+	// Work on a deep copy.
+	cur := make(Placement, len(p))
+	vms := make([]string, 0, len(p))
+	for vm, classes := range p {
+		for _, c := range classes {
+			if !appclass.Valid(c) {
+				return nil, fmt.Errorf("sched: invalid class %q on VM %q", c, vm)
+			}
+		}
+		if len(classes) > slotsPerVM {
+			return nil, fmt.Errorf("sched: VM %q has %d jobs, capacity %d", vm, len(classes), slotsPerVM)
+		}
+		cur[vm] = append([]appclass.Class(nil), classes...)
+		vms = append(vms, vm)
+	}
+	sort.Strings(vms)
+
+	var moves []Migration
+	// Bounded iteration: each accepted operation strictly reduces the
+	// collision score, which is at most the total job count.
+	for iter := 0; iter < 1+len(vms)*slotsPerVM; iter++ {
+		best := Migration{}
+		bestGain := 0
+		baseline := collisions(cur)
+		for _, from := range vms {
+			counts := map[appclass.Class]int{}
+			for _, c := range cur[from] {
+				counts[c]++
+			}
+			for c, n := range counts {
+				if n < 2 || c == appclass.Idle {
+					continue // only colliding, non-idle jobs move
+				}
+				for _, to := range vms {
+					if to == from {
+						continue
+					}
+					// Plain move into free capacity.
+					if len(cur[to]) < slotsPerVM {
+						m := Migration{Class: c, From: from, To: to}
+						if gain := baseline - scoreAfter(cur, m); better(gain, m, bestGain, best) {
+							best, bestGain = m, gain
+						}
+					}
+					// Swap with each distinct class on the target.
+					seen := map[appclass.Class]bool{}
+					for _, d := range cur[to] {
+						if d == c || seen[d] {
+							continue
+						}
+						seen[d] = true
+						m := Migration{Class: c, From: from, To: to, SwapWith: d}
+						if gain := baseline - scoreAfter(cur, m); better(gain, m, bestGain, best) {
+							best, bestGain = m, gain
+						}
+					}
+				}
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		applyOp(cur, best)
+		moves = append(moves, best)
+	}
+	return moves, nil
+}
+
+// better prefers strictly larger gains, breaking ties deterministically
+// by target VM name.
+func better(gain int, m Migration, bestGain int, best Migration) bool {
+	if gain <= 0 {
+		return false
+	}
+	if gain != bestGain {
+		return gain > bestGain
+	}
+	return best.From == "" || m.To < best.To
+}
+
+// scoreAfter evaluates the collision score of applying m, then undoes
+// it.
+func scoreAfter(p Placement, m Migration) int {
+	applyOp(p, m)
+	score := collisions(p)
+	applyOp(p, m.inverse())
+	return score
+}
+
+func (m Migration) inverse() Migration {
+	return Migration{Class: m.Class, From: m.To, To: m.From, SwapWith: m.SwapWith}
+}
+
+func applyOp(p Placement, m Migration) {
+	removeOne(p, m.From, m.Class)
+	p[m.To] = append(p[m.To], m.Class)
+	if m.SwapWith != "" {
+		removeOne(p, m.To, m.SwapWith)
+		p[m.From] = append(p[m.From], m.SwapWith)
+	}
+}
+
+func removeOne(p Placement, vm string, c appclass.Class) {
+	src := p[vm]
+	for i, x := range src {
+		if x == c {
+			p[vm] = append(append([]appclass.Class(nil), src[:i]...), src[i+1:]...)
+			return
+		}
+	}
+}
+
+// Apply executes a list of migrations on a placement, returning the
+// resulting placement (the input is not modified).
+func Apply(p Placement, moves []Migration) (Placement, error) {
+	out := make(Placement, len(p))
+	for vm, classes := range p {
+		out[vm] = append([]appclass.Class(nil), classes...)
+	}
+	for _, m := range moves {
+		if !contains(out[m.From], m.Class) {
+			return nil, fmt.Errorf("sched: migration %v: no %s job on %s", m, m.Class, m.From)
+		}
+		if m.SwapWith != "" && !contains(out[m.To], m.SwapWith) {
+			return nil, fmt.Errorf("sched: migration %v: no %s job on %s to swap back", m, m.SwapWith, m.To)
+		}
+		applyOp(out, m)
+	}
+	return out, nil
+}
+
+func contains(classes []appclass.Class, c appclass.Class) bool {
+	for _, x := range classes {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Collisions exposes the collision score for reports and tests.
+func Collisions(p Placement) int { return collisions(p) }

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/appclass"
+)
+
+func TestAdviseMigrationsResolvesCollisions(t *testing.T) {
+	p := Placement{
+		"vm1": {appclass.CPU, appclass.CPU, appclass.CPU},
+		"vm2": {appclass.IO, appclass.IO, appclass.IO},
+		"vm3": {appclass.Net, appclass.Net, appclass.Net},
+	}
+	moves, err := AdviseMigrations(p, 3)
+	if err != nil {
+		t.Fatalf("AdviseMigrations: %v", err)
+	}
+	after, err := Apply(p, moves)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := Collisions(after); got != 0 {
+		t.Errorf("collisions after migration = %d (placement %v, moves %v)", got, after, moves)
+	}
+	// Original placement untouched.
+	if len(p["vm1"]) != 3 {
+		t.Error("AdviseMigrations/Apply mutated the input")
+	}
+}
+
+func TestAdviseMigrationsNoopWhenMixed(t *testing.T) {
+	p := Placement{
+		"vm1": {appclass.CPU, appclass.IO, appclass.Net},
+		"vm2": {appclass.CPU, appclass.IO, appclass.Net},
+	}
+	moves, err := AdviseMigrations(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Errorf("mixed placement advised %v", moves)
+	}
+}
+
+func TestAdviseMigrationsSwapsWhenTargetsFull(t *testing.T) {
+	p := Placement{
+		"vm1": {appclass.CPU, appclass.CPU},
+		"vm2": {appclass.IO, appclass.Net},
+	}
+	moves, err := AdviseMigrations(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].SwapWith == "" {
+		t.Fatalf("want one swap, got %v", moves)
+	}
+	after, err := Apply(p, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Collisions(after) != 0 {
+		t.Errorf("collisions after swap = %d (%v)", Collisions(after), after)
+	}
+	// Capacity still respected on both VMs.
+	for vm, cs := range after {
+		if len(cs) != 2 {
+			t.Errorf("VM %s has %d jobs after swap", vm, len(cs))
+		}
+	}
+}
+
+func TestAdviseMigrationsIgnoresIdle(t *testing.T) {
+	p := Placement{
+		"vm1": {appclass.Idle, appclass.Idle},
+		"vm2": {},
+	}
+	moves, err := AdviseMigrations(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Errorf("idle jobs advised to move: %v", moves)
+	}
+}
+
+func TestAdviseMigrationsValidation(t *testing.T) {
+	if _, err := AdviseMigrations(Placement{}, 0); err == nil {
+		t.Error("zero capacity: want error")
+	}
+	if _, err := AdviseMigrations(Placement{"vm1": {appclass.Class("weird")}}, 3); err == nil {
+		t.Error("invalid class: want error")
+	}
+	if _, err := AdviseMigrations(Placement{"vm1": {appclass.CPU, appclass.CPU}}, 1); err == nil {
+		t.Error("over-capacity input: want error")
+	}
+}
+
+func TestApplyRejectsImpossibleMove(t *testing.T) {
+	p := Placement{"vm1": {appclass.CPU}, "vm2": {}}
+	if _, err := Apply(p, []Migration{{Class: appclass.Net, From: "vm1", To: "vm2"}}); err == nil {
+		t.Error("moving a job that is not there: want error")
+	}
+}
+
+// Property: advised migrations never increase the collision score, never
+// overfill a VM, and preserve the total number of jobs.
+func TestAdviseMigrationsProperties(t *testing.T) {
+	classes := []appclass.Class{appclass.CPU, appclass.IO, appclass.Net, appclass.Mem, appclass.Idle}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		vms := 2 + rng.Intn(4)
+		cap := 2 + rng.Intn(3)
+		p := Placement{}
+		total := 0
+		for i := 0; i < vms; i++ {
+			name := string(rune('a' + i))
+			n := rng.Intn(cap + 1)
+			for j := 0; j < n; j++ {
+				p[name] = append(p[name], classes[rng.Intn(len(classes))])
+			}
+			if p[name] == nil {
+				p[name] = []appclass.Class{}
+			}
+			total += n
+		}
+		before := Collisions(p)
+		moves, err := AdviseMigrations(p, cap)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		after, err := Apply(p, moves)
+		if err != nil {
+			t.Fatalf("trial %d apply: %v", trial, err)
+		}
+		if got := Collisions(after); got > before {
+			t.Fatalf("trial %d: collisions rose %d -> %d (moves %v)", trial, before, got, moves)
+		}
+		var afterTotal int
+		for vm, cs := range after {
+			if len(cs) > cap {
+				t.Fatalf("trial %d: VM %s overfilled: %v", trial, vm, cs)
+			}
+			afterTotal += len(cs)
+		}
+		if afterTotal != total {
+			t.Fatalf("trial %d: job count changed %d -> %d", trial, total, afterTotal)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+// JobBuilder creates one job instance of a kind.
+type JobBuilder func(name string, seed int64) (vmm.Job, error)
+
+// Config parameterizes the scheduling experiments. The zero value uses
+// the paper's job types and testbed topology.
+type Config struct {
+	// Seed controls all randomness.
+	Seed int64
+	// Builders maps each kind to its job constructor. Defaults to
+	// SPECseis96 small (S), PostMark local (P), NetPIPE (N).
+	Builders map[Kind]JobBuilder
+	// MaxRun caps one schedule's simulation.
+	MaxRun time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Builders == nil {
+		c.Builders = map[Kind]JobBuilder{
+			KindS: func(name string, seed int64) (vmm.Job, error) {
+				return workload.NewSPECseis(workload.SPECseisSmall, workload.Config{Name: name, Seed: seed})
+			},
+			KindP: func(name string, seed int64) (vmm.Job, error) {
+				return workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Name: name, Seed: seed})
+			},
+			KindN: func(name string, seed int64) (vmm.Job, error) {
+				return workload.NewNetPIPE(0, workload.Config{Name: name, Seed: seed})
+			},
+		}
+	}
+	if c.MaxRun == 0 {
+		c.MaxRun = 12 * time.Hour
+	}
+	return c
+}
+
+// Result is the measured outcome of running one schedule.
+type Result struct {
+	// Schedule is the placement that ran.
+	Schedule Schedule
+	// Elapsed maps each job instance to its completion time.
+	Elapsed map[string]time.Duration
+	// SystemThroughput is the paper's metric: total jobs per day,
+	// summing each job's rate of 86400s / elapsed.
+	SystemThroughput float64
+	// KindThroughput is the per-application-kind jobs-per-day total
+	// (Figure 5's per-application series).
+	KindThroughput map[Kind]float64
+}
+
+// newTestbedCluster builds the Figure 4 topology: VM1 on the dual
+// 1.8 GHz host, VM2-VM4 on the dual 2.4 GHz host; VM4 hosts the NetPIPE
+// server side. VMs are uniprocessor GSX-style guests with 256 MB.
+func newTestbedCluster(seed int64) (*vmm.Cluster, []*vmm.VM, error) {
+	cluster := vmm.NewCluster()
+	hostA := vmm.NewHost(vmm.HostConfig{Name: "hostA", CPUs: 2})
+	hostB := vmm.NewHost(vmm.HostConfig{Name: "hostB", CPUs: 2.66})
+	if err := cluster.AddHost(hostA); err != nil {
+		return nil, nil, err
+	}
+	if err := cluster.AddHost(hostB); err != nil {
+		return nil, nil, err
+	}
+	var vms []*vmm.VM
+	for i := 1; i <= 3; i++ {
+		vm := vmm.NewVM(vmm.VMConfig{Name: fmt.Sprintf("vm%d", i), VCPUs: 2, Seed: seed + int64(i)})
+		host := hostA
+		if i > 1 {
+			host = hostB
+		}
+		if err := host.AddVM(vm); err != nil {
+			return nil, nil, err
+		}
+		vms = append(vms, vm)
+	}
+	vm4 := vmm.NewVM(vmm.VMConfig{Name: "vm4", VCPUs: 1, Seed: seed + 4})
+	server, err := workload.NewNetPIPEServer(0, workload.Config{Seed: seed + 4})
+	if err != nil {
+		return nil, nil, err
+	}
+	vm4.AddJob(server)
+	if err := hostB.AddVM(vm4); err != nil {
+		return nil, nil, err
+	}
+	return cluster, vms, nil
+}
+
+// Run executes one schedule on the testbed and measures throughput.
+func Run(s Schedule, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	cluster, vms, err := newTestbedCluster(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	type placed struct {
+		name string
+		kind Kind
+	}
+	var jobs []placed
+	instance := map[Kind]int{}
+	for vmIdx, g := range s {
+		for _, k := range g {
+			instance[k]++
+			name := fmt.Sprintf("%c%d", k, instance[k])
+			build, ok := cfg.Builders[k]
+			if !ok {
+				return nil, fmt.Errorf("sched: no builder for kind %c", k)
+			}
+			job, err := build(name, cfg.Seed+int64(100*instance[k])+int64(k))
+			if err != nil {
+				return nil, fmt.Errorf("sched: build %s: %w", name, err)
+			}
+			vms[vmIdx].AddJob(job)
+			jobs = append(jobs, placed{name: name, kind: k})
+		}
+	}
+
+	// The NetPIPE server loops for its configured duration; run until
+	// the nine scheduled jobs (not the server) complete.
+	deadline := cfg.MaxRun
+	for cluster.Now() < deadline {
+		allDone := true
+		for _, j := range jobs {
+			if _, ok := cluster.CompletionTime(j.name); !ok {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		step := time.Minute
+		if remaining := deadline - cluster.Now(); remaining < step {
+			step = remaining
+		}
+		if err := cluster.RunFor(step); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Schedule:       s,
+		Elapsed:        make(map[string]time.Duration, len(jobs)),
+		KindThroughput: make(map[Kind]float64, 3),
+	}
+	const day = 24 * 60 * 60.0
+	for _, j := range jobs {
+		done, ok := cluster.CompletionTime(j.name)
+		if !ok {
+			return nil, fmt.Errorf("sched: job %s did not finish schedule %s within %v", j.name, s, cfg.MaxRun)
+		}
+		res.Elapsed[j.name] = done
+		rate := day / done.Seconds()
+		res.SystemThroughput += rate
+		res.KindThroughput[j.kind] += rate
+	}
+	return res, nil
+}
+
+// RunAll executes all ten schedules (Figure 4), returning results in
+// Enumerate order plus the multiplicity-weighted average system
+// throughput a random class-oblivious scheduler would achieve in
+// expectation.
+func RunAll(cfg Config) ([]*Result, float64, error) {
+	schedules, weights := Enumerate()
+	results := make([]*Result, 0, len(schedules))
+	var weightedSum, weightTotal float64
+	for _, s := range schedules {
+		r, err := Run(s, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		results = append(results, r)
+		w := float64(weights[s])
+		weightedSum += w * r.SystemThroughput
+		weightTotal += w
+	}
+	return results, weightedSum / weightTotal, nil
+}
+
+// Best returns the result with the highest system throughput.
+func Best(results []*Result) *Result {
+	var best *Result
+	for _, r := range results {
+		if best == nil || r.SystemThroughput > best.SystemThroughput {
+			best = r
+		}
+	}
+	return best
+}
+
+// KindStats summarizes Figure 5: per-kind minimum, maximum and average
+// throughput across all schedules, plus the value under the SPN
+// schedule.
+type KindStats struct {
+	Min, Max, Avg, SPN float64
+}
+
+// AppThroughputStats computes Figure 5's series from RunAll results.
+func AppThroughputStats(results []*Result) (map[Kind]KindStats, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("sched: no results")
+	}
+	out := make(map[Kind]KindStats, 3)
+	spn := SPN()
+	for _, k := range Kinds() {
+		st := KindStats{Min: results[0].KindThroughput[k], Max: results[0].KindThroughput[k]}
+		var sum float64
+		var spnSeen bool
+		for _, r := range results {
+			v := r.KindThroughput[k]
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+			sum += v
+			if r.Schedule == spn {
+				st.SPN = v
+				spnSeen = true
+			}
+		}
+		if !spnSeen {
+			return nil, fmt.Errorf("sched: results do not include the SPN schedule")
+		}
+		st.Avg = sum / float64(len(results))
+		out[k] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSPNSchedule(t *testing.T) {
+	res, err := Run(SPN(), Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Elapsed) != 9 {
+		t.Fatalf("elapsed for %d jobs, want 9", len(res.Elapsed))
+	}
+	if res.SystemThroughput <= 0 {
+		t.Error("non-positive system throughput")
+	}
+	var kindSum float64
+	for _, k := range Kinds() {
+		kindSum += res.KindThroughput[k]
+	}
+	if diff := kindSum - res.SystemThroughput; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("kind throughputs sum %v != system %v", kindSum, res.SystemThroughput)
+	}
+}
+
+func TestRunRejectsInvalidSchedule(t *testing.T) {
+	bad := Schedule{
+		{KindS, KindS, KindS},
+		{KindS, KindS, KindS},
+		{KindS, KindS, KindS},
+	}
+	if _, err := Run(bad, Config{}); err == nil {
+		t.Fatal("invalid schedule: want error")
+	}
+}
+
+// TestFigure4SPNWins is the headline scheduling result: the class-aware
+// schedule must achieve the highest system throughput of all ten, with a
+// double-digit-percent margin over the weighted average a random
+// scheduler achieves in expectation (the paper measured +22.11%).
+func TestFigure4SPNWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	results, weighted, err := RunAll(Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	best := Best(results)
+	if best.Schedule != SPN() {
+		t.Errorf("best schedule = %s (%.0f jobs/day), want SPN", best.Schedule, best.SystemThroughput)
+	}
+	margin := best.SystemThroughput/weighted - 1
+	t.Logf("SPN throughput %.0f jobs/day, weighted average %.0f, margin %.2f%%",
+		best.SystemThroughput, weighted, 100*margin)
+	if margin < 0.08 {
+		t.Errorf("SPN margin over weighted average = %.2f%%, want >= 8%% (paper: 22.11%%)", 100*margin)
+	}
+	// Same-class schedules must rank at the bottom.
+	var worst *Result
+	for _, r := range results {
+		if worst == nil || r.SystemThroughput < worst.SystemThroughput {
+			worst = r
+		}
+	}
+	allSame := Schedule{
+		{KindS, KindS, KindS},
+		{KindP, KindP, KindP},
+		{KindN, KindN, KindN},
+	}.Canonical()
+	if worst.Schedule != allSame {
+		t.Errorf("worst schedule = %s, want the fully segregated %s", worst.Schedule, allSame)
+	}
+}
+
+// TestFigure5AppThroughput checks the per-application shape: under SPN
+// every kind beats its all-schedule average, and the per-kind maxima
+// are reached by sub-schedules that pair the app with non-competing
+// classes (the paper observed S's max under (SSN) and N's under (PPN)).
+func TestFigure5AppThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	results, _, err := RunAll(Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	stats, err := AppThroughputStats(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kinds() {
+		st := stats[k]
+		if st.Min > st.Avg || st.Avg > st.Max {
+			t.Errorf("%c: min %.0f / avg %.0f / max %.0f not ordered", k, st.Min, st.Avg, st.Max)
+		}
+		if st.SPN < st.Avg {
+			t.Errorf("%c: SPN throughput %.0f below average %.0f", k, st.SPN, st.Avg)
+		}
+		t.Logf("%c: min=%.0f avg=%.0f max=%.0f spn=%.0f (+%.1f%% over avg)",
+			k, st.Min, st.Avg, st.Max, st.SPN, 100*(st.SPN/st.Avg-1))
+	}
+}
+
+func TestAppThroughputStatsRequiresSPN(t *testing.T) {
+	r, err := Run(Schedule{
+		{KindS, KindS, KindS},
+		{KindP, KindP, KindP},
+		{KindN, KindN, KindN},
+	}.Canonical(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppThroughputStats([]*Result{r}); err == nil {
+		t.Error("results without SPN: want error")
+	}
+	if _, err := AppThroughputStats(nil); err == nil {
+		t.Error("empty results: want error")
+	}
+}
+
+// TestTable4ConcurrentBeatsSequential reproduces Table 4: running the
+// CPU-intensive and I/O-intensive jobs concurrently finishes both
+// sooner than running them back to back, while each individual job runs
+// somewhat slower than standalone.
+func TestTable4ConcurrentBeatsSequential(t *testing.T) {
+	res, err := ConcurrentVsSequential(3)
+	if err != nil {
+		t.Fatalf("ConcurrentVsSequential: %v", err)
+	}
+	t.Logf("concurrent: CH3D %v, PostMark %v (makespan %v); sequential: CH3D %v + PostMark %v = %v",
+		res.ConcurrentCH3D, res.ConcurrentPostMark, res.ConcurrentMakespan,
+		res.SequentialCH3D, res.SequentialPostMark, res.SequentialTotal)
+	if res.ConcurrentMakespan >= res.SequentialTotal {
+		t.Errorf("concurrent makespan %v not better than sequential total %v",
+			res.ConcurrentMakespan, res.SequentialTotal)
+	}
+	// Contention slows the individual jobs (the paper: 488->613 s and
+	// 264->310 s).
+	if res.ConcurrentCH3D < res.SequentialCH3D {
+		t.Errorf("CH3D faster under contention: %v < %v", res.ConcurrentCH3D, res.SequentialCH3D)
+	}
+	if res.ConcurrentPostMark < res.SequentialPostMark {
+		t.Errorf("PostMark faster under contention: %v < %v", res.ConcurrentPostMark, res.SequentialPostMark)
+	}
+	// CH3D standalone approximates the paper's 488 s.
+	if res.SequentialCH3D < 300*time.Second || res.SequentialCH3D > 700*time.Second {
+		t.Errorf("standalone CH3D = %v, want roughly the paper's 488 s", res.SequentialCH3D)
+	}
+	if res.Speedup() <= 0 {
+		t.Errorf("Speedup = %v, want positive", res.Speedup())
+	}
+}

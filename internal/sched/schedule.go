@@ -1,0 +1,163 @@
+// Package sched reproduces the paper's scheduling experiments
+// (Section 5.2): nine jobs — three instances each of SPECseis96 (S,
+// CPU-intensive), PostMark (P, I/O-intensive) and NetPIPE (N,
+// network-intensive) — are placed on three virtual machines, three jobs
+// per VM. There are exactly ten distinct schedules (Figure 4); a
+// class-aware scheduler always picks the all-mixed {(SPN),(SPN),(SPN)}
+// placement, which maximizes system throughput, while a class-oblivious
+// scheduler picks among the ten at random. The package also contains
+// the concurrent-vs-sequential experiment of Table 4.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies a job type in the Figure 4 experiment.
+type Kind byte
+
+// The three job kinds, with the paper's letters.
+const (
+	KindS Kind = 'S' // SPECseis96, CPU-intensive
+	KindP Kind = 'P' // PostMark, I/O-intensive
+	KindN Kind = 'N' // NetPIPE, network-intensive
+)
+
+// Kinds returns the three kinds in canonical order.
+func Kinds() []Kind { return []Kind{KindS, KindP, KindN} }
+
+// kindRank orders kinds S < P < N for canonical forms.
+func kindRank(k Kind) int {
+	switch k {
+	case KindS:
+		return 0
+	case KindP:
+		return 1
+	case KindN:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Group is the multiset of three jobs placed on one VM, kept in
+// canonical (S-before-P-before-N) order.
+type Group [3]Kind
+
+// canonical sorts the group into canonical order.
+func (g Group) canonical() Group {
+	s := g[:]
+	sort.Slice(s, func(i, j int) bool { return kindRank(s[i]) < kindRank(s[j]) })
+	return g
+}
+
+// String renders the group like the paper: "(SPN)".
+func (g Group) String() string {
+	return "(" + string([]byte{byte(g[0]), byte(g[1]), byte(g[2])}) + ")"
+}
+
+// Schedule assigns one group to each of the three VMs. The canonical
+// form sorts the groups, so schedules that differ only by VM naming are
+// identical — matching the paper's ten unordered schedules.
+type Schedule [3]Group
+
+// Canonical returns the schedule with each group canonicalized and the
+// groups sorted.
+func (s Schedule) Canonical() Schedule {
+	for i := range s {
+		s[i] = s[i].canonical()
+	}
+	groups := s[:]
+	sort.Slice(groups, func(i, j int) bool {
+		for k := 0; k < 3; k++ {
+			if groups[i][k] != groups[j][k] {
+				return kindRank(groups[i][k]) < kindRank(groups[j][k])
+			}
+		}
+		return false
+	})
+	return s
+}
+
+// String renders the schedule like the paper: "{(SSS),(PPP),(NNN)}".
+func (s Schedule) String() string {
+	parts := make([]string, 3)
+	for i, g := range s {
+		parts[i] = g.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SPN is the class-aware schedule: one job of each class per VM
+// (schedule 10 in Figure 4).
+func SPN() Schedule {
+	g := Group{KindS, KindP, KindN}
+	return Schedule{g, g, g}.Canonical()
+}
+
+// Enumerate returns every distinct schedule of {3×S, 3×P, 3×N} onto
+// three unordered VMs of three jobs each — the paper's ten schedules —
+// along with each schedule's multiplicity: the number of ordered
+// (VM-labelled) class assignments that canonicalize to it, which weights
+// the random class-oblivious scheduler's expectation.
+func Enumerate() ([]Schedule, map[Schedule]int) {
+	counts := make(map[Schedule]int)
+	// Assign a kind to each of 9 labelled slots (3 per VM) such that
+	// each kind appears exactly three times; canonicalize and count.
+	var slots [9]Kind
+	var fill func(i int, remS, remP, remN int)
+	fill = func(i, remS, remP, remN int) {
+		if i == 9 {
+			s := Schedule{
+				{slots[0], slots[1], slots[2]},
+				{slots[3], slots[4], slots[5]},
+				{slots[6], slots[7], slots[8]},
+			}.Canonical()
+			counts[s]++
+			return
+		}
+		if remS > 0 {
+			slots[i] = KindS
+			fill(i+1, remS-1, remP, remN)
+		}
+		if remP > 0 {
+			slots[i] = KindP
+			fill(i+1, remS, remP-1, remN)
+		}
+		if remN > 0 {
+			slots[i] = KindN
+			fill(i+1, remS, remP, remN-1)
+		}
+	}
+	fill(0, 3, 3, 3)
+
+	schedules := make([]Schedule, 0, len(counts))
+	for s := range counts {
+		schedules = append(schedules, s)
+	}
+	sort.Slice(schedules, func(i, j int) bool {
+		return schedules[i].String() < schedules[j].String()
+	})
+	return schedules, counts
+}
+
+// Validate checks that a schedule uses exactly three of each kind.
+func (s Schedule) Validate() error {
+	counts := map[Kind]int{}
+	for _, g := range s {
+		for _, k := range g {
+			counts[k]++
+		}
+	}
+	for _, k := range Kinds() {
+		if counts[k] != 3 {
+			return fmt.Errorf("sched: schedule %s has %d %c jobs, want 3", s, counts[k], k)
+		}
+	}
+	if len(counts) != 3 {
+		return fmt.Errorf("sched: schedule %s contains unknown kinds", s)
+	}
+	return nil
+}

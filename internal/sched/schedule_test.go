@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnumerateProducesTenSchedules(t *testing.T) {
+	schedules, weights := Enumerate()
+	if len(schedules) != 10 {
+		t.Fatalf("Enumerate = %d schedules, Figure 4 has 10", len(schedules))
+	}
+	// Every schedule from the paper's Figure 4 caption must appear.
+	want := []string{
+		"{(SSS),(PPP),(NNN)}",
+		"{(SSS),(PPN),(PNN)}",
+		"{(SSP),(SPP),(NNN)}",
+		"{(SSP),(SPN),(PNN)}",
+		"{(SSP),(SNN),(PPN)}",
+		"{(SSN),(SPP),(PNN)}",
+		"{(SSN),(SPN),(PPN)}",
+		"{(SSN),(SNN),(PPP)}",
+		"{(SPP),(SPN),(SNN)}",
+		"{(SPN),(SPN),(SPN)}",
+	}
+	got := map[string]bool{}
+	for _, s := range schedules {
+		got[s.String()] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("schedule %s missing from enumeration (got %v)", w, got)
+		}
+	}
+	// Weights: total ordered class assignments = 9!/(3!3!3!) = 1680.
+	var total int
+	for _, s := range schedules {
+		if weights[s] <= 0 {
+			t.Errorf("schedule %s has weight %d", s, weights[s])
+		}
+		total += weights[s]
+	}
+	if total != 1680 {
+		t.Errorf("total weight = %d, want 1680", total)
+	}
+}
+
+func TestScheduleCanonicalIdempotent(t *testing.T) {
+	s := Schedule{
+		{KindN, KindS, KindP},
+		{KindP, KindP, KindP},
+		{KindN, KindN, KindS},
+	}
+	c := s.Canonical()
+	if c != c.Canonical() {
+		t.Error("Canonical not idempotent")
+	}
+	// Group order and in-group order both canonicalized.
+	if c.String() != "{(SPN),(SNN),(PPP)}" {
+		t.Errorf("canonical form = %s", c)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := SPN().Validate(); err != nil {
+		t.Errorf("SPN invalid: %v", err)
+	}
+	bad := Schedule{
+		{KindS, KindS, KindS},
+		{KindS, KindP, KindP},
+		{KindN, KindN, KindN},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("4 S jobs: want error")
+	}
+	unknown := Schedule{
+		{Kind('X'), KindS, KindS},
+		{KindP, KindP, KindP},
+		{KindN, KindN, KindN},
+	}
+	if err := unknown.Validate(); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestSPNString(t *testing.T) {
+	if got := SPN().String(); got != "{(SPN),(SPN),(SPN)}" {
+		t.Errorf("SPN = %s", got)
+	}
+	if !strings.Contains(SPN().String(), "(SPN)") {
+		t.Error("SPN rendering broken")
+	}
+}
+
+func TestClassAwareSpreadsClasses(t *testing.T) {
+	s, err := ClassAwareSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != SPN() {
+		t.Errorf("class-aware schedule = %s, want %s", s, SPN())
+	}
+}
+
+func TestClassAwareGeneric(t *testing.T) {
+	// 4 jobs of one kind, 2 of another, onto 2 VMs of 3 slots.
+	placement, err := ClassAware([]Kind{KindS, KindS, KindS, KindS, KindP, KindP}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each VM should get 2 S and 1 P.
+	for i, g := range placement {
+		var s, p int
+		for _, k := range g {
+			switch k {
+			case KindS:
+				s++
+			case KindP:
+				p++
+			}
+		}
+		if s != 2 || p != 1 {
+			t.Errorf("VM %d = %v, want 2 S + 1 P", i, g)
+		}
+	}
+}
+
+func TestClassAwareValidation(t *testing.T) {
+	if _, err := ClassAware([]Kind{KindS}, 0, 3); err == nil {
+		t.Error("zero VMs: want error")
+	}
+	if _, err := ClassAware([]Kind{KindS, KindP}, 3, 3); err == nil {
+		t.Error("job count mismatch: want error")
+	}
+}

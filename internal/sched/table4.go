@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+// Table4Result is the concurrent-vs-sequential experiment of Table 4: a
+// CPU-intensive job (CH3D) and an I/O-intensive job (PostMark) run on
+// one machine either together or back to back.
+type Table4Result struct {
+	ConcurrentCH3D     time.Duration
+	ConcurrentPostMark time.Duration
+	// ConcurrentMakespan is the time to finish both jobs concurrently.
+	ConcurrentMakespan time.Duration
+	SequentialCH3D     time.Duration
+	SequentialPostMark time.Duration
+	// SequentialTotal is the time to finish both jobs back to back.
+	SequentialTotal time.Duration
+}
+
+// Speedup returns the relative reduction of total completion time from
+// running concurrently (positive when concurrency wins).
+func (r Table4Result) Speedup() float64 {
+	if r.SequentialTotal == 0 {
+		return 0
+	}
+	return 1 - r.ConcurrentMakespan.Seconds()/r.SequentialTotal.Seconds()
+}
+
+// ch3dWorkSeconds sizes CH3D so its standalone run approximates the
+// paper's 488 s.
+const ch3dWorkSeconds = 480
+
+func table4Jobs(seed int64) (vmm.Job, vmm.Job, error) {
+	ch3d, err := workload.NewCH3D(ch3dWorkSeconds, workload.Config{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	post, err := workload.NewPostMark(workload.PostMarkLocal, 0, workload.Config{Seed: seed + 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch3d, post, nil
+}
+
+// runJobsOnOneVM runs the given jobs together in one uniprocessor VM on
+// one host and returns each job's completion time.
+func runJobsOnOneVM(seed int64, jobs ...vmm.Job) (map[string]time.Duration, error) {
+	cluster := vmm.NewCluster()
+	host := vmm.NewHost(vmm.HostConfig{Name: "host", CPUs: 2})
+	if err := cluster.AddHost(host); err != nil {
+		return nil, err
+	}
+	vm := vmm.NewVM(vmm.VMConfig{Name: "vm1", VCPUs: 1, Seed: seed})
+	for _, j := range jobs {
+		vm.AddJob(j)
+	}
+	if err := host.AddVM(vm); err != nil {
+		return nil, err
+	}
+	if err := cluster.RunUntilAllDone(4 * time.Hour); err != nil {
+		return nil, fmt.Errorf("sched: table 4 run: %w", err)
+	}
+	return cluster.CompletionTimes(), nil
+}
+
+// ConcurrentVsSequential runs the Table 4 experiment.
+func ConcurrentVsSequential(seed int64) (*Table4Result, error) {
+	// Concurrent: both jobs share the machine.
+	ch3d, post, err := table4Jobs(seed)
+	if err != nil {
+		return nil, err
+	}
+	concurrent, err := runJobsOnOneVM(seed, ch3d, post)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequential: each job alone on the same machine configuration.
+	ch3dSolo, postSolo, err := table4Jobs(seed)
+	if err != nil {
+		return nil, err
+	}
+	seq1, err := runJobsOnOneVM(seed, ch3dSolo)
+	if err != nil {
+		return nil, err
+	}
+	seq2, err := runJobsOnOneVM(seed, postSolo)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table4Result{
+		ConcurrentCH3D:     concurrent[ch3d.Name()],
+		ConcurrentPostMark: concurrent[post.Name()],
+		SequentialCH3D:     seq1[ch3dSolo.Name()],
+		SequentialPostMark: seq2[postSolo.Name()],
+	}
+	res.ConcurrentMakespan = res.ConcurrentCH3D
+	if res.ConcurrentPostMark > res.ConcurrentMakespan {
+		res.ConcurrentMakespan = res.ConcurrentPostMark
+	}
+	res.SequentialTotal = res.SequentialCH3D + res.SequentialPostMark
+	return res, nil
+}

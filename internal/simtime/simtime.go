@@ -1,0 +1,164 @@
+// Package simtime provides the simulated clock and event scheduling that
+// drive the virtual-machine resource simulator. The paper's experiments
+// ran for hours of wall-clock time on VMware hosts; the reproduction
+// advances a discrete clock in fixed one-second steps, which is the
+// finest granularity any modeled metric (vmstat rates, Ganglia
+// announcements, 5-second profiler samples) requires.
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Tick is the base resolution of the simulation.
+const Tick = time.Second
+
+// Clock is a monotonically advancing simulated clock.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are rejected.
+func (c *Clock) Advance(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("simtime: cannot advance clock by negative duration %v", d)
+	}
+	c.now += d
+	return nil
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int64 // tiebreaker: FIFO among events at the same instant
+	fn  func(now time.Duration)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// ErrPast is returned when scheduling an event before the current time.
+var ErrPast = errors.New("simtime: event scheduled in the past")
+
+// EventQueue dispatches callbacks in simulated-time order. Events
+// scheduled for the same instant run in scheduling order, which keeps
+// the simulation deterministic.
+type EventQueue struct {
+	clock *Clock
+	heap  eventHeap
+	seq   int64
+}
+
+// NewEventQueue creates a queue driving the given clock.
+func NewEventQueue(clock *Clock) *EventQueue {
+	q := &EventQueue{clock: clock}
+	heap.Init(&q.heap)
+	return q
+}
+
+// Clock returns the queue's clock.
+func (q *EventQueue) Clock() *Clock { return q.clock }
+
+// At schedules fn to run at absolute simulated time at.
+func (q *EventQueue) At(at time.Duration, fn func(now time.Duration)) error {
+	if at < q.clock.Now() {
+		return fmt.Errorf("%w: %v before now %v", ErrPast, at, q.clock.Now())
+	}
+	q.seq++
+	heap.Push(&q.heap, &event{at: at, seq: q.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d after the current simulated time.
+func (q *EventQueue) After(d time.Duration, fn func(now time.Duration)) error {
+	if d < 0 {
+		return fmt.Errorf("%w: negative delay %v", ErrPast, d)
+	}
+	return q.At(q.clock.Now()+d, fn)
+}
+
+// Every schedules fn to run at a fixed period, starting one period from
+// now, until the returned stop function is called. The first argument of
+// fn is the firing time.
+func (q *EventQueue) Every(period time.Duration, fn func(now time.Duration)) (stop func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("simtime: Every requires positive period, got %v", period)
+	}
+	stopped := false
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			// Re-arm; scheduling from a callback is always in the future.
+			_ = q.At(now+period, tick)
+		}
+	}
+	if err := q.After(period, tick); err != nil {
+		return nil, err
+	}
+	return func() { stopped = true }, nil
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return q.heap.Len() }
+
+// RunUntil advances the clock, dispatching due events in order, until
+// the clock reaches deadline. Events scheduled exactly at the deadline
+// are dispatched.
+func (q *EventQueue) RunUntil(deadline time.Duration) error {
+	if deadline < q.clock.Now() {
+		return fmt.Errorf("simtime: deadline %v before now %v", deadline, q.clock.Now())
+	}
+	for q.heap.Len() > 0 {
+		next := q.heap[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&q.heap)
+		if next.at > q.clock.Now() {
+			if err := q.clock.Advance(next.at - q.clock.Now()); err != nil {
+				return err
+			}
+		}
+		next.fn(q.clock.Now())
+	}
+	if deadline > q.clock.Now() {
+		return q.clock.Advance(deadline - q.clock.Now())
+	}
+	return nil
+}
+
+// Step advances exactly one Tick, dispatching any events due at or
+// before the new time.
+func (q *EventQueue) Step() error {
+	return q.RunUntil(q.clock.Now() + Tick)
+}

@@ -1,0 +1,175 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock Now = %v, want 0", c.Now())
+	}
+	if err := c.Advance(3 * time.Second); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if c.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", c.Now())
+	}
+	if err := c.Advance(-time.Second); err == nil {
+		t.Error("negative advance: want error")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	var order []string
+	add := func(name string, at time.Duration) {
+		if err := q.At(at, func(time.Duration) { order = append(order, name) }); err != nil {
+			t.Fatalf("At(%s): %v", name, err)
+		}
+	}
+	add("c", 3*time.Second)
+	add("a", 1*time.Second)
+	add("b", 2*time.Second)
+	if err := q.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if q.Clock().Now() != 10*time.Second {
+		t.Errorf("clock after run = %v, want 10s", q.Clock().Now())
+	}
+}
+
+func TestEventQueueSameInstantFIFO(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := q.At(time.Second, func(time.Duration) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEventQueueRejectsPast(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	if err := q.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.At(time.Second, func(time.Duration) {}); err == nil {
+		t.Error("scheduling in the past: want error")
+	}
+	if err := q.After(-time.Second, func(time.Duration) {}); err == nil {
+		t.Error("negative After: want error")
+	}
+	if err := q.RunUntil(time.Second); err == nil {
+		t.Error("RunUntil before now: want error")
+	}
+}
+
+func TestEventQueueDeadlineInclusive(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	fired := false
+	_ = q.At(2*time.Second, func(time.Duration) { fired = true })
+	if err := q.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event at deadline did not fire")
+	}
+}
+
+func TestEventQueueEvery(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	var times []time.Duration
+	stop, err := q.Every(5*time.Second, func(now time.Duration) { times = append(times, now) })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if err := q.RunUntil(17 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("fired %d times, want 3 (at 5s,10s,15s): %v", len(times), times)
+	}
+	for i, want := range []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second} {
+		if times[i] != want {
+			t.Errorf("firing %d at %v, want %v", i, times[i], want)
+		}
+	}
+	stop()
+	if err := q.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Errorf("fired after stop: %d firings", len(times))
+	}
+}
+
+func TestEventQueueEveryRejectsNonPositive(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	if _, err := q.Every(0, func(time.Duration) {}); err == nil {
+		t.Error("zero period: want error")
+	}
+}
+
+func TestEventQueueStep(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	count := 0
+	_, err := q.Every(time.Second, func(time.Duration) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 3 {
+		t.Errorf("count = %d after 3 steps, want 3", count)
+	}
+	if q.Clock().Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", q.Clock().Now())
+	}
+}
+
+func TestEventQueueSchedulingFromCallback(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	var secondFired time.Duration
+	_ = q.At(time.Second, func(now time.Duration) {
+		_ = q.After(2*time.Second, func(now2 time.Duration) { secondFired = now2 })
+	})
+	if err := q.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if secondFired != 3*time.Second {
+		t.Errorf("chained event fired at %v, want 3s", secondFired)
+	}
+}
+
+func TestEventQueueLen(t *testing.T) {
+	q := NewEventQueue(NewClock())
+	_ = q.At(time.Second, func(time.Duration) {})
+	_ = q.At(2*time.Second, func(time.Duration) {})
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	_ = q.RunUntil(5 * time.Second)
+	if q.Len() != 0 {
+		t.Errorf("Len after run = %d, want 0", q.Len())
+	}
+}

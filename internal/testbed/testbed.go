@@ -1,0 +1,144 @@
+// Package testbed wires the full monitoring stack end to end for one
+// profiling run, the way the paper's experiments did: the application
+// executes in a dedicated VM on a shared physical host, a second VM
+// hosts the benchmark's server side (when it has one), gmond agents on
+// both VMs announce all 33 metrics on the multicast bus every five
+// seconds, and the performance profiler filters the target VM's
+// snapshots out of the subnet-wide data pool.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+	"repro/internal/profiler"
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+// RunResult is the outcome of one profiled application run.
+type RunResult struct {
+	// Trace is the application performance data pool A(n×m) for the
+	// target VM, filtered between t0 and t1.
+	Trace *metrics.Trace
+	// Elapsed is the application's execution time t1 - t0.
+	Elapsed time.Duration
+	// App is the workload instance that ran (phase history etc.).
+	App *workload.App
+	// PoolAnnouncements counts every announcement the profiler saw,
+	// including the peer VM's — the raw multicast pool size.
+	PoolAnnouncements int
+}
+
+// Options tune a profiling run beyond the paper's defaults.
+type Options struct {
+	// SampleInterval overrides the 5-second gmond announce interval
+	// (the paper's d). Zero keeps the default.
+	SampleInterval time.Duration
+	// LossRate drops each announcement with this probability, modelling
+	// the UDP multicast transport. Snapshots with missing metrics are
+	// skipped by the performance filter.
+	LossRate float64
+}
+
+// ProfileEntry executes a registry entry end to end and returns its
+// profiling trace. seed controls all randomness in the run.
+func ProfileEntry(e workload.Entry, seed int64) (*RunResult, error) {
+	return ProfileEntryOpts(e, seed, Options{})
+}
+
+// ProfileEntryOpts is ProfileEntry with explicit Options.
+func ProfileEntryOpts(e workload.Entry, seed int64, opts Options) (*RunResult, error) {
+	app, err := e.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: build %s: %w", e.Name, err)
+	}
+
+	cluster := vmm.NewCluster()
+	hostA := vmm.NewHost(vmm.HostConfig{Name: "hostA"})
+	hostB := vmm.NewHost(vmm.HostConfig{Name: "hostB"})
+	if err := cluster.AddHost(hostA); err != nil {
+		return nil, err
+	}
+	if err := cluster.AddHost(hostB); err != nil {
+		return nil, err
+	}
+
+	appVM := vmm.NewVM(vmm.VMConfig{Name: "vm1", MemKB: e.VMMemKB, Seed: seed})
+	appVM.AddJob(app)
+	if err := hostA.AddVM(appVM); err != nil {
+		return nil, err
+	}
+
+	peerVM := vmm.NewVM(vmm.VMConfig{Name: "vm2", Seed: seed + 1})
+	if e.Peer != nil {
+		peer, err := e.Peer(seed + 1)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: build peer for %s: %w", e.Name, err)
+		}
+		peerVM.AddJob(peer)
+	}
+	if err := hostB.AddVM(peerVM); err != nil {
+		return nil, err
+	}
+
+	interval := opts.SampleInterval
+	if interval == 0 {
+		interval = ganglia.DefaultAnnounceInterval
+	}
+	bus := ganglia.NewBus()
+	if opts.LossRate > 0 {
+		if err := bus.SetLoss(opts.LossRate, seed+99); err != nil {
+			return nil, err
+		}
+	}
+	schema := metrics.DefaultSchema()
+	prof, err := profiler.New(bus, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, vm := range []*vmm.VM{appVM, peerVM} {
+		agent, err := ganglia.NewGmond(vm, bus, interval)
+		if err != nil {
+			return nil, err
+		}
+		if err := agent.Start(cluster.Queue()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Run until the profiled application finishes (peer/looping jobs
+	// excluded), or until the entry's cap for open-ended runs.
+	deadline := e.MaxRun
+	for !app.Done() && cluster.Now() < deadline {
+		step := time.Minute
+		if remaining := deadline - cluster.Now(); remaining < step {
+			step = remaining
+		}
+		if err := cluster.RunFor(step); err != nil {
+			return nil, fmt.Errorf("testbed: run %s: %w", e.Name, err)
+		}
+	}
+	t1 := cluster.Now()
+	if done, ok := cluster.CompletionTime(app.Name()); ok {
+		t1 = done
+	}
+	t0 := interval // first announcement
+	var trace *metrics.Trace
+	if opts.LossRate > 0 {
+		trace, _, err = prof.ExtractSkipIncomplete(appVM.Name(), t0, t1)
+	} else {
+		trace, err = prof.Extract(appVM.Name(), t0, t1)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("testbed: extract %s: %w", e.Name, err)
+	}
+	return &RunResult{
+		Trace:             trace,
+		Elapsed:           t1,
+		App:               app,
+		PoolAnnouncements: prof.Seen(),
+	}, nil
+}

@@ -1,0 +1,144 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestProfileEntryEndToEnd(t *testing.T) {
+	e, err := workload.Find("PostMark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProfileEntry(e, 1)
+	if err != nil {
+		t.Fatalf("ProfileEntry: %v", err)
+	}
+	if res.Trace.Len() < 20 {
+		t.Errorf("trace has %d snapshots, want dozens", res.Trace.Len())
+	}
+	if res.Trace.Schema().Len() != 33 {
+		t.Errorf("trace schema has %d metrics, want the full 33", res.Trace.Schema().Len())
+	}
+	if res.Elapsed < 2*time.Minute || res.Elapsed > 10*time.Minute {
+		t.Errorf("elapsed = %v, want a few minutes", res.Elapsed)
+	}
+	// The pool contains the peer VM's announcements too: more than
+	// 33 * samples of the target alone.
+	if res.PoolAnnouncements <= 33*res.Trace.Len() {
+		t.Errorf("pool announcements = %d, want more than the target's %d (multicast pool)",
+			res.PoolAnnouncements, 33*res.Trace.Len())
+	}
+	if !res.App.Done() {
+		t.Error("application did not finish")
+	}
+}
+
+func TestProfileEntryNetworkRunUsesPeer(t *testing.T) {
+	e, err := workload.Find("Ettcp_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProfileEntry(e, 1)
+	if err != nil {
+		t.Fatalf("ProfileEntry: %v", err)
+	}
+	col, err := res.Trace.Column(metrics.BytesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(len(col))
+	if mean < 4e6 {
+		t.Errorf("mean bytes_out = %v, want a saturated transfer", mean)
+	}
+}
+
+func TestProfileEntryOpenEndedRunIsCapped(t *testing.T) {
+	e, err := workload.Find("Idle_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProfileEntry(e, 1)
+	if err != nil {
+		t.Fatalf("ProfileEntry: %v", err)
+	}
+	if res.Elapsed > e.MaxRun {
+		t.Errorf("elapsed %v exceeds cap %v", res.Elapsed, e.MaxRun)
+	}
+	if res.Trace.Len() < 10 {
+		t.Errorf("idle trace has %d snapshots", res.Trace.Len())
+	}
+}
+
+func TestProfileEntryDeterministicForSeed(t *testing.T) {
+	e, err := workload.Find("CH3D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ProfileEntry(e, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ProfileEntry(e, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Trace.Len() != r2.Trace.Len() || r1.Elapsed != r2.Elapsed {
+		t.Fatalf("same seed, different runs: %d/%v vs %d/%v",
+			r1.Trace.Len(), r1.Elapsed, r2.Trace.Len(), r2.Elapsed)
+	}
+	for i := 0; i < r1.Trace.Len(); i++ {
+		a, b := r1.Trace.At(i), r2.Trace.At(i)
+		for j := range a.Values {
+			if a.Values[j] != b.Values[j] {
+				t.Fatalf("snapshot %d metric %d differs: %v vs %v", i, j, a.Values[j], b.Values[j])
+			}
+		}
+	}
+}
+
+func TestProfileEntryCustomInterval(t *testing.T) {
+	e, err := workload.Find("XSpim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ProfileEntryOpts(e, 1, Options{SampleInterval: time.Second})
+	if err != nil {
+		t.Fatalf("1s interval: %v", err)
+	}
+	slow, err := ProfileEntryOpts(e, 1, Options{SampleInterval: 15 * time.Second})
+	if err != nil {
+		t.Fatalf("15s interval: %v", err)
+	}
+	if fast.Trace.Len() <= 3*slow.Trace.Len() {
+		t.Errorf("1s trace %d samples vs 15s trace %d: want ~15x more", fast.Trace.Len(), slow.Trace.Len())
+	}
+}
+
+func TestProfileEntryLossyTransport(t *testing.T) {
+	e, err := workload.Find("PostMark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ProfileEntry(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := ProfileEntryOpts(e, 1, Options{LossRate: 0.05})
+	if err != nil {
+		t.Fatalf("lossy run: %v", err)
+	}
+	if lossy.Trace.Len() >= clean.Trace.Len() {
+		t.Errorf("lossy trace %d not smaller than clean %d", lossy.Trace.Len(), clean.Trace.Len())
+	}
+	if lossy.Trace.Len() < clean.Trace.Len()/10 {
+		t.Errorf("lossy trace %d lost almost everything (clean %d)", lossy.Trace.Len(), clean.Trace.Len())
+	}
+}

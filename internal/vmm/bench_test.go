@@ -1,0 +1,109 @@
+package vmm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchJob is a mixed-demand job that never finishes.
+type benchJob struct{ demand Demand }
+
+func (b *benchJob) Name() string                { return "bench" }
+func (b *benchJob) Demand(time.Duration) Demand { return b.demand }
+func (b *benchJob) Apply(Grant, time.Duration)  {}
+func (b *benchJob) Done() bool                  { return false }
+
+// BenchmarkHostTick measures one arbitration step of a loaded host —
+// the simulator's inner loop.
+func BenchmarkHostTick(b *testing.B) {
+	host := NewHost(HostConfig{Name: "h"})
+	for v := 0; v < 4; v++ {
+		vm := NewVM(VMConfig{Name: fmt.Sprintf("vm%d", v)})
+		for j := 0; j < 3; j++ {
+			vm.AddJob(&benchJob{demand: Demand{
+				CPUSeconds: 0.5, CPUSystemShare: 0.3,
+				ReadKB: 2000, WriteKB: 1500, DatasetKB: 4e5,
+				NetInKB: 800, NetOutKB: 1200, WorkingSetKB: 5e4,
+			}})
+		}
+		if err := host.AddVM(vm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host.Tick(time.Duration(i) * time.Second)
+	}
+}
+
+// BenchmarkClusterScale measures a full simulated second across a
+// 50-host, 200-VM cluster — the scale a Grid-site scheduler would
+// model.
+func BenchmarkClusterScale(b *testing.B) {
+	cluster := NewCluster()
+	for h := 0; h < 50; h++ {
+		host := NewHost(HostConfig{Name: fmt.Sprintf("h%d", h)})
+		for v := 0; v < 4; v++ {
+			vm := NewVM(VMConfig{Name: fmt.Sprintf("h%d-vm%d", h, v)})
+			vm.AddJob(&benchJob{demand: Demand{
+				CPUSeconds: 0.8, ReadKB: 3000, DatasetKB: 8e5,
+				NetOutKB: 2000, WorkingSetKB: 8e4,
+			}})
+			if err := host.AddVM(vm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := cluster.AddHost(host); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cluster.RunFor(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHostTickNoVMs(t *testing.T) {
+	host := NewHost(HostConfig{Name: "empty"})
+	host.Tick(0) // must not panic
+}
+
+func TestVMHugeDemandIsCappedByHost(t *testing.T) {
+	job := &stubJob{name: "greedy", demand: Demand{
+		CPUSeconds: 1e6, ReadKB: 1e9, DatasetKB: 0, NetOutKB: 1e9, WorkingSetKB: 1000,
+	}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 5; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	g := job.grants[len(job.grants)-1]
+	if g.CPUSeconds > vm.Config().VCPUs {
+		t.Errorf("granted %v CPU-seconds, VM has %v vCPUs", g.CPUSeconds, vm.Config().VCPUs)
+	}
+	if g.ReadKB > h.Config().DiskKBps {
+		t.Errorf("granted %v KB reads, disk does %v", g.ReadKB, h.Config().DiskKBps)
+	}
+	if g.NetOutKB > h.Config().NetOutKBps {
+		t.Errorf("granted %v KB out, NIC does %v", g.NetOutKB, h.Config().NetOutKBps)
+	}
+}
+
+func TestVMDeviceCapsLimitThroughput(t *testing.T) {
+	// Host disk is fast; the VM's virtual disk cap must still bind.
+	job := &stubJob{name: "io", demand: Demand{
+		CPUSeconds: 0.1, ReadKB: 50000, DatasetKB: 0, WorkingSetKB: 1000,
+	}}
+	h, _ := singleVMHost(t,
+		VMConfig{Name: "vm1", DiskKBps: 5000},
+		HostConfig{Name: "h1", DiskKBps: 100000}, job)
+	for i := 0; i < 5; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	g := job.grants[len(job.grants)-1]
+	if g.ReadKB > 5000*1.01 {
+		t.Errorf("virtual disk cap not enforced: granted %v KB/s", g.ReadKB)
+	}
+}

@@ -1,0 +1,188 @@
+package vmm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Observer is notified after every completed simulation tick. The
+// monitoring system (gmond agents, the profiler) attaches here.
+type Observer func(now time.Duration)
+
+// Cluster wires hosts to a simulated clock and runs the tick loop. It
+// records the completion time of every job, which the scheduling
+// experiments consume.
+type Cluster struct {
+	queue     *simtime.EventQueue
+	hosts     []*Host
+	observers []Observer
+	completed map[string]time.Duration
+	started   bool
+	stopTick  func()
+}
+
+// NewCluster creates an empty cluster with a fresh clock.
+func NewCluster() *Cluster {
+	return &Cluster{
+		queue:     simtime.NewEventQueue(simtime.NewClock()),
+		completed: make(map[string]time.Duration),
+	}
+}
+
+// AddHost registers a host. Host names must be unique.
+func (c *Cluster) AddHost(h *Host) error {
+	for _, existing := range c.hosts {
+		if existing.Name() == h.Name() {
+			return fmt.Errorf("vmm: cluster already has a host named %q", h.Name())
+		}
+	}
+	c.hosts = append(c.hosts, h)
+	return nil
+}
+
+// Hosts returns the registered hosts.
+func (c *Cluster) Hosts() []*Host { return append([]*Host(nil), c.hosts...) }
+
+// VMs returns every VM in the cluster.
+func (c *Cluster) VMs() []*VM {
+	var out []*VM
+	for _, h := range c.hosts {
+		out = append(out, h.VMs()...)
+	}
+	return out
+}
+
+// FindVM locates a VM by name.
+func (c *Cluster) FindVM(name string) (*VM, bool) {
+	for _, vm := range c.VMs() {
+		if vm.Name() == name {
+			return vm, true
+		}
+	}
+	return nil, false
+}
+
+// Observe registers an observer called after each tick.
+func (c *Cluster) Observe(o Observer) { c.observers = append(c.observers, o) }
+
+// Queue exposes the underlying event queue so monitoring components can
+// schedule their own periodic work (gmond announce intervals, profiler
+// sampling).
+func (c *Cluster) Queue() *simtime.EventQueue { return c.queue }
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() time.Duration { return c.queue.Clock().Now() }
+
+// start arms the per-tick simulation event.
+func (c *Cluster) start() error {
+	if c.started {
+		return nil
+	}
+	stop, err := c.queue.Every(simtime.Tick, func(now time.Duration) {
+		for _, h := range c.hosts {
+			h.Tick(now)
+		}
+		c.recordCompletions(now)
+		for _, o := range c.observers {
+			o(now)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("vmm: arm tick loop: %w", err)
+	}
+	c.stopTick = stop
+	c.started = true
+	return nil
+}
+
+func (c *Cluster) recordCompletions(now time.Duration) {
+	for _, h := range c.hosts {
+		for _, vm := range h.vms {
+			for _, j := range vm.jobs {
+				if j.Done() {
+					if _, seen := c.completed[j.Name()]; !seen {
+						c.completed[j.Name()] = now
+					}
+				}
+			}
+		}
+	}
+}
+
+// CompletionTime returns when the named job finished, if it has.
+func (c *Cluster) CompletionTime(job string) (time.Duration, bool) {
+	d, ok := c.completed[job]
+	return d, ok
+}
+
+// CompletionTimes returns a copy of all recorded completions.
+func (c *Cluster) CompletionTimes() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(c.completed))
+	for k, v := range c.completed {
+		out[k] = v
+	}
+	return out
+}
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d time.Duration) error {
+	if err := c.start(); err != nil {
+		return err
+	}
+	return c.queue.RunUntil(c.Now() + d)
+}
+
+// ErrDeadline is returned by RunUntilAllDone when jobs are still running
+// at the deadline.
+var ErrDeadline = fmt.Errorf("vmm: jobs still running at deadline")
+
+// RunUntilAllDone advances the simulation until every job on every VM
+// reports done, or until maxDur elapses (returning ErrDeadline wrapped
+// with the stragglers).
+func (c *Cluster) RunUntilAllDone(maxDur time.Duration) error {
+	if err := c.start(); err != nil {
+		return err
+	}
+	deadline := c.Now() + maxDur
+	for c.Now() < deadline {
+		if c.allDone() {
+			return nil
+		}
+		// Advance in coarse chunks to keep the loop cheap while still
+		// detecting completion promptly.
+		step := time.Minute
+		if remaining := deadline - c.Now(); remaining < step {
+			step = remaining
+		}
+		if err := c.queue.RunUntil(c.Now() + step); err != nil {
+			return err
+		}
+	}
+	if c.allDone() {
+		return nil
+	}
+	var stragglers []string
+	for _, h := range c.hosts {
+		for _, vm := range h.vms {
+			for _, j := range vm.jobs {
+				if !j.Done() {
+					stragglers = append(stragglers, j.Name())
+				}
+			}
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrDeadline, stragglers)
+}
+
+func (c *Cluster) allDone() bool {
+	for _, h := range c.hosts {
+		for _, vm := range h.vms {
+			if !vm.AllDone() {
+				return false
+			}
+		}
+	}
+	return true
+}

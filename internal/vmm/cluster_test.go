@@ -1,0 +1,135 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, jobs map[string][]Job) *Cluster {
+	t.Helper()
+	c := NewCluster()
+	h := NewHost(HostConfig{Name: "h1"})
+	if err := c.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	for vmName, js := range jobs {
+		vm := NewVM(VMConfig{Name: vmName})
+		for _, j := range js {
+			vm.AddJob(j)
+		}
+		if err := h.AddVM(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestClusterRunFor(t *testing.T) {
+	c := newTestCluster(t, map[string][]Job{"vm1": nil})
+	if err := c.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if c.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", c.Now())
+	}
+}
+
+func TestClusterObserverCalledPerTick(t *testing.T) {
+	c := newTestCluster(t, map[string][]Job{"vm1": nil})
+	var calls int
+	c.Observe(func(time.Duration) { calls++ })
+	if err := c.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("observer called %d times in 5s, want 5", calls)
+	}
+}
+
+func TestClusterRunUntilAllDoneRecordsCompletion(t *testing.T) {
+	job := &stubJob{name: "j1", demand: Demand{CPUSeconds: 1, WorkingSetKB: 1000}, cpuWork: 10}
+	c := newTestCluster(t, map[string][]Job{"vm1": {job}})
+	if err := c.RunUntilAllDone(time.Hour); err != nil {
+		t.Fatalf("RunUntilAllDone: %v", err)
+	}
+	done, ok := c.CompletionTime("j1")
+	if !ok {
+		t.Fatal("completion time not recorded")
+	}
+	// 10 CPU-seconds of work on a dedicated CPU takes ~10 ticks.
+	if done < 9*time.Second || done > 15*time.Second {
+		t.Errorf("completion at %v, want ~10s", done)
+	}
+}
+
+func TestClusterRunUntilAllDoneDeadline(t *testing.T) {
+	job := &stubJob{name: "never", demand: Demand{CPUSeconds: 1, WorkingSetKB: 1000}, cpuWork: 1e12}
+	c := newTestCluster(t, map[string][]Job{"vm1": {job}})
+	err := c.RunUntilAllDone(30 * time.Second)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestClusterFindVM(t *testing.T) {
+	c := newTestCluster(t, map[string][]Job{"vm1": nil, "vm2": nil})
+	if _, ok := c.FindVM("vm2"); !ok {
+		t.Error("FindVM(vm2) not found")
+	}
+	if _, ok := c.FindVM("nope"); ok {
+		t.Error("FindVM(nope) should not be found")
+	}
+	if len(c.VMs()) != 2 {
+		t.Errorf("VMs = %d, want 2", len(c.VMs()))
+	}
+}
+
+func TestClusterRejectsDuplicateHost(t *testing.T) {
+	c := NewCluster()
+	if err := c.AddHost(NewHost(HostConfig{Name: "h1"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddHost(NewHost(HostConfig{Name: "h1"})); err == nil {
+		t.Error("duplicate host: want error")
+	}
+}
+
+func TestClusterCompletionTimesCopy(t *testing.T) {
+	job := &stubJob{name: "j1", demand: Demand{CPUSeconds: 1, WorkingSetKB: 1000}, cpuWork: 3}
+	c := newTestCluster(t, map[string][]Job{"vm1": {job}})
+	if err := c.RunUntilAllDone(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	times := c.CompletionTimes()
+	times["j1"] = 0
+	if got, _ := c.CompletionTime("j1"); got == 0 {
+		t.Error("CompletionTimes exposes internal map")
+	}
+}
+
+func TestTwoHostsIsolateContention(t *testing.T) {
+	// Two CPU jobs on separate single-CPU hosts should both finish in
+	// ~work seconds, unlike on a shared host.
+	c := NewCluster()
+	for i, name := range []string{"h1", "h2"} {
+		h := NewHost(HostConfig{Name: name, CPUs: 1})
+		vm := NewVM(VMConfig{Name: []string{"vm1", "vm2"}[i], VCPUs: 1})
+		vm.AddJob(&stubJob{name: []string{"a", "b"}[i], demand: Demand{CPUSeconds: 1, WorkingSetKB: 1000}, cpuWork: 20})
+		if err := h.AddVM(vm); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.RunUntilAllDone(5 * time.Minute); err != nil {
+		t.Fatalf("RunUntilAllDone: %v", err)
+	}
+	for _, j := range []string{"a", "b"} {
+		done, ok := c.CompletionTime(j)
+		if !ok || done > 25*time.Second {
+			t.Errorf("job %s done at %v, want ~20s without contention", j, done)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package vmm
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// HostConfig describes a physical machine. Defaults approximate the
+// paper's dual-CPU Xeon servers with a single IDE/SCSI disk and Gigabit
+// Ethernet.
+type HostConfig struct {
+	// Name identifies the host.
+	Name string
+	// CPUs is the CPU capacity in CPU-seconds per second.
+	CPUs float64
+	// DiskKBps is the disk bandwidth in KB/s (1 KB = 1 vmstat block).
+	DiskKBps float64
+	// NetInKBps and NetOutKBps are NIC bandwidths per direction.
+	NetInKBps, NetOutKBps float64
+}
+
+func (c *HostConfig) applyDefaults() {
+	if c.CPUs == 0 {
+		c.CPUs = 2
+	}
+	if c.DiskKBps == 0 {
+		c.DiskKBps = 12000 // ~12 MB/s, a 2005-era virtualized IDE disk
+	}
+	if c.NetInKBps == 0 {
+		c.NetInKBps = 35000 // Gigabit Ethernet through 2005-era VMM virtual NICs
+	}
+	if c.NetOutKBps == 0 {
+		c.NetOutKBps = 35000
+	}
+}
+
+// Host is a physical machine hosting VMs and arbitrating their physical
+// resource demands each tick.
+type Host struct {
+	cfg HostConfig
+	vms []*VM
+}
+
+// NewHost creates a host from cfg.
+func NewHost(cfg HostConfig) *Host {
+	cfg.applyDefaults()
+	return &Host{cfg: cfg}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// Config returns the host configuration.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// AddVM places a VM on the host.
+func (h *Host) AddVM(vm *VM) error {
+	for _, existing := range h.vms {
+		if existing.Name() == vm.Name() {
+			return fmt.Errorf("vmm: host %q already has a VM named %q", h.cfg.Name, vm.Name())
+		}
+	}
+	h.vms = append(h.vms, vm)
+	return nil
+}
+
+// VMs returns the hosted VMs.
+func (h *Host) VMs() []*VM { return append([]*VM(nil), h.vms...) }
+
+// RemoveVM tears down a VM (e.g. after its dedicated application
+// finished), freeing the host's resources for future clones.
+func (h *Host) RemoveVM(name string) error {
+	for i, vm := range h.vms {
+		if vm.Name() == name {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("vmm: host %q has no VM named %q", h.cfg.Name, name)
+}
+
+// Tick runs one simulation step: gather demand from every VM, arbitrate
+// each physical resource by proportional sharing, and deliver grants.
+func (h *Host) Tick(now time.Duration) {
+	n := len(h.vms)
+	if n == 0 {
+		return
+	}
+	cpuD := make([]float64, n)
+	diskD := make([]float64, n)
+	inD := make([]float64, n)
+	outD := make([]float64, n)
+	for i, vm := range h.vms {
+		vm.gatherDemand(now)
+		cpuD[i] = vm.cur.cpu
+		// The virtual devices bound what a VM can present to the host.
+		diskD[i] = math.Min(vm.cur.disk, vm.cfg.DiskKBps)
+		inD[i] = math.Min(vm.cur.netIn, vm.cfg.NetKBps)
+		outD[i] = math.Min(vm.cur.netOut, vm.cfg.NetKBps)
+	}
+	cpuG := proportionalShare(cpuD, h.cfg.CPUs)
+	diskG := proportionalShare(diskD, h.cfg.DiskKBps)
+	inG := proportionalShare(inD, h.cfg.NetInKBps)
+	outG := proportionalShare(outD, h.cfg.NetOutKBps)
+	for i, vm := range h.vms {
+		vm.applyGrants(cpuG[i], diskG[i], inG[i], outG[i], now)
+	}
+}

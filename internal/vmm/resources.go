@@ -1,0 +1,74 @@
+// Package vmm simulates the paper's testbed substrate: physical hosts
+// running VMware-GSX-style virtual machines that each execute one or
+// more application jobs. The simulator advances in one-second ticks;
+// each tick, jobs express logical resource demand (compute, file I/O,
+// network traffic, memory working set), the VM translates file I/O into
+// physical disk traffic through a buffer-cache model and memory pressure
+// into swap traffic, and the host arbitrates the physical resources
+// (CPU, disk bandwidth, NIC bandwidth) among its VMs by proportional
+// sharing. The resulting per-VM activity is exposed through the same
+// metric names a Ganglia gmond reports, so the classifier sees data with
+// the same shape the paper's profiler collected.
+package vmm
+
+import "time"
+
+// Demand is the logical resource demand of one job for one one-second
+// tick. All quantities are "desired work this second"; the simulator
+// may grant less under contention.
+type Demand struct {
+	// CPUSeconds is the compute time desired this tick. A
+	// single-threaded job demands at most 1.0; multi-threaded jobs may
+	// demand more.
+	CPUSeconds float64
+	// CPUSystemShare is the fraction of granted CPU time spent in the
+	// kernel (system time) rather than user code. I/O- and
+	// network-heavy jobs have high system shares.
+	CPUSystemShare float64
+	// ReadKB and WriteKB are logical file-system reads and writes. The
+	// VM's buffer cache decides how much becomes physical disk traffic.
+	ReadKB, WriteKB float64
+	// DatasetKB is the size of the file set the job touches; the cache
+	// hit ratio is the fraction of the dataset that fits in the cache.
+	DatasetKB float64
+	// NetInKB and NetOutKB are network receive and transmit demand.
+	NetInKB, NetOutKB float64
+	// WorkingSetKB is the resident memory the job needs this tick.
+	WorkingSetKB float64
+}
+
+// IsZero reports whether the demand requests nothing.
+func (d Demand) IsZero() bool {
+	return d.CPUSeconds == 0 && d.ReadKB == 0 && d.WriteKB == 0 &&
+		d.NetInKB == 0 && d.NetOutKB == 0 && d.WorkingSetKB == 0
+}
+
+// Grant is the share of a job's demand that was actually served in one
+// tick, in the same logical units as Demand.
+type Grant struct {
+	CPUSeconds float64
+	ReadKB     float64
+	WriteKB    float64
+	NetInKB    float64
+	NetOutKB   float64
+	// CPUEfficiency scales how much useful forward progress the granted
+	// CPU time achieves. It drops below 1 when the VM is paging.
+	CPUEfficiency float64
+}
+
+// Job is an application workload hosted by a VM. Implementations live in
+// internal/workload.
+type Job interface {
+	// Name identifies the job instance.
+	Name() string
+	// Demand returns the job's logical demand for the next tick. A done
+	// job must return the zero Demand.
+	Demand(now time.Duration) Demand
+	// Apply delivers the granted resources for the tick, advancing the
+	// job's internal progress.
+	Apply(g Grant, now time.Duration)
+	// Done reports whether the job has finished all its work. Jobs that
+	// model open-ended services (idle, interactive sessions) may never
+	// report done.
+	Done() bool
+}

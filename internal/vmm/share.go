@@ -1,0 +1,91 @@
+package vmm
+
+// proportionalShare divides capacity among demands using progressive
+// filling (max-min fairness with proportional weights equal to the
+// demands): no demand receives more than it asked for, and capacity
+// freed by small demands is redistributed to larger ones. The returned
+// slice is aligned with demands. Negative demands are treated as zero.
+func proportionalShare(demands []float64, capacity float64) []float64 {
+	grants := make([]float64, len(demands))
+	if capacity <= 0 || len(demands) == 0 {
+		return grants
+	}
+	remaining := make([]float64, len(demands))
+	var total float64
+	for i, d := range demands {
+		if d < 0 {
+			d = 0
+		}
+		remaining[i] = d
+		total += d
+	}
+	if total <= capacity {
+		copy(grants, remaining)
+		return grants
+	}
+	// Progressive filling: repeatedly split the leftover capacity
+	// proportionally; demands that saturate drop out. Terminates in at
+	// most len(demands) rounds.
+	left := capacity
+	active := len(demands)
+	for round := 0; round < len(demands) && left > 1e-12 && active > 0; round++ {
+		var activeTotal float64
+		for i := range remaining {
+			if remaining[i] > 0 {
+				activeTotal += remaining[i]
+			}
+		}
+		if activeTotal <= 0 {
+			break
+		}
+		if activeTotal <= left {
+			for i := range remaining {
+				if remaining[i] > 0 {
+					grants[i] += remaining[i]
+					left -= remaining[i]
+					remaining[i] = 0
+					active--
+				}
+			}
+			break
+		}
+		share := left / activeTotal
+		var consumed float64
+		for i := range remaining {
+			if remaining[i] <= 0 {
+				continue
+			}
+			give := remaining[i] * share
+			grants[i] += give
+			remaining[i] -= give
+			consumed += give
+			if remaining[i] < 1e-12 {
+				remaining[i] = 0
+				active--
+			}
+		}
+		left -= consumed
+		// Pure proportional split consumes everything in one round; the
+		// loop guard exists for numerical residue.
+		if consumed <= 0 {
+			break
+		}
+	}
+	return grants
+}
+
+// fraction returns granted/demanded clamped to [0,1], treating a zero
+// demand as fully served.
+func fraction(granted, demanded float64) float64 {
+	if demanded <= 0 {
+		return 1
+	}
+	f := granted / demanded
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,112 @@
+package vmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestProportionalShareUnderCapacity(t *testing.T) {
+	g := proportionalShare([]float64{1, 2, 3}, 10)
+	for i, want := range []float64{1, 2, 3} {
+		if !almostEqual(g[i], want, 1e-12) {
+			t.Errorf("grant[%d] = %v, want %v", i, g[i], want)
+		}
+	}
+}
+
+func TestProportionalShareOverCapacity(t *testing.T) {
+	g := proportionalShare([]float64{1, 1}, 1)
+	if !almostEqual(g[0], 0.5, 1e-9) || !almostEqual(g[1], 0.5, 1e-9) {
+		t.Errorf("grants = %v, want [0.5 0.5]", g)
+	}
+}
+
+func TestProportionalShareZeroCapacity(t *testing.T) {
+	g := proportionalShare([]float64{5, 5}, 0)
+	if g[0] != 0 || g[1] != 0 {
+		t.Errorf("grants = %v, want zeros", g)
+	}
+}
+
+func TestProportionalShareEmpty(t *testing.T) {
+	if g := proportionalShare(nil, 10); len(g) != 0 {
+		t.Errorf("grants = %v, want empty", g)
+	}
+}
+
+func TestProportionalShareNegativeDemand(t *testing.T) {
+	g := proportionalShare([]float64{-3, 4}, 10)
+	if g[0] != 0 {
+		t.Errorf("negative demand granted %v, want 0", g[0])
+	}
+	if !almostEqual(g[1], 4, 1e-12) {
+		t.Errorf("grant[1] = %v, want 4", g[1])
+	}
+}
+
+// Properties: grants never exceed demand, never exceed capacity in
+// total, and under contention the full capacity is used.
+func TestProportionalShareProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		demands := make([]float64, n)
+		var total float64
+		for i := range demands {
+			demands[i] = rng.Float64() * 100
+			total += demands[i]
+		}
+		capacity := rng.Float64() * 150
+		grants := proportionalShare(demands, capacity)
+		var granted float64
+		for i := range grants {
+			if grants[i] > demands[i]+1e-9 {
+				t.Fatalf("trial %d: grant %v exceeds demand %v", trial, grants[i], demands[i])
+			}
+			if grants[i] < 0 {
+				t.Fatalf("trial %d: negative grant %v", trial, grants[i])
+			}
+			granted += grants[i]
+		}
+		if granted > capacity+1e-9 {
+			t.Fatalf("trial %d: total granted %v exceeds capacity %v", trial, granted, capacity)
+		}
+		if total > capacity && !almostEqual(granted, capacity, 1e-6*(1+capacity)) {
+			t.Fatalf("trial %d: contended but capacity unused: granted %v of %v", trial, granted, capacity)
+		}
+		if total <= capacity && !almostEqual(granted, total, 1e-9*(1+total)) {
+			t.Fatalf("trial %d: uncontended but demand unmet: granted %v of %v", trial, granted, total)
+		}
+	}
+}
+
+// Property: equal demands receive equal grants.
+func TestProportionalShareFairness(t *testing.T) {
+	g := proportionalShare([]float64{7, 7, 7}, 9)
+	for i := 1; i < 3; i++ {
+		if !almostEqual(g[i], g[0], 1e-9) {
+			t.Errorf("unequal grants for equal demands: %v", g)
+		}
+	}
+	if !almostEqual(g[0], 3, 1e-9) {
+		t.Errorf("grant = %v, want 3", g[0])
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if fraction(5, 10) != 0.5 {
+		t.Error("fraction(5,10) != 0.5")
+	}
+	if fraction(0, 0) != 1 {
+		t.Error("fraction with zero demand should be 1 (fully served)")
+	}
+	if fraction(20, 10) != 1 {
+		t.Error("fraction should clamp to 1")
+	}
+	if fraction(-1, 10) != 0 {
+		t.Error("fraction should clamp to 0")
+	}
+}

@@ -1,0 +1,137 @@
+package vmm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Topology is the JSON description of a simulated site: its physical
+// hosts and the VMs placed on them. It lets CLI users configure custom
+// testbeds without writing Go.
+//
+//	{
+//	  "hosts": [
+//	    {"name": "hostA", "cpus": 2, "disk_kbps": 12000,
+//	     "vms": [{"name": "vm1", "mem_kb": 262144, "vcpus": 1}]}
+//	  ]
+//	}
+type Topology struct {
+	Hosts []TopologyHost `json:"hosts"`
+}
+
+// TopologyHost describes one host and its VMs.
+type TopologyHost struct {
+	Name       string       `json:"name"`
+	CPUs       float64      `json:"cpus,omitempty"`
+	DiskKBps   float64      `json:"disk_kbps,omitempty"`
+	NetInKBps  float64      `json:"net_in_kbps,omitempty"`
+	NetOutKBps float64      `json:"net_out_kbps,omitempty"`
+	VMs        []TopologyVM `json:"vms,omitempty"`
+}
+
+// TopologyVM describes one VM.
+type TopologyVM struct {
+	Name     string  `json:"name"`
+	MemKB    float64 `json:"mem_kb,omitempty"`
+	VCPUs    float64 `json:"vcpus,omitempty"`
+	DiskKBps float64 `json:"disk_kbps,omitempty"`
+	NetKBps  float64 `json:"net_kbps,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+// Validate checks names and shapes without building anything.
+func (t Topology) Validate() error {
+	if len(t.Hosts) == 0 {
+		return fmt.Errorf("vmm: topology has no hosts")
+	}
+	hostNames := map[string]bool{}
+	vmNames := map[string]bool{}
+	for i, h := range t.Hosts {
+		if h.Name == "" {
+			return fmt.Errorf("vmm: topology host %d has no name", i)
+		}
+		if hostNames[h.Name] {
+			return fmt.Errorf("vmm: duplicate host name %q", h.Name)
+		}
+		hostNames[h.Name] = true
+		if h.CPUs < 0 || h.DiskKBps < 0 || h.NetInKBps < 0 || h.NetOutKBps < 0 {
+			return fmt.Errorf("vmm: host %q has negative capacity", h.Name)
+		}
+		for j, vm := range h.VMs {
+			if vm.Name == "" {
+				return fmt.Errorf("vmm: host %q VM %d has no name", h.Name, j)
+			}
+			if vmNames[vm.Name] {
+				return fmt.Errorf("vmm: duplicate VM name %q", vm.Name)
+			}
+			vmNames[vm.Name] = true
+			if vm.MemKB < 0 || vm.VCPUs < 0 || vm.DiskKBps < 0 || vm.NetKBps < 0 {
+				return fmt.Errorf("vmm: VM %q has negative capacity", vm.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Build constructs a cluster from the topology.
+func (t Topology) Build() (*Cluster, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	cluster := NewCluster()
+	for _, th := range t.Hosts {
+		host := NewHost(HostConfig{
+			Name: th.Name, CPUs: th.CPUs, DiskKBps: th.DiskKBps,
+			NetInKBps: th.NetInKBps, NetOutKBps: th.NetOutKBps,
+		})
+		for _, tv := range th.VMs {
+			vm := NewVM(VMConfig{
+				Name: tv.Name, MemKB: tv.MemKB, VCPUs: tv.VCPUs,
+				DiskKBps: tv.DiskKBps, NetKBps: tv.NetKBps, Seed: tv.Seed,
+			})
+			if err := host.AddVM(vm); err != nil {
+				return nil, err
+			}
+		}
+		if err := cluster.AddHost(host); err != nil {
+			return nil, err
+		}
+	}
+	return cluster, nil
+}
+
+// ReadTopology decodes a topology from JSON.
+func ReadTopology(r io.Reader) (Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("vmm: decode topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// LoadTopology reads a topology from a JSON file.
+func LoadTopology(path string) (Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("vmm: open topology: %w", err)
+	}
+	defer f.Close()
+	return ReadTopology(f)
+}
+
+// WriteTopology encodes a topology as indented JSON.
+func (t Topology) WriteTopology(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("vmm: encode topology: %w", err)
+	}
+	return nil
+}

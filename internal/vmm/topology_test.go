@@ -1,0 +1,99 @@
+package vmm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validTopology() Topology {
+	return Topology{Hosts: []TopologyHost{
+		{
+			Name: "hostA", CPUs: 2, DiskKBps: 12000,
+			VMs: []TopologyVM{
+				{Name: "vm1", MemKB: 256 * 1024, VCPUs: 1},
+				{Name: "vm2", MemKB: 32 * 1024},
+			},
+		},
+		{Name: "hostB"},
+	}}
+}
+
+func TestTopologyBuild(t *testing.T) {
+	cluster, err := validTopology().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(cluster.Hosts()) != 2 {
+		t.Fatalf("hosts = %d", len(cluster.Hosts()))
+	}
+	vm, ok := cluster.FindVM("vm2")
+	if !ok {
+		t.Fatal("vm2 not built")
+	}
+	if vm.Config().MemKB != 32*1024 {
+		t.Errorf("vm2 mem = %v", vm.Config().MemKB)
+	}
+	// Defaults applied to unspecified fields.
+	if vm.Config().VCPUs != 1 {
+		t.Errorf("vm2 vcpus = %v, want default 1", vm.Config().VCPUs)
+	}
+	if cluster.Hosts()[1].Config().CPUs != 2 {
+		t.Errorf("hostB cpus = %v, want default 2", cluster.Hosts()[1].Config().CPUs)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+	}{
+		{"no hosts", func(t *Topology) { t.Hosts = nil }},
+		{"unnamed host", func(t *Topology) { t.Hosts[0].Name = "" }},
+		{"dup host", func(t *Topology) { t.Hosts[1].Name = "hostA" }},
+		{"negative cpus", func(t *Topology) { t.Hosts[0].CPUs = -1 }},
+		{"unnamed vm", func(t *Topology) { t.Hosts[0].VMs[0].Name = "" }},
+		{"dup vm", func(t *Topology) { t.Hosts[0].VMs[1].Name = "vm1" }},
+		{"negative mem", func(t *Topology) { t.Hosts[0].VMs[0].MemKB = -1 }},
+	}
+	for _, c := range cases {
+		topo := validTopology()
+		c.mut(&topo)
+		if err := topo.Validate(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := validTopology().WriteTopology(&buf); err != nil {
+		t.Fatalf("WriteTopology: %v", err)
+	}
+	back, err := ReadTopology(&buf)
+	if err != nil {
+		t.Fatalf("ReadTopology: %v", err)
+	}
+	if len(back.Hosts) != 2 || back.Hosts[0].VMs[1].Name != "vm2" {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestReadTopologyRejectsUnknownFields(t *testing.T) {
+	in := `{"hosts":[{"name":"h","warp_drive":9}]}`
+	if _, err := ReadTopology(strings.NewReader(in)); err == nil {
+		t.Error("unknown field: want error")
+	}
+	if _, err := ReadTopology(strings.NewReader("junk")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := ReadTopology(strings.NewReader(`{"hosts":[]}`)); err == nil {
+		t.Error("empty hosts: want error")
+	}
+}
+
+func TestLoadTopologyMissingFile(t *testing.T) {
+	if _, err := LoadTopology("/does/not/exist.json"); err == nil {
+		t.Error("missing file: want error")
+	}
+}

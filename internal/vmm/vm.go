@@ -1,0 +1,441 @@
+package vmm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// VMConfig describes a virtual machine. Defaults mirror the paper's
+// testbed VMs (VMware GSX guests with 256 MB memory on dual-CPU hosts).
+type VMConfig struct {
+	// Name identifies the VM; it doubles as the monitoring node name
+	// (the paper's "VMIP").
+	Name string
+	// MemKB is the configured guest memory.
+	MemKB float64
+	// VCPUs is the number of virtual CPUs.
+	VCPUs float64
+	// OSResidentKB is guest-kernel plus daemon resident memory,
+	// unavailable to applications or cache.
+	OSResidentKB float64
+	// DiskKBps caps the VM's virtual disk throughput (the virtual IDE
+	// device is slower than the host disk), so co-locating several
+	// I/O-heavy jobs in one VM hurts more than spreading them.
+	DiskKBps float64
+	// NetKBps caps the VM's virtual NIC throughput per direction.
+	NetKBps float64
+	// Seed randomizes the background daemon noise.
+	Seed int64
+}
+
+func (c *VMConfig) applyDefaults() {
+	if c.MemKB == 0 {
+		c.MemKB = 256 * 1024
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 1
+	}
+	if c.OSResidentKB == 0 {
+		c.OSResidentKB = 24 * 1024
+		// Small guests run trimmed-down userlands; never let the OS
+		// claim more than 40% of memory.
+		if cap := 0.4 * c.MemKB; c.OSResidentKB > cap {
+			c.OSResidentKB = cap
+		}
+	}
+	if c.DiskKBps == 0 {
+		c.DiskKBps = 10000
+	}
+	if c.NetKBps == 0 {
+		c.NetKBps = 16000
+	}
+}
+
+// Memory/paging model constants.
+const (
+	// minCacheKB is the floor the guest kernel keeps for the buffer
+	// cache even under memory pressure (the paper observed the
+	// SPECseis96 B cache shrink to ~1 MB).
+	minCacheKB = 1024
+	// pagingTouchRate is the fraction of overflowed working set that
+	// must be paged per second of CPU activity.
+	pagingTouchRate = 0.08
+	// maxPagingKBps caps swap traffic at a disk-realistic rate.
+	maxPagingKBps = 12000
+	// writeThroughFrac is the fraction of logical writes that reach the
+	// disk instead of being absorbed by the page cache.
+	writeThroughFrac = 0.85
+	// pagingStallScaleKB controls how strongly swap traffic stalls
+	// compute progress.
+	pagingStallScaleKB = 6000
+)
+
+// vmDemand aggregates one tick of demand for a VM.
+type vmDemand struct {
+	jobDemands []Demand
+	cpu        float64 // aggregate, capped at VCPUs
+	physRead   []float64
+	physWrite  []float64
+	pagingKB   float64 // swap traffic demanded (each direction)
+	disk       float64 // physical disk KB demanded in total
+	netIn      float64
+	netOut     float64
+	cache      float64 // buffer cache size implied by working sets
+	overflow   float64 // working-set overflow beyond guest memory
+}
+
+// VM is a simulated virtual machine hosting zero or more jobs.
+type VM struct {
+	cfg  VMConfig
+	jobs []Job
+	rng  *rand.Rand
+
+	cur vmDemand // demand gathered this tick
+
+	// Rolling metric state.
+	sample      map[string]float64
+	loadOne     float64
+	loadFive    float64
+	loadFifteen float64
+	heartbeat   float64
+	diskFreeGB  float64
+
+	// Cumulative counters (KB, CPU-seconds) for tests and reports.
+	TotalCPUSeconds float64
+	TotalDiskKB     float64
+	TotalNetKB      float64
+	TotalSwapKB     float64
+}
+
+// NewVM creates a VM from cfg.
+func NewVM(cfg VMConfig) *VM {
+	cfg.applyDefaults()
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(cfg.Name))
+	seed := cfg.Seed ^ int64(h.Sum64())
+	vm := &VM{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		sample:     make(map[string]float64, 33),
+		diskFreeGB: 20,
+	}
+	vm.updateSample(vmDemand{cache: cfg.MemKB - cfg.OSResidentKB}, nil, grantTotals{})
+	return vm
+}
+
+// Name returns the VM (node) name.
+func (vm *VM) Name() string { return vm.cfg.Name }
+
+// Config returns the VM configuration.
+func (vm *VM) Config() VMConfig { return vm.cfg }
+
+// AddJob assigns a job to the VM.
+func (vm *VM) AddJob(j Job) { vm.jobs = append(vm.jobs, j) }
+
+// Jobs returns the hosted jobs.
+func (vm *VM) Jobs() []Job { return append([]Job(nil), vm.jobs...) }
+
+// AllDone reports whether every hosted job is done. A VM with no jobs is
+// considered done (idle).
+func (vm *VM) AllDone() bool {
+	for _, j := range vm.jobs {
+		if !j.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// gatherDemand queries all jobs and computes the VM's physical demand
+// for the tick.
+func (vm *VM) gatherDemand(now time.Duration) {
+	d := vmDemand{
+		jobDemands: make([]Demand, len(vm.jobs)),
+		physRead:   make([]float64, len(vm.jobs)),
+		physWrite:  make([]float64, len(vm.jobs)),
+	}
+	var totalWS float64
+	for i, j := range vm.jobs {
+		jd := j.Demand(now)
+		if jd.CPUSeconds > vm.cfg.VCPUs {
+			jd.CPUSeconds = vm.cfg.VCPUs
+		}
+		d.jobDemands[i] = jd
+		d.cpu += jd.CPUSeconds
+		d.netIn += jd.NetInKB
+		d.netOut += jd.NetOutKB
+		totalWS += jd.WorkingSetKB
+	}
+	if d.cpu > vm.cfg.VCPUs {
+		d.cpu = vm.cfg.VCPUs
+	}
+
+	// Memory model: working sets plus the OS claim memory first; what is
+	// left becomes buffer cache; overflow becomes paging pressure.
+	avail := vm.cfg.MemKB - vm.cfg.OSResidentKB
+	if totalWS > avail {
+		d.overflow = totalWS - avail
+		d.cache = minCacheKB
+	} else {
+		d.cache = avail - totalWS
+		if d.cache < minCacheKB {
+			d.cache = minCacheKB
+		}
+	}
+	cpuActivity := math.Min(1, d.cpu)
+	if d.overflow > 0 && cpuActivity > 0 {
+		d.pagingKB = math.Min(d.overflow*pagingTouchRate*cpuActivity, maxPagingKBps)
+	}
+
+	// Buffer-cache model: the hit ratio is the cached fraction of each
+	// job's dataset; misses and write-through traffic become physical.
+	for i, jd := range d.jobDemands {
+		miss := 1.0
+		if jd.DatasetKB > 0 {
+			hit := math.Min(1, d.cache/jd.DatasetKB)
+			miss = 1 - hit
+		}
+		d.physRead[i] = jd.ReadKB * miss
+		d.physWrite[i] = jd.WriteKB * writeThroughFrac
+		d.disk += d.physRead[i] + d.physWrite[i]
+	}
+	d.disk += 2 * d.pagingKB // swap-in plus swap-out
+	vm.cur = d
+}
+
+// grantTotals captures the physical grants a host gave a VM for one tick.
+type grantTotals struct {
+	cpu      float64
+	disk     float64
+	netIn    float64
+	netOut   float64
+	swapIn   float64
+	swapOut  float64
+	fileRead float64
+	fileWrt  float64
+	cpuEff   float64
+}
+
+// applyGrants distributes the host's physical grants back to jobs and
+// refreshes the VM's metric sample.
+func (vm *VM) applyGrants(cpu, disk, netIn, netOut float64, now time.Duration) {
+	d := vm.cur
+	g := grantTotals{cpu: cpu, netIn: netIn, netOut: netOut, cpuEff: 1}
+
+	// Swap traffic has kernel priority on the disk.
+	pagingNeed := 2 * d.pagingKB
+	pagingGrant := math.Min(disk, pagingNeed)
+	g.swapIn = pagingGrant / 2
+	g.swapOut = pagingGrant / 2
+	diskLeft := disk - pagingGrant
+
+	// Remaining disk bandwidth is shared among the jobs' file traffic.
+	fileDemands := make([]float64, len(vm.jobs))
+	for i := range vm.jobs {
+		fileDemands[i] = d.physRead[i] + d.physWrite[i]
+	}
+	fileGrants := proportionalShare(fileDemands, diskLeft)
+
+	// Paging stalls compute: progress scales with how much of the
+	// needed swap traffic was served, and degrades further with the
+	// absolute swap rate (thrashing).
+	if pagingNeed > 0 {
+		served := fraction(pagingGrant, pagingNeed)
+		g.cpuEff = served / (1 + pagingGrant/pagingStallScaleKB)
+	}
+
+	// Distribute CPU and network proportionally to per-job demand.
+	cpuDemands := make([]float64, len(vm.jobs))
+	inDemands := make([]float64, len(vm.jobs))
+	outDemands := make([]float64, len(vm.jobs))
+	for i, jd := range d.jobDemands {
+		cpuDemands[i] = jd.CPUSeconds
+		inDemands[i] = jd.NetInKB
+		outDemands[i] = jd.NetOutKB
+	}
+	cpuGrants := proportionalShare(cpuDemands, cpu)
+	inGrants := proportionalShare(inDemands, netIn)
+	outGrants := proportionalShare(outDemands, netOut)
+
+	for i, j := range vm.jobs {
+		jd := d.jobDemands[i]
+		jg := Grant{
+			CPUSeconds:    cpuGrants[i],
+			NetInKB:       inGrants[i],
+			NetOutKB:      outGrants[i],
+			CPUEfficiency: g.cpuEff,
+		}
+		// Convert the physical file grant back to logical progress.
+		if fd := fileDemands[i]; fd > 0 {
+			served := fileGrants[i] / fd
+			// Reads: the cached fraction is free; misses progress with
+			// the disk grant.
+			if jd.ReadKB > 0 {
+				if d.physRead[i] > 0 {
+					jg.ReadKB = jd.ReadKB * served
+				} else {
+					jg.ReadKB = jd.ReadKB
+				}
+			}
+			if jd.WriteKB > 0 {
+				jg.WriteKB = jd.WriteKB * served
+			}
+			g.fileRead += d.physRead[i] * served
+			g.fileWrt += d.physWrite[i] * served
+		} else {
+			// Fully cached (or no) file traffic is served instantly.
+			jg.ReadKB = jd.ReadKB
+			jg.WriteKB = jd.WriteKB
+		}
+		j.Apply(jg, now)
+	}
+	g.disk = g.fileRead + g.fileWrt + g.swapIn + g.swapOut
+
+	vm.TotalCPUSeconds += g.cpu
+	vm.TotalDiskKB += g.disk
+	vm.TotalNetKB += g.netIn + g.netOut
+	vm.TotalSwapKB += g.swapIn + g.swapOut
+
+	vm.updateSample(d, d.jobDemands, g)
+}
+
+// noise returns a small non-negative random perturbation modeling
+// background daemons.
+func (vm *VM) noise(scale float64) float64 {
+	return math.Abs(vm.rng.NormFloat64()) * scale
+}
+
+// updateSample recomputes the gmond-visible metric map after a tick.
+func (vm *VM) updateSample(d vmDemand, jobDemands []Demand, g grantTotals) {
+	s := vm.sample
+	cfg := vm.cfg
+	vm.heartbeat++
+
+	// CPU percentages. Granted CPU splits into user and system time by
+	// the demand-weighted system share.
+	sysShare := 0.0
+	if len(jobDemands) > 0 {
+		var wsum, w float64
+		for _, jd := range jobDemands {
+			wsum += jd.CPUSeconds * jd.CPUSystemShare
+			w += jd.CPUSeconds
+		}
+		if w > 0 {
+			sysShare = wsum / w
+		}
+	}
+	// Only the useful fraction of granted CPU shows as user/system
+	// time; page-fault stalls surface as I/O wait, as vmstat reports
+	// for a thrashing guest.
+	busy := 100 * g.cpu * g.cpuEff / cfg.VCPUs
+	stall := 100 * g.cpu * (1 - g.cpuEff) / cfg.VCPUs
+	user := busy*(1-sysShare) + vm.noise(0.4)
+	system := busy*sysShare + vm.noise(0.3)
+	// I/O wait: paging stalls plus unserved disk demand, within the idle
+	// headroom.
+	wio := stall
+	if d.disk > 0 {
+		wio += 35 * (1 - fraction(g.disk, d.disk))
+		wio += 8 * fraction(g.disk, d.disk) * math.Min(1, d.disk/20000)
+	}
+	if user+system+wio > 100 {
+		wio = math.Max(0, 100-user-system)
+	}
+	idle := math.Max(0, 100-user-system-wio)
+
+	s[metrics.CPUNum] = cfg.VCPUs
+	s[metrics.CPUSpeed] = 1800
+	s[metrics.CPUUser] = user
+	s[metrics.CPUNice] = 0
+	s[metrics.CPUSystem] = system
+	s[metrics.CPUIdle] = idle
+	s[metrics.CPUWIO] = wio
+	s[metrics.CPUAIdle] = math.Max(0, 100-busy)
+
+	// Load averages: exponentially-weighted runnable-process counts.
+	var runnable float64
+	for _, jd := range jobDemands {
+		if jd.CPUSeconds > 0.05 || jd.ReadKB+jd.WriteKB > 0 {
+			runnable++
+		}
+	}
+	vm.loadOne += (runnable - vm.loadOne) / 12
+	vm.loadFive += (runnable - vm.loadFive) / 60
+	vm.loadFifteen += (runnable - vm.loadFifteen) / 180
+	s[metrics.LoadOne] = vm.loadOne
+	s[metrics.LoadFive] = vm.loadFive
+	s[metrics.LoadFifteen] = vm.loadFifteen
+	s[metrics.ProcRun] = runnable
+	s[metrics.ProcTotal] = 42 + float64(3*len(vm.jobs))
+
+	// Memory split: OS + working sets + cache + small buffers; overflow
+	// lives in swap.
+	var ws float64
+	for _, jd := range jobDemands {
+		ws += jd.WorkingSetKB
+	}
+	resident := math.Min(ws, cfg.MemKB-cfg.OSResidentKB)
+	buffers := 0.02 * cfg.MemKB
+	free := math.Max(0.01*cfg.MemKB, cfg.MemKB-cfg.OSResidentKB-resident-d.cache-buffers)
+	s[metrics.MemTotal] = cfg.MemKB
+	s[metrics.MemFree] = free
+	s[metrics.MemShared] = 0
+	s[metrics.MemBuffers] = buffers
+	s[metrics.MemCached] = d.cache
+	swapTotal := 2 * cfg.MemKB
+	s[metrics.SwapTotal] = swapTotal
+	s[metrics.SwapFree] = math.Max(0, swapTotal-d.overflow)
+
+	// Network rates (gmond reports bytes/s and packets/s).
+	bytesIn := g.netIn*1024 + vm.noise(200)
+	bytesOut := g.netOut*1024 + vm.noise(200)
+	s[metrics.BytesIn] = bytesIn
+	s[metrics.BytesOut] = bytesOut
+	s[metrics.PktsIn] = bytesIn/1448 + vm.noise(0.5)
+	s[metrics.PktsOut] = bytesOut/1448 + vm.noise(0.5)
+
+	// Disk gauges.
+	vm.diskFreeGB = math.Max(1, vm.diskFreeGB-g.fileWrt/(1024*1024*50))
+	s[metrics.DiskTotal] = 40
+	s[metrics.DiskFree] = vm.diskFreeGB
+	s[metrics.PartMaxUsed] = 100 * (1 - vm.diskFreeGB/40)
+	s[metrics.Boottime] = 0
+	s[metrics.Heartbeat] = vm.heartbeat
+
+	// vmstat additions: blocks (1 KB) per second, including swap
+	// traffic, plus the separate swap rates.
+	s[metrics.IOBI] = g.fileRead + g.swapIn + vm.noise(1.5)
+	s[metrics.IOBO] = g.fileWrt + g.swapOut + vm.noise(1.5)
+	s[metrics.SwapIn] = g.swapIn
+	s[metrics.SwapOut] = g.swapOut
+}
+
+// Sample returns a copy of the most recent metric values, keyed by the
+// canonical metric names. It satisfies the ganglia package's
+// MetricSource.
+func (vm *VM) Sample() map[string]float64 {
+	out := make(map[string]float64, len(vm.sample))
+	for k, v := range vm.sample {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot renders the current sample against a schema, for direct trace
+// capture without going through the monitoring bus.
+func (vm *VM) Snapshot(schema *metrics.Schema, now time.Duration) (metrics.Snapshot, error) {
+	vals := make([]float64, schema.Len())
+	for i, name := range schema.Names() {
+		v, ok := vm.sample[name]
+		if !ok {
+			return metrics.Snapshot{}, fmt.Errorf("vmm: VM %q has no metric %q", vm.cfg.Name, name)
+		}
+		vals[i] = v
+	}
+	return metrics.Snapshot{Time: now, Node: vm.cfg.Name, Values: vals}, nil
+}

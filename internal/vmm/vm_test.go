@@ -1,0 +1,292 @@
+package vmm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// stubJob is a controllable job for simulator tests: it demands a fixed
+// Demand until its accumulated CPU work reaches cpuWork (or forever when
+// cpuWork is 0).
+type stubJob struct {
+	name    string
+	demand  Demand
+	cpuWork float64
+	gotCPU  float64
+	grants  []Grant
+}
+
+func (s *stubJob) Name() string { return s.name }
+
+func (s *stubJob) Demand(time.Duration) Demand {
+	if s.Done() {
+		return Demand{}
+	}
+	return s.demand
+}
+
+func (s *stubJob) Apply(g Grant, _ time.Duration) {
+	s.grants = append(s.grants, g)
+	s.gotCPU += g.CPUSeconds * g.CPUEfficiency
+}
+
+func (s *stubJob) Done() bool { return s.cpuWork > 0 && s.gotCPU >= s.cpuWork }
+
+func singleVMHost(t *testing.T, vmCfg VMConfig, hostCfg HostConfig, jobs ...Job) (*Host, *VM) {
+	t.Helper()
+	vm := NewVM(vmCfg)
+	for _, j := range jobs {
+		vm.AddJob(j)
+	}
+	h := NewHost(hostCfg)
+	if err := h.AddVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	return h, vm
+}
+
+func TestVMDefaults(t *testing.T) {
+	vm := NewVM(VMConfig{Name: "vm1"})
+	cfg := vm.Config()
+	if cfg.MemKB != 256*1024 || cfg.VCPUs != 1 {
+		t.Errorf("defaults = %+v, want 256MB / 1 vCPU", cfg)
+	}
+}
+
+func TestVMSampleHasAllDefaultMetrics(t *testing.T) {
+	vm := NewVM(VMConfig{Name: "vm1"})
+	sample := vm.Sample()
+	for _, name := range metrics.DefaultNames() {
+		if _, ok := sample[name]; !ok {
+			t.Errorf("metric %q missing from VM sample", name)
+		}
+	}
+}
+
+func TestVMSnapshotAgainstSchema(t *testing.T) {
+	vm := NewVM(VMConfig{Name: "vm1"})
+	snap, err := vm.Snapshot(metrics.DefaultSchema(), 7*time.Second)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap.Node != "vm1" || snap.Time != 7*time.Second {
+		t.Errorf("snapshot header = %q @ %v", snap.Node, snap.Time)
+	}
+	if len(snap.Values) != 33 {
+		t.Errorf("snapshot has %d values, want 33", len(snap.Values))
+	}
+	bogus, _ := metrics.NewSchema([]string{"not_a_metric"})
+	if _, err := vm.Snapshot(bogus, 0); err == nil {
+		t.Error("unknown metric in schema: want error")
+	}
+}
+
+func TestCPUBoundJobSaturatesCPUMetric(t *testing.T) {
+	job := &stubJob{name: "cpu", demand: Demand{CPUSeconds: 1, CPUSystemShare: 0.03, WorkingSetKB: 50000}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 30; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.CPUUser] < 85 {
+		t.Errorf("cpu_user = %v, want near 97 for a CPU-bound job", s[metrics.CPUUser])
+	}
+	if s[metrics.IOBI] > 50 || s[metrics.SwapIn] > 0 {
+		t.Errorf("unexpected disk/swap activity: io_bi=%v swap_in=%v", s[metrics.IOBI], s[metrics.SwapIn])
+	}
+}
+
+func TestIOBoundJobDrivesBlockMetrics(t *testing.T) {
+	job := &stubJob{name: "io", demand: Demand{
+		CPUSeconds: 0.2, CPUSystemShare: 0.6,
+		ReadKB: 8000, WriteKB: 8000, DatasetKB: 2 * 1024 * 1024,
+		WorkingSetKB: 30000,
+	}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 30; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.IOBI] < 1000 {
+		t.Errorf("io_bi = %v, want >1000 blocks/s for an I/O-bound job", s[metrics.IOBI])
+	}
+	if s[metrics.IOBO] < 1000 {
+		t.Errorf("io_bo = %v, want >1000 blocks/s", s[metrics.IOBO])
+	}
+	if s[metrics.SwapIn] != 0 {
+		t.Errorf("swap_in = %v, want 0 without memory pressure", s[metrics.SwapIn])
+	}
+	if s[metrics.CPUUser] > 40 {
+		t.Errorf("cpu_user = %v, want low for an I/O-bound job", s[metrics.CPUUser])
+	}
+}
+
+func TestMemoryOverflowCausesPaging(t *testing.T) {
+	// Working set 1.5x the VM memory forces sustained swap traffic.
+	job := &stubJob{name: "mem", demand: Demand{
+		CPUSeconds: 1, CPUSystemShare: 0.1,
+		WorkingSetKB: 1.5 * 256 * 1024,
+	}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 30; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.SwapIn] < 500 || s[metrics.SwapOut] < 500 {
+		t.Errorf("swap rates = (%v,%v), want sustained paging", s[metrics.SwapIn], s[metrics.SwapOut])
+	}
+	if s[metrics.MemCached] > 2*minCacheKB {
+		t.Errorf("mem_cached = %v, want collapsed cache under pressure", s[metrics.MemCached])
+	}
+	if s[metrics.SwapFree] >= s[metrics.SwapTotal] {
+		t.Error("swap_free did not drop under overflow")
+	}
+	// Paging must slow compute progress.
+	last := job.grants[len(job.grants)-1]
+	if last.CPUEfficiency >= 1 {
+		t.Errorf("CPUEfficiency = %v, want < 1 while paging", last.CPUEfficiency)
+	}
+}
+
+func TestBufferCacheAbsorbsReadsWhenDatasetFits(t *testing.T) {
+	// Dataset (50 MB) fits in the 256 MB VM's cache: reads should be
+	// served with almost no physical traffic.
+	job := &stubJob{name: "cached", demand: Demand{
+		CPUSeconds: 0.8, CPUSystemShare: 0.1,
+		ReadKB: 5000, DatasetKB: 50 * 1024, WorkingSetKB: 40000,
+	}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 20; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.IOBI] > 100 {
+		t.Errorf("io_bi = %v, want near zero with a fully cached dataset", s[metrics.IOBI])
+	}
+	last := job.grants[len(job.grants)-1]
+	if last.ReadKB < 4999 {
+		t.Errorf("logical reads = %v, want full 5000 from cache", last.ReadKB)
+	}
+}
+
+func TestSmallVMTurnsCachedReadsPhysical(t *testing.T) {
+	// The same workload in a 32 MB VM (the SPECseis96 B configuration)
+	// must hit the disk, because the cache collapses.
+	job := &stubJob{name: "cached", demand: Demand{
+		CPUSeconds: 0.8, CPUSystemShare: 0.1,
+		ReadKB: 5000, DatasetKB: 50 * 1024, WorkingSetKB: 40000,
+	}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1", MemKB: 32 * 1024, OSResidentKB: 12 * 1024}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 20; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.IOBI] < 1000 {
+		t.Errorf("io_bi = %v, want heavy physical reads in a 32MB VM", s[metrics.IOBI])
+	}
+	if s[metrics.SwapIn] <= 0 {
+		t.Errorf("swap_in = %v, want paging with 40MB working set in 32MB VM", s[metrics.SwapIn])
+	}
+}
+
+func TestNetworkJobDrivesByteMetrics(t *testing.T) {
+	job := &stubJob{name: "net", demand: Demand{
+		CPUSeconds: 0.3, CPUSystemShare: 0.5,
+		NetInKB: 2000, NetOutKB: 9000, WorkingSetKB: 20000,
+	}}
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"}, job)
+	for i := 0; i < 10; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.BytesOut] < 8000*1024 {
+		t.Errorf("bytes_out = %v, want ~9MB/s", s[metrics.BytesOut])
+	}
+	if s[metrics.BytesIn] < 1500*1024 {
+		t.Errorf("bytes_in = %v, want ~2MB/s", s[metrics.BytesIn])
+	}
+	if s[metrics.PktsOut] < 1000 {
+		t.Errorf("pkts_out = %v, want thousands", s[metrics.PktsOut])
+	}
+}
+
+func TestIdleVMStaysQuiet(t *testing.T) {
+	h, vm := singleVMHost(t, VMConfig{Name: "vm1"}, HostConfig{Name: "h1"})
+	for i := 0; i < 10; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	s := vm.Sample()
+	if s[metrics.CPUUser] > 3 {
+		t.Errorf("idle cpu_user = %v, want near 0", s[metrics.CPUUser])
+	}
+	if s[metrics.BytesOut] > 5000 {
+		t.Errorf("idle bytes_out = %v, want daemon noise only", s[metrics.BytesOut])
+	}
+	if s[metrics.SwapIn] != 0 {
+		t.Errorf("idle swap_in = %v, want 0", s[metrics.SwapIn])
+	}
+}
+
+func TestTwoCPUJobsContendOnOneVCPU(t *testing.T) {
+	a := &stubJob{name: "a", demand: Demand{CPUSeconds: 1, WorkingSetKB: 10000}, cpuWork: 30}
+	b := &stubJob{name: "b", demand: Demand{CPUSeconds: 1, WorkingSetKB: 10000}, cpuWork: 30}
+	h, _ := singleVMHost(t, VMConfig{Name: "vm1", VCPUs: 1}, HostConfig{Name: "h1", CPUs: 1}, a, b)
+	for i := 0; i < 40; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	// After 40s of a single shared CPU, neither 30-CPU-second job can be
+	// done (each received ~20s).
+	if a.Done() || b.Done() {
+		t.Errorf("contended jobs finished too fast: a=%v b=%v", a.gotCPU, b.gotCPU)
+	}
+	if diff := a.gotCPU - b.gotCPU; diff > 1 || diff < -1 {
+		t.Errorf("unfair CPU split: a=%v b=%v", a.gotCPU, b.gotCPU)
+	}
+}
+
+func TestMixedClassJobsDoNotContend(t *testing.T) {
+	cpu := &stubJob{name: "cpu", demand: Demand{CPUSeconds: 1, WorkingSetKB: 10000}, cpuWork: 25}
+	io := &stubJob{name: "io", demand: Demand{CPUSeconds: 0.1, CPUSystemShare: 0.6, ReadKB: 10000, WriteKB: 5000, DatasetKB: 4e6, WorkingSetKB: 10000}}
+	h, _ := singleVMHost(t, VMConfig{Name: "vm1", VCPUs: 2}, HostConfig{Name: "h1", CPUs: 2}, cpu, io)
+	for i := 0; i < 30; i++ {
+		h.Tick(time.Duration(i) * time.Second)
+	}
+	// The CPU job should finish essentially unimpeded (~25s + startup).
+	if !cpu.Done() {
+		t.Errorf("CPU job slowed by I/O job: got %v CPU-seconds in 30", cpu.gotCPU)
+	}
+}
+
+func TestHostRejectsDuplicateVMName(t *testing.T) {
+	h := NewHost(HostConfig{Name: "h1"})
+	if err := h.AddVM(NewVM(VMConfig{Name: "vm1"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddVM(NewVM(VMConfig{Name: "vm1"})); err == nil {
+		t.Error("duplicate VM name: want error")
+	}
+}
+
+func TestVMDeterministicAcrossRuns(t *testing.T) {
+	run := func() map[string]float64 {
+		job := &stubJob{name: "x", demand: Demand{CPUSeconds: 0.5, ReadKB: 100, DatasetKB: 1e6, WorkingSetKB: 5000}}
+		vm := NewVM(VMConfig{Name: "vm1", Seed: 4})
+		vm.AddJob(job)
+		h := NewHost(HostConfig{Name: "h1"})
+		if err := h.AddVM(vm); err != nil {
+			panic(err)
+		}
+		for i := 0; i < 15; i++ {
+			h.Tick(time.Duration(i) * time.Second)
+		}
+		return vm.Sample()
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("nondeterministic metric %q: %v vs %v", k, v, b[k])
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package vmplant models the VMPlant Grid service the classifier was
+// built for (Section 2; Krsul et al., SC'04): application-specific
+// virtual machine execution environments are defined as directed
+// acyclic graphs of configuration actions, validated, cloned, and
+// dynamically instantiated onto physical hosts. The classifier's
+// application database tells a VMPlant-style scheduler what resources a
+// cloned VM's application will need from its host.
+package vmplant
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vmm"
+)
+
+// Action is one configuration step in a VM definition DAG — install a
+// package, mount a filesystem, set a resource allocation, stage input
+// data. Actions are simulation-level: applying one mutates the pending
+// VMConfig or records a provisioning step.
+type Action struct {
+	// Name identifies the action within its plan.
+	Name string
+	// DependsOn lists action names that must execute first.
+	DependsOn []string
+	// Apply mutates the VM configuration being built. A nil Apply is a
+	// pure ordering node (the paper's DAGs include synchronization
+	// points).
+	Apply func(cfg *vmm.VMConfig) error
+}
+
+// Plan is a named, validated VM-definition DAG.
+type Plan struct {
+	name    string
+	actions map[string]Action
+	order   []string // topological execution order
+}
+
+// NewPlan validates a DAG definition: unique action names, no missing
+// dependencies, no cycles. The execution order is fixed at creation
+// (topological, ties broken lexicographically for determinism).
+func NewPlan(name string, actions []Action) (*Plan, error) {
+	if name == "" {
+		return nil, fmt.Errorf("vmplant: plan needs a name")
+	}
+	if len(actions) == 0 {
+		return nil, fmt.Errorf("vmplant: plan %q has no actions", name)
+	}
+	byName := make(map[string]Action, len(actions))
+	for _, a := range actions {
+		if a.Name == "" {
+			return nil, fmt.Errorf("vmplant: plan %q has an unnamed action", name)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return nil, fmt.Errorf("vmplant: plan %q has duplicate action %q", name, a.Name)
+		}
+		byName[a.Name] = a
+	}
+	indeg := make(map[string]int, len(byName))
+	dependents := make(map[string][]string)
+	for _, a := range byName {
+		for _, dep := range a.DependsOn {
+			if _, ok := byName[dep]; !ok {
+				return nil, fmt.Errorf("vmplant: action %q depends on unknown %q", a.Name, dep)
+			}
+			indeg[a.Name]++
+			dependents[dep] = append(dependents[dep], a.Name)
+		}
+	}
+	// Kahn's algorithm with a sorted frontier for determinism.
+	var frontier []string
+	for n := range byName {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	sort.Strings(frontier)
+	var order []string
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, n)
+		added := false
+		for _, m := range dependents[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				frontier = append(frontier, m)
+				added = true
+			}
+		}
+		if added {
+			sort.Strings(frontier)
+		}
+	}
+	if len(order) != len(byName) {
+		return nil, fmt.Errorf("vmplant: plan %q contains a dependency cycle", name)
+	}
+	return &Plan{name: name, actions: byName, order: order}, nil
+}
+
+// Name returns the plan name.
+func (p *Plan) Name() string { return p.name }
+
+// Order returns the validated execution order.
+func (p *Plan) Order() []string { return append([]string(nil), p.order...) }
+
+// Build executes the DAG over a base VM configuration and returns the
+// configured result. The base is not mutated.
+func (p *Plan) Build(base vmm.VMConfig) (vmm.VMConfig, error) {
+	cfg := base
+	for _, name := range p.order {
+		a := p.actions[name]
+		if a.Apply == nil {
+			continue
+		}
+		if err := a.Apply(&cfg); err != nil {
+			return vmm.VMConfig{}, fmt.Errorf("vmplant: plan %q action %q: %w", p.name, name, err)
+		}
+	}
+	return cfg, nil
+}
+
+// Common reusable actions.
+
+// WithMemory sets the guest memory.
+func WithMemory(kb float64) Action {
+	return Action{
+		Name: "set-memory",
+		Apply: func(cfg *vmm.VMConfig) error {
+			if kb <= 0 {
+				return fmt.Errorf("memory must be positive, got %v", kb)
+			}
+			cfg.MemKB = kb
+			return nil
+		},
+	}
+}
+
+// WithVCPUs sets the virtual CPU count.
+func WithVCPUs(n float64) Action {
+	return Action{
+		Name: "set-vcpus",
+		Apply: func(cfg *vmm.VMConfig) error {
+			if n <= 0 {
+				return fmt.Errorf("vcpus must be positive, got %v", n)
+			}
+			cfg.VCPUs = n
+			return nil
+		},
+	}
+}
+
+// Plant is the VM production service: it holds validated plans and
+// clones VM instances from them onto hosts.
+type Plant struct {
+	plans  map[string]*Plan
+	clones int
+}
+
+// NewPlant creates an empty plant.
+func NewPlant() *Plant {
+	return &Plant{plans: make(map[string]*Plan)}
+}
+
+// Register adds a plan. Plan names must be unique.
+func (pl *Plant) Register(p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("vmplant: nil plan")
+	}
+	if _, dup := pl.plans[p.Name()]; dup {
+		return fmt.Errorf("vmplant: plan %q already registered", p.Name())
+	}
+	pl.plans[p.Name()] = p
+	return nil
+}
+
+// Plans returns the registered plan names, sorted.
+func (pl *Plant) Plans() []string {
+	out := make([]string, 0, len(pl.plans))
+	for n := range pl.plans {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clones returns the number of VMs instantiated so far.
+func (pl *Plant) Clones() int { return pl.clones }
+
+// Clone instantiates a VM from a registered plan onto a host. Each
+// clone gets a unique name derived from the plan ("<plan>-<n>") unless
+// nameOverride is given, and a distinct seed so clones do not share
+// noise streams.
+func (pl *Plant) Clone(plan string, host *vmm.Host, nameOverride string, seed int64) (*vmm.VM, error) {
+	p, ok := pl.plans[plan]
+	if !ok {
+		return nil, fmt.Errorf("vmplant: no plan %q (have %v)", plan, pl.Plans())
+	}
+	if host == nil {
+		return nil, fmt.Errorf("vmplant: nil host")
+	}
+	pl.clones++
+	name := nameOverride
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", plan, pl.clones)
+	}
+	cfg, err := p.Build(vmm.VMConfig{Name: name, Seed: seed})
+	if err != nil {
+		pl.clones--
+		return nil, err
+	}
+	cfg.Name = name
+	cfg.Seed = seed
+	vm := vmm.NewVM(cfg)
+	if err := host.AddVM(vm); err != nil {
+		pl.clones--
+		return nil, fmt.Errorf("vmplant: place clone %q: %w", name, err)
+	}
+	return vm, nil
+}

@@ -1,0 +1,198 @@
+package vmplant
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vmm"
+)
+
+func TestNewPlanTopologicalOrder(t *testing.T) {
+	p, err := NewPlan("seismic-vm", []Action{
+		{Name: "stage-data", DependsOn: []string{"mount-scratch"}},
+		{Name: "base-image"},
+		{Name: "mount-scratch", DependsOn: []string{"base-image"}},
+		{Name: "install-app", DependsOn: []string{"base-image"}},
+		{Name: "finalize", DependsOn: []string{"stage-data", "install-app"}},
+	})
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	order := p.Order()
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	deps := map[string][]string{
+		"mount-scratch": {"base-image"},
+		"install-app":   {"base-image"},
+		"stage-data":    {"mount-scratch"},
+		"finalize":      {"stage-data", "install-app"},
+	}
+	for n, ds := range deps {
+		for _, d := range ds {
+			if pos[d] >= pos[n] {
+				t.Errorf("order violates %s -> %s: %v", d, n, order)
+			}
+		}
+	}
+}
+
+func TestNewPlanDeterministicOrder(t *testing.T) {
+	mk := func() []string {
+		p, err := NewPlan("p", []Action{
+			{Name: "c"}, {Name: "a"}, {Name: "b"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Order()
+	}
+	a, b := mk(), mk()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("nondeterministic order: %v vs %v", a, b)
+	}
+	if a[0] != "a" {
+		t.Errorf("ties not broken lexicographically: %v", a)
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan("", []Action{{Name: "a"}}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := NewPlan("p", nil); err == nil {
+		t.Error("no actions: want error")
+	}
+	if _, err := NewPlan("p", []Action{{Name: ""}}); err == nil {
+		t.Error("unnamed action: want error")
+	}
+	if _, err := NewPlan("p", []Action{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate action: want error")
+	}
+	if _, err := NewPlan("p", []Action{{Name: "a", DependsOn: []string{"ghost"}}}); err == nil {
+		t.Error("unknown dependency: want error")
+	}
+	if _, err := NewPlan("p", []Action{
+		{Name: "a", DependsOn: []string{"b"}},
+		{Name: "b", DependsOn: []string{"a"}},
+	}); err == nil {
+		t.Error("cycle: want error")
+	}
+}
+
+func TestPlanBuildAppliesActions(t *testing.T) {
+	p, err := NewPlan("small-vm", []Action{
+		WithMemory(32 * 1024),
+		{Name: "after-mem", DependsOn: []string{"set-memory"}}, // ordering-only node
+		WithVCPUs(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := p.Build(vmm.VMConfig{Name: "vm1"})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if cfg.MemKB != 32*1024 || cfg.VCPUs != 2 {
+		t.Errorf("built config = %+v", cfg)
+	}
+}
+
+func TestPlanBuildActionError(t *testing.T) {
+	p, err := NewPlan("bad", []Action{WithMemory(-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Build(vmm.VMConfig{}); err == nil {
+		t.Error("failing action: want error")
+	}
+}
+
+func TestPlantCloneAndPlace(t *testing.T) {
+	plant := NewPlant()
+	p, err := NewPlan("appvm", []Action{WithMemory(256 * 1024)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plant.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	host := vmm.NewHost(vmm.HostConfig{Name: "h1"})
+	vm1, err := plant.Clone("appvm", host, "", 1)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	vm2, err := plant.Clone("appvm", host, "", 2)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if vm1.Name() == vm2.Name() {
+		t.Errorf("clones share a name: %s", vm1.Name())
+	}
+	if plant.Clones() != 2 {
+		t.Errorf("Clones = %d", plant.Clones())
+	}
+	if got := len(host.VMs()); got != 2 {
+		t.Errorf("host has %d VMs, want 2", got)
+	}
+	if vm1.Config().MemKB != 256*1024 {
+		t.Errorf("clone config = %+v", vm1.Config())
+	}
+}
+
+func TestPlantCloneNameOverrideAndErrors(t *testing.T) {
+	plant := NewPlant()
+	p, err := NewPlan("appvm", []Action{WithMemory(1024 * 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plant.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := plant.Register(p); err == nil {
+		t.Error("duplicate plan registration: want error")
+	}
+	if err := plant.Register(nil); err == nil {
+		t.Error("nil plan: want error")
+	}
+	host := vmm.NewHost(vmm.HostConfig{Name: "h1"})
+	vm, err := plant.Clone("appvm", host, "custom-name", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Name() != "custom-name" {
+		t.Errorf("name = %q", vm.Name())
+	}
+	if _, err := plant.Clone("ghost", host, "", 1); err == nil {
+		t.Error("unknown plan: want error")
+	}
+	if _, err := plant.Clone("appvm", nil, "", 1); err == nil {
+		t.Error("nil host: want error")
+	}
+	// Duplicate VM name on the host must fail and roll back the count.
+	before := plant.Clones()
+	if _, err := plant.Clone("appvm", host, "custom-name", 2); err == nil {
+		t.Error("duplicate VM name: want error")
+	}
+	if plant.Clones() != before {
+		t.Errorf("failed clone leaked into count: %d vs %d", plant.Clones(), before)
+	}
+}
+
+func TestPlansSorted(t *testing.T) {
+	plant := NewPlant()
+	for _, n := range []string{"zeta", "alpha"} {
+		p, err := NewPlan(n, []Action{WithMemory(1024)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plant.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := plant.Plans()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Errorf("Plans = %v", names)
+	}
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vmm"
+)
+
+// profileEntry runs an entry's application in a dedicated VM on an
+// otherwise empty host and samples the expert metrics every 5 seconds,
+// mimicking the paper's profiling setup.
+func profileEntry(t *testing.T, e Entry, seed int64) (*metrics.Trace, time.Duration) {
+	t.Helper()
+	app, err := e.Build(seed)
+	if err != nil {
+		t.Fatalf("build %s: %v", e.Name, err)
+	}
+	cluster := vmm.NewCluster()
+	host := vmm.NewHost(vmm.HostConfig{Name: "host1"})
+	if err := cluster.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	vm := vmm.NewVM(vmm.VMConfig{Name: "vm1", MemKB: e.VMMemKB, Seed: seed})
+	vm.AddJob(app)
+	if err := host.AddVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	trace := metrics.NewTrace(metrics.ExpertSchema(), "vm1")
+	cluster.Observe(func(now time.Duration) {
+		if now%(5*time.Second) != 0 {
+			return
+		}
+		snap, err := vm.Snapshot(metrics.ExpertSchema(), now)
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		if err := trace.Append(snap); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	})
+	if err := cluster.RunUntilAllDone(e.MaxRun); err != nil {
+		// Looping jobs (idle) never finish; cap them at a fixed horizon.
+		if !app.Done() && e.Expected == "idle" {
+			return trace, cluster.Now()
+		}
+		t.Fatalf("run %s: %v", e.Name, err)
+	}
+	done, _ := cluster.CompletionTime(app.Name())
+	return trace, done
+}
+
+// meanOf returns the mean of one metric across the trace.
+func meanOf(t *testing.T, tr *metrics.Trace, name string) float64 {
+	t.Helper()
+	col, err := tr.Column(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, v := range col {
+		s += v
+	}
+	if len(col) == 0 {
+		return 0
+	}
+	return s / float64(len(col))
+}
+
+func TestRegistryCoversTable2(t *testing.T) {
+	if got := len(TrainingSet()); got != 5 {
+		t.Errorf("training set has %d entries, want 5", got)
+	}
+	if got := len(TestSet()); got != 14 {
+		t.Errorf("test set has %d entries, want 14 (Table 3 rows)", got)
+	}
+	seen := map[string]bool{}
+	for _, e := range append(TrainingSet(), TestSet()...) {
+		if seen[e.Name] {
+			t.Errorf("duplicate registry name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Build == nil || e.VMMemKB <= 0 || e.MaxRun <= 0 {
+			t.Errorf("entry %q incompletely specified", e.Name)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, err := Find("PostMark")
+	if err != nil || e.Name != "PostMark" {
+		t.Errorf("Find(PostMark) = (%v,%v)", e.Name, err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find(nope): want error")
+	}
+	if len(Names()) != 19 {
+		t.Errorf("Names() = %d entries, want 19", len(Names()))
+	}
+}
+
+func TestCPUTrainingRunSignature(t *testing.T) {
+	e, err := Find("SPECseis96_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := profileEntry(t, e, 1)
+	if tr.Len() < 20 {
+		t.Fatalf("only %d samples", tr.Len())
+	}
+	cpu := meanOf(t, tr, metrics.CPUUser) + meanOf(t, tr, metrics.CPUSystem)
+	if cpu < 70 {
+		t.Errorf("mean CPU = %v%%, want CPU-dominant", cpu)
+	}
+	if io := meanOf(t, tr, metrics.IOBI); io > 300 {
+		t.Errorf("mean io_bi = %v, want small for the CPU training run", io)
+	}
+}
+
+func TestIOTrainingRunSignature(t *testing.T) {
+	e, err := Find("PostMark_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, elapsed := profileEntry(t, e, 1)
+	if io := meanOf(t, tr, metrics.IOBI) + meanOf(t, tr, metrics.IOBO); io < 2000 {
+		t.Errorf("mean io traffic = %v blocks/s, want I/O-dominant", io)
+	}
+	if swap := meanOf(t, tr, metrics.SwapIn); swap > 200 {
+		t.Errorf("mean swap_in = %v, want minimal paging", swap)
+	}
+	// The paper's PostMark profile is ~52 samples (~260 s).
+	if elapsed < 150*time.Second || elapsed > 600*time.Second {
+		t.Errorf("PostMark elapsed %v, want a few hundred seconds", elapsed)
+	}
+}
+
+func TestPagingTrainingRunSignature(t *testing.T) {
+	e, err := Find("PageBench_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := profileEntry(t, e, 1)
+	if swap := meanOf(t, tr, metrics.SwapIn) + meanOf(t, tr, metrics.SwapOut); swap < 2000 {
+		t.Errorf("mean swap traffic = %v kB/s, want sustained paging", swap)
+	}
+}
+
+func TestNetworkTrainingRunSignature(t *testing.T) {
+	e, err := Find("Ettcp_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := profileEntry(t, e, 1)
+	if out := meanOf(t, tr, metrics.BytesOut); out < 4e6 {
+		t.Errorf("mean bytes_out = %v, want several MB/s", out)
+	}
+	if io := meanOf(t, tr, metrics.IOBI); io > 200 {
+		t.Errorf("mean io_bi = %v, want near zero", io)
+	}
+}
+
+func TestIdleTrainingRunSignature(t *testing.T) {
+	e, err := Find("Idle_train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := profileEntry(t, e, 1)
+	if cpu := meanOf(t, tr, metrics.CPUUser); cpu > 3 {
+		t.Errorf("idle mean cpu_user = %v, want ~0", cpu)
+	}
+	if out := meanOf(t, tr, metrics.BytesOut); out > 5e3 {
+		t.Errorf("idle mean bytes_out = %v, want daemon noise", out)
+	}
+}
+
+func TestPostMarkNFSMovesTrafficToNetwork(t *testing.T) {
+	local, err := Find("PostMark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfs, err := Find("PostMark_NFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltr, _ := profileEntry(t, local, 1)
+	ntr, _ := profileEntry(t, nfs, 1)
+	if lNet := meanOf(t, ltr, metrics.BytesOut); lNet > 1e6 {
+		t.Errorf("local PostMark bytes_out = %v, want low", lNet)
+	}
+	if nNet := meanOf(t, ntr, metrics.BytesOut); nNet < 2e6 {
+		t.Errorf("NFS PostMark bytes_out = %v, want network-dominant", nNet)
+	}
+	if nIO := meanOf(t, ntr, metrics.IOBI); nIO > 500 {
+		t.Errorf("NFS PostMark io_bi = %v, want near zero", nIO)
+	}
+}
+
+func TestSPECseisBPagesAndHitsDisk(t *testing.T) {
+	b, err := Find("SPECseis96_B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, elapsedB := profileEntry(t, b, 1)
+	if swap := meanOf(t, tr, metrics.SwapIn); swap <= 0 {
+		t.Error("SPECseis96_B shows no paging in a 32MB VM")
+	}
+	if io := meanOf(t, tr, metrics.IOBI); io < 500 {
+		t.Errorf("SPECseis96_B mean io_bi = %v, want heavy physical reads", io)
+	}
+	a, err := Find("SPECseis96_A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atr, elapsedA := profileEntry(t, a, 1)
+	if io := meanOf(t, atr, metrics.IOBI); io > 400 {
+		t.Errorf("SPECseis96_A mean io_bi = %v, want mostly cached", io)
+	}
+	// The paper: B took ~1.46x longer than A (291min -> 427min).
+	ratio := elapsedB.Seconds() / elapsedA.Seconds()
+	if ratio < 1.2 || ratio > 2.5 {
+		t.Errorf("B/A elapsed ratio = %.2f (A=%v B=%v), want memory starvation to stretch the run", ratio, elapsedA, elapsedB)
+	}
+}
+
+func TestInteractiveAppsHaveMixedPhases(t *testing.T) {
+	e, err := Find("VMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := profileEntry(t, e, 1)
+	var idleish, ioish, netish int
+	for i := 0; i < tr.Len(); i++ {
+		s := tr.At(i)
+		get := func(name string) float64 {
+			j, _ := tr.Schema().Index(name)
+			return s.Values[j]
+		}
+		switch {
+		case get(metrics.IOBI) > 1000:
+			ioish++
+		case get(metrics.BytesOut) > 1e6:
+			netish++
+		case get(metrics.CPUUser) < 10:
+			idleish++
+		}
+	}
+	if idleish == 0 || ioish == 0 || netish == 0 {
+		t.Errorf("VMD phases: idle=%d io=%d net=%d, want all three represented", idleish, ioish, netish)
+	}
+}
+
+func TestApproximateRunDurations(t *testing.T) {
+	// Durations should be in the ballpark of the paper's sample counts
+	// (# samples x 5s). Wide tolerances: shape, not exact numbers.
+	cases := []struct {
+		name     string
+		min, max time.Duration
+	}{
+		{"SPECseis96_C", 300 * time.Second, 1200 * time.Second}, // paper: 112 samples
+		{"CH3D", 120 * time.Second, 500 * time.Second},          // paper: 45
+		{"SimpleScalar", 200 * time.Second, 600 * time.Second},  // paper: 62
+		{"PostMark", 150 * time.Second, 600 * time.Second},      // paper: 52
+		{"NetPIPE", 120 * time.Second, 800 * time.Second},       // paper: 74
+		{"Sftp", 150 * time.Second, 500 * time.Second},          // paper: 46
+		{"XSpim", 30 * time.Second, 90 * time.Second},           // paper: 9
+	}
+	for _, c := range cases {
+		e, err := Find(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, elapsed := profileEntry(t, e, 1)
+		if elapsed < c.min || elapsed > c.max {
+			t.Errorf("%s elapsed %v, want in [%v,%v]", c.name, elapsed, c.min, c.max)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vmm"
+)
+
+// TestWorkConservationUncontended: on an uncontended host, a finished
+// application must have received exactly its declared total work (within
+// one tick of slack per phase for the final partial grants).
+func TestWorkConservationUncontended(t *testing.T) {
+	apps := []struct {
+		name    string
+		build   func() (*App, error)
+		cpuWork float64 // declared total CPU-seconds
+	}{
+		{
+			"CH3D-120", func() (*App, error) {
+				return NewCH3D(120, Config{Seed: 5, Jitter: -1})
+			}, 121, // timestep loop + write-results phase
+		},
+		{
+			"SimpleScalar", func() (*App, error) {
+				return NewSimpleScalar(Config{Seed: 5, Jitter: -1})
+			}, 305.5,
+		},
+	}
+	for _, tc := range apps {
+		app, err := tc.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotCPU float64
+		wrapped := &meteredJob{Job: app, onGrant: func(g vmm.Grant) {
+			gotCPU += g.CPUSeconds * g.CPUEfficiency
+		}}
+		vm := vmm.NewVM(vmm.VMConfig{Name: "vm1", Seed: 5})
+		vm.AddJob(wrapped)
+		host := vmm.NewHost(vmm.HostConfig{Name: "h1"})
+		if err := host.AddVM(vm); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; !app.Done() && i < 100000; i++ {
+			host.Tick(time.Duration(i) * time.Second)
+		}
+		if !app.Done() {
+			t.Fatalf("%s did not finish", tc.name)
+		}
+		// Allow one tick of over-grant per phase boundary.
+		if gotCPU < tc.cpuWork-0.5 || gotCPU > tc.cpuWork+3 {
+			t.Errorf("%s consumed %.2f CPU-seconds, declared %.2f", tc.name, gotCPU, tc.cpuWork)
+		}
+	}
+}
+
+// meteredJob observes the grants delivered to an inner job.
+type meteredJob struct {
+	vmm.Job
+	onGrant func(vmm.Grant)
+}
+
+func (m *meteredJob) Apply(g vmm.Grant, now time.Duration) {
+	m.onGrant(g)
+	m.Job.Apply(g, now)
+}
+
+// TestContentionNeverAcceleratesCompletion: adding a competing
+// I/O-heavy job on the same host can only delay (never speed up) an
+// application's completion, and the delay must be substantial when both
+// contend for the disk.
+func TestContentionNeverAcceleratesCompletion(t *testing.T) {
+	elapsed := func(competing bool) int {
+		host := vmm.NewHost(vmm.HostConfig{Name: "h1"})
+		if competing {
+			// A long-running I/O job, warmed past its setup phase so it
+			// contends for the disk from the app's first tick.
+			other, err := NewPostMark(PostMarkLocal, 8000*1024, Config{Name: "other", Seed: 10, Jitter: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm2 := vmm.NewVM(vmm.VMConfig{Name: "vm2", Seed: 10})
+			vm2.AddJob(other)
+			if err := host.AddVM(vm2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 300; i++ {
+			host.Tick(time.Duration(i) * time.Second)
+		}
+		app, err := NewPostMark(PostMarkLocal, 400*1024, Config{Seed: 9, Jitter: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := vmm.NewVM(vmm.VMConfig{Name: "vm1", Seed: 9})
+		vm.AddJob(app)
+		if err := host.AddVM(vm); err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for ; !app.Done() && i < 100000; i++ {
+			host.Tick(time.Duration(300+i) * time.Second)
+		}
+		if !app.Done() {
+			t.Fatal("app did not finish")
+		}
+		return i
+	}
+	solo := elapsed(false)
+	contended := elapsed(true)
+	if contended < solo {
+		t.Errorf("contention accelerated completion: %d ticks vs %d solo", contended, solo)
+	}
+	if contended < solo*5/4 {
+		t.Errorf("disk contention too weak: %d ticks vs %d solo", contended, solo)
+	}
+}
+
+// TestAllRegistryAppsTerminateOrLoop: every registry entry either
+// finishes within its MaxRun on an idle host or is an explicit looper.
+func TestAllRegistryAppsTerminateOrLoop(t *testing.T) {
+	for _, e := range append(TrainingSet(), TestSet()...) {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			app, err := e.Build(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm := vmm.NewVM(vmm.VMConfig{Name: "vm1", MemKB: e.VMMemKB, Seed: 3})
+			vm.AddJob(app)
+			host := vmm.NewHost(vmm.HostConfig{Name: "h1"})
+			if err := host.AddVM(vm); err != nil {
+				t.Fatal(err)
+			}
+			maxTicks := int(e.MaxRun / time.Second)
+			for i := 0; !app.Done() && i < maxTicks; i++ {
+				host.Tick(time.Duration(i) * time.Second)
+			}
+			if !app.Done() && e.Name != "Idle_train" {
+				t.Errorf("%s still running after %v", e.Name, e.MaxRun)
+			}
+		})
+	}
+}
+
+// TestDemandsAlwaysSane: fuzz every registry app's demand stream for
+// non-negative, finite values.
+func TestDemandsAlwaysSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, e := range append(TrainingSet(), TestSet()...) {
+		app, err := e.Build(rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500 && !app.Done(); i++ {
+			d := app.Demand(time.Duration(i) * time.Second)
+			for name, v := range map[string]float64{
+				"cpu": d.CPUSeconds, "sys": d.CPUSystemShare,
+				"read": d.ReadKB, "write": d.WriteKB,
+				"netin": d.NetInKB, "netout": d.NetOutKB,
+				"ws": d.WorkingSetKB, "dataset": d.DatasetKB,
+			} {
+				if v < 0 || v != v {
+					t.Fatalf("%s tick %d: %s demand = %v", e.Name, i, name, v)
+				}
+			}
+			if d.CPUSystemShare > 1 {
+				t.Fatalf("%s tick %d: system share %v > 1", e.Name, i, d.CPUSystemShare)
+			}
+			// Apply a random partial grant.
+			frac := rng.Float64()
+			app.Apply(vmm.Grant{
+				CPUSeconds: d.CPUSeconds * frac, ReadKB: d.ReadKB * frac,
+				WriteKB: d.WriteKB * frac, NetInKB: d.NetInKB * frac,
+				NetOutKB: d.NetOutKB * frac, CPUEfficiency: 0.5 + 0.5*rng.Float64(),
+			}, time.Duration(i)*time.Second)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConstructorValidation covers every constructor's rejection paths.
+func TestConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*App, error)
+	}{
+		{"SPECseis unknown size", func() (*App, error) {
+			return NewSPECseis("gigantic", Config{})
+		}},
+		{"CH3D zero work", func() (*App, error) {
+			return NewCH3D(0, Config{})
+		}},
+		{"CH3D negative work", func() (*App, error) {
+			return NewCH3D(-5, Config{})
+		}},
+		{"PostMark unknown mode", func() (*App, error) {
+			return NewPostMark("cloud", 0, Config{})
+		}},
+		{"PostMark negative volume", func() (*App, error) {
+			return NewPostMark(PostMarkLocal, -1, Config{})
+		}},
+		{"Pagebench zero memory", func() (*App, error) {
+			return NewPagebench(0, time.Minute, Config{})
+		}},
+		{"NetPIPE negative volume", func() (*App, error) {
+			return NewNetPIPE(-1, Config{})
+		}},
+		{"Sftp negative file", func() (*App, error) {
+			return NewSftp(-1, Config{})
+		}},
+		{"custom invalid class", func() (*App, error) {
+			return NewCustom("x", "warp", Config{}, false, []Phase{{Name: "p", CPUWork: 1, CPURate: 1}})
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+// TestConstructorDefaults covers the zero-value conveniences.
+func TestConstructorDefaults(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() (*App, error)
+	}{
+		{"Ettcp default duration", func() (*App, error) { return NewEttcp(0, Config{}) }},
+		{"EttcpServer default duration", func() (*App, error) { return NewEttcpServer(0, Config{}) }},
+		{"NetPIPE default volume", func() (*App, error) { return NewNetPIPE(0, Config{}) }},
+		{"NetPIPEServer default duration", func() (*App, error) { return NewNetPIPEServer(0, Config{}) }},
+		{"Sftp default file", func() (*App, error) { return NewSftp(0, Config{}) }},
+		{"PostMark default volume", func() (*App, error) { return NewPostMark(PostMarkLocal, 0, Config{}) }},
+		{"Pagebench default duration", func() (*App, error) { return NewPagebench(256*1024, 0, Config{}) }},
+		{"custom valid", func() (*App, error) {
+			return NewCustom("svc", "net", Config{}, true, []Phase{{Name: "serve", Duration: time.Minute, NetOutRateKB: 100}})
+		}},
+	}
+	for _, c := range builds {
+		app, err := c.build()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if app.Name() == "" || app.Done() {
+			t.Errorf("%s: app = %q done=%v", c.name, app.Name(), app.Done())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/appclass"
+)
+
+// SPECseisSize selects the input data size for the SPECseis96 model.
+type SPECseisSize string
+
+// SPECseis96 data sizes used in the paper's experiments.
+const (
+	// SPECseisSmall is the "small" dataset (the Table 3 SPECseis96 C run
+	// and the Figure 4/5 "S" job).
+	SPECseisSmall SPECseisSize = "small"
+	// SPECseisMedium is the "medium" dataset (the Table 3 SPECseis96 A
+	// and B runs).
+	SPECseisMedium SPECseisSize = "medium"
+)
+
+// NewSPECseis models SPECseis96, the seismic-processing SPEC HPC
+// benchmark: long vectorized compute stages interleaved with passes over
+// a seismic trace file. In a VM whose memory holds the trace file, the
+// passes are served from the buffer cache and the application is purely
+// CPU-intensive; in a memory-starved VM (the paper's 32 MB SPECseis96 B
+// configuration) the same passes hit the disk and the working set pages,
+// reproducing the paper's CPU/IO/paging class mix.
+func NewSPECseis(size SPECseisSize, cfg Config) (*App, error) {
+	var (
+		cycles    int
+		compute   float64 // CPU-seconds per cycle
+		passKB    float64 // seismic trace volume re-read per cycle
+		outKB     float64 // results appended per cycle
+		wsKB      float64
+		datasetKB float64
+	)
+	switch size {
+	case SPECseisSmall:
+		cycles, compute = 4, 90
+		passKB, outKB = 24*1024, 1024
+		wsKB, datasetKB = 20*1024, 48*1024
+	case SPECseisMedium:
+		cycles, compute = 490, 22
+		passKB, outKB = 200*1024, 512
+		wsKB, datasetKB = 21*1024, 180*1024
+	default:
+		return nil, fmt.Errorf("workload: unknown SPECseis size %q", size)
+	}
+	var phases []Phase
+	for i := 0; i < cycles; i++ {
+		phases = append(phases,
+			Phase{
+				Name:           fmt.Sprintf("compute-%d", i),
+				CPUWork:        compute,
+				CPURate:        1.0,
+				CPUSystemShare: 0.03,
+				WorkingSetKB:   wsKB,
+				DatasetKB:      datasetKB,
+			},
+			Phase{
+				Name:           fmt.Sprintf("trace-pass-%d", i),
+				CPUWork:        compute * 0.8,
+				ReadWorkKB:     passKB,
+				WriteWorkKB:    outKB,
+				CPURate:        0.95,
+				ReadRateKB:     15 * 1024,
+				WriteRateKB:    2 * 1024,
+				CPUSystemShare: 0.12,
+				WorkingSetKB:   wsKB,
+				DatasetKB:      datasetKB,
+			},
+		)
+	}
+	return newApp(cfg.name("SPECseis96-"+string(size)), appclass.CPU, cfg, false, phases)
+}
+
+// NewCH3D models CH3D, the curvilinear-grid hydrodynamics solver: a
+// single long CPU-bound stage with a small working set and negligible
+// I/O. Work is the total CPU-seconds of the run (the paper's Table 4 run
+// took 488 s standalone; its Table 3 profiling run about 225 s).
+func NewCH3D(workSeconds float64, cfg Config) (*App, error) {
+	if workSeconds <= 0 {
+		return nil, fmt.Errorf("workload: CH3D work must be positive, got %v", workSeconds)
+	}
+	phases := []Phase{
+		{
+			Name:           "timestep-loop",
+			CPUWork:        workSeconds,
+			CPURate:        1.0,
+			CPUSystemShare: 0.02,
+			WorkingSetKB:   60 * 1024,
+			DatasetKB:      20 * 1024,
+		},
+		{
+			Name:           "write-results",
+			CPUWork:        1,
+			WriteWorkKB:    8 * 1024,
+			CPURate:        0.5,
+			WriteRateKB:    4 * 1024,
+			CPUSystemShare: 0.3,
+			WorkingSetKB:   60 * 1024,
+		},
+	}
+	return newApp(cfg.name("CH3D"), appclass.CPU, cfg, false, phases)
+}
+
+// NewSimpleScalar models the SimpleScalar out-of-order processor
+// simulator: pure CPU with a compact working set (the simulated
+// machine state) and almost no I/O after loading the binary.
+func NewSimpleScalar(cfg Config) (*App, error) {
+	phases := []Phase{
+		{
+			Name:           "load-binary",
+			ReadWorkKB:     4 * 1024,
+			CPUWork:        0.5,
+			CPURate:        0.4,
+			ReadRateKB:     4 * 1024,
+			CPUSystemShare: 0.3,
+			WorkingSetKB:   30 * 1024,
+			DatasetKB:      8 * 1024,
+		},
+		{
+			Name:           "simulate",
+			CPUWork:        305,
+			CPURate:        1.0,
+			CPUSystemShare: 0.02,
+			WorkingSetKB:   80 * 1024,
+			DatasetKB:      8 * 1024,
+		},
+	}
+	return newApp(cfg.name("SimpleScalar"), appclass.CPU, cfg, false, phases)
+}

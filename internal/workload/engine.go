@@ -1,0 +1,315 @@
+// Package workload models every application of the paper's Table 2 as a
+// resource-demand generator for the VM simulator. The classifier never
+// inspects application code — only resource consumption — so each model
+// reproduces its application's documented signature: which resources it
+// stresses, in which execution phases, with how much randomness.
+//
+// All models are built on a shared phase engine: an application is a
+// sequence of phases, each with total work amounts per resource and
+// desired per-second rates. A phase ends when all its work has been
+// granted by the simulator (or, for duration-based phases such as think
+// time, when its duration elapses); contention on any resource therefore
+// stretches execution exactly the way it stretched the paper's real
+// benchmarks.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/vmm"
+)
+
+// Phase is one execution stage of an application.
+type Phase struct {
+	// Name identifies the stage for debugging and the multi-stage
+	// detection extension.
+	Name string
+
+	// Total work amounts; the phase completes when every nonzero
+	// component is exhausted. CPUWork is in CPU-seconds; the KB fields
+	// are logical volumes.
+	CPUWork      float64
+	ReadWorkKB   float64
+	WriteWorkKB  float64
+	NetInWorkKB  float64
+	NetOutWorkKB float64
+
+	// Duration makes the phase time-based: it ends after this much
+	// simulated time even if (or regardless of whether) work remains.
+	// Phases with only Duration and no work model think time.
+	Duration time.Duration
+
+	// Desired per-second rates, bounding how fast the application can
+	// consume each resource even without contention.
+	CPURate      float64
+	ReadRateKB   float64
+	WriteRateKB  float64
+	NetInRateKB  float64
+	NetOutRateKB float64
+
+	// Demand shape parameters (see vmm.Demand).
+	CPUSystemShare float64
+	WorkingSetKB   float64
+	DatasetKB      float64
+}
+
+// remainingWork tracks how much of a phase is left.
+type remainingWork struct {
+	cpu, read, write, netIn, netOut float64
+	duration                        time.Duration
+}
+
+func (r remainingWork) exhausted(p Phase) bool {
+	if p.Duration > 0 {
+		return r.duration <= 0
+	}
+	return r.cpu <= 1e-9 && r.read <= 1e-6 && r.write <= 1e-6 &&
+		r.netIn <= 1e-6 && r.netOut <= 1e-6
+}
+
+// App is a phase-driven workload implementing vmm.Job.
+type App struct {
+	name   string
+	class  appclass.Class
+	phases []Phase
+	loop   bool // restart from the first phase after the last
+	jitter float64
+
+	cur  int
+	rem  remainingWork
+	done bool
+	rng  *rand.Rand
+
+	// lastDemand and lastIOServed implement blocking I/O: when the
+	// simulator serves only part of the requested file traffic, the
+	// application spends the next tick waiting instead of computing, so
+	// its CPU demand drops proportionally.
+	lastDemand   vmm.Demand
+	lastIOServed float64
+	// lastEff remembers the previous tick's CPU efficiency so the final
+	// tick of a phase demands enough CPU time to finish despite paging
+	// stalls, instead of trailing off in a geometric tail of tiny
+	// demands.
+	lastEff float64
+
+	// PhaseChanges records (time, phase name) transitions for the
+	// multi-stage analysis extension.
+	PhaseChanges []PhaseChange
+}
+
+// PhaseChange records when the application entered a phase.
+type PhaseChange struct {
+	At    time.Duration
+	Phase string
+}
+
+// Config carries the options common to all application constructors.
+type Config struct {
+	// Name overrides the default instance name.
+	Name string
+	// Seed makes the instance's demand jitter reproducible. Instances
+	// with equal names and seeds behave identically.
+	Seed int64
+	// Jitter scales the multiplicative rate noise (default 0.1 = ±10%).
+	Jitter float64
+}
+
+func (c Config) name(def string) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return def
+}
+
+func (c Config) jitterOrDefault() float64 {
+	if c.Jitter == 0 {
+		return 0.1
+	}
+	if c.Jitter < 0 {
+		return 0
+	}
+	return c.Jitter
+}
+
+// NewCustom builds a phase-driven application from caller-defined
+// phases, for workload models beyond the built-in Table-2 set. The
+// class is the application's expected behaviour label; loop restarts
+// the phase sequence forever (for service-like workloads).
+func NewCustom(name string, class appclass.Class, cfg Config, loop bool, phases []Phase) (*App, error) {
+	if !appclass.Valid(class) {
+		return nil, fmt.Errorf("workload: invalid class %q for custom app %s", class, name)
+	}
+	return newApp(name, class, cfg, loop, phases)
+}
+
+// newApp builds a phase-driven application.
+func newApp(name string, class appclass.Class, cfg Config, loop bool, phases []Phase) (*App, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: %s has no phases", name)
+	}
+	for i, p := range phases {
+		if p.Duration == 0 && p.CPUWork == 0 && p.ReadWorkKB == 0 && p.WriteWorkKB == 0 &&
+			p.NetInWorkKB == 0 && p.NetOutWorkKB == 0 {
+			return nil, fmt.Errorf("workload: %s phase %d (%s) has neither work nor duration", name, i, p.Name)
+		}
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	a := &App{
+		name:         name,
+		class:        class,
+		phases:       phases,
+		loop:         loop,
+		jitter:       cfg.jitterOrDefault(),
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
+		lastIOServed: 1,
+		lastEff:      1,
+	}
+	a.enterPhase(0, 0)
+	return a, nil
+}
+
+func mustApp(name string, class appclass.Class, cfg Config, loop bool, phases []Phase) *App {
+	a, err := newApp(name, class, cfg, loop, phases)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *App) enterPhase(i int, now time.Duration) {
+	a.cur = i
+	p := a.phases[i]
+	a.rem = remainingWork{
+		cpu: p.CPUWork, read: p.ReadWorkKB, write: p.WriteWorkKB,
+		netIn: p.NetInWorkKB, netOut: p.NetOutWorkKB, duration: p.Duration,
+	}
+	a.PhaseChanges = append(a.PhaseChanges, PhaseChange{At: now, Phase: p.Name})
+}
+
+// Name implements vmm.Job.
+func (a *App) Name() string { return a.name }
+
+// ExpectedClass returns the Table-2 "expected behavior" label.
+func (a *App) ExpectedClass() appclass.Class { return a.class }
+
+// CurrentPhase returns the name of the phase in progress.
+func (a *App) CurrentPhase() string {
+	if a.done {
+		return "done"
+	}
+	return a.phases[a.cur].Name
+}
+
+// Done implements vmm.Job.
+func (a *App) Done() bool { return a.done }
+
+// jittered applies multiplicative noise to a rate.
+func (a *App) jittered(rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	f := 1 + a.jitter*(2*a.rng.Float64()-1)
+	return rate * f
+}
+
+// Demand implements vmm.Job.
+func (a *App) Demand(time.Duration) vmm.Demand {
+	if a.done {
+		return vmm.Demand{}
+	}
+	p := a.phases[a.cur]
+	d := vmm.Demand{
+		CPUSystemShare: p.CPUSystemShare,
+		WorkingSetKB:   p.WorkingSetKB,
+		DatasetKB:      p.DatasetKB,
+	}
+	cpuRate := p.CPURate
+	if p.ReadRateKB+p.WriteRateKB > 0 {
+		// Blocking I/O: unserved file traffic stalls the computation.
+		gate := a.lastIOServed
+		if gate < 0.05 {
+			gate = 0.05
+		}
+		cpuRate *= gate
+	}
+	// Demand enough CPU time to finish the remaining work at the
+	// current paging efficiency; the occupied-but-stalled time is real
+	// CPU occupancy.
+	cpuRem := a.rem.cpu
+	if cpuRem < 0 {
+		// The efficiency estimate can over-grant the final tick of a
+		// phase by a sliver; never demand negative work.
+		cpuRem = 0
+	}
+	if a.lastEff > 0 && a.lastEff < 1 {
+		cpuRem /= a.lastEff
+	}
+	d.CPUSeconds = math.Min(a.jittered(cpuRate), cpuRem)
+	if p.Duration > 0 && p.CPUWork == 0 {
+		// Time-based phases with a rate but no total consume at the rate
+		// for the whole duration.
+		d.CPUSeconds = a.jittered(cpuRate)
+	}
+	d.ReadKB = a.boundedRate(p.ReadRateKB, a.rem.read, p.Duration > 0 && p.ReadWorkKB == 0)
+	d.WriteKB = a.boundedRate(p.WriteRateKB, a.rem.write, p.Duration > 0 && p.WriteWorkKB == 0)
+	d.NetInKB = a.boundedRate(p.NetInRateKB, a.rem.netIn, p.Duration > 0 && p.NetInWorkKB == 0)
+	d.NetOutKB = a.boundedRate(p.NetOutRateKB, a.rem.netOut, p.Duration > 0 && p.NetOutWorkKB == 0)
+	a.lastDemand = d
+	return d
+}
+
+func (a *App) boundedRate(rate, remaining float64, unbounded bool) float64 {
+	r := a.jittered(rate)
+	if unbounded {
+		return r
+	}
+	return math.Min(r, remaining)
+}
+
+// Apply implements vmm.Job.
+func (a *App) Apply(g vmm.Grant, now time.Duration) {
+	if a.done {
+		return
+	}
+	p := a.phases[a.cur]
+	if io := a.lastDemand.ReadKB + a.lastDemand.WriteKB; io > 0 {
+		a.lastIOServed = (g.ReadKB + g.WriteKB) / io
+		if a.lastIOServed > 1 {
+			a.lastIOServed = 1
+		}
+	} else {
+		a.lastIOServed = 1
+	}
+	if g.CPUEfficiency > 0 {
+		a.lastEff = g.CPUEfficiency
+	}
+	a.rem.cpu -= g.CPUSeconds * g.CPUEfficiency
+	a.rem.read -= g.ReadKB
+	a.rem.write -= g.WriteKB
+	a.rem.netIn -= g.NetInKB
+	a.rem.netOut -= g.NetOutKB
+	if p.Duration > 0 {
+		a.rem.duration -= time.Second
+	}
+	if a.rem.exhausted(p) {
+		next := a.cur + 1
+		if next >= len(a.phases) {
+			if a.loop {
+				a.enterPhase(0, now)
+				return
+			}
+			a.done = true
+			a.PhaseChanges = append(a.PhaseChanges, PhaseChange{At: now, Phase: "done"})
+			return
+		}
+		a.enterPhase(next, now)
+	}
+}
+
+var _ vmm.Job = (*App)(nil)

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/vmm"
+)
+
+func TestNewAppRejectsEmptyPhases(t *testing.T) {
+	if _, err := newApp("x", appclass.CPU, Config{}, false, nil); err == nil {
+		t.Fatal("no phases: want error")
+	}
+}
+
+func TestNewAppRejectsWorklessPhase(t *testing.T) {
+	_, err := newApp("x", appclass.CPU, Config{}, false, []Phase{{Name: "empty"}})
+	if err == nil {
+		t.Fatal("workless phase: want error")
+	}
+}
+
+func TestAppDemandRespectsRemainingWork(t *testing.T) {
+	a, err := newApp("x", appclass.CPU, Config{Jitter: -1}, false, []Phase{
+		{Name: "p", CPUWork: 0.3, CPURate: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Demand(0)
+	if d.CPUSeconds != 0.3 {
+		t.Errorf("demand = %v, want clamped to remaining 0.3", d.CPUSeconds)
+	}
+}
+
+func TestAppPhaseProgressionAndDone(t *testing.T) {
+	a, err := newApp("x", appclass.CPU, Config{Jitter: -1}, false, []Phase{
+		{Name: "one", CPUWork: 2, CPURate: 1},
+		{Name: "two", CPUWork: 1, CPURate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CurrentPhase() != "one" {
+		t.Fatalf("initial phase = %q", a.CurrentPhase())
+	}
+	step := func() {
+		d := a.Demand(0)
+		a.Apply(vmm.Grant{CPUSeconds: d.CPUSeconds, CPUEfficiency: 1}, 0)
+	}
+	step()
+	step()
+	if a.CurrentPhase() != "two" {
+		t.Fatalf("after 2s phase = %q, want two", a.CurrentPhase())
+	}
+	step()
+	if !a.Done() {
+		t.Fatal("app should be done after all work")
+	}
+	if !a.Demand(0).IsZero() {
+		t.Error("done app should demand nothing")
+	}
+	// Phase transitions recorded.
+	if len(a.PhaseChanges) != 3 {
+		t.Errorf("phase changes = %v, want one/two/done", a.PhaseChanges)
+	}
+}
+
+func TestAppDurationPhase(t *testing.T) {
+	a, err := newApp("x", appclass.Idle, Config{Jitter: -1}, false, []Phase{
+		{Name: "wait", Duration: 3 * time.Second, CPURate: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if a.Done() {
+			t.Fatalf("done after %d ticks, want 3", i)
+		}
+		a.Apply(vmm.Grant{CPUEfficiency: 1}, time.Duration(i)*time.Second)
+	}
+	if !a.Done() {
+		t.Error("duration phase did not end after 3 ticks")
+	}
+}
+
+func TestAppLoopRestarts(t *testing.T) {
+	a, err := newApp("x", appclass.Idle, Config{Jitter: -1}, true, []Phase{
+		{Name: "p", Duration: time.Second, CPURate: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.Apply(vmm.Grant{CPUEfficiency: 1}, time.Duration(i)*time.Second)
+	}
+	if a.Done() {
+		t.Error("looping app should never be done")
+	}
+}
+
+func TestAppCPUEfficiencySlowsProgress(t *testing.T) {
+	mk := func() *App {
+		a, err := newApp("x", appclass.CPU, Config{Jitter: -1}, false, []Phase{
+			{Name: "p", CPUWork: 10, CPURate: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	fast, slow := mk(), mk()
+	ticks := func(a *App, eff float64) int {
+		n := 0
+		for !a.Done() && n < 1000 {
+			d := a.Demand(0)
+			a.Apply(vmm.Grant{CPUSeconds: d.CPUSeconds, CPUEfficiency: eff}, 0)
+			n++
+		}
+		return n
+	}
+	nf, ns := ticks(fast, 1), ticks(slow, 0.5)
+	if ns < 2*nf-2 {
+		t.Errorf("eff 0.5 took %d ticks vs %d at eff 1; want ~2x", ns, nf)
+	}
+}
+
+func TestAppIOBlockingGatesCPUDemand(t *testing.T) {
+	a, err := newApp("x", appclass.IO, Config{Jitter: -1}, false, []Phase{
+		{Name: "io", CPUWork: 100, ReadWorkKB: 1e6, CPURate: 1, ReadRateKB: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Demand(0)
+	if d.CPUSeconds != 1 {
+		t.Fatalf("initial CPU demand = %v, want 1 (no starvation yet)", d.CPUSeconds)
+	}
+	// Serve only 10% of the I/O.
+	a.Apply(vmm.Grant{CPUSeconds: 1, ReadKB: 100, CPUEfficiency: 1}, 0)
+	d = a.Demand(time.Second)
+	if d.CPUSeconds > 0.2 {
+		t.Errorf("starved CPU demand = %v, want gated to ~0.1", d.CPUSeconds)
+	}
+	// Full service restores demand.
+	a.Apply(vmm.Grant{CPUSeconds: d.CPUSeconds, ReadKB: d.ReadKB, CPUEfficiency: 1}, 2*time.Second)
+	d = a.Demand(3 * time.Second)
+	if d.CPUSeconds < 0.9 {
+		t.Errorf("recovered CPU demand = %v, want ~1", d.CPUSeconds)
+	}
+}
+
+func TestAppJitterIsDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) []float64 {
+		a, err := newApp("x", appclass.CPU, Config{Seed: seed}, false, []Phase{
+			{Name: "p", CPUWork: 1e9, CPURate: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 10; i++ {
+			d := a.Demand(0)
+			out = append(out, d.CPUSeconds)
+			a.Apply(vmm.Grant{CPUSeconds: d.CPUSeconds, CPUEfficiency: 1}, 0)
+		}
+		return out
+	}
+	a1, a2, b := mk(1), mk(1), mk(2)
+	var differs bool
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed produced different demands at %d", i)
+		}
+		if a1[i] != b[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical jitter")
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// NewVMD models an interactive VMD molecular-visualization session over
+// a VNC remote display (the paper's Figure 3d): think time while the
+// user reads the screen, an input-file upload (file I/O), and GUI
+// interaction streaming rendered frames over the network. The paper
+// measured roughly 37% idle, 41% I/O and 22% network.
+func NewVMD(cfg Config) (*App, error) {
+	phases := []Phase{
+		{
+			Name:     "launch-idle",
+			Duration: 60 * time.Second,
+			CPURate:  0.01,
+		},
+		{
+			Name:           "load-molecule",
+			Duration:       85 * time.Second,
+			ReadRateKB:     3600,
+			WriteRateKB:    700,
+			CPURate:        0.2,
+			CPUSystemShare: 0.6,
+			WorkingSetKB:   90 * 1024,
+			DatasetKB:      1e9, // first read of a large trajectory: uncached
+		},
+		{
+			Name:         "think-time",
+			Duration:     50 * time.Second,
+			CPURate:      0.02,
+			WorkingSetKB: 90 * 1024,
+		},
+		{
+			Name:           "rotate-via-vnc",
+			Duration:       95 * time.Second,
+			CPURate:        0.35,
+			NetOutRateKB:   7000,
+			NetInRateKB:    420,
+			CPUSystemShare: 0.45,
+			WorkingSetKB:   90 * 1024,
+		},
+		{
+			Name:           "analyze-io",
+			Duration:       90 * time.Second,
+			ReadRateKB:     3200,
+			CPURate:        0.18,
+			CPUSystemShare: 0.55,
+			WorkingSetKB:   90 * 1024,
+			DatasetKB:      1e9,
+		},
+		{
+			Name:     "final-idle",
+			Duration: 50 * time.Second,
+			CPURate:  0.01,
+		},
+	}
+	return newApp(cfg.name("VMD"), appclass.Idle, cfg, false, phases)
+}
+
+// NewXSpim models a short XSpim MIPS-simulator session: launching the
+// X-Windows GUI and loading an assembly program (file I/O), then a brief
+// pause before exit. The paper's 9-sample run was ~22% idle, ~78% I/O.
+func NewXSpim(cfg Config) (*App, error) {
+	phases := []Phase{
+		{
+			Name:           "load-gui-and-program",
+			Duration:       35 * time.Second,
+			ReadRateKB:     3000,
+			WriteRateKB:    300,
+			CPURate:        0.15,
+			CPUSystemShare: 0.6,
+			WorkingSetKB:   25 * 1024,
+			DatasetKB:      1e9,
+		},
+		{
+			Name:     "pause",
+			Duration: 10 * time.Second,
+			CPURate:  0.01,
+		},
+	}
+	return newApp(cfg.name("XSpim"), appclass.Idle, cfg, false, phases)
+}
+
+// NewIdle models a machine with no load except background daemons — the
+// paper's fifth training class. It never completes.
+func NewIdle(cfg Config) (*App, error) {
+	phases := []Phase{
+		{
+			Name:     "background-daemons",
+			Duration: time.Hour,
+			CPURate:  0.004,
+		},
+	}
+	return newApp(cfg.name("Idle"), appclass.Idle, cfg, true, phases)
+}

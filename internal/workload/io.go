@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// PostMarkMode selects where the PostMark working directory lives.
+type PostMarkMode string
+
+// PostMark working-directory modes from Table 3.
+const (
+	// PostMarkLocal uses a local file directory: the benchmark is
+	// I/O-intensive.
+	PostMarkLocal PostMarkMode = "local"
+	// PostMarkNFS mounts the working directory over NFS: the same file
+	// operations become network traffic and the benchmark turns
+	// network-intensive — the paper's example of the execution
+	// environment changing an application's class.
+	PostMarkNFS PostMarkMode = "nfs"
+)
+
+// NewPostMark models the PostMark small-file benchmark: a pool of small
+// files receiving create/read/append/delete transactions. Transactions
+// KB counts the total logical traffic of the run; the default (0) sizes
+// the run at roughly the paper's 52-sample (~260 s) profile.
+func NewPostMark(mode PostMarkMode, transactionsKB float64, cfg Config) (*App, error) {
+	if transactionsKB == 0 {
+		transactionsKB = 2600 * 1024 // ~2.6 GB of logical traffic
+	}
+	if transactionsKB < 0 {
+		return nil, fmt.Errorf("workload: PostMark transactionsKB must be >= 0, got %v", transactionsKB)
+	}
+	read := transactionsKB / 2
+	write := transactionsKB / 2
+	var phases []Phase
+	switch mode {
+	case PostMarkLocal:
+		phases = []Phase{
+			{
+				Name:           "create-pool",
+				WriteWorkKB:    write / 10,
+				CPUWork:        2,
+				CPURate:        0.2,
+				WriteRateKB:    4 * 1024,
+				CPUSystemShare: 0.6,
+				WorkingSetKB:   24 * 1024,
+				DatasetKB:      500 * 1024,
+			},
+			{
+				Name:           "transactions",
+				ReadWorkKB:     read,
+				WriteWorkKB:    write * 9 / 10,
+				CPUWork:        transactionsKB / 105000, // ~25 CPU-s at the default volume
+				CPURate:        0.15,
+				ReadRateKB:     6500,
+				WriteRateKB:    6000,
+				CPUSystemShare: 0.65,
+				WorkingSetKB:   24 * 1024,
+				DatasetKB:      500 * 1024,
+			},
+		}
+	case PostMarkNFS:
+		// The same transaction stream, carried by the NFS client: reads
+		// arrive from the network, writes leave over it. Only metadata
+		// touches the local disk.
+		phases = []Phase{
+			{
+				Name:           "create-pool-nfs",
+				NetOutWorkKB:   write / 10,
+				CPUWork:        2,
+				CPURate:        0.3,
+				NetOutRateKB:   4 * 1024,
+				CPUSystemShare: 0.7,
+				WorkingSetKB:   24 * 1024,
+			},
+			{
+				Name:           "transactions-nfs",
+				NetInWorkKB:    read,
+				NetOutWorkKB:   write * 9 / 10,
+				CPUWork:        55,
+				CPURate:        0.3,
+				NetInRateKB:    3800,
+				NetOutRateKB:   3400,
+				CPUSystemShare: 0.7,
+				WorkingSetKB:   24 * 1024,
+			},
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown PostMark mode %q", mode)
+	}
+	name := "PostMark"
+	if mode == PostMarkNFS {
+		name = "PostMark_NFS"
+	}
+	class := appclass.IO
+	if mode == PostMarkNFS {
+		class = appclass.Net
+	}
+	return newApp(cfg.name(name), class, cfg, false, phases)
+}
+
+// NewBonnie models the Bonnie file-system benchmark: sequential
+// per-character and block I/O stages over a file larger than memory,
+// followed by a random-seek stage. The per-character stages burn
+// noticeable CPU (the paper measured 4% CPU-class samples) and the large
+// file churns enough memory to page briefly.
+func NewBonnie(cfg Config) (*App, error) {
+	const fileKB = 900 * 1024
+	phases := []Phase{
+		{
+			Name: "putc", WriteWorkKB: fileKB / 4, CPUWork: 30,
+			CPURate: 0.45, WriteRateKB: 3000, CPUSystemShare: 0.4,
+			WorkingSetKB: 20 * 1024, DatasetKB: fileKB,
+		},
+		{
+			Name: "block-write", WriteWorkKB: fileKB, CPUWork: 12,
+			CPURate: 0.25, WriteRateKB: 9000, CPUSystemShare: 0.7,
+			WorkingSetKB: 20 * 1024, DatasetKB: fileKB,
+		},
+		{
+			Name: "rewrite", ReadWorkKB: fileKB / 2, WriteWorkKB: fileKB / 2, CPUWork: 15,
+			CPURate: 0.3, ReadRateKB: 4500, WriteRateKB: 4500, CPUSystemShare: 0.65,
+			WorkingSetKB: 260 * 1024, DatasetKB: fileKB,
+		},
+		{
+			Name: "getc", ReadWorkKB: fileKB / 4, CPUWork: 28,
+			CPURate: 0.45, ReadRateKB: 2800, CPUSystemShare: 0.4,
+			WorkingSetKB: 20 * 1024, DatasetKB: fileKB,
+		},
+		{
+			Name: "block-read", ReadWorkKB: fileKB, CPUWork: 10,
+			CPURate: 0.22, ReadRateKB: 10000, CPUSystemShare: 0.7,
+			WorkingSetKB: 20 * 1024, DatasetKB: fileKB,
+		},
+		{
+			Name: "seeks", ReadWorkKB: fileKB / 8, CPUWork: 8,
+			CPURate: 0.25, ReadRateKB: 2500, CPUSystemShare: 0.6,
+			WorkingSetKB: 20 * 1024, DatasetKB: fileKB,
+		},
+	}
+	return newApp(cfg.name("Bonnie"), appclass.IO, cfg, false, phases)
+}
+
+// NewPagebench models the paper's synthetic training application for the
+// paging class: it initializes and repeatedly updates an array larger
+// than the VM's memory, inducing continuous swap traffic. durationHint
+// bounds the run via total CPU work (default ~400 s of thrashing).
+func NewPagebench(vmMemKB float64, durationHint time.Duration, cfg Config) (*App, error) {
+	if vmMemKB <= 0 {
+		return nil, fmt.Errorf("workload: Pagebench needs the VM memory size, got %v", vmMemKB)
+	}
+	work := durationHint.Seconds()
+	if work <= 0 {
+		work = 400
+	}
+	// The array exceeds the guest memory by ~15%, enough for sustained
+	// overflow paging without saturating the disk with swap traffic.
+	phases := []Phase{
+		{
+			Name:           "touch-array",
+			CPUWork:        work * 0.4, // progress is paging-gated, so this stretches
+			CPURate:        1.0,
+			CPUSystemShare: 0.15,
+			WorkingSetKB:   1.15 * vmMemKB,
+			DatasetKB:      0,
+		},
+	}
+	return newApp(cfg.name("Pagebench"), appclass.Mem, cfg, false, phases)
+}
+
+// NewStream models the STREAM memory-bandwidth benchmark in a VM whose
+// memory cannot hold the three working arrays: the copy/scale/add/triad
+// kernels sweep the arrays sequentially, which in a starved VM becomes
+// alternating heavy file-backed I/O (sequential faults ahead) and swap
+// churn — the paper measured Stream as ~79% I/O and ~20% paging.
+func NewStream(cfg Config) (*App, error) {
+	var phases []Phase
+	for i := 0; i < 12; i++ {
+		phases = append(phases,
+			Phase{
+				Name:           fmt.Sprintf("kernel-sweep-%d", i),
+				ReadWorkKB:     130 * 1024,
+				WriteWorkKB:    65 * 1024,
+				CPUWork:        6,
+				CPURate:        0.35,
+				ReadRateKB:     6500,
+				WriteRateKB:    3200,
+				CPUSystemShare: 0.5,
+				WorkingSetKB:   150 * 1024,
+				DatasetKB:      1e9, // streaming: effectively uncacheable
+			},
+			Phase{
+				Name:           fmt.Sprintf("array-churn-%d", i),
+				CPUWork:        1.2,
+				CPURate:        1.0,
+				CPUSystemShare: 0.2,
+				WorkingSetKB:   310 * 1024,
+			},
+		)
+	}
+	return newApp(cfg.name("Stream"), appclass.IO, cfg, false, phases)
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// NewEttcp models ettcp, the TCP/UDP throughput benchmark the paper uses
+// to train the network class: a sustained bulk transfer to a peer node
+// for the given duration (default ~300 s).
+func NewEttcp(duration time.Duration, cfg Config) (*App, error) {
+	if duration <= 0 {
+		duration = 300 * time.Second
+	}
+	phases := []Phase{
+		{
+			Name:           "bulk-transfer",
+			Duration:       duration,
+			CPURate:        0.35,
+			NetOutRateKB:   9000,
+			NetInRateKB:    450, // ACK stream
+			CPUSystemShare: 0.55,
+			WorkingSetKB:   12 * 1024,
+		},
+	}
+	return newApp(cfg.name("Ettcp"), appclass.Net, cfg, false, phases)
+}
+
+// NewEttcpServer models the receive side of ettcp on the peer VM.
+func NewEttcpServer(duration time.Duration, cfg Config) (*App, error) {
+	if duration <= 0 {
+		duration = 300 * time.Second
+	}
+	phases := []Phase{
+		{
+			Name:           "bulk-receive",
+			Duration:       duration,
+			CPURate:        0.3,
+			NetInRateKB:    9000,
+			NetOutRateKB:   450,
+			CPUSystemShare: 0.6,
+			WorkingSetKB:   12 * 1024,
+		},
+	}
+	return newApp(cfg.name("Ettcp-server"), appclass.Net, cfg, false, phases)
+}
+
+// NewNetPIPE models the NetPIPE ping-pong protocol sweep: message sizes
+// grow exponentially, so early snapshots are nearly idle (latency-bound
+// tiny messages) and later ones saturate the link — matching the paper's
+// ~92% network / ~4% idle mix. totalKB sizes the whole sweep (default
+// ~2.6 GB over ~370 s).
+func NewNetPIPE(totalKB float64, cfg Config) (*App, error) {
+	if totalKB == 0 {
+		totalKB = 5.0e6
+	}
+	if totalKB < 0 {
+		return nil, fmt.Errorf("workload: NetPIPE totalKB must be >= 0, got %v", totalKB)
+	}
+	// A short latency-bound warm-up with tiny messages (nearly idle),
+	// then bandwidth-bound steps whose message sizes double. Step
+	// volumes scale with their rates so each step contributes a similar
+	// number of snapshots, matching the paper's ~92% network / ~4% idle
+	// profile.
+	phases := []Phase{{
+		Name:           "latency-sweep",
+		Duration:       15 * time.Second,
+		NetOutRateKB:   40,
+		NetInRateKB:    40,
+		CPURate:        0.02,
+		CPUSystemShare: 0.6,
+		WorkingSetKB:   10 * 1024,
+	}}
+	rates := []float64{6000, 10000, 16000, 24000, 30000}
+	var rateSum float64
+	for _, r := range rates {
+		rateSum += r
+	}
+	for i, r := range rates {
+		vol := totalKB * r / rateSum
+		// The protocol driver's CPU time is proportional to the bytes
+		// moved; its rate tracks the link rate so compute and transfer
+		// finish together and no low-CPU tail leaks out of the step.
+		phases = append(phases, Phase{
+			Name:           fmt.Sprintf("msgsize-step-%d", i),
+			NetOutWorkKB:   vol / 2,
+			NetInWorkKB:    vol / 2,
+			CPUWork:        vol / (80 * 1024),
+			CPURate:        1.15 * r / (80 * 1024),
+			NetOutRateKB:   r / 2,
+			NetInRateKB:    r / 2,
+			CPUSystemShare: 0.6,
+			WorkingSetKB:   10 * 1024,
+		})
+	}
+	return newApp(cfg.name("NetPIPE"), appclass.Net, cfg, false, phases)
+}
+
+// NewNetPIPEServer models the echo side of NetPIPE on the peer VM. It
+// mirrors the client's traffic for the given duration.
+func NewNetPIPEServer(duration time.Duration, cfg Config) (*App, error) {
+	if duration <= 0 {
+		duration = 400 * time.Second
+	}
+	phases := []Phase{
+		{
+			Name:           "echo",
+			Duration:       duration,
+			CPURate:        0.25,
+			NetInRateKB:    4500,
+			NetOutRateKB:   4500,
+			CPUSystemShare: 0.6,
+			WorkingSetKB:   10 * 1024,
+		},
+	}
+	return newApp(cfg.name("NetPIPE-server"), appclass.Net, cfg, false, phases)
+}
+
+// NewAutobench models autobench/httperf: an automated web-server load
+// sweep holding the link busy with HTTP request/response traffic at
+// stepped request rates (the paper measured it as 100% network).
+func NewAutobench(cfg Config) (*App, error) {
+	var phases []Phase
+	for i := 0; i < 6; i++ {
+		rate := 2500 + 1400*float64(i)
+		phases = append(phases, Phase{
+			Name:           fmt.Sprintf("rate-step-%d", i),
+			Duration:       143 * time.Second,
+			CPURate:        0.3,
+			NetOutRateKB:   rate,
+			NetInRateKB:    rate / 3,
+			CPUSystemShare: 0.55,
+			WorkingSetKB:   16 * 1024,
+		})
+	}
+	return newApp(cfg.name("Autobench"), appclass.Net, cfg, false, phases)
+}
+
+// NewSftp models a 2 GB sftp upload: encrypt-and-send at link speed. The
+// source file is read sequentially through the buffer cache, so after
+// the first pass the profile is almost purely network (the paper
+// measured ~98% network, ~2% I/O).
+func NewSftp(fileKB float64, cfg Config) (*App, error) {
+	if fileKB == 0 {
+		fileKB = 2 * 1024 * 1024
+	}
+	if fileKB < 0 {
+		return nil, fmt.Errorf("workload: sftp fileKB must be >= 0, got %v", fileKB)
+	}
+	phases := []Phase{
+		{
+			// The first chunk fills the cache: physical reads dominate
+			// briefly.
+			Name:           "warm-cache",
+			ReadWorkKB:     fileKB / 24,
+			NetOutWorkKB:   fileKB / 24,
+			CPUWork:        3,
+			CPURate:        0.4,
+			ReadRateKB:     9000,
+			NetOutRateKB:   9000,
+			CPUSystemShare: 0.5,
+			WorkingSetKB:   14 * 1024,
+			DatasetKB:      120 * 1024,
+		},
+		{
+			Name:           "encrypt-send",
+			ReadWorkKB:     fileKB * 23 / 24,
+			NetOutWorkKB:   fileKB * 23 / 24,
+			CPUWork:        90,
+			CPURate:        0.45,
+			ReadRateKB:     9500,
+			NetOutRateKB:   9500,
+			CPUSystemShare: 0.5,
+			WorkingSetKB:   14 * 1024,
+			DatasetKB:      120 * 1024,
+		},
+	}
+	return newApp(cfg.name("Sftp"), appclass.Net, cfg, false, phases)
+}

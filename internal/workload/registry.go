@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// Entry describes one application run of the paper's Table 2: the
+// program, the VM configuration it executes in, and its expected
+// behaviour. Entries are templates — Build creates a fresh job instance.
+type Entry struct {
+	// Name is the run label used in Tables 2 and 3 (e.g. "SPECseis96_A").
+	Name string
+	// Description summarizes the application, after Table 2.
+	Description string
+	// Expected is the Table-2 "expected behavior" class.
+	Expected appclass.Class
+	// Training marks the five runs used to train the 3-NN classifier.
+	Training bool
+	// VMMemKB is the guest memory of the profiling VM (the paper's
+	// SPECseis96 B runs in a 32 MB VM, everything else in 256 MB).
+	VMMemKB float64
+	// MaxRun caps the simulated profiling run.
+	MaxRun time.Duration
+	// Build creates the job. The seed varies randomness across runs.
+	Build func(seed int64) (*App, error)
+	// Peer, when set, creates the server-side job the benchmark talks
+	// to, hosted on a second VM (the paper ran network-benchmark servers
+	// on a dedicated VM).
+	Peer func(seed int64) (*App, error)
+}
+
+const defaultVMMemKB = 256 * 1024
+
+// TrainingSet returns the five class-representative training runs of
+// Section 4.2.3: SPECseis96 (CPU), PostMark (I/O), Pagebench (paging),
+// Ettcp (network), and the idle machine.
+func TrainingSet() []Entry {
+	return []Entry{
+		{
+			Name:        "SPECseis96_train",
+			Description: "A seismic processing application (SPEC HPC); represents the CPU-intensive class",
+			Expected:    appclass.CPU,
+			Training:    true,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      30 * time.Minute,
+			Build: func(seed int64) (*App, error) {
+				return NewSPECseis(SPECseisSmall, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "PostMark_train",
+			Description: "A file system benchmark program; represents the IO-intensive class",
+			Expected:    appclass.IO,
+			Training:    true,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      30 * time.Minute,
+			Build: func(seed int64) (*App, error) {
+				return NewPostMark(PostMarkLocal, 0, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "PageBench_train",
+			Description: "A synthetic program updating an array bigger than the VM memory; represents the paging-intensive class",
+			Expected:    appclass.Mem,
+			Training:    true,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      30 * time.Minute,
+			Build: func(seed int64) (*App, error) {
+				return NewPagebench(defaultVMMemKB, 300*time.Second, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "Ettcp_train",
+			Description: "A benchmark measuring network throughput over TCP/UDP between two nodes; represents the network-intensive class",
+			Expected:    appclass.Net,
+			Training:    true,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      30 * time.Minute,
+			Build: func(seed int64) (*App, error) {
+				return NewEttcp(300*time.Second, Config{Seed: seed})
+			},
+			Peer: func(seed int64) (*App, error) {
+				return NewEttcpServer(300*time.Second, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "Idle_train",
+			Description: "No application running except background daemons in the machine",
+			Expected:    appclass.Idle,
+			Training:    true,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      5 * time.Minute,
+			Build: func(seed int64) (*App, error) {
+				return NewIdle(Config{Seed: seed})
+			},
+		},
+	}
+}
+
+// TestSet returns the fourteen Table-3 evaluation runs in the table's
+// row order.
+func TestSet() []Entry {
+	return []Entry{
+		{
+			Name:        "SPECseis96_A",
+			Description: "SPECseis96 with medium data size running in a VM with 256MB virtual memory",
+			Expected:    appclass.CPU,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      10 * time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewSPECseis(SPECseisMedium, Config{Seed: seed, Name: "SPECseis96_A"})
+			},
+		},
+		{
+			Name:        "SPECseis96_C",
+			Description: "SPECseis96 with small data size running in a VM with 256MB virtual memory",
+			Expected:    appclass.CPU,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewSPECseis(SPECseisSmall, Config{Seed: seed, Name: "SPECseis96_C"})
+			},
+		},
+		{
+			Name:        "CH3D",
+			Description: "A curvilinear-grid hydrodynamics 3D model",
+			Expected:    appclass.CPU,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewCH3D(220, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "SimpleScalar",
+			Description: "A computer architecture simulation tool",
+			Expected:    appclass.CPU,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewSimpleScalar(Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "PostMark",
+			Description: "A file system benchmark program (local working directory)",
+			Expected:    appclass.IO,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewPostMark(PostMarkLocal, 0, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "Bonnie",
+			Description: "A Unix file system performance benchmark",
+			Expected:    appclass.IO,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      2 * time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewBonnie(Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "SPECseis96_B",
+			Description: "SPECseis96 with medium data size running in a VM with 32MB virtual memory",
+			Expected:    appclass.IO, // IO & paging intensive in the starved VM
+			VMMemKB:     32 * 1024,
+			MaxRun:      14 * time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewSPECseis(SPECseisMedium, Config{Seed: seed, Name: "SPECseis96_B"})
+			},
+		},
+		{
+			Name:        "Stream",
+			Description: "A synthetic benchmark measuring sustainable memory bandwidth and computation rate",
+			Expected:    appclass.IO,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      2 * time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewStream(Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "PostMark_NFS",
+			Description: "The Postmark benchmark with a NFS mounted working directory",
+			Expected:    appclass.Net,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewPostMark(PostMarkNFS, 0, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "NetPIPE",
+			Description: "A protocol independent network performance measurement tool",
+			Expected:    appclass.Net,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewNetPIPE(0, Config{Seed: seed})
+			},
+			Peer: func(seed int64) (*App, error) {
+				return NewNetPIPEServer(12*time.Minute, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "Autobench",
+			Description: "A wrapper around httperf working as an automated web server benchmark",
+			Expected:    appclass.Net,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewAutobench(Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "Sftp",
+			Description: "A synthetic program using sftp to transfer a 2GB file",
+			Expected:    appclass.Net,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewSftp(0, Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "VMD",
+			Description: "A molecular visualization program using 3-D graphics and built-in scripting (interactive)",
+			Expected:    appclass.Idle,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewVMD(Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "XSpim",
+			Description: "A MIPS assembly language simulator with an X-Windows based GUI (interactive)",
+			Expected:    appclass.Idle,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewXSpim(Config{Seed: seed})
+			},
+		},
+	}
+}
+
+// Find locates a registry entry by name across the training and test
+// sets.
+func Find(name string) (Entry, error) {
+	for _, e := range append(TrainingSet(), TestSet()...) {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("workload: no registry entry named %q", name)
+}
+
+// Names returns every registry entry name, training set first.
+func Names() []string {
+	var out []string
+	for _, e := range append(TrainingSet(), TestSet()...) {
+		out = append(out, e.Name)
+	}
+	return out
+}
