@@ -1,0 +1,172 @@
+// Command appclassd is the application classification daemon: a
+// long-running HTTP service that concurrently classifies metric
+// streams from many VMs against one trained classification center.
+// Snapshots arrive over the push API (POST /v1/ingest) or by polling a
+// gmetad aggregator (-gmetad); per-VM state and cluster-wide class
+// counts are served from /v1/vms and /v1/classes; sessions are
+// finalized into an application-database file on explicit finish,
+// idle-TTL expiry, or shutdown.
+//
+// Usage:
+//
+//	appclassd -addr :8080 -db appdb.json
+//	appclassd -model model.json -gmetad http://gmetad:8651/ -poll 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/appdb"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// config is the daemon's parsed command line.
+type config struct {
+	addr   string
+	model  string
+	dbPath string
+	gmetad string
+	poll   time.Duration
+	ttl    time.Duration
+	sweep  time.Duration
+	shards int
+	seed   int64
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("appclassd", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.model, "model", "", "load a trained classifier from this JSON file instead of training")
+	fs.StringVar(&cfg.dbPath, "db", "", "application database JSON file (loaded if present, saved on shutdown)")
+	fs.StringVar(&cfg.gmetad, "gmetad", "", "poll this gmetad URL for cluster state (pull mode)")
+	fs.DurationVar(&cfg.poll, "poll", 5*time.Second, "gmetad poll interval")
+	fs.DurationVar(&cfg.ttl, "ttl", 5*time.Minute, "idle session TTL before eviction to the database")
+	fs.DurationVar(&cfg.sweep, "sweep", 0, "eviction sweep interval (default ttl/4)")
+	fs.IntVar(&cfg.shards, "shards", 0, "session registry shard count (default 16)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "simulation seed when training (no -model)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// run starts the daemon and blocks until ctx is cancelled or serving
+// fails. If ready is non-nil it receives the bound listen address once
+// the daemon accepts connections.
+func run(ctx context.Context, cfg config, ready chan<- string) error {
+	var cl *classify.Classifier
+	if cfg.model != "" {
+		f, err := os.Open(cfg.model)
+		if err != nil {
+			return err
+		}
+		cl, err = classify.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("appclassd: loaded classifier from %s", cfg.model)
+	} else {
+		log.Printf("appclassd: training classifier on the simulated testbed (seed %d)", cfg.seed)
+		svc, err := core.NewService(core.Options{Seed: cfg.seed})
+		if err != nil {
+			return err
+		}
+		cl = svc.Classifier()
+	}
+
+	db := appdb.New()
+	if cfg.dbPath != "" {
+		if _, err := os.Stat(cfg.dbPath); err == nil {
+			db, err = appdb.LoadFile(cfg.dbPath)
+			if err != nil {
+				return err
+			}
+			log.Printf("appclassd: loaded %d record(s) from %s", db.Len(), cfg.dbPath)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Classifier:    cl,
+		Schema:        metrics.DefaultSchema(),
+		DB:            db,
+		IdleTTL:       cfg.ttl,
+		SweepInterval: cfg.sweep,
+		Shards:        cfg.shards,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("appclassd: listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	srv.StartJanitor()
+	if cfg.gmetad != "" {
+		if err := srv.StartPoller(server.PollConfig{URL: cfg.gmetad, Interval: cfg.poll}); err != nil {
+			ln.Close()
+			return err
+		}
+		log.Printf("appclassd: polling %s every %v", cfg.gmetad, cfg.poll)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	if cfg.dbPath != "" {
+		if err := db.SaveFile(cfg.dbPath); err != nil {
+			return err
+		}
+		log.Printf("appclassd: saved %d record(s) to %s", db.Len(), cfg.dbPath)
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "appclassd: %v\n", err)
+		os.Exit(1)
+	}
+}

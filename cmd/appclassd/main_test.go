@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/appdb"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if cfg.addr != ":8080" || cfg.ttl != 5*time.Minute || cfg.poll != 5*time.Second || cfg.seed != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-addr", "127.0.0.1:0", "-ttl", "30s", "-shards", "4", "-gmetad", "http://x/", "-db", "a.json"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.ttl != 30*time.Second || cfg.shards != 4 || cfg.gmetad != "http://x/" || cfg.dbPath != "a.json" {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("positional argument: want error")
+	}
+}
+
+func TestRunRejectsMissingModel(t *testing.T) {
+	cfg, err := parseFlags([]string{"-model", "/does/not/exist.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg, nil); err == nil {
+		t.Error("missing model file: want error")
+	}
+}
+
+// savedModel trains the classifier once per test binary and serializes
+// it, so the daemon tests boot from -model instead of retraining.
+var (
+	modelOnce  sync.Once
+	modelBytes []byte
+	modelErr   error
+)
+
+func savedModel(t *testing.T) string {
+	t.Helper()
+	modelOnce.Do(func() {
+		svc, err := core.NewService(core.Options{Seed: 1})
+		if err != nil {
+			modelErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := svc.Classifier().Save(&buf); err != nil {
+			modelErr = err
+			return
+		}
+		modelBytes = buf.Bytes()
+	})
+	if modelErr != nil {
+		t.Fatalf("train model: %v", modelErr)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, modelBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunStartupShutdown boots the daemon on an ephemeral port from a
+// pre-trained model, ingests one snapshot, shuts down via context
+// cancellation, and expects the flushed session in the database file.
+func TestRunStartupShutdown(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "db.json")
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-model", savedModel(t), "-db", dbPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(map[string]any{"snapshots": []any{map[string]any{
+		"vm":     "smoke-vm",
+		"time_s": 0,
+		"values": make([]float64, metrics.DefaultSchema().Len()),
+	}}})
+	resp, err = http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest = %d: %s", resp.StatusCode, raw.String())
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+
+	db, err := appdb.LoadFile(dbPath)
+	if err != nil {
+		t.Fatalf("db not written on shutdown: %v", err)
+	}
+	if _, err := db.Latest("smoke-vm"); err != nil {
+		t.Errorf("flushed session missing from db: %v", err)
+	}
+}
+
+func TestRunFailsOnBusyPort(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cfg, err := parseFlags([]string{"-addr", l.Addr().String(), "-model", savedModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg, nil); err == nil {
+		t.Error("busy port: want error")
+	}
+}

@@ -1,0 +1,148 @@
+// Daemon: run appclassd in-process and drive it over its HTTP API —
+// train the classification center, start the daemon on an ephemeral
+// port, replay a profiled trace through POST /v1/ingest in batches the
+// way a monitoring relay would, watch the running composition via
+// GET /v1/vms/{name}, then finish the session and show the record the
+// daemon flushed into the application database.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	svc, err := core.NewService(core.Options{Seed: 42})
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Classifier: svc.Classifier(),
+		Schema:     metrics.DefaultSchema(),
+		DB:         svc.DB(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("appclassd serving on %s\n", base)
+
+	// Profile a multi-phase run and replay it over the push API.
+	entry, err := workload.Find("Stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := testbed.ProfileEntry(entry, 13)
+	if err != nil {
+		log.Fatalf("profile: %v", err)
+	}
+	trace := run.Trace
+	const vm, batch = "stream-vm", 25
+	fmt.Printf("replaying %d snapshots of %s as %s in batches of %d\n",
+		trace.Len(), entry.Name, vm, batch)
+	for start := 0; start < trace.Len(); start += batch {
+		end := start + batch
+		if end > trace.Len() {
+			end = trace.Len()
+		}
+		snaps := make([]map[string]any, 0, end-start)
+		for i := start; i < end; i++ {
+			s := trace.At(i)
+			snaps = append(snaps, map[string]any{"vm": vm, "time_s": s.Time.Seconds(), "values": s.Values})
+		}
+		body, _ := json.Marshal(map[string]any{"snapshots": snaps})
+		resp, err := http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("ingest batch at %d: status %d", start, resp.StatusCode)
+		}
+	}
+
+	// Query the live session.
+	resp, err := http.Get(base + "/v1/vms/" + vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var detail struct {
+		Class       string             `json:"class"`
+		Snapshots   int                `json:"snapshots"`
+		Drift       float64            `json:"drift"`
+		Composition map[string]float64 `json:"composition"`
+		Stages      []struct {
+			Class     string `json:"class"`
+			Snapshots int    `json:"snapshots"`
+		} `json:"stages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("live session: class=%s after %d snapshots, drift=%.2f\n",
+		detail.Class, detail.Snapshots, detail.Drift)
+	fmt.Print("composition: ")
+	for _, c := range appclass.Strings() {
+		if f := detail.Composition[c]; f > 0 {
+			fmt.Printf("%s=%.1f%% ", c, 100*f)
+		}
+	}
+	fmt.Printf("\nstages: ")
+	for _, st := range detail.Stages {
+		fmt.Printf("%s[%d] ", st.Class, st.Snapshots)
+	}
+	fmt.Println()
+
+	// Finish the session: the daemon finalizes it into the application
+	// database and frees the slot.
+	resp, err = http.Post(base+"/v1/vms/"+vm+"/finish", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fin struct {
+		Class         string  `json:"class"`
+		ExecutionSecs float64 `json:"execution_s"`
+		Samples       int     `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fin); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("finished: class=%s samples=%d execution=%.0fs\n", fin.Class, fin.Samples, fin.ExecutionSecs)
+
+	rec, err := svc.DB().Latest(vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application DB record: %s class=%s samples=%d\n", rec.App, rec.Class, rec.Samples)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	fmt.Println("daemon shut down cleanly")
+}

@@ -148,6 +148,16 @@ func Train(runs []TrainingRun, cfg Config) (*Classifier, error) {
 // Config returns the effective configuration (defaults resolved).
 func (c *Classifier) Config() Config { return c.cfg }
 
+// ready guards against classifying with a classifier that has not been
+// trained (or loaded): a zero-value or nil *Classifier must yield an
+// error, not a nil-pointer panic deep in the pipeline.
+func (c *Classifier) ready() error {
+	if c == nil || c.normalizer == nil || c.model == nil || c.nn == nil {
+		return fmt.Errorf("classify: classifier is not trained")
+	}
+	return nil
+}
+
 // Model exposes the fitted PCA model (for reports and ablations).
 func (c *Classifier) Model() *pca.Model { return c.model }
 
@@ -174,6 +184,9 @@ type Result struct {
 
 // featuresOf runs the preprocess→normalize→PCA pipeline on a trace.
 func (c *Classifier) featuresOf(trace *metrics.Trace) (*linalg.Matrix, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
 	if trace == nil || trace.Len() == 0 {
 		return nil, fmt.Errorf("classify: empty trace")
 	}
@@ -230,6 +243,12 @@ func (c *Classifier) ClassifyTrace(trace *metrics.Trace) (*Result, error) {
 // vector in the trace schema used at call sites. The snapshot's values
 // must be ordered by schema, which must contain the expert metrics.
 func (c *Classifier) ClassifySnapshot(schema *metrics.Schema, values []float64) (appclass.Class, error) {
+	if err := c.ready(); err != nil {
+		return "", err
+	}
+	if schema == nil {
+		return "", fmt.Errorf("classify: nil schema")
+	}
 	if schema.Len() != len(values) {
 		return "", fmt.Errorf("classify: %d values for %d-metric schema", len(values), schema.Len())
 	}

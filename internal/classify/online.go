@@ -39,8 +39,11 @@ type TimedClass struct {
 // NewOnline wraps a trained classifier for streaming input against the
 // given snapshot schema.
 func NewOnline(cl *Classifier, schema *metrics.Schema) (*Online, error) {
-	if cl == nil {
-		return nil, fmt.Errorf("classify: nil classifier")
+	if err := cl.ready(); err != nil {
+		return nil, err
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("classify: nil schema")
 	}
 	subset, err := schema.Subset(cl.cfg.ExpertMetrics)
 	if err != nil {
@@ -98,6 +101,10 @@ func (o *Online) Class() (appclass.Class, error) {
 	if o.total == 0 {
 		return "", fmt.Errorf("classify: no snapshots observed")
 	}
+	return o.majority(), nil
+}
+
+func (o *Online) majority() appclass.Class {
 	var best appclass.Class
 	bestN := -1
 	for c, n := range o.counts {
@@ -105,7 +112,44 @@ func (o *Online) Class() (appclass.Class, error) {
 			best, bestN = c, n
 		}
 	}
-	return best, nil
+	return best
+}
+
+// View is an immutable snapshot of an Online classifier's running
+// state. All reference fields are copies: a View stays valid (and
+// race-free) after further Observe calls, so a server can render it to
+// JSON without holding the classifier's lock.
+type View struct {
+	// Class is the running majority-vote class ("" before any snapshot).
+	Class appclass.Class
+	// LastClass is the class of the most recent snapshot.
+	LastClass appclass.Class
+	// Composition maps each class to its fraction of snapshots.
+	Composition map[appclass.Class]float64
+	// Total is the number of snapshots observed.
+	Total int
+	// Drift is the current DriftScore.
+	Drift float64
+	// FirstAt and LastAt are the times of the first and last observed
+	// snapshots (both zero before any snapshot).
+	FirstAt, LastAt time.Duration
+}
+
+// Snapshot captures the classifier's running state as an immutable
+// View.
+func (o *Online) Snapshot() View {
+	v := View{
+		LastClass:   o.last,
+		Composition: o.Composition(),
+		Total:       o.total,
+		Drift:       o.DriftScore(),
+	}
+	if o.total > 0 {
+		v.Class = o.majority()
+		v.FirstAt = o.history[0].At
+		v.LastAt = o.history[len(o.history)-1].At
+	}
+	return v
 }
 
 // History returns the classified snapshot sequence.

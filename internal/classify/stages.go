@@ -113,6 +113,46 @@ func DetectStages(trace *metrics.Trace, result *Result, window, minLen int) ([]S
 	return out, nil
 }
 
+// StagesFromHistory segments an online classification history (the
+// TimedClass sequence an Online classifier accumulates) into execution
+// stages: consecutive snapshots of equal class merge, and stages
+// shorter than minLen snapshots are absorbed into their predecessor.
+// It is the streaming counterpart of DetectStages for callers that hold
+// no trace, e.g. the classification daemon's per-VM stage history.
+func StagesFromHistory(history []TimedClass, minLen int) ([]Stage, error) {
+	if minLen <= 0 {
+		return nil, fmt.Errorf("classify: minLen must be positive, got %d", minLen)
+	}
+	var stages []Stage
+	for _, tc := range history {
+		if n := len(stages); n > 0 && stages[n-1].Class == tc.Class {
+			stages[n-1].End = tc.At
+			stages[n-1].Snapshots++
+			continue
+		}
+		stages = append(stages, Stage{Class: tc.Class, Start: tc.At, End: tc.At, Snapshots: 1})
+	}
+	if minLen == 1 {
+		return stages, nil
+	}
+	out := stages[:0]
+	for _, st := range stages {
+		switch {
+		case st.Snapshots < minLen && len(out) > 0:
+			prev := &out[len(out)-1]
+			prev.End = st.End
+			prev.Snapshots += st.Snapshots
+		case len(out) > 0 && out[len(out)-1].Class == st.Class:
+			prev := &out[len(out)-1]
+			prev.End = st.End
+			prev.Snapshots += st.Snapshots
+		default:
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
 // StageSummary renders stages compactly for reports, e.g.
 // "idle[12] io[17] net[19]".
 func StageSummary(stages []Stage) string {

@@ -24,12 +24,19 @@ func (g *Gmetad) Handler(clock func() time.Duration) http.Handler {
 	})
 }
 
+// DefaultFetchTimeout bounds FetchClusterState requests when the caller
+// passes a nil client. http.DefaultClient has no timeout, so without
+// this a hung gmetad would stall a poll loop forever.
+const DefaultFetchTimeout = 10 * time.Second
+
+var defaultFetchClient = &http.Client{Timeout: DefaultFetchTimeout}
+
 // FetchClusterState retrieves and parses a gmetad XML dump from url
-// using the given HTTP client (nil for http.DefaultClient), returning
-// node -> metric -> value.
+// using the given HTTP client (nil for a default client with
+// DefaultFetchTimeout), returning node -> metric -> value.
 func FetchClusterState(client *http.Client, url string) (map[string]map[string]float64, error) {
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultFetchClient
 	}
 	resp, err := client.Get(url)
 	if err != nil {

@@ -47,6 +47,21 @@ func TestGmetadHTTPRejectsPost(t *testing.T) {
 	}
 }
 
+func TestFetchClusterStateNilClientHasTimeout(t *testing.T) {
+	if defaultFetchClient.Timeout != DefaultFetchTimeout || defaultFetchClient.Timeout <= 0 {
+		t.Errorf("default fetch client timeout = %v, want %v", defaultFetchClient.Timeout, DefaultFetchTimeout)
+	}
+	// A nil client must still reach a live gmetad through the default.
+	_, srv := newServedGmetad(t)
+	state, err := FetchClusterState(nil, srv.URL)
+	if err != nil {
+		t.Fatalf("FetchClusterState(nil client): %v", err)
+	}
+	if state["vm1"]["cpu_user"] != 42.5 {
+		t.Errorf("vm1 cpu_user = %v", state["vm1"]["cpu_user"])
+	}
+}
+
 func TestFetchClusterStateErrors(t *testing.T) {
 	if _, err := FetchClusterState(nil, "http://127.0.0.1:1/nothing-here"); err == nil {
 		t.Error("unreachable server: want error")

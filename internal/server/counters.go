@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/appclass"
+)
+
+// counters holds the daemon's observability state: monotonically
+// increasing atomics rendered in Prometheus text exposition format by
+// writeMetrics, with no external dependency.
+type counters struct {
+	ingested        atomic.Int64 // snapshots accepted (push + pull)
+	ingestErrors    atomic.Int64 // rejected batches and failed observes
+	evictions       atomic.Int64 // sessions finalized by the idle-TTL janitor
+	finishes        atomic.Int64 // sessions finalized by POST .../finish
+	flushed         atomic.Int64 // sessions finalized at shutdown
+	finalizeErrors  atomic.Int64 // records the application DB refused
+	polls           atomic.Int64 // gmetad poll attempts
+	pollErrors      atomic.Int64 // failed gmetad polls
+	pollSkipped     atomic.Int64 // polled nodes missing schema metrics
+	classifications map[appclass.Class]*atomic.Int64
+}
+
+func newCounters() *counters {
+	c := &counters{classifications: make(map[appclass.Class]*atomic.Int64)}
+	for _, cl := range appclass.All() {
+		c.classifications[cl] = new(atomic.Int64)
+	}
+	return c
+}
+
+func (c *counters) classified(cl appclass.Class) {
+	if n, ok := c.classifications[cl]; ok {
+		n.Add(1)
+	}
+}
+
+// writeMetrics renders every counter plus the caller-supplied gauges in
+// Prometheus text format.
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("appclassd_snapshots_ingested_total", "Snapshots accepted over the push API and the gmetad poller.", c.ingested.Load())
+	counter("appclassd_ingest_errors_total", "Rejected ingest batches and failed snapshot observations.", c.ingestErrors.Load())
+
+	fmt.Fprintf(w, "# HELP appclassd_classifications_total Snapshot classifications by class.\n# TYPE appclassd_classifications_total counter\n")
+	for _, cl := range appclass.All() {
+		fmt.Fprintf(w, "appclassd_classifications_total{class=%q} %d\n", cl, c.classifications[cl].Load())
+	}
+
+	counter("appclassd_evictions_total", "Sessions finalized by the idle-TTL janitor.", c.evictions.Load())
+	counter("appclassd_finishes_total", "Sessions finalized by an explicit finish request.", c.finishes.Load())
+	counter("appclassd_flushed_total", "Sessions finalized during graceful shutdown.", c.flushed.Load())
+	counter("appclassd_finalize_errors_total", "Session records the application database refused.", c.finalizeErrors.Load())
+	counter("appclassd_polls_total", "gmetad poll attempts.", c.polls.Load())
+	counter("appclassd_poll_errors_total", "Failed gmetad polls.", c.pollErrors.Load())
+	counter("appclassd_poll_skipped_total", "Polled nodes skipped for missing schema metrics.", c.pollSkipped.Load())
+
+	total := 0
+	for _, n := range sessions {
+		total += n
+	}
+	fmt.Fprintf(w, "# HELP appclassd_sessions_active Live classification sessions.\n# TYPE appclassd_sessions_active gauge\nappclassd_sessions_active %d\n", total)
+	fmt.Fprintf(w, "# HELP appclassd_shard_sessions Live sessions per registry shard.\n# TYPE appclassd_shard_sessions gauge\n")
+	for i, n := range sessions {
+		fmt.Fprintf(w, "appclassd_shard_sessions{shard=\"%d\"} %d\n", i, n)
+	}
+	fmt.Fprintf(w, "# HELP appclassd_uptime_seconds Seconds since the daemon started.\n# TYPE appclassd_uptime_seconds gauge\nappclassd_uptime_seconds %g\n", uptimeSeconds)
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/classify"
+)
+
+// routes builds the daemon's API surface. Method-qualified patterns
+// make the mux answer 405 (with an Allow header) for wrong-method
+// requests on known paths.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/vms", s.handleVMs)
+	mux.HandleFunc("GET /v1/vms/{name}", s.handleVM)
+	mux.HandleFunc("POST /v1/vms/{name}/finish", s.handleFinish)
+	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ingestSnapshot is one pushed sample. Values carries the full metric
+// vector in schema order; Metrics names each value instead, for
+// clients that do not know the canonical order. Exactly one must be
+// set.
+type ingestSnapshot struct {
+	VM          string             `json:"vm"`
+	TimeSeconds float64            `json:"time_s"`
+	Values      []float64          `json:"values,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type ingestRequest struct {
+	Snapshots []ingestSnapshot `json:"snapshots"`
+}
+
+type ingestResult struct {
+	VM    string `json:"vm"`
+	Class string `json:"class"`
+}
+
+type ingestResponse struct {
+	Accepted int            `json:"accepted"`
+	Results  []ingestResult `json:"results"`
+}
+
+// handleIngest accepts a batch of snapshots. The whole batch is
+// validated against the schema before any snapshot is applied, so a 400
+// never leaves a half-ingested batch behind.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed ingest body: %v", err)
+		return
+	}
+	if len(req.Snapshots) == 0 {
+		writeError(w, http.StatusBadRequest, "ingest batch has no snapshots")
+		return
+	}
+	type obs struct {
+		vm     string
+		at     time.Duration
+		values []float64
+	}
+	schema := s.cfg.Schema
+	batch := make([]obs, len(req.Snapshots))
+	for i, snap := range req.Snapshots {
+		if snap.VM == "" {
+			writeError(w, http.StatusBadRequest, "snapshot %d has no vm", i)
+			return
+		}
+		o := obs{vm: snap.VM, at: time.Duration(snap.TimeSeconds * float64(time.Second))}
+		switch {
+		case len(snap.Values) > 0 && len(snap.Metrics) > 0:
+			writeError(w, http.StatusBadRequest, "snapshot %d (%s) sets both values and metrics", i, snap.VM)
+			return
+		case len(snap.Values) > 0:
+			if len(snap.Values) != schema.Len() {
+				writeError(w, http.StatusBadRequest, "snapshot %d (%s) has %d values, schema has %d metrics",
+					i, snap.VM, len(snap.Values), schema.Len())
+				return
+			}
+			o.values = snap.Values
+		case len(snap.Metrics) > 0:
+			vals := make([]float64, schema.Len())
+			for name := range snap.Metrics {
+				if !schema.Contains(name) {
+					writeError(w, http.StatusBadRequest, "snapshot %d (%s) has unknown metric %q", i, snap.VM, name)
+					return
+				}
+			}
+			for j, name := range schema.Names() {
+				v, ok := snap.Metrics[name]
+				if !ok {
+					writeError(w, http.StatusBadRequest, "snapshot %d (%s) is missing metric %q", i, snap.VM, name)
+					return
+				}
+				vals[j] = v
+			}
+			o.values = vals
+		default:
+			writeError(w, http.StatusBadRequest, "snapshot %d (%s) has neither values nor metrics", i, snap.VM)
+			return
+		}
+		batch[i] = o
+	}
+
+	resp := ingestResponse{Results: make([]ingestResult, 0, len(batch))}
+	for _, o := range batch {
+		class, err := s.observe(o.vm, o.at, o.values)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "classify %s: %v", o.vm, err)
+			return
+		}
+		resp.Accepted++
+		resp.Results = append(resp.Results, ingestResult{VM: o.vm, Class: class})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// vmSummary is one row of GET /v1/vms.
+type vmSummary struct {
+	VM        string  `json:"vm"`
+	Class     string  `json:"class"`
+	LastClass string  `json:"last_class"`
+	Snapshots int     `json:"snapshots"`
+	Drift     float64 `json:"drift"`
+	LastSeen  string  `json:"last_seen"`
+}
+
+func (s *Server) summarize(sess *session) vmSummary {
+	sess.mu.Lock()
+	view := sess.online.Snapshot()
+	lastSeen := sess.lastSeen
+	sess.mu.Unlock()
+	return vmSummary{
+		VM:        sess.vm,
+		Class:     string(view.Class),
+		LastClass: string(view.LastClass),
+		Snapshots: view.Total,
+		Drift:     view.Drift,
+		LastSeen:  lastSeen.UTC().Format(time.RFC3339),
+	}
+}
+
+func (s *Server) handleVMs(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.names()
+	out := struct {
+		Count int         `json:"count"`
+		VMs   []vmSummary `json:"vms"`
+	}{VMs: make([]vmSummary, 0, len(names))}
+	for _, vm := range names {
+		sess, ok := s.reg.get(vm)
+		if !ok {
+			continue // evicted between listing and lookup
+		}
+		out.VMs = append(out.VMs, s.summarize(sess))
+	}
+	out.Count = len(out.VMs)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// vmDetail is GET /v1/vms/{name}.
+type vmDetail struct {
+	vmSummary
+	Composition  map[appclass.Class]float64 `json:"composition"`
+	FirstSeconds float64                    `json:"first_s"`
+	LastSeconds  float64                    `json:"last_s"`
+	Stages       []stageJSON                `json:"stages"`
+}
+
+type stageJSON struct {
+	Class        string  `json:"class"`
+	StartSeconds float64 `json:"start_s"`
+	EndSeconds   float64 `json:"end_s"`
+	Snapshots    int     `json:"snapshots"`
+}
+
+func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
+	vm := r.PathValue("name")
+	sess, ok := s.reg.get(vm)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no live session for vm %q", vm)
+		return
+	}
+	sess.mu.Lock()
+	view := sess.online.Snapshot()
+	history := sess.online.History()
+	lastSeen := sess.lastSeen
+	sess.mu.Unlock()
+
+	stages, err := classify.StagesFromHistory(history, 1)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "stage history: %v", err)
+		return
+	}
+	detail := vmDetail{
+		vmSummary: vmSummary{
+			VM:        vm,
+			Class:     string(view.Class),
+			LastClass: string(view.LastClass),
+			Snapshots: view.Total,
+			Drift:     view.Drift,
+			LastSeen:  lastSeen.UTC().Format(time.RFC3339),
+		},
+		Composition:  view.Composition,
+		FirstSeconds: view.FirstAt.Seconds(),
+		LastSeconds:  view.LastAt.Seconds(),
+		Stages:       make([]stageJSON, 0, len(stages)),
+	}
+	for _, st := range stages {
+		detail.Stages = append(detail.Stages, stageJSON{
+			Class:        string(st.Class),
+			StartSeconds: st.Start.Seconds(),
+			EndSeconds:   st.End.Seconds(),
+			Snapshots:    st.Snapshots,
+		})
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// finishResponse is POST /v1/vms/{name}/finish: the application-database
+// record the session was finalized into.
+type finishResponse struct {
+	VM             string                     `json:"vm"`
+	Class          string                     `json:"class"`
+	Composition    map[appclass.Class]float64 `json:"composition"`
+	ExecutionSecs  float64                    `json:"execution_s"`
+	Samples        int                        `json:"samples"`
+	HistoricalRuns int                        `json:"historical_runs"`
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	vm := r.PathValue("name")
+	sess, ok := s.reg.get(vm)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no live session for vm %q", vm)
+		return
+	}
+	if !s.finalize(sess) {
+		// Another finisher or the janitor got here first; the session is
+		// gone either way.
+		writeError(w, http.StatusNotFound, "session for vm %q already finalized", vm)
+		return
+	}
+	s.counters.finishes.Add(1)
+	rec, err := s.cfg.DB.Latest(vm)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "finalized %s but no record: %v", vm, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, finishResponse{
+		VM:             vm,
+		Class:          string(rec.Class),
+		Composition:    rec.Composition,
+		ExecutionSecs:  rec.ExecutionTime.Seconds(),
+		Samples:        rec.Samples,
+		HistoricalRuns: len(s.cfg.DB.Runs(vm)),
+	})
+}
+
+// handleClasses reports how many live VMs currently vote each class —
+// the cluster-wide composition a class-aware scheduler consults before
+// placing new work.
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		VMs     int            `json:"vms"`
+		Classes map[string]int `json:"classes"`
+	}{Classes: make(map[string]int)}
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		view := sess.online.Snapshot()
+		sess.mu.Unlock()
+		if view.Total == 0 {
+			continue
+		}
+		out.VMs++
+		out.Classes[string(view.Class)]++
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"sessions":  s.reg.len(),
+		"ingested":  s.counters.ingested.Load(),
+		"uptime_s":  s.now().Sub(s.start).Seconds(),
+		"metrics_n": s.cfg.Schema.Len(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds())
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ganglia"
+)
+
+// PollConfig describes the pull-mode ingestion source: a gmetad
+// aggregator whose XML cluster state is fetched on a ticker, so the
+// daemon can monitor a cluster whose nodes never push.
+type PollConfig struct {
+	// URL is the gmetad interactive-port endpoint.
+	URL string
+	// Interval between polls. Zero means the paper's 5-second gmond
+	// announce cadence.
+	Interval time.Duration
+	// Client performs the fetches. Nil means ganglia's default client
+	// with DefaultFetchTimeout.
+	Client *http.Client
+}
+
+// StartPoller launches the pull-mode ingestion loop.
+func (s *Server) StartPoller(pc PollConfig) error {
+	if pc.URL == "" {
+		return fmt.Errorf("server: poller needs a gmetad URL")
+	}
+	if pc.Interval <= 0 {
+		pc.Interval = 5 * time.Second
+	}
+	s.loops.Add(1)
+	go func() {
+		defer s.loops.Done()
+		t := time.NewTicker(pc.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-t.C:
+				if err := s.pollOnce(pc.Client, pc.URL); err != nil {
+					s.cfg.Logf("server: poll %s: %v", pc.URL, err)
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// pollOnce fetches the cluster state once and routes every node that
+// reports the full schema into its session. Nodes missing schema
+// metrics (e.g. a gmond that has not announced everything yet) are
+// skipped and counted, not fatal.
+func (s *Server) pollOnce(client *http.Client, url string) error {
+	s.counters.polls.Add(1)
+	state, err := ganglia.FetchClusterState(client, url)
+	if err != nil {
+		s.counters.pollErrors.Add(1)
+		return err
+	}
+	at := s.now().Sub(s.start)
+	names := s.cfg.Schema.Names()
+	for node, nodeMetrics := range state {
+		values := make([]float64, len(names))
+		complete := true
+		for j, name := range names {
+			v, ok := nodeMetrics[name]
+			if !ok {
+				complete = false
+				break
+			}
+			values[j] = v
+		}
+		if !complete {
+			s.counters.pollSkipped.Add(1)
+			continue
+		}
+		if _, err := s.observe(node, at, values); err != nil {
+			s.counters.pollErrors.Add(1)
+			s.cfg.Logf("server: poll classify %s: %v", node, err)
+		}
+	}
+	return nil
+}

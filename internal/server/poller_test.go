@@ -1,0 +1,99 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/ganglia"
+	"repro/internal/metrics"
+)
+
+// servedGmetad builds a gmetad aggregator whose cluster state holds the
+// full 33-metric schema for the given nodes, plus one straggler node
+// that has only announced a single metric.
+func servedGmetad(t *testing.T, nodes ...string) *httptest.Server {
+	t.Helper()
+	bus := ganglia.NewBus()
+	gm, err := ganglia.NewGmetad("test-cluster", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range nodes {
+		for _, name := range metrics.DefaultNames() {
+			bus.Announce(ganglia.Announcement{Node: node, Metric: name, Value: 0, At: time.Second})
+		}
+	}
+	bus.Announce(ganglia.Announcement{Node: "straggler", Metric: metrics.CPUUser, Value: 1, At: time.Second})
+	srv := httptest.NewServer(gm.Handler(func() time.Duration { return 2 * time.Second }))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPollOnceIngestsCompleteNodes(t *testing.T) {
+	s := newTestServer(t, Config{})
+	srv := servedGmetad(t, "node-a", "node-b")
+	if err := s.pollOnce(srv.Client(), srv.URL); err != nil {
+		t.Fatalf("pollOnce: %v", err)
+	}
+	if got := s.Sessions(); got != 2 {
+		t.Errorf("%d sessions after poll, want 2 (straggler skipped)", got)
+	}
+	if _, ok := s.reg.get("straggler"); ok {
+		t.Error("straggler with incomplete metrics got a session")
+	}
+	if got := s.counters.pollSkipped.Load(); got != 1 {
+		t.Errorf("pollSkipped = %d, want 1", got)
+	}
+	if got := s.counters.ingested.Load(); got != 2 {
+		t.Errorf("ingested = %d, want 2", got)
+	}
+	// A second poll observes into the same sessions.
+	if err := s.pollOnce(srv.Client(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sessions(); got != 2 {
+		t.Errorf("%d sessions after second poll, want 2", got)
+	}
+	sess, _ := s.reg.get("node-a")
+	sess.mu.Lock()
+	seen := sess.online.Seen()
+	sess.mu.Unlock()
+	if seen != 2 {
+		t.Errorf("node-a saw %d snapshots, want 2", seen)
+	}
+}
+
+func TestPollOnceCountsErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if err := s.pollOnce(nil, "http://127.0.0.1:1/nowhere"); err == nil {
+		t.Error("unreachable gmetad: want error")
+	}
+	if got := s.counters.pollErrors.Load(); got != 1 {
+		t.Errorf("pollErrors = %d, want 1", got)
+	}
+}
+
+func TestStartPollerRunsAndStops(t *testing.T) {
+	s := newTestServer(t, Config{})
+	srv := servedGmetad(t, "looped-node")
+	if err := s.StartPoller(PollConfig{URL: srv.URL, Interval: 2 * time.Millisecond, Client: srv.Client()}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.counters.polls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.counters.polls.Load() == 0 {
+		t.Error("poller never polled")
+	}
+	// Cleanup's Shutdown must stop the loop without deadlock; nothing
+	// further to assert here.
+}
+
+func TestStartPollerRequiresURL(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if err := s.StartPoller(PollConfig{}); err == nil {
+		t.Error("empty URL: want error")
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func newSession(vm string) *session { return &session{vm: vm} }
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := newRegistry(4)
+	s1, created, err := r.getOrCreate("vm-1", func() (*session, error) { return newSession("vm-1"), nil })
+	if err != nil || !created {
+		t.Fatalf("first getOrCreate: created=%v err=%v", created, err)
+	}
+	s2, created, err := r.getOrCreate("vm-1", func() (*session, error) {
+		t.Error("build called for existing session")
+		return nil, nil
+	})
+	if err != nil || created {
+		t.Fatalf("second getOrCreate: created=%v err=%v", created, err)
+	}
+	if s1 != s2 {
+		t.Error("getOrCreate returned a different session")
+	}
+	if _, _, err := r.getOrCreate("vm-bad", func() (*session, error) { return nil, fmt.Errorf("boom") }); err == nil {
+		t.Error("failing build: want error")
+	}
+	if _, ok := r.get("vm-bad"); ok {
+		t.Error("failed build left a session behind")
+	}
+}
+
+func TestRegistryRemoveOnlyMatchingSession(t *testing.T) {
+	r := newRegistry(4)
+	old := newSession("vm")
+	r.getOrCreate("vm", func() (*session, error) { return old, nil })
+	if !r.remove("vm", old) {
+		t.Fatal("remove of live session failed")
+	}
+	if r.remove("vm", old) {
+		t.Error("double remove succeeded")
+	}
+	// A new session under the same name must not be removable via the
+	// old pointer (the janitor-vs-fresh-ingest race).
+	fresh := newSession("vm")
+	r.getOrCreate("vm", func() (*session, error) { return fresh, nil })
+	if r.remove("vm", old) {
+		t.Error("remove with stale pointer tore down the fresh session")
+	}
+	if got, ok := r.get("vm"); !ok || got != fresh {
+		t.Error("fresh session lost")
+	}
+}
+
+func TestRegistryStripesAcrossShards(t *testing.T) {
+	r := newRegistry(8)
+	const n = 200
+	for i := 0; i < n; i++ {
+		vm := fmt.Sprintf("vm-%03d", i)
+		r.getOrCreate(vm, func() (*session, error) { return newSession(vm), nil })
+	}
+	if r.len() != n {
+		t.Fatalf("registry holds %d sessions, want %d", r.len(), n)
+	}
+	counts := r.counts()
+	if len(counts) != 8 {
+		t.Fatalf("%d shards, want 8", len(counts))
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("only %d shard(s) populated by %d sessions — striping broken", nonEmpty, n)
+	}
+	if got := len(r.names()); got != n {
+		t.Errorf("names() returned %d, want %d", got, n)
+	}
+	names := r.names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestRegistryDefaultShardCount(t *testing.T) {
+	if got := len(newRegistry(0).shards); got != defaultShards {
+		t.Errorf("default shard count = %d, want %d", got, defaultShards)
+	}
+}

@@ -1,0 +1,299 @@
+// Package server implements appclassd, the long-running classification
+// daemon: a concurrent HTTP service that classifies metric streams from
+// many VMs at once against one trained classification center. Each VM
+// gets a session in a mutex-striped registry wrapping a
+// classify.Online instance; snapshots arrive either over the push API
+// (POST /v1/ingest) or by polling a gmetad aggregator, query endpoints
+// expose per-VM state and cluster-wide class counts for class-aware
+// placement, and sessions are finalized into the application database
+// on explicit finish, idle-TTL expiry, or graceful shutdown — the
+// online half of the paper's Figure-1 loop running as a service.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/appdb"
+	"repro/internal/classify"
+	"repro/internal/metrics"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Classifier is the trained classification center (required).
+	Classifier *classify.Classifier
+	// Schema describes incoming snapshots. Nil means the canonical
+	// 33-metric schema.
+	Schema *metrics.Schema
+	// DB receives finalized session records. Nil means a fresh
+	// in-memory database.
+	DB *appdb.DB
+	// IdleTTL is how long a session may go without snapshots before the
+	// janitor finalizes and evicts it. Zero means 5 minutes.
+	IdleTTL time.Duration
+	// SweepInterval is the janitor's cadence. Zero means IdleTTL / 4.
+	SweepInterval time.Duration
+	// Shards sets the registry stripe count. Zero means 16.
+	Shards int
+	// Now supplies wall-clock time; tests inject fake clocks. Nil means
+	// time.Now.
+	Now func() time.Time
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the appclassd daemon.
+type Server struct {
+	cfg      Config
+	reg      *registry
+	counters *counters
+	mux      *http.ServeMux
+	start    time.Time
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	stopc   chan struct{}
+	stopped bool
+	loops   sync.WaitGroup
+}
+
+// New builds a daemon. No goroutines are started: callers serve the
+// Handler (or call Serve/ListenAndServe) and opt into StartJanitor and
+// StartPoller, and must Shutdown to flush open sessions.
+func New(cfg Config) (*Server, error) {
+	if cfg.Classifier == nil {
+		return nil, fmt.Errorf("server: nil classifier")
+	}
+	if cfg.Schema == nil {
+		cfg.Schema = metrics.DefaultSchema()
+	}
+	if cfg.DB == nil {
+		cfg.DB = appdb.New()
+	}
+	if cfg.IdleTTL <= 0 {
+		cfg.IdleTTL = 5 * time.Minute
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.IdleTTL / 4
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	// Fail fast on a classifier/schema mismatch instead of on the first
+	// ingest request.
+	if _, err := classify.NewOnline(cfg.Classifier, cfg.Schema); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      newRegistry(cfg.Shards),
+		counters: newCounters(),
+		stopc:    make(chan struct{}),
+	}
+	s.start = cfg.Now()
+	s.mux = s.routes()
+	return s, nil
+}
+
+func (s *Server) now() time.Time { return s.cfg.Now() }
+
+// DB returns the application database receiving finalized sessions.
+func (s *Server) DB() *appdb.DB { return s.cfg.DB }
+
+// Sessions returns the number of live sessions.
+func (s *Server) Sessions() int { return s.reg.len() }
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns nil after
+// a graceful shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already shut down")
+	}
+	srv := &http.Server{Handler: s.mux}
+	s.httpSrv = srv
+	s.mu.Unlock()
+	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// StartJanitor launches the idle-TTL eviction loop.
+func (s *Server) StartJanitor() {
+	s.loops.Add(1)
+	go func() {
+		defer s.loops.Done()
+		t := time.NewTicker(s.cfg.SweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-t.C:
+				if n := s.EvictIdle(); n > 0 {
+					s.cfg.Logf("server: evicted %d idle session(s)", n)
+				}
+			}
+		}
+	}()
+}
+
+// EvictIdle runs one janitor sweep: every session idle longer than
+// IdleTTL is finalized into the application database and removed. It
+// returns the number of sessions evicted.
+func (s *Server) EvictIdle() int {
+	deadline := s.now().Add(-s.cfg.IdleTTL)
+	evicted := 0
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		idle := sess.lastSeen.Before(deadline) && !sess.finalized
+		sess.mu.Unlock()
+		if !idle {
+			continue
+		}
+		if s.finalize(sess) {
+			evicted++
+			s.counters.evictions.Add(1)
+		}
+	}
+	return evicted
+}
+
+// finalize removes sess from the registry and writes its record to the
+// application database. It returns false if another finalizer won the
+// race.
+func (s *Server) finalize(sess *session) bool {
+	if !s.reg.remove(sess.vm, sess) {
+		return false
+	}
+	sess.mu.Lock()
+	if sess.finalized {
+		sess.mu.Unlock()
+		return false
+	}
+	sess.finalized = true
+	view := sess.online.Snapshot()
+	sess.mu.Unlock()
+
+	if view.Total == 0 {
+		// A session that never classified anything (e.g. its first
+		// Observe failed) has no record worth keeping.
+		return true
+	}
+	exec := view.LastAt - view.FirstAt
+	if exec < 0 {
+		exec = 0
+	}
+	rec := appdb.Record{
+		App:           sess.vm,
+		Class:         view.Class,
+		Composition:   view.Composition,
+		ExecutionTime: exec,
+		Samples:       view.Total,
+	}
+	if err := s.cfg.DB.Put(rec); err != nil {
+		s.counters.finalizeErrors.Add(1)
+		s.cfg.Logf("server: finalize %s: %v", sess.vm, err)
+	}
+	return true
+}
+
+// FlushAll finalizes every open session, returning how many were
+// flushed.
+func (s *Server) FlushAll() int {
+	n := 0
+	for _, sess := range s.reg.all() {
+		if s.finalize(sess) {
+			n++
+			s.counters.flushed.Add(1)
+		}
+	}
+	return n
+}
+
+// Shutdown gracefully stops the daemon: background loops halt, the
+// HTTP server (if serving) drains in-flight requests within ctx, and
+// every open session is flushed into the application database.
+// Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	close(s.stopc)
+	srv := s.httpSrv
+	s.mu.Unlock()
+
+	s.loops.Wait()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	if n := s.FlushAll(); n > 0 {
+		s.cfg.Logf("server: flushed %d open session(s)", n)
+	}
+	return err
+}
+
+// observe routes one validated snapshot into its VM's session,
+// creating the session on first contact. It retries when it races a
+// concurrent eviction of the same VM.
+func (s *Server) observe(vm string, at time.Duration, values []float64) (string, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
+			online, err := classify.NewOnline(s.cfg.Classifier, s.cfg.Schema)
+			if err != nil {
+				return nil, err
+			}
+			return &session{vm: vm, online: online, lastSeen: s.now()}, nil
+		})
+		if err != nil {
+			return "", err
+		}
+		if created {
+			s.cfg.Logf("server: new session for %s", vm)
+		}
+		sess.mu.Lock()
+		if sess.finalized {
+			sess.mu.Unlock()
+			continue // lost a race with the janitor; re-resolve
+		}
+		class, err := sess.online.Observe(metrics.Snapshot{Time: at, Node: vm, Values: values})
+		if err == nil {
+			sess.lastSeen = s.now()
+		}
+		sess.mu.Unlock()
+		if err != nil {
+			s.counters.ingestErrors.Add(1)
+			return "", err
+		}
+		s.counters.ingested.Add(1)
+		s.counters.classified(class)
+		return string(class), nil
+	}
+	return "", fmt.Errorf("server: session for %q kept being evicted mid-ingest", vm)
+}
