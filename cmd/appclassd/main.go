@@ -7,10 +7,17 @@
 // finalized into an application-database file on explicit finish,
 // idle-TTL expiry, or shutdown.
 //
+// With -hosts the daemon also runs the class-aware placement service:
+// POST /v1/placements assigns applications to hosts using live
+// classifications, appdb history, and the complementary-class scoring
+// heuristic; /v1/hosts exposes the inventory and per-class load
+// vectors.
+//
 // Usage:
 //
 //	appclassd -addr :8080 -db appdb.json
 //	appclassd -model model.json -gmetad http://gmetad:8651/ -poll 5s
+//	appclassd -db appdb.json -hosts hostA:4,hostB:4 -rates 10,8,6,4,1
 package main
 
 import (
@@ -21,13 +28,17 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/appdb"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/server"
 )
 
@@ -42,6 +53,9 @@ type config struct {
 	sweep  time.Duration
 	shards int
 	seed   int64
+	hosts  string
+	rates  string
+	drift  float64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -56,13 +70,61 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.sweep, "sweep", 0, "eviction sweep interval (default ttl/4)")
 	fs.IntVar(&cfg.shards, "shards", 0, "session registry shard count (default 16)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "simulation seed when training (no -model)")
+	fs.StringVar(&cfg.hosts, "hosts", "", "placement host inventory as name:slots[,name:slots...] (enables /v1/placements)")
+	fs.StringVar(&cfg.rates, "rates", "", "cost-model rates as cpu,mem,io,net,idle (default 1,1,1,1,0)")
+	fs.Float64Var(&cfg.drift, "drift", 0, "migration-advisor drift threshold in [0,1] (default 0.25)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() > 0 {
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if cfg.hosts == "" && cfg.rates != "" {
+		return config{}, fmt.Errorf("-rates requires -hosts")
+	}
 	return cfg, nil
+}
+
+// parseHosts parses a "name:slots,name:slots" inventory spec.
+func parseHosts(spec string) ([]placement.HostSpec, error) {
+	var out []placement.HostSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, slotsStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("host %q: want name:slots", part)
+		}
+		slots, err := strconv.Atoi(strings.TrimSpace(slotsStr))
+		if err != nil {
+			return nil, fmt.Errorf("host %q: %w", part, err)
+		}
+		out = append(out, placement.HostSpec{Name: strings.TrimSpace(name), Slots: slots})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty host inventory %q", spec)
+	}
+	return out, nil
+}
+
+// parseRates parses "cpu,mem,io,net,idle" unit prices (the α..ε of the
+// paper's cost model).
+func parseRates(spec string) (costmodel.Rates, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 5 {
+		return costmodel.Rates{}, fmt.Errorf("rates must be 5 comma-separated numbers, got %q", spec)
+	}
+	vals := make([]float64, 5)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return costmodel.Rates{}, fmt.Errorf("rate %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return costmodel.Rates{CPU: vals[0], Mem: vals[1], IO: vals[2], Net: vals[3], Idle: vals[4]}, nil
 }
 
 // run starts the daemon and blocks until ctx is cancelled or serving
@@ -101,6 +163,30 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		}
 	}
 
+	var placer *placement.Service
+	if cfg.hosts != "" {
+		hosts, err := parseHosts(cfg.hosts)
+		if err != nil {
+			return err
+		}
+		var rates costmodel.Rates
+		if cfg.rates != "" {
+			if rates, err = parseRates(cfg.rates); err != nil {
+				return err
+			}
+		}
+		placer, err = placement.New(placement.Config{
+			Hosts:          hosts,
+			Rates:          rates,
+			History:        db,
+			DriftThreshold: cfg.drift,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("appclassd: placement service over %d host(s)", len(hosts))
+	}
+
 	srv, err := server.New(server.Config{
 		Classifier:    cl,
 		Schema:        metrics.DefaultSchema(),
@@ -108,6 +194,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		IdleTTL:       cfg.ttl,
 		SweepInterval: cfg.sweep,
 		Shards:        cfg.shards,
+		Placement:     placer,
 		Logf:          log.Printf,
 	})
 	if err != nil {

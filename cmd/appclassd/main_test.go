@@ -15,6 +15,7 @@ import (
 	"repro/internal/appdb"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -164,5 +165,124 @@ func TestRunFailsOnBusyPort(t *testing.T) {
 	}
 	if err := run(context.Background(), cfg, nil); err == nil {
 		t.Error("busy port: want error")
+	}
+}
+
+func TestParsePlacementFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-hosts", "a:2,b:4", "-rates", "10,8,6,4,1", "-drift", "0.4"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.hosts != "a:2,b:4" || cfg.rates != "10,8,6,4,1" || cfg.drift != 0.4 {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-rates", "1,1,1,1,0"}); err == nil {
+		t.Error("-rates without -hosts: want error")
+	}
+}
+
+func TestParseHosts(t *testing.T) {
+	hosts, err := parseHosts(" hostA:4 , hostB:2 ")
+	if err != nil {
+		t.Fatalf("parseHosts: %v", err)
+	}
+	want := []placement.HostSpec{{Name: "hostA", Slots: 4}, {Name: "hostB", Slots: 2}}
+	if len(hosts) != 2 || hosts[0] != want[0] || hosts[1] != want[1] {
+		t.Errorf("hosts = %+v, want %+v", hosts, want)
+	}
+	for _, bad := range []string{"", "noslots", "h:x", ","} {
+		if _, err := parseHosts(bad); err == nil {
+			t.Errorf("parseHosts(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	r, err := parseRates("10, 8, 6, 4, 1")
+	if err != nil {
+		t.Fatalf("parseRates: %v", err)
+	}
+	if r.CPU != 10 || r.Mem != 8 || r.IO != 6 || r.Net != 4 || r.Idle != 1 {
+		t.Errorf("rates = %+v", r)
+	}
+	for _, bad := range []string{"", "1,2,3", "1,2,3,4,x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q): want error", bad)
+		}
+	}
+}
+
+// TestRunWithPlacement boots the daemon with a host inventory and
+// exercises the placement API end to end over TCP.
+func TestRunWithPlacement(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-model", savedModel(t),
+		"-hosts", "rack1:2,rack2:2", "-rates", "10,8,6,4,1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/placements", "application/json",
+		bytes.NewReader([]byte(`{"app":"newcomer"}`)))
+	if err != nil {
+		t.Fatalf("placement: %v", err)
+	}
+	var d struct {
+		Host   string `json:"host"`
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("placement = %d", resp.StatusCode)
+	}
+	if d.Host != "rack1" && d.Host != "rack2" {
+		t.Errorf("placed on %q, want a configured host", d.Host)
+	}
+	if d.Source != "prior" {
+		t.Errorf("source = %q, want prior for an unseen app", d.Source)
+	}
+
+	resp, err = http.Get(base + "/v1/hosts")
+	if err != nil {
+		t.Fatalf("hosts: %v", err)
+	}
+	var hosts struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hosts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hosts.Count != 2 {
+		t.Errorf("hosts count = %d, want 2", hosts.Count)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
 	}
 }

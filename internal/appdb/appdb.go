@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -50,7 +51,7 @@ func (r Record) Validate() error {
 		if !appclass.Valid(c) {
 			return fmt.Errorf("appdb: record for %q has invalid composition class %q", r.App, c)
 		}
-		if f < 0 || f > 1 {
+		if !(f >= 0 && f <= 1) { // also rejects NaN, which JSON cannot encode
 			return fmt.Errorf("appdb: record for %q has composition fraction %v outside [0,1]", r.App, f)
 		}
 		total += f
@@ -219,17 +220,38 @@ func Load(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// SaveFile persists the database to a file path.
+// SaveFile persists the database to a file path atomically: the JSON is
+// written to a temporary file in the same directory, fsynced, and
+// renamed over the target, so a crash or failed write mid-save never
+// corrupts an existing database (appclassd flushes on SIGTERM through
+// this path).
 func (db *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("appdb: create %s: %w", path, err)
+		return fmt.Errorf("appdb: create temp in %s: %w", dir, err)
 	}
-	defer f.Close()
-	if err := db.Save(f); err != nil {
+	tmp := f.Name()
+	// On any failure, remove the temp file and leave the target alone.
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := db.Save(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("appdb: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("appdb: close %s: %w", tmp, err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("appdb: rename %s -> %s: %w", tmp, path, err)
+	}
+	return nil
 }
 
 // LoadFile reads a database from a file path.

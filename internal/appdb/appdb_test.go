@@ -2,6 +2,8 @@ package appdb
 
 import (
 	"bytes"
+	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -182,5 +184,82 @@ func TestRunsReturnsCopy(t *testing.T) {
 	runs[0].App = "mutated"
 	if got, _ := db.Latest("A"); got.App != "A" {
 		t.Error("Runs exposes internal storage")
+	}
+}
+
+// TestSaveFileAtomic verifies the crash-safety contract of SaveFile: a
+// save that fails mid-write must leave an existing database file
+// untouched, and a successful save must leave no temp files behind.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+
+	good := New()
+	if err := good.Put(rec("keeper", appclass.CPU, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A composition with NaN passes through no validation here (the map
+	// is poked in directly) and fails JSON encoding partway through the
+	// write — exactly the failed-write scenario.
+	bad := New()
+	bad.records["broken"] = []Record{{
+		App:         "broken",
+		Class:       appclass.IO,
+		Composition: map[appclass.Class]float64{appclass.IO: math.NaN()},
+	}}
+	if err := bad.SaveFile(path); err == nil {
+		t.Fatal("SaveFile with unencodable record: want error")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("old database file gone after failed save: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed save corrupted the existing database file")
+	}
+
+	// No temp droppings in the directory, before or after a second
+	// successful save.
+	if err := good.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "db.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory contains %v, want only db.json", names)
+	}
+}
+
+// TestSaveFileFailsWithoutDirectory pins the error path when the temp
+// file cannot be created at all.
+func TestSaveFileFailsWithoutDirectory(t *testing.T) {
+	db := New()
+	err := db.SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "db.json"))
+	if err == nil {
+		t.Fatal("SaveFile into missing directory: want error")
+	}
+}
+
+// TestValidateRejectsNaNComposition pins the guard that keeps
+// unencodable records out of the database in the first place.
+func TestValidateRejectsNaNComposition(t *testing.T) {
+	r := rec("nan", appclass.CPU, time.Minute)
+	r.Composition = map[appclass.Class]float64{appclass.CPU: math.NaN()}
+	if err := r.Validate(); err == nil {
+		t.Error("NaN composition fraction: want error")
 	}
 }

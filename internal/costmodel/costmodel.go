@@ -41,6 +41,9 @@ func (r Rates) Validate() error {
 	return nil
 }
 
+// Rate returns the price for a class (zero for unknown classes).
+func (r Rates) Rate(c appclass.Class) float64 { return r.rate(c) }
+
 // rate returns the price for a class.
 func (r Rates) rate(c appclass.Class) float64 {
 	switch c {

@@ -1,0 +1,164 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/appclass"
+)
+
+// The migration advisor closes the loop the paper's introduction
+// motivates ("with process migration techniques it is possible to
+// migrate an application during its execution for load balancing"): a
+// placement decision assumes a class composition, but multi-stage
+// applications change behaviour mid-run. The advisor compares each
+// host's assumed class mix against the mix realized by live
+// classification and flags hosts that have drifted past the threshold —
+// candidates for rebalancing.
+
+// AppDrift is one resident application's assumed-vs-realized divergence.
+type AppDrift struct {
+	ID       string                     `json:"id"`
+	App      string                     `json:"app"`
+	Assumed  appclass.Class             `json:"assumed"`
+	Realized appclass.Class             `json:"realized"`
+	Drift    float64                    `json:"drift"`
+	Live     map[appclass.Class]float64 `json:"live,omitempty"`
+}
+
+// Advice flags one drifted host.
+type Advice struct {
+	// Host is the flagged host.
+	Host string `json:"host"`
+	// Drift is the total-variation distance between the assumed and
+	// realized class mixes, in [0,1].
+	Drift float64 `json:"drift"`
+	// Assumed is the normalized class mix the placements assumed.
+	Assumed map[appclass.Class]float64 `json:"assumed"`
+	// Realized is the normalized class mix live classification reports
+	// (residents without live state contribute their assumed mix).
+	Realized map[appclass.Class]float64 `json:"realized"`
+	// Apps details each resident's divergence, worst first.
+	Apps []AppDrift `json:"apps"`
+}
+
+// Advise compares every host's assumed class mix with its live realized
+// mix and returns the hosts whose total-variation drift exceeds the
+// configured threshold, worst first. Hosts with no residents, and
+// residents with no live state, never contribute drift.
+func (s *Service) Advise() []Advice {
+	s.mu.Lock()
+	live := s.live
+	type resident struct {
+		id, app string
+		assumed map[appclass.Class]float64
+	}
+	type hostState struct {
+		name      string
+		residents []resident
+	}
+	hosts := make([]hostState, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		hs := hostState{name: h.spec.Name}
+		for _, p := range h.placed {
+			hs.residents = append(hs.residents, resident{id: p.id, app: p.app, assumed: p.assumed})
+		}
+		sort.Slice(hs.residents, func(i, j int) bool { return hs.residents[i].id < hs.residents[j].id })
+		hosts = append(hosts, hs)
+	}
+	threshold := s.cfg.DriftThreshold
+	s.mu.Unlock()
+
+	// Live lookups run outside the service lock: the daemon's LiveFunc
+	// takes per-session locks of its own.
+	var out []Advice
+	for _, hs := range hosts {
+		if len(hs.residents) == 0 {
+			continue
+		}
+		assumed := make(map[appclass.Class]float64)
+		realized := make(map[appclass.Class]float64)
+		var apps []AppDrift
+		for _, r := range hs.residents {
+			addComp(assumed, r.assumed)
+			cur := r.assumed
+			var liveComp map[appclass.Class]float64
+			if live != nil {
+				if c, ok := live(r.app); ok && len(c) > 0 {
+					cur, liveComp = c, c
+				}
+			}
+			addComp(realized, cur)
+			apps = append(apps, AppDrift{
+				ID:       r.id,
+				App:      r.app,
+				Assumed:  Dominant(r.assumed),
+				Realized: Dominant(cur),
+				Drift:    tvDistance(normalize(r.assumed), normalize(cur)),
+				Live:     cloneComp(liveComp),
+			})
+		}
+		a := Advice{
+			Host:     hs.name,
+			Assumed:  normalize(assumed),
+			Realized: normalize(realized),
+			Apps:     apps,
+		}
+		a.Drift = tvDistance(a.Assumed, a.Realized)
+		if a.Drift <= threshold {
+			continue
+		}
+		sort.Slice(a.Apps, func(i, j int) bool {
+			if a.Apps[i].Drift != a.Apps[j].Drift {
+				return a.Apps[i].Drift > a.Apps[j].Drift
+			}
+			return a.Apps[i].ID < a.Apps[j].ID
+		})
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Drift != out[j].Drift {
+			return out[i].Drift > out[j].Drift
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+func addComp(dst, src map[appclass.Class]float64) {
+	for c, f := range src {
+		dst[c] += f
+	}
+}
+
+// normalize scales a non-negative class vector to sum to 1 (empty and
+// all-zero vectors come back empty).
+func normalize(m map[appclass.Class]float64) map[appclass.Class]float64 {
+	var total float64
+	for _, f := range m {
+		total += f
+	}
+	out := make(map[appclass.Class]float64, len(m))
+	if total == 0 {
+		return out
+	}
+	for c, f := range m {
+		if f != 0 {
+			out[c] = f / total
+		}
+	}
+	return out
+}
+
+// tvDistance is the total-variation distance between two normalized
+// class distributions: half the L1 distance, in [0,1].
+func tvDistance(a, b map[appclass.Class]float64) float64 {
+	var d float64
+	for _, c := range appclass.All() {
+		diff := a[c] - b[c]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d / 2
+}

@@ -1,0 +1,148 @@
+// Package placement is the live class-aware placement service: it keeps
+// a host inventory with a per-class load vector per host, predicts an
+// incoming application's class composition from live classification
+// state, historical appdb records, or a configured prior, and scores
+// candidate hosts with the paper's complementary-class heuristic
+// (Section 5: co-locate CPU-bound work with I/O-, network- or
+// paging-bound work; avoid stacking applications of the same class)
+// priced by the Section 4.4 cost-model rates. The same affinity logic
+// drives both this service and the offline class-aware scheduler in
+// internal/sched, so the Figure 4 simulation and the live daemon share
+// one implementation.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/appclass"
+	"repro/internal/costmodel"
+)
+
+// complementDiscount scales the bonus for co-locating complementary
+// classes relative to the full same-class contention penalty.
+const complementDiscount = 0.25
+
+// diskShareFactor scales the partial penalty for pairing the two
+// disk-queueing classes (I/O and paging).
+const diskShareFactor = 0.5
+
+// Affinity returns the marginal interference weight of co-locating one
+// unit of class a with one unit of class b, priced by the provider's
+// α..ε rates:
+//
+//   - same non-idle class: the pair contends fully on one resource, so
+//     the weight is that resource's rate (α for CPU·CPU, γ for I/O·I/O, …);
+//   - CPU with I/O, network, or paging: complementary — CPU-bound work
+//     overlaps with device waits, so the pair earns a discount of
+//     -0.25·(α+other)/2;
+//   - I/O with paging: both queue on the disk, a partial penalty of
+//     0.5·(β+γ)/2;
+//   - anything with idle: zero (idle work contends with nothing);
+//   - I/O with network: zero (independent devices).
+//
+// Positive weights repel, negative weights attract; zero is neutral.
+func Affinity(a, b appclass.Class, rates costmodel.Rates) float64 {
+	if a == appclass.Idle || b == appclass.Idle {
+		return 0
+	}
+	if a == b {
+		return rates.Rate(a)
+	}
+	if (a == appclass.IO && b == appclass.Mem) || (a == appclass.Mem && b == appclass.IO) {
+		return diskShareFactor * (rates.Rate(appclass.IO) + rates.Rate(appclass.Mem)) / 2
+	}
+	if a == appclass.CPU || b == appclass.CPU {
+		other := a
+		if other == appclass.CPU {
+			other = b
+		}
+		return -complementDiscount * (rates.Rate(appclass.CPU) + rates.Rate(other)) / 2
+	}
+	return 0
+}
+
+// CompositionScore scores placing an application with class composition
+// comp onto a host whose resident load vector is load: the sum over all
+// class pairs of load·comp·Affinity. Lower is better; a negative score
+// means the host's residents are complementary to the newcomer.
+func CompositionScore(load, comp map[appclass.Class]float64, rates costmodel.Rates) float64 {
+	var s float64
+	for a, la := range load {
+		if la == 0 {
+			continue
+		}
+		for b, cb := range comp {
+			if cb == 0 {
+				continue
+			}
+			s += la * cb * Affinity(a, b, rates)
+		}
+	}
+	return s
+}
+
+// Dominant returns the largest-fraction class of a composition, breaking
+// ties in the paper's canonical class order. It returns "" for an empty
+// composition.
+func Dominant(comp map[appclass.Class]float64) appclass.Class {
+	var best appclass.Class
+	bestF := 0.0
+	for _, c := range appclass.All() {
+		if f := comp[c]; f > bestF {
+			best, bestF = c, f
+		}
+	}
+	return best
+}
+
+// DealByClass spreads jobs of the same class across bins so that each
+// bin mixes classes and contends on no single resource: jobs are
+// grouped by label, classes are dealt largest first (ties broken by
+// rank), round-robin over the bins, skipping full bins. This is the
+// class-aware scheduler of the paper's Section 5.2, generic over the
+// label type so both the Figure 4 simulation (sched.Kind labels) and
+// the placement service (appclass.Class labels) run the identical
+// algorithm.
+func DealByClass[L comparable](jobs []L, bins, slots int, rank func(L) int) ([][]L, error) {
+	if bins <= 0 || slots <= 0 {
+		return nil, fmt.Errorf("placement: need positive bins and slots, got %d x %d", bins, slots)
+	}
+	if len(jobs) != bins*slots {
+		return nil, fmt.Errorf("placement: %d jobs do not fill %d bins x %d slots", len(jobs), bins, slots)
+	}
+	byLabel := map[L][]L{}
+	for _, j := range jobs {
+		byLabel[j] = append(byLabel[j], j)
+	}
+	labels := make([]L, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if len(byLabel[labels[i]]) != len(byLabel[labels[j]]) {
+			return len(byLabel[labels[i]]) > len(byLabel[labels[j]])
+		}
+		return rank(labels[i]) < rank(labels[j])
+	})
+	out := make([][]L, bins)
+	next := 0
+	for _, l := range labels {
+		for range byLabel[l] {
+			placed := false
+			for tries := 0; tries < bins; tries++ {
+				bin := (next + tries) % bins
+				if len(out[bin]) < slots {
+					out[bin] = append(out[bin], l)
+					next = (bin + 1) % bins
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("placement: internal error, no free slot")
+			}
+		}
+	}
+	return out, nil
+}

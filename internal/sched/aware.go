@@ -2,57 +2,19 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+
+	"repro/internal/placement"
 )
 
 // ClassAware is the scheduler the paper proposes: given the class of
 // every job (learned by the application classifier over historical
 // runs), it spreads jobs of the same class across VMs so that each VM
-// mixes classes and contends on no single resource. Jobs are grouped by
-// kind and dealt round-robin to the VMs.
+// mixes classes and contends on no single resource. The dealing
+// algorithm lives in internal/placement (placement.DealByClass) so the
+// Figure 4 simulation and the live placement service share one
+// implementation.
 func ClassAware(jobs []Kind, vms, slotsPerVM int) ([][]Kind, error) {
-	if vms <= 0 || slotsPerVM <= 0 {
-		return nil, fmt.Errorf("sched: need positive vms and slots, got %d x %d", vms, slotsPerVM)
-	}
-	if len(jobs) != vms*slotsPerVM {
-		return nil, fmt.Errorf("sched: %d jobs do not fill %d VMs x %d slots", len(jobs), vms, slotsPerVM)
-	}
-	// Deal per class, largest class first, round-robin over VMs,
-	// skipping full VMs.
-	byKind := map[Kind][]Kind{}
-	for _, j := range jobs {
-		byKind[j] = append(byKind[j], j)
-	}
-	kinds := make([]Kind, 0, len(byKind))
-	for k := range byKind {
-		kinds = append(kinds, k)
-	}
-	sort.Slice(kinds, func(i, j int) bool {
-		if len(byKind[kinds[i]]) != len(byKind[kinds[j]]) {
-			return len(byKind[kinds[i]]) > len(byKind[kinds[j]])
-		}
-		return kindRank(kinds[i]) < kindRank(kinds[j])
-	})
-	placement := make([][]Kind, vms)
-	next := 0
-	for _, k := range kinds {
-		for range byKind[k] {
-			placed := false
-			for tries := 0; tries < vms; tries++ {
-				vm := (next + tries) % vms
-				if len(placement[vm]) < slotsPerVM {
-					placement[vm] = append(placement[vm], k)
-					next = (vm + 1) % vms
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				return nil, fmt.Errorf("sched: internal error, no free slot")
-			}
-		}
-	}
-	return placement, nil
+	return placement.DealByClass(jobs, vms, slotsPerVM, kindRank)
 }
 
 // ClassAwareSchedule runs the class-aware scheduler on the Figure 4

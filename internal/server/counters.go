@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/appclass"
+	"repro/internal/placement"
 )
 
 // counters holds the daemon's observability state: monotonically
@@ -21,6 +22,9 @@ type counters struct {
 	polls           atomic.Int64 // gmetad poll attempts
 	pollErrors      atomic.Int64 // failed gmetad polls
 	pollSkipped     atomic.Int64 // polled nodes missing schema metrics
+	placements      atomic.Int64 // placement decisions served
+	placementErrors atomic.Int64 // placement requests refused (full inventory)
+	releases        atomic.Int64 // placements released
 	classifications map[appclass.Class]*atomic.Int64
 }
 
@@ -39,8 +43,9 @@ func (c *counters) classified(cl appclass.Class) {
 }
 
 // writeMetrics renders every counter plus the caller-supplied gauges in
-// Prometheus text format.
-func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64) {
+// Prometheus text format. pstats is nil when no placement service is
+// configured.
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -59,6 +64,9 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_polls_total", "gmetad poll attempts.", c.polls.Load())
 	counter("appclassd_poll_errors_total", "Failed gmetad polls.", c.pollErrors.Load())
 	counter("appclassd_poll_skipped_total", "Polled nodes skipped for missing schema metrics.", c.pollSkipped.Load())
+	counter("appclassd_placements_total", "Placement decisions served.", c.placements.Load())
+	counter("appclassd_placement_errors_total", "Placement requests refused.", c.placementErrors.Load())
+	counter("appclassd_releases_total", "Placements released.", c.releases.Load())
 
 	total := 0
 	for _, n := range sessions {
@@ -68,6 +76,11 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	fmt.Fprintf(w, "# HELP appclassd_shard_sessions Live sessions per registry shard.\n# TYPE appclassd_shard_sessions gauge\n")
 	for i, n := range sessions {
 		fmt.Fprintf(w, "appclassd_shard_sessions{shard=\"%d\"} %d\n", i, n)
+	}
+	if pstats != nil {
+		fmt.Fprintf(w, "# HELP appclassd_hosts Hosts in the placement inventory.\n# TYPE appclassd_hosts gauge\nappclassd_hosts %d\n", pstats.Hosts)
+		fmt.Fprintf(w, "# HELP appclassd_slots Total application slots in the placement inventory.\n# TYPE appclassd_slots gauge\nappclassd_slots %d\n", pstats.Slots)
+		fmt.Fprintf(w, "# HELP appclassd_placements_active Active placements.\n# TYPE appclassd_placements_active gauge\nappclassd_placements_active %d\n", pstats.Placements)
 	}
 	fmt.Fprintf(w, "# HELP appclassd_uptime_seconds Seconds since the daemon started.\n# TYPE appclassd_uptime_seconds gauge\nappclassd_uptime_seconds %g\n", uptimeSeconds)
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/classify"
+	"repro/internal/placement"
 )
 
 // routes builds the daemon's API surface. Method-qualified patterns
@@ -20,6 +21,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/vms/{name}", s.handleVM)
 	mux.HandleFunc("POST /v1/vms/{name}/finish", s.handleFinish)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("POST /v1/placements", s.handlePlace)
+	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
+	mux.HandleFunc("GET /v1/placements/advice", s.handleAdvice)
+	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleRelease)
+	mux.HandleFunc("GET /v1/hosts", s.handleHosts)
+	mux.HandleFunc("GET /v1/hosts/{name}", s.handleHost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
@@ -311,5 +318,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds())
+	var pstats *placement.Stats
+	if s.cfg.Placement != nil {
+		st := s.cfg.Placement.Stat()
+		pstats = &st
+	}
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats)
 }

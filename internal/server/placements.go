@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/placement"
+)
+
+// The placement API turns live classifications into scheduling
+// decisions: POST /v1/placements asks for a host for an application,
+// GET /v1/hosts exposes the inventory with per-class load vectors, and
+// GET /v1/placements/advice runs the migration advisor. Every handler
+// answers 503 until a placement service is configured (-hosts on the
+// daemon).
+
+// placementSvc returns the configured placement service, or writes a
+// 503 and returns nil.
+func (s *Server) placementSvc(w http.ResponseWriter) *placement.Service {
+	if s.cfg.Placement == nil {
+		writeError(w, http.StatusServiceUnavailable, "placement service not configured (start the daemon with -hosts)")
+		return nil
+	}
+	return s.cfg.Placement
+}
+
+// placeRequest is POST /v1/placements. Composition, when set, overrides
+// the live/history/prior prediction chain.
+type placeRequest struct {
+	App         string             `json:"app"`
+	Composition map[string]float64 `json:"composition,omitempty"`
+}
+
+// decisionJSON is the wire form of a placement decision.
+type decisionJSON struct {
+	ID           string                `json:"id"`
+	App          string                `json:"app"`
+	Host         string                `json:"host"`
+	Class        string                `json:"class"`
+	Composition  map[string]float64    `json:"composition"`
+	Source       string                `json:"source"`
+	Score        float64               `json:"score"`
+	Alternatives []placement.HostScore `json:"alternatives"`
+	At           string                `json:"at"`
+}
+
+func decisionToJSON(d placement.Decision) decisionJSON {
+	return decisionJSON{
+		ID:           d.ID,
+		App:          d.App,
+		Host:         d.Host,
+		Class:        string(d.Class),
+		Composition:  compToJSON(d.Composition),
+		Source:       d.Source,
+		Score:        d.Score,
+		Alternatives: d.Alternatives,
+		At:           d.At.UTC().Format(time.RFC3339),
+	}
+}
+
+func compToJSON(comp map[appclass.Class]float64) map[string]float64 {
+	out := make(map[string]float64, len(comp))
+	for c, f := range comp {
+		out[string(c)] = f
+	}
+	return out
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	svc := s.placementSvc(w)
+	if svc == nil {
+		return
+	}
+	var req placeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed placement body: %v", err)
+		return
+	}
+	if req.App == "" {
+		writeError(w, http.StatusBadRequest, "placement request has no app")
+		return
+	}
+	var d placement.Decision
+	var err error
+	if len(req.Composition) > 0 {
+		comp := make(map[appclass.Class]float64, len(req.Composition))
+		for name, f := range req.Composition {
+			c, perr := appclass.Parse(name)
+			if perr != nil {
+				writeError(w, http.StatusBadRequest, "placement composition: %v", perr)
+				return
+			}
+			comp[c] = f
+		}
+		d, err = svc.PlaceComposition(req.App, comp, "request")
+	} else {
+		d, err = svc.Place(req.App)
+	}
+	if err != nil {
+		s.counters.placementErrors.Add(1)
+		code := http.StatusBadRequest
+		if errors.Is(err, placement.ErrNoCapacity) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.counters.placements.Add(1)
+	writeJSON(w, http.StatusOK, decisionToJSON(d))
+}
+
+func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
+	svc := s.placementSvc(w)
+	if svc == nil {
+		return
+	}
+	views := svc.Placements()
+	out := struct {
+		Count      int                       `json:"count"`
+		Placements []placement.PlacementView `json:"placements"`
+	}{Count: len(views), Placements: views}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	svc := s.placementSvc(w)
+	if svc == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if !svc.Release(id) {
+		writeError(w, http.StatusNotFound, "no active placement %q", id)
+		return
+	}
+	s.counters.releases.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"released": id})
+}
+
+func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
+	svc := s.placementSvc(w)
+	if svc == nil {
+		return
+	}
+	hosts := svc.Hosts()
+	out := struct {
+		Count int                  `json:"count"`
+		Hosts []placement.HostView `json:"hosts"`
+	}{Count: len(hosts), Hosts: hosts}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHost(w http.ResponseWriter, r *http.Request) {
+	svc := s.placementSvc(w)
+	if svc == nil {
+		return
+	}
+	name := r.PathValue("name")
+	v, ok := svc.Host(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no host %q in the inventory", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	svc := s.placementSvc(w)
+	if svc == nil {
+		return
+	}
+	advice := svc.Advise()
+	out := struct {
+		Count  int                `json:"count"`
+		Advice []placement.Advice `json:"advice"`
+	}{Count: len(advice), Advice: advice}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -18,9 +18,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/appclass"
 	"repro/internal/appdb"
 	"repro/internal/classify"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 )
 
 // Config parameterizes the daemon.
@@ -40,6 +42,11 @@ type Config struct {
 	SweepInterval time.Duration
 	// Shards sets the registry stripe count. Zero means 16.
 	Shards int
+	// Placement is the class-aware placement service exposed under
+	// /v1/placements and /v1/hosts. Nil disables the placement API (the
+	// endpoints answer 503). The server wires the service's live
+	// composition lookup to its session registry.
+	Placement *placement.Service
 	// Now supplies wall-clock time; tests inject fake clocks. Nil means
 	// time.Now.
 	Now func() time.Time
@@ -99,8 +106,27 @@ func New(cfg Config) (*Server, error) {
 		stopc:    make(chan struct{}),
 	}
 	s.start = cfg.Now()
+	if cfg.Placement != nil {
+		cfg.Placement.SetLive(s.liveComposition)
+	}
 	s.mux = s.routes()
 	return s, nil
+}
+
+// liveComposition resolves a VM's live class composition for the
+// placement service's prediction chain.
+func (s *Server) liveComposition(app string) (map[appclass.Class]float64, bool) {
+	sess, ok := s.reg.get(app)
+	if !ok {
+		return nil, false
+	}
+	sess.mu.Lock()
+	view := sess.online.Snapshot()
+	sess.mu.Unlock()
+	if view.Total == 0 {
+		return nil, false
+	}
+	return view.Composition, true
 }
 
 func (s *Server) now() time.Time { return s.cfg.Now() }
