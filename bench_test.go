@@ -17,7 +17,12 @@
 package repro
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -29,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pca"
 	"repro/internal/sched"
+	"repro/internal/server"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -213,9 +219,12 @@ func BenchmarkTable4ConcurrentVsSequential(b *testing.B) {
 }
 
 // BenchmarkClassificationCostPerSample measures the Section 5.3 unit
-// classification cost: normalize + PCA-project + 3-NN classify one
-// snapshot (the paper's per-sample figure was ~15 ms on a 750 MHz
-// Pentium III).
+// classification cost: one snapshot through the fused affine kernel
+// (gathered mat-vec) and the integer-label 3-NN vote, with caller-owned
+// scratch — the daemon's steady-state hot path, which must stay at
+// 0 allocs/op (the paper's per-sample figure was ~15 ms on a 750 MHz
+// Pentium III; see docs/performance.md for the staged-pipeline
+// baseline this replaced).
 func BenchmarkClassificationCostPerSample(b *testing.B) {
 	training, tests := loadRuns(b)
 	cl, err := classify.Train(training, classify.Config{})
@@ -223,7 +232,33 @@ func BenchmarkClassificationCostPerSample(b *testing.B) {
 		b.Fatal(err)
 	}
 	trace := tests[0].trace
+	subset, err := cl.GatherIndices(trace.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s classify.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := trace.At(i % trace.Len())
+		if _, err := cl.ClassifySnapshotScratch(subset, snap.Values, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassificationCostPerSampleConvenience measures the
+// schema-based convenience path (per-call scratch), the cost a caller
+// pays without holding a classify.Scratch.
+func BenchmarkClassificationCostPerSampleConvenience(b *testing.B) {
+	training, tests := loadRuns(b)
+	cl, err := classify.Train(training, classify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := tests[0].trace
 	schema := trace.Schema()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snap := trace.At(i % trace.Len())
@@ -231,6 +266,72 @@ func BenchmarkClassificationCostPerSample(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIngestBatch measures daemon-level ingest throughput: a batch
+// of snapshots from many VMs posted to /v1/ingest, decoded, grouped by
+// VM, and classified under one session-lock acquisition per VM. The
+// snaps/s metric is whole-pipeline throughput including JSON
+// encode/decode.
+func BenchmarkIngestBatch(b *testing.B) {
+	training, tests := loadRuns(b)
+	cl, err := classify.Train(training, classify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := tests[0].trace.Schema()
+	srv, err := server.New(server.Config{Classifier: cl, Schema: schema})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+
+	// Prebuild request bodies: 16 VMs interleaved, 8 snapshots each per
+	// batch, values drawn from the profiled test traces.
+	const vms, perVM = 16, 8
+	type snapJSON struct {
+		VM          string    `json:"vm"`
+		TimeSeconds float64   `json:"time_s"`
+		Values      []float64 `json:"values"`
+	}
+	var bodies [][]byte
+	for batch := 0; batch < 4; batch++ {
+		var snaps []snapJSON
+		for j := 0; j < perVM; j++ {
+			for v := 0; v < vms; v++ {
+				trace := tests[(batch+v)%len(tests)].trace
+				snap := trace.At((batch*perVM + j) % trace.Len())
+				snaps = append(snaps, snapJSON{
+					VM:          fmt.Sprintf("bench-vm-%02d", v),
+					TimeSeconds: float64(batch*perVM+j) * 5,
+					Values:      snap.Values,
+				})
+			}
+		}
+		body, err := json.Marshal(map[string]any{"snapshots": snaps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(bodies[i%len(bodies)]))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("ingest: %d %s", w.Code, w.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*vms*perVM)/b.Elapsed().Seconds(), "snaps/s")
 }
 
 // BenchmarkClassificationCostTraining measures the train+PCA side of

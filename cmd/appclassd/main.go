@@ -56,6 +56,7 @@ type config struct {
 	hosts  string
 	rates  string
 	drift  float64
+	pprof  bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -73,6 +74,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.hosts, "hosts", "", "placement host inventory as name:slots[,name:slots...] (enables /v1/placements)")
 	fs.StringVar(&cfg.rates, "rates", "", "cost-model rates as cpu,mem,io,net,idle (default 1,1,1,1,0)")
 	fs.Float64Var(&cfg.drift, "drift", 0, "migration-advisor drift threshold in [0,1] (default 0.25)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -195,6 +197,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		SweepInterval: cfg.sweep,
 		Shards:        cfg.shards,
 		Placement:     placer,
+		EnablePprof:   cfg.pprof,
 		Logf:          log.Printf,
 	})
 	if err != nil {

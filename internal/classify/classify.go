@@ -10,6 +10,7 @@ package classify
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/appclass"
 	"repro/internal/knn"
@@ -60,6 +61,17 @@ type Classifier struct {
 	normalizer *pca.Normalizer
 	model      *pca.Model
 	nn         *knn.Classifier
+	// fused is the preprocess→normalize→PCA-project chain collapsed
+	// into one affine map feat = W·x + b, precomputed at train/load
+	// time; every classification path applies it instead of running the
+	// stages (see pca.Fuse for the derivation).
+	fused *pca.Affine
+	// classes maps the k-NN classifier's interned class IDs back to
+	// Class values, so the hot path never parses a label string.
+	classes []appclass.Class
+	// subsets caches schema → expert-metric gather indices, keyed by
+	// schema pointer (a daemon holds one schema, so this stays tiny).
+	subsets sync.Map
 	// trainPoints and trainLabels retain the projected training data
 	// for the clustering diagrams (Figure 3a).
 	trainPoints *linalg.Matrix
@@ -135,14 +147,40 @@ func Train(runs []TrainingRun, cfg Config) (*Classifier, error) {
 			return nil, fmt.Errorf("classify: index k-NN: %w", err)
 		}
 	}
-	return &Classifier{
+	c := &Classifier{
 		cfg:         cfg,
 		normalizer:  norm,
 		model:       model,
 		nn:          nn,
 		trainPoints: features,
 		trainLabels: labels,
-	}, nil
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// finish precomputes the derived fast-path state of a classifier whose
+// staged components are in place: the fused affine kernel and the
+// interned class-ID → Class table. Train and Load both call it.
+func (c *Classifier) finish() error {
+	fused, err := pca.Fuse(c.normalizer, c.model)
+	if err != nil {
+		return fmt.Errorf("classify: fuse pipeline: %w", err)
+	}
+	names := c.nn.Classes()
+	classes := make([]appclass.Class, len(names))
+	for i, n := range names {
+		cl, err := appclass.Parse(n)
+		if err != nil {
+			return fmt.Errorf("classify: training label: %w", err)
+		}
+		classes[i] = cl
+	}
+	c.fused = fused
+	c.classes = classes
+	return nil
 }
 
 // Config returns the effective configuration (defaults resolved).
@@ -152,7 +190,7 @@ func (c *Classifier) Config() Config { return c.cfg }
 // trained (or loaded): a zero-value or nil *Classifier must yield an
 // error, not a nil-pointer panic deep in the pipeline.
 func (c *Classifier) ready() error {
-	if c == nil || c.normalizer == nil || c.model == nil || c.nn == nil {
+	if c == nil || c.normalizer == nil || c.model == nil || c.nn == nil || c.fused == nil {
 		return fmt.Errorf("classify: classifier is not trained")
 	}
 	return nil
@@ -182,8 +220,27 @@ type Result struct {
 	Points *linalg.Matrix
 }
 
-// featuresOf runs the preprocess→normalize→PCA pipeline on a trace.
+// featuresOf runs the preprocess→normalize→PCA pipeline on a trace,
+// applying the fused affine kernel row by row instead of the staged
+// transforms (same features within float roundoff).
 func (c *Classifier) featuresOf(trace *metrics.Trace) (*linalg.Matrix, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	if trace == nil || trace.Len() == 0 {
+		return nil, fmt.Errorf("classify: empty trace")
+	}
+	proj, err := trace.Project(c.cfg.ExpertMetrics)
+	if err != nil {
+		return nil, fmt.Errorf("classify: project trace: %w", err)
+	}
+	return c.fused.ApplyRows(proj.Matrix())
+}
+
+// stagedFeaturesOf is featuresOf through the original staged pipeline
+// (normalize, center, project as separate passes). It is retained as
+// the reference implementation the fused kernel is verified against.
+func (c *Classifier) stagedFeaturesOf(trace *metrics.Trace) (*linalg.Matrix, error) {
 	if err := c.ready(); err != nil {
 		return nil, err
 	}
@@ -208,17 +265,14 @@ func (c *Classifier) ClassifyTrace(trace *metrics.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	labels, err := c.nn.ClassifyBatch(features)
-	if err != nil {
+	ids := make([]int, features.Rows())
+	if err := c.nn.ClassifyIDs(features, ids, nil); err != nil {
 		return nil, err
 	}
-	classes := make([]appclass.Class, len(labels))
+	classes := make([]appclass.Class, len(ids))
 	counts := make(map[appclass.Class]float64)
-	for i, l := range labels {
-		cl, err := appclass.Parse(l)
-		if err != nil {
-			return nil, err
-		}
+	for i, id := range ids {
+		cl := c.classes[id]
 		classes[i] = cl
 		counts[cl]++
 	}
@@ -239,9 +293,69 @@ func (c *Classifier) ClassifyTrace(trace *metrics.Trace) (*Result, error) {
 	}, nil
 }
 
+// GatherIndices returns the positions of the classifier's expert
+// metrics within schema — the gather map of the fused snapshot path.
+// Results are cached per schema instance, so repeated calls with the
+// same *Schema are lock-free lookups. The returned slice is shared and
+// must be treated as read-only.
+func (c *Classifier) GatherIndices(schema *metrics.Schema) ([]int, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("classify: nil schema")
+	}
+	if v, ok := c.subsets.Load(schema); ok {
+		return v.([]int), nil
+	}
+	idx, err := schema.Subset(c.cfg.ExpertMetrics)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := c.subsets.LoadOrStore(schema, idx)
+	return v.([]int), nil
+}
+
+// Scratch holds the caller-owned buffers of the allocation-free
+// snapshot path (ClassifySnapshotScratch). The zero value is ready to
+// use; buffers grow on first use and are reused afterwards. A Scratch
+// must not be shared between concurrent classifications.
+type Scratch struct {
+	feat linalg.Vector
+	knn  knn.Scratch
+}
+
+// ClassifySnapshotScratch classifies a single snapshot through the
+// fused kernel: one gathered mat-vec (feat = W·values[subset] + b) and
+// one integer-label k-NN vote, with every buffer owned by scratch —
+// the steady state performs no allocation. subset is the gather map
+// from GatherIndices (or a schema Subset of the expert metrics);
+// values is the full snapshot vector it indexes into.
+func (c *Classifier) ClassifySnapshotScratch(subset []int, values []float64, s *Scratch) (appclass.Class, error) {
+	if err := c.ready(); err != nil {
+		return "", err
+	}
+	q := c.fused.Q()
+	if cap(s.feat) < q {
+		s.feat = make(linalg.Vector, q)
+	}
+	feat := s.feat[:q]
+	if err := c.fused.GatherInto(feat, values, subset); err != nil {
+		return "", err
+	}
+	id, err := c.nn.ClassifyID(feat, &s.knn)
+	if err != nil {
+		return "", err
+	}
+	return c.classes[id], nil
+}
+
 // ClassifySnapshot classifies a single snapshot given the full metric
 // vector in the trace schema used at call sites. The snapshot's values
 // must be ordered by schema, which must contain the expert metrics.
+// Streaming callers should hold a Scratch and use
+// ClassifySnapshotScratch; this convenience form allocates its scratch
+// per call.
 func (c *Classifier) ClassifySnapshot(schema *metrics.Schema, values []float64) (appclass.Class, error) {
 	if err := c.ready(); err != nil {
 		return "", err
@@ -252,25 +366,10 @@ func (c *Classifier) ClassifySnapshot(schema *metrics.Schema, values []float64) 
 	if schema.Len() != len(values) {
 		return "", fmt.Errorf("classify: %d values for %d-metric schema", len(values), schema.Len())
 	}
-	idx, err := schema.Subset(c.cfg.ExpertMetrics)
+	idx, err := c.GatherIndices(schema)
 	if err != nil {
 		return "", err
 	}
-	x := make(linalg.Vector, len(idx))
-	for i, j := range idx {
-		x[i] = values[j]
-	}
-	normalized, err := c.normalizer.ApplyVec(x)
-	if err != nil {
-		return "", err
-	}
-	feat, err := c.model.TransformVec(normalized)
-	if err != nil {
-		return "", err
-	}
-	label, err := c.nn.Classify(feat)
-	if err != nil {
-		return "", err
-	}
-	return appclass.Parse(label)
+	var s Scratch
+	return c.ClassifySnapshotScratch(idx, values, &s)
 }

@@ -19,6 +19,9 @@ type Online struct {
 	cl     *Classifier
 	schema *metrics.Schema
 	subset []int
+	// scratch backs the allocation-free per-snapshot classification;
+	// an Online is single-writer, so one scratch per instance suffices.
+	scratch Scratch
 
 	counts map[appclass.Class]int
 	total  int
@@ -26,9 +29,22 @@ type Online struct {
 
 	// drift tracks the incoming distribution of each expert metric.
 	drift []stats.Welford
-	// history records the class sequence for stage analysis.
+	// history records the class sequence for stage analysis. It is
+	// capped at histCap entries (oldest dropped first); dropped counts
+	// the entries trimmed away, and firstAt/lastAt span every snapshot
+	// ever observed, including dropped ones.
 	history []TimedClass
+	histCap int
+	dropped int
+	firstAt time.Duration
+	lastAt  time.Duration
 }
+
+// DefaultHistoryCap bounds the classification history an Online retains.
+// At the paper's one-snapshot-per-second monitoring cadence this keeps
+// roughly nine hours of history per session while bounding a long-lived
+// daemon session to a few hundred kilobytes.
+const DefaultHistoryCap = 32768
 
 // TimedClass is one classified snapshot in arrival order.
 type TimedClass struct {
@@ -50,32 +66,100 @@ func NewOnline(cl *Classifier, schema *metrics.Schema) (*Online, error) {
 		return nil, fmt.Errorf("classify: online schema: %w", err)
 	}
 	return &Online{
-		cl:     cl,
-		schema: schema,
-		subset: subset,
-		counts: make(map[appclass.Class]int),
-		drift:  make([]stats.Welford, len(subset)),
+		cl:      cl,
+		schema:  schema,
+		subset:  subset,
+		counts:  make(map[appclass.Class]int),
+		drift:   make([]stats.Welford, len(subset)),
+		histCap: DefaultHistoryCap,
 	}, nil
 }
 
+// SetHistoryCap bounds the retained classification history to at most n
+// entries (oldest trimmed first); n <= 0 removes the bound. Counts,
+// composition, drift, and first/last times keep covering every snapshot
+// ever observed — only History and stage analysis see the shorter
+// window.
+func (o *Online) SetHistoryCap(n int) {
+	o.histCap = n
+	o.trimHistory()
+}
+
+// HistoryDropped returns how many old history entries the retention cap
+// has discarded.
+func (o *Online) HistoryDropped() int { return o.dropped }
+
+// trimHistory enforces histCap. It trims in chunks — only once the
+// slice overshoots the cap by 25% — so steady-state appends stay O(1)
+// amortized and reuse the same backing array instead of reallocating on
+// every snapshot.
+func (o *Online) trimHistory() {
+	if o.histCap <= 0 || len(o.history) <= o.histCap+o.histCap/4 {
+		return
+	}
+	drop := len(o.history) - o.histCap
+	copy(o.history, o.history[drop:])
+	o.history = o.history[:o.histCap]
+	o.dropped += drop
+}
+
 // Observe classifies one arriving snapshot and updates the running
-// state, returning the snapshot's class.
+// state, returning the snapshot's class. The hot path is allocation-free
+// at steady state: the expert-metric gather indices are cached at
+// construction and the feature/vote buffers live in the Online's
+// scratch.
 func (o *Online) Observe(snap metrics.Snapshot) (appclass.Class, error) {
 	if len(snap.Values) != o.schema.Len() {
 		return "", fmt.Errorf("classify: snapshot has %d values, schema %d", len(snap.Values), o.schema.Len())
 	}
-	class, err := o.cl.ClassifySnapshot(o.schema, snap.Values)
+	class, err := o.cl.ClassifySnapshotScratch(o.subset, snap.Values, &o.scratch)
 	if err != nil {
 		return "", err
 	}
+	o.record(snap, class)
+	return class, nil
+}
+
+// record folds one classified snapshot into the running state.
+func (o *Online) record(snap metrics.Snapshot, class appclass.Class) {
 	o.counts[class]++
+	if o.total == 0 {
+		o.firstAt = snap.Time
+	}
 	o.total++
 	o.last = class
+	o.lastAt = snap.Time
 	o.history = append(o.history, TimedClass{At: snap.Time, Class: class})
+	o.trimHistory()
 	for i, j := range o.subset {
 		o.drift[i].Add(snap.Values[j])
 	}
-	return class, nil
+}
+
+// ObserveBatch classifies a batch of arriving snapshots in input order,
+// equivalent to calling Observe on each. The whole batch is validated
+// before any snapshot is observed, so a dimension error leaves the
+// running state untouched; classes is reused when it has capacity.
+func (o *Online) ObserveBatch(snaps []metrics.Snapshot, classes []appclass.Class) ([]appclass.Class, error) {
+	for i := range snaps {
+		if len(snaps[i].Values) != o.schema.Len() {
+			return nil, fmt.Errorf("classify: batch snapshot %d has %d values, schema %d",
+				i, len(snaps[i].Values), o.schema.Len())
+		}
+	}
+	if cap(classes) < len(snaps) {
+		classes = make([]appclass.Class, 0, len(snaps))
+	}
+	classes = classes[:0]
+	for i := range snaps {
+		class, err := o.cl.ClassifySnapshotScratch(o.subset, snaps[i].Values, &o.scratch)
+		if err != nil {
+			return nil, err
+		}
+		o.record(snaps[i], class)
+		classes = append(classes, class)
+	}
+	return classes, nil
 }
 
 // Seen returns the number of snapshots observed.
@@ -146,13 +230,15 @@ func (o *Online) Snapshot() View {
 	}
 	if o.total > 0 {
 		v.Class = o.majority()
-		v.FirstAt = o.history[0].At
-		v.LastAt = o.history[len(o.history)-1].At
+		v.FirstAt = o.firstAt
+		v.LastAt = o.lastAt
 	}
 	return v
 }
 
-// History returns the classified snapshot sequence.
+// History returns the classified snapshot sequence over the retained
+// window (see SetHistoryCap); HistoryDropped reports how much older
+// history has been trimmed.
 func (o *Online) History() []TimedClass {
 	return append([]TimedClass(nil), o.history...)
 }

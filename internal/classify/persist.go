@@ -138,7 +138,7 @@ func Load(r io.Reader) (*Classifier, error) {
 			return nil, fmt.Errorf("classify: index k-NN: %w", err)
 		}
 	}
-	return &Classifier{
+	c := &Classifier{
 		cfg: Config{
 			ExpertMetrics: doc.ExpertMetrics,
 			Components:    doc.Q,
@@ -149,5 +149,11 @@ func Load(r io.Reader) (*Classifier, error) {
 		nn:          nn,
 		trainPoints: points,
 		trainLabels: labels,
-	}, nil
+	}
+	// A loaded classifier gets the same precomputed fused kernel as a
+	// freshly trained one.
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }

@@ -3,7 +3,6 @@ package knn
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/linalg"
 )
@@ -85,6 +84,14 @@ func (g *GridIndex) Len() int { return len(g.points) }
 // Neighbors returns the k nearest indexed points to x, closest first,
 // identical to the brute-force result (ties broken by insertion order).
 func (g *GridIndex) Neighbors(x linalg.Vector, k int) ([]Neighbor, error) {
+	return g.NeighborsInto(x, k, nil)
+}
+
+// NeighborsInto is Neighbors with a caller-owned result buffer: best's
+// backing array is reused (it needs capacity k to avoid growth), so a
+// query with a recycled buffer performs no allocation. The returned
+// slice aliases best's array.
+func (g *GridIndex) NeighborsInto(x linalg.Vector, k int, best []Neighbor) ([]Neighbor, error) {
 	if len(x) != 2 {
 		return nil, fmt.Errorf("knn: grid query must be 2-D, got %d dims", len(x))
 	}
@@ -94,15 +101,18 @@ func (g *GridIndex) Neighbors(x linalg.Vector, k int) ([]Neighbor, error) {
 	if k > len(g.points) {
 		k = len(g.points)
 	}
+	best = best[:0]
 	center := g.cellOf(x[0], x[1])
-	var cand []Neighbor
 	// Expand square rings until the k-th best distance is guaranteed:
 	// any point in a cell at Chebyshev ring distance > r is at least
 	// r*cell away from the query. Rings nearer than the data's bounding
 	// box are empty and are skipped outright (a query far outside the
 	// grid would otherwise march millions of empty rings); the last ring
 	// that can contain data is the Chebyshev distance from the query
-	// cell to the far corner of the box.
+	// cell to the far corner of the box. A running top-k (sorted by
+	// distance, then insertion order) replaces the collect-then-sort of
+	// the old implementation; the candidates retained and the
+	// termination decisions are identical.
 	maxCorner := g.cellOf(g.maxX, g.maxY)
 	firstRing := maxInt(
 		0,
@@ -113,36 +123,17 @@ func (g *GridIndex) Neighbors(x linalg.Vector, k int) ([]Neighbor, error) {
 		absInt(center[0]), absInt(center[0]-maxCorner[0]),
 		absInt(center[1]), absInt(center[1]-maxCorner[1]),
 	) + 1
+	seen := 0
 	for r := firstRing; r <= maxRing; r++ {
-		g.scanRing(center, r, x, &cand)
-		if len(cand) == len(g.points) {
-			break // everything collected; no farther ring can help
+		seen += g.scanRing(center, r, x, &best, k)
+		if seen == len(g.points) {
+			break // everything scanned; no farther ring can help
 		}
-		if len(cand) >= k {
-			sort.SliceStable(cand, func(i, j int) bool {
-				if cand[i].Distance != cand[j].Distance {
-					return cand[i].Distance < cand[j].Distance
-				}
-				return cand[i].Index < cand[j].Index
-			})
-			if cand[k-1].Distance <= float64(r)*g.cell {
-				return cand[:k], nil
-			}
-		}
-		if len(cand) == len(g.points) {
+		if len(best) == k && best[k-1].Distance <= float64(r)*g.cell {
 			break
 		}
 	}
-	sort.SliceStable(cand, func(i, j int) bool {
-		if cand[i].Distance != cand[j].Distance {
-			return cand[i].Distance < cand[j].Distance
-		}
-		return cand[i].Index < cand[j].Index
-	})
-	if len(cand) > k {
-		cand = cand[:k]
-	}
-	return cand, nil
+	return best, nil
 }
 
 func absInt(x int) int {
@@ -162,11 +153,12 @@ func maxInt(xs ...int) int {
 	return m
 }
 
-// scanRing adds all points from cells at exactly Chebyshev distance r
-// from the center cell. Scans are clamped to the data's cell bounding
+// scanRing feeds every point from cells at exactly Chebyshev distance r
+// from the center cell into the running top-k, returning how many
+// points were scanned. Scans are clamped to the data's cell bounding
 // box [0, maxCell] so the cost per ring is bounded by the box
 // perimeter, not the ring radius.
-func (g *GridIndex) scanRing(center [2]int, r int, x linalg.Vector, cand *[]Neighbor) int {
+func (g *GridIndex) scanRing(center [2]int, r int, x linalg.Vector, best *[]Neighbor, k int) int {
 	maxCell := g.cellOf(g.maxX, g.maxY)
 	add := func(cx, cy int) int {
 		if cx < 0 || cy < 0 || cx > maxCell[0] || cy > maxCell[1] {
@@ -176,11 +168,11 @@ func (g *GridIndex) scanRing(center [2]int, r int, x linalg.Vector, cand *[]Neig
 		for _, idx := range g.buckets[[2]int{cx, cy}] {
 			p := g.points[idx]
 			dx, dy := p[0]-x[0], p[1]-x[1]
-			*cand = append(*cand, Neighbor{
+			insertTopK(best, Neighbor{
 				Index:    idx,
 				Label:    g.labels[idx],
 				Distance: math.Hypot(dx, dy),
-			})
+			}, k)
 			n++
 		}
 		return n

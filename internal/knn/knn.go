@@ -8,7 +8,6 @@ package knn
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/linalg"
 )
@@ -38,6 +37,13 @@ type Classifier struct {
 	points []linalg.Vector
 	labels []string
 	dims   int
+	// Labels are interned at Train time: classNames holds the distinct
+	// labels in first-seen order, classIDs the per-point index into it.
+	// The integer fast path (ClassifyID) votes over these IDs and never
+	// touches a label string.
+	classNames []string
+	classIDs   []int
+	classIndex map[string]int
 	// index, when enabled, accelerates Euclidean 2-D queries without
 	// changing results.
 	index *GridIndex
@@ -100,10 +106,37 @@ func (c *Classifier) Train(points []linalg.Vector, labels []string) error {
 		}
 		c.points = append(c.points, p.Clone())
 		c.labels = append(c.labels, labels[i])
+		if c.classIndex == nil {
+			c.classIndex = make(map[string]int)
+		}
+		id, ok := c.classIndex[labels[i]]
+		if !ok {
+			id = len(c.classNames)
+			c.classIndex[labels[i]] = id
+			c.classNames = append(c.classNames, labels[i])
+		}
+		c.classIDs = append(c.classIDs, id)
 	}
 	// New training data invalidates any built index.
 	c.index = nil
 	return nil
+}
+
+// NumClasses returns the number of distinct training labels.
+func (c *Classifier) NumClasses() int { return len(c.classNames) }
+
+// ClassName returns the label interned as id (see ClassifyID).
+func (c *Classifier) ClassName(id int) string {
+	if id < 0 || id >= len(c.classNames) {
+		panic(fmt.Sprintf("knn: class id %d out of range [0,%d)", id, len(c.classNames)))
+	}
+	return c.classNames[id]
+}
+
+// Classes returns the distinct training labels in interning order: the
+// label interned as id i is at position i.
+func (c *Classifier) Classes() []string {
+	return append([]string(nil), c.classNames...)
 }
 
 // EnableIndex builds a grid index over the training data, accelerating
@@ -139,6 +172,65 @@ type Neighbor struct {
 	Distance float64
 }
 
+// neighborLess orders candidates by distance, breaking exact ties by
+// training insertion order — the brute-force stable-sort order, which
+// the grid index and the top-k kernels must reproduce exactly.
+func neighborLess(a, b Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Index < b.Index
+}
+
+// insertTopK inserts nb into best — kept sorted by neighborLess with at
+// most k entries — shifting worse entries down. best must have capacity
+// k so steady-state insertion never allocates.
+func insertTopK(best *[]Neighbor, nb Neighbor, k int) {
+	b := *best
+	if len(b) == k {
+		if !neighborLess(nb, b[k-1]) {
+			return
+		}
+	} else {
+		b = append(b, Neighbor{})
+	}
+	i := len(b) - 1
+	for i > 0 && neighborLess(nb, b[i-1]) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = nb
+	*best = b
+}
+
+// Scratch holds the caller-owned buffers of the allocation-free query
+// path (ClassifyID and the batch kernels). The zero value is ready to
+// use; buffers grow on first use and are reused afterwards. A Scratch
+// must not be shared between concurrent queries.
+type Scratch struct {
+	cand  []Neighbor
+	votes []int
+}
+
+// neighborsInto finds the k nearest neighbours of x, closest first,
+// reusing best's backing array. With the grid index enabled (and the
+// default Euclidean distance) the search is allocation-free; the
+// brute-force fallback allocates inside the pluggable Distance.
+func (c *Classifier) neighborsInto(x linalg.Vector, k int, best []Neighbor) ([]Neighbor, error) {
+	if c.index != nil {
+		return c.index.NeighborsInto(x, k, best)
+	}
+	best = best[:0]
+	for i, p := range c.points {
+		d, err := c.dist(x, p)
+		if err != nil {
+			return nil, err
+		}
+		insertTopK(&best, Neighbor{Index: i, Label: c.labels[i], Distance: d}, k)
+	}
+	return best, nil
+}
+
 // Neighbors returns the k training points nearest to x, closest first.
 // Equal distances break ties by training insertion order, keeping
 // results deterministic.
@@ -149,61 +241,115 @@ func (c *Classifier) Neighbors(x linalg.Vector) ([]Neighbor, error) {
 	if len(x) != c.dims {
 		return nil, fmt.Errorf("knn: query has %d dims, trained on %d", len(x), c.dims)
 	}
-	if c.index != nil {
-		return c.index.Neighbors(x, c.k)
-	}
-	all := make([]Neighbor, len(c.points))
-	for i, p := range c.points {
-		d, err := c.dist(x, p)
-		if err != nil {
-			return nil, err
-		}
-		all[i] = Neighbor{Index: i, Label: c.labels[i], Distance: d}
-	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].Distance < all[j].Distance })
 	k := c.k
-	if k > len(all) {
-		k = len(all)
+	if k > len(c.points) {
+		k = len(c.points)
 	}
-	return all[:k], nil
+	return c.neighborsInto(x, k, make([]Neighbor, 0, k))
+}
+
+// ClassifyID returns the interned class ID (see ClassName) of the
+// majority vote of the k nearest neighbours of x — the integer fast
+// path: no label strings are touched and, with a grid index and a
+// reused Scratch, nothing is allocated. A nil scratch classifies with
+// temporary buffers. The tie rule matches Classify: the nearest
+// neighbour among tied classes wins.
+func (c *Classifier) ClassifyID(x linalg.Vector, s *Scratch) (int, error) {
+	if len(c.points) == 0 {
+		return 0, fmt.Errorf("knn: classifier has no training data")
+	}
+	if len(x) != c.dims {
+		return 0, fmt.Errorf("knn: query has %d dims, trained on %d", len(x), c.dims)
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	k := c.k
+	if k > len(c.points) {
+		k = len(c.points)
+	}
+	if cap(s.cand) < k {
+		s.cand = make([]Neighbor, 0, k)
+	}
+	nbrs, err := c.neighborsInto(x, k, s.cand[:0])
+	if err != nil {
+		return 0, err
+	}
+	s.cand = nbrs[:0]
+	if cap(s.votes) < len(c.classNames) {
+		s.votes = make([]int, len(c.classNames))
+	}
+	votes := s.votes[:len(c.classNames)]
+	for i := range votes {
+		votes[i] = 0
+	}
+	best := 0
+	for _, n := range nbrs {
+		id := c.classIDs[n.Index]
+		votes[id]++
+		if votes[id] > best {
+			best = votes[id]
+		}
+	}
+	// Neighbours are sorted by distance: the first tied class is the
+	// nearest one.
+	for _, n := range nbrs {
+		if id := c.classIDs[n.Index]; votes[id] == best {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("knn: vote produced no label") // unreachable
 }
 
 // Classify returns the majority label of the k nearest neighbours of x.
 // If the vote ties (possible with more classes than k), the label of the
 // nearest neighbour among the tied labels wins.
 func (c *Classifier) Classify(x linalg.Vector) (string, error) {
-	nbrs, err := c.Neighbors(x)
+	id, err := c.ClassifyID(x, nil)
 	if err != nil {
 		return "", err
 	}
-	counts := make(map[string]int, len(nbrs))
-	best := 0
-	for _, n := range nbrs {
-		counts[n.Label]++
-		if counts[n.Label] > best {
-			best = counts[n.Label]
+	return c.classNames[id], nil
+}
+
+// classifyIDsRange classifies rows [lo, hi) of a matrix into out,
+// sharing one scratch across the range and reading rows in place — the
+// per-worker body of the blocked batch kernel.
+func (c *Classifier) classifyIDsRange(rows *linalg.Matrix, out []int, lo, hi int, s *Scratch) error {
+	for i := lo; i < hi; i++ {
+		id, err := c.ClassifyID(rows.RowView(i), s)
+		if err != nil {
+			return fmt.Errorf("knn: row %d: %w", i, err)
 		}
+		out[i] = id
 	}
-	// Neighbors are sorted by distance: the first tied label is the
-	// nearest one.
-	for _, n := range nbrs {
-		if counts[n.Label] == best {
-			return n.Label, nil
-		}
+	return nil
+}
+
+// ClassifyIDs classifies every row of a matrix into out (one interned
+// class ID per row), reusing scratch across the whole batch. out must
+// have rows.Rows() entries. This is the batch kernel behind
+// ClassifyBatch and ClassifyBatchParallel.
+func (c *Classifier) ClassifyIDs(rows *linalg.Matrix, out []int, s *Scratch) error {
+	if len(out) != rows.Rows() {
+		return fmt.Errorf("knn: %d outputs for %d rows", len(out), rows.Rows())
 	}
-	return "", fmt.Errorf("knn: vote produced no label") // unreachable
+	if s == nil {
+		s = &Scratch{}
+	}
+	return c.classifyIDsRange(rows, out, 0, rows.Rows(), s)
 }
 
 // ClassifyBatch classifies each row of a matrix, returning one label per
 // row.
 func (c *Classifier) ClassifyBatch(rows *linalg.Matrix) ([]string, error) {
-	out := make([]string, rows.Rows())
-	for i := 0; i < rows.Rows(); i++ {
-		label, err := c.Classify(rows.Row(i))
-		if err != nil {
-			return nil, fmt.Errorf("knn: row %d: %w", i, err)
-		}
-		out[i] = label
+	ids := make([]int, rows.Rows())
+	if err := c.ClassifyIDs(rows, ids, nil); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = c.classNames[id]
 	}
 	return out, nil
 }

@@ -1,21 +1,22 @@
 package knn
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/linalg"
 )
 
-// ClassifyBatchParallel classifies each row of a matrix using up to
-// workers goroutines (0 selects GOMAXPROCS). Output order matches the
-// input rows and is identical to ClassifyBatch; queries are independent,
-// so the split is a simple row-range partition per worker.
-func (c *Classifier) ClassifyBatchParallel(rows *linalg.Matrix, workers int) ([]string, error) {
+// ClassifyIDsParallel classifies each row of a matrix into out (one
+// interned class ID per row, see ClassName) using up to workers
+// goroutines (0 selects GOMAXPROCS). Each worker runs the blocked
+// batch kernel over a contiguous row range with its own scratch, so
+// per-query work stays allocation-free; output order matches the input
+// rows and is identical to ClassifyIDs.
+func (c *Classifier) ClassifyIDsParallel(rows *linalg.Matrix, out []int, workers int) error {
 	n := rows.Rows()
 	if n == 0 {
-		return nil, nil
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,10 +25,12 @@ func (c *Classifier) ClassifyBatchParallel(rows *linalg.Matrix, workers int) ([]
 		workers = n
 	}
 	if workers == 1 {
-		return c.ClassifyBatch(rows)
+		return c.ClassifyIDs(rows, out, nil)
+	}
+	if len(out) != n {
+		return c.ClassifyIDs(rows, out, nil) // surface the arity error
 	}
 
-	out := make([]string, n)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -36,21 +39,35 @@ func (c *Classifier) ClassifyBatchParallel(rows *linalg.Matrix, workers int) ([]
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				label, err := c.Classify(rows.Row(i))
-				if err != nil {
-					errs[w] = fmt.Errorf("knn: row %d: %w", i, err)
-					return
-				}
-				out[i] = label
-			}
+			var s Scratch
+			errs[w] = c.classifyIDsRange(rows, out, lo, hi, &s)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// ClassifyBatchParallel classifies each row of a matrix using up to
+// workers goroutines (0 selects GOMAXPROCS). Output order matches the
+// input rows and is identical to ClassifyBatch; queries are
+// independent, so the split is a simple row-range partition per worker.
+func (c *Classifier) ClassifyBatchParallel(rows *linalg.Matrix, workers int) ([]string, error) {
+	n := rows.Rows()
+	if n == 0 {
+		return nil, nil
+	}
+	ids := make([]int, n)
+	if err := c.ClassifyIDsParallel(rows, ids, workers); err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i, id := range ids {
+		out[i] = c.classNames[id]
 	}
 	return out, nil
 }

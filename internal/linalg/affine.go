@@ -1,0 +1,92 @@
+package linalg
+
+import "fmt"
+
+// This file holds the fused affine kernels behind the classifier's
+// zero-allocation snapshot path: y = m·x + b evaluated into
+// caller-owned destinations, with an optional gather of x out of a
+// larger source vector so the sub-vector is never materialized.
+
+// RowView returns row i as a slice aliasing the matrix's backing
+// array: no copy is made, and mutating the returned vector mutates the
+// matrix. It exists for allocation-free row iteration in hot loops;
+// use Row for an independent copy.
+func (m *Matrix) RowView(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// AffineInto computes dst = m·x + b without allocating. dst and b must
+// have length m.Rows(); dst may not alias x.
+func (m *Matrix) AffineInto(dst, x, b Vector) error {
+	if len(x) != m.cols {
+		return fmt.Errorf("%w: AffineInto %dx%d by %d", ErrDimension, m.rows, m.cols, len(x))
+	}
+	if len(dst) != m.rows || len(b) != m.rows {
+		return fmt.Errorf("%w: AffineInto dst %d, b %d, want %d", ErrDimension, len(dst), len(b), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := b[i]
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// AffineGatherInto computes dst = m·g + b where g[j] = src[idx[j]]:
+// the gathered sub-vector is read directly out of src, never
+// materialized. idx must have length m.Cols() and index into src; dst
+// and b must have length m.Rows(). Nothing is allocated.
+func (m *Matrix) AffineGatherInto(dst Vector, src []float64, idx []int, b Vector) error {
+	if len(idx) != m.cols {
+		return fmt.Errorf("%w: AffineGatherInto %dx%d with %d gather indices", ErrDimension, m.rows, m.cols, len(idx))
+	}
+	if len(dst) != m.rows || len(b) != m.rows {
+		return fmt.Errorf("%w: AffineGatherInto dst %d, b %d, want %d", ErrDimension, len(dst), len(b), m.rows)
+	}
+	for _, ix := range idx {
+		if ix < 0 || ix >= len(src) {
+			return fmt.Errorf("%w: AffineGatherInto index %d out of range for source of %d", ErrDimension, ix, len(src))
+		}
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := b[i]
+		for j, w := range row {
+			s += w * src[idx[j]]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// AffineRowsInto computes dst[i,:] = m·src[i,:] + b for every row of
+// src: the batch form of AffineInto. dst must be src.Rows()×m.Rows()
+// and b must have length m.Rows(). Nothing is allocated.
+func (m *Matrix) AffineRowsInto(dst, src *Matrix, b Vector) error {
+	if src.cols != m.cols {
+		return fmt.Errorf("%w: AffineRowsInto %dx%d by rows of %d", ErrDimension, m.rows, m.cols, src.cols)
+	}
+	if dst.rows != src.rows || dst.cols != m.rows || len(b) != m.rows {
+		return fmt.Errorf("%w: AffineRowsInto dst %dx%d, b %d, want %dx%d, %d",
+			ErrDimension, dst.rows, dst.cols, len(b), src.rows, m.rows, m.rows)
+	}
+	for i := 0; i < src.rows; i++ {
+		x := src.data[i*src.cols : (i+1)*src.cols]
+		out := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for r := 0; r < m.rows; r++ {
+			row := m.data[r*m.cols : (r+1)*m.cols]
+			s := b[r]
+			for j, w := range row {
+				s += w * x[j]
+			}
+			out[r] = s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestRowView(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.RowView(1)
+	if len(v) != 3 || v[0] != 4 || v[2] != 6 {
+		t.Fatalf("RowView(1) = %v", v)
+	}
+	v[0] = 40
+	if m.At(1, 0) != 40 {
+		t.Error("RowView does not alias the matrix storage")
+	}
+}
+
+func TestAffineIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		q, p := 1+rng.Intn(5), 1+rng.Intn(12)
+		w := randomMatrix(rng, q, p)
+		x := make(Vector, p)
+		b := make(Vector, q)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := w.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make(Vector, q)
+		if err := w.AffineInto(dst, x, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if math.Abs(dst[i]-(want[i]+b[i])) > 1e-12 {
+				t.Fatalf("trial %d: AffineInto[%d] = %v, want %v", trial, i, dst[i], want[i]+b[i])
+			}
+		}
+	}
+}
+
+func TestAffineGatherIntoMatchesExplicitGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		q, p, n := 1+rng.Intn(4), 1+rng.Intn(8), 9+rng.Intn(30)
+		w := randomMatrix(rng, q, p)
+		b := make(Vector, q)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		idx := make([]int, p)
+		gathered := make(Vector, p)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+			gathered[i] = src[idx[i]]
+		}
+		want := make(Vector, q)
+		if err := w.AffineInto(want, gathered, b); err != nil {
+			t.Fatal(err)
+		}
+		got := make(Vector, q)
+		if err := w.AffineGatherInto(got, src, idx, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: gather[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAffineGatherIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := randomMatrix(rng, 2, 8)
+	b := make(Vector, 2)
+	src := make([]float64, 33)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	idx := []int{4, 2, 20, 21, 29, 30, 31, 32}
+	dst := make(Vector, 2)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.AffineGatherInto(dst, src, idx, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AffineGatherInto allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestAffineRowsIntoMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := randomMatrix(rng, 3, 8)
+	b := make(Vector, 3)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	src := randomMatrix(rng, 40, 8)
+	dst := NewMatrix(40, 3)
+	if err := w.AffineRowsInto(dst, src, b); err != nil {
+		t.Fatal(err)
+	}
+	row := make(Vector, 3)
+	for i := 0; i < src.Rows(); i++ {
+		if err := w.AffineInto(row, src.Row(i), b); err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if dst.At(i, j) != row[j] {
+				t.Fatalf("row %d col %d: batch %v, single %v", i, j, dst.At(i, j), row[j])
+			}
+		}
+	}
+}
+
+func TestAffineDimensionErrors(t *testing.T) {
+	w := NewMatrix(2, 3)
+	if err := w.AffineInto(make(Vector, 2), make(Vector, 4), make(Vector, 2)); err == nil {
+		t.Error("AffineInto accepted a mis-sized input")
+	}
+	if err := w.AffineInto(make(Vector, 1), make(Vector, 3), make(Vector, 2)); err == nil {
+		t.Error("AffineInto accepted a mis-sized destination")
+	}
+	if err := w.AffineGatherInto(make(Vector, 2), make([]float64, 5), []int{0, 1}, make(Vector, 2)); err == nil {
+		t.Error("AffineGatherInto accepted a short gather index")
+	}
+	if err := w.AffineGatherInto(make(Vector, 2), make([]float64, 5), []int{0, 1, 9}, make(Vector, 2)); err == nil {
+		t.Error("AffineGatherInto accepted an out-of-range gather index")
+	}
+	if err := w.AffineRowsInto(NewMatrix(4, 2), NewMatrix(5, 3), make(Vector, 2)); err == nil {
+		t.Error("AffineRowsInto accepted a row-count mismatch")
+	}
+}

@@ -1,0 +1,99 @@
+package pca
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Affine is the classification pipeline's preprocess → normalize →
+// PCA-project chain collapsed into a single affine map feat = W·x + b.
+//
+// Every stage of the staged pipeline is affine in the input x (the
+// p expert metrics of one snapshot):
+//
+//	normalize:  z_i = (x_i − μ_i) / σ_i        (z-score parameters μ, σ)
+//	center:     c_i = z_i − m_i                (PCA training column means m)
+//	project:    f_j = Σ_i c_i · C_ij           (component matrix C, p×q)
+//
+// so the composition is itself affine:
+//
+//	f_j = Σ_i (C_ij/σ_i) · x_i  −  Σ_i C_ij · (μ_i/σ_i + m_i)
+//	    =      W_ji · x_i       +  b_j
+//
+// with W the dense q×p fused weight matrix and b the fused q-vector
+// offset. Both are computed once at train (or load) time; applying the
+// chain to a snapshot is then one allocation-free fused mat-vec.
+type Affine struct {
+	w *linalg.Matrix // q×p fused weights
+	b linalg.Vector  // q fused offset
+}
+
+// Fuse collapses a fitted normalizer and PCA model into the single
+// affine map described above. The normalizer and model must have been
+// fitted on the same p metrics.
+func Fuse(n *Normalizer, m *Model) (*Affine, error) {
+	if n == nil || m == nil {
+		return nil, fmt.Errorf("pca: fuse of nil normalizer or model")
+	}
+	p := len(n.zs)
+	if m.Components.Rows() != p {
+		return nil, fmt.Errorf("pca: fuse of %d-metric normalizer with %d-metric model", p, m.Components.Rows())
+	}
+	if len(m.colMeans) != p {
+		return nil, fmt.Errorf("pca: model has %d column means for %d metrics", len(m.colMeans), p)
+	}
+	q := m.Q
+	w := linalg.NewMatrix(q, p)
+	b := make(linalg.Vector, q)
+	for j := 0; j < q; j++ {
+		var bj float64
+		for i := 0; i < p; i++ {
+			z := n.zs[i]
+			if z.StdDev == 0 {
+				return nil, fmt.Errorf("pca: metric %d has zero normalization stddev", i)
+			}
+			cij := m.Components.At(i, j)
+			w.Set(j, i, cij/z.StdDev)
+			bj -= cij * (z.Mean/z.StdDev + m.colMeans[i])
+		}
+		b[j] = bj
+	}
+	return &Affine{w: w, b: b}, nil
+}
+
+// P returns the input dimension (expert metric count).
+func (a *Affine) P() int { return a.w.Cols() }
+
+// Q returns the output dimension (retained component count).
+func (a *Affine) Q() int { return a.w.Rows() }
+
+// ApplyInto computes dst = W·x + b without allocating. dst must have
+// length Q.
+func (a *Affine) ApplyInto(dst, x linalg.Vector) error {
+	return a.w.AffineInto(dst, x, a.b)
+}
+
+// GatherInto computes dst = W·g + b where g[j] = values[idx[j]],
+// fusing the preprocessor's metric gather into the kernel so the
+// expert sub-vector is never materialized. Nothing is allocated.
+func (a *Affine) GatherInto(dst linalg.Vector, values []float64, idx []int) error {
+	return a.w.AffineGatherInto(dst, values, idx, a.b)
+}
+
+// ApplyRows applies the fused map to every row of src, returning the
+// src.Rows()×Q feature matrix — the batch form used when classifying a
+// whole trace.
+func (a *Affine) ApplyRows(src *linalg.Matrix) (*linalg.Matrix, error) {
+	dst := linalg.NewMatrix(src.Rows(), a.Q())
+	if err := a.w.AffineRowsInto(dst, src, a.b); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Params returns deep copies of the fused weights and offset, for
+// inspection and tests.
+func (a *Affine) Params() (*linalg.Matrix, linalg.Vector) {
+	return a.w.Clone(), a.b.Clone()
+}

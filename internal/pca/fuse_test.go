@@ -1,0 +1,154 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// randomScaledData builds a rows×cols matrix with per-column scale and offset
+// so normalization has real work to do.
+func randomScaledData(rng *rand.Rand, rows, cols int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		scale := math.Exp(rng.NormFloat64() * 2)
+		offset := rng.NormFloat64() * 10
+		for i := 0; i < rows; i++ {
+			m.Set(i, j, offset+scale*rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// fitStaged fits a normalizer and PCA model on random data and returns
+// both plus the raw data.
+func fitStaged(t *testing.T, rng *rand.Rand, rows, cols, q int) (*Normalizer, *Model, *linalg.Matrix) {
+	t.Helper()
+	raw := randomScaledData(rng, rows, cols)
+	norm, err := FitNormalizer(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized, err := norm.Apply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Fit(normalized, Options{Components: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, model, raw
+}
+
+// TestFuseMatchesStagedPipeline is the property at the heart of the
+// fused kernel: for randomized fits and randomized inputs, the single
+// affine map must reproduce normalize→center→project within 1e-9.
+func TestFuseMatchesStagedPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		cols := 2 + rng.Intn(10)
+		q := 1 + rng.Intn(cols)
+		norm, model, _ := fitStaged(t, rng, 20+rng.Intn(100), cols, q)
+		fused, err := Fuse(norm, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused.P() != cols || fused.Q() != q {
+			t.Fatalf("trial %d: fused shape %dx%d, want %dx%d", trial, fused.Q(), fused.P(), q, cols)
+		}
+		for probe := 0; probe < 20; probe++ {
+			x := make(linalg.Vector, cols)
+			for i := range x {
+				x[i] = rng.NormFloat64() * 100
+			}
+			z, err := norm.ApplyVec(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := model.TransformVec(z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(linalg.Vector, q)
+			if err := fused.ApplyInto(got, x); err != nil {
+				t.Fatal(err)
+			}
+			for j := range got {
+				if math.Abs(got[j]-want[j]) > 1e-9 {
+					t.Fatalf("trial %d probe %d: fused[%d] = %v, staged %v (diff %g)",
+						trial, probe, j, got[j], want[j], math.Abs(got[j]-want[j]))
+				}
+			}
+		}
+	}
+}
+
+func TestFuseGatherMatchesSubsetApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	norm, model, _ := fitStaged(t, rng, 60, 8, 2)
+	fused, err := Fuse(norm, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 33-wide source vector with the 8 expert values scattered inside.
+	src := make([]float64, 33)
+	for i := range src {
+		src[i] = rng.NormFloat64() * 50
+	}
+	idx := []int{4, 2, 20, 21, 29, 30, 31, 32}
+	x := make(linalg.Vector, len(idx))
+	for i, j := range idx {
+		x[i] = src[j]
+	}
+	want := make(linalg.Vector, 2)
+	if err := fused.ApplyInto(want, x); err != nil {
+		t.Fatal(err)
+	}
+	got := make(linalg.Vector, 2)
+	if err := fused.GatherInto(got, src, idx); err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("gather[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestFuseApplyRowsMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	norm, model, raw := fitStaged(t, rng, 80, 6, 3)
+	fused, err := Fuse(norm, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized, err := norm.Apply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.Transform(normalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fused.ApplyRows(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Error("fused batch features diverge from staged Transform beyond 1e-9")
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	if _, err := Fuse(nil, nil); err == nil {
+		t.Error("Fuse accepted nil inputs")
+	}
+	rng := rand.New(rand.NewSource(1))
+	norm, _, _ := fitStaged(t, rng, 30, 4, 2)
+	_, model, _ := fitStaged(t, rng, 30, 5, 2)
+	if _, err := Fuse(norm, model); err == nil {
+		t.Error("Fuse accepted a normalizer/model arity mismatch")
+	}
+}

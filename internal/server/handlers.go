@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/appclass"
 	"repro/internal/classify"
+	"repro/internal/metrics"
 	"repro/internal/placement"
 )
 
@@ -29,6 +31,15 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/hosts/{name}", s.handleHost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.cfg.EnablePprof {
+		// Unqualified patterns: pprof's symbol endpoint accepts GET and
+		// POST, and the index serves every named profile below it.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -71,7 +82,11 @@ type ingestResponse struct {
 
 // handleIngest accepts a batch of snapshots. The whole batch is
 // validated against the schema before any snapshot is applied, so a 400
-// never leaves a half-ingested batch behind.
+// never leaves a half-ingested batch behind. Validated snapshots are
+// grouped by VM and each group is classified under a single
+// session-lock acquisition; results come back in input order
+// regardless of grouping. By-name snapshots decode into pooled
+// schema-length buffers that are returned once their group is observed.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
@@ -83,19 +98,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ingest batch has no snapshots")
 		return
 	}
-	type obs struct {
-		vm     string
-		at     time.Duration
-		values []float64
-	}
 	schema := s.cfg.Schema
-	batch := make([]obs, len(req.Snapshots))
+	batch := make([]metrics.Snapshot, len(req.Snapshots))
+	var pooled []*[]float64
+	defer func() {
+		for _, b := range pooled {
+			s.valuesPool.Put(b)
+		}
+	}()
 	for i, snap := range req.Snapshots {
 		if snap.VM == "" {
 			writeError(w, http.StatusBadRequest, "snapshot %d has no vm", i)
 			return
 		}
-		o := obs{vm: snap.VM, at: time.Duration(snap.TimeSeconds * float64(time.Second))}
+		o := metrics.Snapshot{Node: snap.VM, Time: time.Duration(snap.TimeSeconds * float64(time.Second))}
 		switch {
 		case len(snap.Values) > 0 && len(snap.Metrics) > 0:
 			writeError(w, http.StatusBadRequest, "snapshot %d (%s) sets both values and metrics", i, snap.VM)
@@ -106,9 +122,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 					i, snap.VM, len(snap.Values), schema.Len())
 				return
 			}
-			o.values = snap.Values
+			o.Values = snap.Values
 		case len(snap.Metrics) > 0:
-			vals := make([]float64, schema.Len())
+			bp := s.valuesPool.Get().(*[]float64)
+			pooled = append(pooled, bp)
+			vals := *bp
 			for name := range snap.Metrics {
 				if !schema.Contains(name) {
 					writeError(w, http.StatusBadRequest, "snapshot %d (%s) has unknown metric %q", i, snap.VM, name)
@@ -123,7 +141,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				}
 				vals[j] = v
 			}
-			o.values = vals
+			o.Values = vals
 		default:
 			writeError(w, http.StatusBadRequest, "snapshot %d (%s) has neither values nor metrics", i, snap.VM)
 			return
@@ -131,17 +149,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		batch[i] = o
 	}
 
-	resp := ingestResponse{Results: make([]ingestResult, 0, len(batch))}
-	for _, o := range batch {
-		class, err := s.observe(o.vm, o.at, o.values)
+	// Group the validated batch by VM, preserving first-appearance order
+	// so single-VM batches (the common case) stay one contiguous group.
+	groups := make(map[string][]int)
+	var order []string
+	for i := range batch {
+		vm := batch[i].Node
+		if _, ok := groups[vm]; !ok {
+			order = append(order, vm)
+		}
+		groups[vm] = append(groups[vm], i)
+	}
+
+	results := make([]ingestResult, len(batch))
+	var snaps []metrics.Snapshot
+	var classes []appclass.Class
+	for _, vm := range order {
+		idxs := groups[vm]
+		snaps = snaps[:0]
+		for _, i := range idxs {
+			snaps = append(snaps, batch[i])
+		}
+		var err error
+		classes, err = s.observeBatch(vm, snaps, classes)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "classify %s: %v", o.vm, err)
+			writeError(w, http.StatusInternalServerError, "classify %s: %v", vm, err)
 			return
 		}
-		resp.Accepted++
-		resp.Results = append(resp.Results, ingestResult{VM: o.vm, Class: class})
+		for g, i := range idxs {
+			results[i] = ingestResult{VM: vm, Class: string(classes[g])}
+		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(results), Results: results})
 }
 
 // vmSummary is one row of GET /v1/vms.

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// randomSnapshot builds a full-schema by-values snapshot with random
+// non-negative values.
+func randomSnapshot(rng *rand.Rand, vm string, at float64) map[string]any {
+	vals := make([]float64, metrics.DefaultSchema().Len())
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	return map[string]any{"vm": vm, "time_s": at, "values": vals}
+}
+
+// TestIngestGroupedMatchesSequential interleaves snapshots from several
+// VMs in one batch and checks that the grouped ingest path returns the
+// same per-snapshot classes, in input order, as sending each snapshot
+// as its own batch to a second server.
+func TestIngestGroupedMatchesSequential(t *testing.T) {
+	grouped := newTestServer(t, Config{})
+	sequential := newTestServer(t, Config{})
+
+	rng := rand.New(rand.NewSource(21))
+	vms := []string{"vm-a", "vm-b", "vm-c"}
+	var snaps []map[string]any
+	for i := 0; i < 30; i++ {
+		snaps = append(snaps, randomSnapshot(rng, vms[i%len(vms)], float64(i)))
+	}
+
+	w := postJSON(t, grouped.Handler(), "/v1/ingest", map[string]any{"snapshots": snaps})
+	if w.Code != http.StatusOK {
+		t.Fatalf("grouped ingest: %d %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Accepted int `json:"accepted"`
+		Results  []struct {
+			VM    string `json:"vm"`
+			Class string `json:"class"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != len(snaps) || len(resp.Results) != len(snaps) {
+		t.Fatalf("accepted %d results %d, want %d", resp.Accepted, len(resp.Results), len(snaps))
+	}
+
+	for i, snap := range snaps {
+		if got, want := resp.Results[i].VM, snap["vm"].(string); got != want {
+			t.Fatalf("result %d is for %q, want %q (input order lost)", i, got, want)
+		}
+		sw := postJSON(t, sequential.Handler(), "/v1/ingest", map[string]any{"snapshots": []map[string]any{snap}})
+		if sw.Code != http.StatusOK {
+			t.Fatalf("sequential ingest %d: %d %s", i, sw.Code, sw.Body)
+		}
+		var sresp struct {
+			Results []struct {
+				Class string `json:"class"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(sw.Body.Bytes(), &sresp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Results[i].Class != sresp.Results[0].Class {
+			t.Fatalf("result %d: grouped %q, sequential %q", i, resp.Results[i].Class, sresp.Results[0].Class)
+		}
+	}
+	if got, want := grouped.Sessions(), len(vms); got != want {
+		t.Errorf("grouped server has %d sessions, want %d", got, want)
+	}
+	if got := grouped.counters.ingested.Load(); got != int64(len(snaps)) {
+		t.Errorf("ingested counter = %d, want %d", got, len(snaps))
+	}
+}
+
+// TestIngestGroupedByNameMetrics sends an interleaved multi-VM batch in
+// by-name form (exercising the pooled decode buffers) and checks it
+// agrees with the equivalent by-values batch.
+func TestIngestGroupedByNameMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(33))
+	names := metrics.DefaultSchema().Names()
+
+	var byName, byValues []map[string]any
+	for i := 0; i < 12; i++ {
+		vm := fmt.Sprintf("vm-%d", i%4)
+		vals := make([]float64, len(names))
+		named := make(map[string]float64, len(names))
+		for j, n := range names {
+			vals[j] = rng.Float64() * 50
+			named[n] = vals[j]
+		}
+		byName = append(byName, map[string]any{"vm": vm, "time_s": float64(i), "metrics": named})
+		byValues = append(byValues, map[string]any{"vm": vm + "-ref", "time_s": float64(i), "values": vals})
+	}
+
+	wn := postJSON(t, s.Handler(), "/v1/ingest", map[string]any{"snapshots": byName})
+	wv := postJSON(t, s.Handler(), "/v1/ingest", map[string]any{"snapshots": byValues})
+	if wn.Code != http.StatusOK || wv.Code != http.StatusOK {
+		t.Fatalf("ingest: by-name %d, by-values %d", wn.Code, wv.Code)
+	}
+	var rn, rv struct {
+		Results []struct {
+			Class string `json:"class"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(wn.Body.Bytes(), &rn); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wv.Body.Bytes(), &rv); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rn.Results {
+		if rn.Results[i].Class != rv.Results[i].Class {
+			t.Fatalf("snapshot %d: by-name %q, by-values %q", i, rn.Results[i].Class, rv.Results[i].Class)
+		}
+	}
+}
+
+// TestPprofGating checks the profiling endpoints are absent by default
+// and mounted with Config.EnablePprof.
+func TestPprofGating(t *testing.T) {
+	get := func(s *Server, path string) int {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+	off := newTestServer(t, Config{})
+	if code := get(off, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+	on := newTestServer(t, Config{EnablePprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if code := get(on, path); code != http.StatusOK {
+			t.Errorf("pprof enabled: GET %s = %d, want 200", path, code)
+		}
+	}
+}

@@ -47,6 +47,11 @@ type Config struct {
 	// endpoints answer 503). The server wires the service's live
 	// composition lookup to its session registry.
 	Placement *placement.Service
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
+	// exposes goroutine stacks and heap contents, so it is opt-in
+	// (appclassd -pprof).
+	EnablePprof bool
 	// Now supplies wall-clock time; tests inject fake clocks. Nil means
 	// time.Now.
 	Now func() time.Time
@@ -61,6 +66,10 @@ type Server struct {
 	counters *counters
 	mux      *http.ServeMux
 	start    time.Time
+	// valuesPool recycles schema-length value buffers for the by-name
+	// ingest decode path; Online does not retain snapshot values, so a
+	// buffer can go back to the pool as soon as its batch is observed.
+	valuesPool sync.Pool
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -106,6 +115,10 @@ func New(cfg Config) (*Server, error) {
 		stopc:    make(chan struct{}),
 	}
 	s.start = cfg.Now()
+	s.valuesPool.New = func() any {
+		b := make([]float64, cfg.Schema.Len())
+		return &b
+	}
 	if cfg.Placement != nil {
 		cfg.Placement.SetLive(s.liveComposition)
 	}
@@ -322,4 +335,50 @@ func (s *Server) observe(vm string, at time.Duration, values []float64) (string,
 		return string(class), nil
 	}
 	return "", fmt.Errorf("server: session for %q kept being evicted mid-ingest", vm)
+}
+
+// observeBatch routes a VM's whole snapshot group into its session
+// under a single lock acquisition — the batched counterpart of observe.
+// classes is an optional result buffer (reused when it has capacity);
+// the returned slice is owned by the caller. Like observe, it retries
+// when it races a concurrent eviction of the same VM.
+func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []appclass.Class) ([]appclass.Class, error) {
+	if len(snaps) == 0 {
+		return classes[:0], nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
+			online, err := classify.NewOnline(s.cfg.Classifier, s.cfg.Schema)
+			if err != nil {
+				return nil, err
+			}
+			return &session{vm: vm, online: online, lastSeen: s.now()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if created {
+			s.cfg.Logf("server: new session for %s", vm)
+		}
+		sess.mu.Lock()
+		if sess.finalized {
+			sess.mu.Unlock()
+			continue // lost a race with the janitor; re-resolve
+		}
+		out, err := sess.online.ObserveBatch(snaps, classes)
+		if err == nil {
+			sess.lastSeen = s.now()
+		}
+		sess.mu.Unlock()
+		if err != nil {
+			s.counters.ingestErrors.Add(1)
+			return nil, err
+		}
+		s.counters.ingested.Add(int64(len(out)))
+		for _, class := range out {
+			s.counters.classified(class)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("server: session for %q kept being evicted mid-ingest", vm)
 }
