@@ -36,6 +36,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/testbed"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -274,13 +275,35 @@ func BenchmarkClassificationCostPerSampleConvenience(b *testing.B) {
 // snaps/s metric is whole-pipeline throughput including JSON
 // encode/decode.
 func BenchmarkIngestBatch(b *testing.B) {
+	benchIngestBatch(b, nil)
+}
+
+// BenchmarkIngestBatchJournaled is the same pipeline with write-ahead
+// journaling on (fsync=interval, the daemon default): every batch is
+// appended to the journal before classification. The acceptance bar is
+// staying within 25% of the unjournaled snaps/s.
+func BenchmarkIngestBatchJournaled(b *testing.B) {
+	j, err := wal.Open(wal.Config{
+		Dir:      b.TempDir(),
+		Fsync:    wal.FsyncInterval,
+		MaxBytes: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	benchIngestBatch(b, j)
+}
+
+func benchIngestBatch(b *testing.B, journal *wal.Journal) {
+	b.Helper()
 	training, tests := loadRuns(b)
 	cl, err := classify.Train(training, classify.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	schema := tests[0].trace.Schema()
-	srv, err := server.New(server.Config{Classifier: cl, Schema: schema})
+	srv, err := server.New(server.Config{Classifier: cl, Schema: schema, Journal: journal})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -332,6 +355,42 @@ func BenchmarkIngestBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*vms*perVM)/b.Elapsed().Seconds(), "snaps/s")
+}
+
+// BenchmarkJournalAppend measures the write-ahead journal's append path
+// in isolation: an 8-snapshot batch encoded (length prefix + CRC32C +
+// binary payload) and written to the active segment. With fsync=never
+// the encode buffer is reused and the path must stay at 0 allocs/op
+// (rotation and retention pruning amortize to zero); CI gates on it.
+func BenchmarkJournalAppend(b *testing.B) {
+	_, tests := loadRuns(b)
+	trace := tests[0].trace
+	snaps := make([]metrics.Snapshot, 8)
+	for i := range snaps {
+		snaps[i] = trace.At(i % trace.Len())
+	}
+	j, err := wal.Open(wal.Config{
+		Dir:      b.TempDir(),
+		Fsync:    wal.FsyncNever,
+		MaxBytes: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	// Warm the reused encode buffer so growth isn't charged to the loop.
+	if _, err := j.AppendBatch("bench-vm", snaps); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.AppendBatch("bench-vm", snaps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(snaps))/b.Elapsed().Seconds(), "snaps/s")
 }
 
 // BenchmarkClassificationCostTraining measures the train+PCA side of

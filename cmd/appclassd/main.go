@@ -13,11 +13,17 @@
 // heuristic; /v1/hosts exposes the inventory and per-class load
 // vectors.
 //
+// With -journal-dir the daemon journals every accepted batch to an
+// append-only write-ahead log before classifying it and checkpoints
+// live sessions periodically; after a crash it recovers sessions from
+// the latest checkpoint plus the journal tail before accepting traffic.
+//
 // Usage:
 //
 //	appclassd -addr :8080 -db appdb.json
 //	appclassd -model model.json -gmetad http://gmetad:8651/ -poll 5s
 //	appclassd -db appdb.json -hosts hostA:4,hostB:4 -rates 10,8,6,4,1
+//	appclassd -journal-dir /var/lib/appclassd/journal -fsync interval -checkpoint-every 30s
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/placement"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // config is the daemon's parsed command line.
@@ -57,6 +64,13 @@ type config struct {
 	rates  string
 	drift  float64
 	pprof  bool
+
+	journalDir      string
+	fsync           string
+	fsyncInterval   time.Duration
+	checkpointEvery time.Duration
+	journalSegBytes int64
+	journalMaxBytes int64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -75,6 +89,12 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.rates, "rates", "", "cost-model rates as cpu,mem,io,net,idle (default 1,1,1,1,0)")
 	fs.Float64Var(&cfg.drift, "drift", 0, "migration-advisor drift threshold in [0,1] (default 0.25)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+	fs.StringVar(&cfg.journalDir, "journal-dir", "", "write-ahead journal directory (enables durable ingest and crash recovery)")
+	fs.StringVar(&cfg.fsync, "fsync", "interval", "journal fsync policy: always, interval, or never")
+	fs.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "fsync cadence for -fsync interval")
+	fs.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 30*time.Second, "session checkpoint cadence")
+	fs.Int64Var(&cfg.journalSegBytes, "journal-segment-bytes", 0, "rotate journal segments at this size (default 8 MiB)")
+	fs.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "cap closed journal segments at this total size, dropping the oldest (default unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -83,6 +103,21 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.hosts == "" && cfg.rates != "" {
 		return config{}, fmt.Errorf("-rates requires -hosts")
+	}
+	if _, err := wal.ParsePolicy(cfg.fsync); err != nil {
+		return config{}, err
+	}
+	if cfg.journalDir == "" {
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fsync", "fsync-interval", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes":
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return config{}, fmt.Errorf("%s require(s) -journal-dir", strings.Join(set, ", "))
+		}
 	}
 	return cfg, nil
 }
@@ -189,19 +224,54 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		log.Printf("appclassd: placement service over %d host(s)", len(hosts))
 	}
 
+	var journal *wal.Journal
+	if cfg.journalDir != "" {
+		policy, err := wal.ParsePolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		journal, err = wal.Open(wal.Config{
+			Dir:          cfg.journalDir,
+			SegmentBytes: cfg.journalSegBytes,
+			MaxBytes:     cfg.journalMaxBytes,
+			Fsync:        policy,
+			FsyncEvery:   cfg.fsyncInterval,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		log.Printf("appclassd: journaling to %s (fsync %s)", cfg.journalDir, policy)
+	}
+
 	srv, err := server.New(server.Config{
-		Classifier:    cl,
-		Schema:        metrics.DefaultSchema(),
-		DB:            db,
-		IdleTTL:       cfg.ttl,
-		SweepInterval: cfg.sweep,
-		Shards:        cfg.shards,
-		Placement:     placer,
-		EnablePprof:   cfg.pprof,
-		Logf:          log.Printf,
+		Classifier:      cl,
+		Schema:          metrics.DefaultSchema(),
+		DB:              db,
+		IdleTTL:         cfg.ttl,
+		SweepInterval:   cfg.sweep,
+		Shards:          cfg.shards,
+		Placement:       placer,
+		EnablePprof:     cfg.pprof,
+		Journal:         journal,
+		CheckpointEvery: cfg.checkpointEvery,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err
+	}
+	if journal != nil {
+		// Recover before accepting traffic: checkpointed sessions come
+		// back live, the journal tail replays into them.
+		rs, err := srv.Recover()
+		if err != nil {
+			return err
+		}
+		if rs.Sessions > 0 || rs.Records > 0 {
+			log.Printf("appclassd: recovered %d session(s), replayed %d snapshot(s), %d finalize(s)",
+				rs.Sessions, rs.Snapshots, rs.Finalized)
+		}
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -214,6 +284,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	}
 
 	srv.StartJanitor()
+	srv.StartCheckpointer()
 	if cfg.gmetad != "" {
 		if err := srv.StartPoller(server.PollConfig{URL: cfg.gmetad, Interval: cfg.poll}); err != nil {
 			ln.Close()
@@ -231,6 +302,9 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 
+	// Graceful shutdown: drain HTTP, flush every session into the db,
+	// write a final checkpoint, sync the journal. The deferred
+	// journal.Close then rotates it shut.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -255,6 +329,13 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		// Restore default signal handling so a second SIGTERM/SIGINT
+		// force-exits instead of waiting out the graceful drain.
+		stop()
+		log.Printf("appclassd: shutting down (send the signal again to force exit)")
+	}()
 	if err := run(ctx, cfg, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "appclassd: %v\n", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/wal"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -284,5 +285,94 @@ func TestRunWithPlacement(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never shut down")
+	}
+}
+
+func TestParseJournalFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-journal-dir", "/tmp/j", "-fsync", "always", "-fsync-interval", "2s",
+		"-checkpoint-every", "10s", "-journal-segment-bytes", "1024", "-journal-max-bytes", "4096",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.journalDir != "/tmp/j" || cfg.fsync != "always" || cfg.fsyncInterval != 2*time.Second ||
+		cfg.checkpointEvery != 10*time.Second || cfg.journalSegBytes != 1024 || cfg.journalMaxBytes != 4096 {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-journal-dir", "/tmp/j", "-fsync", "sometimes"}); err == nil {
+		t.Error("bad fsync policy: want error")
+	}
+	for _, args := range [][]string{
+		{"-fsync", "always"},
+		{"-checkpoint-every", "10s"},
+		{"-journal-max-bytes", "4096"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%v without -journal-dir: want error", args)
+		}
+	}
+}
+
+// TestRunWithJournal boots the daemon journaled, ingests, and shuts
+// down cleanly: the journal directory must hold a segment and a final
+// checkpoint with no live sessions.
+func TestRunWithJournal(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "journal")
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-model", savedModel(t),
+		"-journal-dir", jdir, "-fsync", "never",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	body, _ := json.Marshal(map[string]any{"snapshots": []any{map[string]any{
+		"vm":     "journal-vm",
+		"time_s": 0,
+		"values": make([]float64, metrics.DefaultSchema().Len()),
+	}}})
+	resp, err := http.Post("http://"+addr+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+
+	segs, err := filepath.Glob(filepath.Join(jdir, "journal-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments in %s (err %v)", jdir, err)
+	}
+	cp, err := wal.LatestCheckpoint(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("clean shutdown wrote no checkpoint")
 	}
 }

@@ -10,6 +10,7 @@
 //	tracetool downsample -factor 2 run.csv > half.csv
 //	tracetool project -metrics cpu_user,io_bi run.csv > small.csv
 //	tracetool expert run.csv > expert.csv
+//	tracetool journal verify /var/lib/appclassd/journal
 package main
 
 import (
@@ -45,7 +46,11 @@ commands:
   stats       print per-metric summary statistics
   downsample  keep every N-th snapshot (-factor N)
   project     keep selected metrics (-metrics a,b,c)
-  expert      keep the Table-1 expert metrics`)
+  expert      keep the Table-1 expert metrics
+  journal     inspect an appclassd write-ahead journal:
+              journal dump <dir>      print records and checkpoint
+              journal verify <dir>    check segment integrity (exit 1 if torn)
+              journal truncate <dir>  cut torn segments at the last valid record`)
 }
 
 func run(cmd string, args []string, stdout io.Writer) error {
@@ -91,6 +96,8 @@ func run(cmd string, args []string, stdout io.Writer) error {
 			}
 			return out.WriteCSV(stdout)
 		})
+	case "journal":
+		return journalCmd(args, stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return nil

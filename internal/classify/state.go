@@ -1,0 +1,134 @@
+package classify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// OnlineState is the serializable running state of an Online
+// classifier — everything Observe has accumulated, none of the trained
+// model (the model is persisted separately via Classifier.Save). The
+// daemon's checkpoints serialize one OnlineState per live VM session so
+// a restart can resume mid-run exactly where the crash happened.
+type OnlineState struct {
+	// Counts maps class name to the number of snapshots voted for it.
+	Counts map[string]int `json:"counts"`
+	// Total is the number of snapshots observed.
+	Total int `json:"total"`
+	// Last is the most recent snapshot class ("" before any snapshot).
+	Last string `json:"last,omitempty"`
+	// FirstAtNS and LastAtNS span every observed snapshot.
+	FirstAtNS int64 `json:"first_at_ns"`
+	LastAtNS  int64 `json:"last_at_ns"`
+	// HistCap is the history retention cap in effect.
+	HistCap int `json:"hist_cap"`
+	// Dropped counts history entries trimmed by the retention cap.
+	Dropped int `json:"dropped"`
+	// History is the retained classified-snapshot sequence.
+	History []TimedClassState `json:"history,omitempty"`
+	// Drift holds one streaming accumulator per expert metric.
+	Drift []stats.WelfordState `json:"drift"`
+}
+
+// TimedClassState is the wire form of one TimedClass entry.
+type TimedClassState struct {
+	AtNS  int64  `json:"at_ns"`
+	Class string `json:"class"`
+}
+
+// ExportState captures the classifier's running state for
+// serialization. The caller must hold whatever lock guards Observe.
+func (o *Online) ExportState() OnlineState {
+	st := OnlineState{
+		Counts:    make(map[string]int, len(o.counts)),
+		Total:     o.total,
+		Last:      string(o.last),
+		FirstAtNS: int64(o.firstAt),
+		LastAtNS:  int64(o.lastAt),
+		HistCap:   o.histCap,
+		Dropped:   o.dropped,
+		History:   make([]TimedClassState, len(o.history)),
+		Drift:     make([]stats.WelfordState, len(o.drift)),
+	}
+	for c, n := range o.counts {
+		st.Counts[string(c)] = n
+	}
+	for i, tc := range o.history {
+		st.History[i] = TimedClassState{AtNS: int64(tc.At), Class: string(tc.Class)}
+	}
+	for i := range o.drift {
+		st.Drift[i] = o.drift[i].State()
+	}
+	return st
+}
+
+// RestoreOnline reconstructs an Online classifier from an exported
+// state, validating every invariant Observe would have maintained: a
+// restored session continues the stream exactly where the exported one
+// stopped, so checkpoint + journal-tail replay reproduces the
+// uninterrupted run.
+func RestoreOnline(cl *Classifier, schema *metrics.Schema, st OnlineState) (*Online, error) {
+	o, err := NewOnline(cl, schema)
+	if err != nil {
+		return nil, err
+	}
+	if st.Total < 0 {
+		return nil, fmt.Errorf("classify: restore: negative total %d", st.Total)
+	}
+	sum := 0
+	for name, n := range st.Counts {
+		class, err := appclass.Parse(name)
+		if err != nil {
+			return nil, fmt.Errorf("classify: restore: count class: %w", err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("classify: restore: class %s has negative count %d", name, n)
+		}
+		o.counts[class] = n
+		sum += n
+	}
+	if sum != st.Total {
+		return nil, fmt.Errorf("classify: restore: counts sum to %d, total is %d", sum, st.Total)
+	}
+	if st.Dropped < 0 || st.Dropped+len(st.History) != st.Total {
+		return nil, fmt.Errorf("classify: restore: %d retained + %d dropped history entries, total is %d",
+			len(st.History), st.Dropped, st.Total)
+	}
+	if len(st.Drift) != len(o.subset) {
+		return nil, fmt.Errorf("classify: restore: %d drift accumulators, want %d", len(st.Drift), len(o.subset))
+	}
+	if st.Total > 0 {
+		last, err := appclass.Parse(st.Last)
+		if err != nil {
+			return nil, fmt.Errorf("classify: restore: last class: %w", err)
+		}
+		o.last = last
+	}
+	o.total = st.Total
+	o.firstAt = time.Duration(st.FirstAtNS)
+	o.lastAt = time.Duration(st.LastAtNS)
+	o.histCap = st.HistCap
+	o.dropped = st.Dropped
+	if len(st.History) > 0 {
+		o.history = make([]TimedClass, len(st.History))
+		for i, tc := range st.History {
+			class, err := appclass.Parse(tc.Class)
+			if err != nil {
+				return nil, fmt.Errorf("classify: restore: history entry %d: %w", i, err)
+			}
+			o.history[i] = TimedClass{At: time.Duration(tc.AtNS), Class: class}
+		}
+	}
+	for i, ws := range st.Drift {
+		w, err := stats.WelfordFromState(ws)
+		if err != nil {
+			return nil, fmt.Errorf("classify: restore: drift %d: %w", i, err)
+		}
+		o.drift[i] = w
+	}
+	return o, nil
+}

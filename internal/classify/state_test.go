@@ -1,0 +1,170 @@
+package classify
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// mixedTrace builds a multi-stage trace: an IO phase followed by a CPU
+// phase, so checkpoints carry a nontrivial composition and history.
+func mixedTrace(t *testing.T) *metrics.Trace {
+	t.Helper()
+	tr := metrics.NewTrace(metrics.ExpertSchema(), "vm1")
+	add := func(src *metrics.Trace) {
+		for i := 0; i < src.Len(); i++ {
+			snap := src.At(i)
+			snap.Time = time.Duration(tr.Len()*5) * time.Second
+			if err := tr.Append(snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(syntheticTrace(t, appclass.IO, 12, 31))
+	add(syntheticTrace(t, appclass.CPU, 12, 32))
+	return tr
+}
+
+// TestStateRoundTripResumesExactly interrupts an online stream halfway,
+// exports/imports the state (through JSON, like a checkpoint does), and
+// feeds the second half to both the original and the restored
+// classifier: every observable — composition, majority class, history,
+// drift — must agree.
+func TestStateRoundTripResumesExactly(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	schema := metrics.ExpertSchema()
+	trace := mixedTrace(t)
+
+	orig, err := NewOnline(cl, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := trace.Len() / 2
+	for i := 0; i < half; i++ {
+		if _, err := orig.Observe(trace.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Checkpoint shape: export -> JSON -> import.
+	doc, err := json.Marshal(orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st OnlineState
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreOnline(cl, schema, st)
+	if err != nil {
+		t.Fatalf("RestoreOnline: %v", err)
+	}
+
+	for i := half; i < trace.Len(); i++ {
+		co, err := orig.Observe(trace.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := restored.Observe(trace.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if co != cr {
+			t.Fatalf("snapshot %d: original classified %s, restored %s", i, co, cr)
+		}
+	}
+
+	vo, vr := orig.Snapshot(), restored.Snapshot()
+	if vo.Class != vr.Class || vo.LastClass != vr.LastClass || vo.Total != vr.Total ||
+		vo.FirstAt != vr.FirstAt || vo.LastAt != vr.LastAt {
+		t.Errorf("views diverge:\noriginal %+v\nrestored %+v", vo, vr)
+	}
+	if !reflect.DeepEqual(vo.Composition, vr.Composition) {
+		t.Errorf("compositions diverge: %v vs %v", vo.Composition, vr.Composition)
+	}
+	if d := math.Abs(vo.Drift - vr.Drift); d > 1e-12 {
+		t.Errorf("drift scores diverge by %v (%v vs %v)", d, vo.Drift, vr.Drift)
+	}
+	if !reflect.DeepEqual(orig.History(), restored.History()) {
+		t.Errorf("histories diverge (%d vs %d entries)", len(orig.History()), len(restored.History()))
+	}
+	if orig.HistoryDropped() != restored.HistoryDropped() {
+		t.Errorf("dropped diverge: %d vs %d", orig.HistoryDropped(), restored.HistoryDropped())
+	}
+}
+
+// TestStateRoundTripWithTrimmedHistory checkpoints a session whose
+// retention cap has already dropped entries.
+func TestStateRoundTripWithTrimmedHistory(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	schema := metrics.ExpertSchema()
+	trace := mixedTrace(t)
+
+	o, err := NewOnline(cl, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetHistoryCap(4)
+	for i := 0; i < trace.Len(); i++ {
+		if _, err := o.Observe(trace.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.HistoryDropped() == 0 {
+		t.Fatalf("test needs a trimmed history (trace len %d, cap 4)", trace.Len())
+	}
+	restored, err := RestoreOnline(cl, schema, o.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seen() != o.Seen() || restored.HistoryDropped() != o.HistoryDropped() {
+		t.Errorf("restored seen/dropped = %d/%d, want %d/%d",
+			restored.Seen(), restored.HistoryDropped(), o.Seen(), o.HistoryDropped())
+	}
+	if !reflect.DeepEqual(restored.History(), o.History()) {
+		t.Errorf("trimmed histories diverge")
+	}
+}
+
+func TestRestoreOnlineRejectsInvalidState(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	schema := metrics.ExpertSchema()
+	o, err := NewOnline(cl, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Observe(mixedTrace(t).At(0)); err != nil {
+		t.Fatal(err)
+	}
+	good := o.ExportState()
+
+	mutate := func(f func(*OnlineState)) OnlineState {
+		doc, _ := json.Marshal(good)
+		var st OnlineState
+		_ = json.Unmarshal(doc, &st)
+		f(&st)
+		return st
+	}
+	cases := map[string]OnlineState{
+		"bad count class":  mutate(func(s *OnlineState) { s.Counts["warp"] = s.Counts[s.Last]; delete(s.Counts, s.Last) }),
+		"count mismatch":   mutate(func(s *OnlineState) { s.Total += 3 }),
+		"history mismatch": mutate(func(s *OnlineState) { s.History = nil }),
+		"bad last":         mutate(func(s *OnlineState) { s.Last = "warp" }),
+		"drift arity":      mutate(func(s *OnlineState) { s.Drift = s.Drift[:1] }),
+		"bad drift":        mutate(func(s *OnlineState) { s.Drift[0] = stats.WelfordState{N: -1} }),
+		"bad history class": mutate(func(s *OnlineState) {
+			s.History[0].Class = "warp"
+		}),
+	}
+	for name, st := range cases {
+		if _, err := RestoreOnline(cl, schema, st); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/placement"
+	"repro/internal/wal"
 )
 
 // counters holds the daemon's observability state: monotonically
@@ -25,6 +26,14 @@ type counters struct {
 	placements      atomic.Int64 // placement decisions served
 	placementErrors atomic.Int64 // placement requests refused (full inventory)
 	releases        atomic.Int64 // placements released
+
+	journalRecords    atomic.Int64 // records appended to the write-ahead journal
+	journalErrors     atomic.Int64 // failed journal appends
+	checkpoints       atomic.Int64 // checkpoints written
+	checkpointErrors  atomic.Int64 // failed checkpoint writes
+	replayedSnapshots atomic.Int64 // snapshots re-applied from the journal at startup
+	recoveredSessions atomic.Int64 // sessions restored from a checkpoint at startup
+
 	classifications map[appclass.Class]*atomic.Int64
 }
 
@@ -42,10 +51,19 @@ func (c *counters) classified(cl appclass.Class) {
 	}
 }
 
+// durabilityGauges is the journal-depth view rendered in /metricsz:
+// the journal's stats snapshot plus how long ago it last fsynced
+// (negative when it never has).
+type durabilityGauges struct {
+	journal         wal.Stats
+	fsyncAgeSeconds float64
+}
+
 // writeMetrics renders every counter plus the caller-supplied gauges in
 // Prometheus text format. pstats is nil when no placement service is
-// configured.
-func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats) {
+// configured; dg is nil when no journal is configured; historyDropped
+// sums Online.HistoryDropped over live sessions.
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -67,6 +85,12 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_placements_total", "Placement decisions served.", c.placements.Load())
 	counter("appclassd_placement_errors_total", "Placement requests refused.", c.placementErrors.Load())
 	counter("appclassd_releases_total", "Placements released.", c.releases.Load())
+	counter("appclassd_journal_records_total", "Records appended to the write-ahead journal.", c.journalRecords.Load())
+	counter("appclassd_journal_errors_total", "Failed journal appends.", c.journalErrors.Load())
+	counter("appclassd_checkpoints_total", "Session checkpoints written.", c.checkpoints.Load())
+	counter("appclassd_checkpoint_errors_total", "Failed checkpoint writes.", c.checkpointErrors.Load())
+	counter("appclassd_replayed_snapshots_total", "Snapshots re-applied from the journal at startup.", c.replayedSnapshots.Load())
+	counter("appclassd_recovered_sessions_total", "Sessions restored from a checkpoint at startup.", c.recoveredSessions.Load())
 
 	total := 0
 	for _, n := range sessions {
@@ -76,6 +100,13 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	fmt.Fprintf(w, "# HELP appclassd_shard_sessions Live sessions per registry shard.\n# TYPE appclassd_shard_sessions gauge\n")
 	for i, n := range sessions {
 		fmt.Fprintf(w, "appclassd_shard_sessions{shard=\"%d\"} %d\n", i, n)
+	}
+	fmt.Fprintf(w, "# HELP appclassd_history_dropped_total History entries trimmed by the retention cap across live sessions.\n# TYPE appclassd_history_dropped_total gauge\nappclassd_history_dropped_total %d\n", historyDropped)
+	if dg != nil {
+		fmt.Fprintf(w, "# HELP appclassd_journal_segments Journal segment files on disk, including the active one.\n# TYPE appclassd_journal_segments gauge\nappclassd_journal_segments %d\n", dg.journal.Segments)
+		fmt.Fprintf(w, "# HELP appclassd_journal_bytes Total bytes of journal segments on disk.\n# TYPE appclassd_journal_bytes gauge\nappclassd_journal_bytes %d\n", dg.journal.Bytes)
+		fmt.Fprintf(w, "# HELP appclassd_journal_truncated_segments_total Closed journal segments deleted by the retention cap.\n# TYPE appclassd_journal_truncated_segments_total counter\nappclassd_journal_truncated_segments_total %d\n", dg.journal.TruncatedSegments)
+		fmt.Fprintf(w, "# HELP appclassd_journal_last_fsync_age_seconds Seconds since the journal last fsynced (-1 if never).\n# TYPE appclassd_journal_last_fsync_age_seconds gauge\nappclassd_journal_last_fsync_age_seconds %g\n", dg.fsyncAgeSeconds)
 	}
 	if pstats != nil {
 		fmt.Fprintf(w, "# HELP appclassd_hosts Hosts in the placement inventory.\n# TYPE appclassd_hosts gauge\nappclassd_hosts %d\n", pstats.Hosts)

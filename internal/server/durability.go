@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/wal"
+)
+
+// checkpointPayload is the JSON document a checkpoint stores: one
+// serialized Online state per live session, plus the wall-clock moment
+// each session last saw a snapshot (so idle-TTL accounting survives a
+// restart).
+type checkpointPayload struct {
+	Sessions []sessionCheckpoint `json:"sessions"`
+}
+
+type sessionCheckpoint struct {
+	VM             string               `json:"vm"`
+	LastSeenUnixNS int64                `json:"last_seen_unix_ns"`
+	State          classify.OnlineState `json:"state"`
+}
+
+// Checkpoint serializes every live session together with the current
+// journal position into an atomically written checkpoint file. Recovery
+// is then "restore these sessions, replay the journal from this
+// position". No-op without a journal.
+func (s *Server) Checkpoint() error {
+	j := s.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	// Quiesce ingest: with the write side of ckptMu held, no journal
+	// append can interleave with its session-state application, so the
+	// position and the states below are one consistent cut.
+	s.ckptMu.Lock()
+	pos := j.Pos()
+	var payload checkpointPayload
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		if !sess.finalized {
+			payload.Sessions = append(payload.Sessions, sessionCheckpoint{
+				VM:             sess.vm,
+				LastSeenUnixNS: sess.lastSeen.UnixNano(),
+				State:          sess.online.ExportState(),
+			})
+		}
+		sess.mu.Unlock()
+	}
+	s.ckptMu.Unlock()
+
+	// ExportState deep-copies, so encoding and the disk write happen
+	// outside the quiesce.
+	doc, err := json.Marshal(payload)
+	if err != nil {
+		s.counters.checkpointErrors.Add(1)
+		return fmt.Errorf("server: encode checkpoint: %w", err)
+	}
+	seq, err := wal.SaveCheckpoint(j.Dir(), pos, s.now(), doc)
+	if err != nil {
+		s.counters.checkpointErrors.Add(1)
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	s.counters.checkpoints.Add(1)
+	s.cfg.Logf("server: checkpoint %d: %d session(s) at seg %d off %d",
+		seq, len(payload.Sessions), pos.Seg, pos.Off)
+	return nil
+}
+
+// StartCheckpointer launches the periodic checkpoint loop (cadence
+// Config.CheckpointEvery). Finalizations nudge it so finalize markers
+// are covered by a checkpoint promptly. No-op without a journal.
+func (s *Server) StartCheckpointer() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.loops.Add(1)
+	go func() {
+		defer s.loops.Done()
+		t := time.NewTicker(s.cfg.CheckpointEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-t.C:
+			case <-s.ckptKick:
+			}
+			if err := s.Checkpoint(); err != nil {
+				s.cfg.Logf("server: %v", err)
+			}
+		}
+	}()
+}
+
+// kickCheckpointer requests a prompt checkpoint without blocking; a
+// kick while one is already pending coalesces.
+func (s *Server) kickCheckpointer() {
+	select {
+	case s.ckptKick <- struct{}{}:
+	default:
+	}
+}
+
+// RecoveryStats reports what Recover rebuilt.
+type RecoveryStats struct {
+	// CheckpointSeq is the checkpoint recovery started from (0 if none).
+	CheckpointSeq uint64
+	// Sessions restored from the checkpoint.
+	Sessions int
+	// Records, Snapshots, and Finalized count journal-tail replay work:
+	// batch records applied, snapshots inside them, and finalize markers
+	// honored.
+	Records   int
+	Snapshots int
+	Finalized int
+	// Errors counts records that could not be applied (logged, skipped).
+	Errors int
+	// Truncated reports a torn journal tail — the normal crash shape;
+	// replay stopped at the last valid record.
+	Truncated bool
+}
+
+// Recover rebuilds live sessions after a restart: it loads the latest
+// checkpoint (if any), restores each serialized session, then replays
+// the journal tail from the checkpoint's position — batches re-classify
+// into their sessions, finalize markers finalize into the application
+// database. Call it after New and before serving traffic; it is
+// single-threaded and must not race ingest. No-op without a journal.
+func (s *Server) Recover() (RecoveryStats, error) {
+	var rs RecoveryStats
+	j := s.cfg.Journal
+	if j == nil {
+		return rs, nil
+	}
+	cp, err := wal.LatestCheckpoint(j.Dir())
+	if err != nil {
+		return rs, fmt.Errorf("server: recover: %w", err)
+	}
+	var from wal.Position
+	if cp != nil {
+		var payload checkpointPayload
+		if err := json.Unmarshal(cp.Payload, &payload); err != nil {
+			return rs, fmt.Errorf("server: recover: decode checkpoint %d: %w", cp.Seq, err)
+		}
+		for _, sc := range payload.Sessions {
+			online, err := classify.RestoreOnline(s.cfg.Classifier, s.cfg.Schema, sc.State)
+			if err != nil {
+				return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
+			}
+			sess := &session{vm: sc.VM, online: online, lastSeen: time.Unix(0, sc.LastSeenUnixNS)}
+			if _, created, err := s.reg.getOrCreate(sc.VM, func() (*session, error) {
+				return sess, nil
+			}); err != nil {
+				return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
+			} else if !created {
+				return rs, fmt.Errorf("server: recover: duplicate session %s in checkpoint %d", sc.VM, cp.Seq)
+			}
+			rs.Sessions++
+		}
+		from = cp.Pos
+		rs.CheckpointSeq = cp.Seq
+	}
+	s.counters.recoveredSessions.Add(int64(rs.Sessions))
+
+	replay, err := wal.Replay(j.Dir(), from, func(pos wal.Position, rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecordBatch:
+			if _, err := s.observeBatch(rec.VM, rec.Snaps, nil, false); err != nil {
+				rs.Errors++
+				s.cfg.Logf("server: recover: replay batch for %s at seg %d off %d: %v",
+					rec.VM, pos.Seg, pos.Off, err)
+				return nil
+			}
+			rs.Records++
+			rs.Snapshots += len(rec.Snaps)
+			s.counters.replayedSnapshots.Add(int64(len(rec.Snaps)))
+		case wal.RecordFinalize:
+			rs.Records++
+			sess, ok := s.reg.get(rec.VM)
+			if !ok {
+				// Session finalized with no prior state in this tail — its
+				// batches were all covered by the checkpoint cut or it never
+				// classified anything. Nothing to finalize again.
+				return nil
+			}
+			if s.finalize(sess, false) {
+				rs.Finalized++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return rs, fmt.Errorf("server: recover: %w", err)
+	}
+	rs.Truncated = replay.Truncated
+	if rs.Truncated {
+		s.cfg.Logf("server: recover: journal tail torn at seg %d off %d (crash mid-write); replay stopped at last valid record",
+			replay.TruncatedAt.Seg, replay.TruncatedAt.Off)
+	}
+	if rs.Sessions > 0 || rs.Records > 0 {
+		s.cfg.Logf("server: recovered %d session(s) from checkpoint %d, replayed %d record(s) (%d snapshot(s), %d finalize(s), %d error(s))",
+			rs.Sessions, rs.CheckpointSeq, rs.Records, rs.Snapshots, rs.Finalized, rs.Errors)
+	}
+	return rs, nil
+}

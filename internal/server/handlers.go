@@ -171,7 +171,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			snaps = append(snaps, batch[i])
 		}
 		var err error
-		classes, err = s.observeBatch(vm, snaps, classes)
+		classes, err = s.observeBatch(vm, snaps, classes, true)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "classify %s: %v", vm, err)
 			return
@@ -302,7 +302,7 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no live session for vm %q", vm)
 		return
 	}
-	if !s.finalize(sess) {
+	if !s.finalize(sess, true) {
 		// Another finisher or the janitor got here first; the session is
 		// gone either way.
 		writeError(w, http.StatusNotFound, "session for vm %q already finalized", vm)
@@ -362,5 +362,20 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.Placement.Stat()
 		pstats = &st
 	}
-	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats)
+	var historyDropped int64
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		historyDropped += int64(sess.online.HistoryDropped())
+		sess.mu.Unlock()
+	}
+	var dg *durabilityGauges
+	if j := s.cfg.Journal; j != nil {
+		st := j.Stats()
+		age := -1.0
+		if !st.LastSync.IsZero() {
+			age = s.now().Sub(st.LastSync).Seconds()
+		}
+		dg = &durabilityGauges{journal: st, fsyncAgeSeconds: age}
+	}
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg)
 }

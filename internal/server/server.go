@@ -23,6 +23,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/wal"
 )
 
 // Config parameterizes the daemon.
@@ -47,6 +48,17 @@ type Config struct {
 	// endpoints answer 503). The server wires the service's live
 	// composition lookup to its session registry.
 	Placement *placement.Service
+	// Journal, when non-nil, makes ingest durable: every validated batch
+	// is appended to the write-ahead journal before it is classified, a
+	// finalize marker is journaled when a session ends, and Recover
+	// rebuilds live sessions from the latest checkpoint plus the journal
+	// tail after a crash. Nil keeps the daemon purely in-memory. The
+	// caller owns the journal (and closes it after Shutdown).
+	Journal *wal.Journal
+	// CheckpointEvery is the cadence of the background checkpointer
+	// started by StartCheckpointer. Zero means 30 seconds. Ignored
+	// without a Journal.
+	CheckpointEvery time.Duration
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
 	// exposes goroutine stacks and heap contents, so it is opt-in
@@ -70,6 +82,17 @@ type Server struct {
 	// ingest decode path; Online does not retain snapshot values, so a
 	// buffer can go back to the pool as soon as its batch is observed.
 	valuesPool sync.Pool
+
+	// ckptMu orders ingest against checkpoints: the journal-append +
+	// classify pair in observe/observeBatch (and the journal-append +
+	// finalize pair in finalize) runs under the read side, and Checkpoint
+	// takes the write side so the journal position it records and the
+	// session states it serializes are one consistent cut — replay from a
+	// checkpoint neither double-applies nor loses a record.
+	ckptMu sync.RWMutex
+	// ckptKick nudges the checkpointer loop after a finalization so the
+	// finalize record's effect is captured promptly.
+	ckptKick chan struct{}
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -103,6 +126,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 30 * time.Second
+	}
 	// Fail fast on a classifier/schema mismatch instead of on the first
 	// ingest request.
 	if _, err := classify.NewOnline(cfg.Classifier, cfg.Schema); err != nil {
@@ -113,6 +139,7 @@ func New(cfg Config) (*Server, error) {
 		reg:      newRegistry(cfg.Shards),
 		counters: newCounters(),
 		stopc:    make(chan struct{}),
+		ckptKick: make(chan struct{}, 1),
 	}
 	s.start = cfg.Now()
 	s.valuesPool.New = func() any {
@@ -212,7 +239,7 @@ func (s *Server) EvictIdle() int {
 		if !idle {
 			continue
 		}
-		if s.finalize(sess) {
+		if s.finalize(sess, true) {
 			evicted++
 			s.counters.evictions.Add(1)
 		}
@@ -222,8 +249,17 @@ func (s *Server) EvictIdle() int {
 
 // finalize removes sess from the registry and writes its record to the
 // application database. It returns false if another finalizer won the
-// race.
-func (s *Server) finalize(sess *session) bool {
+// race. journal controls whether a finalize marker is appended to the
+// write-ahead journal: live finalizations journal so crash recovery
+// re-finalizes the session instead of resurrecting it; the replay path
+// passes false because its records are already on disk.
+func (s *Server) finalize(sess *session, journal bool) bool {
+	if s.cfg.Journal != nil && journal {
+		// Hold the checkpoint read-lock across the marker append and the
+		// state change so a checkpoint sees either both or neither.
+		s.ckptMu.RLock()
+		defer s.ckptMu.RUnlock()
+	}
 	if !s.reg.remove(sess.vm, sess) {
 		return false
 	}
@@ -235,6 +271,19 @@ func (s *Server) finalize(sess *session) bool {
 	sess.finalized = true
 	view := sess.online.Snapshot()
 	sess.mu.Unlock()
+
+	if s.cfg.Journal != nil && journal {
+		if _, err := s.cfg.Journal.AppendFinalize(sess.vm); err != nil {
+			// The session is already gone from the registry; losing the
+			// marker only risks a replay resurrecting an idle session,
+			// which the janitor will re-finalize.
+			s.counters.journalErrors.Add(1)
+			s.cfg.Logf("server: journal finalize %s: %v", sess.vm, err)
+		} else {
+			s.counters.journalRecords.Add(1)
+		}
+		s.kickCheckpointer()
+	}
 
 	if view.Total == 0 {
 		// A session that never classified anything (e.g. its first
@@ -264,7 +313,7 @@ func (s *Server) finalize(sess *session) bool {
 func (s *Server) FlushAll() int {
 	n := 0
 	for _, sess := range s.reg.all() {
-		if s.finalize(sess) {
+		if s.finalize(sess, true) {
 			n++
 			s.counters.flushed.Add(1)
 		}
@@ -273,8 +322,10 @@ func (s *Server) FlushAll() int {
 }
 
 // Shutdown gracefully stops the daemon: background loops halt, the
-// HTTP server (if serving) drains in-flight requests within ctx, and
-// every open session is flushed into the application database.
+// HTTP server (if serving) drains in-flight requests within ctx, every
+// open session is flushed into the application database, and — when a
+// journal is configured — a final checkpoint is written and the journal
+// synced, so a clean restart recovers instantly with nothing to replay.
 // Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
@@ -295,6 +346,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if n := s.FlushAll(); n > 0 {
 		s.cfg.Logf("server: flushed %d open session(s)", n)
 	}
+	if s.cfg.Journal != nil {
+		// The final checkpoint covers every flush marker above: it has no
+		// sessions and points past the last journal record.
+		if cerr := s.Checkpoint(); cerr != nil {
+			s.cfg.Logf("server: final checkpoint: %v", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+		if serr := s.cfg.Journal.Sync(); serr != nil {
+			s.cfg.Logf("server: final journal sync: %v", serr)
+			if err == nil {
+				err = serr
+			}
+		}
+	}
 	return err
 }
 
@@ -302,50 +369,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // creating the session on first contact. It retries when it races a
 // concurrent eviction of the same VM.
 func (s *Server) observe(vm string, at time.Duration, values []float64) (string, error) {
-	for attempt := 0; attempt < 3; attempt++ {
-		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
-			online, err := classify.NewOnline(s.cfg.Classifier, s.cfg.Schema)
-			if err != nil {
-				return nil, err
-			}
-			return &session{vm: vm, online: online, lastSeen: s.now()}, nil
-		})
-		if err != nil {
-			return "", err
-		}
-		if created {
-			s.cfg.Logf("server: new session for %s", vm)
-		}
-		sess.mu.Lock()
-		if sess.finalized {
-			sess.mu.Unlock()
-			continue // lost a race with the janitor; re-resolve
-		}
-		class, err := sess.online.Observe(metrics.Snapshot{Time: at, Node: vm, Values: values})
-		if err == nil {
-			sess.lastSeen = s.now()
-		}
-		sess.mu.Unlock()
-		if err != nil {
-			s.counters.ingestErrors.Add(1)
-			return "", err
-		}
-		s.counters.ingested.Add(1)
-		s.counters.classified(class)
-		return string(class), nil
+	classes, err := s.observeBatch(vm, []metrics.Snapshot{{Time: at, Node: vm, Values: values}}, nil, true)
+	if err != nil {
+		return "", err
 	}
-	return "", fmt.Errorf("server: session for %q kept being evicted mid-ingest", vm)
+	return string(classes[0]), nil
 }
 
 // observeBatch routes a VM's whole snapshot group into its session
 // under a single lock acquisition — the batched counterpart of observe.
 // classes is an optional result buffer (reused when it has capacity);
-// the returned slice is owned by the caller. Like observe, it retries
-// when it races a concurrent eviction of the same VM.
-func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []appclass.Class) ([]appclass.Class, error) {
+// the returned slice is owned by the caller. It retries when it races a
+// concurrent eviction of the same VM. journal selects write-ahead
+// durability: live ingest journals the batch before classifying it (so
+// a crash replays it), the recovery path passes false because its
+// records come from the journal.
+func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []appclass.Class, journal bool) ([]appclass.Class, error) {
 	if len(snaps) == 0 {
 		return classes[:0], nil
 	}
+	journal = journal && s.cfg.Journal != nil
 	for attempt := 0; attempt < 3; attempt++ {
 		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
 			online, err := classify.NewOnline(s.cfg.Classifier, s.cfg.Schema)
@@ -360,16 +403,39 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		if created {
 			s.cfg.Logf("server: new session for %s", vm)
 		}
+		if journal {
+			// The append + classify pair must be one atomic step from the
+			// checkpointer's point of view; see ckptMu.
+			s.ckptMu.RLock()
+		}
 		sess.mu.Lock()
 		if sess.finalized {
 			sess.mu.Unlock()
+			if journal {
+				s.ckptMu.RUnlock()
+			}
 			continue // lost a race with the janitor; re-resolve
+		}
+		if journal {
+			// Write-ahead: a batch that cannot be journaled is not
+			// classified, so the journal is never behind the session state.
+			if _, err := s.cfg.Journal.AppendBatch(vm, snaps); err != nil {
+				sess.mu.Unlock()
+				s.ckptMu.RUnlock()
+				s.counters.journalErrors.Add(1)
+				s.counters.ingestErrors.Add(1)
+				return nil, fmt.Errorf("server: journal batch for %s: %w", vm, err)
+			}
+			s.counters.journalRecords.Add(1)
 		}
 		out, err := sess.online.ObserveBatch(snaps, classes)
 		if err == nil {
 			sess.lastSeen = s.now()
 		}
 		sess.mu.Unlock()
+		if journal {
+			s.ckptMu.RUnlock()
+		}
 		if err != nil {
 			s.counters.ingestErrors.Add(1)
 			return nil, err

@@ -344,3 +344,28 @@ func (w *Welford) ZScore() ZScore {
 	}
 	return ZScore{Mean: w.mean, StdDev: sd}
 }
+
+// WelfordState is the exported form of a Welford accumulator, used to
+// persist streaming drift statistics across daemon restarts (session
+// checkpoints serialize it as JSON).
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State exports the accumulator for serialization.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// WelfordFromState reconstructs an accumulator exported with State.
+func WelfordFromState(s WelfordState) (Welford, error) {
+	if s.N < 0 {
+		return Welford{}, fmt.Errorf("stats: welford state has negative count %d", s.N)
+	}
+	if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) || math.IsNaN(s.M2) || math.IsInf(s.M2, 0) || s.M2 < 0 {
+		return Welford{}, fmt.Errorf("stats: welford state has invalid moments (mean %v, m2 %v)", s.Mean, s.M2)
+	}
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2}, nil
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfordStateRoundTrip(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3.5, -4, 10} {
+		w.Add(x)
+	}
+	restored, err := WelfordFromState(w.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != w.Count() || restored.Mean() != w.Mean() || restored.Variance() != w.Variance() {
+		t.Fatalf("restored = (%d %v %v), want (%d %v %v)",
+			restored.Count(), restored.Mean(), restored.Variance(),
+			w.Count(), w.Mean(), w.Variance())
+	}
+	// Continuing the stream on both must stay in lockstep.
+	w.Add(7)
+	restored.Add(7)
+	if restored.Mean() != w.Mean() || restored.Variance() != w.Variance() {
+		t.Errorf("post-restore divergence: (%v %v) vs (%v %v)",
+			restored.Mean(), restored.Variance(), w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordFromStateRejectsInvalid(t *testing.T) {
+	cases := []WelfordState{
+		{N: -1},
+		{N: 2, Mean: math.NaN()},
+		{N: 2, M2: math.Inf(1)},
+		{N: 2, M2: -1},
+	}
+	for _, c := range cases {
+		if _, err := WelfordFromState(c); err == nil {
+			t.Errorf("WelfordFromState(%+v): want error", c)
+		}
+	}
+}

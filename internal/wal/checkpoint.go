@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Checkpoint is a durable snapshot of serving state (the server's
+// serialized per-VM sessions) paired with the journal position it
+// covers: recovery loads the newest readable checkpoint and replays
+// the journal from Pos.
+type Checkpoint struct {
+	// Seq orders checkpoints; the highest readable one wins.
+	Seq uint64 `json:"seq"`
+	// Pos is the journal position the payload state covers: every
+	// record at or before Pos is folded into Payload, every record
+	// after it must be replayed.
+	Pos Position `json:"pos"`
+	// TakenAtUnixNS is when the checkpoint was captured.
+	TakenAtUnixNS int64 `json:"taken_at_unix_ns"`
+	// Payload is the caller-defined serialized state.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// TakenAt returns the capture time.
+func (c Checkpoint) TakenAt() time.Time { return time.Unix(0, c.TakenAtUnixNS) }
+
+// checkpointsToKeep is how many recent checkpoint files survive
+// pruning: the newest plus one fallback in case the newest is
+// unreadable (it is written atomically, so that means disk damage, not
+// a crash mid-write).
+const checkpointsToKeep = 2
+
+func checkpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%08d.ckpt", seq))
+}
+
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ckpt")
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listCheckpoints returns the checkpoint sequence numbers in dir,
+// oldest first.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: read %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		if seq, ok := parseCheckpointName(e.Name()); ok {
+			out = append(out, seq)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// SaveCheckpoint atomically writes a new checkpoint covering pos into
+// the journal directory — temp file, fsync, rename, exactly like the
+// application database's SaveFile — then prunes all but the newest
+// checkpointsToKeep files. It returns the new checkpoint's sequence.
+func SaveCheckpoint(dir string, pos Position, takenAt time.Time, payload []byte) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	seq := uint64(1)
+	if n := len(seqs); n > 0 {
+		seq = seqs[n-1] + 1
+	}
+	doc, err := json.Marshal(Checkpoint{
+		Seq:           seq,
+		Pos:           pos,
+		TakenAtUnixNS: takenAt.UnixNano(),
+		Payload:       payload,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	path := checkpointPath(dir, seq)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("wal: create temp in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (uint64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if _, err := f.Write(doc); err != nil {
+		return fail(fmt.Errorf("wal: write %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("wal: close %s: %w", tmp, err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: rename %s -> %s: %w", tmp, path, err)
+	}
+	// Prune older checkpoints; failures here are cosmetic (stale files),
+	// not correctness problems, so they do not fail the save.
+	for i := 0; i+checkpointsToKeep <= len(seqs); i++ {
+		os.Remove(checkpointPath(dir, seqs[i]))
+	}
+	return seq, nil
+}
+
+// LatestCheckpoint returns the newest readable checkpoint in dir, or
+// nil if none exists. An unreadable newer checkpoint is skipped in
+// favour of an older readable one.
+func LatestCheckpoint(dir string) (*Checkpoint, error) {
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(checkpointPath(dir, seqs[i]))
+		if err != nil {
+			continue
+		}
+		var c Checkpoint
+		if err := json.Unmarshal(b, &c); err != nil {
+			continue
+		}
+		return &c, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,477 @@
+// Package wal implements the durable-ingest substrate of the
+// classification daemon: an append-only, segment-rotated write-ahead
+// journal of the profiler stream plus atomically written session
+// checkpoints, so that recovery after a crash is "load the latest
+// checkpoint, replay the journal tail". Records are length-prefixed and
+// CRC32C-protected; a torn write at the tail (the normal crash shape)
+// is detected and replay stops cleanly at the last valid record.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Policy selects when the journal calls fsync.
+type Policy int
+
+const (
+	// FsyncInterval syncs from a background ticker (Config.FsyncEvery):
+	// bounded data loss, near-zero append latency. The default.
+	FsyncInterval Policy = iota
+	// FsyncAlways syncs after every append: no acknowledged record is
+	// ever lost, at the price of one fsync per batch.
+	FsyncAlways
+	// FsyncNever leaves syncing to the operating system's writeback:
+	// fastest, loses up to the dirty page cache on power failure (an
+	// ordinary process crash loses nothing — the pages are already in
+	// the kernel).
+	FsyncNever
+)
+
+// ParsePolicy maps the appclassd -fsync flag values onto policies.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Position addresses a byte boundary in the journal: the segment
+// sequence number and the offset within it. Append returns the position
+// after the appended record; a checkpoint stores the position its state
+// covers, and replay resumes from it.
+type Position struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Less orders positions by segment, then offset.
+func (p Position) Less(o Position) bool {
+	if p.Seg != o.Seg {
+		return p.Seg < o.Seg
+	}
+	return p.Off < o.Off
+}
+
+// Config parameterizes a journal.
+type Config struct {
+	// Dir is the journal directory (required; created if absent).
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes. Zero means 8 MiB.
+	SegmentBytes int64
+	// MaxBytes caps the total size of closed segments; once exceeded,
+	// the oldest closed segments are deleted (observable via
+	// Stats.TruncatedSegments). Zero means unlimited. The active segment
+	// is never deleted.
+	MaxBytes int64
+	// Fsync selects the sync policy. The zero value is FsyncInterval.
+	Fsync Policy
+	// FsyncEvery is the FsyncInterval cadence. Zero means 1 second.
+	FsyncEvery time.Duration
+	// Now supplies wall-clock time; tests inject fake clocks. Nil means
+	// time.Now.
+	Now func() time.Time
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time view of the journal's depth and activity,
+// rendered as gauges in the daemon's /metricsz.
+type Stats struct {
+	// Segments counts segment files on disk, including the active one.
+	Segments int
+	// Bytes is the total size of all segments on disk.
+	Bytes int64
+	// ActiveSeg is the sequence number of the segment being appended to.
+	ActiveSeg uint64
+	// Appends counts records appended since Open.
+	Appends int64
+	// Syncs counts fsync calls since Open.
+	Syncs int64
+	// Rotations counts segment rotations since Open.
+	Rotations int64
+	// TruncatedSegments counts closed segments deleted by the MaxBytes
+	// retention cap since Open — nonzero means the journal no longer
+	// holds the full history since the last checkpoint.
+	TruncatedSegments int64
+	// LastSync is when the journal last fsynced (zero if never).
+	LastSync time.Time
+}
+
+// closedSegment is one immutable, fully written segment on disk.
+type closedSegment struct {
+	seq  uint64
+	size int64
+}
+
+// Journal is an append-only write-ahead log. It is safe for concurrent
+// use; appends from many ingest goroutines serialize on one mutex, with
+// the encoding done into a reused buffer so the fsync=never append path
+// is allocation-free at steady state.
+type Journal struct {
+	cfg Config
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64 // active segment sequence
+	size   int64  // active segment size, including header
+	closed []closedSegment
+	buf    []byte // reused record encode buffer
+	dirty  bool   // unsynced bytes in the active segment
+	stats  Stats
+	done   bool
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Open creates or opens a journal directory and starts a fresh active
+// segment after any existing ones. Existing segments are never appended
+// to (their tails may be torn from a previous crash); they remain
+// readable for Replay until retention deletes them.
+func Open(cfg Config) (*Journal, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("wal: empty journal directory")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 8 << 20
+	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", cfg.Dir, err)
+	}
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{cfg: cfg, stopc: make(chan struct{})}
+	next := uint64(1)
+	for _, s := range segs {
+		j.closed = append(j.closed, s)
+		if s.seq >= next {
+			next = s.seq + 1
+		}
+	}
+	if err := j.openSegment(next); err != nil {
+		return nil, err
+	}
+	if cfg.Fsync == FsyncInterval {
+		j.wg.Add(1)
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.cfg.Dir }
+
+// segmentPath names segment seq inside dir.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%08d.wal", seq))
+}
+
+// listSegments returns the existing segments in dir, oldest first.
+func listSegments(dir string) ([]closedSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read %s: %w", dir, err)
+	}
+	var out []closedSegment
+	for _, e := range entries {
+		seq, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: stat %s: %w", e.Name(), err)
+		}
+		out = append(out, closedSegment{seq: seq, size: info.Size()})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out, nil
+}
+
+// parseSegmentName extracts the sequence number from a segment file
+// name, reporting whether the name is a segment at all.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal")
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// openSegment creates and headers a new active segment. Caller holds
+// j.mu (or is the constructor).
+func (j *Journal) openSegment(seq uint64) error {
+	path := segmentPath(j.cfg.Dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], segmentMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], segmentVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: write segment header %s: %w", path, err)
+	}
+	j.f = f
+	j.seq = seq
+	j.size = headerSize
+	j.dirty = true
+	return nil
+}
+
+// AppendBatch appends one validated ingest batch for vm and returns the
+// position after the record. Depending on the fsync policy the record
+// is durable on return (always), within FsyncEvery (interval), or at
+// the kernel's leisure (never).
+func (j *Journal) AppendBatch(vm string, snaps []metrics.Snapshot) (Position, error) {
+	return j.append(func(buf []byte) ([]byte, error) {
+		return appendBatchPayload(buf, vm, snaps)
+	})
+}
+
+// AppendFinalize appends a finalize marker for vm: replay stops feeding
+// the VM's session and finalizes it instead.
+func (j *Journal) AppendFinalize(vm string) (Position, error) {
+	return j.append(func(buf []byte) ([]byte, error) {
+		return appendFinalizePayload(buf, vm)
+	})
+}
+
+// append frames and writes one record payload produced by encode.
+func (j *Journal) append(encode func([]byte) ([]byte, error)) (Position, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return Position{}, fmt.Errorf("wal: journal is closed")
+	}
+	// Frame placeholder first so payload bytes land at their final
+	// offset in the shared buffer and one Write emits the whole record.
+	buf := append(j.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	buf, err := encode(buf)
+	if err != nil {
+		return Position{}, err
+	}
+	payload := buf[frameSize:]
+	if len(payload) > maxPayload {
+		return Position{}, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	j.buf = buf
+	if _, err := j.f.Write(buf); err != nil {
+		return Position{}, fmt.Errorf("wal: append to segment %d: %w", j.seq, err)
+	}
+	j.size += int64(len(buf))
+	j.dirty = true
+	j.stats.Appends++
+	if j.cfg.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			return Position{}, err
+		}
+	}
+	pos := Position{Seg: j.seq, Off: j.size}
+	if j.size >= j.cfg.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return Position{}, err
+		}
+	}
+	return pos, nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return fmt.Errorf("wal: journal is closed")
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync segment %d: %w", j.seq, err)
+	}
+	j.dirty = false
+	j.stats.Syncs++
+	j.stats.LastSync = j.cfg.Now()
+	return nil
+}
+
+// Rotate closes the active segment and starts a new one, then enforces
+// retention in the background.
+func (j *Journal) Rotate() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return fmt.Errorf("wal: journal is closed")
+	}
+	return j.rotateLocked()
+}
+
+func (j *Journal) rotateLocked() error {
+	// A rotation is the last write to the outgoing segment; sync it
+	// regardless of policy so a closed segment is always fully durable.
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment %d: %w", j.seq, err)
+	}
+	j.closed = append(j.closed, closedSegment{seq: j.seq, size: j.size})
+	j.stats.Rotations++
+	if err := j.openSegment(j.seq + 1); err != nil {
+		return err
+	}
+	if j.cfg.MaxBytes > 0 {
+		// Prune off the append path; deletions only touch closed
+		// segments, which no appender writes to.
+		j.wg.Add(1)
+		go func() {
+			defer j.wg.Done()
+			j.prune()
+		}()
+	}
+	return nil
+}
+
+// prune deletes the oldest closed segments until their total size fits
+// under MaxBytes.
+func (j *Journal) prune() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var total int64
+	for _, s := range j.closed {
+		total += s.size
+	}
+	for len(j.closed) > 0 && total > j.cfg.MaxBytes {
+		victim := j.closed[0]
+		path := segmentPath(j.cfg.Dir, victim.seq)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			j.cfg.Logf("wal: retention: remove %s: %v", path, err)
+			return
+		}
+		j.cfg.Logf("wal: retention dropped segment %d (%d bytes)", victim.seq, victim.size)
+		total -= victim.size
+		j.closed = j.closed[1:]
+		j.stats.TruncatedSegments++
+	}
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (j *Journal) syncLoop() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.cfg.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stopc:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if !j.done {
+				if err := j.syncLocked(); err != nil {
+					j.cfg.Logf("wal: interval sync: %v", err)
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Pos returns the position after the last appended record.
+func (j *Journal) Pos() Position {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Position{Seg: j.seq, Off: j.size}
+}
+
+// Stats returns a snapshot of the journal's depth and activity.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.ActiveSeg = j.seq
+	st.Segments = len(j.closed) + 1
+	st.Bytes = j.size
+	for _, s := range j.closed {
+		st.Bytes += s.size
+	}
+	if j.done {
+		st.Segments--
+		st.Bytes -= j.size
+	}
+	return st
+}
+
+// Close syncs and closes the active segment and stops background
+// loops. The journal cannot be used afterwards; a later Open on the
+// same directory starts a new segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return nil
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close segment %d: %w", j.seq, cerr)
+	}
+	j.closed = append(j.closed, closedSegment{seq: j.seq, size: j.size})
+	j.done = true
+	close(j.stopc)
+	j.mu.Unlock()
+	j.wg.Wait()
+	return err
+}

@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SegmentInfo describes one scanned segment file.
+type SegmentInfo struct {
+	// Seq is the segment sequence number.
+	Seq uint64
+	// Path is the segment file path.
+	Path string
+	// Size is the file size on disk.
+	Size int64
+	// Records is the number of valid records scanned.
+	Records int
+	// ValidBytes is the offset just past the last valid record (at
+	// least headerSize for a well-headed segment); truncating the file
+	// here discards exactly the torn tail.
+	ValidBytes int64
+	// Torn reports whether the segment ends in bytes that do not form a
+	// complete valid record — the signature of a crash mid-write or of
+	// on-disk corruption.
+	Torn bool
+	// TornReason says what the scanner hit when Torn (short frame,
+	// CRC mismatch, bad header, ...).
+	TornReason string
+}
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	// Segments is how many segment files were scanned.
+	Segments int
+	// Records is how many valid records were delivered.
+	Records int
+	// Snapshots is the total snapshot count across delivered batches.
+	Snapshots int
+	// Truncated reports that a segment ended in a torn or corrupt
+	// record; replay stopped cleanly at the last valid record.
+	Truncated bool
+	// TruncatedAt is where scanning stopped when Truncated.
+	TruncatedAt Position
+}
+
+// Replay scans the journal directory from position `from`, decoding
+// every valid record in order and passing it to fn along with the
+// position just past it (the value to store in a checkpoint covering
+// the record). Scanning a segment stops cleanly at the first torn or
+// corrupt record: the partial record is dropped, no error is returned,
+// and ReplayStats.Truncated is set. A torn record in a non-final
+// segment also stops the whole replay — later records cannot be
+// trusted to belong to the stream — which Replay reports the same way.
+// fn returning an error aborts the replay with that error.
+func Replay(dir string, from Position, fn func(pos Position, rec Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, seg := range segs {
+		if seg.seq < from.Seg {
+			continue
+		}
+		startOff := int64(headerSize)
+		if seg.seq == from.Seg && from.Off > startOff {
+			startOff = from.Off
+		}
+		info, err := scanSegment(segmentPath(dir, seg.seq), seg.seq, startOff, func(end Position, rec Record) error {
+			stats.Records++
+			stats.Snapshots += len(rec.Snaps)
+			return fn(end, rec)
+		})
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+		if info.Torn {
+			stats.Truncated = true
+			stats.TruncatedAt = Position{Seg: seg.seq, Off: info.ValidBytes}
+			break
+		}
+	}
+	return stats, nil
+}
+
+// ScanSegment scans one segment file, calling fn (when non-nil) for
+// every valid record with the position just past it. It never returns
+// an error for torn or corrupt data — that is reported in the
+// SegmentInfo — only for I/O failures or a non-segment path.
+func ScanSegment(path string, fn func(pos Position, rec Record) error) (SegmentInfo, error) {
+	seq, ok := parseSegmentName(filepath.Base(path))
+	if !ok {
+		return SegmentInfo{}, fmt.Errorf("wal: %s is not a journal segment", path)
+	}
+	return scanSegment(path, seq, headerSize, fn)
+}
+
+// scanSegment walks records from startOff to the first invalid frame
+// or EOF.
+func scanSegment(path string, seq uint64, startOff int64, fn func(pos Position, rec Record) error) (SegmentInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SegmentInfo{}, fmt.Errorf("wal: open segment %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return SegmentInfo{}, fmt.Errorf("wal: stat segment %s: %w", path, err)
+	}
+	info := SegmentInfo{Seq: seq, Path: path, Size: st.Size()}
+
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		info.Torn, info.TornReason = true, "short segment header"
+		return info, nil
+	}
+	if [4]byte(hdr[:4]) != segmentMagic {
+		info.Torn, info.TornReason = true, "bad segment magic"
+		return info, nil
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segmentVersion {
+		info.Torn, info.TornReason = true, fmt.Sprintf("unsupported segment version %d", v)
+		return info, nil
+	}
+	info.ValidBytes = headerSize
+	if startOff > headerSize {
+		if _, err := f.Seek(startOff, io.SeekStart); err != nil {
+			return info, fmt.Errorf("wal: seek segment %s: %w", path, err)
+		}
+		info.ValidBytes = startOff
+	}
+
+	var frame [frameSize]byte
+	var payload []byte
+	off := info.ValidBytes
+	for {
+		n, err := io.ReadFull(f, frame[:])
+		if err == io.EOF {
+			return info, nil // clean end at a record boundary
+		}
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				info.Torn, info.TornReason = true, fmt.Sprintf("torn frame (%d of %d bytes) at offset %d", n, frameSize, off)
+				return info, nil
+			}
+			return info, fmt.Errorf("wal: read segment %s: %w", path, err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxPayload {
+			info.Torn, info.TornReason = true, fmt.Sprintf("implausible record length %d at offset %d", length, off)
+			return info, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				info.Torn, info.TornReason = true, fmt.Sprintf("torn payload at offset %d", off)
+				return info, nil
+			}
+			return info, fmt.Errorf("wal: read segment %s: %w", path, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != crc {
+			info.Torn, info.TornReason = true, fmt.Sprintf("CRC mismatch at offset %d (want %08x, got %08x)", off, crc, got)
+			return info, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			info.Torn, info.TornReason = true, fmt.Sprintf("undecodable record at offset %d: %v", off, err)
+			return info, nil
+		}
+		off += frameSize + int64(length)
+		info.ValidBytes = off
+		info.Records++
+		if fn != nil {
+			if err := fn(Position{Seg: seq, Off: off}, rec); err != nil {
+				return info, err
+			}
+		}
+	}
+}
+
+// VerifyDir scans every segment in dir and returns their infos, oldest
+// first.
+func VerifyDir(dir string) ([]SegmentInfo, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, seg := range segs {
+		info, err := scanSegment(segmentPath(dir, seg.seq), seg.seq, headerSize, nil)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// TruncateAtCorruption truncates every torn segment in dir at its last
+// valid record boundary, dropping the partial tail so subsequent scans
+// are clean. A segment with a bad header (ValidBytes == 0) is removed
+// entirely. It returns the segments that were modified.
+func TruncateAtCorruption(dir string) ([]SegmentInfo, error) {
+	infos, err := VerifyDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fixed []SegmentInfo
+	for _, info := range infos {
+		if !info.Torn {
+			continue
+		}
+		if info.ValidBytes < headerSize {
+			if err := os.Remove(info.Path); err != nil {
+				return fixed, fmt.Errorf("wal: remove headerless segment %s: %w", info.Path, err)
+			}
+		} else if err := os.Truncate(info.Path, info.ValidBytes); err != nil {
+			return fixed, fmt.Errorf("wal: truncate %s at %d: %w", info.Path, info.ValidBytes, err)
+		}
+		fixed = append(fixed, info)
+	}
+	return fixed, nil
+}
