@@ -25,13 +25,13 @@ func TestAffinity(t *testing.T) {
 		a, b appclass.Class
 		want float64
 	}{
-		{appclass.CPU, appclass.CPU, 10},              // same class: full contention at α
-		{appclass.IO, appclass.IO, 6},                 // same class at γ
-		{appclass.CPU, appclass.IO, -0.25 * 8},        // complementary: -0.25·(10+6)/2
-		{appclass.CPU, appclass.Net, -0.25 * 7},       // -0.25·(10+4)/2
-		{appclass.CPU, appclass.Mem, -0.25 * 9},       // -0.25·(10+8)/2
+		{appclass.CPU, appclass.CPU, 10},               // same class: full contention at α
+		{appclass.IO, appclass.IO, 6},                  // same class at γ
+		{appclass.CPU, appclass.IO, -0.25 * 8},         // complementary: -0.25·(10+6)/2
+		{appclass.CPU, appclass.Net, -0.25 * 7},        // -0.25·(10+4)/2
+		{appclass.CPU, appclass.Mem, -0.25 * 9},        // -0.25·(10+8)/2
 		{appclass.IO, appclass.Mem, 0.5 * (6 + 8) / 2}, // disk-sharing pair
-		{appclass.IO, appclass.Net, 0},                // independent devices
+		{appclass.IO, appclass.Net, 0},                 // independent devices
 		{appclass.Idle, appclass.CPU, 0},
 		{appclass.Idle, appclass.Idle, 0},
 	}

@@ -27,12 +27,13 @@ type counters struct {
 	placementErrors atomic.Int64 // placement requests refused (full inventory)
 	releases        atomic.Int64 // placements released
 
-	journalRecords    atomic.Int64 // records appended to the write-ahead journal
-	journalErrors     atomic.Int64 // failed journal appends
-	checkpoints       atomic.Int64 // checkpoints written
-	checkpointErrors  atomic.Int64 // failed checkpoint writes
-	replayedSnapshots atomic.Int64 // snapshots re-applied from the journal at startup
-	recoveredSessions atomic.Int64 // sessions restored from a checkpoint at startup
+	journalRecords     atomic.Int64 // records appended to the write-ahead journal
+	journalErrors      atomic.Int64 // failed journal appends
+	checkpoints        atomic.Int64 // checkpoints written
+	checkpointErrors   atomic.Int64 // failed checkpoint writes
+	replayedSnapshots  atomic.Int64 // snapshots re-applied from the journal at startup
+	recoveredSessions  atomic.Int64 // sessions restored from a checkpoint at startup
+	journalGapSegments atomic.Int64 // journal segments found missing (unrecoverable) during recovery
 
 	classifications map[appclass.Class]*atomic.Int64
 }
@@ -91,6 +92,7 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_checkpoint_errors_total", "Failed checkpoint writes.", c.checkpointErrors.Load())
 	counter("appclassd_replayed_snapshots_total", "Snapshots re-applied from the journal at startup.", c.replayedSnapshots.Load())
 	counter("appclassd_recovered_sessions_total", "Sessions restored from a checkpoint at startup.", c.recoveredSessions.Load())
+	counter("appclassd_journal_gap_segments_total", "Journal segments missing at recovery; their records are unrecoverable.", c.journalGapSegments.Load())
 
 	total := 0
 	for _, n := range sessions {
@@ -101,10 +103,16 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	for i, n := range sessions {
 		fmt.Fprintf(w, "appclassd_shard_sessions{shard=\"%d\"} %d\n", i, n)
 	}
-	fmt.Fprintf(w, "# HELP appclassd_history_dropped_total History entries trimmed by the retention cap across live sessions.\n# TYPE appclassd_history_dropped_total gauge\nappclassd_history_dropped_total %d\n", historyDropped)
+	// appclassd_history_dropped is a gauge (no _total suffix): it sums
+	// HistoryDropped over *live* sessions, so it shrinks when a session
+	// finalizes.
+	fmt.Fprintf(w, "# HELP appclassd_history_dropped History entries trimmed by the retention cap across live sessions.\n# TYPE appclassd_history_dropped gauge\nappclassd_history_dropped %d\n", historyDropped)
 	if dg != nil {
 		fmt.Fprintf(w, "# HELP appclassd_journal_segments Journal segment files on disk, including the active one.\n# TYPE appclassd_journal_segments gauge\nappclassd_journal_segments %d\n", dg.journal.Segments)
 		fmt.Fprintf(w, "# HELP appclassd_journal_bytes Total bytes of journal segments on disk.\n# TYPE appclassd_journal_bytes gauge\nappclassd_journal_bytes %d\n", dg.journal.Bytes)
+		// Stats.TruncatedSegments only ever grows while the journal is
+		// open, so exposing it as a counter is sound (it resets on
+		// restart like every other counter here).
 		fmt.Fprintf(w, "# HELP appclassd_journal_truncated_segments_total Closed journal segments deleted by the retention cap.\n# TYPE appclassd_journal_truncated_segments_total counter\nappclassd_journal_truncated_segments_total %d\n", dg.journal.TruncatedSegments)
 		fmt.Fprintf(w, "# HELP appclassd_journal_last_fsync_age_seconds Seconds since the journal last fsynced (-1 if never).\n# TYPE appclassd_journal_last_fsync_age_seconds gauge\nappclassd_journal_last_fsync_age_seconds %g\n", dg.fsyncAgeSeconds)
 	}

@@ -63,6 +63,9 @@ func (s *Server) Checkpoint() error {
 		s.counters.checkpointErrors.Add(1)
 		return fmt.Errorf("server: checkpoint: %w", err)
 	}
+	// Everything before pos is folded into the checkpoint; retention may
+	// now discard older segments, but nothing at or after pos.Seg.
+	j.SetRetainFloor(pos.Seg)
 	s.counters.checkpoints.Add(1)
 	s.cfg.Logf("server: checkpoint %d: %d session(s) at seg %d off %d",
 		seq, len(payload.Sessions), pos.Seg, pos.Off)
@@ -118,22 +121,46 @@ type RecoveryStats struct {
 	Finalized int
 	// Errors counts records that could not be applied (logged, skipped).
 	Errors int
-	// Truncated reports a torn journal tail — the normal crash shape;
-	// replay stopped at the last valid record.
+	// Truncated reports a torn journal tail — the normal crash shape.
+	// The torn segment was repaired (cut at its last valid record)
+	// before replay, so replay itself ran over a clean journal and a
+	// later recovery can reach every segment written after this one.
 	Truncated bool
+	// GapSegments lists journal segment sequence numbers that were
+	// missing from the replay range: records in them are unrecoverable
+	// (deleted out of band, or pruned by a pre-floor retention pass).
+	GapSegments []uint64
 }
 
-// Recover rebuilds live sessions after a restart: it loads the latest
-// checkpoint (if any), restores each serialized session, then replays
-// the journal tail from the checkpoint's position — batches re-classify
-// into their sessions, finalize markers finalize into the application
-// database. Call it after New and before serving traffic; it is
-// single-threaded and must not race ingest. No-op without a journal.
+// Recover rebuilds live sessions after a restart: it repairs any torn
+// journal tail (cutting it at the last valid record, so double-crash
+// replays stay contiguous), loads the latest checkpoint (if any),
+// restores each serialized session, then replays the journal tail from
+// the checkpoint's position — batches re-classify into their sessions,
+// finalize markers finalize into the application database. It finishes
+// by writing a fresh checkpoint covering everything recovered. Call it
+// after New and before serving traffic; it is single-threaded and must
+// not race ingest. No-op without a journal.
 func (s *Server) Recover() (RecoveryStats, error) {
 	var rs RecoveryStats
 	j := s.cfg.Journal
 	if j == nil {
 		return rs, nil
+	}
+	// Repair torn segments BEFORE replaying. A crash mid-write leaves a
+	// torn tail; if it were left in place, this replay would stop there —
+	// fine today, but after a second crash the torn segment is no longer
+	// the journal's last, and a replay that stops at it would silently
+	// skip every record appended after this restart. Cutting the tear at
+	// its last valid record now keeps the journal walkable end to end.
+	fixed, err := wal.TruncateAtCorruption(j.Dir())
+	if err != nil {
+		return rs, fmt.Errorf("server: recover: repair journal: %w", err)
+	}
+	for _, info := range fixed {
+		rs.Truncated = true
+		s.cfg.Logf("server: recover: journal segment %d torn (%s); cut at last valid record, %d byte(s) kept",
+			info.Seq, info.TornReason, info.ValidBytes)
 	}
 	cp, err := wal.LatestCheckpoint(j.Dir())
 	if err != nil {
@@ -195,14 +222,30 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	if err != nil {
 		return rs, fmt.Errorf("server: recover: %w", err)
 	}
-	rs.Truncated = replay.Truncated
-	if rs.Truncated {
-		s.cfg.Logf("server: recover: journal tail torn at seg %d off %d (crash mid-write); replay stopped at last valid record",
+	if replay.Truncated {
+		// Should not happen after the repair pass above; report it anyway.
+		rs.Truncated = true
+		s.cfg.Logf("server: recover: journal tail torn at seg %d off %d; replay stopped at last valid record",
 			replay.TruncatedAt.Seg, replay.TruncatedAt.Off)
+	}
+	if len(replay.MissingSegments) > 0 {
+		rs.GapSegments = replay.MissingSegments
+		s.counters.journalGapSegments.Add(int64(len(replay.MissingSegments)))
+		s.cfg.Logf("server: recover: JOURNAL GAP: segment(s) %v missing from %s — records in them are unrecoverable and the recovered state may be incomplete",
+			replay.MissingSegments, j.Dir())
 	}
 	if rs.Sessions > 0 || rs.Records > 0 {
 		s.cfg.Logf("server: recovered %d session(s) from checkpoint %d, replayed %d record(s) (%d snapshot(s), %d finalize(s), %d error(s))",
 			rs.Sessions, rs.CheckpointSeq, rs.Records, rs.Snapshots, rs.Finalized, rs.Errors)
+	}
+	// Checkpoint immediately: the recovered state now covers everything
+	// on disk, so pinning it (and the retention floor) to the journal's
+	// current position means a crash right after this restart replays
+	// only post-restart records instead of re-walking old segments.
+	// Failure is not fatal — the repaired journal alone already replays
+	// correctly from the previous checkpoint.
+	if err := s.Checkpoint(); err != nil {
+		s.cfg.Logf("server: recover: post-recovery checkpoint: %v", err)
 	}
 	return rs, nil
 }

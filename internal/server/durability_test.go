@@ -306,7 +306,7 @@ func TestRecoverSurvivesTornTail(t *testing.T) {
 	a := crashServer(t, crashJournal(t, dir))
 	for i := 0; i < 4; i++ {
 		w := postJSON(t, a.Handler(), "/v1/ingest", map[string]any{"snapshots": []any{
-			zeroSnapshot("torn-vm", float64(i * 5)),
+			zeroSnapshot("torn-vm", float64(i*5)),
 		}})
 		if w.Code != 200 {
 			t.Fatalf("ingest: %d", w.Code)
@@ -344,6 +344,133 @@ func TestRecoverSurvivesTornTail(t *testing.T) {
 	view := sessionView(t, b, "torn-vm")
 	if view.Total != 3 {
 		t.Errorf("recovered session saw %d snapshots, want 3", view.Total)
+	}
+}
+
+// TestDoubleCrashRecovery is the double-crash hole: crash #1 leaves a
+// torn tail, the restart recovers and appends new records into a fresh
+// segment, then crash #2 hits before any periodic checkpoint. Recovery
+// must deliver BOTH the pre-tear records and everything appended after
+// the first restart — an unrepaired tear in the now-non-final segment
+// would silently swallow the post-restart records.
+func TestDoubleCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	vm := "dc-vm"
+
+	// Run A: 4 snapshots, then kill -9 with a torn tail.
+	a := crashServer(t, crashJournal(t, dir))
+	for i := 0; i < 4; i++ {
+		w := postJSON(t, a.Handler(), "/v1/ingest", map[string]any{"snapshots": []any{
+			zeroSnapshot(vm, float64(i*5)),
+		}})
+		if w.Code != 200 {
+			t.Fatalf("ingest: %d", w.Code)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v (err %v), want exactly one", segs, err)
+	}
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run B: recover (repairs the tear, 3 of 4 snapshots survive), then
+	// ingest 2 more — these land in B's fresh segment — and kill -9
+	// again before any periodic checkpoint could run.
+	jb := crashJournal(t, dir)
+	b := crashServer(t, jb)
+	rs, err := b.Recover()
+	if err != nil {
+		t.Fatalf("recover B: %v", err)
+	}
+	if !rs.Truncated || rs.Snapshots != 3 {
+		t.Fatalf("recovery B stats %+v, want torn tail repaired and 3 snapshots", rs)
+	}
+	if cp, err := wal.LatestCheckpoint(dir); err != nil || cp == nil {
+		t.Fatalf("recovery left no post-recovery checkpoint (cp %v, err %v)", cp, err)
+	}
+	for i := 4; i < 6; i++ {
+		w := postJSON(t, b.Handler(), "/v1/ingest", map[string]any{"snapshots": []any{
+			zeroSnapshot(vm, float64(i*5)),
+		}})
+		if w.Code != 200 {
+			t.Fatalf("ingest B: %d", w.Code)
+		}
+	}
+
+	// Run C: everything must come back — 3 surviving pre-tear snapshots
+	// plus the 2 appended after the first restart.
+	jc := crashJournal(t, dir)
+	t.Cleanup(func() { jc.Close() })
+	c := newTestServer(t, Config{Journal: jc})
+	rsc, err := c.Recover()
+	if err != nil {
+		t.Fatalf("recover C: %v", err)
+	}
+	if len(rsc.GapSegments) != 0 {
+		t.Errorf("recovery C reported gaps %v, want none", rsc.GapSegments)
+	}
+	if view := sessionView(t, c, vm); view.Total != 5 {
+		t.Errorf("recovered session saw %d snapshots, want 5 (3 pre-tear + 2 post-restart)", view.Total)
+	}
+
+	// The repaired journal alone (no checkpoints at all) must tell the
+	// same story: the tear was cut on disk, not merely skipped over.
+	ckpts, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ckpts {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jd := crashJournal(t, dir)
+	t.Cleanup(func() { jd.Close() })
+	d := newTestServer(t, Config{Journal: jd})
+	rsd, err := d.Recover()
+	if err != nil {
+		t.Fatalf("recover D: %v", err)
+	}
+	if rsd.Snapshots != 5 {
+		t.Errorf("checkpoint-free replay delivered %d snapshots, want 5", rsd.Snapshots)
+	}
+}
+
+// TestFinalizeIsWriteAhead: when the finalize marker cannot be
+// journaled, the finalization must not proceed — no registry removal,
+// no database record — so the in-memory state never outruns the
+// journal.
+func TestFinalizeIsWriteAhead(t *testing.T) {
+	dir := t.TempDir()
+	j := crashJournal(t, dir)
+	// crashServer, not newTestServer: the deliberately-broken journal
+	// would (correctly) make the cleanup Shutdown report a sync error.
+	s := crashServer(t, j)
+	w := postJSON(t, s.Handler(), "/v1/ingest", map[string]any{"snapshots": []any{
+		zeroSnapshot("wa-vm", 0),
+	}})
+	if w.Code != 200 {
+		t.Fatalf("ingest: %d", w.Code)
+	}
+	// Break the journal: every append now fails.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w = postJSON(t, s.Handler(), "/v1/vms/wa-vm/finish", nil)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("finish with broken journal = %d, want 500 (%s)", w.Code, w.Body.String())
+	}
+	if _, ok := s.reg.get("wa-vm"); !ok {
+		t.Error("session finalized despite unjournaled marker")
+	}
+	if _, err := s.DB().Latest("wa-vm"); err == nil {
+		t.Error("database record written despite unjournaled finalize marker")
 	}
 }
 
@@ -454,7 +581,8 @@ func TestMetricszExposesDurabilityGauges(t *testing.T) {
 		"appclassd_journal_bytes ",
 		"appclassd_journal_last_fsync_age_seconds ",
 		"appclassd_journal_truncated_segments_total 0",
-		"appclassd_history_dropped_total 0",
+		"appclassd_journal_gap_segments_total 0",
+		"appclassd_history_dropped 0",
 		"appclassd_checkpoints_total 0",
 	} {
 		if !strings.Contains(body, want) {

@@ -303,8 +303,13 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.finalize(sess, true) {
-		// Another finisher or the janitor got here first; the session is
-		// gone either way.
+		if _, live := s.reg.get(vm); live {
+			// The finalize marker could not be journaled; the session was
+			// deliberately kept live so no state outruns the journal.
+			writeError(w, http.StatusInternalServerError, "journaling finalize for vm %q failed; session kept live", vm)
+			return
+		}
+		// Another finisher or the janitor got here first.
 		writeError(w, http.StatusNotFound, "session for vm %q already finalized", vm)
 		return
 	}

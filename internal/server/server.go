@@ -249,39 +249,48 @@ func (s *Server) EvictIdle() int {
 
 // finalize removes sess from the registry and writes its record to the
 // application database. It returns false if another finalizer won the
-// race. journal controls whether a finalize marker is appended to the
-// write-ahead journal: live finalizations journal so crash recovery
-// re-finalizes the session instead of resurrecting it; the replay path
-// passes false because its records are already on disk.
+// race, or if the finalize marker could not be journaled. journal
+// controls whether a finalize marker is appended to the write-ahead
+// journal: live finalizations journal so crash recovery re-finalizes
+// the session instead of resurrecting it; the replay path passes false
+// because its records are already on disk. The marker is appended
+// write-ahead — before the session is marked finalized, removed from
+// the registry, or written to the database — mirroring the batch path,
+// so a crash anywhere in this sequence replays into a state no newer
+// than the journal. A finalize whose marker cannot be journaled does
+// not proceed: the session stays live and the janitor retries later.
 func (s *Server) finalize(sess *session, journal bool) bool {
-	if s.cfg.Journal != nil && journal {
+	journal = journal && s.cfg.Journal != nil
+	if journal {
 		// Hold the checkpoint read-lock across the marker append and the
 		// state change so a checkpoint sees either both or neither.
 		s.ckptMu.RLock()
 		defer s.ckptMu.RUnlock()
-	}
-	if !s.reg.remove(sess.vm, sess) {
-		return false
 	}
 	sess.mu.Lock()
 	if sess.finalized {
 		sess.mu.Unlock()
 		return false
 	}
+	if journal {
+		if _, err := s.cfg.Journal.AppendFinalize(sess.vm); err != nil {
+			sess.mu.Unlock()
+			s.counters.journalErrors.Add(1)
+			s.cfg.Logf("server: journal finalize %s: %v (session kept live)", sess.vm, err)
+			return false
+		}
+		s.counters.journalRecords.Add(1)
+	}
 	sess.finalized = true
 	view := sess.online.Snapshot()
+	// Unmap while still holding sess.mu (shard locks are never held
+	// around session locks, so the order is safe): an ingest racing this
+	// finalization either sees the session gone and builds a fresh one,
+	// or waits on sess.mu and then retries against the registry.
+	s.reg.remove(sess.vm, sess)
 	sess.mu.Unlock()
 
-	if s.cfg.Journal != nil && journal {
-		if _, err := s.cfg.Journal.AppendFinalize(sess.vm); err != nil {
-			// The session is already gone from the registry; losing the
-			// marker only risks a replay resurrecting an idle session,
-			// which the janitor will re-finalize.
-			s.counters.journalErrors.Add(1)
-			s.cfg.Logf("server: journal finalize %s: %v", sess.vm, err)
-		} else {
-			s.counters.journalRecords.Add(1)
-		}
+	if journal {
 		s.kickCheckpointer()
 	}
 

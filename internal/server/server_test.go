@@ -328,7 +328,7 @@ func TestConcurrentIngest(t *testing.T) {
 			defer wg.Done()
 			vm := fmt.Sprintf("vm-%d", g%vmPool)
 			for i := 0; i < perG; i++ {
-				b, _ := json.Marshal(map[string]any{"snapshots": []any{zeroSnapshot(vm, float64(g*perG + i))}})
+				b, _ := json.Marshal(map[string]any{"snapshots": []any{zeroSnapshot(vm, float64(g*perG+i))}})
 				resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(b))
 				if err != nil {
 					errc <- err

@@ -150,6 +150,16 @@ type Journal struct {
 	dirty  bool   // unsynced bytes in the active segment
 	stats  Stats
 	done   bool
+	// failed poisons the journal: set when a segment write failed and a
+	// fresh segment could not be opened, so the file offset may no longer
+	// match size and further appends would land after garbage bytes.
+	failed error
+	// retainSeg is the retention floor: prune never deletes a segment
+	// with seq >= retainSeg, so every record at or after the newest
+	// checkpoint's position survives the MaxBytes cap. Unset (retainSet
+	// false) means no checkpoint has been seen and prune is unrestricted.
+	retainSeg uint64
+	retainSet bool
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -189,6 +199,13 @@ func Open(cfg Config) (*Journal, error) {
 		if s.seq >= next {
 			next = s.seq + 1
 		}
+	}
+	// Seed the retention floor from the newest checkpoint so MaxBytes
+	// pruning never deletes segments the next recovery still needs.
+	if cp, err := LatestCheckpoint(cfg.Dir); err != nil {
+		return nil, err
+	} else if cp != nil {
+		j.retainSeg, j.retainSet = cp.Pos.Seg, true
 	}
 	if err := j.openSegment(next); err != nil {
 		return nil, err
@@ -292,6 +309,9 @@ func (j *Journal) append(encode func([]byte) ([]byte, error)) (Position, error) 
 	if j.done {
 		return Position{}, fmt.Errorf("wal: journal is closed")
 	}
+	if j.failed != nil {
+		return Position{}, j.failed
+	}
 	// Frame placeholder first so payload bytes land at their final
 	// offset in the shared buffer and one Write emits the whole record.
 	buf := append(j.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
@@ -307,6 +327,17 @@ func (j *Journal) append(encode func([]byte) ([]byte, error)) (Position, error) 
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	j.buf = buf
 	if _, err := j.f.Write(buf); err != nil {
+		// A failed (possibly partial) write leaves the file offset ahead
+		// of j.size — the segments are not O_APPEND — so continuing to
+		// append here would land records after garbage bytes and replay
+		// would stop at the corruption, losing acknowledged records.
+		// Abandon the segment for a fresh one; if even that fails, poison
+		// the journal so every later append fails fast instead of
+		// corrupting the stream.
+		if aerr := j.abandonSegmentLocked(); aerr != nil {
+			j.failed = fmt.Errorf("wal: journal poisoned by failed append to segment %d: %w", j.seq, aerr)
+			j.cfg.Logf("%v", j.failed)
+		}
 		return Position{}, fmt.Errorf("wal: append to segment %d: %w", j.seq, err)
 	}
 	j.size += int64(len(buf))
@@ -326,12 +357,39 @@ func (j *Journal) append(encode func([]byte) ([]byte, error)) (Position, error) 
 	return pos, nil
 }
 
+// abandonSegmentLocked retires an active segment whose tail is suspect
+// after a failed write: the valid prefix is synced and closed
+// best-effort (its records up to j.size replay fine; the garbage tail
+// is dropped like any torn tail), and a fresh segment takes over so
+// later appends start at a known-good offset. Caller holds j.mu.
+func (j *Journal) abandonSegmentLocked() error {
+	if j.dirty {
+		if err := j.f.Sync(); err != nil {
+			j.cfg.Logf("wal: sync abandoned segment %d: %v", j.seq, err)
+		} else {
+			j.dirty = false
+			j.stats.Syncs++
+			j.stats.LastSync = j.cfg.Now()
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		j.cfg.Logf("wal: close abandoned segment %d: %v", j.seq, err)
+	}
+	j.closed = append(j.closed, closedSegment{seq: j.seq, size: j.size})
+	j.stats.Rotations++
+	j.cfg.Logf("wal: abandoned segment %d after failed append (valid to %d bytes)", j.seq, j.size)
+	return j.openSegment(j.seq + 1)
+}
+
 // Sync flushes the active segment to stable storage.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.done {
 		return fmt.Errorf("wal: journal is closed")
+	}
+	if j.failed != nil {
+		return j.failed
 	}
 	return j.syncLocked()
 }
@@ -357,7 +415,24 @@ func (j *Journal) Rotate() error {
 	if j.done {
 		return fmt.Errorf("wal: journal is closed")
 	}
+	if j.failed != nil {
+		return j.failed
+	}
 	return j.rotateLocked()
+}
+
+// SetRetainFloor raises the retention floor: segments with seq >= seg
+// are never deleted by the MaxBytes cap. Callers advance it to the
+// newest checkpoint's Position.Seg after every successful checkpoint,
+// so retention can only discard segments whose records are already
+// folded into a checkpoint. The floor is monotonic; a lower value is
+// ignored.
+func (j *Journal) SetRetainFloor(seg uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.retainSet || seg > j.retainSeg {
+		j.retainSeg, j.retainSet = seg, true
+	}
 }
 
 func (j *Journal) rotateLocked() error {
@@ -387,7 +462,10 @@ func (j *Journal) rotateLocked() error {
 }
 
 // prune deletes the oldest closed segments until their total size fits
-// under MaxBytes.
+// under MaxBytes, but never a segment at or above the retention floor:
+// deleting a segment the newest checkpoint still points into would
+// leave a silent gap in the stream and lose acknowledged records at
+// the next recovery.
 func (j *Journal) prune() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -397,6 +475,11 @@ func (j *Journal) prune() {
 	}
 	for len(j.closed) > 0 && total > j.cfg.MaxBytes {
 		victim := j.closed[0]
+		if j.retainSet && victim.seq >= j.retainSeg {
+			j.cfg.Logf("wal: retention over cap by %d bytes but segment %d is needed by the newest checkpoint; not pruning",
+				total-j.cfg.MaxBytes, victim.seq)
+			return
+		}
 		path := segmentPath(j.cfg.Dir, victim.seq)
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			j.cfg.Logf("wal: retention: remove %s: %v", path, err)
@@ -464,11 +547,17 @@ func (j *Journal) Close() error {
 		j.mu.Unlock()
 		return nil
 	}
-	err := j.syncLocked()
-	if cerr := j.f.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("wal: close segment %d: %w", j.seq, cerr)
+	err := j.failed
+	if err == nil {
+		// A poisoned journal's active file was already retired by
+		// abandonSegmentLocked; only a healthy one needs the final
+		// sync-and-close.
+		err = j.syncLocked()
+		if cerr := j.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wal: close segment %d: %w", j.seq, cerr)
+		}
+		j.closed = append(j.closed, closedSegment{seq: j.seq, size: j.size})
 	}
-	j.closed = append(j.closed, closedSegment{seq: j.seq, size: j.size})
 	j.done = true
 	close(j.stopc)
 	j.mu.Unlock()

@@ -202,6 +202,118 @@ func TestSegmentRotationAndRetention(t *testing.T) {
 	}
 }
 
+// TestPruneRespectsRetainFloor caps the journal hard but pins the
+// retention floor at the first segment: nothing may be pruned, because
+// every segment is still needed by the (simulated) newest checkpoint.
+func TestPruneRespectsRetainFloor(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, Config{
+		Dir:          dir,
+		Fsync:        FsyncNever,
+		SegmentBytes: 2 << 10,
+		MaxBytes:     1, // everything over cap; only the floor protects segments
+	})
+	j.SetRetainFloor(1)
+	for i := 0; i < 100; i++ {
+		if _, err := j.AppendBatch("vm", testSnaps("vm", 4, 8, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Rotations == 0 || st.TruncatedSegments != 0 {
+		t.Fatalf("stats = %+v, want rotations > 0 and no retention-truncated segments", st)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].seq != 1 {
+		t.Fatalf("segments = %+v, want segment 1 retained", segs)
+	}
+	// Raising the floor releases the older segments on the next prune.
+	j2 := openTestJournal(t, Config{Dir: dir, Fsync: FsyncNever, SegmentBytes: 2 << 10, MaxBytes: 1})
+	j2.SetRetainFloor(j2.Pos().Seg)
+	if err := j2.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.TruncatedSegments == 0 {
+		t.Errorf("stats = %+v, want old segments pruned once the floor moved past them", st)
+	}
+}
+
+// TestOpenSeedsRetainFloorFromCheckpoint: a journal reopened over a
+// directory holding a checkpoint must not prune the segments the
+// checkpoint still points into, even under a tight MaxBytes.
+func TestOpenSeedsRetainFloorFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, Config{Dir: dir, Fsync: FsyncNever})
+	pos, err := j.AppendBatch("vm", testSnaps("vm", 2, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveCheckpoint(dir, pos, time.Unix(1700000000, 0), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTestJournal(t, Config{Dir: dir, Fsync: FsyncNever, SegmentBytes: 2 << 10, MaxBytes: 1})
+	for i := 0; i < 100; i++ {
+		if _, err := j2.AppendBatch("vm", testSnaps("vm", 4, 8, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].seq != pos.Seg {
+		t.Fatalf("segments = %+v, want checkpointed segment %d retained", segs, pos.Seg)
+	}
+}
+
+// TestAppendFailureAbandonsSegment simulates an I/O failure mid-append
+// (the segment file vanishes out from under the journal): the journal
+// must not keep appending at offsets past the failure — it abandons the
+// segment for a fresh one, and both the pre-failure and post-failure
+// records replay cleanly.
+func TestAppendFailureAbandonsSegment(t *testing.T) {
+	j := openTestJournal(t, Config{Fsync: FsyncNever})
+	if _, err := j.AppendBatch("vm", testSnaps("vm", 2, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := j.Pos().Seg
+	j.f.Close() // force the next write to fail
+	if _, err := j.AppendBatch("vm", testSnaps("vm", 2, 3, 1)); err == nil {
+		t.Fatal("append to a closed file: want error")
+	}
+	pos, err := j.AppendBatch("vm", testSnaps("vm", 2, 3, 2))
+	if err != nil {
+		t.Fatalf("append after abandoned segment: %v", err)
+	}
+	if pos.Seg <= firstSeg {
+		t.Errorf("post-failure append landed in segment %d, want > %d", pos.Seg, firstSeg)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(j.Dir(), Position{}, func(Position, Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 || stats.Truncated || len(stats.MissingSegments) != 0 {
+		t.Errorf("replay stats = %+v, want 2 clean records across the abandoned boundary", stats)
+	}
+}
+
 func TestReopenStartsNewSegment(t *testing.T) {
 	dir := t.TempDir()
 	j := openTestJournal(t, Config{Dir: dir, Fsync: FsyncNever})

@@ -45,6 +45,13 @@ type ReplayStats struct {
 	Truncated bool
 	// TruncatedAt is where scanning stopped when Truncated.
 	TruncatedAt Position
+	// MissingSegments lists sequence numbers that should exist between
+	// the replay start and the newest segment but are not on disk —
+	// records in them are gone (retention pruned past a checkpoint, or
+	// files were deleted out of band). Replay still delivers what
+	// remains; callers must surface the gap loudly, because the stream
+	// is no longer contiguous.
+	MissingSegments []uint64
 }
 
 // Replay scans the journal directory from position `from`, decoding
@@ -62,10 +69,23 @@ func Replay(dir string, from Position, fn func(pos Position, rec Record) error) 
 	if err != nil {
 		return stats, err
 	}
+	// Expected next sequence number, for gap detection. A checkpointed
+	// start pins it to from.Seg — that segment must still exist. With no
+	// checkpoint (from.Seg 0) the oldest surviving segment is the
+	// legitimate start (retention may have pruned older ones), and only
+	// gaps between surviving segments are reportable.
+	expect := from.Seg
 	for _, seg := range segs {
 		if seg.seq < from.Seg {
 			continue
 		}
+		if expect == 0 {
+			expect = seg.seq
+		}
+		for ; expect < seg.seq; expect++ {
+			stats.MissingSegments = append(stats.MissingSegments, expect)
+		}
+		expect = seg.seq + 1
 		startOff := int64(headerSize)
 		if seg.seq == from.Seg && from.Off > startOff {
 			startOff = from.Off

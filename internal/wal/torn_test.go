@@ -159,6 +159,58 @@ func TestTruncateAtCorruption(t *testing.T) {
 	}
 }
 
+// TestReplayReportsMissingSegments deletes a mid-stream segment file:
+// replay must deliver what remains but flag the hole instead of
+// pretending the stream is contiguous.
+func TestReplayReportsMissingSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1}) // rotate after every record
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := j.AppendBatch("vm", testSnaps("vm", 2, 3, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(segmentPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	stats, err := Replay(dir, Position{}, func(Position, Record) error {
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("replayed %d records, want 3 (one lost with the deleted segment)", got)
+	}
+	if len(stats.MissingSegments) != 1 || stats.MissingSegments[0] != 2 {
+		t.Errorf("MissingSegments = %v, want [2]", stats.MissingSegments)
+	}
+	// A checkpointed start that points at a deleted segment is a gap too.
+	stats, err = Replay(dir, Position{Seg: 2}, func(Position, Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.MissingSegments) != 1 || stats.MissingSegments[0] != 2 {
+		t.Errorf("MissingSegments from checkpointed start = %v, want [2]", stats.MissingSegments)
+	}
+	// Segments pruned *before* the start position are not gaps.
+	stats, err = Replay(dir, Position{Seg: 3}, func(Position, Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.MissingSegments) != 0 {
+		t.Errorf("MissingSegments past the hole = %v, want none", stats.MissingSegments)
+	}
+}
+
 // TestHeaderlessSegmentRemoved exercises the bad-header path: a
 // segment whose header never made it to disk is dropped entirely.
 func TestHeaderlessSegmentRemoved(t *testing.T) {
