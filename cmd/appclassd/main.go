@@ -71,6 +71,14 @@ type config struct {
 	checkpointEvery time.Duration
 	journalSegBytes int64
 	journalMaxBytes int64
+
+	pollBackoffMax  time.Duration
+	breakerFailures int
+	breakerOpenFor  time.Duration
+	maxInflightB    int64
+	maxInflightReq  int64
+	ingestTimeout   time.Duration
+	degradeOnWALErr bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -95,6 +103,13 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 30*time.Second, "session checkpoint cadence")
 	fs.Int64Var(&cfg.journalSegBytes, "journal-segment-bytes", 0, "rotate journal segments at this size (default 8 MiB)")
 	fs.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "cap closed journal segments at this total size, dropping the oldest (default unlimited)")
+	fs.DurationVar(&cfg.pollBackoffMax, "poll-backoff-max", 0, "cap exponential poll backoff after consecutive gmetad failures (default 1m)")
+	fs.IntVar(&cfg.breakerFailures, "breaker-failures", 0, "consecutive gmetad failures that open the poll circuit breaker (default 5)")
+	fs.DurationVar(&cfg.breakerOpenFor, "breaker-open-for", 0, "how long an open poll breaker skips gmetad before a half-open probe (default 30s)")
+	fs.Int64Var(&cfg.maxInflightB, "max-inflight-bytes", 0, "shed ingest once this many request-body bytes are in flight (default 64 MiB, negative disables)")
+	fs.Int64Var(&cfg.maxInflightReq, "max-inflight-requests", 0, "shed ingest once this many requests are in flight (default 256, negative disables)")
+	fs.DurationVar(&cfg.ingestTimeout, "ingest-timeout", 0, "abandon an ingest request that cannot finish within this deadline (default none)")
+	fs.BoolVar(&cfg.degradeOnWALErr, "degraded-on-wal-error", false, "on persistent journal errors, continue ingest memory-only (degraded durability) instead of rejecting batches")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -111,12 +126,24 @@ func parseFlags(args []string) (config, error) {
 		var set []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "fsync", "fsync-interval", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes":
+			case "fsync", "fsync-interval", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes", "degraded-on-wal-error":
 				set = append(set, "-"+f.Name)
 			}
 		})
 		if len(set) > 0 {
 			return config{}, fmt.Errorf("%s require(s) -journal-dir", strings.Join(set, ", "))
+		}
+	}
+	if cfg.gmetad == "" {
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "poll-backoff-max", "breaker-failures", "breaker-open-for":
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return config{}, fmt.Errorf("%s require(s) -gmetad", strings.Join(set, ", "))
 		}
 	}
 	return cfg, nil
@@ -246,17 +273,21 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Classifier:      cl,
-		Schema:          metrics.DefaultSchema(),
-		DB:              db,
-		IdleTTL:         cfg.ttl,
-		SweepInterval:   cfg.sweep,
-		Shards:          cfg.shards,
-		Placement:       placer,
-		EnablePprof:     cfg.pprof,
-		Journal:         journal,
-		CheckpointEvery: cfg.checkpointEvery,
-		Logf:            log.Printf,
+		Classifier:          cl,
+		Schema:              metrics.DefaultSchema(),
+		DB:                  db,
+		IdleTTL:             cfg.ttl,
+		SweepInterval:       cfg.sweep,
+		Shards:              cfg.shards,
+		Placement:           placer,
+		EnablePprof:         cfg.pprof,
+		Journal:             journal,
+		CheckpointEvery:     cfg.checkpointEvery,
+		MaxInflightBytes:    cfg.maxInflightB,
+		MaxInflightRequests: cfg.maxInflightReq,
+		IngestTimeout:       cfg.ingestTimeout,
+		DegradeOnWALError:   cfg.degradeOnWALErr,
+		Logf:                log.Printf,
 	})
 	if err != nil {
 		return err
@@ -286,7 +317,13 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	srv.StartJanitor()
 	srv.StartCheckpointer()
 	if cfg.gmetad != "" {
-		if err := srv.StartPoller(server.PollConfig{URL: cfg.gmetad, Interval: cfg.poll}); err != nil {
+		if err := srv.StartPoller(server.PollConfig{
+			URL:             cfg.gmetad,
+			Interval:        cfg.poll,
+			BackoffMax:      cfg.pollBackoffMax,
+			BreakerFailures: cfg.breakerFailures,
+			BreakerOpenFor:  cfg.breakerOpenFor,
+		}); err != nil {
 			ln.Close()
 			return err
 		}
@@ -325,6 +362,9 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 func main() {
 	cfg, err := parseFlags(os.Args[1:])
 	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "appclassd: %v\n", err)
+		}
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

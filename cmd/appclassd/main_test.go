@@ -314,6 +314,40 @@ func TestParseJournalFlags(t *testing.T) {
 	}
 }
 
+func TestParseResilienceFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-gmetad", "http://gm:8651/", "-poll-backoff-max", "2m",
+		"-breaker-failures", "3", "-breaker-open-for", "45s",
+		"-max-inflight-bytes", "1048576", "-max-inflight-requests", "32",
+		"-ingest-timeout", "2s",
+		"-journal-dir", "/tmp/j", "-degraded-on-wal-error",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.pollBackoffMax != 2*time.Minute || cfg.breakerFailures != 3 || cfg.breakerOpenFor != 45*time.Second {
+		t.Errorf("poll resilience flags = %+v", cfg)
+	}
+	if cfg.maxInflightB != 1<<20 || cfg.maxInflightReq != 32 || cfg.ingestTimeout != 2*time.Second {
+		t.Errorf("admission flags = %+v", cfg)
+	}
+	if !cfg.degradeOnWALErr {
+		t.Error("degraded-on-wal-error not parsed")
+	}
+	for _, args := range [][]string{
+		{"-poll-backoff-max", "2m"},
+		{"-breaker-failures", "3"},
+		{"-breaker-open-for", "45s"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%v without -gmetad: want error", args)
+		}
+	}
+	if _, err := parseFlags([]string{"-degraded-on-wal-error"}); err == nil {
+		t.Error("-degraded-on-wal-error without -journal-dir: want error")
+	}
+}
+
 // TestRunWithJournal boots the daemon journaled, ingests, and shuts
 // down cleanly: the journal directory must hold a segment and a final
 // checkpoint with no live sessions.

@@ -3,10 +3,14 @@
 // port, replay a profiled trace through POST /v1/ingest in batches the
 // way a monitoring relay would, watch the running composition via
 // GET /v1/vms/{name}, then finish the session and show the record the
-// daemon flushed into the application database.
+// daemon flushed into the application database. A second act points
+// the daemon's poller at a deliberately flaky gmetad (30% injected
+// fetch errors plus a short blackout, via internal/faultinject) and
+// shows the breaker, backoff, and sample-gap accounting riding it out.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -14,10 +18,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/appclass"
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/ganglia"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/testbed"
@@ -138,6 +146,92 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("application DB record: %s class=%s samples=%d\n", rec.App, rec.Class, rec.Samples)
+
+	// Act 2: resilient polling against a flaky gmetad. A local
+	// aggregator serves the trace one sample per fetch; its transport is
+	// wrapped in the fault injector, so fetches fail at a 30% rate and
+	// the source goes completely dark for a stretch. The daemon's
+	// breaker and backoff absorb the faults while the affected session
+	// records explicit sample gaps.
+	fmt.Println("\n--- flaky gmetad demo ---")
+	names := metrics.DefaultNames()
+	var gmMu sync.Mutex
+	gmIdx := 0
+	gmHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gmMu.Lock()
+		defer gmMu.Unlock()
+		bus := ganglia.NewBus()
+		gm, err := ganglia.NewGmetad("demo", bus)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		sn := trace.At(gmIdx % trace.Len())
+		gmIdx++
+		for j, name := range names {
+			bus.Announce(ganglia.Announcement{Node: "polled-vm", Metric: name, Value: sn.Values[j], At: sn.Time})
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		_ = gm.WriteXML(w, sn.Time+time.Second)
+	})
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gln.Close()
+	go func() { _ = http.Serve(gln, gmHandler) }()
+
+	rt := faultinject.NewRoundTripper(nil, 99)
+	rt.SetErrorRate(0.3)
+	if err := srv.StartPoller(server.PollConfig{
+		URL:             "http://" + gln.Addr().String(),
+		Interval:        50 * time.Millisecond,
+		Client:          &http.Client{Transport: rt},
+		FetchTimeout:    time.Second,
+		BackoffMax:      200 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerOpenFor:  250 * time.Millisecond,
+	}); err != nil {
+		log.Fatalf("start poller: %v", err)
+	}
+	fmt.Println("polling a gmetad with 30% injected fetch errors...")
+	time.Sleep(time.Second)
+	fmt.Println("blackout: gmetad goes dark for 600ms (watch the breaker open)")
+	rt.SetBlackout(true)
+	time.Sleep(600 * time.Millisecond)
+	rt.SetBlackout(false)
+	time.Sleep(time.Second)
+	fmt.Printf("injector: %d fetches seen, %d failed by injection\n", rt.Requests(), rt.Injected())
+
+	resp, err = http.Get(base + "/metricsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "appclassd_poll") || strings.HasPrefix(line, "appclassd_sample_gap") {
+			fmt.Println(line)
+		}
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/vms/polled-vm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var polled struct {
+		Class      string  `json:"class"`
+		Snapshots  int     `json:"snapshots"`
+		Gaps       int     `json:"gaps"`
+		GapSeconds float64 `json:"gap_s"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&polled); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("polled session: class=%s snapshots=%d gaps=%d gap_time=%.2fs — composition is flagged as partial coverage\n",
+		polled.Class, polled.Snapshots, polled.Gaps, polled.GapSeconds)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -30,6 +30,12 @@ type Record struct {
 	ExecutionTime time.Duration `json:"execution_time_ns"`
 	// Samples is the number of snapshots m in the run.
 	Samples int `json:"samples"`
+	// Gaps and GapTime account for known holes in the run's sample
+	// stream (missed polls while the profiler source was down). A record
+	// with nonzero gaps carries a composition estimated over partial
+	// coverage rather than the full run; schedulers may weight it down.
+	Gaps    int           `json:"gaps,omitempty"`
+	GapTime time.Duration `json:"gap_time_ns,omitempty"`
 }
 
 // Validate checks the record's invariants.
@@ -45,6 +51,9 @@ func (r Record) Validate() error {
 	}
 	if r.Samples < 0 {
 		return fmt.Errorf("appdb: record for %q has negative sample count", r.App)
+	}
+	if r.Gaps < 0 || r.GapTime < 0 {
+		return fmt.Errorf("appdb: record for %q has negative gap accounting", r.App)
 	}
 	var total float64
 	for c, f := range r.Composition {

@@ -29,6 +29,13 @@ type Online struct {
 
 	// drift tracks the incoming distribution of each expert metric.
 	drift []stats.Welford
+	// gaps and gapTime account for known holes in the sample stream: a
+	// poll that failed, a breaker that skipped a down aggregator, a node
+	// that vanished mid-run. Composition and drift cover only the
+	// snapshots that arrived; a nonzero gap count marks them as estimates
+	// over a stream with missing coverage rather than the full run.
+	gaps    int
+	gapTime time.Duration
 	// history records the class sequence for stage analysis. It is
 	// capped at histCap entries (oldest dropped first); dropped counts
 	// the entries trimmed away, and firstAt/lastAt span every snapshot
@@ -162,6 +169,23 @@ func (o *Online) ObserveBatch(snaps []metrics.Snapshot, classes []appclass.Class
 	return classes, nil
 }
 
+// RecordGap accounts one known hole in the sample stream: wall is the
+// stretch of coverage that was lost (a missed poll interval, a backoff
+// wait, a breaker-open window). It does not touch composition or drift
+// — those keep describing the snapshots that did arrive — it marks the
+// session's estimates as computed over a gappy stream.
+func (o *Online) RecordGap(wall time.Duration) {
+	if wall < 0 {
+		wall = 0
+	}
+	o.gaps++
+	o.gapTime += wall
+}
+
+// Gaps returns how many sample gaps have been recorded and their total
+// wall time.
+func (o *Online) Gaps() (int, time.Duration) { return o.gaps, o.gapTime }
+
 // Seen returns the number of snapshots observed.
 func (o *Online) Seen() int { return o.total }
 
@@ -217,6 +241,11 @@ type View struct {
 	// FirstAt and LastAt are the times of the first and last observed
 	// snapshots (both zero before any snapshot).
 	FirstAt, LastAt time.Duration
+	// Gaps and GapTime account for known holes in the sample stream;
+	// nonzero values mean Composition and Drift are estimates over a
+	// stream with missing coverage.
+	Gaps    int
+	GapTime time.Duration
 }
 
 // Snapshot captures the classifier's running state as an immutable
@@ -227,6 +256,8 @@ func (o *Online) Snapshot() View {
 		Composition: o.Composition(),
 		Total:       o.total,
 		Drift:       o.DriftScore(),
+		Gaps:        o.gaps,
+		GapTime:     o.gapTime,
 	}
 	if o.total > 0 {
 		v.Class = o.majority()

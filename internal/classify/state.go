@@ -32,6 +32,11 @@ type OnlineState struct {
 	History []TimedClassState `json:"history,omitempty"`
 	// Drift holds one streaming accumulator per expert metric.
 	Drift []stats.WelfordState `json:"drift"`
+	// Gaps and GapTimeNS account for known holes in the sample stream
+	// (missed polls, breaker-open windows), so a recovered session stays
+	// marked as gappy.
+	Gaps      int   `json:"gaps,omitempty"`
+	GapTimeNS int64 `json:"gap_time_ns,omitempty"`
 }
 
 // TimedClassState is the wire form of one TimedClass entry.
@@ -53,6 +58,8 @@ func (o *Online) ExportState() OnlineState {
 		Dropped:   o.dropped,
 		History:   make([]TimedClassState, len(o.history)),
 		Drift:     make([]stats.WelfordState, len(o.drift)),
+		Gaps:      o.gaps,
+		GapTimeNS: int64(o.gapTime),
 	}
 	for c, n := range o.counts {
 		st.Counts[string(c)] = n
@@ -108,6 +115,11 @@ func RestoreOnline(cl *Classifier, schema *metrics.Schema, st OnlineState) (*Onl
 		}
 		o.last = last
 	}
+	if st.Gaps < 0 || st.GapTimeNS < 0 {
+		return nil, fmt.Errorf("classify: restore: negative gap accounting (%d gaps, %dns)", st.Gaps, st.GapTimeNS)
+	}
+	o.gaps = st.Gaps
+	o.gapTime = time.Duration(st.GapTimeNS)
 	o.total = st.Total
 	o.firstAt = time.Duration(st.FirstAtNS)
 	o.lastAt = time.Duration(st.LastAtNS)

@@ -99,6 +99,69 @@ func TestStateRoundTripResumesExactly(t *testing.T) {
 	}
 }
 
+// TestStateRoundTripCarriesGaps checkpoints a session that recorded
+// sample gaps (missed polls) and expects the gap accounting to survive
+// the export/restore cycle and keep accumulating afterwards.
+func TestStateRoundTripCarriesGaps(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	schema := metrics.ExpertSchema()
+	trace := mixedTrace(t)
+
+	o, err := NewOnline(cl, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := o.Observe(trace.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.RecordGap(5 * time.Second)
+	o.RecordGap(10 * time.Second)
+	o.RecordGap(-time.Second) // clamped: a gap never subtracts wall time
+	gaps, gapTime := o.Gaps()
+	if gaps != 3 || gapTime != 15*time.Second {
+		t.Fatalf("gaps = %d/%v, want 3/15s", gaps, gapTime)
+	}
+
+	doc, err := json.Marshal(o.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st OnlineState
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreOnline(cl, schema, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, rt := restored.Gaps()
+	if rg != gaps || rt != gapTime {
+		t.Errorf("restored gaps = %d/%v, want %d/%v", rg, rt, gaps, gapTime)
+	}
+	restored.RecordGap(time.Second)
+	if rg, rt = restored.Gaps(); rg != 4 || rt != 16*time.Second {
+		t.Errorf("post-restore gap accumulation = %d/%v, want 4/16s", rg, rt)
+	}
+	view := restored.Snapshot()
+	if view.Gaps != 4 || view.GapTime != 16*time.Second {
+		t.Errorf("view gaps = %d/%v, want 4/16s", view.Gaps, view.GapTime)
+	}
+
+	// Negative gap accounting must be rejected on restore.
+	bad := st
+	bad.Gaps = -1
+	if _, err := RestoreOnline(cl, schema, bad); err == nil {
+		t.Error("negative gap count restored without error")
+	}
+	bad = st
+	bad.GapTimeNS = -5
+	if _, err := RestoreOnline(cl, schema, bad); err == nil {
+		t.Error("negative gap time restored without error")
+	}
+}
+
 // TestStateRoundTripWithTrimmedHistory checkpoints a session whose
 // retention cap has already dropped entries.
 func TestStateRoundTripWithTrimmedHistory(t *testing.T) {

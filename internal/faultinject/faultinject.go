@@ -1,0 +1,245 @@
+// Package faultinject is the daemon's chaos harness: a flaky
+// http.RoundTripper (errors, added latency, partial bodies, hard
+// blackouts) for the gmetad poll path and a failing segment-file
+// opener for the write-ahead journal. Both are deterministic under a
+// seeded randomness source and fully controllable at runtime, so tests
+// can script a fault timeline — 30% fetch errors here, a blackout
+// there, transient ENOSPC on the journal — and assert the exact
+// breaker/degraded-mode transitions the daemon makes in response.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// RoundTripper wraps an inner transport with injectable faults. The
+// zero value is not usable; build one with NewRoundTripper. All knobs
+// may be changed while requests are in flight.
+type RoundTripper struct {
+	inner http.RoundTripper
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	errorRate float64       // probability of failing a request outright
+	truncRate float64       // probability of cutting the response body short
+	latency   time.Duration // added before every attempt
+	blackout  bool          // while set, every request fails
+
+	requests  atomic.Int64 // attempts seen
+	injected  atomic.Int64 // requests failed by injection (rate or blackout)
+	truncated atomic.Int64 // responses with a cut-short body
+}
+
+// NewRoundTripper wraps inner (nil means http.DefaultTransport) with a
+// fault injector seeded for deterministic replay.
+func NewRoundTripper(inner http.RoundTripper, seed int64) *RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &RoundTripper{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetErrorRate makes the given fraction of requests fail with an
+// injected transport error before reaching the inner transport.
+func (rt *RoundTripper) SetErrorRate(p float64) {
+	rt.mu.Lock()
+	rt.errorRate = p
+	rt.mu.Unlock()
+}
+
+// SetTruncateRate makes the given fraction of responses arrive with a
+// body cut off partway — the half-written XML a dying gmetad produces.
+func (rt *RoundTripper) SetTruncateRate(p float64) {
+	rt.mu.Lock()
+	rt.truncRate = p
+	rt.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay before every request.
+func (rt *RoundTripper) SetLatency(d time.Duration) {
+	rt.mu.Lock()
+	rt.latency = d
+	rt.mu.Unlock()
+}
+
+// SetBlackout toggles a hard outage: while on, every request fails.
+func (rt *RoundTripper) SetBlackout(on bool) {
+	rt.mu.Lock()
+	rt.blackout = on
+	rt.mu.Unlock()
+}
+
+// Requests returns how many attempts the injector has seen.
+func (rt *RoundTripper) Requests() int64 { return rt.requests.Load() }
+
+// Injected returns how many requests failed by injection.
+func (rt *RoundTripper) Injected() int64 { return rt.injected.Load() }
+
+// Truncated returns how many response bodies were cut short.
+func (rt *RoundTripper) Truncated() int64 { return rt.truncated.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.requests.Add(1)
+	rt.mu.Lock()
+	latency := rt.latency
+	fail := rt.blackout || (rt.errorRate > 0 && rt.rng.Float64() < rt.errorRate)
+	trunc := !fail && rt.truncRate > 0 && rt.rng.Float64() < rt.truncRate
+	rt.mu.Unlock()
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if fail {
+		rt.injected.Add(1)
+		return nil, fmt.Errorf("faultinject: injected transport error for %s", req.URL)
+	}
+	resp, err := rt.inner.RoundTrip(req)
+	if err != nil || !trunc {
+		return resp, err
+	}
+	rt.truncated.Add(1)
+	// Cut the body partway: deliver at most half the advertised length
+	// (or a fixed prefix when the length is unknown) and then fail the
+	// read the way a torn-down connection does.
+	limit := resp.ContentLength / 2
+	if limit <= 0 {
+		limit = 512
+	}
+	resp.Body = &truncatedBody{inner: resp.Body, remaining: limit}
+	return resp, nil
+}
+
+// truncatedBody yields a prefix of the wrapped body and then errors, so
+// the client sees a mid-body connection failure rather than clean EOF.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("faultinject: response body truncated")
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The inner body really ended before the cut; pass EOF through.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = fmt.Errorf("faultinject: response body truncated")
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }
+
+// FS opens journal segment files with injectable failures: plug its
+// OpenSegmentFile into wal.Config to script append, fsync, and
+// segment-creation errors (transient ENOSPC being the canonical case).
+// Healing is just setting the error back to nil.
+type FS struct {
+	mu       sync.Mutex
+	writeErr error // non-nil: every segment write fails with it
+	syncErr  error // non-nil: every fsync fails with it
+	openErr  error // non-nil: every segment creation fails with it
+
+	failedWrites atomic.Int64
+	failedSyncs  atomic.Int64
+	failedOpens  atomic.Int64
+}
+
+// NewFS builds a healthy failing-FS wrapper.
+func NewFS() *FS { return &FS{} }
+
+// FailWrites makes every segment write fail with err; nil heals.
+func (fs *FS) FailWrites(err error) {
+	fs.mu.Lock()
+	fs.writeErr = err
+	fs.mu.Unlock()
+}
+
+// FailSyncs makes every segment fsync fail with err; nil heals.
+func (fs *FS) FailSyncs(err error) {
+	fs.mu.Lock()
+	fs.syncErr = err
+	fs.mu.Unlock()
+}
+
+// FailOpens makes every segment creation fail with err; nil heals.
+func (fs *FS) FailOpens(err error) {
+	fs.mu.Lock()
+	fs.openErr = err
+	fs.mu.Unlock()
+}
+
+// FailedWrites returns how many writes the injector failed.
+func (fs *FS) FailedWrites() int64 { return fs.failedWrites.Load() }
+
+// FailedSyncs returns how many fsyncs the injector failed.
+func (fs *FS) FailedSyncs() int64 { return fs.failedSyncs.Load() }
+
+// FailedOpens returns how many segment creations the injector failed.
+func (fs *FS) FailedOpens() int64 { return fs.failedOpens.Load() }
+
+// OpenSegmentFile matches wal.Config.OpenSegmentFile.
+func (fs *FS) OpenSegmentFile(name string, flag int, perm os.FileMode) (wal.SegmentFile, error) {
+	fs.mu.Lock()
+	openErr := fs.openErr
+	fs.mu.Unlock()
+	if openErr != nil {
+		fs.failedOpens.Add(1)
+		return nil, fmt.Errorf("faultinject: open %s: %w", name, openErr)
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, f: f}, nil
+}
+
+// faultFile is one segment file routed through the injector.
+type faultFile struct {
+	fs *FS
+	f  *os.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	werr := ff.fs.writeErr
+	ff.fs.mu.Unlock()
+	if werr != nil {
+		ff.fs.failedWrites.Add(1)
+		return 0, fmt.Errorf("faultinject: write %s: %w", ff.f.Name(), werr)
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	serr := ff.fs.syncErr
+	ff.fs.mu.Unlock()
+	if serr != nil {
+		ff.fs.failedSyncs.Add(1)
+		return fmt.Errorf("faultinject: sync %s: %w", ff.f.Name(), serr)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -1,6 +1,7 @@
 package ganglia
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -31,14 +32,24 @@ const DefaultFetchTimeout = 10 * time.Second
 
 var defaultFetchClient = &http.Client{Timeout: DefaultFetchTimeout}
 
-// FetchClusterState retrieves and parses a gmetad XML dump from url
-// using the given HTTP client (nil for a default client with
-// DefaultFetchTimeout), returning node -> metric -> value.
-func FetchClusterState(client *http.Client, url string) (map[string]map[string]float64, error) {
+// FetchClusterStateContext retrieves and parses a gmetad XML dump from
+// url using the given HTTP client (nil for a default client with
+// DefaultFetchTimeout), returning node -> metric -> value. The context
+// bounds the whole fetch including the body read, so a shutdown (or a
+// per-attempt deadline) cancels an in-flight poll instead of letting it
+// outlive its caller.
+func FetchClusterStateContext(ctx context.Context, client *http.Client, url string) (map[string]map[string]float64, error) {
 	if client == nil {
 		client = defaultFetchClient
 	}
-	resp, err := client.Get(url)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ganglia: fetch cluster state: %w", err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("ganglia: fetch cluster state: %w", err)
 	}
@@ -51,4 +62,13 @@ func FetchClusterState(client *http.Client, url string) (map[string]map[string]f
 		return nil, err
 	}
 	return state, nil
+}
+
+// FetchClusterState is FetchClusterStateContext without cancellation.
+//
+// Deprecated: an in-flight fetch through this wrapper cannot be
+// cancelled and outlives its caller's shutdown; use
+// FetchClusterStateContext.
+func FetchClusterState(client *http.Client, url string) (map[string]map[string]float64, error) {
+	return FetchClusterStateContext(context.Background(), client, url)
 }

@@ -1,0 +1,226 @@
+// Package resilience provides the small fault-handling primitives the
+// classification daemon composes around its ingest paths: a per-source
+// circuit breaker (closed → open → half-open probe) and an exponential
+// backoff schedule with jitter. Both are deterministic under injected
+// clocks/randomness so chaos tests can assert exact state transitions.
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed passes every request through; consecutive failures are
+	// counted toward the trip threshold.
+	Closed State = iota
+	// HalfOpen admits probe requests after the open interval elapsed; a
+	// success closes the breaker, a failure reopens it.
+	HalfOpen
+	// Open rejects every request until the open interval elapses.
+	Open
+)
+
+// String returns the conventional lower-case state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures trip the breaker open.
+	// Zero means 5.
+	Failures int
+	// OpenFor is how long a tripped breaker rejects requests before
+	// letting a half-open probe through. Zero means 30 seconds.
+	OpenFor time.Duration
+	// Now supplies the clock; tests inject fake time. Nil means time.Now.
+	Now func() time.Time
+	// OnStateChange, when non-nil, observes every transition. It is
+	// called without the breaker's lock held.
+	OnStateChange func(from, to State)
+}
+
+// Breaker is a circuit breaker guarding one upstream source. A caller
+// asks Allow before each attempt and reports the outcome with Success
+// or Failure; while the breaker is open, Allow answers false so the
+// caller skips the attempt entirely instead of burning a timeout on a
+// source known to be down. It is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	opens    int64     // total trips, for observability
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Failures <= 0 {
+		cfg.Failures = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may proceed, transitioning an expired
+// open breaker to half-open (the returned true is then the probe).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.setStateLocked(HalfOpen)
+	}
+	allowed := b.state != Open
+	b.mu.Unlock()
+	return allowed
+}
+
+// Success reports a completed request: a half-open probe that succeeds
+// closes the breaker, and any success resets the failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	if b.state != Closed {
+		b.setStateLocked(Closed)
+	}
+	b.mu.Unlock()
+}
+
+// Failure reports a failed request: a failed half-open probe reopens
+// the breaker immediately, and the trip threshold of consecutive
+// failures opens a closed one.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	switch b.state {
+	case HalfOpen:
+		b.tripLocked()
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.Failures {
+			b.tripLocked()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// tripLocked opens the breaker. Caller holds b.mu.
+func (b *Breaker) tripLocked() {
+	b.failures = 0
+	b.openedAt = b.cfg.Now()
+	b.opens++
+	b.setStateLocked(Open)
+}
+
+// setStateLocked records a transition and schedules the observer
+// callback. Caller holds b.mu; the callback runs synchronously but
+// outside the critical section would risk reordering under concurrent
+// transitions, so it runs inline — observers must not call back into
+// the breaker.
+func (b *Breaker) setStateLocked(to State) {
+	from := b.state
+	b.state = to
+	if b.cfg.OnStateChange != nil && from != to {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
+// State returns the breaker's current position, applying the
+// open→half-open expiry the same way Allow does so observers never see
+// a stale Open.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.setStateLocked(HalfOpen)
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// Backoff computes an exponential retry schedule with jitter:
+// attempt n (1-based) waits Base·2^(n-1), capped at Max, then spread by
+// ±Jitter so a fleet of pollers hitting the same dead aggregator does
+// not retry in lockstep.
+type Backoff struct {
+	// Base is the first retry delay. Zero means 1 second.
+	Base time.Duration
+	// Max caps the delay. Zero means 60 seconds.
+	Max time.Duration
+	// Jitter is the fraction of the delay randomized around it, in
+	// [0,1). Zero means no jitter (fully deterministic).
+	Jitter float64
+	// Rand supplies the jitter randomness; tests inject a seeded source.
+	// Nil means the global math/rand source.
+	Rand *rand.Rand
+}
+
+// Next returns the delay before retry attempt n (1-based). Attempts
+// below 1 are treated as 1.
+func (b Backoff) Next(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Second
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 60 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d < 0 { // overflow guard
+			d = max
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		f := b.Jitter
+		if f >= 1 {
+			f = 0.999
+		}
+		var u float64
+		if b.Rand != nil {
+			u = b.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		// Spread uniformly over [d·(1-f), d·(1+f)].
+		d = time.Duration(float64(d) * (1 - f + 2*f*u))
+	}
+	if d > max {
+		d = max
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

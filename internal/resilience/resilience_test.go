@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func newTestBreaker(c *fakeClock, failures int, openFor time.Duration) *Breaker {
+	return NewBreaker(BreakerConfig{Failures: failures, OpenFor: openFor, Now: c.now})
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock, 3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Failure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 3/3 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("open breaker allowed a request")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Errorf("Opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock, 3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed (success reset the count)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []State
+	b := NewBreaker(BreakerConfig{
+		Failures: 1,
+		OpenFor:  10 * time.Second,
+		Now:      clock.now,
+		OnStateChange: func(from, to State) {
+			transitions = append(transitions, to)
+		},
+	})
+	b.Failure() // trips immediately
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before OpenFor elapsed")
+	}
+	clock.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("expired open breaker refused the half-open probe")
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	b.Success()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	want := []State{Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock, 1, 10*time.Second)
+	b.Failure()
+	clock.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no half-open probe")
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("reopened breaker allowed a request immediately")
+	}
+	// The reopen restarts the open interval.
+	clock.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Error("reopened breaker never reached half-open again")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Errorf("Opens = %d, want 2", got)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", HalfOpen: "half-open", Open: "open"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: 10 * time.Second}
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		10 * time.Second, 10 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(i + 1); got != w {
+			t.Errorf("Next(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempts below 1 behave like the first.
+	if got := b.Next(0); got != time.Second {
+		t.Errorf("Next(0) = %v, want %v", got, time.Second)
+	}
+}
+
+func TestBackoffHugeAttemptDoesNotOverflow(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute}
+	if got := b.Next(200); got != time.Minute {
+		t.Errorf("Next(200) = %v, want %v", got, time.Minute)
+	}
+}
+
+func TestBackoffJitterStaysInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := Backoff{Base: time.Second, Max: time.Minute, Jitter: 0.5, Rand: rng}
+	for i := 0; i < 100; i++ {
+		d := b.Next(2) // nominal 2s, band [1s, 3s]
+		if d < time.Second || d > 3*time.Second {
+			t.Fatalf("jittered delay %v outside [1s, 3s]", d)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Next(1); got != time.Second {
+		t.Errorf("zero-value Next(1) = %v, want 1s", got)
+	}
+	if got := b.Next(100); got != 60*time.Second {
+		t.Errorf("zero-value Next(100) = %v, want 60s", got)
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import "sync/atomic"
+
+// admission is the push-path load shedder: a bounded in-flight budget
+// of ingest request bytes and concurrent ingest requests. A request
+// over either budget is shed with 429 Retry-After before it takes any
+// lock — in particular before the checkpoint quiesce (ckptMu), so an
+// overload can pile requests up at the front door but never on the
+// quiesce barrier itself. The accounting is two atomics, adding zero
+// allocations to the under-budget ingest path.
+type admission struct {
+	maxBytes    int64 // 0 disables the byte budget
+	maxRequests int64 // 0 disables the request budget
+
+	bytes    atomic.Int64
+	requests atomic.Int64
+}
+
+// defaultMaxInflightBytes and defaultMaxInflightRequests bound the
+// ingest budget when the config leaves it zero: 64 MiB of request
+// bodies (eight maximum-size batches) and 256 concurrent requests.
+const (
+	defaultMaxInflightBytes    = 64 << 20
+	defaultMaxInflightRequests = 256
+)
+
+// tryAdmit reserves n bytes and one request slot, reporting whether the
+// request fits the budget. On false nothing is reserved.
+func (a *admission) tryAdmit(n int64) bool {
+	if a.maxRequests > 0 {
+		if r := a.requests.Add(1); r > a.maxRequests {
+			a.requests.Add(-1)
+			return false
+		}
+	}
+	if a.maxBytes > 0 {
+		if b := a.bytes.Add(n); b > a.maxBytes {
+			a.bytes.Add(-n)
+			if a.maxRequests > 0 {
+				a.requests.Add(-1)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// release returns a tryAdmit reservation.
+func (a *admission) release(n int64) {
+	if a.maxBytes > 0 {
+		a.bytes.Add(-n)
+	}
+	if a.maxRequests > 0 {
+		a.requests.Add(-1)
+	}
+}
+
+// inflight reports the budget currently reserved, for the /metricsz
+// gauges.
+func (a *admission) inflight() (bytes, requests int64) {
+	return a.bytes.Load(), a.requests.Load()
+}

@@ -14,15 +14,30 @@ import (
 // increasing atomics rendered in Prometheus text exposition format by
 // writeMetrics, with no external dependency.
 type counters struct {
-	ingested        atomic.Int64 // snapshots accepted (push + pull)
-	ingestErrors    atomic.Int64 // rejected batches and failed observes
-	evictions       atomic.Int64 // sessions finalized by the idle-TTL janitor
-	finishes        atomic.Int64 // sessions finalized by POST .../finish
-	flushed         atomic.Int64 // sessions finalized at shutdown
-	finalizeErrors  atomic.Int64 // records the application DB refused
-	polls           atomic.Int64 // gmetad poll attempts
-	pollErrors      atomic.Int64 // failed gmetad polls
-	pollSkipped     atomic.Int64 // polled nodes missing schema metrics
+	ingested           atomic.Int64 // snapshots accepted (push + pull)
+	ingestErrors       atomic.Int64 // rejected batches and failed observes
+	evictions          atomic.Int64 // sessions finalized by the idle-TTL janitor
+	finishes           atomic.Int64 // sessions finalized by POST .../finish
+	flushed            atomic.Int64 // sessions finalized at shutdown
+	finalizeErrors     atomic.Int64 // records the application DB refused
+	polls              atomic.Int64 // gmetad poll attempts
+	pollErrors         atomic.Int64 // failed gmetad polls
+	pollSkipped        atomic.Int64 // polled nodes missing schema metrics
+	pollBreakerSkipped atomic.Int64 // polls skipped because the breaker was open
+	breakerOpens       atomic.Int64 // poll breaker trips (closed/half-open -> open)
+	shedRequests       atomic.Int64 // ingest requests shed over the in-flight budget
+	deadlineExceeded   atomic.Int64 // ingest requests abandoned at their deadline
+	sampleGaps         atomic.Int64 // sample gaps recorded on sessions
+	sampleGapNanos     atomic.Int64 // total wall time of recorded sample gaps
+	degradedEntries    atomic.Int64 // transitions into degraded durability mode
+	degradedExits      atomic.Int64 // transitions back to full durability
+
+	// breakerState mirrors the poll breaker's current position
+	// (resilience.State: 0 closed, 1 half-open, 2 open) and
+	// pollLastSuccess the unix nanos of the last successful poll (0 if
+	// never); both are gauges, not counters.
+	breakerState    atomic.Int64
+	pollLastSuccess atomic.Int64
 	placements      atomic.Int64 // placement decisions served
 	placementErrors atomic.Int64 // placement requests refused (full inventory)
 	releases        atomic.Int64 // placements released
@@ -58,13 +73,22 @@ func (c *counters) classified(cl appclass.Class) {
 type durabilityGauges struct {
 	journal         wal.Stats
 	fsyncAgeSeconds float64
+	// degraded reports whether ingest is currently memory-only because
+	// the journal is failing.
+	degraded bool
+}
+
+// resilienceGauges is the admission-control view rendered in /metricsz.
+type resilienceGauges struct {
+	inflightBytes    int64
+	inflightRequests int64
 }
 
 // writeMetrics renders every counter plus the caller-supplied gauges in
 // Prometheus text format. pstats is nil when no placement service is
 // configured; dg is nil when no journal is configured; historyDropped
 // sums Online.HistoryDropped over live sessions.
-func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges) {
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -83,6 +107,15 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_polls_total", "gmetad poll attempts.", c.polls.Load())
 	counter("appclassd_poll_errors_total", "Failed gmetad polls.", c.pollErrors.Load())
 	counter("appclassd_poll_skipped_total", "Polled nodes skipped for missing schema metrics.", c.pollSkipped.Load())
+	counter("appclassd_poll_breaker_skipped_total", "Polls skipped while the circuit breaker was open.", c.pollBreakerSkipped.Load())
+	counter("appclassd_poll_breaker_opens_total", "Poll circuit-breaker trips into the open state.", c.breakerOpens.Load())
+	counter("appclassd_ingest_shed_total", "Ingest requests shed with 429 over the in-flight budget.", c.shedRequests.Load())
+	counter("appclassd_ingest_deadline_exceeded_total", "Ingest requests abandoned at their processing deadline.", c.deadlineExceeded.Load())
+	counter("appclassd_sample_gaps_total", "Sample gaps recorded on sessions (missed polls, breaker-open windows, vanished nodes).", c.sampleGaps.Load())
+	fmt.Fprintf(w, "# HELP appclassd_sample_gap_seconds_total Total wall time of recorded sample gaps.\n# TYPE appclassd_sample_gap_seconds_total counter\nappclassd_sample_gap_seconds_total %g\n",
+		float64(c.sampleGapNanos.Load())/1e9)
+	counter("appclassd_durability_degraded_entries_total", "Transitions into degraded (memory-only) durability mode.", c.degradedEntries.Load())
+	counter("appclassd_durability_degraded_exits_total", "Transitions back to full durability.", c.degradedExits.Load())
 	counter("appclassd_placements_total", "Placement decisions served.", c.placements.Load())
 	counter("appclassd_placement_errors_total", "Placement requests refused.", c.placementErrors.Load())
 	counter("appclassd_releases_total", "Placements released.", c.releases.Load())
@@ -107,7 +140,23 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	// HistoryDropped over *live* sessions, so it shrinks when a session
 	// finalizes.
 	fmt.Fprintf(w, "# HELP appclassd_history_dropped History entries trimmed by the retention cap across live sessions.\n# TYPE appclassd_history_dropped gauge\nappclassd_history_dropped %d\n", historyDropped)
+	// Poll-path health gauges: the breaker's position and the unix time
+	// of the last successful poll (-1 before the first success) let an
+	// alert distinguish "daemon up, source down" from "daemon down".
+	fmt.Fprintf(w, "# HELP appclassd_poll_breaker_state Poll circuit-breaker state (0 closed, 1 half-open, 2 open).\n# TYPE appclassd_poll_breaker_state gauge\nappclassd_poll_breaker_state %d\n", c.breakerState.Load())
+	lastSuccess := -1.0
+	if ns := c.pollLastSuccess.Load(); ns > 0 {
+		lastSuccess = float64(ns) / 1e9
+	}
+	fmt.Fprintf(w, "# HELP appclassd_poll_last_success_seconds Unix time of the last successful gmetad poll (-1 if never).\n# TYPE appclassd_poll_last_success_seconds gauge\nappclassd_poll_last_success_seconds %g\n", lastSuccess)
+	fmt.Fprintf(w, "# HELP appclassd_ingest_inflight_bytes Request-body bytes of ingest requests currently admitted.\n# TYPE appclassd_ingest_inflight_bytes gauge\nappclassd_ingest_inflight_bytes %d\n", rg.inflightBytes)
+	fmt.Fprintf(w, "# HELP appclassd_ingest_inflight_requests Ingest requests currently admitted.\n# TYPE appclassd_ingest_inflight_requests gauge\nappclassd_ingest_inflight_requests %d\n", rg.inflightRequests)
 	if dg != nil {
+		degraded := 0
+		if dg.degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# HELP appclassd_durability_degraded Whether ingest is memory-only because the journal is failing (1 degraded, 0 ok).\n# TYPE appclassd_durability_degraded gauge\nappclassd_durability_degraded %d\n", degraded)
 		fmt.Fprintf(w, "# HELP appclassd_journal_segments Journal segment files on disk, including the active one.\n# TYPE appclassd_journal_segments gauge\nappclassd_journal_segments %d\n", dg.journal.Segments)
 		fmt.Fprintf(w, "# HELP appclassd_journal_bytes Total bytes of journal segments on disk.\n# TYPE appclassd_journal_bytes gauge\nappclassd_journal_bytes %d\n", dg.journal.Bytes)
 		// Stats.TruncatedSegments only ever grows while the journal is

@@ -30,6 +30,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/hosts", s.handleHosts)
 	mux.HandleFunc("GET /v1/hosts/{name}", s.handleHost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	if s.cfg.EnablePprof {
 		// Unqualified patterns: pprof's symbol endpoint accepts GET and
@@ -80,16 +81,41 @@ type ingestResponse struct {
 	Results  []ingestResult `json:"results"`
 }
 
-// handleIngest accepts a batch of snapshots. The whole batch is
-// validated against the schema before any snapshot is applied, so a 400
-// never leaves a half-ingested batch behind. Validated snapshots are
-// grouped by VM and each group is classified under a single
-// session-lock acquisition; results come back in input order
-// regardless of grouping. By-name snapshots decode into pooled
+// maxIngestBody caps one ingest request's body; it doubles as the
+// admission-control reservation for requests that do not declare a
+// Content-Length.
+const maxIngestBody = 8 << 20
+
+// handleIngest accepts a batch of snapshots. Admission control runs
+// first: a request over the in-flight byte/request budget is shed with
+// 429 Retry-After before it takes any lock — the checkpoint quiesce can
+// therefore never accumulate a backlog of over-budget requests. The
+// whole batch is then validated against the schema before any snapshot
+// is applied, so a 400 never leaves a half-ingested batch behind.
+// Validated snapshots are grouped by VM and each group is classified
+// under a single session-lock acquisition; results come back in input
+// order regardless of grouping. By-name snapshots decode into pooled
 // schema-length buffers that are returned once their group is observed.
+// With IngestTimeout set, a batch that cannot finish classifying by the
+// deadline is abandoned with 503 between VM groups.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	reserve := r.ContentLength
+	if reserve < 0 || reserve > maxIngestBody {
+		reserve = maxIngestBody
+	}
+	if !s.admit.tryAdmit(reserve) {
+		s.counters.shedRequests.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest over the in-flight budget; retry later")
+		return
+	}
+	defer s.admit.release(reserve)
+	var deadline time.Time
+	if s.cfg.IngestTimeout > 0 {
+		deadline = s.now().Add(s.cfg.IngestTimeout)
+	}
 	var req ingestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "malformed ingest body: %v", err)
 		return
@@ -164,7 +190,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	results := make([]ingestResult, len(batch))
 	var snaps []metrics.Snapshot
 	var classes []appclass.Class
-	for _, vm := range order {
+	for gi, vm := range order {
+		if !deadline.IsZero() && s.now().After(deadline) {
+			s.counters.deadlineExceeded.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "ingest deadline exceeded after %d of %d vm groups", gi, len(order))
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			// The client is gone; stop classifying for nobody.
+			s.counters.deadlineExceeded.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "ingest request cancelled: %v", err)
+			return
+		}
 		idxs := groups[vm]
 		snaps = snaps[:0]
 		for _, i := range idxs {
@@ -191,6 +228,11 @@ type vmSummary struct {
 	Snapshots int     `json:"snapshots"`
 	Drift     float64 `json:"drift"`
 	LastSeen  string  `json:"last_seen"`
+	// Gaps and GapSeconds flag sessions whose stream had known holes
+	// (missed polls, breaker-open windows): composition and drift are
+	// then estimates over partial coverage.
+	Gaps       int     `json:"gaps,omitempty"`
+	GapSeconds float64 `json:"gap_s,omitempty"`
 }
 
 func (s *Server) summarize(sess *session) vmSummary {
@@ -199,12 +241,14 @@ func (s *Server) summarize(sess *session) vmSummary {
 	lastSeen := sess.lastSeen
 	sess.mu.Unlock()
 	return vmSummary{
-		VM:        sess.vm,
-		Class:     string(view.Class),
-		LastClass: string(view.LastClass),
-		Snapshots: view.Total,
-		Drift:     view.Drift,
-		LastSeen:  lastSeen.UTC().Format(time.RFC3339),
+		VM:         sess.vm,
+		Class:      string(view.Class),
+		LastClass:  string(view.LastClass),
+		Snapshots:  view.Total,
+		Drift:      view.Drift,
+		LastSeen:   lastSeen.UTC().Format(time.RFC3339),
+		Gaps:       view.Gaps,
+		GapSeconds: view.GapTime.Seconds(),
 	}
 }
 
@@ -261,12 +305,14 @@ func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
 	}
 	detail := vmDetail{
 		vmSummary: vmSummary{
-			VM:        vm,
-			Class:     string(view.Class),
-			LastClass: string(view.LastClass),
-			Snapshots: view.Total,
-			Drift:     view.Drift,
-			LastSeen:  lastSeen.UTC().Format(time.RFC3339),
+			VM:         vm,
+			Class:      string(view.Class),
+			LastClass:  string(view.LastClass),
+			Snapshots:  view.Total,
+			Drift:      view.Drift,
+			LastSeen:   lastSeen.UTC().Format(time.RFC3339),
+			Gaps:       view.Gaps,
+			GapSeconds: view.GapTime.Seconds(),
 		},
 		Composition:  view.Composition,
 		FirstSeconds: view.FirstAt.Seconds(),
@@ -350,14 +396,54 @@ func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// readiness splits health into live vs ready: the process being up
+// (live) is not the same as it honoring its durability contract
+// (ready). Degraded durability makes the daemon not-ready — a load
+// balancer should drain it, an operator should look at the disk — while
+// ingest keeps working so no samples are lost on top of the journal
+// outage.
+func (s *Server) readiness() (ready bool, reason string) {
+	if s.cfg.Journal != nil && s.DurabilityDegraded() {
+		return false, "durability degraded: journal failing, ingest is memory-only"
+	}
+	return true, ""
+}
+
+// handleHealthz is the liveness view: it always answers 200 while the
+// process serves, and carries the readiness verdict as data.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"sessions":  s.reg.len(),
-		"ingested":  s.counters.ingested.Load(),
-		"uptime_s":  s.now().Sub(s.start).Seconds(),
-		"metrics_n": s.cfg.Schema.Len(),
-	})
+	ready, reason := s.readiness()
+	durability := "none"
+	if s.cfg.Journal != nil {
+		durability = "journaled"
+		if s.DurabilityDegraded() {
+			durability = "degraded"
+		}
+	}
+	body := map[string]any{
+		"status":     "ok",
+		"ready":      ready,
+		"durability": durability,
+		"sessions":   s.reg.len(),
+		"ingested":   s.counters.ingested.Load(),
+		"uptime_s":   s.now().Sub(s.start).Seconds(),
+		"metrics_n":  s.cfg.Schema.Len(),
+	}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is the readiness probe: 200 while the daemon honors its
+// durability contract, 503 while degraded.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.readiness()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
@@ -380,7 +466,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		if !st.LastSync.IsZero() {
 			age = s.now().Sub(st.LastSync).Seconds()
 		}
-		dg = &durabilityGauges{journal: st, fsyncAgeSeconds: age}
+		dg = &durabilityGauges{journal: st, fsyncAgeSeconds: age, degraded: s.DurabilityDegraded()}
 	}
-	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg)
+	var rg resilienceGauges
+	rg.inflightBytes, rg.inflightRequests = s.admit.inflight()
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg)
 }

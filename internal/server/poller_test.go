@@ -1,12 +1,17 @@
 package server
 
 import (
+	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/ganglia"
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 )
 
 // servedGmetad builds a gmetad aggregator whose cluster state holds the
@@ -30,10 +35,18 @@ func servedGmetad(t *testing.T, nodes ...string) *httptest.Server {
 	return srv
 }
 
+// testPoller builds a poller for direct pollOnce/recordGaps driving.
+func testPoller(s *Server, srv *httptest.Server) *poller {
+	pc := PollConfig{URL: srv.URL, Interval: 5 * time.Second, Client: srv.Client()}
+	return s.newPoller(pc)
+}
+
 func TestPollOnceIngestsCompleteNodes(t *testing.T) {
 	s := newTestServer(t, Config{})
 	srv := servedGmetad(t, "node-a", "node-b")
-	if err := s.pollOnce(srv.Client(), srv.URL); err != nil {
+	p := testPoller(s, srv)
+	ctx := context.Background()
+	if err := p.pollOnce(ctx); err != nil {
 		t.Fatalf("pollOnce: %v", err)
 	}
 	if got := s.Sessions(); got != 2 {
@@ -48,8 +61,14 @@ func TestPollOnceIngestsCompleteNodes(t *testing.T) {
 	if got := s.counters.ingested.Load(); got != 2 {
 		t.Errorf("ingested = %d, want 2", got)
 	}
+	if got := s.counters.pollLastSuccess.Load(); got == 0 {
+		t.Error("pollLastSuccess not stamped after a successful poll")
+	}
+	if len(p.known) != 2 {
+		t.Errorf("poller knows %d nodes, want 2", len(p.known))
+	}
 	// A second poll observes into the same sessions.
-	if err := s.pollOnce(srv.Client(), srv.URL); err != nil {
+	if err := p.pollOnce(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Sessions(); got != 2 {
@@ -66,11 +85,219 @@ func TestPollOnceIngestsCompleteNodes(t *testing.T) {
 
 func TestPollOnceCountsErrors(t *testing.T) {
 	s := newTestServer(t, Config{})
-	if err := s.pollOnce(nil, "http://127.0.0.1:1/nowhere"); err == nil {
+	p := s.newPoller(PollConfig{URL: "http://127.0.0.1:1/nowhere"})
+	if err := p.pollOnce(context.Background()); err == nil {
 		t.Error("unreachable gmetad: want error")
 	}
 	if got := s.counters.pollErrors.Load(); got != 1 {
 		t.Errorf("pollErrors = %d, want 1", got)
+	}
+	if got := s.counters.pollLastSuccess.Load(); got != 0 {
+		t.Errorf("pollLastSuccess = %d after a failed poll, want 0", got)
+	}
+}
+
+func TestPollOnceMalformedXML(t *testing.T) {
+	s := newTestServer(t, Config{})
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<GANGLIA_XML><CLUSTER NAME='broken'><HOST NAME="))
+	}))
+	t.Cleanup(garbage.Close)
+	p := s.newPoller(PollConfig{URL: garbage.URL, Client: garbage.Client()})
+	if err := p.pollOnce(context.Background()); err == nil {
+		t.Error("malformed gmetad XML: want error")
+	}
+	if got := s.counters.pollErrors.Load(); got != 1 {
+		t.Errorf("pollErrors = %d, want 1", got)
+	}
+	if got := s.Sessions(); got != 0 {
+		t.Errorf("%d sessions from a malformed dump, want 0", got)
+	}
+}
+
+func TestPollOnceTimeoutMidBody(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// The aggregator sends a valid prefix, then stalls longer than the
+	// per-attempt deadline mid-body.
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<GANGLIA_XML><CLUSTER NAME=\"slow\">"))
+		w.(http.Flusher).Flush()
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	t.Cleanup(stall.Close)
+	p := s.newPoller(PollConfig{
+		URL:          stall.URL,
+		Client:       stall.Client(),
+		FetchTimeout: 50 * time.Millisecond,
+	})
+	start := time.Now()
+	if err := p.pollOnce(context.Background()); err == nil {
+		t.Error("mid-body stall: want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pollOnce took %v; the per-attempt deadline did not bound the stalled body read", elapsed)
+	}
+	if got := s.counters.pollErrors.Load(); got != 1 {
+		t.Errorf("pollErrors = %d, want 1", got)
+	}
+}
+
+// TestPollNodeDisappearsMidRun drives the full lifecycle the ISSUE
+// describes: a node vanishes from a healthy aggregator, its session
+// accumulates sample gaps on every subsequent poll, and the idle-TTL
+// janitor eventually finalizes it into the application database with
+// the gaps on the record.
+func TestPollNodeDisappearsMidRun(t *testing.T) {
+	clock := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { return clock }
+	s := newTestServer(t, Config{IdleTTL: time.Minute, Now: func() time.Time { return now() }})
+
+	full := servedGmetad(t, "steady", "vanisher")
+	reduced := servedGmetad(t, "steady")
+	var vanished atomic.Bool
+	swap := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		target := full
+		if vanished.Load() {
+			target = reduced
+		}
+		resp, err := target.Client().Get(target.URL)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(swap.Close)
+
+	p := s.newPoller(PollConfig{URL: swap.URL, Interval: 5 * time.Second, Client: swap.Client()})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := p.pollOnce(ctx); err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		clock = clock.Add(5 * time.Second)
+	}
+	vanished.Store(true)
+	for i := 0; i < 4; i++ {
+		if err := p.pollOnce(ctx); err != nil {
+			t.Fatalf("post-vanish poll %d: %v", i, err)
+		}
+		clock = clock.Add(5 * time.Second)
+	}
+
+	sess, ok := s.reg.get("vanisher")
+	if !ok {
+		t.Fatal("vanisher session gone before the janitor ran")
+	}
+	sess.mu.Lock()
+	gaps, gapTime := sess.online.Gaps()
+	sess.mu.Unlock()
+	if gaps != 4 {
+		t.Errorf("vanisher has %d gaps, want 4 (one per post-vanish poll)", gaps)
+	}
+	if want := 4 * 5 * time.Second; gapTime != want {
+		t.Errorf("vanisher gap time = %v, want %v", gapTime, want)
+	}
+	// The steady node never went gappy.
+	steady, _ := s.reg.get("steady")
+	steady.mu.Lock()
+	sGaps, _ := steady.online.Gaps()
+	steady.mu.Unlock()
+	if sGaps != 0 {
+		t.Errorf("steady node has %d gaps, want 0", sGaps)
+	}
+
+	// Idle the vanisher past the TTL (the steady node keeps getting
+	// polled, so only the vanisher is evicted) and let the janitor
+	// finalize it.
+	for i := 0; i < 13; i++ { // 65s > 1m TTL since the vanisher's last snapshot
+		if err := p.pollOnce(ctx); err != nil {
+			t.Fatalf("ttl poll %d: %v", i, err)
+		}
+		clock = clock.Add(5 * time.Second)
+	}
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("EvictIdle evicted %d sessions, want 1 (the vanisher)", n)
+	}
+	rec, err := s.DB().Latest("vanisher")
+	if err != nil {
+		t.Fatalf("no appdb record for the vanisher: %v", err)
+	}
+	if rec.Gaps == 0 || rec.GapTime == 0 {
+		t.Errorf("finalized record has gaps=%d gapTime=%v, want both nonzero", rec.Gaps, rec.GapTime)
+	}
+	if rec.Samples != 3 {
+		t.Errorf("finalized record has %d samples, want 3 (pre-vanish polls)", rec.Samples)
+	}
+}
+
+func TestPollerBreakerOpensAndRecovers(t *testing.T) {
+	clock := time.Unix(1_700_000_000, 0)
+	s := newTestServer(t, Config{Now: func() time.Time { return clock }})
+	srv := servedGmetad(t, "node-a")
+	var down atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "gmetad down", http.StatusBadGateway)
+			return
+		}
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(flaky.Close)
+
+	p := s.newPoller(PollConfig{
+		URL:             flaky.URL,
+		Client:          flaky.Client(),
+		Interval:        5 * time.Second,
+		BreakerFailures: 3,
+		BreakerOpenFor:  30 * time.Second,
+	})
+	ctx := context.Background()
+	if err := p.pollOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	down.Store(true)
+	for i := 0; i < 3; i++ {
+		if !p.breaker.Allow() {
+			t.Fatalf("breaker refused attempt %d before the threshold", i)
+		}
+		if err := p.pollOnce(ctx); err == nil {
+			t.Fatal("poll against a down gmetad succeeded")
+		}
+		p.breaker.Failure()
+	}
+	if got := p.breaker.State(); got != resilience.Open {
+		t.Fatalf("breaker state after 3 failures = %v, want open", got)
+	}
+	if p.breaker.Allow() {
+		t.Fatal("open breaker allowed a poll")
+	}
+	if got := s.counters.breakerOpens.Load(); got != 1 {
+		t.Errorf("breakerOpens = %d, want 1", got)
+	}
+	// The open window elapses; the half-open probe hits a healed source
+	// and closes the breaker.
+	clock = clock.Add(30 * time.Second)
+	down.Store(false)
+	if !p.breaker.Allow() {
+		t.Fatal("expired breaker refused the half-open probe")
+	}
+	if err := p.pollOnce(ctx); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	p.breaker.Success()
+	if got := p.breaker.State(); got != resilience.Closed {
+		t.Errorf("breaker state after probe success = %v, want closed", got)
 	}
 }
 

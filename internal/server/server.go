@@ -59,6 +59,28 @@ type Config struct {
 	// started by StartCheckpointer. Zero means 30 seconds. Ignored
 	// without a Journal.
 	CheckpointEvery time.Duration
+	// MaxInflightBytes bounds the total request-body bytes of ingest
+	// requests in flight; requests over budget are shed with
+	// 429 Retry-After instead of queueing. Zero means 64 MiB, negative
+	// disables the byte budget.
+	MaxInflightBytes int64
+	// MaxInflightRequests bounds concurrent ingest requests the same
+	// way. Zero means 256, negative disables the request budget.
+	MaxInflightRequests int64
+	// IngestTimeout bounds the handling of one ingest request; a batch
+	// that cannot finish classifying within it is abandoned with 503.
+	// Zero means no deadline.
+	IngestTimeout time.Duration
+	// DegradeOnWALError selects what a journal append failure does to
+	// ingest: false (default) rejects the batch with 500 so no
+	// acknowledged state can outrun the journal; true flips the daemon
+	// into degraded durability mode — ingest continues memory-only,
+	// /readyz answers 503, and rate-limited probes re-arm the journal
+	// once the fault heals. Ignored without a Journal.
+	DegradeOnWALError bool
+	// DegradedProbeEvery rate-limits journal re-arm probes while
+	// degraded. Zero means 5 seconds.
+	DegradedProbeEvery time.Duration
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
 	// exposes goroutine stacks and heap contents, so it is opt-in
@@ -93,6 +115,12 @@ type Server struct {
 	// ckptKick nudges the checkpointer loop after a finalization so the
 	// finalize record's effect is captured promptly.
 	ckptKick chan struct{}
+
+	// admit sheds push-path load before it reaches any lock; degraded
+	// tracks whether ingest is currently memory-only because the journal
+	// is failing.
+	admit    admission
+	degraded degradedState
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -129,6 +157,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 30 * time.Second
 	}
+	if cfg.MaxInflightBytes == 0 {
+		cfg.MaxInflightBytes = defaultMaxInflightBytes
+	}
+	if cfg.MaxInflightRequests == 0 {
+		cfg.MaxInflightRequests = defaultMaxInflightRequests
+	}
+	if cfg.DegradedProbeEvery <= 0 {
+		cfg.DegradedProbeEvery = defaultDegradedProbeEvery
+	}
 	// Fail fast on a classifier/schema mismatch instead of on the first
 	// ingest request.
 	if _, err := classify.NewOnline(cfg.Classifier, cfg.Schema); err != nil {
@@ -142,6 +179,12 @@ func New(cfg Config) (*Server, error) {
 		ckptKick: make(chan struct{}, 1),
 	}
 	s.start = cfg.Now()
+	if cfg.MaxInflightBytes > 0 {
+		s.admit.maxBytes = cfg.MaxInflightBytes
+	}
+	if cfg.MaxInflightRequests > 0 {
+		s.admit.maxRequests = cfg.MaxInflightRequests
+	}
 	s.valuesPool.New = func() any {
 		b := make([]float64, cfg.Schema.Len())
 		return &b
@@ -261,6 +304,12 @@ func (s *Server) EvictIdle() int {
 // not proceed: the session stays live and the janitor retries later.
 func (s *Server) finalize(sess *session, journal bool) bool {
 	journal = journal && s.cfg.Journal != nil
+	if journal && s.degraded.mode.Load() {
+		// Degraded durability: finalize memory-only, like ingest. The next
+		// checkpoint (forced when degraded mode exits) records the session
+		// as gone, bounding how long a recovery could resurrect it.
+		journal = false
+	}
 	if journal {
 		// Hold the checkpoint read-lock across the marker append and the
 		// state change so a checkpoint sees either both or neither.
@@ -274,12 +323,16 @@ func (s *Server) finalize(sess *session, journal bool) bool {
 	}
 	if journal {
 		if _, err := s.cfg.Journal.AppendFinalize(sess.vm); err != nil {
-			sess.mu.Unlock()
 			s.counters.journalErrors.Add(1)
-			s.cfg.Logf("server: journal finalize %s: %v (session kept live)", sess.vm, err)
-			return false
+			if !s.cfg.DegradeOnWALError {
+				sess.mu.Unlock()
+				s.cfg.Logf("server: journal finalize %s: %v (session kept live)", sess.vm, err)
+				return false
+			}
+			s.enterDegraded(err)
+		} else {
+			s.counters.journalRecords.Add(1)
 		}
-		s.counters.journalRecords.Add(1)
 	}
 	sess.finalized = true
 	view := sess.online.Snapshot()
@@ -309,6 +362,8 @@ func (s *Server) finalize(sess *session, journal bool) bool {
 		Composition:   view.Composition,
 		ExecutionTime: exec,
 		Samples:       view.Total,
+		Gaps:          view.Gaps,
+		GapTime:       view.GapTime,
 	}
 	if err := s.cfg.DB.Put(rec); err != nil {
 		s.counters.finalizeErrors.Add(1)
@@ -398,6 +453,17 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		return classes[:0], nil
 	}
 	journal = journal && s.cfg.Journal != nil
+	probing := false
+	if journal && s.degraded.mode.Load() {
+		// Degraded durability: ingest is memory-only. At most one batch
+		// per DegradedProbeEvery probes the journal to re-arm it; the rest
+		// skip it entirely so a dead disk is not hammered per batch.
+		if s.durabilityProbeDue() && s.cfg.Journal.Revive() == nil {
+			probing = true
+		} else {
+			journal = false
+		}
+	}
 	for attempt := 0; attempt < 3; attempt++ {
 		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
 			online, err := classify.NewOnline(s.cfg.Classifier, s.cfg.Schema)
@@ -427,15 +493,25 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		}
 		if journal {
 			// Write-ahead: a batch that cannot be journaled is not
-			// classified, so the journal is never behind the session state.
+			// classified, so the journal is never behind the session state —
+			// unless DegradeOnWALError trades that guarantee for liveness,
+			// in which case the batch is classified memory-only and the
+			// daemon drops into explicit degraded mode.
 			if _, err := s.cfg.Journal.AppendBatch(vm, snaps); err != nil {
-				sess.mu.Unlock()
-				s.ckptMu.RUnlock()
 				s.counters.journalErrors.Add(1)
-				s.counters.ingestErrors.Add(1)
-				return nil, fmt.Errorf("server: journal batch for %s: %w", vm, err)
+				if !s.cfg.DegradeOnWALError {
+					sess.mu.Unlock()
+					s.ckptMu.RUnlock()
+					s.counters.ingestErrors.Add(1)
+					return nil, fmt.Errorf("server: journal batch for %s: %w", vm, err)
+				}
+				s.enterDegraded(err)
+			} else {
+				s.counters.journalRecords.Add(1)
+				if probing {
+					s.exitDegraded()
+				}
 			}
-			s.counters.journalRecords.Add(1)
 		}
 		out, err := sess.online.ObserveBatch(snaps, classes)
 		if err == nil {

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,6 +104,20 @@ type Config struct {
 	Now func() time.Time
 	// Logf receives operational log lines. Nil discards them.
 	Logf func(format string, args ...any)
+	// OpenSegmentFile creates active segment files. Nil means os.OpenFile.
+	// Fault-injection harnesses substitute an opener whose files fail
+	// writes or fsyncs on command (transient ENOSPC being the canonical
+	// scenario) to drive the daemon's degraded-durability path.
+	OpenSegmentFile func(name string, flag int, perm os.FileMode) (SegmentFile, error)
+}
+
+// SegmentFile is the subset of *os.File the journal needs from its
+// active segment. Production journals use real files; chaos tests
+// substitute failing ones via Config.OpenSegmentFile.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
 }
 
 // Stats is a point-in-time view of the journal's depth and activity,
@@ -142,7 +157,7 @@ type Journal struct {
 	cfg Config
 
 	mu     sync.Mutex
-	f      *os.File
+	f      SegmentFile
 	seq    uint64 // active segment sequence
 	size   int64  // active segment size, including header
 	closed []closedSegment
@@ -184,6 +199,11 @@ func Open(cfg Config) (*Journal, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.OpenSegmentFile == nil {
+		cfg.OpenSegmentFile = func(name string, flag int, perm os.FileMode) (SegmentFile, error) {
+			return os.OpenFile(name, flag, perm)
+		}
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create %s: %w", cfg.Dir, err)
@@ -265,7 +285,7 @@ func parseSegmentName(name string) (uint64, bool) {
 // j.mu (or is the constructor).
 func (j *Journal) openSegment(seq uint64) error {
 	path := segmentPath(j.cfg.Dir, seq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := j.cfg.OpenSegmentFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment %s: %w", path, err)
 	}
@@ -419,6 +439,39 @@ func (j *Journal) Rotate() error {
 		return j.failed
 	}
 	return j.rotateLocked()
+}
+
+// Failed returns the poisoning error, if the journal is poisoned: a
+// segment write failed and no fresh segment could be opened, so every
+// append fails fast until Revive succeeds.
+func (j *Journal) Failed() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// Revive attempts to clear a poisoned journal by opening a fresh
+// active segment — the probe the daemon's degraded-durability mode
+// runs to re-arm once a transient fault (ENOSPC, a flaky disk) heals.
+// It is a no-op on a healthy journal and returns the open error while
+// the fault persists, leaving the journal poisoned.
+func (j *Journal) Revive() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return fmt.Errorf("wal: journal is closed")
+	}
+	if j.failed == nil {
+		return nil
+	}
+	// The poisoned active segment was already retired by
+	// abandonSegmentLocked; only a fresh segment is needed.
+	if err := j.openSegment(j.seq + 1); err != nil {
+		return fmt.Errorf("wal: revive: %w", err)
+	}
+	j.failed = nil
+	j.cfg.Logf("wal: revived with fresh segment %d", j.seq)
+	return nil
 }
 
 // SetRetainFloor raises the retention floor: segments with seq >= seg
