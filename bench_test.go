@@ -33,6 +33,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/pca"
+	"repro/internal/phase"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/testbed"
@@ -275,7 +276,7 @@ func BenchmarkClassificationCostPerSampleConvenience(b *testing.B) {
 // snaps/s metric is whole-pipeline throughput including JSON
 // encode/decode.
 func BenchmarkIngestBatch(b *testing.B) {
-	benchIngestBatch(b, nil)
+	benchIngestBatch(b, nil, false)
 }
 
 // BenchmarkIngestBatchJournaled is the same pipeline with write-ahead
@@ -292,10 +293,28 @@ func BenchmarkIngestBatchJournaled(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = j.Close() })
-	benchIngestBatch(b, j)
+	benchIngestBatch(b, j, false)
 }
 
-func benchIngestBatch(b *testing.B, journal *wal.Journal) {
+// BenchmarkIngestBatchJournaledSegmented layers the phase-aware
+// extension on the journaled pipeline: online segmentation and the
+// open-set unknown test run on every snapshot (the daemon defaults).
+// The acceptance bar is staying within 10% of the journaled snaps/s
+// measured in the same run (see BENCH_baseline.json).
+func BenchmarkIngestBatchJournaledSegmented(b *testing.B) {
+	j, err := wal.Open(wal.Config{
+		Dir:      b.TempDir(),
+		Fsync:    wal.FsyncInterval,
+		MaxBytes: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	benchIngestBatch(b, j, true)
+}
+
+func benchIngestBatch(b *testing.B, journal *wal.Journal, segmented bool) {
 	b.Helper()
 	training, tests := loadRuns(b)
 	cl, err := classify.Train(training, classify.Config{})
@@ -303,7 +322,14 @@ func benchIngestBatch(b *testing.B, journal *wal.Journal) {
 		b.Fatal(err)
 	}
 	schema := tests[0].trace.Schema()
-	srv, err := server.New(server.Config{Classifier: cl, Schema: schema, Journal: journal})
+	cfg := server.Config{Classifier: cl, Schema: schema, Journal: journal}
+	if !segmented {
+		// Baseline pipelines measure ingest without the phase-aware
+		// extension: segmentation and the open-set test disabled.
+		cfg.SegmentWindow = -1
+		cfg.UnknownSlack = -1
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -356,6 +382,65 @@ func benchIngestBatch(b *testing.B, journal *wal.Journal) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*vms*perVM)/b.Elapsed().Seconds(), "snaps/s")
 }
+
+// BenchmarkObserveWithSegmentation measures the streaming classifier's
+// per-snapshot cost with the full phase-aware extension attached:
+// fused-kernel classification, open-set distance test, and the
+// change-point segmenter all run on every Observe. Steady state must
+// stay allocation-free — the segmenter's ring reuses its entries, the
+// history cap recycles its backing array, and phase splits amortize to
+// zero — and CI gates on 0 allocs/op.
+func BenchmarkObserveWithSegmentation(b *testing.B) {
+	training, tests := loadRuns(b)
+	cl, err := classify.Train(training, classify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := tests[0].trace
+	online, err := classify.NewOnline(cl, trace.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	online.SetHistoryCap(512)
+	online.EnableSegmentation(phaseDefaults())
+	oset, err := cl.CalibrateOpenSet(classify.OpenSetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	online.EnableOpenSet(oset)
+
+	// Warm up past the transient allocations: fill the segmenter ring,
+	// the history buffer, and the first phase accumulators.
+	const cadence = 5 * time.Second
+	at := time.Duration(0)
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			snap := trace.At(i % trace.Len())
+			at += cadence
+			if _, err := online.Observe(metrics.Snapshot{Time: at, Node: snap.Node, Values: snap.Values}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	feed(2 * trace.Len())
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := trace.At(i % trace.Len())
+		at += cadence
+		if _, err := online.Observe(metrics.Snapshot{Time: at, Node: snap.Node, Values: snap.Values}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if online.PhaseCount() == 0 {
+		b.Fatal("segmenter never produced a phase")
+	}
+}
+
+// phaseDefaults returns the daemon's default segmentation config.
+func phaseDefaults() phase.Config { return phase.Config{} }
 
 // BenchmarkJournalAppend measures the write-ahead journal's append path
 // in isolation: an 8-snapshot batch encoded (length prefix + CRC32C +

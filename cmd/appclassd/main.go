@@ -79,6 +79,12 @@ type config struct {
 	maxInflightReq  int64
 	ingestTimeout   time.Duration
 	degradeOnWALErr bool
+
+	segWindow    int
+	segMinPhase  int
+	segThreshold float64
+	unknownSlack float64
+	unknownQuant float64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -110,6 +116,11 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.maxInflightReq, "max-inflight-requests", 0, "shed ingest once this many requests are in flight (default 256, negative disables)")
 	fs.DurationVar(&cfg.ingestTimeout, "ingest-timeout", 0, "abandon an ingest request that cannot finish within this deadline (default none)")
 	fs.BoolVar(&cfg.degradeOnWALErr, "degraded-on-wal-error", false, "on persistent journal errors, continue ingest memory-only (degraded durability) instead of rejecting batches")
+	fs.IntVar(&cfg.segWindow, "seg-window", 0, "phase segmentation half-window in snapshots (default 8, negative disables segmentation)")
+	fs.IntVar(&cfg.segMinPhase, "seg-min-phase", 0, "minimum phase length in snapshots (default 5)")
+	fs.Float64Var(&cfg.segThreshold, "seg-threshold", 0, "phase boundary distance threshold in fused feature space (default 1.0)")
+	fs.Float64Var(&cfg.unknownSlack, "unknown-slack", 0, "open-set threshold slack over training self-distances (default 3.0, negative disables UNKNOWN verdicts)")
+	fs.Float64Var(&cfg.unknownQuant, "unknown-quantile", 0, "training self-distance quantile for open-set calibration (default 0.99)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -287,6 +298,11 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		MaxInflightRequests: cfg.maxInflightReq,
 		IngestTimeout:       cfg.ingestTimeout,
 		DegradeOnWALError:   cfg.degradeOnWALErr,
+		SegmentWindow:       cfg.segWindow,
+		SegmentMinLen:       cfg.segMinPhase,
+		SegmentThreshold:    cfg.segThreshold,
+		UnknownSlack:        cfg.unknownSlack,
+		UnknownQuantile:     cfg.unknownQuant,
 		Logf:                log.Printf,
 	})
 	if err != nil {

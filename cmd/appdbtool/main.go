@@ -9,6 +9,7 @@
 //	appdbtool summary -app PostMark appdb.json
 //	appdbtool quote -app PostMark -rates 10,8,6,4,1 appdb.json
 //	appdbtool predict -app PostMark appdb.json
+//	appdbtool fingerprints appdb.json
 //	appdbtool prune -keep 5 appdb.json
 package main
 
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -45,6 +47,8 @@ commands:
   summary  print one application's learned behaviour (-app NAME)
   quote    price an application (-app NAME -rates a,b,g,d,e)
   predict  predict an application's next run time (-app NAME [-k N])
+  fingerprints
+           list stored phase fingerprints and their dictionary matches
   prune    keep only the newest records per application (-keep N)`)
 }
 
@@ -129,6 +133,34 @@ func run(cmd string, args []string, stdout io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "%s: predicted execution %v (± %v over %d neighbours)\n",
 				*app, est.Execution.Round(time.Second), est.Spread.Round(time.Second), len(est.Neighbors))
+			return nil
+		})
+	case "fingerprints":
+		return withDB(args, nil, func(db *appdb.DB, _ *flag.FlagSet) error {
+			dict := db.Fingerprints()
+			if len(dict) == 0 {
+				fmt.Fprintln(stdout, "no fingerprinted runs")
+				return nil
+			}
+			apps := make([]string, 0, len(dict))
+			for app := range dict {
+				apps = append(apps, app)
+			}
+			sort.Strings(apps)
+			for _, app := range apps {
+				rec, err := db.Latest(app)
+				if err != nil {
+					return err
+				}
+				line := fmt.Sprintf("%-20s %s", app, dict[app])
+				if rec.MatchedApp != "" {
+					line += fmt.Sprintf("  (matched %s, score %.2f)", rec.MatchedApp, rec.MatchScore)
+				}
+				if rec.Verdict == appclass.Unknown {
+					line += "  [UNKNOWN verdict]"
+				}
+				fmt.Fprintln(stdout, line)
+			}
 			return nil
 		})
 	case "prune":

@@ -10,6 +10,7 @@
 //	tracetool downsample -factor 2 run.csv > half.csv
 //	tracetool project -metrics cpu_user,io_bi run.csv > small.csv
 //	tracetool expert run.csv > expert.csv
+//	tracetool phases -model model.json run.csv
 //	tracetool journal verify /var/lib/appclassd/journal
 package main
 
@@ -22,7 +23,11 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/appclass"
+	"repro/internal/classify"
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/phase"
 	"repro/internal/stats"
 )
 
@@ -47,6 +52,8 @@ commands:
   downsample  keep every N-th snapshot (-factor N)
   project     keep selected metrics (-metrics a,b,c)
   expert      keep the Table-1 expert metrics
+  phases      segment a trace into execution phases and fingerprint it
+              (-model model.json, or -seed N to train on the testbed)
   journal     inspect an appclassd write-ahead journal:
               journal dump <dir>      print records and checkpoint
               journal verify <dir>    check segment integrity (exit 1 if torn)
@@ -95,6 +102,21 @@ func run(cmd string, args []string, stdout io.Writer) error {
 				return err
 			}
 			return out.WriteCSV(stdout)
+		})
+	case "phases":
+		fs := flag.NewFlagSet("phases", flag.ContinueOnError)
+		model := fs.String("model", "", "load a trained classifier from this JSON file")
+		seed := fs.Int64("seed", 1, "training seed when no -model is given")
+		window := fs.Int("window", 0, "segmentation half-window in snapshots (default 8)")
+		minPhase := fs.Int("min-phase", 0, "minimum phase length in snapshots (default 5)")
+		threshold := fs.Float64("threshold", 0, "phase boundary distance threshold (default 1.0)")
+		slack := fs.Float64("unknown-slack", 0, "open-set threshold slack (default 3.0, negative disables)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		return withTrace(fs.Args(), func(tr *metrics.Trace) error {
+			cfg := phase.Config{Window: *window, MinLen: *minPhase, Threshold: *threshold}
+			return phasesCmd(stdout, tr, *model, *seed, cfg, *slack)
 		})
 	case "journal":
 		return journalCmd(args, stdout)
@@ -148,6 +170,76 @@ func statsCmd(w io.Writer, tr *metrics.Trace) error {
 			name, s.Mean, s.StdDev, s.Min, s.Max, s.Median)
 	}
 	return tw.Flush()
+}
+
+// phasesCmd replays a trace through an online classifier with phase
+// segmentation (and, unless disabled, the open-set test) attached, then
+// prints the detected phase table, the session verdict, and the run's
+// canonical fingerprint.
+func phasesCmd(w io.Writer, tr *metrics.Trace, model string, seed int64, cfg phase.Config, slack float64) error {
+	if tr.Len() == 0 {
+		return fmt.Errorf("phases: trace is empty")
+	}
+	var cl *classify.Classifier
+	if model != "" {
+		f, err := os.Open(model)
+		if err != nil {
+			return err
+		}
+		cl, err = classify.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("phases: load %s: %w", model, err)
+		}
+	} else {
+		svc, err := core.NewService(core.Options{Seed: seed})
+		if err != nil {
+			return fmt.Errorf("phases: train: %w", err)
+		}
+		cl = svc.Classifier()
+	}
+	online, err := classify.NewOnline(cl, tr.Schema())
+	if err != nil {
+		return fmt.Errorf("phases: %w", err)
+	}
+	online.EnableSegmentation(cfg)
+	if slack >= 0 {
+		oset, err := cl.CalibrateOpenSet(classify.OpenSetConfig{Slack: slack})
+		if err != nil {
+			return fmt.Errorf("phases: calibrate open-set: %w", err)
+		}
+		online.EnableOpenSet(oset)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if _, err := online.Observe(tr.At(i)); err != nil {
+			return fmt.Errorf("phases: snapshot %d: %w", i, err)
+		}
+	}
+	phases := online.Phases()
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tclass\tstart\tend\tsnapshots\tduration")
+	for i, p := range phases {
+		marker := ""
+		if p.Open {
+			marker = " (open)"
+		}
+		fmt.Fprintf(tw, "%d%s\t%s\t%v\t%v\t%d\t%v\n",
+			i, marker, p.Class, p.Start, p.End, p.Snapshots, p.Duration())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	verdict := online.Verdict()
+	if verdict == appclass.Unknown {
+		fmt.Fprintf(w, "verdict: %s (%.0f%% of snapshots outside trained classes)\n",
+			verdict, 100*online.UnknownFraction())
+	} else {
+		fmt.Fprintf(w, "verdict: %s\n", verdict)
+	}
+	if fp := phase.NewFingerprint(phases); !fp.Empty() {
+		fmt.Fprintf(w, "fingerprint: %s\n", fp)
+	}
+	return nil
 }
 
 func downsample(tr *metrics.Trace, factor int) (*metrics.Trace, error) {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+var (
+	modelOnce sync.Once
+	modelPath string
+	modelErr  error
+)
+
+// trainedModel trains the classifier once per test binary and saves it
+// to a JSON model file, so every phases invocation can load it with
+// -model instead of re-training.
+func trainedModel(t *testing.T) string {
+	t.Helper()
+	modelOnce.Do(func() {
+		svc, err := core.NewService(core.Options{Seed: 1})
+		if err != nil {
+			modelErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "tracetool-model")
+		if err != nil {
+			modelErr = err
+			return
+		}
+		modelPath = filepath.Join(dir, "model.json")
+		f, err := os.Create(modelPath)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		defer f.Close()
+		modelErr = svc.Classifier().Save(f)
+	})
+	if modelErr != nil {
+		t.Fatalf("train model: %v", modelErr)
+	}
+	return modelPath
+}
+
+// writeProfiledTrace profiles a registry entry on the simulated testbed
+// and writes its trace CSV to a temp file.
+func writeProfiledTrace(t *testing.T, app string) string {
+	t.Helper()
+	entry, err := workload.Find(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := testbed.ProfileEntry(entry, 7)
+	if err != nil {
+		t.Fatalf("profile %s: %v", app, err)
+	}
+	path := filepath.Join(t.TempDir(), app+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPhasesLabelsProfiledTrace(t *testing.T) {
+	model := trainedModel(t)
+	path := writeProfiledTrace(t, "PostMark")
+	var out bytes.Buffer
+	if err := run("phases", []string{"-model", model, path}, &out); err != nil {
+		t.Fatalf("phases: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"class", "snapshots", "verdict: io", "fingerprint: io"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("phases output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "verdict: unknown") {
+		t.Errorf("PostMark should not verdict unknown:\n%s", got)
+	}
+}
+
+func TestPhasesUnknownVerdict(t *testing.T) {
+	model := trainedModel(t)
+	path := writeProfiledTrace(t, "Mimic")
+	var out bytes.Buffer
+	if err := run("phases", []string{"-model", model, path}, &out); err != nil {
+		t.Fatalf("phases: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "verdict: unknown") || !strings.Contains(got, "outside trained classes") {
+		t.Errorf("Mimic should verdict unknown with an explanation:\n%s", got)
+	}
+}
+
+func TestPhasesOpenSetDisabled(t *testing.T) {
+	model := trainedModel(t)
+	path := writeProfiledTrace(t, "Mimic")
+	var out bytes.Buffer
+	if err := run("phases", []string{"-model", model, "-unknown-slack", "-1", path}, &out); err != nil {
+		t.Fatalf("phases: %v", err)
+	}
+	if strings.Contains(out.String(), "verdict: unknown") {
+		t.Errorf("-unknown-slack -1 should disable the open-set test:\n%s", out.String())
+	}
+}
+
+func TestPhasesErrors(t *testing.T) {
+	if err := run("phases", []string{"nonexistent.csv"}, &bytes.Buffer{}); err == nil {
+		t.Error("phases on a missing trace should fail")
+	}
+	empty := writeTestTrace(t, 0)
+	model := trainedModel(t)
+	if err := run("phases", []string{"-model", model, empty}, &bytes.Buffer{}); err == nil {
+		t.Error("phases on an empty trace should fail")
+	}
+}

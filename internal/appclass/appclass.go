@@ -21,6 +21,14 @@ const (
 	Mem  Class = "mem" // paging-intensive
 )
 
+// Unknown is the open-set verdict for workloads the classifier cannot
+// place near any training class. It is deliberately NOT one of the five
+// trained classes: All, Valid, and Parse reject it, so it can never
+// enter compositions, training labels, or stored record classes — it
+// appears only as a session-level verdict alongside the nearest trained
+// class.
+const Unknown Class = "unknown"
+
 // All returns the five classes in the paper's canonical presentation
 // order (the column order of Table 3: Idle, I/O, CPU, Network, Paging).
 func All() []Class {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/appclass"
+	"repro/internal/phase"
 )
 
 // Record is one historical run of an application.
@@ -36,6 +37,25 @@ type Record struct {
 	// coverage rather than the full run; schedulers may weight it down.
 	Gaps    int           `json:"gaps,omitempty"`
 	GapTime time.Duration `json:"gap_time_ns,omitempty"`
+	// Phases is the run's detected phase sequence (empty when the daemon
+	// ran without online segmentation).
+	Phases []phase.Phase `json:"phases,omitempty"`
+	// Fingerprint is the canonicalized phase-sequence fingerprint of the
+	// run, the key the fingerprint dictionary matches future runs
+	// against. Nil when segmentation was off or the run had no phases.
+	Fingerprint *phase.Fingerprint `json:"fingerprint,omitempty"`
+	// MatchedApp and MatchScore record the best fingerprint-dictionary
+	// match found when the run finalized ("" / 0 when nothing cleared
+	// the match threshold).
+	MatchedApp string  `json:"matched_app,omitempty"`
+	MatchScore float64 `json:"match_score,omitempty"`
+	// UnknownFraction is the fraction of the run's snapshots that fell
+	// outside their voted class's open-set threshold.
+	UnknownFraction float64 `json:"unknown_fraction,omitempty"`
+	// Verdict is the open-set session verdict: the majority class when
+	// the run looked like trained behaviour, appclass.Unknown when most
+	// snapshots were novel, or "" when the open-set test was off.
+	Verdict appclass.Class `json:"verdict,omitempty"`
 }
 
 // Validate checks the record's invariants.
@@ -67,6 +87,18 @@ func (r Record) Validate() error {
 	}
 	if len(r.Composition) > 0 && (total < 0.99 || total > 1.01) {
 		return fmt.Errorf("appdb: record for %q has composition summing to %v", r.App, total)
+	}
+	if !(r.UnknownFraction >= 0 && r.UnknownFraction <= 1) {
+		return fmt.Errorf("appdb: record for %q has unknown fraction %v outside [0,1]", r.App, r.UnknownFraction)
+	}
+	if r.Verdict != "" && r.Verdict != appclass.Unknown && !appclass.Valid(r.Verdict) {
+		return fmt.Errorf("appdb: record for %q has invalid verdict %q", r.App, r.Verdict)
+	}
+	if !(r.MatchScore >= 0 && r.MatchScore <= 1) {
+		return fmt.Errorf("appdb: record for %q has match score %v outside [0,1]", r.App, r.MatchScore)
+	}
+	if r.MatchedApp != "" && r.Fingerprint == nil {
+		return fmt.Errorf("appdb: record for %q matched %q without a fingerprint", r.App, r.MatchedApp)
 	}
 	return nil
 }
@@ -122,6 +154,24 @@ func (db *DB) Len() int {
 		n += len(rs)
 	}
 	return n
+}
+
+// Fingerprints returns the fingerprint dictionary: each application's
+// most recent fingerprinted run. This is the corpus BestMatch compares
+// a finalizing session against.
+func (db *DB) Fingerprints() map[string]phase.Fingerprint {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]phase.Fingerprint)
+	for app, rs := range db.records {
+		for i := len(rs) - 1; i >= 0; i-- {
+			if fp := rs[i].Fingerprint; fp != nil && !fp.Empty() {
+				out[app] = *fp
+				break
+			}
+		}
+	}
+	return out
 }
 
 // Latest returns the most recent record of an application.

@@ -332,8 +332,21 @@ type Scratch struct {
 // from GatherIndices (or a schema Subset of the expert metrics);
 // values is the full snapshot vector it indexes into.
 func (c *Classifier) ClassifySnapshotScratch(subset []int, values []float64, s *Scratch) (appclass.Class, error) {
-	if err := c.ready(); err != nil {
+	id, _, err := c.classifySnapshotIDDist(subset, values, s)
+	if err != nil {
 		return "", err
+	}
+	return c.classes[id], nil
+}
+
+// classifySnapshotIDDist is the shared fused-kernel snapshot path: one
+// gathered mat-vec into s.feat, then the integer k-NN vote with the
+// kth-neighbour distance exported for the open-set test. After a
+// successful return, s.feat[:c.fused.Q()] holds the snapshot's fused
+// feature vector (the phase segmenter reads it from there).
+func (c *Classifier) classifySnapshotIDDist(subset []int, values []float64, s *Scratch) (int, float64, error) {
+	if err := c.ready(); err != nil {
+		return 0, 0, err
 	}
 	q := c.fused.Q()
 	if cap(s.feat) < q {
@@ -341,13 +354,9 @@ func (c *Classifier) ClassifySnapshotScratch(subset []int, values []float64, s *
 	}
 	feat := s.feat[:q]
 	if err := c.fused.GatherInto(feat, values, subset); err != nil {
-		return "", err
+		return 0, 0, err
 	}
-	id, err := c.nn.ClassifyID(feat, &s.knn)
-	if err != nil {
-		return "", err
-	}
-	return c.classes[id], nil
+	return c.nn.ClassifyIDDist(feat, &s.knn)
 }
 
 // ClassifySnapshot classifies a single snapshot given the full metric

@@ -264,7 +264,7 @@ func TestHistoryCap(t *testing.T) {
 		t.Errorf("Total = %d, want %d", v.Total, total)
 	}
 	// Stage analysis stays valid over the retained window.
-	if _, err := StagesFromHistory(hist, 1); err != nil {
+	if _, err := StagesFromHistory(hist, 1, online.HistoryDropped()); err != nil {
 		t.Errorf("StagesFromHistory over retained window: %v", err)
 	}
 	// Cap can be lowered after the fact.

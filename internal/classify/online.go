@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/metrics"
+	"repro/internal/phase"
 	"repro/internal/stats"
 )
 
@@ -45,6 +46,15 @@ type Online struct {
 	dropped int
 	firstAt time.Duration
 	lastAt  time.Duration
+
+	// seg, when enabled, maintains online phase segmentation over the
+	// fused feature stream (see EnableSegmentation).
+	seg *phase.Segmenter
+	// openset, when enabled, applies per-snapshot novelty detection;
+	// unknown counts the snapshots that fell outside their voted class's
+	// calibrated threshold.
+	openset *OpenSet
+	unknown int
 }
 
 // DefaultHistoryCap bounds the classification history an Online retains.
@@ -110,6 +120,26 @@ func (o *Online) trimHistory() {
 	o.dropped += drop
 }
 
+// EnableSegmentation attaches an online phase segmenter (see
+// internal/phase): every subsequent snapshot's fused feature vector
+// feeds the change-point detector, and Phases reports the detected
+// phase list. Calling it again replaces the segmenter.
+func (o *Online) EnableSegmentation(cfg phase.Config) {
+	o.seg = phase.NewSegmenter(cfg)
+}
+
+// SegmentationEnabled reports whether a phase segmenter is attached
+// (either via EnableSegmentation or restored from a checkpoint).
+func (o *Online) SegmentationEnabled() bool { return o.seg != nil }
+
+// EnableOpenSet attaches calibrated novelty thresholds (see
+// Classifier.CalibrateOpenSet): snapshots beyond their voted class's
+// threshold count as unknown. os must come from the same classifier; a
+// nil os disables the open-set test.
+func (o *Online) EnableOpenSet(os *OpenSet) {
+	o.openset = os
+}
+
 // Observe classifies one arriving snapshot and updates the running
 // state, returning the snapshot's class. The hot path is allocation-free
 // at steady state: the expert-metric gather indices are cached at
@@ -119,11 +149,26 @@ func (o *Online) Observe(snap metrics.Snapshot) (appclass.Class, error) {
 	if len(snap.Values) != o.schema.Len() {
 		return "", fmt.Errorf("classify: snapshot has %d values, schema %d", len(snap.Values), o.schema.Len())
 	}
-	class, err := o.cl.ClassifySnapshotScratch(o.subset, snap.Values, &o.scratch)
+	return o.observeOne(snap)
+}
+
+// observeOne classifies one pre-validated snapshot and folds it into
+// the running state.
+func (o *Online) observeOne(snap metrics.Snapshot) (appclass.Class, error) {
+	id, dist, err := o.cl.classifySnapshotIDDist(o.subset, snap.Values, &o.scratch)
 	if err != nil {
 		return "", err
 	}
+	class := o.cl.classes[id]
+	if o.openset != nil && o.openset.unknownID(id, dist) {
+		o.unknown++
+	}
 	o.record(snap, class)
+	if o.seg != nil {
+		// The scratch still holds this snapshot's fused features; the
+		// dimensionality is fixed by the model, so Observe cannot fail.
+		_ = o.seg.Observe(snap.Time, class, o.scratch.feat[:o.cl.fused.Q()])
+	}
 	return class, nil
 }
 
@@ -159,11 +204,10 @@ func (o *Online) ObserveBatch(snaps []metrics.Snapshot, classes []appclass.Class
 	}
 	classes = classes[:0]
 	for i := range snaps {
-		class, err := o.cl.ClassifySnapshotScratch(o.subset, snaps[i].Values, &o.scratch)
+		class, err := o.observeOne(snaps[i])
 		if err != nil {
 			return nil, err
 		}
-		o.record(snaps[i], class)
 		classes = append(classes, class)
 	}
 	return classes, nil
@@ -188,6 +232,56 @@ func (o *Online) Gaps() (int, time.Duration) { return o.gaps, o.gapTime }
 
 // Seen returns the number of snapshots observed.
 func (o *Online) Seen() int { return o.total }
+
+// UnknownCount returns how many snapshots fell outside their voted
+// class's open-set threshold (0 with the open-set test disabled).
+func (o *Online) UnknownCount() int { return o.unknown }
+
+// UnknownFraction returns the fraction of observed snapshots counted
+// unknown.
+func (o *Online) UnknownFraction() float64 {
+	if o.total == 0 {
+		return 0
+	}
+	return float64(o.unknown) / float64(o.total)
+}
+
+// UnknownVerdictFraction is the unknown fraction above which a session's
+// verdict flips from its majority class to appclass.Unknown: when more
+// than half the run is not explained by any trained class, the run as a
+// whole is novel.
+const UnknownVerdictFraction = 0.5
+
+// Verdict returns the session-level open-set verdict: the majority
+// class, or appclass.Unknown when over half the snapshots were novel.
+// Before any snapshot it returns "".
+func (o *Online) Verdict() appclass.Class {
+	if o.total == 0 {
+		return ""
+	}
+	if o.UnknownFraction() > UnknownVerdictFraction {
+		return appclass.Unknown
+	}
+	return o.majority()
+}
+
+// Phases returns the detected phase list (nil with segmentation
+// disabled).
+func (o *Online) Phases() []phase.Phase {
+	if o.seg == nil {
+		return nil
+	}
+	return o.seg.Phases()
+}
+
+// PhaseCount returns how many phases the session currently spans (0
+// with segmentation disabled).
+func (o *Online) PhaseCount() int {
+	if o.seg == nil {
+		return 0
+	}
+	return o.seg.Count()
+}
 
 // Last returns the most recent snapshot class.
 func (o *Online) Last() appclass.Class { return o.last }
@@ -246,23 +340,37 @@ type View struct {
 	// stream with missing coverage.
 	Gaps    int
 	GapTime time.Duration
+	// Phases is the detected phase list (nil with segmentation
+	// disabled); each entry is a fresh copy safe to retain.
+	Phases []phase.Phase
+	// Unknown and UnknownFraction count snapshots outside their voted
+	// class's open-set threshold; Verdict is the session-level class,
+	// flipping to appclass.Unknown when UnknownFraction exceeds
+	// UnknownVerdictFraction.
+	Unknown         int
+	UnknownFraction float64
+	Verdict         appclass.Class
 }
 
 // Snapshot captures the classifier's running state as an immutable
 // View.
 func (o *Online) Snapshot() View {
 	v := View{
-		LastClass:   o.last,
-		Composition: o.Composition(),
-		Total:       o.total,
-		Drift:       o.DriftScore(),
-		Gaps:        o.gaps,
-		GapTime:     o.gapTime,
+		LastClass:       o.last,
+		Composition:     o.Composition(),
+		Total:           o.total,
+		Drift:           o.DriftScore(),
+		Gaps:            o.gaps,
+		GapTime:         o.gapTime,
+		Phases:          o.Phases(),
+		Unknown:         o.unknown,
+		UnknownFraction: o.UnknownFraction(),
 	}
 	if o.total > 0 {
 		v.Class = o.majority()
 		v.FirstAt = o.firstAt
 		v.LastAt = o.lastAt
+		v.Verdict = o.Verdict()
 	}
 	return v
 }

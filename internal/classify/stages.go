@@ -20,6 +20,10 @@ type Stage struct {
 	Start, End time.Duration
 	// Snapshots is the number of snapshots in the stage.
 	Snapshots int
+	// Partial marks a stage whose beginning fell outside the retained
+	// history window (see StagesFromHistory): its Start, Snapshots, and
+	// duration describe only the retained tail, not the full stage.
+	Partial bool
 }
 
 // Duration returns the stage's time span.
@@ -119,9 +123,18 @@ func DetectStages(trace *metrics.Trace, result *Result, window, minLen int) ([]S
 // shorter than minLen snapshots are absorbed into their predecessor.
 // It is the streaming counterpart of DetectStages for callers that hold
 // no trace, e.g. the classification daemon's per-VM stage history.
-func StagesFromHistory(history []TimedClass, minLen int) ([]Stage, error) {
+//
+// dropped is the number of history entries the retention cap has
+// trimmed away (Online.HistoryDropped). When it is nonzero, the first
+// stage may have begun before the retained window: it is flagged
+// Partial so consumers do not mistake its truncated start and length
+// for the stage's real extent.
+func StagesFromHistory(history []TimedClass, minLen, dropped int) ([]Stage, error) {
 	if minLen <= 0 {
 		return nil, fmt.Errorf("classify: minLen must be positive, got %d", minLen)
+	}
+	if dropped < 0 {
+		return nil, fmt.Errorf("classify: negative dropped count %d", dropped)
 	}
 	var stages []Stage
 	for _, tc := range history {
@@ -131,6 +144,9 @@ func StagesFromHistory(history []TimedClass, minLen int) ([]Stage, error) {
 			continue
 		}
 		stages = append(stages, Stage{Class: tc.Class, Start: tc.At, End: tc.At, Snapshots: 1})
+	}
+	if len(stages) > 0 && dropped > 0 {
+		stages[0].Partial = true
 	}
 	if minLen == 1 {
 		return stages, nil
@@ -146,6 +162,7 @@ func StagesFromHistory(history []TimedClass, minLen int) ([]Stage, error) {
 			prev := &out[len(out)-1]
 			prev.End = st.End
 			prev.Snapshots += st.Snapshots
+			prev.Partial = prev.Partial || st.Partial
 		default:
 			out = append(out, st)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/metrics"
+	"repro/internal/phase"
 	"repro/internal/stats"
 )
 
@@ -37,6 +38,14 @@ type OnlineState struct {
 	// marked as gappy.
 	Gaps      int   `json:"gaps,omitempty"`
 	GapTimeNS int64 `json:"gap_time_ns,omitempty"`
+	// Unknown counts snapshots outside their voted class's open-set
+	// threshold. The thresholds themselves are not serialized — they are
+	// deterministic given the trained model, so the restorer re-enables
+	// the open-set test with freshly calibrated thresholds.
+	Unknown int `json:"unknown,omitempty"`
+	// Seg is the phase segmenter's full state (nil with segmentation
+	// disabled), restoring which resumes the phase list bit-exactly.
+	Seg *phase.SegmenterState `json:"seg,omitempty"`
 }
 
 // TimedClassState is the wire form of one TimedClass entry.
@@ -60,6 +69,11 @@ func (o *Online) ExportState() OnlineState {
 		Drift:     make([]stats.WelfordState, len(o.drift)),
 		Gaps:      o.gaps,
 		GapTimeNS: int64(o.gapTime),
+		Unknown:   o.unknown,
+	}
+	if o.seg != nil {
+		seg := o.seg.ExportState()
+		st.Seg = &seg
 	}
 	for c, n := range o.counts {
 		st.Counts[string(c)] = n
@@ -141,6 +155,17 @@ func RestoreOnline(cl *Classifier, schema *metrics.Schema, st OnlineState) (*Onl
 			return nil, fmt.Errorf("classify: restore: drift %d: %w", i, err)
 		}
 		o.drift[i] = w
+	}
+	if st.Unknown < 0 || st.Unknown > st.Total {
+		return nil, fmt.Errorf("classify: restore: %d unknown snapshots of %d total", st.Unknown, st.Total)
+	}
+	o.unknown = st.Unknown
+	if st.Seg != nil {
+		seg, err := phase.RestoreSegmenter(*st.Seg)
+		if err != nil {
+			return nil, fmt.Errorf("classify: restore: %w", err)
+		}
+		o.seg = seg
 	}
 	return o, nil
 }

@@ -99,7 +99,7 @@ func TestStagesFromHistory(t *testing.T) {
 		{At: 25 * time.Second, Class: appclass.CPU}, // single-snapshot flicker
 		{At: 30 * time.Second, Class: appclass.IO},
 	}
-	stages, err := StagesFromHistory(hist, 1)
+	stages, err := StagesFromHistory(hist, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestStagesFromHistory(t *testing.T) {
 	}
 
 	// minLen=2 absorbs the CPU flicker into the preceding IO stage.
-	stages, err = StagesFromHistory(hist, 2)
+	stages, err = StagesFromHistory(hist, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,10 +122,10 @@ func TestStagesFromHistory(t *testing.T) {
 		t.Errorf("absorbed stage = %+v", stages[1])
 	}
 
-	if got, err := StagesFromHistory(nil, 1); err != nil || len(got) != 0 {
+	if got, err := StagesFromHistory(nil, 1, 0); err != nil || len(got) != 0 {
 		t.Errorf("empty history: stages=%v err=%v", got, err)
 	}
-	if _, err := StagesFromHistory(hist, 0); err == nil {
+	if _, err := StagesFromHistory(hist, 0, 0); err == nil {
 		t.Error("minLen=0: want error")
 	}
 }

@@ -1,0 +1,171 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// trainDuplicated2D builds a classifier whose every training point is
+// replicated k times, so the kth-neighbour distance of any training
+// point is exactly 0.
+func trainDuplicated2D(t testing.TB, rng *rand.Rand, n, copies int, labels []string, indexed bool) (*Classifier, []linalg.Vector) {
+	t.Helper()
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []linalg.Vector
+	var labs []string
+	distinct := make([]linalg.Vector, 0, n)
+	for i := 0; i < n; i++ {
+		p := linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		lab := labels[rng.Intn(len(labels))]
+		distinct = append(distinct, p)
+		for j := 0; j < copies; j++ {
+			points = append(points, p.Clone())
+			labs = append(labs, lab)
+		}
+	}
+	if err := c.Train(points, labs); err != nil {
+		t.Fatal(err)
+	}
+	if indexed {
+		if err := c.EnableIndex(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, distinct
+}
+
+// TestKthDistanceZeroForTrainingPoints: with every training point
+// duplicated at least k times, querying a training point must report a
+// kth-neighbour distance of exactly 0 — the calibration anchor of the
+// open-set thresholds.
+func TestKthDistanceZeroForTrainingPoints(t *testing.T) {
+	labels := []string{"cpu", "io", "net"}
+	for _, indexed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("indexed-%v", indexed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			c, distinct := trainDuplicated2D(t, rng, 60, 3, labels, indexed)
+			var s Scratch
+			for i, p := range distinct {
+				_, dist, err := c.ClassifyIDDist(p, &s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dist != 0 {
+					t.Fatalf("training point %d: kth distance = %v, want exactly 0", i, dist)
+				}
+			}
+		})
+	}
+}
+
+// TestKthDistanceMonotoneUnderScaling: scaling the whole feature space
+// (training points and query) by a factor scales the kth-neighbour
+// distance by the same factor — thresholds calibrated in one scale stay
+// meaningful across rescaled models.
+func TestKthDistanceMonotoneUnderScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := 200
+	points := make([]linalg.Vector, n)
+	labs := make([]string, n)
+	for i := range points {
+		points[i] = linalg.Vector{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		labs[i] = []string{"a", "b", "c"}[rng.Intn(3)]
+	}
+	scales := []float64{0.25, 1, 2, 7.5}
+	cls := make([]*Classifier, len(scales))
+	for si, scale := range scales {
+		c, err := New(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled := make([]linalg.Vector, n)
+		for i, p := range points {
+			scaled[i] = linalg.Vector{p[0] * scale, p[1] * scale}
+		}
+		if err := c.Train(scaled, labs); err != nil {
+			t.Fatal(err)
+		}
+		cls[si] = c
+	}
+	var s Scratch
+	for probe := 0; probe < 200; probe++ {
+		q := linalg.Vector{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
+		_, base, err := cls[1].ClassifyIDDist(q, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, scale := range scales {
+			_, got, err := cls[si].ClassifyIDDist(linalg.Vector{q[0] * scale, q[1] * scale}, &s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := base * scale
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("probe %d scale %v: kth distance %v, want %v", probe, scale, got, want)
+			}
+		}
+	}
+}
+
+// TestClassifyIDDistMatchesNeighbors cross-checks the exported distance
+// against the slow Neighbors path, indexed and brute-force.
+func TestClassifyIDDistMatchesNeighbors(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("indexed-%v", indexed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(67))
+			c := trainRandom2D(t, rng, 300, []string{"cpu", "io", "net", "mem"}, indexed)
+			var s Scratch
+			for probe := 0; probe < 300; probe++ {
+				q := linalg.Vector{rng.NormFloat64() * 12, rng.NormFloat64() * 12}
+				id, dist, err := c.ClassifyIDDist(q, &s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantID, err := c.ClassifyID(q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != wantID {
+					t.Fatalf("probe %d: id %d, ClassifyID says %d", probe, id, wantID)
+				}
+				nbrs, err := c.Neighbors(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := nbrs[len(nbrs)-1].Distance; dist != want {
+					t.Fatalf("probe %d: kth distance %v, Neighbors says %v", probe, dist, want)
+				}
+			}
+		})
+	}
+}
+
+// TestClassifyIDDistZeroAllocsIndexed gates the open-set fast path the
+// same way TestClassifyIDZeroAllocsIndexed gates classification: the
+// distance export must not cost an allocation.
+func TestClassifyIDDistZeroAllocsIndexed(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := trainRandom2D(t, rng, 500, []string{"cpu", "io", "net"}, true)
+	queries := make([]linalg.Vector, 64)
+	for i := range queries {
+		queries[i] = linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+	}
+	var s Scratch
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, _, err := c.ClassifyIDDist(queries[i%len(queries)], &s); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("indexed ClassifyIDDist allocates %v per run, want 0", allocs)
+	}
+}

@@ -255,11 +255,21 @@ func (c *Classifier) Neighbors(x linalg.Vector) ([]Neighbor, error) {
 // temporary buffers. The tie rule matches Classify: the nearest
 // neighbour among tied classes wins.
 func (c *Classifier) ClassifyID(x linalg.Vector, s *Scratch) (int, error) {
+	id, _, err := c.ClassifyIDDist(x, s)
+	return id, err
+}
+
+// ClassifyIDDist is ClassifyID plus the distance to the kth nearest
+// neighbour — the open-set novelty signal: a query far from all
+// training points of its voted class is not well explained by that
+// class. The distance comes for free from the neighbour search, so
+// this path is exactly as fast and allocation-free as ClassifyID.
+func (c *Classifier) ClassifyIDDist(x linalg.Vector, s *Scratch) (int, float64, error) {
 	if len(c.points) == 0 {
-		return 0, fmt.Errorf("knn: classifier has no training data")
+		return 0, 0, fmt.Errorf("knn: classifier has no training data")
 	}
 	if len(x) != c.dims {
-		return 0, fmt.Errorf("knn: query has %d dims, trained on %d", len(x), c.dims)
+		return 0, 0, fmt.Errorf("knn: query has %d dims, trained on %d", len(x), c.dims)
 	}
 	if s == nil {
 		s = &Scratch{}
@@ -273,7 +283,7 @@ func (c *Classifier) ClassifyID(x linalg.Vector, s *Scratch) (int, error) {
 	}
 	nbrs, err := c.neighborsInto(x, k, s.cand[:0])
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	s.cand = nbrs[:0]
 	if cap(s.votes) < len(c.classNames) {
@@ -291,14 +301,15 @@ func (c *Classifier) ClassifyID(x linalg.Vector, s *Scratch) (int, error) {
 			best = votes[id]
 		}
 	}
-	// Neighbours are sorted by distance: the first tied class is the
-	// nearest one.
+	// Neighbours are sorted by distance: the kth distance is the last
+	// entry's, and the first tied class is the nearest one.
+	kth := nbrs[len(nbrs)-1].Distance
 	for _, n := range nbrs {
 		if id := c.classIDs[n.Index]; votes[id] == best {
-			return id, nil
+			return id, kth, nil
 		}
 	}
-	return 0, fmt.Errorf("knn: vote produced no label") // unreachable
+	return 0, 0, fmt.Errorf("knn: vote produced no label") // unreachable
 }
 
 // Classify returns the majority label of the k nearest neighbours of x.

@@ -1,0 +1,214 @@
+package phase
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/appclass"
+)
+
+// PhaseSig is one phase of a fingerprint: its class, its share of the
+// run's total duration, and its feature-space centroid.
+type PhaseSig struct {
+	Class    appclass.Class `json:"class"`
+	DurFrac  float64        `json:"dur_frac"`
+	Centroid []float64      `json:"centroid,omitempty"`
+}
+
+// Fingerprint is the canonicalized phase sequence of one finalized run:
+// the run's behavioural signature, comparable across runs of the same
+// application even when absolute durations differ (the fractions
+// normalize away machine speed and contention).
+type Fingerprint struct {
+	Phases []PhaseSig `json:"phases"`
+}
+
+// minPhaseFrac drops canonicalization noise: phases shorter than this
+// fraction of the run are merged away before comparison.
+const minPhaseFrac = 0.02
+
+// NewFingerprint canonicalizes a detected phase list into a
+// fingerprint: adjacent same-class phases merge (duration-weighted
+// centroids), phases below minPhaseFrac of the run's duration drop, and
+// the surviving duration fractions renormalize to sum to 1.
+func NewFingerprint(phases []Phase) Fingerprint {
+	type raw struct {
+		class    appclass.Class
+		dur      float64
+		centroid []float64
+	}
+	var merged []raw
+	var total float64
+	for _, p := range phases {
+		if p.Snapshots == 0 {
+			continue
+		}
+		// A single-snapshot phase has zero span; weight it by snapshot
+		// count instead so it is not silently lost when it is the whole
+		// run.
+		d := float64(p.Duration())
+		if d <= 0 {
+			d = float64(p.Snapshots)
+		}
+		total += d
+		if n := len(merged); n > 0 && merged[n-1].class == p.Class {
+			m := &merged[n-1]
+			for i := range m.centroid {
+				if i < len(p.Centroid) {
+					m.centroid[i] = (m.centroid[i]*m.dur + p.Centroid[i]*d) / (m.dur + d)
+				}
+			}
+			m.dur += d
+			continue
+		}
+		merged = append(merged, raw{
+			class:    p.Class,
+			dur:      d,
+			centroid: append([]float64(nil), p.Centroid...),
+		})
+	}
+	if total <= 0 {
+		return Fingerprint{}
+	}
+	// Drop sub-threshold slivers, then re-merge neighbours that the
+	// drops made adjacent.
+	kept := merged[:0]
+	for _, m := range merged {
+		if m.dur/total < minPhaseFrac {
+			continue
+		}
+		if n := len(kept); n > 0 && kept[n-1].class == m.class {
+			k := &kept[n-1]
+			for i := range k.centroid {
+				if i < len(m.centroid) {
+					k.centroid[i] = (k.centroid[i]*k.dur + m.centroid[i]*m.dur) / (k.dur + m.dur)
+				}
+			}
+			k.dur += m.dur
+			continue
+		}
+		kept = append(kept, m)
+	}
+	var keptTotal float64
+	for _, m := range kept {
+		keptTotal += m.dur
+	}
+	fp := Fingerprint{Phases: make([]PhaseSig, 0, len(kept))}
+	for _, m := range kept {
+		fp.Phases = append(fp.Phases, PhaseSig{
+			Class:    m.class,
+			DurFrac:  m.dur / keptTotal,
+			Centroid: m.centroid,
+		})
+	}
+	return fp
+}
+
+// Empty reports whether the fingerprint carries no phases.
+func (f Fingerprint) Empty() bool { return len(f.Phases) == 0 }
+
+// String renders the fingerprint compactly, e.g.
+// "cpu-intensive:0.62 io-intensive:0.38".
+func (f Fingerprint) String() string {
+	var b strings.Builder
+	for i, p := range f.Phases {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%.2f", p.Class, p.DurFrac)
+	}
+	return b.String()
+}
+
+func centroidDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var d2 float64
+	for i := 0; i < n; i++ {
+		diff := a[i] - b[i]
+		d2 += diff * diff
+	}
+	return math.Sqrt(d2)
+}
+
+// Similarity scores two fingerprints in [0, 1] with a global sequence
+// alignment over their phases (Needleman–Wunsch with zero gap reward):
+// aligning two phases of the same class earns the overlap of their
+// duration fractions, shrunk by how far apart their centroids sit;
+// phases of different classes earn nothing. The score is the earned
+// overlap normalized by the mean total duration (= 1 per fingerprint),
+// so identical fingerprints score 1 and disjoint class sequences 0.
+func Similarity(a, b Fingerprint) float64 {
+	la, lb := len(a.Phases), len(b.Phases)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	// dp[i][j]: best earned overlap aligning a[:i] with b[:j].
+	prev := make([]float64, lb+1)
+	cur := make([]float64, lb+1)
+	for i := 1; i <= la; i++ {
+		pa := a.Phases[i-1]
+		for j := 1; j <= lb; j++ {
+			best := prev[j] // skip pa
+			if cur[j-1] > best {
+				best = cur[j-1] // skip b's phase
+			}
+			if pb := b.Phases[j-1]; pa.Class == pb.Class {
+				gain := math.Min(pa.DurFrac, pb.DurFrac) / (1 + centroidDist(pa.Centroid, pb.Centroid))
+				if v := prev[j-1] + gain; v > best {
+					best = v
+				}
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	// Each fingerprint's fractions sum to 1, so matched overlap is at
+	// most 1; prev holds the final row after the last swap.
+	score := prev[lb]
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// Match is the result of looking a fingerprint up in a dictionary.
+type Match struct {
+	// App is the prior run's application name.
+	App string `json:"app"`
+	// Score is the similarity in [0, 1].
+	Score float64 `json:"score"`
+}
+
+// DefaultMatchThreshold is the similarity above which two runs are
+// considered the same application.
+const DefaultMatchThreshold = 0.6
+
+// BestMatch scores fp against every fingerprint in dict (app name →
+// fingerprint) and returns the best-scoring entry. Apps are visited in
+// sorted name order so ties break deterministically. ok is false when
+// the dictionary is empty or fp is empty.
+func BestMatch(fp Fingerprint, dict map[string]Fingerprint) (Match, bool) {
+	if fp.Empty() || len(dict) == 0 {
+		return Match{}, false
+	}
+	names := make([]string, 0, len(dict))
+	for name := range dict {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var best Match
+	found := false
+	for _, name := range names {
+		s := Similarity(fp, dict[name])
+		if !found || s > best.Score {
+			best = Match{App: name, Score: s}
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,176 @@
+package phase
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+func mkPhase(class appclass.Class, start, end time.Duration, centroid ...float64) Phase {
+	return Phase{
+		Class:     class,
+		Start:     start,
+		End:       end,
+		Snapshots: int(end-start)/int(time.Second) + 1,
+		Centroid:  centroid,
+	}
+}
+
+func TestNewFingerprintCanonicalizes(t *testing.T) {
+	// Adjacent same-class phases merge; the sliver (1 s of a 101 s run
+	// < 2%) drops; fractions renormalize to 1.
+	phases := []Phase{
+		mkPhase(appclass.CPU, 0, 30*time.Second, 2, 0),
+		mkPhase(appclass.CPU, 30*time.Second, 60*time.Second, 2.2, 0),
+		mkPhase(appclass.IO, 60*time.Second, 61*time.Second, -2, 1), // sliver
+		mkPhase(appclass.Net, 61*time.Second, 101*time.Second, 0, -2),
+	}
+	fp := NewFingerprint(phases)
+	if len(fp.Phases) != 2 {
+		t.Fatalf("got %d canonical phases, want 2: %s", len(fp.Phases), fp)
+	}
+	if fp.Phases[0].Class != appclass.CPU || fp.Phases[1].Class != appclass.Net {
+		t.Fatalf("classes = %s, want cpu then network", fp)
+	}
+	var sum float64
+	for _, p := range fp.Phases {
+		sum += p.DurFrac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+	// Merged centroid is the duration-weighted mean of 2 and 2.2.
+	if c := fp.Phases[0].Centroid[0]; math.Abs(c-2.1) > 1e-9 {
+		t.Errorf("merged centroid x = %v, want 2.1", c)
+	}
+}
+
+func TestNewFingerprintDropRemerges(t *testing.T) {
+	// Dropping the middle sliver makes the flanking CPU phases adjacent;
+	// they must merge into one.
+	phases := []Phase{
+		mkPhase(appclass.CPU, 0, 50*time.Second, 2, 0),
+		mkPhase(appclass.IO, 50*time.Second, 51*time.Second, -2, 1),
+		mkPhase(appclass.CPU, 51*time.Second, 100*time.Second, 2, 0),
+	}
+	fp := NewFingerprint(phases)
+	if len(fp.Phases) != 1 || fp.Phases[0].Class != appclass.CPU {
+		t.Fatalf("fingerprint = %s, want single cpu phase", fp)
+	}
+}
+
+func TestNewFingerprintEmpty(t *testing.T) {
+	if fp := NewFingerprint(nil); !fp.Empty() {
+		t.Errorf("fingerprint of no phases = %s, want empty", fp)
+	}
+	if fp := NewFingerprint([]Phase{{Class: appclass.CPU}}); !fp.Empty() {
+		t.Errorf("fingerprint of zero-snapshot phase = %s, want empty", fp)
+	}
+}
+
+func TestSimilarityIdentical(t *testing.T) {
+	fp := NewFingerprint([]Phase{
+		mkPhase(appclass.CPU, 0, 60*time.Second, 2, 0),
+		mkPhase(appclass.IO, 60*time.Second, 100*time.Second, -2, 1),
+	})
+	if s := Similarity(fp, fp); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self-similarity = %v, want 1", s)
+	}
+}
+
+func TestSimilarityDisjointClasses(t *testing.T) {
+	a := NewFingerprint([]Phase{mkPhase(appclass.CPU, 0, 100*time.Second, 2, 0)})
+	b := NewFingerprint([]Phase{mkPhase(appclass.Net, 0, 100*time.Second, 0, -2)})
+	if s := Similarity(a, b); s != 0 {
+		t.Errorf("similarity of disjoint classes = %v, want 0", s)
+	}
+}
+
+func TestSimilaritySymmetricAndBounded(t *testing.T) {
+	a := NewFingerprint([]Phase{
+		mkPhase(appclass.CPU, 0, 60*time.Second, 2, 0),
+		mkPhase(appclass.IO, 60*time.Second, 100*time.Second, -2, 1),
+	})
+	b := NewFingerprint([]Phase{
+		mkPhase(appclass.CPU, 0, 30*time.Second, 2.1, 0.1),
+		mkPhase(appclass.IO, 30*time.Second, 100*time.Second, -1.9, 0.9),
+	})
+	sab, sba := Similarity(a, b), Similarity(b, a)
+	if math.Abs(sab-sba) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", sab, sba)
+	}
+	if sab <= 0 || sab >= 1 {
+		t.Errorf("similar-but-not-identical score = %v, want in (0, 1)", sab)
+	}
+}
+
+func TestSimilarityCentroidDistanceShrinksScore(t *testing.T) {
+	a := NewFingerprint([]Phase{mkPhase(appclass.CPU, 0, 100*time.Second, 0, 0)})
+	near := NewFingerprint([]Phase{mkPhase(appclass.CPU, 0, 100*time.Second, 0.1, 0)})
+	far := NewFingerprint([]Phase{mkPhase(appclass.CPU, 0, 100*time.Second, 5, 0)})
+	if sn, sf := Similarity(a, near), Similarity(a, far); sn <= sf {
+		t.Errorf("near score %v not above far score %v", sn, sf)
+	}
+}
+
+func TestSimilarityRespectsOrder(t *testing.T) {
+	ab := NewFingerprint([]Phase{
+		mkPhase(appclass.CPU, 0, 50*time.Second, 2, 0),
+		mkPhase(appclass.IO, 50*time.Second, 100*time.Second, -2, 1),
+	})
+	ba := NewFingerprint([]Phase{
+		mkPhase(appclass.IO, 0, 50*time.Second, -2, 1),
+		mkPhase(appclass.CPU, 50*time.Second, 100*time.Second, 2, 0),
+	})
+	// The alignment is order-preserving: CPU→IO vs IO→CPU can match at
+	// most one of the two phases.
+	if s := Similarity(ab, ba); s > 0.55 {
+		t.Errorf("reversed sequence scores %v, want ≤ ~0.5", s)
+	}
+	if s := Similarity(ab, ab); s < 0.99 {
+		t.Errorf("identical sequence scores %v, want ≈ 1", s)
+	}
+}
+
+func TestBestMatch(t *testing.T) {
+	mk := func(classes ...appclass.Class) Fingerprint {
+		var phases []Phase
+		for i, c := range classes {
+			start := time.Duration(i*50) * time.Second
+			phases = append(phases, mkPhase(c, start, start+50*time.Second, float64(i), 0))
+		}
+		return NewFingerprint(phases)
+	}
+	dict := map[string]Fingerprint{
+		"cpu-only": mk(appclass.CPU),
+		"cpu-io":   mk(appclass.CPU, appclass.IO),
+		"net-only": mk(appclass.Net),
+	}
+	m, ok := BestMatch(mk(appclass.CPU, appclass.IO), dict)
+	if !ok || m.App != "cpu-io" {
+		t.Fatalf("BestMatch = %+v ok=%v, want cpu-io", m, ok)
+	}
+	if m.Score < DefaultMatchThreshold {
+		t.Errorf("matching app scored %v, below default threshold %v", m.Score, DefaultMatchThreshold)
+	}
+
+	if _, ok := BestMatch(Fingerprint{}, dict); ok {
+		t.Error("empty fingerprint matched")
+	}
+	if _, ok := BestMatch(mk(appclass.CPU), nil); ok {
+		t.Error("empty dictionary matched")
+	}
+}
+
+func TestBestMatchDeterministicTieBreak(t *testing.T) {
+	fp := NewFingerprint([]Phase{mkPhase(appclass.CPU, 0, 100*time.Second, 2, 0)})
+	dict := map[string]Fingerprint{"b-app": fp, "a-app": fp, "c-app": fp}
+	for i := 0; i < 20; i++ {
+		m, ok := BestMatch(fp, dict)
+		if !ok || m.App != "a-app" {
+			t.Fatalf("iteration %d: tie broke to %q, want a-app", i, m.App)
+		}
+	}
+}

@@ -50,6 +50,12 @@ type counters struct {
 	recoveredSessions  atomic.Int64 // sessions restored from a checkpoint at startup
 	journalGapSegments atomic.Int64 // journal segments found missing (unrecoverable) during recovery
 
+	unknownSnapshots   atomic.Int64 // snapshots outside their voted class's open-set threshold
+	unknownSessions    atomic.Int64 // sessions finalized with an UNKNOWN open-set verdict
+	phaseBoundaries    atomic.Int64 // phase boundaries detected by the online segmenter
+	fingerprintMatches atomic.Int64 // finalized sessions whose fingerprint matched the dictionary
+	fingerprintMisses  atomic.Int64 // finalized fingerprints with no dictionary match over threshold
+
 	classifications map[appclass.Class]*atomic.Int64
 }
 
@@ -126,6 +132,11 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_replayed_snapshots_total", "Snapshots re-applied from the journal at startup.", c.replayedSnapshots.Load())
 	counter("appclassd_recovered_sessions_total", "Sessions restored from a checkpoint at startup.", c.recoveredSessions.Load())
 	counter("appclassd_journal_gap_segments_total", "Journal segments missing at recovery; their records are unrecoverable.", c.journalGapSegments.Load())
+	counter("appclassd_unknown_snapshots_total", "Snapshots beyond their voted class's open-set distance threshold.", c.unknownSnapshots.Load())
+	counter("appclassd_unknown_sessions_total", "Sessions finalized with an UNKNOWN open-set verdict.", c.unknownSessions.Load())
+	counter("appclassd_phase_boundaries_total", "Phase boundaries detected by the online segmenter.", c.phaseBoundaries.Load())
+	counter("appclassd_fingerprint_matches_total", "Finalized sessions whose phase fingerprint matched a dictionary entry.", c.fingerprintMatches.Load())
+	counter("appclassd_fingerprint_misses_total", "Finalized phase fingerprints with no dictionary match over the threshold.", c.fingerprintMisses.Load())
 
 	total := 0
 	for _, n := range sessions {

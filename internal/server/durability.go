@@ -177,6 +177,9 @@ func (s *Server) Recover() (RecoveryStats, error) {
 			if err != nil {
 				return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
 			}
+			// The restored segmenter (if any) carries on; only the open-set
+			// thresholds need re-attaching — they are never checkpointed.
+			s.armOnline(online)
 			sess := &session{vm: sc.VM, online: online, lastSeen: time.Unix(0, sc.LastSeenUnixNS)}
 			if _, created, err := s.reg.getOrCreate(sc.VM, func() (*session, error) {
 				return sess, nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/appclass"
 	"repro/internal/classify"
 	"repro/internal/metrics"
+	"repro/internal/phase"
 	"repro/internal/placement"
 )
 
@@ -23,6 +24,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/vms/{name}", s.handleVM)
 	mux.HandleFunc("POST /v1/vms/{name}/finish", s.handleFinish)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("GET /v1/fingerprints", s.handleFingerprints)
 	mux.HandleFunc("POST /v1/placements", s.handlePlace)
 	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
 	mux.HandleFunc("GET /v1/placements/advice", s.handleAdvice)
@@ -233,6 +235,14 @@ type vmSummary struct {
 	// then estimates over partial coverage.
 	Gaps       int     `json:"gaps,omitempty"`
 	GapSeconds float64 `json:"gap_s,omitempty"`
+	// Verdict is the open-set session verdict ("unknown" when most
+	// snapshots fell outside the trained classes; omitted with the
+	// open-set test off or before any snapshot). UnknownFraction is the
+	// fraction of snapshots beyond their class's threshold, and Phases
+	// counts phases detected so far (including the open one).
+	Verdict         string  `json:"verdict,omitempty"`
+	UnknownFraction float64 `json:"unknown_fraction,omitempty"`
+	Phases          int     `json:"phases,omitempty"`
 }
 
 func (s *Server) summarize(sess *session) vmSummary {
@@ -241,14 +251,17 @@ func (s *Server) summarize(sess *session) vmSummary {
 	lastSeen := sess.lastSeen
 	sess.mu.Unlock()
 	return vmSummary{
-		VM:         sess.vm,
-		Class:      string(view.Class),
-		LastClass:  string(view.LastClass),
-		Snapshots:  view.Total,
-		Drift:      view.Drift,
-		LastSeen:   lastSeen.UTC().Format(time.RFC3339),
-		Gaps:       view.Gaps,
-		GapSeconds: view.GapTime.Seconds(),
+		VM:              sess.vm,
+		Class:           string(view.Class),
+		LastClass:       string(view.LastClass),
+		Snapshots:       view.Total,
+		Drift:           view.Drift,
+		LastSeen:        lastSeen.UTC().Format(time.RFC3339),
+		Gaps:            view.Gaps,
+		GapSeconds:      view.GapTime.Seconds(),
+		Verdict:         string(view.Verdict),
+		UnknownFraction: view.UnknownFraction,
+		Phases:          len(view.Phases),
 	}
 }
 
@@ -276,6 +289,11 @@ type vmDetail struct {
 	FirstSeconds float64                    `json:"first_s"`
 	LastSeconds  float64                    `json:"last_s"`
 	Stages       []stageJSON                `json:"stages"`
+	// PhaseList is the segmenter's phase breakdown (empty with
+	// segmentation disabled). Unlike Stages, which merges the label
+	// history, phases come from change-point detection over the fused
+	// feature stream, so they survive label flicker inside one regime.
+	PhaseList []phaseJSON `json:"phase_list,omitempty"`
 }
 
 type stageJSON struct {
@@ -283,6 +301,18 @@ type stageJSON struct {
 	StartSeconds float64 `json:"start_s"`
 	EndSeconds   float64 `json:"end_s"`
 	Snapshots    int     `json:"snapshots"`
+	// Partial marks a stage whose beginning was trimmed by the history
+	// retention cap.
+	Partial bool `json:"partial,omitempty"`
+}
+
+type phaseJSON struct {
+	Class        string                     `json:"class"`
+	StartSeconds float64                    `json:"start_s"`
+	EndSeconds   float64                    `json:"end_s"`
+	Snapshots    int                        `json:"snapshots"`
+	Composition  map[appclass.Class]float64 `json:"composition,omitempty"`
+	Open         bool                       `json:"open,omitempty"`
 }
 
 func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
@@ -295,24 +325,28 @@ func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	view := sess.online.Snapshot()
 	history := sess.online.History()
+	dropped := sess.online.HistoryDropped()
 	lastSeen := sess.lastSeen
 	sess.mu.Unlock()
 
-	stages, err := classify.StagesFromHistory(history, 1)
+	stages, err := classify.StagesFromHistory(history, 1, dropped)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "stage history: %v", err)
 		return
 	}
 	detail := vmDetail{
 		vmSummary: vmSummary{
-			VM:         vm,
-			Class:      string(view.Class),
-			LastClass:  string(view.LastClass),
-			Snapshots:  view.Total,
-			Drift:      view.Drift,
-			LastSeen:   lastSeen.UTC().Format(time.RFC3339),
-			Gaps:       view.Gaps,
-			GapSeconds: view.GapTime.Seconds(),
+			VM:              vm,
+			Class:           string(view.Class),
+			LastClass:       string(view.LastClass),
+			Snapshots:       view.Total,
+			Drift:           view.Drift,
+			LastSeen:        lastSeen.UTC().Format(time.RFC3339),
+			Gaps:            view.Gaps,
+			GapSeconds:      view.GapTime.Seconds(),
+			Verdict:         string(view.Verdict),
+			UnknownFraction: view.UnknownFraction,
+			Phases:          len(view.Phases),
 		},
 		Composition:  view.Composition,
 		FirstSeconds: view.FirstAt.Seconds(),
@@ -325,9 +359,64 @@ func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
 			StartSeconds: st.Start.Seconds(),
 			EndSeconds:   st.End.Seconds(),
 			Snapshots:    st.Snapshots,
+			Partial:      st.Partial,
+		})
+	}
+	for _, p := range view.Phases {
+		detail.PhaseList = append(detail.PhaseList, phaseJSON{
+			Class:        string(p.Class),
+			StartSeconds: p.Start.Seconds(),
+			EndSeconds:   p.End.Seconds(),
+			Snapshots:    p.Snapshots,
+			Composition:  p.Composition,
+			Open:         p.Open,
 		})
 	}
 	writeJSON(w, http.StatusOK, detail)
+}
+
+// fingerprintEntry is one row of GET /v1/fingerprints: an application's
+// most recent phase fingerprint from the application database.
+type fingerprintEntry struct {
+	App string `json:"app"`
+	// Summary is the human-readable form, e.g. "cpu:0.62 io:0.38".
+	Summary string `json:"summary"`
+	// Phases is the canonicalized phase signature sequence.
+	Phases []phase.PhaseSig `json:"phases"`
+	// MatchedApp and MatchScore echo the dictionary match recorded when
+	// the run finalized, if any.
+	MatchedApp string  `json:"matched_app,omitempty"`
+	MatchScore float64 `json:"match_score,omitempty"`
+}
+
+// handleFingerprints serves the fingerprint dictionary: each
+// application's latest fingerprinted run, the corpus finalizing
+// sessions are matched against.
+func (s *Server) handleFingerprints(w http.ResponseWriter, r *http.Request) {
+	db := s.cfg.DB
+	out := struct {
+		Count        int                `json:"count"`
+		Fingerprints []fingerprintEntry `json:"fingerprints"`
+	}{}
+	for _, app := range db.Apps() {
+		rs := db.Runs(app)
+		for i := len(rs) - 1; i >= 0; i-- {
+			fp := rs[i].Fingerprint
+			if fp == nil || fp.Empty() {
+				continue
+			}
+			out.Fingerprints = append(out.Fingerprints, fingerprintEntry{
+				App:        app,
+				Summary:    fp.String(),
+				Phases:     fp.Phases,
+				MatchedApp: rs[i].MatchedApp,
+				MatchScore: rs[i].MatchScore,
+			})
+			break
+		}
+	}
+	out.Count = len(out.Fingerprints)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // finishResponse is POST /v1/vms/{name}/finish: the application-database
@@ -339,6 +428,12 @@ type finishResponse struct {
 	ExecutionSecs  float64                    `json:"execution_s"`
 	Samples        int                        `json:"samples"`
 	HistoricalRuns int                        `json:"historical_runs"`
+	// Verdict is the open-set verdict the run finalized with; MatchedApp
+	// and MatchScore report the fingerprint-dictionary match, if any.
+	Verdict    string  `json:"verdict,omitempty"`
+	Phases     int     `json:"phases,omitempty"`
+	MatchedApp string  `json:"matched_app,omitempty"`
+	MatchScore float64 `json:"match_score,omitempty"`
 }
 
 func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
@@ -372,6 +467,10 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		ExecutionSecs:  rec.ExecutionTime.Seconds(),
 		Samples:        rec.Samples,
 		HistoricalRuns: len(s.cfg.DB.Runs(vm)),
+		Verdict:        string(rec.Verdict),
+		Phases:         len(rec.Phases),
+		MatchedApp:     rec.MatchedApp,
+		MatchScore:     rec.MatchScore,
 	})
 }
 

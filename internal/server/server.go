@@ -22,6 +22,7 @@ import (
 	"repro/internal/appdb"
 	"repro/internal/classify"
 	"repro/internal/metrics"
+	"repro/internal/phase"
 	"repro/internal/placement"
 	"repro/internal/wal"
 )
@@ -81,6 +82,26 @@ type Config struct {
 	// DegradedProbeEvery rate-limits journal re-arm probes while
 	// degraded. Zero means 5 seconds.
 	DegradedProbeEvery time.Duration
+	// SegmentWindow is the phase segmenter's half-window in snapshots:
+	// boundaries are detected by comparing the mean fused feature vector
+	// of the newest SegmentWindow snapshots against the SegmentWindow
+	// before them. Zero means 8; negative disables online phase
+	// segmentation entirely.
+	SegmentWindow int
+	// SegmentMinLen is the minimum phase length in snapshots. Zero
+	// means 5.
+	SegmentMinLen int
+	// SegmentThreshold is the mean-shift distance in fused feature space
+	// above which a phase boundary is declared. Zero means 1.0.
+	SegmentThreshold float64
+	// UnknownSlack scales the calibrated open-set thresholds: a snapshot
+	// whose kth-neighbor distance exceeds slack x the training
+	// self-distance quantile of its voted class counts as unknown. Zero
+	// means 3.0; negative disables the open-set UNKNOWN test.
+	UnknownSlack float64
+	// UnknownQuantile is the per-class training self-distance quantile
+	// the thresholds calibrate from. Zero means 0.99.
+	UnknownQuantile float64
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
 	// exposes goroutine stacks and heap contents, so it is opt-in
@@ -115,6 +136,13 @@ type Server struct {
 	// ckptKick nudges the checkpointer loop after a finalization so the
 	// finalize record's effect is captured promptly.
 	ckptKick chan struct{}
+
+	// segCfg is the phase segmenter configuration applied to every new
+	// session (nil with segmentation disabled); openset holds the
+	// calibrated novelty thresholds shared by all sessions (nil with the
+	// open-set test disabled). Both are immutable after New.
+	segCfg  *phase.Config
+	openset *classify.OpenSet
 
 	// admit sheds push-path load before it reaches any lock; degraded
 	// tracks whether ingest is currently memory-only because the journal
@@ -192,8 +220,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Placement != nil {
 		cfg.Placement.SetLive(s.liveComposition)
 	}
+	if cfg.SegmentWindow >= 0 {
+		s.segCfg = &phase.Config{
+			Window:    cfg.SegmentWindow,
+			MinLen:    cfg.SegmentMinLen,
+			Threshold: cfg.SegmentThreshold,
+		}
+	}
+	if cfg.UnknownSlack >= 0 {
+		os, err := cfg.Classifier.CalibrateOpenSet(classify.OpenSetConfig{
+			Quantile: cfg.UnknownQuantile,
+			Slack:    cfg.UnknownSlack,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: calibrate open-set thresholds: %w", err)
+		}
+		s.openset = os
+	}
 	s.mux = s.routes()
 	return s, nil
+}
+
+// armOnline attaches the daemon's phase segmentation and open-set
+// configuration to a session's classifier. Restored sessions keep the
+// segmenter that came out of their checkpoint (re-attaching would drop
+// the accumulated phase list); the open-set thresholds are always
+// re-attached because they are deterministic from the trained model and
+// never serialized.
+func (s *Server) armOnline(o *classify.Online) {
+	if s.segCfg != nil && !o.SegmentationEnabled() {
+		o.EnableSegmentation(*s.segCfg)
+	}
+	if s.openset != nil {
+		o.EnableOpenSet(s.openset)
+	}
 }
 
 // liveComposition resolves a VM's live class composition for the
@@ -357,13 +417,32 @@ func (s *Server) finalize(sess *session, journal bool) bool {
 		exec = 0
 	}
 	rec := appdb.Record{
-		App:           sess.vm,
-		Class:         view.Class,
-		Composition:   view.Composition,
-		ExecutionTime: exec,
-		Samples:       view.Total,
-		Gaps:          view.Gaps,
-		GapTime:       view.GapTime,
+		App:             sess.vm,
+		Class:           view.Class,
+		Composition:     view.Composition,
+		ExecutionTime:   exec,
+		Samples:         view.Total,
+		Gaps:            view.Gaps,
+		GapTime:         view.GapTime,
+		Phases:          view.Phases,
+		UnknownFraction: view.UnknownFraction,
+		Verdict:         view.Verdict,
+	}
+	if view.Verdict == appclass.Unknown {
+		s.counters.unknownSessions.Add(1)
+	}
+	if fp := phase.NewFingerprint(view.Phases); !fp.Empty() {
+		rec.Fingerprint = &fp
+		// Match against the dictionary as it stood before this run's own
+		// record lands, so a run can match an earlier run of itself under
+		// a different VM name but never its own fingerprint.
+		if m, ok := phase.BestMatch(fp, s.cfg.DB.Fingerprints()); ok && m.Score >= phase.DefaultMatchThreshold {
+			rec.MatchedApp = m.App
+			rec.MatchScore = m.Score
+			s.counters.fingerprintMatches.Add(1)
+		} else {
+			s.counters.fingerprintMisses.Add(1)
+		}
 	}
 	if err := s.cfg.DB.Put(rec); err != nil {
 		s.counters.finalizeErrors.Add(1)
@@ -429,6 +508,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// phaseBoundaries converts a phase count into a boundary count: the
+// first phase of a session is not preceded by a boundary.
+func phaseBoundaries(phases int) int {
+	if phases <= 0 {
+		return 0
+	}
+	return phases - 1
+}
+
 // observe routes one validated snapshot into its VM's session,
 // creating the session on first contact. It retries when it races a
 // concurrent eviction of the same VM.
@@ -470,6 +558,7 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 			if err != nil {
 				return nil, err
 			}
+			s.armOnline(online)
 			return &session{vm: vm, online: online, lastSeen: s.now()}, nil
 		})
 		if err != nil {
@@ -513,11 +602,21 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 				}
 			}
 		}
+		prevUnknown := sess.online.UnknownCount()
+		prevPhases := sess.online.PhaseCount()
 		out, err := sess.online.ObserveBatch(snaps, classes)
 		if err == nil {
 			sess.lastSeen = s.now()
 		}
+		newUnknown := sess.online.UnknownCount() - prevUnknown
+		newPhases := phaseBoundaries(sess.online.PhaseCount()) - phaseBoundaries(prevPhases)
 		sess.mu.Unlock()
+		if newUnknown > 0 {
+			s.counters.unknownSnapshots.Add(int64(newUnknown))
+		}
+		if newPhases > 0 {
+			s.counters.phaseBoundaries.Add(int64(newPhases))
+		}
 		if journal {
 			s.ckptMu.RUnlock()
 		}

@@ -95,8 +95,9 @@ func TestFind(t *testing.T) {
 	if _, err := Find("nope"); err == nil {
 		t.Error("Find(nope): want error")
 	}
-	if len(Names()) != 19 {
-		t.Errorf("Names() = %d entries, want 19", len(Names()))
+	// 5 training + 14 Table-3 + 2 extended (phase/open-set) entries.
+	if len(Names()) != 21 {
+		t.Errorf("Names() = %d entries, want 21", len(Names()))
 	}
 }
 

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appclass"
+)
+
+// This file models the two workloads the phase-aware extension needs
+// beyond Table 2: a bursty application that alternates CPU-bound and
+// IO-bound stages (exercising online phase segmentation and fingerprint
+// matching), and an adversarial application whose blended resource mix
+// imitates no trained class (exercising the open-set UNKNOWN verdict).
+// Neither belongs to the paper's Table-2/Table-3 runs, so both live in
+// ExtendedSet rather than TrainingSet/TestSet.
+
+// BurstyMixRounds is the number of compute+flush rounds NewBurstyMix
+// generates. Each round is one CPU phase followed by one IO phase, so a
+// run yields 2*BurstyMixRounds ground-truth stages.
+const BurstyMixRounds = 4
+
+// NewBurstyMix models a checkpoint-style scientific application:
+// compute-intensive rounds that each end with a heavy result-flush to
+// disk. The alternation plants unambiguous phase boundaries roughly
+// every 45-60 s, making it the reference workload for the online
+// segmenter and the fingerprint dictionary.
+func NewBurstyMix(cfg Config) (*App, error) {
+	var phases []Phase
+	for r := 0; r < BurstyMixRounds; r++ {
+		phases = append(phases,
+			Phase{
+				Name:           fmt.Sprintf("compute_%d", r),
+				CPUWork:        60,
+				CPURate:        1.0,
+				CPUSystemShare: 0.03,
+				WorkingSetKB:   48 * 1024,
+			},
+			Phase{
+				Name:           fmt.Sprintf("flush_%d", r),
+				ReadWorkKB:     120 * 1024,
+				WriteWorkKB:    180 * 1024,
+				ReadRateKB:     3200,
+				WriteRateKB:    5200,
+				CPUWork:        8,
+				CPURate:        0.18,
+				CPUSystemShare: 0.65,
+				WorkingSetKB:   24 * 1024,
+				DatasetKB:      300 * 1024,
+			},
+		)
+	}
+	return newApp(cfg.name("BurstyMix"), appclass.CPU, cfg, false, phases)
+}
+
+// NewMimic models an adversarial application engineered to sit between
+// the trained classes: it blends moderate CPU, disk, and network demand
+// simultaneously, so every snapshot lands far from all five training
+// clusters in the fused feature space. Its class label is
+// appclass.Unknown — the open-set test should refuse to assign it any
+// trained class.
+func NewMimic(cfg Config) (*App, error) {
+	phases := []Phase{{
+		Name:           "blend",
+		CPUWork:        150,
+		ReadWorkKB:     900 * 1024,
+		WriteWorkKB:    900 * 1024,
+		NetInWorkKB:    120 * 1024,
+		NetOutWorkKB:   2400 * 1024,
+		CPURate:        0.5,
+		ReadRateKB:     3000,
+		WriteRateKB:    3000,
+		NetInRateKB:    400,
+		NetOutRateKB:   8000,
+		CPUSystemShare: 0.45,
+		WorkingSetKB:   64 * 1024,
+		DatasetKB:      256 * 1024,
+	}}
+	return newApp(cfg.name("Mimic"), appclass.Unknown, cfg, false, phases)
+}
+
+// ExtendedSet returns the extension workloads that are neither training
+// runs nor Table-3 rows: the phase-segmentation reference app and the
+// open-set adversary. Find and Names cover them, but the Table-3
+// experiments do not.
+func ExtendedSet() []Entry {
+	return []Entry{
+		{
+			Name:        "BurstyMix",
+			Description: "A synthetic checkpointing computation alternating CPU-bound rounds with heavy result flushes; exercises phase segmentation",
+			Expected:    appclass.CPU,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewBurstyMix(Config{Seed: seed})
+			},
+		},
+		{
+			Name:        "Mimic",
+			Description: "An adversarial blend of CPU, disk, and network demand matching no trained class; exercises the open-set UNKNOWN verdict",
+			Expected:    appclass.Unknown,
+			VMMemKB:     defaultVMMemKB,
+			MaxRun:      time.Hour,
+			Build: func(seed int64) (*App, error) {
+				return NewMimic(Config{Seed: seed})
+			},
+		},
+	}
+}

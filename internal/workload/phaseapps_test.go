@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/metrics"
+)
+
+// windowMean averages a column over the snapshot index range [lo, hi).
+func windowMean(t *testing.T, tr *metrics.Trace, name string, lo, hi int) float64 {
+	t.Helper()
+	col, ok := tr.Schema().Index(name)
+	if !ok {
+		t.Fatalf("no column %q", name)
+	}
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += tr.At(i).Values[col]
+	}
+	return sum / float64(hi-lo)
+}
+
+func TestBurstyMixAlternatesComputeAndFlush(t *testing.T) {
+	e, err := Find("BurstyMix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, elapsed := profileEntry(t, e, 1)
+	if tr.Len() < 40 {
+		t.Fatalf("only %d samples", tr.Len())
+	}
+	// Early in the run the app computes; its first flush cannot start
+	// before CPUWork=60 CPU-seconds complete, so the opening window is
+	// CPU-dominant with negligible disk traffic.
+	head := tr.Len() / 8
+	if cpu := windowMean(t, tr, metrics.CPUUser, 0, head); cpu < 60 {
+		t.Errorf("opening window mean cpu_user = %v%%, want compute-dominant", cpu)
+	}
+	if io := windowMean(t, tr, metrics.IOBO, 0, head); io > 300 {
+		t.Errorf("opening window mean io_bo = %v blocks/s, want negligible", io)
+	}
+	// Across the whole run the flush phases must contribute heavy disk
+	// traffic somewhere: the busiest snapshot carries thousands of
+	// blocks/s even though the run's opening is pure compute.
+	col, ok := tr.Schema().Index(metrics.IOBO)
+	if !ok {
+		t.Fatalf("no column %q", metrics.IOBO)
+	}
+	peak := 0.0
+	for i := 0; i < tr.Len(); i++ {
+		if v := tr.At(i).Values[col]; v > peak {
+			peak = v
+		}
+	}
+	if peak < 2000 {
+		t.Errorf("peak io_bo = %v blocks/s, want heavy flush traffic", peak)
+	}
+	// Four compute rounds of 60 CPU-seconds plus four flushes should
+	// take several minutes, not seconds.
+	if elapsed < 200*time.Second || elapsed > 20*time.Minute {
+		t.Errorf("BurstyMix elapsed %v, want several minutes", elapsed)
+	}
+	// The engine's own phase log must show the alternation.
+	app, err := e.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.phases); got != 2*BurstyMixRounds {
+		t.Errorf("BurstyMix has %d phases, want %d", got, 2*BurstyMixRounds)
+	}
+}
+
+func TestMimicBlendsAllResources(t *testing.T) {
+	e, err := Find("Mimic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Expected != appclass.Unknown {
+		t.Errorf("Mimic expected class %q, want %q", e.Expected, appclass.Unknown)
+	}
+	tr, _ := profileEntry(t, e, 1)
+	if tr.Len() < 20 {
+		t.Fatalf("only %d samples", tr.Len())
+	}
+	// Every trained class dominates one resource; Mimic must stress
+	// several at once so no single-resource signature fits.
+	cpu := meanOf(t, tr, metrics.CPUUser) + meanOf(t, tr, metrics.CPUSystem)
+	if cpu < 25 {
+		t.Errorf("mean CPU = %v%%, want a substantial CPU component", cpu)
+	}
+	if io := meanOf(t, tr, metrics.IOBI) + meanOf(t, tr, metrics.IOBO); io < 1500 {
+		t.Errorf("mean disk traffic = %v blocks/s, want a substantial IO component", io)
+	}
+	if net := meanOf(t, tr, metrics.BytesOut); net < 1e6 {
+		t.Errorf("mean bytes_out = %v, want a substantial network component", net)
+	}
+}
+
+func TestExtendedSetRegistered(t *testing.T) {
+	ext := ExtendedSet()
+	if len(ext) != 2 {
+		t.Fatalf("extended set has %d entries, want 2", len(ext))
+	}
+	for _, e := range ext {
+		if e.Build == nil || e.VMMemKB <= 0 || e.MaxRun <= 0 {
+			t.Errorf("entry %q incompletely specified", e.Name)
+		}
+		found, err := Find(e.Name)
+		if err != nil {
+			t.Errorf("Find(%q): %v", e.Name, err)
+		} else if found.Name != e.Name {
+			t.Errorf("Find(%q) returned %q", e.Name, found.Name)
+		}
+	}
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	if !got["BurstyMix"] || !got["Mimic"] {
+		t.Errorf("Names() missing extended entries: %v", names)
+	}
+	// The extended apps must stay out of the paper's experiment sets.
+	for _, e := range append(TrainingSet(), TestSet()...) {
+		if e.Name == "BurstyMix" || e.Name == "Mimic" {
+			t.Errorf("extended entry %q leaked into Table-2/3 sets", e.Name)
+		}
+	}
+}

@@ -250,10 +250,10 @@ func TestSet() []Entry {
 	}
 }
 
-// Find locates a registry entry by name across the training and test
-// sets.
+// Find locates a registry entry by name across the training, test,
+// and extended sets.
 func Find(name string) (Entry, error) {
-	for _, e := range append(TrainingSet(), TestSet()...) {
+	for _, e := range allEntries() {
 		if e.Name == name {
 			return e, nil
 		}
@@ -264,8 +264,13 @@ func Find(name string) (Entry, error) {
 // Names returns every registry entry name, training set first.
 func Names() []string {
 	var out []string
-	for _, e := range append(TrainingSet(), TestSet()...) {
+	for _, e := range allEntries() {
 		out = append(out, e.Name)
 	}
 	return out
+}
+
+func allEntries() []Entry {
+	all := append(TrainingSet(), TestSet()...)
+	return append(all, ExtendedSet()...)
 }
