@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
+	"repro/internal/modelreg"
 	"repro/internal/pca"
 	"repro/internal/phase"
 	"repro/internal/sched"
@@ -642,4 +644,98 @@ func BenchmarkAblationTransportLoss(b *testing.B) {
 			b.ReportMetric(acc, "dominant-match")
 		})
 	}
+}
+
+// BenchmarkHotSwap measures a model promote against a daemon with live
+// journaled sessions: each op is one full promote (open-set
+// recalibration, journal restamp, session rebind, registry flip, and
+// the post-swap checkpoint). The custom pause-ns/op metric is the
+// quiesced swap window alone — the stretch ingest actually blocks —
+// which BENCH_baseline.json pins and CI gates on staying under 50ms.
+func BenchmarkHotSwap(b *testing.B) {
+	training, tests := loadRuns(b)
+	active, err := classify.Train(training, classify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A second model over the same expert metrics (different k so the
+	// compatibility hash differs).
+	cand, err := classify.Train(training, classify.Config{K: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	modelDir := b.TempDir()
+	if err := modelreg.SaveFile(filepath.Join(modelDir, "cand.json"), cand); err != nil {
+		b.Fatal(err)
+	}
+	j, err := wal.Open(wal.Config{Dir: b.TempDir(), Fsync: wal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	srv, err := server.New(server.Config{
+		Classifier: active, Schema: tests[0].trace.Schema(),
+		Journal: j, ModelDir: modelDir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	h := srv.Handler()
+
+	// 64 live sessions with some accumulated state: these are what the
+	// quiesce has to rebind.
+	const vms, perVM = 64, 8
+	for v := 0; v < vms; v++ {
+		trace := tests[v%len(tests)].trace
+		var snaps []map[string]any
+		for i := 0; i < perVM; i++ {
+			snap := trace.At(i % trace.Len())
+			snaps = append(snaps, map[string]any{
+				"vm": fmt.Sprintf("swap-vm-%02d", v), "time_s": float64(i) * 5, "values": snap.Values,
+			})
+		}
+		body, err := json.Marshal(map[string]any{"snapshots": snaps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("ingest: %d %s", w.Code, w.Body)
+		}
+	}
+
+	bootID := srv.ActiveModelID()
+	req := httptest.NewRequest(http.MethodPost, "/v1/models", bytes.NewReader([]byte(`{"path":"cand.json"}`)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		b.Fatalf("load candidate: %d %s", w.Code, w.Body)
+	}
+	var loaded struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &loaded); err != nil {
+		b.Fatal(err)
+	}
+
+	// Ping-pong between the two registered models.
+	ids := [2]string{loaded.ID, bootID}
+	var totalPause time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pause, err := srv.Promote(ids[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalPause += pause
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalPause.Nanoseconds())/float64(b.N), "pause-ns/op")
 }

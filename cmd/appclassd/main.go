@@ -85,6 +85,13 @@ type config struct {
 	segThreshold float64
 	unknownSlack float64
 	unknownQuant float64
+
+	recoverForce   bool
+	trainReservoir int
+	modelDir       string
+	retrainEvery   time.Duration
+	retrainOut     string
+	retrainMinRows int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -121,6 +128,12 @@ func parseFlags(args []string) (config, error) {
 	fs.Float64Var(&cfg.segThreshold, "seg-threshold", 0, "phase boundary distance threshold in fused feature space (default 1.0)")
 	fs.Float64Var(&cfg.unknownSlack, "unknown-slack", 0, "open-set threshold slack over training self-distances (default 3.0, negative disables UNKNOWN verdicts)")
 	fs.Float64Var(&cfg.unknownQuant, "unknown-quantile", 0, "training self-distance quantile for open-set calibration (default 0.99)")
+	fs.BoolVar(&cfg.recoverForce, "recover-force", false, "recover past a checkpoint/journal model-hash mismatch by discarding the mismatching checkpoint and replaying the journal tail only")
+	fs.IntVar(&cfg.trainReservoir, "train-reservoir", 0, "per-session reservoir of raw sample rows retained for online retraining (default 256, negative disables sampling)")
+	fs.StringVar(&cfg.modelDir, "model-dir", "", "confine POST /v1/models artifact paths to this directory (default: paths taken as given)")
+	fs.DurationVar(&cfg.retrainEvery, "retrain-every", 0, "refit a candidate model from labeled appdb sessions at this cadence and shadow-evaluate it (default off)")
+	fs.StringVar(&cfg.retrainOut, "retrain-out", "", "persist each retrained model artifact to this path (atomic rename)")
+	fs.IntVar(&cfg.retrainMinRows, "retrain-min-rows", 0, "minimum retained sample rows a class needs to join a retrain (default 8)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -137,13 +150,28 @@ func parseFlags(args []string) (config, error) {
 		var set []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "fsync", "fsync-interval", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes", "degraded-on-wal-error":
+			case "fsync", "fsync-interval", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes", "degraded-on-wal-error", "recover-force":
 				set = append(set, "-"+f.Name)
 			}
 		})
 		if len(set) > 0 {
 			return config{}, fmt.Errorf("%s require(s) -journal-dir", strings.Join(set, ", "))
 		}
+	}
+	if cfg.retrainEvery <= 0 {
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "retrain-out", "retrain-min-rows":
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return config{}, fmt.Errorf("%s require(s) -retrain-every", strings.Join(set, ", "))
+		}
+	}
+	if cfg.retrainEvery > 0 && cfg.trainReservoir < 0 {
+		return config{}, fmt.Errorf("-retrain-every needs sampling; do not disable -train-reservoir")
 	}
 	if cfg.gmetad == "" {
 		var set []string
@@ -303,6 +331,12 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		SegmentThreshold:    cfg.segThreshold,
 		UnknownSlack:        cfg.unknownSlack,
 		UnknownQuantile:     cfg.unknownQuant,
+		RecoverForce:        cfg.recoverForce,
+		TrainReservoir:      cfg.trainReservoir,
+		ModelDir:            cfg.modelDir,
+		RetrainEvery:        cfg.retrainEvery,
+		RetrainOut:          cfg.retrainOut,
+		RetrainMinRows:      cfg.retrainMinRows,
 		Logf:                log.Printf,
 	})
 	if err != nil {
@@ -332,6 +366,10 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 
 	srv.StartJanitor()
 	srv.StartCheckpointer()
+	srv.StartRetrainer()
+	if cfg.retrainEvery > 0 {
+		log.Printf("appclassd: retraining from %s every %v", cfg.dbPath, cfg.retrainEvery)
+	}
 	if cfg.gmetad != "" {
 		if err := srv.StartPoller(server.PollConfig{
 			URL:             cfg.gmetad,

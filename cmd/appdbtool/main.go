@@ -10,6 +10,7 @@
 //	appdbtool quote -app PostMark -rates 10,8,6,4,1 appdb.json
 //	appdbtool predict -app PostMark appdb.json
 //	appdbtool fingerprints appdb.json
+//	appdbtool retrain -out model.json appdb.json
 //	appdbtool prune -keep 5 appdb.json
 package main
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/appclass"
 	"repro/internal/appdb"
 	"repro/internal/costmodel"
+	"repro/internal/modelreg"
 	"repro/internal/predict"
 )
 
@@ -49,6 +51,7 @@ commands:
   predict  predict an application's next run time (-app NAME [-k N])
   fingerprints
            list stored phase fingerprints and their dictionary matches
+  retrain  refit a classifier from labeled runs' retained samples (-out FILE)
   prune    keep only the newest records per application (-keep N)`)
 }
 
@@ -172,6 +175,49 @@ func run(cmd string, args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "dropped %d records, kept %d\n", dropped, db.Len())
+			return nil
+		})
+	case "retrain":
+		fs := flag.NewFlagSet("retrain", flag.ContinueOnError)
+		out := fs.String("out", "", "write the refit classifier artifact here (required)")
+		k := fs.Int("k", 0, "k-NN vote count (default: classify's default)")
+		components := fs.Int("components", 0, "PCA components (default: classify's default)")
+		minRows := fs.Int("min-rows", 0, "minimum retained sample rows per class (default 8)")
+		maxRows := fs.Int("max-rows", 0, "cap training rows per class, newest first (default 4096, negative unlimited)")
+		return withDB(args, fs, func(db *appdb.DB, _ *flag.FlagSet) error {
+			if *out == "" {
+				return fmt.Errorf("retrain: -out is required")
+			}
+			cl, stats, err := modelreg.Retrain(db, modelreg.RetrainConfig{
+				K:               *k,
+				Components:      *components,
+				MinRowsPerClass: *minRows,
+				MaxRowsPerClass: *maxRows,
+			})
+			if err != nil {
+				return err
+			}
+			if err := modelreg.SaveFile(*out, cl); err != nil {
+				return err
+			}
+			m, err := modelreg.NewModel(cl, modelreg.DefaultParams(), "file:"+*out, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "retrained from %d record(s) (%d skipped for UNKNOWN verdicts)\n", stats.Records, stats.SkippedUnknown)
+			classes := make([]appclass.Class, 0, len(stats.RowsPerClass))
+			for c := range stats.RowsPerClass {
+				classes = append(classes, c)
+			}
+			sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+			for _, c := range classes {
+				fmt.Fprintf(stdout, "  %-12s %d rows\n", c.Display(), stats.RowsPerClass[c])
+			}
+			for _, c := range stats.DroppedClasses {
+				fmt.Fprintf(stdout, "  %-12s dropped (too few rows)\n", c.Display())
+			}
+			fmt.Fprintf(stdout, "artifact: %s\nmodel id: %s (hash under default serving params)\n", *out, m.ID)
+			fmt.Fprintf(stdout, "load it into a running daemon: curl -X POST localhost:8080/v1/models -d '{\"path\":%q}'\n", *out)
 			return nil
 		})
 	case "help", "-h", "--help":

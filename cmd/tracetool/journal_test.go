@@ -34,7 +34,7 @@ func writeTestJournal(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wal.SaveCheckpoint(dir, pos, time.Unix(1700000000, 0), []byte(`{"sessions":[]}`)); err != nil {
+	if _, err := wal.SaveCheckpoint(dir, pos, time.Unix(1700000000, 0), "", []byte(`{"sessions":[]}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {

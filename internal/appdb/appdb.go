@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -56,6 +57,18 @@ type Record struct {
 	// the run looked like trained behaviour, appclass.Unknown when most
 	// snapshots were novel, or "" when the open-set test was off.
 	Verdict appclass.Class `json:"verdict,omitempty"`
+	// ModelID is the short compatibility hash of the model that served
+	// the run — verdict provenance, so a disagreement can be traced to
+	// the model that produced it. "" on records from before model
+	// stamping.
+	ModelID string `json:"model_id,omitempty"`
+	// TrainMetrics and TrainSamples are the run's retained raw
+	// expert-metric sample rows (one value per metric in TrainMetrics,
+	// uniformly decimated over the whole run), the corpus online
+	// retraining refits from. Empty when the daemon ran without
+	// sampling.
+	TrainMetrics []string    `json:"train_metrics,omitempty"`
+	TrainSamples [][]float64 `json:"train_samples,omitempty"`
 }
 
 // Validate checks the record's invariants.
@@ -99,6 +112,20 @@ func (r Record) Validate() error {
 	}
 	if r.MatchedApp != "" && r.Fingerprint == nil {
 		return fmt.Errorf("appdb: record for %q matched %q without a fingerprint", r.App, r.MatchedApp)
+	}
+	if len(r.TrainSamples) > 0 && len(r.TrainMetrics) == 0 {
+		return fmt.Errorf("appdb: record for %q has training samples without metric names", r.App)
+	}
+	for i, row := range r.TrainSamples {
+		if len(row) != len(r.TrainMetrics) {
+			return fmt.Errorf("appdb: record for %q training sample %d has %d values, want %d",
+				r.App, i, len(row), len(r.TrainMetrics))
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("appdb: record for %q training sample %d value %d is not finite", r.App, i, j)
+			}
+		}
 	}
 	return nil
 }

@@ -205,6 +205,17 @@ func (c *Classifier) TrainingPoints() (*linalg.Matrix, []appclass.Class) {
 	return c.trainPoints.Clone(), append([]appclass.Class(nil), c.trainLabels...)
 }
 
+// FusedParams returns deep copies of the fused kernel's weight matrix W
+// (q×p) and offset b — the complete affine map feat = W·x + b that every
+// serving path applies. The model registry hashes these to derive a
+// model's compatibility hash. Nil for an untrained classifier.
+func (c *Classifier) FusedParams() (*linalg.Matrix, linalg.Vector) {
+	if err := c.ready(); err != nil {
+		return nil, nil
+	}
+	return c.fused.Params()
+}
+
 // Result is the outcome of classifying one application run.
 type Result struct {
 	// Class is the application class: the majority vote of the snapshot

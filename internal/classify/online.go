@@ -55,6 +55,10 @@ type Online struct {
 	// calibrated threshold.
 	openset *OpenSet
 	unknown int
+
+	// sampler, when enabled, retains a bounded deterministic sample of
+	// raw expert-metric rows for online retraining.
+	sampler *trainSampler
 }
 
 // DefaultHistoryCap bounds the classification history an Online retains.
@@ -140,6 +144,68 @@ func (o *Online) EnableOpenSet(os *OpenSet) {
 	o.openset = os
 }
 
+// EnableSampling attaches a bounded deterministic reservoir of raw
+// expert-metric rows (capRows entries, DefaultTrainReservoir when <= 0)
+// that online retraining harvests from finalized sessions. Calling it
+// again replaces the reservoir; it is a no-op if one is already
+// attached (e.g. restored from a checkpoint) and capRows matches.
+func (o *Online) EnableSampling(capRows int) {
+	if capRows <= 0 {
+		capRows = DefaultTrainReservoir
+	}
+	if o.sampler != nil && o.sampler.cap == capRows {
+		return
+	}
+	o.sampler = newTrainSampler(len(o.subset), capRows)
+}
+
+// SamplingEnabled reports whether a training reservoir is attached.
+func (o *Online) SamplingEnabled() bool { return o.sampler != nil }
+
+// TrainSamples returns the expert-metric names and the retained sample
+// rows (one value per expert metric, in name order), for retraining.
+// Nil rows with sampling disabled.
+func (o *Online) TrainSamples() ([]string, [][]float64) {
+	names := append([]string(nil), o.cl.cfg.ExpertMetrics...)
+	if o.sampler == nil {
+		return names, nil
+	}
+	return names, o.sampler.rows()
+}
+
+// Rebind atomically points this session at a different trained
+// classifier — the hot-swap primitive. The new classifier must use the
+// identical expert-metric list (the drift accumulators and retained
+// samples are per-metric); counts, history, drift, gaps, phase
+// segmentation, and the training reservoir all carry over, while
+// subsequent snapshots classify under the new model with the supplied
+// open-set thresholds (nil disables the open-set test). The caller must
+// hold whatever lock guards Observe.
+func (o *Online) Rebind(cl *Classifier, os *OpenSet) error {
+	if err := cl.ready(); err != nil {
+		return err
+	}
+	if len(cl.cfg.ExpertMetrics) != len(o.cl.cfg.ExpertMetrics) {
+		return fmt.Errorf("classify: rebind: new model has %d expert metrics, session has %d",
+			len(cl.cfg.ExpertMetrics), len(o.cl.cfg.ExpertMetrics))
+	}
+	for i, name := range cl.cfg.ExpertMetrics {
+		if o.cl.cfg.ExpertMetrics[i] != name {
+			return fmt.Errorf("classify: rebind: expert metric %d is %q, session expects %q",
+				i, name, o.cl.cfg.ExpertMetrics[i])
+		}
+	}
+	subset, err := o.schema.Subset(cl.cfg.ExpertMetrics)
+	if err != nil {
+		return fmt.Errorf("classify: rebind schema: %w", err)
+	}
+	o.cl = cl
+	o.subset = subset
+	o.scratch = Scratch{}
+	o.openset = os
+	return nil
+}
+
 // Observe classifies one arriving snapshot and updates the running
 // state, returning the snapshot's class. The hot path is allocation-free
 // at steady state: the expert-metric gather indices are cached at
@@ -185,6 +251,9 @@ func (o *Online) record(snap metrics.Snapshot, class appclass.Class) {
 	o.trimHistory()
 	for i, j := range o.subset {
 		o.drift[i].Add(snap.Values[j])
+	}
+	if o.sampler != nil {
+		o.sampler.offer(snap.Values, o.subset)
 	}
 }
 

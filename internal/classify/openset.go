@@ -2,6 +2,7 @@ package classify
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/appclass"
@@ -48,6 +49,10 @@ type OpenSet struct {
 	thresholds []float64
 	// classes mirrors Classifier.classes for reporting.
 	classes []appclass.Class
+	// skipped records the classes calibration could not derive a
+	// meaningful threshold for (fewer than two training points): their
+	// threshold is +Inf, so they never flag unknown.
+	skipped map[appclass.Class]error
 }
 
 // CalibrateOpenSet derives per-class thresholds from the training set
@@ -92,10 +97,19 @@ func (c *Classifier) CalibrateOpenSet(cfg OpenSetConfig) (*OpenSet, error) {
 	}
 	for id, cl := range c.classes {
 		dists := perClass[cl]
-		if len(dists) == 0 {
-			// A voted class with no labelled training points cannot
-			// happen after Train, but keep the fallback total.
-			os.thresholds[id] = globalMax * cfg.Slack
+		if len(dists) < 2 {
+			// A quantile over zero or one self-distance is meaningless: a
+			// single point's kth self-distance reflects its nearest
+			// *foreign* neighbours, so the threshold would be garbage
+			// (often wildly large or degenerate-zero). Skip the class with
+			// a per-class error and an infinite threshold — it never flags
+			// unknown — so one thin class cannot poison the whole
+			// calibration. Callers should log SkippedClasses loudly.
+			if os.skipped == nil {
+				os.skipped = make(map[appclass.Class]error)
+			}
+			os.skipped[cl] = fmt.Errorf("classify: open-set calibration for class %s: %d training points, need at least 2", cl, len(dists))
+			os.thresholds[id] = math.Inf(1)
 			continue
 		}
 		sort.Float64s(dists)
@@ -115,6 +129,22 @@ func (c *Classifier) CalibrateOpenSet(cfg OpenSetConfig) (*OpenSet, error) {
 
 // Config returns the effective calibration configuration.
 func (o *OpenSet) Config() OpenSetConfig { return o.cfg }
+
+// SkippedClasses returns the classes calibration skipped because they
+// had fewer than two training points, keyed to a descriptive error.
+// Skipped classes carry an infinite threshold and never flag unknown;
+// callers that care about open-set coverage should surface these
+// loudly. The map is a copy; nil when no class was skipped.
+func (o *OpenSet) SkippedClasses() map[appclass.Class]error {
+	if len(o.skipped) == 0 {
+		return nil
+	}
+	out := make(map[appclass.Class]error, len(o.skipped))
+	for cl, err := range o.skipped {
+		out[cl] = err
+	}
+	return out
+}
 
 // Threshold returns the novelty cutoff of the interned class id.
 func (o *OpenSet) Threshold(id int) float64 {

@@ -1,0 +1,117 @@
+package classify
+
+import "fmt"
+
+// DefaultTrainReservoir is the per-session cap on retained raw
+// expert-metric rows for online retraining. At 8 expert metrics this is
+// ~16 KiB per session — small enough to checkpoint, large enough to
+// cover a run's phases.
+const DefaultTrainReservoir = 256
+
+// trainSampler retains a bounded, deterministic sample of the raw
+// expert-metric rows a session observes, for online retraining. It is a
+// stride-decimating reservoir: rows are kept at a stride that doubles
+// every time the buffer fills (keep-every-other decimation in place),
+// so the retained rows always cover the whole stream uniformly, the
+// result is a pure function of the input order (no RNG — it survives
+// checkpoint/restore bit-exactly), and the steady state allocates
+// nothing: the buffer is one flat float64 slab preallocated at
+// construction.
+type trainSampler struct {
+	dims   int
+	cap    int
+	stride int
+	seen   int
+	kept   int
+	buf    []float64
+}
+
+func newTrainSampler(dims, capRows int) *trainSampler {
+	if capRows <= 0 {
+		capRows = DefaultTrainReservoir
+	}
+	return &trainSampler{
+		dims:   dims,
+		cap:    capRows,
+		stride: 1,
+		buf:    make([]float64, capRows*dims),
+	}
+}
+
+// offer considers one row (values at the sampler's subset indices).
+// Zero allocations at steady state.
+func (t *trainSampler) offer(values []float64, subset []int) {
+	keep := t.seen%t.stride == 0
+	t.seen++
+	if !keep {
+		return
+	}
+	if t.kept == t.cap {
+		// Full: decimate in place, keeping every other retained row, and
+		// double the stride so future keeps stay uniform with survivors.
+		for i := 0; 2*i < t.kept; i++ {
+			copy(t.buf[i*t.dims:(i+1)*t.dims], t.buf[2*i*t.dims:(2*i+1)*t.dims])
+		}
+		t.kept = (t.kept + 1) / 2
+		t.stride *= 2
+		// The row that triggered this keep may no longer be on the new
+		// stride; re-test before storing.
+		if (t.seen-1)%t.stride != 0 {
+			return
+		}
+	}
+	row := t.buf[t.kept*t.dims : (t.kept+1)*t.dims]
+	for i, j := range subset {
+		row[i] = values[j]
+	}
+	t.kept++
+}
+
+// rows copies out the retained rows.
+func (t *trainSampler) rows() [][]float64 {
+	out := make([][]float64, t.kept)
+	for i := range out {
+		out[i] = append([]float64(nil), t.buf[i*t.dims:(i+1)*t.dims]...)
+	}
+	return out
+}
+
+// TrainSamplerState is the serializable state of a session's training
+// reservoir.
+type TrainSamplerState struct {
+	// Cap is the reservoir capacity in rows.
+	Cap int `json:"cap"`
+	// Stride is the current keep stride.
+	Stride int `json:"stride"`
+	// Seen counts every row ever offered.
+	Seen int `json:"seen"`
+	// Rows holds the retained rows, each of expert-metric arity.
+	Rows [][]float64 `json:"rows,omitempty"`
+}
+
+func (t *trainSampler) state() TrainSamplerState {
+	return TrainSamplerState{Cap: t.cap, Stride: t.stride, Seen: t.seen, Rows: t.rows()}
+}
+
+func trainSamplerFromState(dims int, st TrainSamplerState) (*trainSampler, error) {
+	if st.Cap <= 0 {
+		return nil, fmt.Errorf("classify: restore sampler: non-positive cap %d", st.Cap)
+	}
+	if st.Stride <= 0 {
+		return nil, fmt.Errorf("classify: restore sampler: non-positive stride %d", st.Stride)
+	}
+	if st.Seen < 0 || len(st.Rows) > st.Cap || len(st.Rows) > st.Seen {
+		return nil, fmt.Errorf("classify: restore sampler: %d rows, cap %d, seen %d", len(st.Rows), st.Cap, st.Seen)
+	}
+	t := newTrainSampler(dims, st.Cap)
+	t.stride = st.Stride
+	t.seen = st.Seen
+	for i, row := range st.Rows {
+		if len(row) != dims {
+			return nil, fmt.Errorf("classify: restore sampler: row %d has %d values, want %d", i, len(row), dims)
+		}
+		copy(t.buf[i*dims:(i+1)*dims], row)
+	}
+	t.kept = len(st.Rows)
+	return t, nil
+}

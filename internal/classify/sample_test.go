@@ -1,0 +1,330 @@
+package classify
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/appclass"
+	"repro/internal/metrics"
+)
+
+// feedRows offers n synthetic rows (row i has every value = i) to the
+// sampler and returns the values it would see.
+func feedRows(s *trainSampler, n int) {
+	subset := make([]int, s.dims)
+	for i := range subset {
+		subset[i] = i
+	}
+	row := make([]float64, s.dims)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = float64(i)
+		}
+		s.offer(row, subset)
+	}
+}
+
+func TestTrainSamplerBoundedAndUniform(t *testing.T) {
+	const dims, capRows = 4, 32
+	for _, n := range []int{0, 1, capRows, capRows + 1, 10 * capRows, 1000} {
+		s := newTrainSampler(dims, capRows)
+		feedRows(s, n)
+		rows := s.rows()
+		if len(rows) > capRows {
+			t.Fatalf("n=%d: kept %d rows, cap %d", n, len(rows), capRows)
+		}
+		if n > 0 && len(rows) == 0 {
+			t.Fatalf("n=%d: reservoir empty", n)
+		}
+		// Retained rows are exactly the multiples of the final stride, in
+		// order: the reservoir covers the whole stream uniformly.
+		for i, row := range rows {
+			want := float64(i * s.stride)
+			if row[0] != want {
+				t.Fatalf("n=%d: row %d holds input %v, want %v (stride %d)", n, i, row[0], want, s.stride)
+			}
+		}
+		// The tail is covered too: the last retained row is within one
+		// stride of the final input.
+		if n > 0 {
+			last := rows[len(rows)-1][0]
+			if float64(n-1)-last >= 2*float64(s.stride) {
+				t.Fatalf("n=%d: last retained input %v leaves a %v-row tail uncovered (stride %d)",
+					n, last, float64(n-1)-last, s.stride)
+			}
+		}
+	}
+}
+
+func TestTrainSamplerDeterministic(t *testing.T) {
+	a := newTrainSampler(3, 16)
+	b := newTrainSampler(3, 16)
+	feedRows(a, 777)
+	feedRows(b, 777)
+	if !reflect.DeepEqual(a.rows(), b.rows()) {
+		t.Fatal("identical input streams retained different samples")
+	}
+}
+
+// A sampler serialized mid-stream and restored must continue exactly as
+// the uninterrupted one: checkpoint/restore may not perturb which rows
+// retraining sees.
+func TestTrainSamplerStateRoundtrip(t *testing.T) {
+	const dims, capRows, total, cut = 3, 16, 500, 137
+	uninterrupted := newTrainSampler(dims, capRows)
+	feedRows(uninterrupted, total)
+
+	first := newTrainSampler(dims, capRows)
+	feedRows(first, cut)
+	raw, err := json.Marshal(first.state())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st TrainSamplerState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := trainSamplerFromState(dims, st)
+	if err != nil {
+		t.Fatalf("trainSamplerFromState: %v", err)
+	}
+	// Continue the stream from where the first sampler stopped.
+	subset := []int{0, 1, 2}
+	row := make([]float64, dims)
+	for i := cut; i < total; i++ {
+		for j := range row {
+			row[j] = float64(i)
+		}
+		restored.offer(row, subset)
+	}
+	if !reflect.DeepEqual(restored.rows(), uninterrupted.rows()) {
+		t.Fatalf("restored sampler diverged:\nrestored      %v\nuninterrupted %v",
+			firstCol(restored.rows()), firstCol(uninterrupted.rows()))
+	}
+}
+
+func firstCol(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0]
+	}
+	return out
+}
+
+func TestTrainSamplerStateValidation(t *testing.T) {
+	bad := []TrainSamplerState{
+		{Cap: 0, Stride: 1},
+		{Cap: 4, Stride: 0},
+		{Cap: 4, Stride: 1, Seen: 1, Rows: [][]float64{{1, 2}, {3, 4}}}, // rows > seen
+		{Cap: 1, Stride: 1, Seen: 5, Rows: [][]float64{{1, 2}, {3, 4}}}, // rows > cap
+		{Cap: 4, Stride: 1, Seen: 5, Rows: [][]float64{{1}}},            // bad arity
+		{Cap: 4, Stride: 1, Seen: -1},                                   // negative seen
+	}
+	for i, st := range bad {
+		if _, err := trainSamplerFromState(2, st); err == nil {
+			t.Errorf("state %d (%+v): want error", i, st)
+		}
+	}
+}
+
+// Online sampling end to end: rows are the expert-metric subset in
+// schema order, and survive an ExportState/RestoreOnline cycle.
+func TestOnlineSamplingRoundtrip(t *testing.T) {
+	cl := trainSynthetic(t, Config{})
+	schema := metrics.ExpertSchema()
+	o, err := NewOnline(cl, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.EnableSampling(8)
+	if !o.SamplingEnabled() {
+		t.Fatal("sampling not enabled")
+	}
+	tr := syntheticTrace(t, appclass.CPU, 30, 7)
+	for i := 0; i < tr.Len(); i++ {
+		if _, err := o.Observe(tr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, rows := o.TrainSamples()
+	if !reflect.DeepEqual(names, schema.Names()) {
+		t.Fatalf("sample metric names = %v", names)
+	}
+	if len(rows) == 0 || len(rows) > 8 {
+		t.Fatalf("retained %d rows, want 1..8", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != schema.Len() {
+			t.Fatalf("row arity %d, want %d", len(row), schema.Len())
+		}
+	}
+
+	raw, err := json.Marshal(o.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st OnlineState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreOnline(cl, schema, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.SamplingEnabled() {
+		t.Fatal("restore dropped the sampler")
+	}
+	// EnableSampling with the same cap must not clobber the restored
+	// reservoir (the daemon re-arms every restored session).
+	restored.EnableSampling(8)
+	_, got := restored.TrainSamples()
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatal("re-arming sampling clobbered the restored reservoir")
+	}
+}
+
+// Rebind swaps the model under a live session: accumulated counts,
+// history, and the reservoir carry over; new snapshots classify under
+// the new classifier.
+func TestRebind(t *testing.T) {
+	cl1 := trainSynthetic(t, Config{})
+	cl2 := trainSynthetic(t, Config{K: 5})
+	schema := metrics.ExpertSchema()
+	o, err := NewOnline(cl1, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.EnableSampling(16)
+	tr := syntheticTrace(t, appclass.IO, 20, 3)
+	for i := 0; i < tr.Len(); i++ {
+		if _, err := o.Observe(tr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seenBefore := o.Seen()
+	_, rowsBefore := o.TrainSamples()
+
+	os2, err := cl2.CalibrateOpenSet(OpenSetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rebind(cl2, os2); err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	if o.Seen() != seenBefore {
+		t.Fatalf("Rebind reset Seen: %d -> %d", seenBefore, o.Seen())
+	}
+	if _, rows := o.TrainSamples(); !reflect.DeepEqual(rows, rowsBefore) {
+		t.Fatal("Rebind dropped the training reservoir")
+	}
+	tail := syntheticTrace(t, appclass.IO, 10, 4)
+	for i := 0; i < tail.Len(); i++ {
+		got, err := o.Observe(tail.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The session now votes with cl2.
+		want, err := cl2.ClassifySnapshot(schema, tail.At(i).Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("post-rebind snapshot %d: session says %s, cl2 says %s", i, got, want)
+		}
+	}
+	if o.Seen() != seenBefore+tail.Len() {
+		t.Fatalf("Seen = %d after tail, want %d", o.Seen(), seenBefore+tail.Len())
+	}
+
+	// A model over a different expert-metric list must refuse.
+	narrow := metrics.ExpertSchema().Names()[:4]
+	cl3 := trainSynthetic(t, Config{ExpertMetrics: narrow})
+	if err := o.Rebind(cl3, nil); err == nil {
+		t.Fatal("Rebind across expert-metric lists: want error")
+	}
+	// An untrained classifier must refuse.
+	if err := o.Rebind(&Classifier{}, nil); err == nil {
+		t.Fatal("Rebind to untrained classifier: want error")
+	}
+}
+
+// The thin-class calibration fix: a class with fewer than two training
+// points gets an infinite threshold (never flags unknown) and a
+// per-class error, instead of a garbage threshold poisoning the whole
+// calibration.
+func TestCalibrateOpenSetThinClassSkipped(t *testing.T) {
+	var runs []TrainingRun
+	for i, c := range appclass.All() {
+		n := 60
+		if c == appclass.Mem {
+			n = 1 // thin class: a single training snapshot
+		}
+		runs = append(runs, TrainingRun{Class: c, Trace: syntheticTrace(t, c, n, int64(i+1))})
+	}
+	cl, err := Train(runs, Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	os, err := cl.CalibrateOpenSet(OpenSetConfig{})
+	if err != nil {
+		t.Fatalf("CalibrateOpenSet: %v", err)
+	}
+	skipped := os.SkippedClasses()
+	if len(skipped) != 1 {
+		t.Fatalf("SkippedClasses = %v, want exactly mem", skipped)
+	}
+	if _, ok := skipped[appclass.Mem]; !ok {
+		t.Fatalf("SkippedClasses = %v, want mem", skipped)
+	}
+	ths := os.Thresholds()
+	if !math.IsInf(ths[appclass.Mem], 1) {
+		t.Fatalf("thin-class threshold = %v, want +Inf", ths[appclass.Mem])
+	}
+	for c, th := range ths {
+		if c == appclass.Mem {
+			continue
+		}
+		if th <= 0 || math.IsInf(th, 1) {
+			t.Errorf("class %s threshold = %v, want finite positive", c, th)
+		}
+	}
+	// The healthy classes' open-set behaviour is intact: the mimic
+	// workload still goes unknown, and in-class snapshots stay known.
+	subset, err := cl.GatherIndices(metrics.ExpertSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	v, err := cl.ClassifySnapshotOpenSet(subset, classSignature(appclass.CPU), os, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Unknown || v.Class != appclass.CPU {
+		t.Fatalf("CPU signature verdict = %+v, want known cpu", v)
+	}
+	v, err = cl.ClassifySnapshotOpenSet(subset, mimicSignature(), os, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Unknown {
+		t.Error("mimic workload not flagged unknown after thin-class skip")
+	}
+}
+
+// The skipped map is a defensive copy.
+func TestSkippedClassesCopied(t *testing.T) {
+	os := &OpenSet{skipped: map[appclass.Class]error{appclass.Mem: errTest}}
+	m := os.SkippedClasses()
+	delete(m, appclass.Mem)
+	if len(os.SkippedClasses()) != 1 {
+		t.Fatal("SkippedClasses returned the internal map")
+	}
+}
+
+var errTest = errDummy{}
+
+type errDummy struct{}
+
+func (errDummy) Error() string { return "dummy" }

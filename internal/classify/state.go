@@ -46,6 +46,9 @@ type OnlineState struct {
 	// Seg is the phase segmenter's full state (nil with segmentation
 	// disabled), restoring which resumes the phase list bit-exactly.
 	Seg *phase.SegmenterState `json:"seg,omitempty"`
+	// Sampler is the training reservoir's state (nil with sampling
+	// disabled), restoring which resumes deterministic sampling exactly.
+	Sampler *TrainSamplerState `json:"sampler,omitempty"`
 }
 
 // TimedClassState is the wire form of one TimedClass entry.
@@ -74,6 +77,10 @@ func (o *Online) ExportState() OnlineState {
 	if o.seg != nil {
 		seg := o.seg.ExportState()
 		st.Seg = &seg
+	}
+	if o.sampler != nil {
+		sam := o.sampler.state()
+		st.Sampler = &sam
 	}
 	for c, n := range o.counts {
 		st.Counts[string(c)] = n
@@ -166,6 +173,13 @@ func RestoreOnline(cl *Classifier, schema *metrics.Schema, st OnlineState) (*Onl
 			return nil, fmt.Errorf("classify: restore: %w", err)
 		}
 		o.seg = seg
+	}
+	if st.Sampler != nil {
+		sam, err := trainSamplerFromState(len(o.subset), *st.Sampler)
+		if err != nil {
+			return nil, err
+		}
+		o.sampler = sam
 	}
 	return o, nil
 }

@@ -1,0 +1,223 @@
+package modelreg
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/classify"
+	"repro/internal/linalg"
+	"repro/internal/metrics"
+)
+
+// classSignature mirrors the classify package's synthetic fixtures:
+// typical expert-metric values per class.
+func classSignature(c appclass.Class) []float64 {
+	switch c {
+	case appclass.CPU:
+		return []float64{3, 95, 500, 500, 5, 5, 0, 0}
+	case appclass.IO:
+		return []float64{12, 8, 500, 500, 3000, 3000, 0, 0}
+	case appclass.Net:
+		return []float64{10, 8, 4e5, 8e6, 5, 5, 0, 0}
+	case appclass.Mem:
+		return []float64{5, 20, 500, 500, 5500, 5500, 5000, 5000}
+	default: // idle
+		return []float64{0.3, 0.5, 300, 300, 2, 2, 0, 0}
+	}
+}
+
+func syntheticTrace(t *testing.T, c appclass.Class, n int, seed int64) *metrics.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := metrics.NewTrace(metrics.ExpertSchema(), "vm1")
+	sig := classSignature(c)
+	for i := 0; i < n; i++ {
+		vals := make([]float64, len(sig))
+		for j, v := range sig {
+			vals[j] = v * (1 + 0.15*rng.NormFloat64())
+			if vals[j] < 0 {
+				vals[j] = 0
+			}
+		}
+		if err := tr.Append(metrics.Snapshot{
+			Time: time.Duration(i*5) * time.Second, Node: "vm1", Values: vals,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func trainSynthetic(t *testing.T, seed int64) *classify.Classifier {
+	t.Helper()
+	var runs []classify.TrainingRun
+	for i, c := range appclass.All() {
+		runs = append(runs, classify.TrainingRun{Class: c, Trace: syntheticTrace(t, c, 40, seed+int64(i))})
+	}
+	cl, err := classify.Train(runs, classify.Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return cl
+}
+
+func baseInputs() HashInputs {
+	w := linalg.NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			w.Set(i, j, float64(i*3+j)+0.5)
+		}
+	}
+	pts := linalg.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			pts.Set(i, j, float64(i)-float64(j)*0.25)
+		}
+	}
+	return HashInputs{
+		JournalFormat: 2,
+		ExpertMetrics: []string{"cpu_user", "cpu_system", "bytes_in"},
+		K:             3,
+		Q:             2,
+		W:             w,
+		B:             linalg.Vector{0.1, -0.2},
+		TrainPoints:   pts,
+		TrainLabels:   []string{"cpu", "cpu", "io", "io"},
+		Params: Params{
+			OpenSetQuantile: 0.99, OpenSetSlack: 3.0,
+			SegWindow: 8, SegMinLen: 5, SegThreshold: 1.0,
+		},
+	}
+}
+
+func cloneInputs(in HashInputs) HashInputs {
+	out := in
+	out.ExpertMetrics = append([]string(nil), in.ExpertMetrics...)
+	out.TrainLabels = append([]string(nil), in.TrainLabels...)
+	out.W = linalg.NewMatrix(in.W.Rows(), in.W.Cols())
+	for i := 0; i < in.W.Rows(); i++ {
+		copy(out.W.RowView(i), in.W.RowView(i))
+	}
+	out.B = append(linalg.Vector(nil), in.B...)
+	out.TrainPoints = linalg.NewMatrix(in.TrainPoints.Rows(), in.TrainPoints.Cols())
+	for i := 0; i < in.TrainPoints.Rows(); i++ {
+		copy(out.TrainPoints.RowView(i), in.TrainPoints.RowView(i))
+	}
+	return out
+}
+
+func TestComputeHashDeterministic(t *testing.T) {
+	a := ComputeHash(baseInputs())
+	b := ComputeHash(cloneInputs(baseInputs()))
+	if a != b {
+		t.Fatalf("identical inputs hash differently: %s vs %s", a, b)
+	}
+	if a.IsZero() {
+		t.Fatal("hash is zero")
+	}
+	if len(a.String()) != 64 || len(a.Short()) != 12 {
+		t.Fatalf("String/Short lengths: %d/%d", len(a.String()), len(a.Short()))
+	}
+	parsed, err := ParseHash(a.String())
+	if err != nil {
+		t.Fatalf("ParseHash: %v", err)
+	}
+	if parsed != a {
+		t.Fatal("ParseHash did not round-trip")
+	}
+}
+
+// TestComputeHashPerturbations is the property test: perturbing any
+// single field of the inputs must change the hash.
+func TestComputeHashPerturbations(t *testing.T) {
+	base := ComputeHash(baseInputs())
+	perturbations := map[string]func(*HashInputs){
+		"journal format": func(in *HashInputs) { in.JournalFormat++ },
+		"metric name":    func(in *HashInputs) { in.ExpertMetrics[1] = "cpu_idle" },
+		"metric order": func(in *HashInputs) {
+			in.ExpertMetrics[0], in.ExpertMetrics[1] = in.ExpertMetrics[1], in.ExpertMetrics[0]
+		},
+		"drop metric":        func(in *HashInputs) { in.ExpertMetrics = in.ExpertMetrics[:2] },
+		"k":                  func(in *HashInputs) { in.K++ },
+		"q":                  func(in *HashInputs) { in.Q++ },
+		"one weight":         func(in *HashInputs) { in.W.Set(1, 2, in.W.At(1, 2)+1e-9) },
+		"one bias":           func(in *HashInputs) { in.B[0] += 1e-9 },
+		"nil weights":        func(in *HashInputs) { in.W = nil },
+		"one training point": func(in *HashInputs) { in.TrainPoints.Set(3, 1, in.TrainPoints.At(3, 1)-1e-9) },
+		"one label":          func(in *HashInputs) { in.TrainLabels[2] = "net" },
+		"label order":        func(in *HashInputs) { in.TrainLabels[0], in.TrainLabels[2] = in.TrainLabels[2], in.TrainLabels[0] },
+		"openset quantile":   func(in *HashInputs) { in.Params.OpenSetQuantile = 0.95 },
+		"openset slack":      func(in *HashInputs) { in.Params.OpenSetSlack = 2.5 },
+		"openset disabled":   func(in *HashInputs) { in.Params.OpenSetSlack = -1 },
+		"seg window":         func(in *HashInputs) { in.Params.SegWindow = 16 },
+		"seg min len":        func(in *HashInputs) { in.Params.SegMinLen = 6 },
+		"seg threshold":      func(in *HashInputs) { in.Params.SegThreshold = 1.5 },
+	}
+	seen := map[Hash]string{base: "base"}
+	for name, mutate := range perturbations {
+		in := cloneInputs(baseInputs())
+		mutate(&in)
+		h := ComputeHash(in)
+		if h == base {
+			t.Errorf("perturbing %s did not change the hash", name)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("perturbations %q and %q collide", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// Null-terminated string framing must not let adjacent strings shift
+// bytes across their boundary and collide.
+func TestComputeHashStringFraming(t *testing.T) {
+	a := cloneInputs(baseInputs())
+	a.ExpertMetrics = []string{"ab", "c"}
+	b := cloneInputs(baseInputs())
+	b.ExpertMetrics = []string{"a", "bc"}
+	if ComputeHash(a) == ComputeHash(b) {
+		t.Fatal("string framing collision: {ab,c} == {a,bc}")
+	}
+}
+
+func TestHashClassifier(t *testing.T) {
+	cl := trainSynthetic(t, 1)
+	p := DefaultParams()
+	h1, err := HashClassifier(cl, p)
+	if err != nil {
+		t.Fatalf("HashClassifier: %v", err)
+	}
+	h2, err := HashClassifier(cl, p)
+	if err != nil {
+		t.Fatalf("HashClassifier: %v", err)
+	}
+	if h1 != h2 {
+		t.Fatal("same classifier hashes differently")
+	}
+	// A different training seed means different weights, so a different
+	// hash.
+	other := trainSynthetic(t, 100)
+	h3, err := HashClassifier(other, p)
+	if err != nil {
+		t.Fatalf("HashClassifier: %v", err)
+	}
+	if h3 == h1 {
+		t.Fatal("differently trained classifiers hash identically")
+	}
+	// Same classifier under different serving params is a different
+	// model.
+	p2 := p
+	p2.OpenSetSlack = 2.0
+	h4, err := HashClassifier(cl, p2)
+	if err != nil {
+		t.Fatalf("HashClassifier: %v", err)
+	}
+	if h4 == h1 {
+		t.Fatal("different serving params hash identically")
+	}
+	if _, err := HashClassifier(&classify.Classifier{}, p); err == nil {
+		t.Fatal("untrained classifier: want error")
+	}
+}

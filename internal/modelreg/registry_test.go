@@ -1,0 +1,130 @@
+package modelreg
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testModel(t *testing.T, seed int64, source string) *Model {
+	t.Helper()
+	m, err := NewModel(trainSynthetic(t, seed), DefaultParams(), source, seed)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	boot := testModel(t, 1, "boot")
+	cand := testModel(t, 50, "file:a.json")
+	r := NewRegistry(boot)
+
+	if got := r.Active(); got.ID != boot.ID {
+		t.Fatalf("active = %s, want %s", got.ID, boot.ID)
+	}
+	if r.Candidate() != nil {
+		t.Fatal("fresh registry has a candidate")
+	}
+	if err := r.Add(cand); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := r.Add(cand); err == nil {
+		t.Fatal("double Add: want error")
+	}
+	if _, state, ok := r.Get(cand.ID); !ok || state != StateLoaded {
+		t.Fatalf("Get after Add = %v/%v, want loaded", state, ok)
+	}
+	if err := r.SetCandidate(boot.ID); err == nil {
+		t.Fatal("SetCandidate(active): want error")
+	}
+	if err := r.SetCandidate(cand.ID); err != nil {
+		t.Fatalf("SetCandidate: %v", err)
+	}
+	if got := r.Candidate(); got == nil || got.ID != cand.ID {
+		t.Fatalf("Candidate = %v, want %s", got, cand.ID)
+	}
+	if err := r.Remove(cand.ID); err == nil {
+		t.Fatal("Remove(candidate): want error")
+	}
+	if err := r.Remove(boot.ID); err == nil {
+		t.Fatal("Remove(active): want error")
+	}
+
+	// Promote: candidate becomes active, old active retires.
+	if err := r.SetActive(cand.ID); err != nil {
+		t.Fatalf("SetActive: %v", err)
+	}
+	if r.Candidate() != nil {
+		t.Fatal("candidate slot not cleared by promote")
+	}
+	if _, state, _ := r.Get(boot.ID); state != StateRetired {
+		t.Fatalf("old active state = %v, want retired", state)
+	}
+	entries := r.List()
+	if len(entries) != 2 || entries[0].Model.ID != cand.ID || entries[0].State != StateActive {
+		t.Fatalf("List = %+v, want active %s first", entries, cand.ID)
+	}
+	// The retired model can now be removed.
+	if err := r.Remove(boot.ID); err != nil {
+		t.Fatalf("Remove(retired): %v", err)
+	}
+	if _, _, ok := r.Get(boot.ID); ok {
+		t.Fatal("removed model still present")
+	}
+}
+
+func TestRegistryCandidateSlotDemotes(t *testing.T) {
+	r := NewRegistry(testModel(t, 1, "boot"))
+	a := testModel(t, 60, "file:a")
+	b := testModel(t, 70, "file:b")
+	for _, m := range []*Model{a, b} {
+		if err := r.Add(m); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := r.SetCandidate(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetCandidate(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, state, _ := r.Get(a.ID); state != StateLoaded {
+		t.Fatalf("displaced candidate state = %v, want loaded", state)
+	}
+	if id := r.ClearCandidate(); id != b.ID {
+		t.Fatalf("ClearCandidate = %s, want %s", id, b.ID)
+	}
+	if r.Candidate() != nil {
+		t.Fatal("candidate slot not empty after clear")
+	}
+	if id := r.ClearCandidate(); id != "" {
+		t.Fatalf("ClearCandidate on empty slot = %q, want empty", id)
+	}
+}
+
+func TestSaveLoadFileRoundtrip(t *testing.T) {
+	cl := trainSynthetic(t, 1)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveFile(path, cl); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	m, err := LoadFile(path, DefaultParams(), 42)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	// The artifact round-trips to the same compatibility hash: load is
+	// byte-faithful for everything serving-relevant.
+	want, err := HashClassifier(cl, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hash != want {
+		t.Fatalf("loaded hash %s != saved classifier hash %s", m.Hash, want)
+	}
+	if m.Source != "file:"+path || m.LoadedAtUnixNS != 42 {
+		t.Fatalf("Source/LoadedAt = %q/%d", m.Source, m.LoadedAtUnixNS)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json"), DefaultParams(), 0); err == nil {
+		t.Fatal("LoadFile(missing): want error")
+	}
+}

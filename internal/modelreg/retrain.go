@@ -1,0 +1,176 @@
+package modelreg
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appdb"
+	"repro/internal/classify"
+	"repro/internal/metrics"
+)
+
+// RetrainConfig parameterizes Retrain. The zero value selects the
+// defaults below.
+type RetrainConfig struct {
+	// K is the k-NN vote count (classify's default when 0).
+	K int
+	// Components is the PCA dimensionality (classify's default when 0).
+	Components int
+	// MinRowsPerClass drops classes with fewer retained sample rows than
+	// this — too thin to train or calibrate on (default 8).
+	MinRowsPerClass int
+	// MinClasses aborts the retrain when fewer distinct classes survive
+	// (default 2: a one-class classifier is useless).
+	MinClasses int
+	// MaxRowsPerClass caps each class's training rows, newest records
+	// first, so one chatty application cannot drown the rest (default
+	// 4096; <0 means unlimited).
+	MaxRowsPerClass int
+}
+
+// Retrain defaults.
+const (
+	DefaultMinRowsPerClass = 8
+	DefaultMinClasses      = 2
+	DefaultMaxRowsPerClass = 4096
+)
+
+func (c RetrainConfig) withDefaults() RetrainConfig {
+	if c.MinRowsPerClass <= 0 {
+		c.MinRowsPerClass = DefaultMinRowsPerClass
+	}
+	if c.MinClasses <= 0 {
+		c.MinClasses = DefaultMinClasses
+	}
+	if c.MaxRowsPerClass == 0 {
+		c.MaxRowsPerClass = DefaultMaxRowsPerClass
+	}
+	return c
+}
+
+// RetrainStats reports what a retrain consumed and produced.
+type RetrainStats struct {
+	// Records is how many appdb records carried training samples.
+	Records int
+	// SkippedUnknown counts records dropped because their open-set
+	// verdict was Unknown — an operator has not labeled them with a
+	// trained class, so they must not pollute the training set.
+	SkippedUnknown int
+	// RowsPerClass is the training rows that went in, per label.
+	RowsPerClass map[appclass.Class]int
+	// DroppedClasses lists labels discarded for having fewer than
+	// MinRowsPerClass rows.
+	DroppedClasses []appclass.Class
+}
+
+// Retrain refits a classifier from the labeled finalized sessions
+// accumulated in the application database — the online-training loop
+// the paper's Section 5.3 sketches. Each record's retained sample rows
+// are labeled with its open-set verdict when present (falling back to
+// its majority class), records whose verdict is Unknown are skipped,
+// and the surviving per-class rows feed the standard
+// preprocess→normalize→PCA→k-NN pipeline (classify.Train, which fuses
+// the stages into the serving kernel). The returned classifier is ready
+// to wrap with NewModel for shadow evaluation.
+func Retrain(db *appdb.DB, cfg RetrainConfig) (*classify.Classifier, RetrainStats, error) {
+	cfg = cfg.withDefaults()
+	stats := RetrainStats{RowsPerClass: make(map[appclass.Class]int)}
+
+	var trainMetrics []string
+	rows := make(map[appclass.Class][][]float64)
+	for _, app := range db.Apps() {
+		runs := db.Runs(app)
+		// Newest records first, so MaxRowsPerClass keeps the freshest
+		// behaviour when a class overflows.
+		for i := len(runs) - 1; i >= 0; i-- {
+			rec := runs[i]
+			if len(rec.TrainSamples) == 0 {
+				continue
+			}
+			label := rec.Class
+			if rec.Verdict != "" {
+				if rec.Verdict == appclass.Unknown {
+					stats.SkippedUnknown++
+					continue
+				}
+				label = rec.Verdict
+			}
+			if trainMetrics == nil {
+				trainMetrics = rec.TrainMetrics
+			} else if !equalStrings(trainMetrics, rec.TrainMetrics) {
+				return nil, stats, fmt.Errorf("modelreg: retrain: record for %q sampled metrics %v, earlier records %v — mixed-schema databases cannot retrain",
+					app, rec.TrainMetrics, trainMetrics)
+			}
+			stats.Records++
+			for _, row := range rec.TrainSamples {
+				if cfg.MaxRowsPerClass > 0 && len(rows[label]) >= cfg.MaxRowsPerClass {
+					break
+				}
+				rows[label] = append(rows[label], row)
+			}
+		}
+	}
+	if stats.Records == 0 {
+		return nil, stats, fmt.Errorf("modelreg: retrain: no records carry training samples (run the daemon with sampling enabled)")
+	}
+
+	classes := make([]appclass.Class, 0, len(rows))
+	for label, rs := range rows {
+		if len(rs) < cfg.MinRowsPerClass {
+			stats.DroppedClasses = append(stats.DroppedClasses, label)
+			continue
+		}
+		classes = append(classes, label)
+		stats.RowsPerClass[label] = len(rs)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+	sort.Slice(stats.DroppedClasses, func(a, b int) bool { return stats.DroppedClasses[a] < stats.DroppedClasses[b] })
+	if len(classes) < cfg.MinClasses {
+		return nil, stats, fmt.Errorf("modelreg: retrain: only %d class(es) have >= %d rows, need %d",
+			len(classes), cfg.MinRowsPerClass, cfg.MinClasses)
+	}
+
+	schema, err := metrics.NewSchema(trainMetrics)
+	if err != nil {
+		return nil, stats, fmt.Errorf("modelreg: retrain schema: %w", err)
+	}
+	trainRuns := make([]classify.TrainingRun, 0, len(classes))
+	for _, label := range classes {
+		// The sample rows lost their timestamps to decimation; synthetic
+		// monotone times are fine — training only consumes the values.
+		tr := metrics.NewTrace(schema, "retrain-"+string(label))
+		for i, row := range rows[label] {
+			if err := tr.Append(metrics.Snapshot{
+				Time:   time.Duration(i) * time.Second,
+				Node:   tr.Node(),
+				Values: row,
+			}); err != nil {
+				return nil, stats, fmt.Errorf("modelreg: retrain class %s row %d: %w", label, i, err)
+			}
+		}
+		trainRuns = append(trainRuns, classify.TrainingRun{Class: label, Trace: tr})
+	}
+	cl, err := classify.Train(trainRuns, classify.Config{
+		ExpertMetrics: trainMetrics,
+		K:             cfg.K,
+		Components:    cfg.Components,
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("modelreg: retrain: %w", err)
+	}
+	return cl, stats, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

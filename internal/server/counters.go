@@ -56,6 +56,17 @@ type counters struct {
 	fingerprintMatches atomic.Int64 // finalized sessions whose fingerprint matched the dictionary
 	fingerprintMisses  atomic.Int64 // finalized fingerprints with no dictionary match over threshold
 
+	modelLoads      atomic.Int64 // candidate models loaded via POST /v1/models
+	modelLoadErrors atomic.Int64 // failed model loads / candidate installs
+	modelPromotes   atomic.Int64 // hot swaps performed
+	modelDiscards   atomic.Int64 // models removed from the registry
+	retrainRuns     atomic.Int64 // successful online-retraining passes
+	retrainErrors   atomic.Int64 // failed retraining passes
+	rebindErrors    atomic.Int64 // sessions that could not be rebound to a promoted model
+	// swapLastNanos is a gauge: the duration of the most recent promote's
+	// quiesced swap window.
+	swapLastNanos atomic.Int64
+
 	classifications map[appclass.Class]*atomic.Int64
 }
 
@@ -94,7 +105,7 @@ type resilienceGauges struct {
 // Prometheus text format. pstats is nil when no placement service is
 // configured; dg is nil when no journal is configured; historyDropped
 // sums Online.HistoryDropped over live sessions.
-func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges) {
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges, mg modelGauges) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -137,6 +148,13 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_phase_boundaries_total", "Phase boundaries detected by the online segmenter.", c.phaseBoundaries.Load())
 	counter("appclassd_fingerprint_matches_total", "Finalized sessions whose phase fingerprint matched a dictionary entry.", c.fingerprintMatches.Load())
 	counter("appclassd_fingerprint_misses_total", "Finalized phase fingerprints with no dictionary match over the threshold.", c.fingerprintMisses.Load())
+	counter("appclassd_model_loads_total", "Candidate models loaded via the model API.", c.modelLoads.Load())
+	counter("appclassd_model_load_errors_total", "Failed model loads and candidate installs.", c.modelLoadErrors.Load())
+	counter("appclassd_model_promotes_total", "Model hot swaps performed.", c.modelPromotes.Load())
+	counter("appclassd_model_discards_total", "Models removed from the registry.", c.modelDiscards.Load())
+	counter("appclassd_retrain_runs_total", "Successful online-retraining passes.", c.retrainRuns.Load())
+	counter("appclassd_retrain_errors_total", "Failed online-retraining passes.", c.retrainErrors.Load())
+	counter("appclassd_model_rebind_errors_total", "Sessions that could not be rebound to a promoted model.", c.rebindErrors.Load())
 
 	total := 0
 	for _, n := range sessions {
@@ -180,6 +198,25 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 		fmt.Fprintf(w, "# HELP appclassd_hosts Hosts in the placement inventory.\n# TYPE appclassd_hosts gauge\nappclassd_hosts %d\n", pstats.Hosts)
 		fmt.Fprintf(w, "# HELP appclassd_slots Total application slots in the placement inventory.\n# TYPE appclassd_slots gauge\nappclassd_slots %d\n", pstats.Slots)
 		fmt.Fprintf(w, "# HELP appclassd_placements_active Active placements.\n# TYPE appclassd_placements_active gauge\nappclassd_placements_active %d\n", pstats.Placements)
+	}
+	fmt.Fprintf(w, "# HELP appclassd_model_active_info The serving model, as a labeled constant gauge.\n# TYPE appclassd_model_active_info gauge\nappclassd_model_active_info{id=%q} 1\n", mg.activeID)
+	fmt.Fprintf(w, "# HELP appclassd_model_swap_pause_seconds Duration of the most recent promote's quiesced swap window (0 before any swap).\n# TYPE appclassd_model_swap_pause_seconds gauge\nappclassd_model_swap_pause_seconds %g\n",
+		float64(mg.swapLastNanos)/1e9)
+	shadowActive := 0
+	if mg.shadow != nil {
+		shadowActive = 1
+	}
+	fmt.Fprintf(w, "# HELP appclassd_shadow_active Whether a candidate model is shadow-classifying live traffic.\n# TYPE appclassd_shadow_active gauge\nappclassd_shadow_active %d\n", shadowActive)
+	if sv := mg.shadow; sv != nil {
+		fmt.Fprintf(w, "# HELP appclassd_shadow_snapshots Snapshots shadow-classified by the current candidate.\n# TYPE appclassd_shadow_snapshots gauge\nappclassd_shadow_snapshots{candidate=%q} %d\n", sv.Candidate, sv.Snapshots)
+		fmt.Fprintf(w, "# HELP appclassd_shadow_disagreements Shadowed snapshots where the candidate voted differently than the active model.\n# TYPE appclassd_shadow_disagreements gauge\nappclassd_shadow_disagreements{candidate=%q} %d\n", sv.Candidate, sv.Disagree)
+		fmt.Fprintf(w, "# HELP appclassd_shadow_class_disagreements Per-class shadow disagreement, keyed by the active model's vote.\n# TYPE appclassd_shadow_class_disagreements gauge\n")
+		for cl, pair := range sv.PerClass {
+			fmt.Fprintf(w, "appclassd_shadow_class_disagreements{candidate=%q,class=%q} %d\n", sv.Candidate, cl, pair.Disagree)
+		}
+		fmt.Fprintf(w, "# HELP appclassd_shadow_unknown_rate_delta Candidate unknown rate minus active unknown rate over shadowed snapshots.\n# TYPE appclassd_shadow_unknown_rate_delta gauge\nappclassd_shadow_unknown_rate_delta{candidate=%q} %g\n", sv.Candidate, sv.UnknownRateDelta)
+		fmt.Fprintf(w, "# HELP appclassd_shadow_latency_seconds Mean per-snapshot classification latency of the candidate.\n# TYPE appclassd_shadow_latency_seconds gauge\nappclassd_shadow_latency_seconds{candidate=%q} %g\n", sv.Candidate, float64(sv.MeanLatencyNanos)/1e9)
+		fmt.Fprintf(w, "# HELP appclassd_shadow_errors Candidate classification errors over shadowed snapshots.\n# TYPE appclassd_shadow_errors gauge\nappclassd_shadow_errors{candidate=%q} %d\n", sv.Candidate, sv.Errors)
 	}
 	fmt.Fprintf(w, "# HELP appclassd_uptime_seconds Seconds since the daemon started.\n# TYPE appclassd_uptime_seconds gauge\nappclassd_uptime_seconds %g\n", uptimeSeconds)
 }

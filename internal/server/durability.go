@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/classify"
@@ -37,6 +38,7 @@ func (s *Server) Checkpoint() error {
 	// position and the states below are one consistent cut.
 	s.ckptMu.Lock()
 	pos := j.Pos()
+	modelHash := s.activeModelHash()
 	var payload checkpointPayload
 	for _, sess := range s.reg.all() {
 		sess.mu.Lock()
@@ -58,7 +60,7 @@ func (s *Server) Checkpoint() error {
 		s.counters.checkpointErrors.Add(1)
 		return fmt.Errorf("server: encode checkpoint: %w", err)
 	}
-	seq, err := wal.SaveCheckpoint(j.Dir(), pos, s.now(), doc)
+	seq, err := wal.SaveCheckpoint(j.Dir(), pos, s.now(), modelHash, doc)
 	if err != nil {
 		s.counters.checkpointErrors.Add(1)
 		return fmt.Errorf("server: checkpoint: %w", err)
@@ -166,34 +168,87 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	if err != nil {
 		return rs, fmt.Errorf("server: recover: %w", err)
 	}
+	activeHash := s.activeModelHash()
 	var from wal.Position
 	if cp != nil {
-		var payload checkpointPayload
-		if err := json.Unmarshal(cp.Payload, &payload); err != nil {
-			return rs, fmt.Errorf("server: recover: decode checkpoint %d: %w", cp.Seq, err)
+		// A checkpoint's serialized sessions (per-metric drift state,
+		// fused-space segmenter history, training reservoirs) are only
+		// meaningful under the exact model that produced them, so a hash
+		// mismatch refuses recovery outright. -recover-force downgrades the
+		// refusal: the checkpoint is discarded and the journal tail alone
+		// is replayed under the current model.
+		restoreSessions := true
+		switch {
+		case cp.ModelHash == "":
+			s.cfg.Logf("server: recover: checkpoint %d predates model stamping; assuming it matches model %s", cp.Seq, s.ActiveModelID())
+		case cp.ModelHash != activeHash:
+			if !s.cfg.RecoverForce {
+				return rs, fmt.Errorf("server: recover: checkpoint %d was written under model %s but this daemon is serving model %s — serialized session state is not portable across models; start the daemon with the matching model, or pass -recover-force to discard the checkpoint and rebuild from the journal tail only",
+					cp.Seq, cp.ModelHash, activeHash)
+			}
+			restoreSessions = false
+			s.cfg.Logf("server: recover: FORCED past model mismatch: discarding checkpoint %d (model %s != active %s); sessions will be rebuilt from the journal tail only and may be incomplete",
+				cp.Seq, cp.ModelHash, activeHash)
 		}
-		for _, sc := range payload.Sessions {
-			online, err := classify.RestoreOnline(s.cfg.Classifier, s.cfg.Schema, sc.State)
-			if err != nil {
-				return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
+		if restoreSessions {
+			var payload checkpointPayload
+			if err := json.Unmarshal(cp.Payload, &payload); err != nil {
+				return rs, fmt.Errorf("server: recover: decode checkpoint %d: %w", cp.Seq, err)
 			}
-			// The restored segmenter (if any) carries on; only the open-set
-			// thresholds need re-attaching — they are never checkpointed.
-			s.armOnline(online)
-			sess := &session{vm: sc.VM, online: online, lastSeen: time.Unix(0, sc.LastSeenUnixNS)}
-			if _, created, err := s.reg.getOrCreate(sc.VM, func() (*session, error) {
-				return sess, nil
-			}); err != nil {
-				return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
-			} else if !created {
-				return rs, fmt.Errorf("server: recover: duplicate session %s in checkpoint %d", sc.VM, cp.Seq)
+			for _, sc := range payload.Sessions {
+				online, err := classify.RestoreOnline(s.activeClassifier(), s.cfg.Schema, sc.State)
+				if err != nil {
+					return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
+				}
+				// The restored segmenter (if any) carries on; only the open-set
+				// thresholds need re-attaching — they are never checkpointed.
+				s.armOnline(online)
+				sess := &session{vm: sc.VM, online: online, lastSeen: time.Unix(0, sc.LastSeenUnixNS), model: s.ActiveModelID()}
+				if _, created, err := s.reg.getOrCreate(sc.VM, func() (*session, error) {
+					return sess, nil
+				}); err != nil {
+					return rs, fmt.Errorf("server: recover: session %s: %w", sc.VM, err)
+				} else if !created {
+					return rs, fmt.Errorf("server: recover: duplicate session %s in checkpoint %d", sc.VM, cp.Seq)
+				}
+				rs.Sessions++
 			}
-			rs.Sessions++
 		}
 		from = cp.Pos
 		rs.CheckpointSeq = cp.Seq
 	}
 	s.counters.recoveredSessions.Add(int64(rs.Sessions))
+
+	// The journal segments about to be replayed must also have been
+	// written under the active model: a record framed under a different
+	// model's schema/format is not safe to re-classify. Unstamped (v1)
+	// segments are allowed through with a note.
+	if hashes, herr := wal.SegmentHashes(j.Dir(), from.Seg); herr != nil {
+		s.cfg.Logf("server: recover: scan segment headers: %v", herr)
+	} else {
+		var mismatched []uint64
+		unstamped := 0
+		for seq, h := range hashes {
+			switch h {
+			case "":
+				unstamped++
+			case activeHash:
+			default:
+				mismatched = append(mismatched, seq)
+			}
+		}
+		if unstamped > 0 {
+			s.cfg.Logf("server: recover: %d journal segment(s) predate model stamping; assuming they match model %s", unstamped, s.ActiveModelID())
+		}
+		if len(mismatched) > 0 {
+			sort.Slice(mismatched, func(a, b int) bool { return mismatched[a] < mismatched[b] })
+			if !s.cfg.RecoverForce {
+				return rs, fmt.Errorf("server: recover: journal segment(s) %v were written under a different model than the active %s — refusing to replay them; start the daemon with the matching model, or pass -recover-force to replay anyway",
+					mismatched, activeHash)
+			}
+			s.cfg.Logf("server: recover: FORCED past model mismatch in journal segment(s) %v; replaying them under model %s anyway", mismatched, s.ActiveModelID())
+		}
+	}
 
 	replay, err := wal.Replay(j.Dir(), from, func(pos wal.Position, rec wal.Record) error {
 		switch rec.Type {

@@ -25,6 +25,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/vms/{name}/finish", s.handleFinish)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	mux.HandleFunc("GET /v1/fingerprints", s.handleFingerprints)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models", s.handleModelLoad)
+	mux.HandleFunc("POST /v1/models/{id}/promote", s.handleModelPromote)
+	mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	mux.HandleFunc("POST /v1/placements", s.handlePlace)
 	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
 	mux.HandleFunc("GET /v1/placements/advice", s.handleAdvice)
@@ -243,12 +247,16 @@ type vmSummary struct {
 	Verdict         string  `json:"verdict,omitempty"`
 	UnknownFraction float64 `json:"unknown_fraction,omitempty"`
 	Phases          int     `json:"phases,omitempty"`
+	// Model is the ID of the model serving this session (verdict
+	// provenance; changes when a promote rebinds the session).
+	Model string `json:"model,omitempty"`
 }
 
 func (s *Server) summarize(sess *session) vmSummary {
 	sess.mu.Lock()
 	view := sess.online.Snapshot()
 	lastSeen := sess.lastSeen
+	model := sess.model
 	sess.mu.Unlock()
 	return vmSummary{
 		VM:              sess.vm,
@@ -262,6 +270,7 @@ func (s *Server) summarize(sess *session) vmSummary {
 		Verdict:         string(view.Verdict),
 		UnknownFraction: view.UnknownFraction,
 		Phases:          len(view.Phases),
+		Model:           model,
 	}
 }
 
@@ -327,6 +336,7 @@ func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
 	history := sess.online.History()
 	dropped := sess.online.HistoryDropped()
 	lastSeen := sess.lastSeen
+	model := sess.model
 	sess.mu.Unlock()
 
 	stages, err := classify.StagesFromHistory(history, 1, dropped)
@@ -347,6 +357,7 @@ func (s *Server) handleVM(w http.ResponseWriter, r *http.Request) {
 			Verdict:         string(view.Verdict),
 			UnknownFraction: view.UnknownFraction,
 			Phases:          len(view.Phases),
+			Model:           model,
 		},
 		Composition:  view.Composition,
 		FirstSeconds: view.FirstAt.Seconds(),
@@ -569,5 +580,13 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	}
 	var rg resilienceGauges
 	rg.inflightBytes, rg.inflightRequests = s.admit.inflight()
-	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg)
+	mg := modelGauges{
+		activeID:      s.ActiveModelID(),
+		swapLastNanos: s.counters.swapLastNanos.Load(),
+	}
+	if se := s.shadow.Load(); se != nil {
+		v := se.view()
+		mg.shadow = &v
+	}
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg, mg)
 }

@@ -25,6 +25,11 @@ type session struct {
 	// ingest must not observe into it, and a concurrent writer that
 	// raced an eviction retries against the registry instead.
 	finalized bool
+	// model is the ID (short hash) of the model currently serving this
+	// session — verdict provenance, stamped into the session's appdb
+	// record at finalization and updated when a promote rebinds the
+	// session.
+	model string
 }
 
 // shard is one stripe of the registry.

@@ -16,12 +16,14 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/appclass"
 	"repro/internal/appdb"
 	"repro/internal/classify"
 	"repro/internal/metrics"
+	"repro/internal/modelreg"
 	"repro/internal/phase"
 	"repro/internal/placement"
 	"repro/internal/wal"
@@ -102,6 +104,34 @@ type Config struct {
 	// UnknownQuantile is the per-class training self-distance quantile
 	// the thresholds calibrate from. Zero means 0.99.
 	UnknownQuantile float64
+	// RecoverForce lets Recover proceed past a model-hash mismatch
+	// between the on-disk checkpoint/journal and the configured model:
+	// mismatching checkpoints are discarded (their session states were
+	// serialized under a different model) and the journal tail is
+	// replayed from scratch under the current model. Off by default —
+	// a mismatch refuses recovery with a clear error.
+	RecoverForce bool
+	// TrainReservoir caps the per-session reservoir of raw snapshot rows
+	// retained for online retraining. Zero means
+	// classify.DefaultTrainReservoir; negative disables sampling (and
+	// with it retraining from this daemon's records).
+	TrainReservoir int
+	// ModelDir, when set, confines POST /v1/models artifact paths: load
+	// requests are resolved relative to it and may not escape it. Empty
+	// means paths are taken as given (trusted operators only).
+	ModelDir string
+	// RetrainEvery is the online-retraining cadence of StartRetrainer:
+	// every tick the daemon refits a classifier from the labeled
+	// finalized sessions in the application database and shadow-evaluates
+	// the result. Zero or negative disables retraining.
+	RetrainEvery time.Duration
+	// RetrainOut, when set, is where the retrainer persists each refit
+	// artifact (atomic rename), ready for appdbtool inspection or manual
+	// loading into another daemon.
+	RetrainOut string
+	// RetrainMinRows is the minimum retained sample rows a class needs to
+	// participate in a retrain. Zero means modelreg's default.
+	RetrainMinRows int
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
 	// exposes goroutine stacks and heap contents, so it is opt-in
@@ -138,11 +168,19 @@ type Server struct {
 	ckptKick chan struct{}
 
 	// segCfg is the phase segmenter configuration applied to every new
-	// session (nil with segmentation disabled); openset holds the
-	// calibrated novelty thresholds shared by all sessions (nil with the
-	// open-set test disabled). Both are immutable after New.
-	segCfg  *phase.Config
-	openset *classify.OpenSet
+	// session (nil with segmentation disabled). Immutable after New.
+	segCfg *phase.Config
+
+	// models is the versioned model registry; active is the serving
+	// model + open-set threshold pair, swapped atomically by Promote;
+	// shadow is the candidate evaluation riding along live traffic (nil
+	// when no candidate is staged). swapMu serializes model lifecycle
+	// transitions (load, promote, discard, retrain-install) against each
+	// other — never held during classification.
+	models *modelreg.Registry
+	active atomic.Pointer[activeModel]
+	shadow atomic.Pointer[shadowEval]
+	swapMu sync.Mutex
 
 	// admit sheds push-path load before it reaches any lock; degraded
 	// tracks whether ingest is currently memory-only because the journal
@@ -227,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 			Threshold: cfg.SegmentThreshold,
 		}
 	}
+	var openset *classify.OpenSet
 	if cfg.UnknownSlack >= 0 {
 		os, err := cfg.Classifier.CalibrateOpenSet(classify.OpenSetConfig{
 			Quantile: cfg.UnknownQuantile,
@@ -235,24 +274,71 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: calibrate open-set thresholds: %w", err)
 		}
-		s.openset = os
+		openset = os
 	}
+
+	// The boot model: the configured classifier under the effective
+	// serving params, hashed, registered active, and stamped onto the
+	// journal so every segment written from here carries its identity.
+	params := modelreg.Params{
+		OpenSetQuantile: -1, OpenSetSlack: -1,
+		SegWindow: -1, SegMinLen: -1, SegThreshold: -1,
+	}
+	if openset != nil {
+		oc := openset.Config()
+		params.OpenSetQuantile, params.OpenSetSlack = oc.Quantile, oc.Slack
+		for cl, cerr := range openset.SkippedClasses() {
+			cfg.Logf("server: OPEN-SET CALIBRATION SKIPPED class %s: %v — the class will never flag unknown", cl, cerr)
+		}
+	}
+	if s.segCfg != nil {
+		params.SegWindow, params.SegMinLen, params.SegThreshold =
+			cfg.SegmentWindow, cfg.SegmentMinLen, cfg.SegmentThreshold
+		if params.SegWindow == 0 {
+			params.SegWindow = phase.DefaultWindow
+		}
+		if params.SegMinLen == 0 {
+			params.SegMinLen = phase.DefaultMinLen
+		}
+		if params.SegThreshold == 0 {
+			params.SegThreshold = phase.DefaultThreshold
+		}
+	}
+	boot, err := modelreg.NewModel(cfg.Classifier, params, "boot", s.start.UnixNano())
+	if err != nil {
+		return nil, fmt.Errorf("server: hash boot model: %w", err)
+	}
+	s.models = modelreg.NewRegistry(boot)
+	s.active.Store(&activeModel{model: boot, openset: openset})
+	if cfg.Journal != nil {
+		if err := cfg.Journal.SetModelHash(boot.Hash); err != nil {
+			return nil, fmt.Errorf("server: stamp journal with model hash: %w", err)
+		}
+	}
+	cfg.Logf("server: model %s (hash %s) active", boot.ID, boot.Hash.String())
 	s.mux = s.routes()
 	return s, nil
 }
 
-// armOnline attaches the daemon's phase segmentation and open-set
-// configuration to a session's classifier. Restored sessions keep the
-// segmenter that came out of their checkpoint (re-attaching would drop
-// the accumulated phase list); the open-set thresholds are always
-// re-attached because they are deterministic from the trained model and
-// never serialized.
+// armOnline attaches the daemon's phase segmentation, open-set, and
+// training-reservoir configuration to a session's classifier. Restored
+// sessions keep the segmenter and reservoir that came out of their
+// checkpoint (re-attaching would drop accumulated state); the open-set
+// thresholds are always re-attached because they are deterministic from
+// the trained model and never serialized.
 func (s *Server) armOnline(o *classify.Online) {
 	if s.segCfg != nil && !o.SegmentationEnabled() {
 		o.EnableSegmentation(*s.segCfg)
 	}
-	if s.openset != nil {
-		o.EnableOpenSet(s.openset)
+	if os := s.activeOpenSet(); os != nil {
+		o.EnableOpenSet(os)
+	}
+	if s.cfg.TrainReservoir >= 0 && !o.SamplingEnabled() {
+		capRows := s.cfg.TrainReservoir
+		if capRows == 0 {
+			capRows = classify.DefaultTrainReservoir
+		}
+		o.EnableSampling(capRows)
 	}
 }
 
@@ -396,6 +482,8 @@ func (s *Server) finalize(sess *session, journal bool) bool {
 	}
 	sess.finalized = true
 	view := sess.online.Snapshot()
+	modelID := sess.model
+	trainMetrics, trainRows := sess.online.TrainSamples()
 	// Unmap while still holding sess.mu (shard locks are never held
 	// around session locks, so the order is safe): an ingest racing this
 	// finalization either sees the session gone and builds a fresh one,
@@ -427,6 +515,11 @@ func (s *Server) finalize(sess *session, journal bool) bool {
 		Phases:          view.Phases,
 		UnknownFraction: view.UnknownFraction,
 		Verdict:         view.Verdict,
+		ModelID:         modelID,
+	}
+	if len(trainRows) > 0 {
+		rec.TrainMetrics = trainMetrics
+		rec.TrainSamples = trainRows
 	}
 	if view.Verdict == appclass.Unknown {
 		s.counters.unknownSessions.Add(1)
@@ -554,12 +647,13 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 	}
 	for attempt := 0; attempt < 3; attempt++ {
 		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
-			online, err := classify.NewOnline(s.cfg.Classifier, s.cfg.Schema)
+			am := s.active.Load()
+			online, err := classify.NewOnline(am.model.Classifier, s.cfg.Schema)
 			if err != nil {
 				return nil, err
 			}
 			s.armOnline(online)
-			return &session{vm: vm, online: online, lastSeen: s.now()}, nil
+			return &session{vm: vm, online: online, lastSeen: s.now(), model: am.model.ID}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -579,6 +673,18 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 				s.ckptMu.RUnlock()
 			}
 			continue // lost a race with the janitor; re-resolve
+		}
+		// A session created in the narrow window around a hot swap can
+		// still hold the previous model (getOrCreate runs outside the
+		// promote quiesce); bind it forward before classifying so no
+		// batch is served by a retired model.
+		if am := s.active.Load(); sess.model != am.model.ID {
+			if rerr := sess.online.Rebind(am.model.Classifier, am.openset); rerr != nil {
+				s.counters.rebindErrors.Add(1)
+				s.cfg.Logf("server: rebind %s to model %s: %v (session continues on %s)", vm, am.model.ID, rerr, sess.model)
+			} else {
+				sess.model = am.model.ID
+			}
 		}
 		if journal {
 			// Write-ahead: a batch that cannot be journaled is not
@@ -627,6 +733,12 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		s.counters.ingested.Add(int64(len(out)))
 		for _, class := range out {
 			s.counters.classified(class)
+		}
+		// Shadow-classify the batch on the candidate model, outside every
+		// lock: the candidate sees exactly the traffic the active model
+		// served but can only ever produce statistics.
+		if se := s.shadow.Load(); se != nil {
+			se.observe(snaps, out, newUnknown)
 		}
 		return out, nil
 	}

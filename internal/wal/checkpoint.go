@@ -24,6 +24,13 @@ type Checkpoint struct {
 	Pos Position `json:"pos"`
 	// TakenAtUnixNS is when the checkpoint was captured.
 	TakenAtUnixNS int64 `json:"taken_at_unix_ns"`
+	// ModelHash is the hex compatibility hash of the model the payload
+	// sessions were serialized under. Recovery refuses a checkpoint whose
+	// hash differs from the loaded model's: the serialized drift
+	// accumulators, phase segmentation, and open-set counts are only
+	// meaningful under the model that produced them. Empty on
+	// checkpoints written before model stamping.
+	ModelHash string `json:"model_hash,omitempty"`
 	// Payload is the caller-defined serialized state.
 	Payload json.RawMessage `json:"payload"`
 }
@@ -76,8 +83,10 @@ func listCheckpoints(dir string) ([]uint64, error) {
 // SaveCheckpoint atomically writes a new checkpoint covering pos into
 // the journal directory — temp file, fsync, rename, exactly like the
 // application database's SaveFile — then prunes all but the newest
-// checkpointsToKeep files. It returns the new checkpoint's sequence.
-func SaveCheckpoint(dir string, pos Position, takenAt time.Time, payload []byte) (uint64, error) {
+// checkpointsToKeep files. modelHash is the hex compatibility hash of
+// the model the payload was serialized under ("" to leave the
+// checkpoint unstamped). It returns the new checkpoint's sequence.
+func SaveCheckpoint(dir string, pos Position, takenAt time.Time, modelHash string, payload []byte) (uint64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("wal: create %s: %w", dir, err)
 	}
@@ -93,6 +102,7 @@ func SaveCheckpoint(dir string, pos Position, takenAt time.Time, payload []byte)
 		Seq:           seq,
 		Pos:           pos,
 		TakenAtUnixNS: takenAt.UnixNano(),
+		ModelHash:     modelHash,
 		Payload:       payload,
 	})
 	if err != nil {

@@ -17,7 +17,7 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	at := time.Unix(1700000000, 123)
-	seq, err := SaveCheckpoint(dir, Position{Seg: 3, Off: 4096}, at, []byte(`{"sessions":[]}`))
+	seq, err := SaveCheckpoint(dir, Position{Seg: 3, Off: 4096}, at, "", []byte(`{"sessions":[]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 func TestCheckpointPruningKeepsTwo(t *testing.T) {
 	dir := t.TempDir()
 	for i := 0; i < 5; i++ {
-		if _, err := SaveCheckpoint(dir, Position{Seg: uint64(i + 1)}, time.Unix(int64(i), 0), []byte(`{}`)); err != nil {
+		if _, err := SaveCheckpoint(dir, Position{Seg: uint64(i + 1)}, time.Unix(int64(i), 0), "", []byte(`{}`)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -61,10 +61,10 @@ func TestCheckpointPruningKeepsTwo(t *testing.T) {
 
 func TestCorruptLatestFallsBackToPrevious(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := SaveCheckpoint(dir, Position{Seg: 1, Off: 10}, time.Unix(1, 0), []byte(`{}`)); err != nil {
+	if _, err := SaveCheckpoint(dir, Position{Seg: 1, Off: 10}, time.Unix(1, 0), "", []byte(`{}`)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SaveCheckpoint(dir, Position{Seg: 2, Off: 20}, time.Unix(2, 0), []byte(`{}`)); err != nil {
+	if _, err := SaveCheckpoint(dir, Position{Seg: 2, Off: 20}, time.Unix(2, 0), "", []byte(`{}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(checkpointPath(dir, 2), []byte("not json"), 0o644); err != nil {

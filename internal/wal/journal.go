@@ -175,6 +175,8 @@ type Journal struct {
 	// false) means no checkpoint has been seen and prune is unrestricted.
 	retainSeg uint64
 	retainSet bool
+	// modelHash is stamped into every segment header (see SetModelHash).
+	modelHash [modelHashSize]byte
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -291,7 +293,8 @@ func (j *Journal) openSegment(seq uint64) error {
 	}
 	var hdr [headerSize]byte
 	copy(hdr[:4], segmentMagic[:])
-	binary.LittleEndian.PutUint32(hdr[4:], segmentVersion)
+	binary.LittleEndian.PutUint32(hdr[4:headerPrefixSize], segmentVersion)
+	copy(hdr[headerPrefixSize:], j.modelHash[:])
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
 		os.Remove(path)
@@ -302,6 +305,48 @@ func (j *Journal) openSegment(seq uint64) error {
 	j.size = headerSize
 	j.dirty = true
 	return nil
+}
+
+// ModelHash returns the model compatibility hash stamped into segment
+// headers (all zero if never set).
+func (j *Journal) ModelHash() [modelHashSize]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.modelHash
+}
+
+// SetModelHash changes the model compatibility hash stamped into
+// segment headers — the serving layer calls it at startup and on every
+// hot swap. Because one segment never mixes models, a change rotates to
+// a fresh segment immediately; if the active segment is still empty
+// (the startup case) its header is rewritten in place instead, avoiding
+// a zero-hash segment littering every journal directory. A no-op when
+// the hash is unchanged.
+func (j *Journal) SetModelHash(h [modelHashSize]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if h == j.modelHash {
+		return nil
+	}
+	j.modelHash = h
+	if j.done || j.failed != nil {
+		// No active segment to stamp; the next openSegment (Revive, or a
+		// fresh Open) picks the hash up.
+		return nil
+	}
+	if j.size == headerSize {
+		// Empty active segment: replace it in place under the same
+		// sequence number rather than burning a rotation.
+		if err := j.f.Close(); err != nil {
+			return fmt.Errorf("wal: close empty segment %d: %w", j.seq, err)
+		}
+		path := segmentPath(j.cfg.Dir, j.seq)
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("wal: remove empty segment %s: %w", path, err)
+		}
+		return j.openSegment(j.seq)
+	}
+	return j.rotateLocked()
 }
 
 // AppendBatch appends one validated ingest batch for vm and returns the

@@ -31,8 +31,12 @@ type Record struct {
 	Snaps []metrics.Snapshot
 }
 
-// On-disk framing. Each segment starts with an 8-byte header (magic +
-// format version); every record is
+// On-disk framing. Each segment starts with a header: magic + format
+// version (8 bytes), and from format version 2 a further 32-byte model
+// compatibility hash identifying the classifier every record in the
+// segment was appended under (a hot swap rotates to a fresh segment, so
+// one segment never mixes models). Version-1 segments (8-byte header,
+// no hash) remain readable. Every record is
 //
 //	uint32 payload length | uint32 CRC32C of payload | payload
 //
@@ -44,15 +48,24 @@ type Record struct {
 //	byte type | u16 len(vm) | vm | u32 count | u16 dims |
 //	    count × (i64 time-ns | dims × f64)               (batch)
 const (
-	segmentVersion = 1
-	headerSize     = 8
-	frameSize      = 8 // length + CRC
+	segmentVersion   = 2
+	segmentVersionV1 = 1
+	headerPrefixSize = 8                                // magic + version
+	modelHashSize    = 32                               // sha256
+	headerSize       = headerPrefixSize + modelHashSize // version-2 header
+	frameSize        = 8                                // length + CRC
 	// maxPayload rejects garbage lengths during replay before any
 	// allocation happens: no legitimate record approaches 64 MiB.
 	maxPayload = 64 << 20
 	// maxVMName bounds the encoded VM-name length (u16 on disk).
 	maxVMName = 1 << 10
 )
+
+// SegmentFormatVersion is the journal's on-disk segment format version.
+// It is an input to the model compatibility hash: a model trained under
+// one journal format must not silently serve a journal written under
+// another.
+const SegmentFormatVersion = segmentVersion
 
 var segmentMagic = [4]byte{'A', 'C', 'W', 'L'}
 

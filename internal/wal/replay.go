@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -20,8 +21,8 @@ type SegmentInfo struct {
 	// Records is the number of valid records scanned.
 	Records int
 	// ValidBytes is the offset just past the last valid record (at
-	// least headerSize for a well-headed segment); truncating the file
-	// here discards exactly the torn tail.
+	// least the header size for a well-headed segment); truncating the
+	// file here discards exactly the torn tail.
 	ValidBytes int64
 	// Torn reports whether the segment ends in bytes that do not form a
 	// complete valid record — the signature of a crash mid-write or of
@@ -30,6 +31,12 @@ type SegmentInfo struct {
 	// TornReason says what the scanner hit when Torn (short frame,
 	// CRC mismatch, bad header, ...).
 	TornReason string
+	// Version is the segment's on-disk format version.
+	Version uint32
+	// ModelHash is the hex model compatibility hash from the segment
+	// header; empty for version-1 segments, which predate model
+	// stamping.
+	ModelHash string
 }
 
 // ReplayStats summarizes one Replay pass.
@@ -86,8 +93,8 @@ func Replay(dir string, from Position, fn func(pos Position, rec Record) error) 
 			stats.MissingSegments = append(stats.MissingSegments, expect)
 		}
 		expect = seg.seq + 1
-		startOff := int64(headerSize)
-		if seg.seq == from.Seg && from.Off > startOff {
+		var startOff int64
+		if seg.seq == from.Seg {
 			startOff = from.Off
 		}
 		info, err := scanSegment(segmentPath(dir, seg.seq), seg.seq, startOff, func(end Position, rec Record) error {
@@ -117,11 +124,12 @@ func ScanSegment(path string, fn func(pos Position, rec Record) error) (SegmentI
 	if !ok {
 		return SegmentInfo{}, fmt.Errorf("wal: %s is not a journal segment", path)
 	}
-	return scanSegment(path, seq, headerSize, fn)
+	return scanSegment(path, seq, 0, fn)
 }
 
-// scanSegment walks records from startOff to the first invalid frame
-// or EOF.
+// scanSegment walks records from startOff (0 means just past the
+// header, whose size depends on the segment's format version) to the
+// first invalid frame or EOF.
 func scanSegment(path string, seq uint64, startOff int64, fn func(pos Position, rec Record) error) (SegmentInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -134,21 +142,12 @@ func scanSegment(path string, seq uint64, startOff int64, fn func(pos Position, 
 	}
 	info := SegmentInfo{Seq: seq, Path: path, Size: st.Size()}
 
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		info.Torn, info.TornReason = true, "short segment header"
-		return info, nil
+	hdrSize, err := readSegmentHeader(f, &info)
+	if err != nil || info.Torn {
+		return info, err
 	}
-	if [4]byte(hdr[:4]) != segmentMagic {
-		info.Torn, info.TornReason = true, "bad segment magic"
-		return info, nil
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segmentVersion {
-		info.Torn, info.TornReason = true, fmt.Sprintf("unsupported segment version %d", v)
-		return info, nil
-	}
-	info.ValidBytes = headerSize
-	if startOff > headerSize {
+	info.ValidBytes = hdrSize
+	if startOff > hdrSize {
 		if _, err := f.Seek(startOff, io.SeekStart); err != nil {
 			return info, fmt.Errorf("wal: seek segment %s: %w", path, err)
 		}
@@ -207,6 +206,39 @@ func scanSegment(path string, seq uint64, startOff int64, fn func(pos Position, 
 	}
 }
 
+// readSegmentHeader validates a segment's header, filling the info's
+// Version/ModelHash, and returns the header size (where records start).
+// A torn or unsupported header is reported via info.Torn with
+// ValidBytes 0, never as an error.
+func readSegmentHeader(f *os.File, info *SegmentInfo) (int64, error) {
+	var pre [headerPrefixSize]byte
+	if _, err := io.ReadFull(f, pre[:]); err != nil {
+		info.Torn, info.TornReason = true, "short segment header"
+		return 0, nil
+	}
+	if [4]byte(pre[:4]) != segmentMagic {
+		info.Torn, info.TornReason = true, "bad segment magic"
+		return 0, nil
+	}
+	info.Version = binary.LittleEndian.Uint32(pre[4:])
+	switch info.Version {
+	case segmentVersionV1:
+		// Pre-model-hash format: records start right after the prefix.
+		return headerPrefixSize, nil
+	case segmentVersion:
+		var h [modelHashSize]byte
+		if _, err := io.ReadFull(f, h[:]); err != nil {
+			info.Torn, info.TornReason = true, "short segment header"
+			return 0, nil
+		}
+		info.ModelHash = hex.EncodeToString(h[:])
+		return headerSize, nil
+	default:
+		info.Torn, info.TornReason = true, fmt.Sprintf("unsupported segment version %d", info.Version)
+		return 0, nil
+	}
+}
+
 // VerifyDir scans every segment in dir and returns their infos, oldest
 // first.
 func VerifyDir(dir string) ([]SegmentInfo, error) {
@@ -216,11 +248,45 @@ func VerifyDir(dir string) ([]SegmentInfo, error) {
 	}
 	out := make([]SegmentInfo, 0, len(segs))
 	for _, seg := range segs {
-		info, err := scanSegment(segmentPath(dir, seg.seq), seg.seq, headerSize, nil)
+		info, err := scanSegment(segmentPath(dir, seg.seq), seg.seq, 0, nil)
 		if err != nil {
 			return out, err
 		}
 		out = append(out, info)
+	}
+	return out, nil
+}
+
+// SegmentHashes reads only the headers of every segment with seq >=
+// from and returns seq → hex model hash ("" for version-1 segments).
+// Torn-headed segments are skipped — they carry no replayable records.
+// Recovery uses this to refuse replaying records written under a model
+// other than the one it loaded.
+func SegmentHashes(dir string, from uint64) (map[uint64]string, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]string, len(segs))
+	for _, seg := range segs {
+		if seg.seq < from {
+			continue
+		}
+		path := segmentPath(dir, seg.seq)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment %s: %w", path, err)
+		}
+		var info SegmentInfo
+		_, err = readSegmentHeader(f, &info)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if info.Torn {
+			continue
+		}
+		out[seg.seq] = info.ModelHash
 	}
 	return out, nil
 }
@@ -239,7 +305,7 @@ func TruncateAtCorruption(dir string) ([]SegmentInfo, error) {
 		if !info.Torn {
 			continue
 		}
-		if info.ValidBytes < headerSize {
+		if info.ValidBytes <= 0 {
 			if err := os.Remove(info.Path); err != nil {
 				return fixed, fmt.Errorf("wal: remove headerless segment %s: %w", info.Path, err)
 			}
