@@ -25,6 +25,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/testbed"
 	"repro/internal/wal"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -738,4 +740,209 @@ func BenchmarkHotSwap(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(totalPause.Nanoseconds())/float64(b.N), "pause-ns/op")
+}
+
+// replayBody is a rewindable request body that costs nothing per
+// request: a bytes.Reader with a no-op Close.
+type replayBody struct{ bytes.Reader }
+
+func (*replayBody) Close() error { return nil }
+
+// benchRW is the cheapest possible ResponseWriter — it records the
+// status and discards the body — so the allocations the benchmark
+// reports belong to the ingest path, not the test harness.
+type benchRW struct {
+	hdr  http.Header
+	code int
+}
+
+func (w *benchRW) Header() http.Header         { return w.hdr }
+func (w *benchRW) WriteHeader(code int)        { w.code = code }
+func (w *benchRW) Write(p []byte) (int, error) { return len(p), nil }
+
+// binHandshake opens one binary-ingest stream over the handler and
+// returns its stream ID.
+func binHandshake(b *testing.B, h http.Handler, schema *metrics.Schema) uint64 {
+	b.Helper()
+	buf, start := wire.BeginFrame(nil)
+	buf = wire.AppendHello(buf, wire.Hello{Version: wire.Version, Metrics: schema.Names()})
+	buf = wire.EndFrame(buf, start)
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest.bin", bytes.NewReader(buf))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("binary handshake: %d %s", w.Code, w.Body)
+	}
+	payload, _, err := wire.NextFrame(w.Body.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ack, err := wire.ParseHelloAck(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ack.StreamID
+}
+
+// binBenchBodies prebuilds framed binary batches with the same shape
+// and values as the JSON bench bodies: 16 VMs x 8 snapshots per batch,
+// values drawn from the profiled test traces, columns in schema order.
+func binBenchBodies(b *testing.B, tests []profiledRun, schema *metrics.Schema, streamID uint64, vmPrefix string) [][]byte {
+	b.Helper()
+	const vms, perVM = 16, 8
+	var bodies [][]byte
+	for batch := 0; batch < 4; batch++ {
+		groups := make([]wire.Group, vms)
+		for v := 0; v < vms; v++ {
+			g := wire.Group{VM: fmt.Sprintf("%s%02d", vmPrefix, v)}
+			trace := tests[(batch+v)%len(tests)].trace
+			for j := 0; j < perVM; j++ {
+				snap := trace.At((batch*perVM + j) % trace.Len())
+				g.Times = append(g.Times, float64(batch*perVM+j)*5)
+				g.Rows = append(g.Rows, snap.Values)
+			}
+			groups[v] = g
+		}
+		buf, start := wire.BeginFrame(nil)
+		buf, err := wire.AppendBatch(buf, streamID, schema.Len(), groups)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, wire.EndFrame(buf, start))
+	}
+	return bodies
+}
+
+// BenchmarkIngestBinary measures the binary columnar fast path
+// end-to-end through the HTTP handler: framed batches decoded
+// zero-copy out of a pooled body buffer, scattered through the
+// negotiated column table, and classified. The acceptance bars are >= 5x
+// BenchmarkIngestBatch's snaps/s and single-digit allocs/op, both
+// CI-gated.
+func BenchmarkIngestBinary(b *testing.B) {
+	benchIngestBinary(b, nil, false)
+}
+
+// BenchmarkIngestBinaryJournaled layers write-ahead journaling
+// (fsync=interval, the daemon default) on the binary path, with
+// concurrent senders — the configuration the group-commit variant is
+// judged against.
+func BenchmarkIngestBinaryJournaled(b *testing.B) {
+	j, err := wal.Open(wal.Config{
+		Dir:      b.TempDir(),
+		Fsync:    wal.FsyncInterval,
+		MaxBytes: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	benchIngestBinary(b, j, true)
+}
+
+// BenchmarkIngestBinaryJournaledGroupCommit runs the binary path with
+// fsync=always under group commit: concurrent appends coalesce into
+// shared fsyncs, so every acknowledged batch is on stable storage
+// while throughput stays within 2x of fsync=interval (the CI gate,
+// measured against BenchmarkIngestBinaryJournaled in the same run).
+func BenchmarkIngestBinaryJournaledGroupCommit(b *testing.B) {
+	j, err := wal.Open(wal.Config{
+		Dir:         b.TempDir(),
+		Fsync:       wal.FsyncAlways,
+		GroupCommit: true,
+		MaxBytes:    64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	benchIngestBinary(b, j, true)
+}
+
+func benchIngestBinary(b *testing.B, journal *wal.Journal, parallel bool) {
+	b.Helper()
+	training, tests := loadRuns(b)
+	cl, err := classify.Train(training, classify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := tests[0].trace.Schema()
+	srv, err := server.New(server.Config{
+		Classifier: cl, Schema: schema, Journal: journal,
+		// Match the JSON baseline: segmentation and the open-set test off.
+		SegmentWindow: -1, UnknownSlack: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	h := srv.Handler()
+	const vms, perVM = 16, 8
+
+	b.ReportAllocs()
+	if !parallel {
+		streamID := binHandshake(b, h, schema)
+		bodies := binBenchBodies(b, tests, schema, streamID, "bench-vm-")
+		readers := make([]*replayBody, len(bodies))
+		reqs := make([]*http.Request, len(bodies))
+		for i, body := range bodies {
+			readers[i] = &replayBody{}
+			req := httptest.NewRequest(http.MethodPost, "/v1/ingest.bin", nil)
+			req.Body = readers[i]
+			req.ContentLength = int64(len(body))
+			reqs[i] = req
+		}
+		rw := &benchRW{hdr: make(http.Header)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % len(bodies)
+			readers[k].Reset(bodies[k])
+			rw.code = 0
+			h.ServeHTTP(rw, reqs[k])
+			if rw.code != http.StatusOK {
+				b.Fatalf("ingest.bin: %d", rw.code)
+			}
+		}
+		b.StopTimer()
+	} else {
+		// Concurrent senders, each on its own stream with its own VMs —
+		// the multi-writer shape group commit exists for. Parallelism is
+		// raised so a single-core runner still drives overlapping appends.
+		b.SetParallelism(8)
+		var slot atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			s := slot.Add(1) - 1
+			streamID := binHandshake(b, h, schema)
+			bodies := binBenchBodies(b, tests, schema, streamID, fmt.Sprintf("bench-vm-%02d-", s))
+			readers := make([]*replayBody, len(bodies))
+			reqs := make([]*http.Request, len(bodies))
+			for i, body := range bodies {
+				readers[i] = &replayBody{}
+				req := httptest.NewRequest(http.MethodPost, "/v1/ingest.bin", nil)
+				req.Body = readers[i]
+				req.ContentLength = int64(len(body))
+				reqs[i] = req
+			}
+			rw := &benchRW{hdr: make(http.Header)}
+			i := 0
+			for pb.Next() {
+				k := i % len(bodies)
+				i++
+				readers[k].Reset(bodies[k])
+				rw.code = 0
+				h.ServeHTTP(rw, reqs[k])
+				if rw.code != http.StatusOK {
+					b.Errorf("ingest.bin: %d", rw.code)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+	}
+	b.ReportMetric(float64(b.N*vms*perVM)/b.Elapsed().Seconds(), "snaps/s")
 }

@@ -64,10 +64,13 @@ type config struct {
 	rates  string
 	drift  float64
 	pprof  bool
+	binary bool
 
 	journalDir      string
 	fsync           string
 	fsyncInterval   time.Duration
+	fsyncGroup      bool
+	fsyncWindow     time.Duration
 	checkpointEvery time.Duration
 	journalSegBytes int64
 	journalMaxBytes int64
@@ -110,9 +113,12 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.rates, "rates", "", "cost-model rates as cpu,mem,io,net,idle (default 1,1,1,1,0)")
 	fs.Float64Var(&cfg.drift, "drift", 0, "migration-advisor drift threshold in [0,1] (default 0.25)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+	fs.BoolVar(&cfg.binary, "ingest-binary", true, "serve the binary columnar ingest fast path at POST /v1/ingest.bin")
 	fs.StringVar(&cfg.journalDir, "journal-dir", "", "write-ahead journal directory (enables durable ingest and crash recovery)")
 	fs.StringVar(&cfg.fsync, "fsync", "interval", "journal fsync policy: always, interval, or never")
 	fs.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "fsync cadence for -fsync interval")
+	fs.BoolVar(&cfg.fsyncGroup, "fsync-group-commit", false, "coalesce concurrent -fsync always appends behind shared fsyncs (group commit)")
+	fs.DurationVar(&cfg.fsyncWindow, "fsync-window", 0, "group-commit leader waits this long for stragglers before syncing (default 0)")
 	fs.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 30*time.Second, "session checkpoint cadence")
 	fs.Int64Var(&cfg.journalSegBytes, "journal-segment-bytes", 0, "rotate journal segments at this size (default 8 MiB)")
 	fs.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 0, "cap closed journal segments at this total size, dropping the oldest (default unlimited)")
@@ -150,13 +156,22 @@ func parseFlags(args []string) (config, error) {
 		var set []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "fsync", "fsync-interval", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes", "degraded-on-wal-error", "recover-force":
+			case "fsync", "fsync-interval", "fsync-group-commit", "fsync-window", "checkpoint-every", "journal-segment-bytes", "journal-max-bytes", "degraded-on-wal-error", "recover-force":
 				set = append(set, "-"+f.Name)
 			}
 		})
 		if len(set) > 0 {
 			return config{}, fmt.Errorf("%s require(s) -journal-dir", strings.Join(set, ", "))
 		}
+	}
+	if cfg.fsyncGroup && cfg.fsync != "always" {
+		return config{}, fmt.Errorf("-fsync-group-commit requires -fsync always, got -fsync %s", cfg.fsync)
+	}
+	if cfg.fsyncWindow != 0 && !cfg.fsyncGroup {
+		return config{}, fmt.Errorf("-fsync-window requires -fsync-group-commit")
+	}
+	if cfg.fsyncWindow < 0 {
+		return config{}, fmt.Errorf("-fsync-window must be non-negative, got %v", cfg.fsyncWindow)
 	}
 	if cfg.retrainEvery <= 0 {
 		var set []string
@@ -297,18 +312,24 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 			return err
 		}
 		journal, err = wal.Open(wal.Config{
-			Dir:          cfg.journalDir,
-			SegmentBytes: cfg.journalSegBytes,
-			MaxBytes:     cfg.journalMaxBytes,
-			Fsync:        policy,
-			FsyncEvery:   cfg.fsyncInterval,
-			Logf:         log.Printf,
+			Dir:               cfg.journalDir,
+			SegmentBytes:      cfg.journalSegBytes,
+			MaxBytes:          cfg.journalMaxBytes,
+			Fsync:             policy,
+			FsyncEvery:        cfg.fsyncInterval,
+			GroupCommit:       cfg.fsyncGroup,
+			GroupCommitWindow: cfg.fsyncWindow,
+			Logf:              log.Printf,
 		})
 		if err != nil {
 			return err
 		}
 		defer journal.Close()
-		log.Printf("appclassd: journaling to %s (fsync %s)", cfg.journalDir, policy)
+		mode := policy.String()
+		if cfg.fsyncGroup {
+			mode += " group-commit"
+		}
+		log.Printf("appclassd: journaling to %s (fsync %s)", cfg.journalDir, mode)
 	}
 
 	srv, err := server.New(server.Config{
@@ -320,6 +341,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		Shards:              cfg.shards,
 		Placement:           placer,
 		EnablePprof:         cfg.pprof,
+		DisableBinaryIngest: !cfg.binary,
 		Journal:             journal,
 		CheckpointEvery:     cfg.checkpointEvery,
 		MaxInflightBytes:    cfg.maxInflightB,

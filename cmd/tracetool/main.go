@@ -11,6 +11,7 @@
 //	tracetool project -metrics cpu_user,io_bi run.csv > small.csv
 //	tracetool expert run.csv > expert.csv
 //	tracetool phases -model model.json run.csv
+//	tracetool sendbin -addr http://localhost:8080 run.csv
 //	tracetool journal verify /var/lib/appclassd/journal
 package main
 
@@ -54,6 +55,8 @@ commands:
   expert      keep the Table-1 expert metrics
   phases      segment a trace into execution phases and fingerprint it
               (-model model.json, or -seed N to train on the testbed)
+  sendbin     replay a trace into a live appclassd over the binary
+              protocol (-addr URL, -vm name, -batch N)
   journal     inspect an appclassd write-ahead journal:
               journal dump <dir>      print records and checkpoint
               journal verify <dir>    check segment integrity (exit 1 if torn)
@@ -117,6 +120,17 @@ func run(cmd string, args []string, stdout io.Writer) error {
 		return withTrace(fs.Args(), func(tr *metrics.Trace) error {
 			cfg := phase.Config{Window: *window, MinLen: *minPhase, Threshold: *threshold}
 			return phasesCmd(stdout, tr, *model, *seed, cfg, *slack)
+		})
+	case "sendbin":
+		fs := flag.NewFlagSet("sendbin", flag.ContinueOnError)
+		addr := fs.String("addr", "http://localhost:8080", "appclassd base URL")
+		vm := fs.String("vm", "", "VM name to report (default: the trace's node)")
+		batch := fs.Int("batch", 64, "snapshots per batch frame")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		return withTrace(fs.Args(), func(tr *metrics.Trace) error {
+			return sendbinCmd(stdout, tr, *addr, *vm, *batch)
 		})
 	case "journal":
 		return journalCmd(args, stdout)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// sendbinCmd replays a trace against a live appclassd daemon over the
+// binary columnar protocol: one handshake to negotiate the metric-ID
+// table, then one batch frame per -batch snapshots. The trace schema
+// becomes the negotiated column order, so it must cover the daemon's
+// schema exactly (project the trace first if it does not).
+func sendbinCmd(w io.Writer, tr *metrics.Trace, addr, vm string, batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("sendbin: -batch must be positive, got %d", batch)
+	}
+	if tr.Len() == 0 {
+		return fmt.Errorf("sendbin: trace is empty")
+	}
+	if vm == "" {
+		vm = tr.Node()
+	}
+
+	c := wire.NewClient(addr, tr.Schema().Names(), nil)
+	ctx := context.Background()
+	if err := c.Handshake(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stream: %d  model: %x  classes: %d\n",
+		c.StreamID(), c.ModelHash(), len(c.Classes()))
+
+	tally := make(map[string]int)
+	batches := 0
+	for start := 0; start < tr.Len(); start += batch {
+		end := start + batch
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		g := wire.Group{
+			VM:    vm,
+			Times: make([]float64, 0, end-start),
+			Rows:  make([][]float64, 0, end-start),
+		}
+		for i := start; i < end; i++ {
+			snap := tr.At(i)
+			g.Times = append(g.Times, snap.Time.Seconds())
+			g.Rows = append(g.Rows, snap.Values)
+		}
+		classes, err := c.Send(ctx, []wire.Group{g})
+		if err != nil {
+			return fmt.Errorf("sendbin: batch %d: %w", batches, err)
+		}
+		for _, cl := range classes {
+			tally[cl]++
+		}
+		batches++
+	}
+
+	fmt.Fprintf(w, "sent %d snapshots in %d batches as %q\n", tr.Len(), batches, vm)
+	names := make([]string, 0, len(tally))
+	for name := range tally {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "class\tsnapshots")
+	for _, name := range names {
+		fmt.Fprintf(tw, "%s\t%d\n", name, tally[name])
+	}
+	return tw.Flush()
+}

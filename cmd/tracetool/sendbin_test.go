@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/server"
+)
+
+// startDaemon boots an appclassd HTTP server on a loopback listener,
+// serving the package's trained model.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	f, err := os.Open(trainedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cl, err := classify.Load(f)
+	if err != nil {
+		t.Fatalf("load model: %v", err)
+	}
+	srv, err := server.New(server.Config{Classifier: cl})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+func TestSendbinReplaysTrace(t *testing.T) {
+	ts := startDaemon(t)
+	path := writeProfiledTrace(t, "PostMark")
+	var out bytes.Buffer
+	err := run("sendbin", []string{"-addr", ts.URL, "-vm", "replay-1", "-batch", "16", path}, &out)
+	if err != nil {
+		t.Fatalf("sendbin: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"stream: ", "model: ", `as "replay-1"`, "class", "snapshots", "io"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sendbin output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSendbinDefaultsToTraceNode(t *testing.T) {
+	ts := startDaemon(t)
+	path := writeProfiledTrace(t, "PostMark")
+	var out bytes.Buffer
+	if err := run("sendbin", []string{"-addr", ts.URL, path}, &out); err != nil {
+		t.Fatalf("sendbin: %v", err)
+	}
+	if !strings.Contains(out.String(), `as "`) {
+		t.Errorf("sendbin should report the VM it replayed as:\n%s", out.String())
+	}
+}
+
+func TestSendbinErrors(t *testing.T) {
+	ts := startDaemon(t)
+	path := writeProfiledTrace(t, "PostMark")
+	if err := run("sendbin", []string{"-addr", ts.URL, "-batch", "0", path}, &bytes.Buffer{}); err == nil {
+		t.Error("sendbin with -batch 0 should fail")
+	}
+	if err := run("sendbin", []string{"-addr", ts.URL, "nonexistent.csv"}, &bytes.Buffer{}); err == nil {
+		t.Error("sendbin on a missing trace should fail")
+	}
+	empty := writeTestTrace(t, 0)
+	if err := run("sendbin", []string{"-addr", ts.URL, empty}, &bytes.Buffer{}); err == nil {
+		t.Error("sendbin on an empty trace should fail")
+	}
+	// A trace whose schema does not cover the daemon's is rejected at
+	// handshake time.
+	mismatched := writeTestTrace(t, 4)
+	if err := run("sendbin", []string{"-addr", ts.URL, mismatched}, &bytes.Buffer{}); err == nil {
+		t.Error("sendbin with a mismatched schema should fail")
+	}
+}

@@ -68,7 +68,8 @@ func FetchClusterStateContext(ctx context.Context, client *http.Client, url stri
 //
 // Deprecated: an in-flight fetch through this wrapper cannot be
 // cancelled and outlives its caller's shutdown; use
-// FetchClusterStateContext.
+// FetchClusterStateContext. No in-tree callers remain and this
+// wrapper is scheduled for removal in a future release.
 func FetchClusterState(client *http.Client, url string) (map[string]map[string]float64, error) {
 	return FetchClusterStateContext(context.Background(), client, url)
 }

@@ -1,6 +1,7 @@
 package ganglia
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -23,7 +24,7 @@ func newServedGmetad(t *testing.T) (*Gmetad, *httptest.Server) {
 
 func TestGmetadHTTPServesClusterState(t *testing.T) {
 	_, srv := newServedGmetad(t)
-	state, err := FetchClusterState(srv.Client(), srv.URL)
+	state, err := FetchClusterStateContext(context.Background(), srv.Client(), srv.URL)
 	if err != nil {
 		t.Fatalf("FetchClusterState: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestFetchClusterStateNilClientHasTimeout(t *testing.T) {
 	}
 	// A nil client must still reach a live gmetad through the default.
 	_, srv := newServedGmetad(t)
-	state, err := FetchClusterState(nil, srv.URL)
+	state, err := FetchClusterStateContext(context.Background(), nil, srv.URL)
 	if err != nil {
 		t.Fatalf("FetchClusterState(nil client): %v", err)
 	}
@@ -63,21 +64,21 @@ func TestFetchClusterStateNilClientHasTimeout(t *testing.T) {
 }
 
 func TestFetchClusterStateErrors(t *testing.T) {
-	if _, err := FetchClusterState(nil, "http://127.0.0.1:1/nothing-here"); err == nil {
+	if _, err := FetchClusterStateContext(context.Background(), nil, "http://127.0.0.1:1/nothing-here"); err == nil {
 		t.Error("unreachable server: want error")
 	}
 	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "boom", http.StatusInternalServerError)
 	}))
 	defer bad.Close()
-	if _, err := FetchClusterState(bad.Client(), bad.URL); err == nil {
+	if _, err := FetchClusterStateContext(context.Background(), bad.Client(), bad.URL); err == nil {
 		t.Error("500 response: want error")
 	}
 	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte("not xml"))
 	}))
 	defer garbage.Close()
-	if _, err := FetchClusterState(garbage.Client(), garbage.URL); err == nil {
+	if _, err := FetchClusterStateContext(context.Background(), garbage.Client(), garbage.URL); err == nil {
 		t.Error("garbage body: want error")
 	}
 }

@@ -56,6 +56,12 @@ type counters struct {
 	fingerprintMatches atomic.Int64 // finalized sessions whose fingerprint matched the dictionary
 	fingerprintMisses  atomic.Int64 // finalized fingerprints with no dictionary match over threshold
 
+	binHandshakes     atomic.Int64 // binary-ingest streams negotiated
+	binBatches        atomic.Int64 // binary batch frames accepted
+	binStaleStreams   atomic.Int64 // binary requests refused for a stale/retired model hash
+	binDecodeErrors   atomic.Int64 // malformed binary frames rejected
+	binStreamsExpired atomic.Int64 // binary streams dropped by the idle sweep
+
 	modelLoads      atomic.Int64 // candidate models loaded via POST /v1/models
 	modelLoadErrors atomic.Int64 // failed model loads / candidate installs
 	modelPromotes   atomic.Int64 // hot swaps performed
@@ -99,6 +105,8 @@ type durabilityGauges struct {
 type resilienceGauges struct {
 	inflightBytes    int64
 	inflightRequests int64
+	// binStreams is how many binary-ingest streams are currently open.
+	binStreams int64
 }
 
 // writeMetrics renders every counter plus the caller-supplied gauges in
@@ -148,6 +156,11 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_phase_boundaries_total", "Phase boundaries detected by the online segmenter.", c.phaseBoundaries.Load())
 	counter("appclassd_fingerprint_matches_total", "Finalized sessions whose phase fingerprint matched a dictionary entry.", c.fingerprintMatches.Load())
 	counter("appclassd_fingerprint_misses_total", "Finalized phase fingerprints with no dictionary match over the threshold.", c.fingerprintMisses.Load())
+	counter("appclassd_bin_handshakes_total", "Binary-ingest streams negotiated.", c.binHandshakes.Load())
+	counter("appclassd_bin_batches_total", "Binary-ingest batch frames accepted.", c.binBatches.Load())
+	counter("appclassd_bin_stale_streams_total", "Binary-ingest requests refused because their stream's model is no longer serving.", c.binStaleStreams.Load())
+	counter("appclassd_bin_decode_errors_total", "Malformed binary-ingest frames rejected.", c.binDecodeErrors.Load())
+	counter("appclassd_bin_streams_expired_total", "Binary-ingest streams dropped by the idle sweep.", c.binStreamsExpired.Load())
 	counter("appclassd_model_loads_total", "Candidate models loaded via the model API.", c.modelLoads.Load())
 	counter("appclassd_model_load_errors_total", "Failed model loads and candidate installs.", c.modelLoadErrors.Load())
 	counter("appclassd_model_promotes_total", "Model hot swaps performed.", c.modelPromotes.Load())
@@ -180,6 +193,7 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	fmt.Fprintf(w, "# HELP appclassd_poll_last_success_seconds Unix time of the last successful gmetad poll (-1 if never).\n# TYPE appclassd_poll_last_success_seconds gauge\nappclassd_poll_last_success_seconds %g\n", lastSuccess)
 	fmt.Fprintf(w, "# HELP appclassd_ingest_inflight_bytes Request-body bytes of ingest requests currently admitted.\n# TYPE appclassd_ingest_inflight_bytes gauge\nappclassd_ingest_inflight_bytes %d\n", rg.inflightBytes)
 	fmt.Fprintf(w, "# HELP appclassd_ingest_inflight_requests Ingest requests currently admitted.\n# TYPE appclassd_ingest_inflight_requests gauge\nappclassd_ingest_inflight_requests %d\n", rg.inflightRequests)
+	fmt.Fprintf(w, "# HELP appclassd_bin_streams_active Open binary-ingest streams.\n# TYPE appclassd_bin_streams_active gauge\nappclassd_bin_streams_active %d\n", rg.binStreams)
 	if dg != nil {
 		degraded := 0
 		if dg.degraded {

@@ -253,7 +253,7 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	replay, err := wal.Replay(j.Dir(), from, func(pos wal.Position, rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecordBatch:
-			if _, err := s.observeBatch(rec.VM, rec.Snaps, nil, false); err != nil {
+			if _, _, err := s.observeBatch(rec.VM, rec.Snaps, nil, false); err != nil {
 				rs.Errors++
 				s.cfg.Logf("server: recover: replay batch for %s at seg %d off %d: %v",
 					rec.VM, pos.Seg, pos.Off, err)

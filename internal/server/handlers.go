@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/appclass"
@@ -20,6 +22,9 @@ import (
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	if !s.cfg.DisableBinaryIngest {
+		mux.HandleFunc("POST /v1/ingest.bin", s.handleIngestBin)
+	}
 	mux.HandleFunc("GET /v1/vms", s.handleVMs)
 	mux.HandleFunc("GET /v1/vms/{name}", s.handleVM)
 	mux.HandleFunc("POST /v1/vms/{name}/finish", s.handleFinish)
@@ -50,12 +55,31 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
+// jsonEnc pairs a response buffer with an encoder permanently aimed at
+// it, so writeJSON builds responses without constructing a fresh
+// json.Encoder (and its indent state) per call.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	e := jsonEncPool.Get().(*jsonEnc)
+	defer jsonEncPool.Put(e)
+	e.buf.Reset()
+	err := e.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err == nil {
+		_, _ = w.Write(e.buf.Bytes())
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -86,6 +110,10 @@ type ingestResponse struct {
 	Accepted int            `json:"accepted"`
 	Results  []ingestResult `json:"results"`
 }
+
+// ingestResultsPool recycles the per-request results slice of
+// handleIngest; entries are fully overwritten before use.
+var ingestResultsPool = sync.Pool{New: func() any { return new([]ingestResult) }}
 
 // maxIngestBody caps one ingest request's body; it doubles as the
 // admission-control reservation for requests that do not declare a
@@ -193,9 +221,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		groups[vm] = append(groups[vm], i)
 	}
 
-	results := make([]ingestResult, len(batch))
+	rp := ingestResultsPool.Get().(*[]ingestResult)
+	if cap(*rp) < len(batch) {
+		*rp = make([]ingestResult, len(batch))
+	}
+	results := (*rp)[:len(batch)]
+	// The pooled slice goes back only after writeJSON has serialized it
+	// into the response buffer; the deferred put below runs after every
+	// return path, including the final success write.
+	defer func() {
+		*rp = results[:0]
+		ingestResultsPool.Put(rp)
+	}()
 	var snaps []metrics.Snapshot
 	var classes []appclass.Class
+	var durable int64
 	for gi, vm := range order {
 		if !deadline.IsZero() && s.now().After(deadline) {
 			s.counters.deadlineExceeded.Add(1)
@@ -214,14 +254,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			snaps = append(snaps, batch[i])
 		}
 		var err error
-		classes, err = s.observeBatch(vm, snaps, classes, true)
+		var token int64
+		classes, token, err = s.observeBatch(vm, snaps, classes, true)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "classify %s: %v", vm, err)
 			return
 		}
+		if token > durable {
+			durable = token
+		}
 		for g, i := range idxs {
 			results[i] = ingestResult{VM: vm, Class: string(classes[g])}
 		}
+	}
+	// One durability wait covers every group's journal record: under
+	// group commit the appends above coalesce behind a shared fsync.
+	if err := s.waitJournalDurable(durable); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(results), Results: results})
 }
@@ -580,6 +630,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	}
 	var rg resilienceGauges
 	rg.inflightBytes, rg.inflightRequests = s.admit.inflight()
+	rg.binStreams = int64(s.binStreams.len())
 	mg := modelGauges{
 		activeID:      s.ActiveModelID(),
 		swapLastNanos: s.counters.swapLastNanos.Load(),

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -57,10 +56,20 @@ func newRegistry(n int) *registry {
 	return r
 }
 
+// shardIndex is FNV-1a over the VM name, inlined so the per-ingest
+// shard lookup never allocates (hash/fnv's interface-shaped hasher
+// escapes to the heap).
 func (r *registry) shardIndex(vm string) int {
-	h := fnv.New32a()
-	h.Write([]byte(vm))
-	return int(h.Sum32() % uint32(len(r.shards)))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(vm); i++ {
+		h ^= uint32(vm[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(r.shards)))
 }
 
 func (r *registry) shardFor(vm string) *shard {

@@ -132,6 +132,10 @@ type Config struct {
 	// RetrainMinRows is the minimum retained sample rows a class needs to
 	// participate in a retrain. Zero means modelreg's default.
 	RetrainMinRows int
+	// DisableBinaryIngest removes POST /v1/ingest.bin from the API. The
+	// binary columnar fast path is on by default; disabling it leaves
+	// JSON as the only ingest format.
+	DisableBinaryIngest bool
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
 	// exposes goroutine stacks and heap contents, so it is opt-in
@@ -187,6 +191,11 @@ type Server struct {
 	// is failing.
 	admit    admission
 	degraded degradedState
+
+	// binStreams holds the negotiated binary-ingest streams, and
+	// binScratch recycles the binary handler's per-request workspace.
+	binStreams binRegistry
+	binScratch sync.Pool
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -255,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 		b := make([]float64, cfg.Schema.Len())
 		return &b
 	}
+	s.binScratch.New = func() any { return &binScratch{} }
 	if cfg.Placement != nil {
 		cfg.Placement.SetLive(s.liveComposition)
 	}
@@ -420,6 +430,9 @@ func (s *Server) StartJanitor() {
 // returns the number of sessions evicted.
 func (s *Server) EvictIdle() int {
 	deadline := s.now().Add(-s.cfg.IdleTTL)
+	if n := s.binStreams.expire(deadline.UnixNano()); n > 0 {
+		s.counters.binStreamsExpired.Add(int64(n))
+	}
 	evicted := 0
 	for _, sess := range s.reg.all() {
 		sess.mu.Lock()
@@ -614,11 +627,37 @@ func phaseBoundaries(phases int) int {
 // creating the session on first contact. It retries when it races a
 // concurrent eviction of the same VM.
 func (s *Server) observe(vm string, at time.Duration, values []float64) (string, error) {
-	classes, err := s.observeBatch(vm, []metrics.Snapshot{{Time: at, Node: vm, Values: values}}, nil, true)
+	classes, durable, err := s.observeBatch(vm, []metrics.Snapshot{{Time: at, Node: vm, Values: values}}, nil, true)
 	if err != nil {
 		return "", err
 	}
+	if err := s.waitJournalDurable(durable); err != nil {
+		return "", err
+	}
 	return string(classes[0]), nil
+}
+
+// waitJournalDurable blocks until the journal's group-commit fsync
+// covers token (the durability token observeBatch returned); callers
+// making several observeBatch calls per request wait once on the
+// largest token before acknowledging. An fsync failure follows the
+// same policy as a failed append: fatal to the request, unless
+// DegradeOnWALError trades durability for liveness.
+func (s *Server) waitJournalDurable(token int64) error {
+	if token == 0 || s.cfg.Journal == nil {
+		return nil
+	}
+	err := s.cfg.Journal.WaitDurable(token)
+	if err == nil {
+		return nil
+	}
+	s.counters.journalErrors.Add(1)
+	if s.cfg.DegradeOnWALError {
+		s.enterDegraded(err)
+		return nil
+	}
+	s.counters.ingestErrors.Add(1)
+	return fmt.Errorf("server: journal fsync: %w", err)
 }
 
 // observeBatch routes a VM's whole snapshot group into its session
@@ -628,10 +667,13 @@ func (s *Server) observe(vm string, at time.Duration, values []float64) (string,
 // concurrent eviction of the same VM. journal selects write-ahead
 // durability: live ingest journals the batch before classifying it (so
 // a crash replays it), the recovery path passes false because its
-// records come from the journal.
-func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []appclass.Class, journal bool) ([]appclass.Class, error) {
+// records come from the journal. The returned token is the batch's
+// group-commit durability token: the caller must pass it (or the
+// largest token of a multi-batch request) to waitJournalDurable before
+// acknowledging; zero means no wait is due.
+func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []appclass.Class, journal bool) ([]appclass.Class, int64, error) {
 	if len(snaps) == 0 {
-		return classes[:0], nil
+		return classes[:0], 0, nil
 	}
 	journal = journal && s.cfg.Journal != nil
 	probing := false
@@ -645,6 +687,7 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 			journal = false
 		}
 	}
+	var durable int64
 	for attempt := 0; attempt < 3; attempt++ {
 		sess, created, err := s.reg.getOrCreate(vm, func() (*session, error) {
 			am := s.active.Load()
@@ -656,7 +699,7 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 			return &session{vm: vm, online: online, lastSeen: s.now(), model: am.model.ID}, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if created {
 			s.cfg.Logf("server: new session for %s", vm)
@@ -691,17 +734,21 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 			// classified, so the journal is never behind the session state —
 			// unless DegradeOnWALError trades that guarantee for liveness,
 			// in which case the batch is classified memory-only and the
-			// daemon drops into explicit degraded mode.
-			if _, err := s.cfg.Journal.AppendBatch(vm, snaps); err != nil {
+			// daemon drops into explicit degraded mode. Under group commit
+			// only the write happens here; the fsync wait is deferred to
+			// the caller's waitJournalDurable so a multi-group request
+			// pays one durability wait, not one per VM group.
+			if _, token, err := s.cfg.Journal.AppendBatchDeferred(vm, snaps); err != nil {
 				s.counters.journalErrors.Add(1)
 				if !s.cfg.DegradeOnWALError {
 					sess.mu.Unlock()
 					s.ckptMu.RUnlock()
 					s.counters.ingestErrors.Add(1)
-					return nil, fmt.Errorf("server: journal batch for %s: %w", vm, err)
+					return nil, 0, fmt.Errorf("server: journal batch for %s: %w", vm, err)
 				}
 				s.enterDegraded(err)
 			} else {
+				durable = token
 				s.counters.journalRecords.Add(1)
 				if probing {
 					s.exitDegraded()
@@ -728,7 +775,7 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		}
 		if err != nil {
 			s.counters.ingestErrors.Add(1)
-			return nil, err
+			return nil, 0, err
 		}
 		s.counters.ingested.Add(int64(len(out)))
 		for _, class := range out {
@@ -740,7 +787,7 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		if se := s.shadow.Load(); se != nil {
 			se.observe(snaps, out, newUnknown)
 		}
-		return out, nil
+		return out, durable, nil
 	}
-	return nil, fmt.Errorf("server: session for %q kept being evicted mid-ingest", vm)
+	return nil, 0, fmt.Errorf("server: session for %q kept being evicted mid-ingest", vm)
 }

@@ -99,6 +99,20 @@ type Config struct {
 	Fsync Policy
 	// FsyncEvery is the FsyncInterval cadence. Zero means 1 second.
 	FsyncEvery time.Duration
+	// GroupCommit coalesces FsyncAlways appends: concurrently arriving
+	// batches share one fsync — the first appender past the write
+	// becomes the leader and syncs, followers block until the durable
+	// append count covers their record — so durability stops
+	// serializing throughput under concurrency while every acknowledged
+	// record is still on stable storage before its append returns.
+	// Ignored under other policies.
+	GroupCommit bool
+	// GroupCommitWindow makes the group-commit leader wait this long
+	// before syncing, widening the coalescing window at the price of
+	// that much added append latency. Zero means the leader syncs
+	// immediately (followers that arrive during the in-flight fsync
+	// still coalesce into the next one).
+	GroupCommitWindow time.Duration
 	// Now supplies wall-clock time; tests inject fake clocks. Nil means
 	// time.Now.
 	Now func() time.Time
@@ -163,7 +177,11 @@ type Journal struct {
 	closed []closedSegment
 	buf    []byte // reused record encode buffer
 	dirty  bool   // unsynced bytes in the active segment
-	stats  Stats
+	// syncedThrough is the append count covered by the last successful
+	// sync. Closed segments are always synced before close, so one
+	// successful syncLocked makes every append so far durable.
+	syncedThrough int64
+	stats         Stats
 	done   bool
 	// failed poisons the journal: set when a segment write failed and a
 	// fresh segment could not be opened, so the file offset may no longer
@@ -177,6 +195,18 @@ type Journal struct {
 	retainSet bool
 	// modelHash is stamped into every segment header (see SetModelHash).
 	modelHash [modelHashSize]byte
+
+	// gc is the group-commit ticket state (see waitDurable): durable is
+	// the append count known to be on stable storage, syncing marks the
+	// in-flight leader. Guarded by gc.mu, never held together with j.mu
+	// — the leader drops gc.mu before taking j.mu to sync, so appends
+	// keep flowing (and coalescing) while the fsync is in flight.
+	gc struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		syncing bool
+		durable int64
+	}
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -215,6 +245,7 @@ func Open(cfg Config) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{cfg: cfg, stopc: make(chan struct{})}
+	j.gc.cond = sync.NewCond(&j.gc.mu)
 	next := uint64(1)
 	for _, s := range segs {
 		j.closed = append(j.closed, s)
@@ -359,6 +390,38 @@ func (j *Journal) AppendBatch(vm string, snaps []metrics.Snapshot) (Position, er
 	})
 }
 
+// AppendBatchDeferred is AppendBatch for callers that make several
+// appends per acknowledgement: the record is written (and any write
+// error surfaces immediately), but under group commit the durability
+// wait is deferred — the returned token must be passed to WaitDurable
+// before the batch is acknowledged. Tokens are monotone, so a caller
+// appending many records waits once on the largest. A zero token needs
+// no wait (the record is already as durable as the policy promises).
+func (j *Journal) AppendBatchDeferred(vm string, snaps []metrics.Snapshot) (Position, int64, error) {
+	j.mu.Lock()
+	pos, target, grouped, err := j.appendLocked(func(buf []byte) ([]byte, error) {
+		return appendBatchPayload(buf, vm, snaps)
+	})
+	j.mu.Unlock()
+	if err != nil {
+		return Position{}, 0, err
+	}
+	if !grouped {
+		return pos, 0, nil
+	}
+	return pos, target, nil
+}
+
+// WaitDurable blocks until every record appended at or before token
+// (from AppendBatchDeferred) is on stable storage. Zero tokens return
+// immediately.
+func (j *Journal) WaitDurable(token int64) error {
+	if token == 0 {
+		return nil
+	}
+	return j.waitDurable(token)
+}
+
 // AppendFinalize appends a finalize marker for vm: replay stops feeding
 // the VM's session and finalizes it instead.
 func (j *Journal) AppendFinalize(vm string) (Position, error) {
@@ -367,26 +430,43 @@ func (j *Journal) AppendFinalize(vm string) (Position, error) {
 	})
 }
 
-// append frames and writes one record payload produced by encode.
+// append frames and writes one record payload produced by encode. With
+// group commit on, the write happens under j.mu but the fsync wait
+// happens outside it, so concurrent appenders stack their records
+// behind one fsync instead of each paying their own.
 func (j *Journal) append(encode func([]byte) ([]byte, error)) (Position, error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	pos, target, grouped, err := j.appendLocked(encode)
+	j.mu.Unlock()
+	if err != nil || !grouped {
+		return pos, err
+	}
+	if err := j.waitDurable(target); err != nil {
+		return Position{}, err
+	}
+	return pos, nil
+}
+
+// appendLocked does the encode + write under j.mu. grouped reports
+// that the record still needs a group-commit fsync covering append
+// count target before it may be acknowledged. Caller holds j.mu.
+func (j *Journal) appendLocked(encode func([]byte) ([]byte, error)) (pos Position, target int64, grouped bool, err error) {
 	if j.done {
-		return Position{}, fmt.Errorf("wal: journal is closed")
+		return Position{}, 0, false, fmt.Errorf("wal: journal is closed")
 	}
 	if j.failed != nil {
-		return Position{}, j.failed
+		return Position{}, 0, false, j.failed
 	}
 	// Frame placeholder first so payload bytes land at their final
 	// offset in the shared buffer and one Write emits the whole record.
 	buf := append(j.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
-	buf, err := encode(buf)
+	buf, err = encode(buf)
 	if err != nil {
-		return Position{}, err
+		return Position{}, 0, false, err
 	}
 	payload := buf[frameSize:]
 	if len(payload) > maxPayload {
-		return Position{}, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
+		return Position{}, 0, false, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
 	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
@@ -403,23 +483,116 @@ func (j *Journal) append(encode func([]byte) ([]byte, error)) (Position, error) 
 			j.failed = fmt.Errorf("wal: journal poisoned by failed append to segment %d: %w", j.seq, aerr)
 			j.cfg.Logf("%v", j.failed)
 		}
-		return Position{}, fmt.Errorf("wal: append to segment %d: %w", j.seq, err)
+		return Position{}, 0, false, fmt.Errorf("wal: append to segment %d: %w", j.seq, err)
 	}
 	j.size += int64(len(buf))
 	j.dirty = true
 	j.stats.Appends++
 	if j.cfg.Fsync == FsyncAlways {
-		if err := j.syncLocked(); err != nil {
-			return Position{}, err
+		if j.cfg.GroupCommit {
+			// The fsync is deferred to waitDurable, outside j.mu: the
+			// record must not be acknowledged until the durable append
+			// count reaches what it is now.
+			grouped, target = true, j.stats.Appends
+		} else if err := j.syncLocked(); err != nil {
+			return Position{}, 0, false, err
 		}
 	}
-	pos := Position{Seg: j.seq, Off: j.size}
+	pos = Position{Seg: j.seq, Off: j.size}
 	if j.size >= j.cfg.SegmentBytes {
+		// Rotation syncs the outgoing segment before closing it, so a
+		// grouped record that triggers rotation is already durable; the
+		// later waitDurable no-ops via the dirty check.
 		if err := j.rotateLocked(); err != nil {
-			return Position{}, err
+			return Position{}, 0, false, err
 		}
 	}
-	return pos, nil
+	return pos, target, grouped, nil
+}
+
+// waitDurable blocks until the journal's durable append count covers
+// target, electing the calling goroutine fsync leader if nobody is
+// syncing: the leader optionally sleeps the commit window, captures
+// the segment file and append count under j.mu, then fsyncs OUTSIDE
+// both locks — so appends keep flowing into the segment while the disk
+// works, stacking behind the next fsync instead of each paying their
+// own. A follower whose leader failed self-elects and surfaces its own
+// error, matching non-grouped FsyncAlways semantics.
+func (j *Journal) waitDurable(target int64) error {
+	gc := &j.gc
+	gc.mu.Lock()
+	for {
+		if gc.durable >= target {
+			gc.mu.Unlock()
+			return nil
+		}
+		if !gc.syncing {
+			break
+		}
+		gc.cond.Wait()
+	}
+	gc.syncing = true
+	gc.mu.Unlock()
+
+	if w := j.cfg.GroupCommitWindow; w > 0 {
+		time.Sleep(w)
+	}
+
+	j.mu.Lock()
+	var (
+		synced int64
+		seq    uint64
+		f      SegmentFile
+		err    error
+	)
+	switch {
+	case j.done:
+		err = fmt.Errorf("wal: journal is closed")
+	case j.failed != nil:
+		err = j.failed
+	case !j.dirty:
+		// Nothing unsynced anywhere (rotation syncs outgoing segments
+		// before closing them), so every append so far is durable.
+		synced = j.stats.Appends
+		j.syncedThrough = synced
+	default:
+		synced, seq, f = j.stats.Appends, j.seq, j.f
+	}
+	j.mu.Unlock()
+
+	if f != nil {
+		serr := f.Sync()
+		j.mu.Lock()
+		switch {
+		case serr == nil:
+			j.stats.Syncs++
+			j.stats.LastSync = j.cfg.Now()
+			if synced > j.syncedThrough {
+				j.syncedThrough = synced
+			}
+			// Appends that landed while the fsync was in flight are not
+			// covered; the segment stays dirty for the next leader.
+			if j.seq == seq && j.stats.Appends == synced {
+				j.dirty = false
+			}
+		case j.syncedThrough >= synced:
+			// The segment rotated away mid-fsync and its close raced our
+			// Sync; the rotation's own sync already covered every record
+			// in this group, so the error is moot.
+		default:
+			err = fmt.Errorf("wal: fsync segment %d: %w", seq, serr)
+		}
+		j.mu.Unlock()
+	}
+
+	gc.mu.Lock()
+	gc.syncing = false
+	if err == nil && synced > gc.durable {
+		gc.durable = synced
+	}
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	return err
 }
 
 // abandonSegmentLocked retires an active segment whose tail is suspect
@@ -467,6 +640,7 @@ func (j *Journal) syncLocked() error {
 		return fmt.Errorf("wal: fsync segment %d: %w", j.seq, err)
 	}
 	j.dirty = false
+	j.syncedThrough = j.stats.Appends
 	j.stats.Syncs++
 	j.stats.LastSync = j.cfg.Now()
 	return nil

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func frame(payload []byte) []byte {
+	buf, start := BeginFrame(nil)
+	buf = append(buf, payload...)
+	return EndFrame(buf, start)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	buf, start := BeginFrame(nil)
+	buf = append(buf, 0xAB, 0xCD, 0xEF)
+	buf = EndFrame(buf, start)
+	payload, rest, err := NextFrame(buf)
+	if err != nil {
+		t.Fatalf("NextFrame: %v", err)
+	}
+	if !bytes.Equal(payload, []byte{0xAB, 0xCD, 0xEF}) {
+		t.Errorf("payload = %x", payload)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes", len(rest))
+	}
+	// Two frames back to back.
+	buf = append(buf, frame([]byte{1, 2})...)
+	p1, rest, err := NextFrame(buf)
+	if err != nil || len(p1) != 3 {
+		t.Fatalf("frame 1: %v %x", err, p1)
+	}
+	p2, rest, err := NextFrame(rest)
+	if err != nil || !bytes.Equal(p2, []byte{1, 2}) || len(rest) != 0 {
+		t.Fatalf("frame 2: %v %x rest=%d", err, p2, len(rest))
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	good := frame([]byte{9, 9, 9, 9})
+	cases := map[string][]byte{
+		"truncated header":  good[:5],
+		"truncated payload": good[:len(good)-1],
+		"flipped payload":   append(append([]byte{}, good[:8]...), 9, 9, 8, 9),
+		"flipped crc":       append([]byte{good[0], good[1], good[2], good[3], ^good[4]}, good[5:]...),
+		"zero length":       {0, 0, 0, 0, 0, 0, 0, 0},
+		"huge length":       {0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0},
+	}
+	for name, buf := range cases {
+		if _, _, err := NextFrame(buf); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Version: Version, Metrics: []string{"cpu_user", "cpu_system", "bytes_in"}}
+	h.ModelHash[0], h.ModelHash[31] = 0xAA, 0xBB
+	got, err := ParseHello(AppendHello(nil, h))
+	if err != nil {
+		t.Fatalf("ParseHello: %v", err)
+	}
+	if got.Version != h.Version || got.ModelHash != h.ModelHash {
+		t.Errorf("hello header mismatch: %+v", got)
+	}
+	if len(got.Metrics) != 3 || got.Metrics[0] != "cpu_user" || got.Metrics[2] != "bytes_in" {
+		t.Errorf("metrics = %v", got.Metrics)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	a := HelloAck{Version: Version, StreamID: 42, Classes: []string{"idle", "io", "cpu", "network", "memory", "unknown"}}
+	a.ModelHash[7] = 0x77
+	got, err := ParseHelloAck(AppendHelloAck(nil, a))
+	if err != nil {
+		t.Fatalf("ParseHelloAck: %v", err)
+	}
+	if got.StreamID != 42 || got.ModelHash != a.ModelHash || len(got.Classes) != 6 || got.Classes[5] != "unknown" {
+		t.Errorf("ack = %+v", got)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	const cols = 4
+	groups := []Group{
+		{VM: "vm-a", Times: []float64{1.5, 2.5}, Rows: [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}}},
+		{VM: "vm-b", Times: []float64{9}, Rows: [][]float64{{-1, 0.5, math.MaxFloat64, 1e-300}}},
+	}
+	p, err := AppendBatch(nil, 7, cols, groups)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if id, err := PeekStreamID(p); err != nil || id != 7 {
+		t.Fatalf("PeekStreamID = %d, %v", id, err)
+	}
+	v, err := ParseBatchHeader(p, cols)
+	if err != nil {
+		t.Fatalf("ParseBatchHeader: %v", err)
+	}
+	if v.StreamID != 7 || v.Groups() != 2 {
+		t.Fatalf("header: stream %d, %d groups", v.StreamID, v.Groups())
+	}
+	for gi, want := range groups {
+		g, err := v.Next()
+		if err != nil {
+			t.Fatalf("group %d: %v", gi, err)
+		}
+		if string(g.VM) != want.VM || g.Rows != len(want.Rows) {
+			t.Fatalf("group %d: vm=%s rows=%d", gi, g.VM, g.Rows)
+		}
+		for r := range want.Rows {
+			if got := g.TimeSeconds(r); got != want.Times[r] {
+				t.Errorf("group %d row %d time = %v, want %v", gi, r, got, want.Times[r])
+			}
+			for c := 0; c < cols; c++ {
+				if got := g.Value(c, r); got != want.Rows[r][c] {
+					t.Errorf("group %d row %d col %d = %v, want %v", gi, r, c, got, want.Rows[r][c])
+				}
+			}
+		}
+	}
+	if _, err := v.Next(); err == nil {
+		t.Error("Next past the last group: no error")
+	}
+}
+
+func TestBatchMalformed(t *testing.T) {
+	good, err := AppendBatch(nil, 1, 2, []Group{{VM: "vm", Times: []float64{1}, Rows: [][]float64{{1, 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations anywhere in the body must error, never panic.
+	for cut := 1; cut < len(good); cut++ {
+		v, err := ParseBatchHeader(good[:cut], 2)
+		if err != nil {
+			continue
+		}
+		for i := 0; i < v.Groups(); i++ {
+			if _, err := v.Next(); err != nil {
+				break
+			}
+		}
+	}
+	// Wrong column count shifts the layout; the length check catches it.
+	v, err := ParseBatchHeader(good, 5)
+	if err == nil {
+		if _, err := v.Next(); err == nil {
+			t.Error("mismatched column count decoded cleanly")
+		}
+	}
+	// Encoder-side validation.
+	if _, err := AppendBatch(nil, 1, 2, nil); err == nil {
+		t.Error("empty batch encoded")
+	}
+	if _, err := AppendBatch(nil, 1, 2, []Group{{VM: "", Times: []float64{1}, Rows: [][]float64{{1, 2}}}}); err == nil {
+		t.Error("empty vm encoded")
+	}
+	if _, err := AppendBatch(nil, 1, 2, []Group{{VM: "vm", Times: []float64{1}, Rows: [][]float64{{1}}}}); err == nil {
+		t.Error("short row encoded")
+	}
+	if _, err := AppendBatch(nil, 1, 2, []Group{{VM: "vm", Times: []float64{1, 2}, Rows: [][]float64{{1, 2}}}}); err == nil {
+		t.Error("times/rows mismatch encoded")
+	}
+}
+
+func TestBatchAckRoundTrip(t *testing.T) {
+	ids, err := ParseBatchAck(AppendBatchAck(nil, []byte{0, 2, 5, 2}))
+	if err != nil {
+		t.Fatalf("ParseBatchAck: %v", err)
+	}
+	if !bytes.Equal(ids, []byte{0, 2, 5, 2}) {
+		t.Errorf("ids = %v", ids)
+	}
+	if _, err := ParseBatchAck([]byte{byte(FrameBatchAck), 9, 0, 0, 0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	e := ErrorFrame{Code: 409, Message: "stale model"}
+	e.ModelHash[3] = 0x33
+	got, err := ParseError(AppendError(nil, e))
+	if err != nil {
+		t.Fatalf("ParseError: %v", err)
+	}
+	if got.Code != 409 || got.ModelHash != e.ModelHash || got.Message != "stale model" {
+		t.Errorf("error frame = %+v", got)
+	}
+	// Over-long messages truncate rather than fail.
+	long := ErrorFrame{Code: 500, Message: strings.Repeat("x", MaxMetricName+100)}
+	got, err = ParseError(AppendError(nil, long))
+	if err != nil {
+		t.Fatalf("long message: %v", err)
+	}
+	if len(got.Message) != MaxMetricName {
+		t.Errorf("message length = %d, want %d", len(got.Message), MaxMetricName)
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at every decoder: truncated
+// frames, corrupt CRCs, hostile lengths, NaN/Inf columns. The only
+// acceptable outcomes are a clean parse or an error — never a panic.
+func FuzzWireDecode(f *testing.F) {
+	f.Add(frame(AppendHello(nil, Hello{Version: Version, Metrics: []string{"m1", "m2"}})))
+	f.Add(frame(AppendHelloAck(nil, HelloAck{Version: Version, StreamID: 3, Classes: []string{"cpu"}})))
+	if b, err := AppendBatch(nil, 9, 2, []Group{{VM: "vm", Times: []float64{math.NaN()}, Rows: [][]float64{{math.Inf(1), -1}}}}); err == nil {
+		f.Add(frame(b))
+	}
+	f.Add(frame(AppendBatchAck(nil, []byte{1, 2, 3})))
+	f.Add(frame(AppendError(nil, ErrorFrame{Code: 400, Message: "bad"})))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := data
+		for i := 0; i < 64; i++ {
+			payload, rest, err := NextFrame(buf)
+			if err != nil || payload == nil {
+				break
+			}
+			_, _ = ParseHello(payload)
+			_, _ = ParseHelloAck(payload)
+			_, _ = ParseBatchAck(payload)
+			_, _ = ParseError(payload)
+			_, _ = PeekStreamID(payload)
+			for _, cols := range []int{1, 2, 33} {
+				v, err := ParseBatchHeader(payload, cols)
+				if err != nil {
+					continue
+				}
+				for g := 0; g < v.Groups(); g++ {
+					gv, err := v.Next()
+					if err != nil {
+						break
+					}
+					for r := 0; r < gv.Rows; r++ {
+						_ = gv.TimeSeconds(r)
+						for c := 0; c < cols; c++ {
+							_ = gv.Value(c, r)
+						}
+					}
+				}
+			}
+			buf = rest
+		}
+	})
+}
