@@ -4,8 +4,10 @@
 // Snapshots arrive over the push API (POST /v1/ingest) or by polling a
 // gmetad aggregator (-gmetad); per-VM state and cluster-wide class
 // counts are served from /v1/vms and /v1/classes; sessions are
-// finalized into an application-database file on explicit finish,
-// idle-TTL expiry, or shutdown.
+// finalized into the application-database store (-db, a log-structured
+// segment directory; legacy JSON files are converted in place) on
+// explicit finish, idle-TTL expiry, or shutdown. With -dashboard the
+// daemon serves an embedded control-plane dashboard at /dashboard/.
 //
 // With -hosts the daemon also runs the class-aware placement service:
 // POST /v1/placements assigns applications to hosts using live
@@ -20,9 +22,10 @@
 //
 // Usage:
 //
-//	appclassd -addr :8080 -db appdb.json
+//	appclassd -addr :8080 -db appdb -dashboard
 //	appclassd -model model.json -gmetad http://gmetad:8651/ -poll 5s
-//	appclassd -db appdb.json -hosts hostA:4,hostB:4 -rates 10,8,6,4,1
+//	appclassd -db appdb -appdb-max-bytes 1073741824 -appdb-retain 720h
+//	appclassd -db appdb -hosts hostA:4,hostB:4 -rates 10,8,6,4,1
 //	appclassd -journal-dir /var/lib/appclassd/journal -fsync interval -checkpoint-every 30s
 package main
 
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/appdb"
+	"repro/internal/appstore"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -65,6 +69,10 @@ type config struct {
 	drift  float64
 	pprof  bool
 	binary bool
+
+	dashboard     bool
+	appdbMaxBytes int64
+	appdbRetain   time.Duration
 
 	journalDir      string
 	fsync           string
@@ -102,7 +110,7 @@ func parseFlags(args []string) (config, error) {
 	var cfg config
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&cfg.model, "model", "", "load a trained classifier from this JSON file instead of training")
-	fs.StringVar(&cfg.dbPath, "db", "", "application database JSON file (loaded if present, saved on shutdown)")
+	fs.StringVar(&cfg.dbPath, "db", "", "application database store directory (a legacy JSON database file at the path is converted in place)")
 	fs.StringVar(&cfg.gmetad, "gmetad", "", "poll this gmetad URL for cluster state (pull mode)")
 	fs.DurationVar(&cfg.poll, "poll", 5*time.Second, "gmetad poll interval")
 	fs.DurationVar(&cfg.ttl, "ttl", 5*time.Minute, "idle session TTL before eviction to the database")
@@ -114,6 +122,9 @@ func parseFlags(args []string) (config, error) {
 	fs.Float64Var(&cfg.drift, "drift", 0, "migration-advisor drift threshold in [0,1] (default 0.25)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	fs.BoolVar(&cfg.binary, "ingest-binary", true, "serve the binary columnar ingest fast path at POST /v1/ingest.bin")
+	fs.BoolVar(&cfg.dashboard, "dashboard", false, "serve the embedded control-plane dashboard at /dashboard/")
+	fs.Int64Var(&cfg.appdbMaxBytes, "appdb-max-bytes", 0, "cap the application-database store at this total segment size, pruning the oldest runs (default unlimited)")
+	fs.DurationVar(&cfg.appdbRetain, "appdb-retain", 0, "drop application-database runs finalized longer ago than this (default keep forever)")
 	fs.StringVar(&cfg.journalDir, "journal-dir", "", "write-ahead journal directory (enables durable ingest and crash recovery)")
 	fs.StringVar(&cfg.fsync, "fsync", "interval", "journal fsync policy: always, interval, or never")
 	fs.DurationVar(&cfg.fsyncInterval, "fsync-interval", time.Second, "fsync cadence for -fsync interval")
@@ -148,6 +159,21 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.hosts == "" && cfg.rates != "" {
 		return config{}, fmt.Errorf("-rates requires -hosts")
+	}
+	if cfg.dbPath == "" {
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "appdb-max-bytes", "appdb-retain":
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return config{}, fmt.Errorf("%s require(s) -db", strings.Join(set, ", "))
+		}
+	}
+	if cfg.appdbMaxBytes < 0 || cfg.appdbRetain < 0 {
+		return config{}, fmt.Errorf("-appdb-max-bytes and -appdb-retain must be non-negative")
 	}
 	if _, err := wal.ParsePolicy(cfg.fsync); err != nil {
 		return config{}, err
@@ -272,13 +298,19 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 
 	db := appdb.New()
 	if cfg.dbPath != "" {
-		if _, err := os.Stat(cfg.dbPath); err == nil {
-			db, err = appdb.LoadFile(cfg.dbPath)
-			if err != nil {
-				return err
-			}
-			log.Printf("appclassd: loaded %d record(s) from %s", db.Len(), cfg.dbPath)
+		// -db opens the log-structured segmented store; a legacy JSON
+		// database file at the path is converted in place on first open.
+		var err error
+		db, err = appdb.Open(cfg.dbPath, appstore.Options{
+			MaxBytes:  cfg.appdbMaxBytes,
+			RetainAge: cfg.appdbRetain,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			return err
 		}
+		defer db.Close()
+		log.Printf("appclassd: application database at %s (%d record(s))", cfg.dbPath, db.Len())
 	}
 
 	var placer *placement.Service
@@ -340,6 +372,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		SweepInterval:       cfg.sweep,
 		Shards:              cfg.shards,
 		Placement:           placer,
+		Dashboard:           cfg.dashboard,
 		EnablePprof:         cfg.pprof,
 		DisableBinaryIngest: !cfg.binary,
 		Journal:             journal,
@@ -427,10 +460,12 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		return err
 	}
 	if cfg.dbPath != "" {
-		if err := db.SaveFile(cfg.dbPath); err != nil {
+		// Every finalize already hit the segment log; closing just syncs
+		// the active segment (the deferred Close is then a no-op).
+		if err := db.Close(); err != nil {
 			return err
 		}
-		log.Printf("appclassd: saved %d record(s) to %s", db.Len(), cfg.dbPath)
+		log.Printf("appclassd: application database closed with %d record(s)", db.Len())
 	}
 	return nil
 }

@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/appclass"
 	"repro/internal/appdb"
+	"repro/internal/appstore"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -39,6 +41,26 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"stray"}); err == nil {
 		t.Error("positional argument: want error")
+	}
+}
+
+func TestParseAppdbFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-db", "appdb", "-dashboard", "-appdb-max-bytes", "1048576", "-appdb-retain", "720h"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !cfg.dashboard || cfg.appdbMaxBytes != 1<<20 || cfg.appdbRetain != 720*time.Hour {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	for _, args := range [][]string{
+		{"-appdb-max-bytes", "1048576"},
+		{"-appdb-retain", "720h"},
+		{"-db", "appdb", "-appdb-max-bytes", "-1"},
+		{"-db", "appdb", "-appdb-retain", "-1h"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%v: want error", args)
+		}
 	}
 }
 
@@ -87,9 +109,9 @@ func savedModel(t *testing.T) string {
 
 // TestRunStartupShutdown boots the daemon on an ephemeral port from a
 // pre-trained model, ingests one snapshot, shuts down via context
-// cancellation, and expects the flushed session in the database file.
+// cancellation, and expects the flushed session in the database store.
 func TestRunStartupShutdown(t *testing.T) {
-	dbPath := filepath.Join(t.TempDir(), "db.json")
+	dbPath := filepath.Join(t.TempDir(), "appdb")
 	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-model", savedModel(t), "-db", dbPath})
 	if err != nil {
 		t.Fatal(err)
@@ -145,12 +167,164 @@ func TestRunStartupShutdown(t *testing.T) {
 		t.Fatal("daemon never shut down")
 	}
 
-	db, err := appdb.LoadFile(dbPath)
+	db, err := appdb.Open(dbPath, appstore.Options{})
 	if err != nil {
 		t.Fatalf("db not written on shutdown: %v", err)
 	}
-	if _, err := db.Latest("smoke-vm"); err != nil {
-		t.Errorf("flushed session missing from db: %v", err)
+	defer db.Close()
+	rec, err := db.Latest("smoke-vm")
+	if err != nil {
+		t.Fatalf("flushed session missing from db: %v", err)
+	}
+	if rec.FinalizedAt == 0 {
+		t.Error("flushed session has no finalize stamp")
+	}
+}
+
+// TestRunLegacyDBMigration points -db at a legacy whole-file JSON
+// database and expects the daemon to convert it in place and keep its
+// records queryable.
+func TestRunLegacyDBMigration(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "appdb.json")
+	legacy := appdb.New()
+	if err := legacy.Put(appdb.Record{
+		App:           "historic",
+		Class:         appclass.CPU,
+		Composition:   map[appclass.Class]float64{appclass.CPU: 1},
+		ExecutionTime: time.Minute,
+		Samples:       12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.SaveFile(dbPath); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-model", savedModel(t), "-db", dbPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/runs?app=historic")
+	if err != nil {
+		t.Fatalf("runs: %v", err)
+	}
+	var runs struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || runs.Count != 1 {
+		t.Fatalf("migrated record not served: status %d count %d", resp.StatusCode, runs.Count)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}
+
+// TestRunDashboard boots the daemon with -dashboard, finalizes one
+// session, and fetches the dashboard page plus the paginated run query
+// it is built on — the smoke path CI exercises.
+func TestRunDashboard(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-model", savedModel(t),
+		"-db", filepath.Join(t.TempDir(), "appdb"), "-dashboard",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	body, _ := json.Marshal(map[string]any{"snapshots": []any{map[string]any{
+		"vm":     "dash-vm",
+		"time_s": 0,
+		"values": make([]float64, metrics.DefaultSchema().Len()),
+	}}})
+	resp, err := http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/vms/dash-vm/finish", "application/json", nil)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/dashboard/")
+	if err != nil {
+		t.Fatalf("dashboard: %v", err)
+	}
+	page := new(bytes.Buffer)
+	page.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("dashboard = %d", resp.StatusCode)
+	}
+	if !bytes.Contains(page.Bytes(), []byte(`id="sessions"`)) {
+		t.Error("dashboard page missing the sessions table")
+	}
+
+	resp, err = http.Get(base + "/v1/runs?limit=10")
+	if err != nil {
+		t.Fatalf("runs: %v", err)
+	}
+	var runs struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || runs.Count != 1 {
+		t.Fatalf("runs query: status %d count %d, want 200/1", resp.StatusCode, runs.Count)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down")
 	}
 }
 

@@ -1,17 +1,22 @@
-// Command appdbtool inspects and maintains application-database files
-// produced by appclass -db: list applications, summarize one
+// Command appdbtool inspects and maintains application databases
+// produced by appclassd -db: list applications, summarize one
 // application's learned behaviour, price it with provider rates,
-// predict its next run time, and prune old records.
+// predict its next run time, query and prune records, and migrate
+// legacy JSON files into the log-structured segmented store. Every
+// command accepts either engine: a store directory or a legacy
+// whole-file JSON database.
 //
 // Usage:
 //
-//	appdbtool list appdb.json
-//	appdbtool summary -app PostMark appdb.json
-//	appdbtool quote -app PostMark -rates 10,8,6,4,1 appdb.json
-//	appdbtool predict -app PostMark appdb.json
-//	appdbtool fingerprints appdb.json
-//	appdbtool retrain -out model.json appdb.json
-//	appdbtool prune -keep 5 appdb.json
+//	appdbtool list appdb
+//	appdbtool ls -class cpu -since 2026-01-01T00:00:00Z -limit 20 appdb
+//	appdbtool summary -app PostMark appdb
+//	appdbtool quote -app PostMark -rates 10,8,6,4,1 appdb
+//	appdbtool predict -app PostMark appdb
+//	appdbtool fingerprints appdb
+//	appdbtool retrain -out model.json appdb
+//	appdbtool prune -keep 5 appdb
+//	appdbtool migrate appdb.json
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/appdb"
+	"repro/internal/appstore"
 	"repro/internal/costmodel"
 	"repro/internal/modelreg"
 	"repro/internal/predict"
@@ -43,16 +49,20 @@ func main() {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: appdbtool <command> [flags] <appdb.json>
+	fmt.Fprintln(w, `usage: appdbtool <command> [flags] <appdb>
+(the database argument is a store directory or a legacy JSON file)
 commands:
   list     list applications with their modal class and run counts
+  ls       list run records newest first
+           (-app NAME -class C -verdict V -since T -until T -limit N -cursor C)
   summary  print one application's learned behaviour (-app NAME)
   quote    price an application (-app NAME -rates a,b,g,d,e)
   predict  predict an application's next run time (-app NAME [-k N])
   fingerprints
            list stored phase fingerprints and their dictionary matches
   retrain  refit a classifier from labeled runs' retained samples (-out FILE)
-  prune    keep only the newest records per application (-keep N)`)
+  prune    keep only the newest records per application (-keep N)
+  migrate  convert a legacy JSON database file into the segmented store`)
 }
 
 func run(cmd string, args []string, stdout io.Writer) error {
@@ -166,15 +176,91 @@ func run(cmd string, args []string, stdout io.Writer) error {
 			}
 			return nil
 		})
+	case "ls":
+		fs := flag.NewFlagSet("ls", flag.ContinueOnError)
+		app := fs.String("app", "", "only this application")
+		class := fs.String("class", "", "only this class")
+		verdict := fs.String("verdict", "", "only this verdict (a class, or unknown)")
+		since := fs.String("since", "", "only runs finalized at or after this time (RFC3339 or unix seconds)")
+		until := fs.String("until", "", "only runs finalized at or before this time (RFC3339 or unix seconds)")
+		limit := fs.Int("limit", 0, "page size (default 50, max 1000)")
+		cursor := fs.Uint64("cursor", 0, "resume a previous page (0 starts at the newest run)")
+		return withDB(args, fs, func(db *appdb.DB, _ *flag.FlagSet) error {
+			f := appdb.Filter{
+				App:     *app,
+				Class:   appclass.Class(*class),
+				Verdict: appclass.Class(*verdict),
+			}
+			if f.Class != "" && !appclass.Valid(f.Class) {
+				return fmt.Errorf("ls: unknown class %q", f.Class)
+			}
+			if f.Verdict != "" && f.Verdict != appclass.Unknown && !appclass.Valid(f.Verdict) {
+				return fmt.Errorf("ls: unknown verdict %q", f.Verdict)
+			}
+			var err error
+			if f.Since, err = parseTime(*since); err != nil {
+				return fmt.Errorf("ls: -since: %w", err)
+			}
+			if f.Until, err = parseTime(*until); err != nil {
+				return fmt.Errorf("ls: -until: %w", err)
+			}
+			recs, next, err := db.Scan(f, *cursor, *limit)
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				at := "-"
+				if r.FinalizedAt > 0 {
+					at = time.Unix(0, r.FinalizedAt).UTC().Format(time.RFC3339)
+				}
+				verdict := string(r.Verdict)
+				if verdict == "" {
+					verdict = "-"
+				}
+				fmt.Fprintf(stdout, "%-20s %-8s %-8s %8v %6d samples  %s\n",
+					r.App, r.Class.Display(), verdict,
+					r.ExecutionTime.Round(time.Second), r.Samples, at)
+			}
+			if next != 0 {
+				fmt.Fprintf(stdout, "more: rerun with -cursor %d\n", next)
+			} else {
+				fmt.Fprintf(stdout, "%d record(s), end of database\n", len(recs))
+			}
+			return nil
+		})
 	case "prune":
 		fs := flag.NewFlagSet("prune", flag.ContinueOnError)
 		keep := fs.Int("keep", 10, "records to keep per application")
 		return withDBPath(args, fs, func(db *appdb.DB, path string) error {
 			dropped := db.Prune(*keep)
-			if err := db.SaveFile(path); err != nil {
-				return err
+			// The segmented store persisted the prune itself (tombstones
+			// plus compaction); a legacy JSON database needs a rewrite.
+			if db.Store() == nil {
+				if err := db.SaveFile(path); err != nil {
+					return err
+				}
 			}
 			fmt.Fprintf(stdout, "dropped %d records, kept %d\n", dropped, db.Len())
+			return nil
+		})
+	case "migrate":
+		return withArgPath(args, func(path string) error {
+			fi, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			if fi.IsDir() {
+				fmt.Fprintf(stdout, "%s is already a segmented store\n", path)
+				return nil
+			}
+			db, err := appdb.Open(path, appstore.Options{})
+			if err != nil {
+				return err
+			}
+			defer db.Close()
+			st, _ := db.StoreStats()
+			fmt.Fprintf(stdout, "migrated %s: %d record(s) in %d segment(s), %d bytes (legacy file kept at %s.legacy)\n",
+				path, st.LiveRecords, st.Segments, st.Bytes, path)
 			return nil
 		})
 	case "retrain":
@@ -228,7 +314,7 @@ func run(cmd string, args []string, stdout io.Writer) error {
 	}
 }
 
-// withDB parses flags (when fs is non-nil), loads the database from the
+// withDB parses flags (when fs is non-nil), opens the database from the
 // single positional argument, and invokes fn.
 func withDB(args []string, fs *flag.FlagSet, fn func(*appdb.DB, *flag.FlagSet) error) error {
 	return withDBPath(args, fs, func(db *appdb.DB, _ string) error { return fn(db, fs) })
@@ -242,13 +328,50 @@ func withDBPath(args []string, fs *flag.FlagSet, fn func(*appdb.DB, string) erro
 		args = fs.Args()
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("expected exactly one database file, got %v", args)
+		return fmt.Errorf("expected exactly one database path, got %v", args)
 	}
-	db, err := appdb.LoadFile(args[0])
+	db, err := openDB(args[0])
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	return fn(db, args[0])
+}
+
+// openDB opens either engine without converting anything: a directory
+// is a segmented store, a regular file a legacy JSON database (use the
+// migrate command to convert one).
+func openDB(path string) (*appdb.DB, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return appdb.Open(path, appstore.Options{})
+	}
+	return appdb.LoadFile(path)
+}
+
+// withArgPath runs fn on the single positional argument.
+func withArgPath(args []string, fn func(string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one database path, got %v", args)
+	}
+	return fn(args[0])
+}
+
+// parseTime accepts RFC3339 or integer unix seconds; zero when empty.
+func parseTime(v string) (int64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return secs * int64(time.Second), nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t.UnixNano(), nil
+	}
+	return 0, fmt.Errorf("want RFC3339 or unix seconds, got %q", v)
 }
 
 func parseRates(spec string) (costmodel.Rates, error) {

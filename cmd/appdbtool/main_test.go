@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/appdb"
+	"repro/internal/appstore"
 )
 
 func writeTestDB(t *testing.T) string {
@@ -108,6 +109,160 @@ func TestPrune(t *testing.T) {
 	}
 	if db.Len() != 2 {
 		t.Errorf("db after prune = %d records", db.Len())
+	}
+}
+
+// writeTestStore builds the same database as writeTestDB but in the
+// segmented store engine, with finalize stamps so time filters bite.
+func writeTestStore(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "appdb")
+	db, err := appdb.Open(path, appstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	put := func(app string, c appclass.Class, exec time.Duration, atSecs int64) {
+		err := db.Put(appdb.Record{
+			App: app, Class: c,
+			Composition:   map[appclass.Class]float64{c: 1},
+			ExecutionTime: exec, Samples: int(exec / (5 * time.Second)),
+			FinalizedAt: atSecs * int64(time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("seis", appclass.CPU, 600*time.Second, 1000)
+	put("seis", appclass.CPU, 620*time.Second, 2000)
+	put("postmark", appclass.IO, 260*time.Second, 3000)
+	put("postmark", appclass.IO, 250*time.Second, 4000)
+	return path
+}
+
+func TestCommandsOnStoreDirectory(t *testing.T) {
+	path := writeTestStore(t)
+	var out bytes.Buffer
+	if err := run("list", []string{path}, &out); err != nil {
+		t.Fatalf("list on store: %v", err)
+	}
+	if !strings.Contains(out.String(), "total: 4 records") {
+		t.Errorf("list output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run("summary", []string{"-app", "seis", path}, &out); err != nil {
+		t.Fatalf("summary on store: %v", err)
+	}
+	if !strings.Contains(out.String(), "runs: 2") {
+		t.Errorf("summary output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run("prune", []string{"-keep", "1", path}, &out); err != nil {
+		t.Fatalf("prune on store: %v", err)
+	}
+	if !strings.Contains(out.String(), "dropped 2 records, kept 2") {
+		t.Errorf("prune output:\n%s", out.String())
+	}
+	// The prune must have hit the segments, not just memory.
+	db, err := appdb.Open(path, appstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != 2 {
+		t.Errorf("store after prune = %d records, want 2", db.Len())
+	}
+}
+
+func TestLs(t *testing.T) {
+	path := writeTestStore(t)
+	var out bytes.Buffer
+	if err := run("ls", []string{path}, &out); err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "seis") || !strings.Contains(got, "postmark") ||
+		!strings.Contains(got, "end of database") {
+		t.Errorf("ls output:\n%s", got)
+	}
+	// Newest first: the 4000s postmark run leads.
+	if first := strings.SplitN(got, "\n", 2)[0]; !strings.Contains(first, "postmark") {
+		t.Errorf("ls first row = %q, want newest (postmark)", first)
+	}
+
+	out.Reset()
+	if err := run("ls", []string{"-class", "cpu", path}, &out); err != nil {
+		t.Fatalf("ls -class: %v", err)
+	}
+	if strings.Contains(out.String(), "postmark") {
+		t.Errorf("ls -class cpu leaked postmark:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run("ls", []string{"-since", "3500", path}, &out); err != nil {
+		t.Fatalf("ls -since: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 record(s)") {
+		t.Errorf("ls -since 3500 output:\n%s", out.String())
+	}
+
+	// Pagination: page size 1 over 4 records yields a resume cursor.
+	out.Reset()
+	if err := run("ls", []string{"-limit", "1", path}, &out); err != nil {
+		t.Fatalf("ls -limit 1: %v", err)
+	}
+	if !strings.Contains(out.String(), "more: rerun with -cursor ") {
+		t.Errorf("ls -limit 1 output:\n%s", out.String())
+	}
+	cursorLine := out.String()[strings.Index(out.String(), "-cursor "):]
+	cursor := strings.TrimSpace(strings.TrimPrefix(cursorLine, "-cursor "))
+	out.Reset()
+	if err := run("ls", []string{"-limit", "10", "-cursor", cursor, path}, &out); err != nil {
+		t.Fatalf("ls resume: %v", err)
+	}
+	if !strings.Contains(out.String(), "3 record(s), end of database") {
+		t.Errorf("ls resume output:\n%s", out.String())
+	}
+
+	for _, args := range [][]string{
+		{"-class", "bogus", path},
+		{"-verdict", "bogus", path},
+		{"-since", "yesterday", path},
+	} {
+		if err := run("ls", args, &out); err == nil {
+			t.Errorf("ls %v: want error", args)
+		}
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	path := writeTestDB(t)
+	var out bytes.Buffer
+	if err := run("migrate", []string{path}, &out); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if !strings.Contains(out.String(), "migrated") || !strings.Contains(out.String(), "4 record(s)") {
+		t.Errorf("migrate output:\n%s", out.String())
+	}
+	// The path is now a store directory serving the same records, and
+	// the legacy file was preserved next to it.
+	out.Reset()
+	if err := run("list", []string{path}, &out); err != nil {
+		t.Fatalf("list after migrate: %v", err)
+	}
+	if !strings.Contains(out.String(), "total: 4 records") {
+		t.Errorf("list after migrate:\n%s", out.String())
+	}
+	if _, err := appdb.LoadFile(path + ".legacy"); err != nil {
+		t.Errorf("legacy file not preserved: %v", err)
+	}
+	// Migrating twice is a no-op, not an error.
+	out.Reset()
+	if err := run("migrate", []string{path}, &out); err != nil {
+		t.Fatalf("second migrate: %v", err)
+	}
+	if !strings.Contains(out.String(), "already a segmented store") {
+		t.Errorf("second migrate output:\n%s", out.String())
 	}
 }
 

@@ -1,145 +1,102 @@
 // Package appdb implements the paper's application database (Figure 1):
 // it stores, per application, the post-processed classification results
 // of historical runs — class, class composition, and execution time —
-// which schedulers query to make class-aware placement decisions. The
-// store is an in-memory map with JSON persistence.
+// which schedulers query to make class-aware placement decisions.
+//
+// The package keeps the public API; the storage engine is pluggable.
+// New() gives the original in-memory map with whole-file JSON
+// persistence (Save/Load/SaveFile/LoadFile), still the right tool for
+// tests and offline tooling. Open() backs the same API with
+// internal/appstore, the log-structured segmented store: O(1) appends
+// on the finalize hot path, secondary indexes, paginated Scan,
+// compaction and retention — the fleet-scale engine. Record, Summary,
+// and Filter are aliases of the appstore types, so the two engines
+// share one record format and every existing caller compiles unchanged.
 package appdb
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
-	"time"
 
-	"repro/internal/appclass"
+	"repro/internal/appstore"
 	"repro/internal/phase"
 )
 
-// Record is one historical run of an application.
-type Record struct {
-	// App is the application name.
-	App string `json:"app"`
-	// Class is the majority-vote application class of the run.
-	Class appclass.Class `json:"class"`
-	// Composition is the class composition (fractions summing to ~1).
-	Composition map[appclass.Class]float64 `json:"composition"`
-	// ExecutionTime is the run's t1 - t0.
-	ExecutionTime time.Duration `json:"execution_time_ns"`
-	// Samples is the number of snapshots m in the run.
-	Samples int `json:"samples"`
-	// Gaps and GapTime account for known holes in the run's sample
-	// stream (missed polls while the profiler source was down). A record
-	// with nonzero gaps carries a composition estimated over partial
-	// coverage rather than the full run; schedulers may weight it down.
-	Gaps    int           `json:"gaps,omitempty"`
-	GapTime time.Duration `json:"gap_time_ns,omitempty"`
-	// Phases is the run's detected phase sequence (empty when the daemon
-	// ran without online segmentation).
-	Phases []phase.Phase `json:"phases,omitempty"`
-	// Fingerprint is the canonicalized phase-sequence fingerprint of the
-	// run, the key the fingerprint dictionary matches future runs
-	// against. Nil when segmentation was off or the run had no phases.
-	Fingerprint *phase.Fingerprint `json:"fingerprint,omitempty"`
-	// MatchedApp and MatchScore record the best fingerprint-dictionary
-	// match found when the run finalized ("" / 0 when nothing cleared
-	// the match threshold).
-	MatchedApp string  `json:"matched_app,omitempty"`
-	MatchScore float64 `json:"match_score,omitempty"`
-	// UnknownFraction is the fraction of the run's snapshots that fell
-	// outside their voted class's open-set threshold.
-	UnknownFraction float64 `json:"unknown_fraction,omitempty"`
-	// Verdict is the open-set session verdict: the majority class when
-	// the run looked like trained behaviour, appclass.Unknown when most
-	// snapshots were novel, or "" when the open-set test was off.
-	Verdict appclass.Class `json:"verdict,omitempty"`
-	// ModelID is the short compatibility hash of the model that served
-	// the run — verdict provenance, so a disagreement can be traced to
-	// the model that produced it. "" on records from before model
-	// stamping.
-	ModelID string `json:"model_id,omitempty"`
-	// TrainMetrics and TrainSamples are the run's retained raw
-	// expert-metric sample rows (one value per metric in TrainMetrics,
-	// uniformly decimated over the whole run), the corpus online
-	// retraining refits from. Empty when the daemon ran without
-	// sampling.
-	TrainMetrics []string    `json:"train_metrics,omitempty"`
-	TrainSamples [][]float64 `json:"train_samples,omitempty"`
-}
+// Record is one historical run of an application (see appstore.Record
+// for the field documentation).
+type Record = appstore.Record
 
-// Validate checks the record's invariants.
-func (r Record) Validate() error {
-	if r.App == "" {
-		return fmt.Errorf("appdb: record has empty application name")
-	}
-	if !appclass.Valid(r.Class) {
-		return fmt.Errorf("appdb: record for %q has invalid class %q", r.App, r.Class)
-	}
-	if r.ExecutionTime < 0 {
-		return fmt.Errorf("appdb: record for %q has negative execution time", r.App)
-	}
-	if r.Samples < 0 {
-		return fmt.Errorf("appdb: record for %q has negative sample count", r.App)
-	}
-	if r.Gaps < 0 || r.GapTime < 0 {
-		return fmt.Errorf("appdb: record for %q has negative gap accounting", r.App)
-	}
-	var total float64
-	for c, f := range r.Composition {
-		if !appclass.Valid(c) {
-			return fmt.Errorf("appdb: record for %q has invalid composition class %q", r.App, c)
-		}
-		if !(f >= 0 && f <= 1) { // also rejects NaN, which JSON cannot encode
-			return fmt.Errorf("appdb: record for %q has composition fraction %v outside [0,1]", r.App, f)
-		}
-		total += f
-	}
-	if len(r.Composition) > 0 && (total < 0.99 || total > 1.01) {
-		return fmt.Errorf("appdb: record for %q has composition summing to %v", r.App, total)
-	}
-	if !(r.UnknownFraction >= 0 && r.UnknownFraction <= 1) {
-		return fmt.Errorf("appdb: record for %q has unknown fraction %v outside [0,1]", r.App, r.UnknownFraction)
-	}
-	if r.Verdict != "" && r.Verdict != appclass.Unknown && !appclass.Valid(r.Verdict) {
-		return fmt.Errorf("appdb: record for %q has invalid verdict %q", r.App, r.Verdict)
-	}
-	if !(r.MatchScore >= 0 && r.MatchScore <= 1) {
-		return fmt.Errorf("appdb: record for %q has match score %v outside [0,1]", r.App, r.MatchScore)
-	}
-	if r.MatchedApp != "" && r.Fingerprint == nil {
-		return fmt.Errorf("appdb: record for %q matched %q without a fingerprint", r.App, r.MatchedApp)
-	}
-	if len(r.TrainSamples) > 0 && len(r.TrainMetrics) == 0 {
-		return fmt.Errorf("appdb: record for %q has training samples without metric names", r.App)
-	}
-	for i, row := range r.TrainSamples {
-		if len(row) != len(r.TrainMetrics) {
-			return fmt.Errorf("appdb: record for %q training sample %d has %d values, want %d",
-				r.App, i, len(row), len(r.TrainMetrics))
-		}
-		for j, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("appdb: record for %q training sample %d value %d is not finite", r.App, i, j)
-			}
-		}
-	}
-	return nil
+// Summary aggregates an application's historical runs: the modal class,
+// the mean composition, and the mean execution time — the "statistical
+// abstracts of the application behavior" the paper stores for
+// scheduling.
+type Summary = appstore.Summary
+
+// Filter narrows a Scan (see appstore.Filter).
+type Filter = appstore.Filter
+
+// stored is one in-memory record plus its insertion sequence number,
+// which gives the memory engine the same stable newest-first Scan
+// cursor semantics as the segmented store.
+type stored struct {
+	seq uint64
+	rec Record
 }
 
 // DB stores classification records keyed by application name. It is safe
 // for concurrent use.
 type DB struct {
 	mu      sync.RWMutex
-	records map[string][]Record
+	records map[string][]stored
+	nextSeq uint64
+	store   *appstore.Store // nil for the in-memory engine
 }
 
-// New creates an empty database.
+// New creates an empty in-memory database.
 func New() *DB {
-	return &DB{records: make(map[string][]Record)}
+	return &DB{records: make(map[string][]stored), nextSeq: 1}
+}
+
+// Open opens a database backed by the log-structured segmented store at
+// path (see appstore.Open; a legacy JSON file at path is converted in
+// place). The returned DB serves the same API as an in-memory one;
+// callers must Close it to flush the active segment.
+func Open(path string, opt appstore.Options) (*DB, error) {
+	st, err := appstore.Open(path, opt)
+	if err != nil {
+		return nil, err
+	}
+	db := New()
+	db.store = st
+	return db, nil
+}
+
+// Store exposes the segmented-store engine, nil when the database is
+// in-memory. Callers needing Scan or Stats can use the DB methods
+// instead; this is for store-specific surgery (Compact, Sync).
+func (db *DB) Store() *appstore.Store { return db.store }
+
+// StoreStats reports segmented-store statistics; ok is false for the
+// in-memory engine.
+func (db *DB) StoreStats() (appstore.Stats, bool) {
+	if db.store == nil {
+		return appstore.Stats{}, false
+	}
+	return db.store.Stats(), true
+}
+
+// Close releases the storage engine. It is a no-op for the in-memory
+// engine.
+func (db *DB) Close() error {
+	if db.store != nil {
+		return db.store.Close()
+	}
+	return nil
 }
 
 // Put appends a run record for its application.
@@ -147,33 +104,50 @@ func (db *DB) Put(r Record) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
+	if db.store != nil {
+		return db.store.Append(&r)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.records[r.App] = append(db.records[r.App], r)
+	db.records[r.App] = append(db.records[r.App], stored{seq: db.nextSeq, rec: r})
+	db.nextSeq++
 	return nil
 }
 
 // Runs returns all records of an application, oldest first.
 func (db *DB) Runs(app string) []Record {
+	if db.store != nil {
+		rs, _ := db.store.Runs(app)
+		return rs
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return append([]Record(nil), db.records[app]...)
+	ss := db.records[app]
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]Record, len(ss))
+	for i := range ss {
+		out[i] = ss[i].rec
+	}
+	return out
 }
 
 // Apps returns all application names, sorted.
 func (db *DB) Apps() []string {
+	if db.store != nil {
+		return db.store.Apps()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.records))
-	for a := range db.records {
-		out = append(out, a)
-	}
-	sort.Strings(out)
-	return out
+	return db.appsLocked()
 }
 
 // Len returns the total number of records.
 func (db *DB) Len() int {
+	if db.store != nil {
+		return db.store.Len()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	n := 0
@@ -183,16 +157,91 @@ func (db *DB) Len() int {
 	return n
 }
 
+// Scan returns up to limit records matching f, newest first, resuming
+// from cursor (0 = newest; the returned cursor continues the scan, 0
+// once exhausted). Both engines serve it; the segmented store walks its
+// secondary indexes.
+func (db *DB) Scan(f Filter, cursor uint64, limit int) ([]Record, uint64, error) {
+	if db.store != nil {
+		return db.store.Scan(f, cursor, limit)
+	}
+	if limit <= 0 {
+		limit = appstore.DefaultScanLimit
+	}
+	if limit > appstore.MaxScanLimit {
+		limit = appstore.MaxScanLimit
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var all []stored
+	if f.App != "" {
+		all = append(all, db.records[f.App]...)
+	} else {
+		for _, ss := range db.records {
+			all = append(all, ss...)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq > all[b].seq })
+	var out []Record
+	var next uint64
+	for i := range all {
+		e := &all[i]
+		if cursor != 0 && e.seq >= cursor {
+			continue
+		}
+		if !matchFilter(f, &e.rec) {
+			continue
+		}
+		out = append(out, e.rec)
+		next = e.seq
+		if len(out) >= limit {
+			return out, next, nil
+		}
+	}
+	return out, 0, nil
+}
+
+func matchFilter(f Filter, r *Record) bool {
+	if f.App != "" && r.App != f.App {
+		return false
+	}
+	if f.Class != "" && r.Class != f.Class {
+		return false
+	}
+	if f.Verdict != "" && r.Verdict != f.Verdict {
+		return false
+	}
+	if f.Model != "" && r.ModelID != f.Model {
+		return false
+	}
+	if f.Since != 0 || f.Until != 0 {
+		if r.FinalizedAt == 0 {
+			return false
+		}
+		if f.Since != 0 && r.FinalizedAt < f.Since {
+			return false
+		}
+		if f.Until != 0 && r.FinalizedAt > f.Until {
+			return false
+		}
+	}
+	return true
+}
+
 // Fingerprints returns the fingerprint dictionary: each application's
 // most recent fingerprinted run. This is the corpus BestMatch compares
 // a finalizing session against.
 func (db *DB) Fingerprints() map[string]phase.Fingerprint {
+	if db.store != nil {
+		fps, _ := db.store.Fingerprints()
+		return fps
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := make(map[string]phase.Fingerprint)
-	for app, rs := range db.records {
-		for i := len(rs) - 1; i >= 0; i-- {
-			if fp := rs[i].Fingerprint; fp != nil && !fp.Empty() {
+	for app, ss := range db.records {
+		for i := len(ss) - 1; i >= 0; i-- {
+			if fp := ss[i].rec.Fingerprint; fp != nil && !fp.Empty() {
 				out[app] = *fp
 				break
 			}
@@ -203,62 +252,34 @@ func (db *DB) Fingerprints() map[string]phase.Fingerprint {
 
 // Latest returns the most recent record of an application.
 func (db *DB) Latest(app string) (Record, error) {
+	if db.store != nil {
+		return db.store.Latest(app)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	rs := db.records[app]
-	if len(rs) == 0 {
+	ss := db.records[app]
+	if len(ss) == 0 {
 		return Record{}, fmt.Errorf("appdb: no records for application %q", app)
 	}
-	return rs[len(rs)-1], nil
-}
-
-// Summary aggregates an application's historical runs: the modal class,
-// the mean composition, and the mean execution time — the "statistical
-// abstracts of the application behavior" the paper stores for
-// scheduling.
-type Summary struct {
-	App             string
-	Runs            int
-	Class           appclass.Class
-	MeanComposition map[appclass.Class]float64
-	MeanExecution   time.Duration
+	return ss[len(ss)-1].rec, nil
 }
 
 // Summarize aggregates all runs of an application.
 func (db *DB) Summarize(app string) (Summary, error) {
+	if db.store != nil {
+		return db.store.Summarize(app)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	rs := db.records[app]
-	if len(rs) == 0 {
+	ss := db.records[app]
+	if len(ss) == 0 {
 		return Summary{}, fmt.Errorf("appdb: no records for application %q", app)
 	}
-	classCounts := make(map[appclass.Class]int)
-	comp := make(map[appclass.Class]float64)
-	var execSum time.Duration
-	for _, r := range rs {
-		classCounts[r.Class]++
-		for c, f := range r.Composition {
-			comp[c] += f
-		}
-		execSum += r.ExecutionTime
+	rs := make([]Record, len(ss))
+	for i := range ss {
+		rs[i] = ss[i].rec
 	}
-	for c := range comp {
-		comp[c] /= float64(len(rs))
-	}
-	var modal appclass.Class
-	best := -1
-	for c, n := range classCounts {
-		if n > best || (n == best && c < modal) {
-			modal, best = c, n
-		}
-	}
-	return Summary{
-		App:             app,
-		Runs:            len(rs),
-		Class:           modal,
-		MeanComposition: comp,
-		MeanExecution:   execSum / time.Duration(len(rs)),
-	}, nil
+	return summarize(app, rs), nil
 }
 
 // persistedDB is the JSON wire format.
@@ -268,12 +289,10 @@ type persistedDB struct {
 
 // Save writes the database as JSON.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
 	doc := persistedDB{}
-	for _, app := range db.appsLocked() {
-		doc.Records = append(doc.Records, db.records[app]...)
+	for _, app := range db.Apps() {
+		doc.Records = append(doc.Records, db.Runs(app)...)
 	}
-	db.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -291,7 +310,10 @@ func (db *DB) appsLocked() []string {
 	return out
 }
 
-// Load reads a database written by Save.
+// Load reads a database written by Save into the in-memory engine. The
+// records are stored exactly as read — in particular, finalize stamps
+// are preserved (or stay zero on pre-stamping files), so a legacy file
+// round-trips bit-identically through Load+Save.
 func Load(r io.Reader) (*DB, error) {
 	var doc persistedDB
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -309,8 +331,7 @@ func Load(r io.Reader) (*DB, error) {
 // SaveFile persists the database to a file path atomically: the JSON is
 // written to a temporary file in the same directory, fsynced, and
 // renamed over the target, so a crash or failed write mid-save never
-// corrupts an existing database (appclassd flushes on SIGTERM through
-// this path).
+// corrupts an existing database.
 func (db *DB) SaveFile(path string) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")

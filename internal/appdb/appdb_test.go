@@ -210,11 +210,11 @@ func TestSaveFileAtomic(t *testing.T) {
 	// is poked in directly) and fails JSON encoding partway through the
 	// write — exactly the failed-write scenario.
 	bad := New()
-	bad.records["broken"] = []Record{{
+	bad.records["broken"] = []stored{{seq: 1, rec: Record{
 		App:         "broken",
 		Class:       appclass.IO,
 		Composition: map[appclass.Class]float64{appclass.IO: math.NaN()},
-	}}
+	}}}
 	if err := bad.SaveFile(path); err == nil {
 		t.Fatal("SaveFile with unencodable record: want error")
 	}

@@ -1,0 +1,77 @@
+package appdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appstore"
+)
+
+// benchRecord is a representative finalized run: a mixed composition, a
+// verdict, a model stamp — what the daemon writes on every finalize.
+func benchRecord(i int) Record {
+	classes := appclass.All()
+	c := classes[i%len(classes)]
+	comp := map[appclass.Class]float64{c: 1}
+	if c != appclass.Idle {
+		comp = map[appclass.Class]float64{c: 0.8, appclass.Idle: 0.2}
+	}
+	return Record{
+		App:           fmt.Sprintf("app-%03d", i%100),
+		Class:         c,
+		Composition:   comp,
+		ExecutionTime: time.Duration(i%600+1) * time.Second,
+		Samples:       i%600 + 1,
+		FinalizedAt:   int64(1_700_000_000+i) * int64(time.Second),
+		Verdict:       c,
+		ModelID:       "cafe0123beef",
+	}
+}
+
+// BenchmarkFinalizeAppend is one finalize against the segmented store
+// holding 10k prior records: a single framed append plus fsync,
+// independent of database size. CI gates it >= 10x faster than
+// BenchmarkFinalizeSaveFile measured in the same run.
+func BenchmarkFinalizeAppend(b *testing.B) {
+	db, err := Open(filepath.Join(b.TempDir(), "store"), appstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 10_000; i++ {
+		if err := db.Put(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(benchRecord(10_000 + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinalizeSaveFile is the legacy persistence the store
+// replaces: every finalize rewrote the whole 10k-record database to a
+// JSON file, O(n) per finalize.
+func BenchmarkFinalizeSaveFile(b *testing.B) {
+	db := New()
+	for i := 0; i < 10_000; i++ {
+		if err := db.Put(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	path := filepath.Join(b.TempDir(), "db.json")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(benchRecord(10_000 + i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.SaveFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

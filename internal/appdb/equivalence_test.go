@@ -1,0 +1,237 @@
+package appdb
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appstore"
+	"repro/internal/phase"
+)
+
+// traceRecords is a realistic finalize sequence: several applications,
+// mixed classes, fingerprints, verdicts, training reservoirs, gaps —
+// every field a real daemon finalize stamps.
+func traceRecords() []Record {
+	classes := []appclass.Class{appclass.CPU, appclass.IO, appclass.Net, appclass.Mem, appclass.Idle}
+	var out []Record
+	for i := 0; i < 25; i++ {
+		c := classes[i%len(classes)]
+		comp := map[appclass.Class]float64{c: 0.8, appclass.Idle: 0.2}
+		if c == appclass.Idle {
+			comp = map[appclass.Class]float64{appclass.Idle: 1}
+		}
+		r := Record{
+			App:             fmt.Sprintf("vm-%d", i%4),
+			Class:           c,
+			Composition:     comp,
+			ExecutionTime:   time.Duration(i+1) * 7 * time.Second,
+			Samples:         50 + i,
+			FinalizedAt:     int64(1_700_000_000_000_000_000 + i*1_000_000_000),
+			UnknownFraction: float64(i%10) / 20,
+			Verdict:         c,
+			ModelID:         "abcd1234",
+		}
+		if i%2 == 0 {
+			r.Gaps, r.GapTime = 1, 3*time.Second
+		}
+		if i%5 == 3 {
+			r.Fingerprint = &phase.Fingerprint{Phases: []phase.PhaseSig{
+				{Class: c, DurFrac: 0.7, Centroid: []float64{float64(i), 1}},
+				{Class: appclass.Idle, DurFrac: 0.3, Centroid: []float64{0, 0}},
+			}}
+			r.MatchedApp = fmt.Sprintf("vm-%d", (i+1)%4)
+			r.MatchScore = 0.85
+		}
+		if i%7 == 0 {
+			r.TrainMetrics = []string{"cpu_user", "bytes_in"}
+			r.TrainSamples = [][]float64{{float64(i), 2}, {3, 4}}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestEngineEquivalence finalizes the same trace of records through the
+// legacy in-memory/JSON engine and the segmented store and asserts
+// every read API answers identically: the engine swap is invisible to
+// callers (server finalize, placement, retraining, the fingerprint
+// dictionary).
+func TestEngineEquivalence(t *testing.T) {
+	recs := traceRecords()
+
+	// Old path: in-memory Puts persisted through the whole-file JSON
+	// save/load cycle, exactly what the daemon did at shutdown.
+	jsonPath := filepath.Join(t.TempDir(), "db.json")
+	old := New()
+	for _, r := range recs {
+		if err := old.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := old.SaveFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	old, err := LoadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New path: the same finalize sequence appended to the segmented
+	// store, closed and reopened so reads come off disk.
+	storePath := filepath.Join(t.TempDir(), "store")
+	nu, err := Open(storePath, appstore.Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := nu.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nu, err = Open(storePath, appstore.Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nu.Close()
+
+	if got, want := nu.Apps(), old.Apps(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Apps: store %v, json %v", got, want)
+	}
+	if got, want := nu.Len(), old.Len(); got != want {
+		t.Errorf("Len: store %d, json %d", got, want)
+	}
+	for _, app := range old.Apps() {
+		if got, want := nu.Runs(app), old.Runs(app); !reflect.DeepEqual(got, want) {
+			t.Errorf("Runs(%s) differ:\nstore %+v\njson  %+v", app, got, want)
+		}
+		gl, el := nu.Latest(app)
+		wl, ew := old.Latest(app)
+		if el != nil || ew != nil || !reflect.DeepEqual(gl, wl) {
+			t.Errorf("Latest(%s): store %+v (%v), json %+v (%v)", app, gl, el, wl, ew)
+		}
+		gs, err1 := nu.Summarize(app)
+		ws, err2 := old.Summarize(app)
+		if err1 != nil || err2 != nil || !reflect.DeepEqual(gs, ws) {
+			t.Errorf("Summarize(%s): store %+v (%v), json %+v (%v)", app, gs, err1, ws, err2)
+		}
+	}
+	if got, want := nu.Fingerprints(), old.Fingerprints(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fingerprints: store %v, json %v", got, want)
+	}
+	for _, c := range appclass.All() {
+		if got, want := nu.ByClass(c), old.ByClass(c); !reflect.DeepEqual(got, want) {
+			t.Errorf("ByClass(%s): store %v, json %v", c, got, want)
+		}
+	}
+	if got, want := nu.ClassCounts(), old.ClassCounts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ClassCounts: store %v, json %v", got, want)
+	}
+	if got, want := nu.TotalExecution(), old.TotalExecution(); got != want {
+		t.Errorf("TotalExecution: store %v, json %v", got, want)
+	}
+
+	// Scan pages agree record-for-record across both engines.
+	for _, f := range []Filter{
+		{},
+		{App: "vm-1"},
+		{Class: appclass.CPU},
+		{Verdict: appclass.IO},
+		{Since: 1_700_000_005_000_000_000, Until: 1_700_000_015_000_000_000},
+	} {
+		var fromStore, fromJSON []Record
+		for cursor := uint64(0); ; {
+			page, next, err := nu.Scan(f, cursor, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromStore = append(fromStore, page...)
+			if next == 0 {
+				break
+			}
+			cursor = next
+		}
+		for cursor := uint64(0); ; {
+			page, next, err := old.Scan(f, cursor, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromJSON = append(fromJSON, page...)
+			if next == 0 {
+				break
+			}
+			cursor = next
+		}
+		// The legacy JSON file groups records by application (Save writes
+		// apps sorted), so a loaded legacy DB has lost the global finalize
+		// order; compare the paginated results as sets. Per-application
+		// order is covered by the Runs comparison above.
+		sortRecs := func(rs []Record) {
+			sort.Slice(rs, func(a, b int) bool {
+				if rs[a].App != rs[b].App {
+					return rs[a].App < rs[b].App
+				}
+				return rs[a].Samples < rs[b].Samples
+			})
+		}
+		sortRecs(fromStore)
+		sortRecs(fromJSON)
+		if !reflect.DeepEqual(fromStore, fromJSON) {
+			t.Errorf("Scan(%+v) differs:\nstore %d records\njson  %d records", f, len(fromStore), len(fromJSON))
+		}
+	}
+
+	// The JSON export of the store-backed database is byte-identical to
+	// the legacy engine's: migration back out is lossless too.
+	var oldBuf, newBuf bytes.Buffer
+	if err := old.Save(&oldBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := nu.Save(&newBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldBuf.Bytes(), newBuf.Bytes()) {
+		t.Error("JSON export differs between engines")
+	}
+}
+
+// TestOpenMigratesLegacyFile drives the transparent upgrade through the
+// appdb API: Open on a path holding a legacy JSON database converts it
+// and serves identical records.
+func TestOpenMigratesLegacyFile(t *testing.T) {
+	recs := traceRecords()
+	old := New()
+	for _, r := range recs {
+		if err := old.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "appdb.json")
+	if err := old.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path, appstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Store() == nil {
+		t.Fatal("Open returned a memory-backed DB")
+	}
+	for _, app := range old.Apps() {
+		if got, want := db.Runs(app), old.Runs(app); !reflect.DeepEqual(got, want) {
+			t.Errorf("Runs(%s) differ after migration", app)
+		}
+	}
+	if _, ok := db.StoreStats(); !ok {
+		t.Error("StoreStats not available on store-backed DB")
+	}
+}

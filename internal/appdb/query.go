@@ -7,26 +7,60 @@ import (
 	"repro/internal/appclass"
 )
 
+// summarize aggregates one application's records; both engines share
+// the arithmetic so summaries are identical regardless of backend.
+func summarize(app string, rs []Record) Summary {
+	classCounts := make(map[appclass.Class]int)
+	comp := make(map[appclass.Class]float64)
+	var execSum time.Duration
+	for _, r := range rs {
+		classCounts[r.Class]++
+		for c, f := range r.Composition {
+			comp[c] += f
+		}
+		execSum += r.ExecutionTime
+	}
+	for c := range comp {
+		comp[c] /= float64(len(rs))
+	}
+	return Summary{
+		App:             app,
+		Runs:            len(rs),
+		Class:           modalClass(classCounts),
+		MeanComposition: comp,
+		MeanExecution:   execSum / time.Duration(len(rs)),
+	}
+}
+
+// modalClass picks the most frequent class, ties broken by the lesser
+// class label.
+func modalClass(counts map[appclass.Class]int) appclass.Class {
+	var modal appclass.Class
+	best := -1
+	for cl, n := range counts {
+		if n > best || (n == best && cl < modal) {
+			modal, best = cl, n
+		}
+	}
+	return modal
+}
+
 // ByClass returns the applications whose modal class matches c, sorted
 // by name — the query a class-aware scheduler issues ("give me the
 // I/O-intensive applications").
 func (db *DB) ByClass(c appclass.Class) []string {
+	if db.store != nil {
+		return db.store.ByClass(c)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []string
-	for app, rs := range db.records {
+	for app, ss := range db.records {
 		counts := make(map[appclass.Class]int)
-		for _, r := range rs {
-			counts[r.Class]++
+		for _, s := range ss {
+			counts[s.rec.Class]++
 		}
-		var modal appclass.Class
-		best := -1
-		for cl, n := range counts {
-			if n > best || (n == best && cl < modal) {
-				modal, best = cl, n
-			}
-		}
-		if modal == c {
+		if len(counts) > 0 && modalClass(counts) == c {
 			out = append(out, app)
 		}
 	}
@@ -36,18 +70,22 @@ func (db *DB) ByClass(c appclass.Class) []string {
 
 // Prune keeps at most keep most-recent records per application,
 // returning the number of records dropped. A keep of zero or less
-// removes nothing.
+// removes nothing. On the segmented store this tombstones and compacts.
 func (db *DB) Prune(keep int) int {
 	if keep <= 0 {
 		return 0
 	}
+	if db.store != nil {
+		dropped, _ := db.store.Prune(keep)
+		return dropped
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	dropped := 0
-	for app, rs := range db.records {
-		if len(rs) > keep {
-			dropped += len(rs) - keep
-			db.records[app] = append([]Record(nil), rs[len(rs)-keep:]...)
+	for app, ss := range db.records {
+		if len(ss) > keep {
+			dropped += len(ss) - keep
+			db.records[app] = append([]stored(nil), ss[len(ss)-keep:]...)
 		}
 	}
 	return dropped
@@ -67,12 +105,15 @@ func (db *DB) ClassCounts() map[appclass.Class]int {
 // TotalExecution sums the execution time of every stored run — the
 // accounting view a provider bills from.
 func (db *DB) TotalExecution() time.Duration {
+	if db.store != nil {
+		return db.store.TotalExecution()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var sum time.Duration
-	for _, rs := range db.records {
-		for _, r := range rs {
-			sum += r.ExecutionTime
+	for _, ss := range db.records {
+		for _, s := range ss {
+			sum += s.rec.ExecutionTime
 		}
 	}
 	return sum

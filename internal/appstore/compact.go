@@ -1,0 +1,287 @@
+package appstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/appclass"
+)
+
+// Prune keeps at most keep most-recent records per application,
+// returning the number of records dropped — the same contract as the
+// in-memory engine. An explicit Prune is an operator decision, so the
+// retention floor does not apply. A keep of zero or less removes
+// nothing.
+func (s *Store) Prune(keep int) (int, error) {
+	if keep <= 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("appstore: store is closed")
+	}
+	dropped := 0
+	for _, idxs := range s.byApp {
+		live := 0
+		for _, i := range idxs {
+			if !s.entries[i].dead {
+				live++
+			}
+		}
+		excess := live - keep
+		for _, i := range idxs {
+			if excess <= 0 {
+				break
+			}
+			if e := &s.entries[i]; !e.dead {
+				s.markDeadLocked(e)
+				dropped++
+				excess--
+			}
+		}
+	}
+	if dropped == 0 {
+		return 0, nil
+	}
+	s.stats.PrunedRecords += int64(dropped)
+	if err := s.persistTombstonesLocked(); err != nil {
+		return dropped, err
+	}
+	return dropped, s.compactLocked()
+}
+
+func (s *Store) markDeadLocked(e *entry) {
+	e.dead = true
+	s.segs[e.seg].live--
+	s.segs[e.seg].dead++
+}
+
+// maybeRetainLocked applies the retention policy — expire by age, then
+// cap total bytes — marking victims dead and compacting. The pruning
+// floor protects every application's newest records and its newest
+// fingerprinted record (the dictionary entry), so the fingerprint
+// dictionary and the per-application retraining reservoirs never lose
+// records still referenced. Called on segment rotation; errors are
+// logged, not returned, because retention must never fail an append.
+func (s *Store) maybeRetainLocked() {
+	if s.opt.RetainAge <= 0 && s.opt.MaxBytes <= 0 {
+		return
+	}
+	floor := s.opt.PruneFloor
+	if floor < 0 {
+		floor = 0
+	}
+	protected := make(map[int]bool)
+	for _, idxs := range s.byApp {
+		kept := 0
+		fpSeen := false
+		for i := len(idxs) - 1; i >= 0; i-- {
+			e := &s.entries[idxs[i]]
+			if e.dead {
+				continue
+			}
+			if kept < floor {
+				protected[idxs[i]] = true
+				kept++
+			}
+			if !fpSeen && e.hasFP {
+				protected[idxs[i]] = true
+				fpSeen = true
+			}
+		}
+	}
+	marked := 0
+	if s.opt.RetainAge > 0 {
+		cutoff := s.opt.Now().Add(-s.opt.RetainAge).UnixNano()
+		for i := range s.entries {
+			e := &s.entries[i]
+			// Records without a finalize stamp have unknown age; keep them.
+			if !e.dead && !protected[i] && e.at > 0 && e.at < cutoff {
+				s.markDeadLocked(e)
+				marked++
+			}
+		}
+	}
+	if s.opt.MaxBytes > 0 {
+		var total, deadBytes int64
+		for _, info := range s.segs {
+			total += info.size
+		}
+		for i := range s.entries {
+			if s.entries[i].dead {
+				deadBytes += s.entries[i].n
+			}
+		}
+		// Oldest-first until the live remainder fits the cap.
+		for i := range s.entries {
+			if total-deadBytes <= s.opt.MaxBytes {
+				break
+			}
+			e := &s.entries[i]
+			if e.dead || protected[i] {
+				continue
+			}
+			s.markDeadLocked(e)
+			deadBytes += e.n
+			marked++
+		}
+	}
+	if marked == 0 {
+		return
+	}
+	s.stats.PrunedRecords += int64(marked)
+	s.opt.Logf("appstore: retention marked %d record(s) for removal", marked)
+	if err := s.persistTombstonesLocked(); err != nil {
+		s.opt.Logf("appstore: persist tombstones: %v", err)
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		s.opt.Logf("appstore: compaction: %v", err)
+	}
+}
+
+// Compact rewrites closed segments that carry dead records, physically
+// dropping them.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("appstore: store is closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked copies the live records of every closed segment that
+// carries dead ones into a fresh segment (raw frame bytes — payloads
+// are immutable, so no re-encode), publishes it with an atomic rename,
+// then deletes the victims. Crash anywhere in between is safe: before
+// the rename the .tmp file is invisible (and swept at open); after it,
+// records existing in both the new segment and an undeleted victim are
+// deduplicated by sequence number at open.
+func (s *Store) compactLocked() error {
+	victims := make(map[uint64]bool)
+	copies := 0
+	for no, info := range s.segs {
+		if no == s.seg || info.dead == 0 {
+			continue
+		}
+		victims[no] = true
+		copies += info.live
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	var newSeg uint64
+	newOff := make(map[uint64]int64) // seq -> offset in the new segment
+	if copies > 0 {
+		newSeg = s.nextSegNoLocked()
+		path := segPath(s.dir, newSeg)
+		tmp := path + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("appstore: create %s: %w", tmp, err)
+		}
+		fail := func(err error) error {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		var hdr [headerSize]byte
+		copy(hdr[:4], segMagic[:])
+		binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			return fail(fmt.Errorf("appstore: write header %s: %w", tmp, err))
+		}
+		off := int64(headerSize)
+		frame := make([]byte, 0, 4096)
+		for i := range s.entries {
+			e := &s.entries[i]
+			if e.dead || !victims[e.seg] {
+				continue
+			}
+			if cap(frame) < int(e.n) {
+				frame = make([]byte, e.n)
+			}
+			frame = frame[:e.n]
+			info := s.segs[e.seg]
+			if info.rd == nil {
+				rd, err := os.Open(segPath(s.dir, e.seg))
+				if err != nil {
+					return fail(fmt.Errorf("appstore: open victim segment %d: %w", e.seg, err))
+				}
+				info.rd = rd
+			}
+			if _, err := info.rd.ReadAt(frame, e.off); err != nil {
+				return fail(fmt.Errorf("appstore: read record %d for compaction: %w", e.seq, err))
+			}
+			if _, err := f.Write(frame); err != nil {
+				return fail(fmt.Errorf("appstore: write %s: %w", tmp, err))
+			}
+			newOff[e.seq] = off
+			off += e.n
+		}
+		if err := f.Sync(); err != nil {
+			return fail(fmt.Errorf("appstore: sync %s: %w", tmp, err))
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("appstore: close %s: %w", tmp, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("appstore: publish segment %d: %w", newSeg, err)
+		}
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+		s.segs[newSeg] = &segInfo{size: off}
+	}
+	// The new segment is durable; deleting the victims is now safe (a
+	// crash mid-delete leaves duplicates, deduplicated by seq at open).
+	for no := range victims {
+		info := s.segs[no]
+		if info.rd != nil {
+			info.rd.Close()
+		}
+		if err := os.Remove(segPath(s.dir, no)); err != nil {
+			s.opt.Logf("appstore: delete compacted segment %d: %v", no, err)
+		}
+		delete(s.segs, no)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// Rebuild the index: drop the dead entries that lived in victim
+	// segments, repoint the copied ones.
+	kept := s.entries[:0]
+	removed := 0
+	for i := range s.entries {
+		e := s.entries[i]
+		if victims[e.seg] {
+			if e.dead {
+				removed++
+				continue
+			}
+			e.seg = newSeg
+			e.off = newOff[e.seq]
+		}
+		kept = append(kept, e)
+	}
+	s.entries = kept
+	s.byApp = make(map[string][]int)
+	s.byClass = make(map[appclass.Class][]int)
+	s.byVerd = make(map[appclass.Class][]int)
+	s.byModel = make(map[string][]int)
+	for i := range s.entries {
+		s.indexEntry(i)
+	}
+	if copies > 0 {
+		s.segs[newSeg].live = copies
+	}
+	s.stats.Compactions++
+	s.stats.DroppedRecords += int64(removed)
+	s.opt.Logf("appstore: compacted %d segment(s): dropped %d dead record(s), carried %d live", len(victims), removed, copies)
+	return s.persistTombstonesLocked()
+}

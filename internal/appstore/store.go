@@ -1,0 +1,774 @@
+package appstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/phase"
+)
+
+// Options parameterizes a store.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes. Zero means 4 MiB.
+	SegmentBytes int64
+	// MaxBytes caps the store's total segment bytes: once live data
+	// exceeds it, the oldest records beyond the pruning floor are marked
+	// dead and compacted away. Zero means unlimited.
+	MaxBytes int64
+	// RetainAge expires records whose finalize time is older than this.
+	// Zero means unlimited. Records without a finalize stamp (legacy
+	// migrations) are exempt — their age is unknown.
+	RetainAge time.Duration
+	// PruneFloor is the per-application retention floor: the newest
+	// PruneFloor records of every application — and its newest
+	// fingerprinted record, the dictionary entry — are never removed by
+	// the age or byte caps, so the fingerprint dictionary and the
+	// retraining reservoirs never lose records still referenced. Zero
+	// means DefaultPruneFloor; negative means no floor. An explicit
+	// Prune call is an operator decision and ignores the floor.
+	PruneFloor int
+	// NoFsync skips the per-append fsync. The default (false) syncs
+	// every append, matching the durability of the legacy
+	// rewrite-and-rename JSON store; a crash then loses at most the
+	// record being appended, which the torn-tail repair drops cleanly.
+	NoFsync bool
+	// Now supplies wall-clock time; tests inject fake clocks. Nil means
+	// time.Now.
+	Now func() time.Time
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultPruneFloor is the per-application retention floor: how many of
+// an application's newest records the age/byte caps must leave alone.
+const DefaultPruneFloor = 2
+
+// Stats is a point-in-time view of the store, rendered as gauges in the
+// daemon's /metricsz.
+type Stats struct {
+	// Segments counts segment files on disk, including the active one.
+	Segments int
+	// Bytes is the total size of all segments on disk.
+	Bytes int64
+	// LiveRecords and DeadRecords count indexed records; dead ones are
+	// tombstoned and disappear physically at the next compaction.
+	LiveRecords int
+	DeadRecords int
+	// Appends counts records appended since open.
+	Appends int64
+	// Compactions counts compaction passes that rewrote segments.
+	Compactions int64
+	// PrunedRecords counts records marked dead since open (explicit
+	// Prune calls plus the age/byte retention caps).
+	PrunedRecords int64
+	// DroppedRecords counts records physically removed by compaction.
+	DroppedRecords int64
+	// CorruptFrames counts frames skipped at open (torn tails, bit rot).
+	CorruptFrames int64
+	// AppendLastNanos and AppendTotalNanos time the append path — the
+	// finalize hot-path latency the JSON store paid O(n) for.
+	AppendLastNanos  int64
+	AppendTotalNanos int64
+}
+
+// entry is one indexed record: the meta header plus its location.
+type entry struct {
+	meta
+	seg  uint64
+	off  int64 // frame start offset within the segment
+	n    int64 // frame + payload length
+	dead bool
+}
+
+// segInfo tracks one segment on disk.
+type segInfo struct {
+	size int64
+	live int
+	dead int
+	rd   *os.File // lazily opened read handle
+}
+
+// Store is the log-structured application-record store. It is safe for
+// concurrent use: appends and deletions serialize on a write lock,
+// reads (including paginated scans) share a read lock and pread from
+// immutable segment bytes.
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.RWMutex
+	f       *os.File // active segment write handle
+	seg     uint64   // active segment number
+	size    int64    // active segment size
+	nextSeq uint64
+	entries []entry // ascending seq
+	byApp   map[string][]int
+	byClass map[appclass.Class][]int
+	byVerd  map[appclass.Class][]int
+	byModel map[string][]int
+	segs    map[uint64]*segInfo
+	interns map[string]string // string interning across entries
+	buf     []byte            // reused append encode buffer
+	stats   Stats
+	closed  bool
+}
+
+// Open opens (or creates) a store at dir. If dir is an existing regular
+// file it is taken to be a legacy JSON application database: the file
+// is converted in place — renamed to dir+".legacy", the directory
+// created where it stood, every record appended — so existing
+// deployments upgrade transparently on first start.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("appstore: empty store path")
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 4 << 20
+	}
+	if opt.PruneFloor == 0 {
+		opt.PruneFloor = DefaultPruneFloor
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	var legacy []Record
+	if fi, err := os.Stat(dir); err == nil && fi.Mode().IsRegular() {
+		recs, err := loadLegacy(dir)
+		if err != nil {
+			return nil, fmt.Errorf("appstore: %s is a file but not a legacy appdb: %w", dir, err)
+		}
+		backup := dir + ".legacy"
+		if err := os.Rename(dir, backup); err != nil {
+			return nil, fmt.Errorf("appstore: move legacy db aside: %w", err)
+		}
+		legacy = recs
+		opt.Logf("appstore: migrating legacy JSON db %s (%d records, backup at %s)", dir, len(recs), backup)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("appstore: create %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:     dir,
+		opt:     opt,
+		nextSeq: 1,
+		byApp:   make(map[string][]int),
+		byClass: make(map[appclass.Class][]int),
+		byVerd:  make(map[appclass.Class][]int),
+		byModel: make(map[string][]int),
+		segs:    make(map[uint64]*segInfo),
+		interns: make(map[string]string),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	if legacy != nil {
+		for i := range legacy {
+			if err := s.Append(&legacy[i]); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("appstore: migrate legacy record %d: %w", i, err)
+			}
+		}
+		if err := s.Sync(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		opt.Logf("appstore: migrated %d legacy record(s) into %s", len(legacy), dir)
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+func segPath(dir string, seg uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("store-%08d.seg", seg))
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "store-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "store-"), ".seg"), 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// load rebuilds the in-memory index from the segments on disk: every
+// frame is CRC-checked and only its fixed meta header decoded. A torn
+// tail on the newest segment is repaired by truncation (the normal
+// crash shape); corruption elsewhere skips the remainder of that
+// segment with a loud log. Records seen twice (a crash between a
+// compaction's copy and its deletes) keep their first copy.
+func (s *Store) load() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("appstore: read %s: %w", s.dir, err)
+	}
+	var segNos []uint64
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			// A compaction that died before its atomic rename; the segment
+			// never became visible, so its contents are all elsewhere.
+			os.Remove(filepath.Join(s.dir, e.Name()))
+			continue
+		}
+		if n, ok := parseSegName(e.Name()); ok {
+			segNos = append(segNos, n)
+		}
+	}
+	sort.Slice(segNos, func(a, b int) bool { return segNos[a] < segNos[b] })
+	tombs, err := loadTombstones(s.dir)
+	if err != nil {
+		return err
+	}
+	seen := make(map[uint64]bool)
+	for _, no := range segNos {
+		if err := s.loadSegment(no, no == segNos[len(segNos)-1], seen); err != nil {
+			return err
+		}
+	}
+	// Entries were collected per segment; compaction copies records into
+	// higher-numbered segments, so restore global seq order.
+	sort.Slice(s.entries, func(a, b int) bool { return s.entries[a].seq < s.entries[b].seq })
+	for i := range s.entries {
+		e := &s.entries[i]
+		if tombs[e.seq] {
+			e.dead = true
+			s.segs[e.seg].dead++
+		} else {
+			s.segs[e.seg].live++
+		}
+		s.indexEntry(i)
+		if e.seq >= s.nextSeq {
+			s.nextSeq = e.seq + 1
+		}
+	}
+	// Continue appending to the newest segment when it has room (its
+	// tail was just verified, and repaired if torn); otherwise start a
+	// fresh one.
+	if n := len(segNos); n > 0 && s.segs[segNos[n-1]].size < s.opt.SegmentBytes {
+		last := segNos[n-1]
+		f, err := os.OpenFile(segPath(s.dir, last), os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("appstore: reopen segment %d: %w", last, err)
+		}
+		if _, err := f.Seek(s.segs[last].size, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("appstore: seek segment %d: %w", last, err)
+		}
+		s.f, s.seg, s.size = f, last, s.segs[last].size
+		return nil
+	}
+	next := uint64(1)
+	if n := len(segNos); n > 0 {
+		next = segNos[n-1] + 1
+	}
+	return s.openSegment(next)
+}
+
+// loadSegment scans one segment, appending its valid records to
+// s.entries (unindexed; load() indexes after the global seq sort).
+func (s *Store) loadSegment(no uint64, newest bool, seen map[uint64]bool) error {
+	path := segPath(s.dir, no)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("appstore: read segment %d: %w", no, err)
+	}
+	info := &segInfo{size: int64(len(data))}
+	s.segs[no] = info
+	valid := int64(len(data))
+	if len(data) < headerSize || [4]byte(data[:4]) != segMagic ||
+		binary.LittleEndian.Uint32(data[4:8]) != segVersion {
+		s.opt.Logf("appstore: segment %d has a bad header; ignoring its contents", no)
+		s.stats.CorruptFrames++
+		valid = int64(len(data))
+		if newest {
+			// Unusable as the active segment; force a fresh one.
+			info.size = s.opt.SegmentBytes
+		}
+		return nil
+	}
+	off := int64(headerSize)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if int64(len(rest)) < frameSize {
+			break // torn frame header at the tail
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest[:4]))
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if plen <= 0 || plen > maxPayload || frameSize+plen > int64(len(rest)) {
+			break
+		}
+		payload := rest[frameSize : frameSize+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		m, _, err := decodeMeta(payload)
+		if err != nil {
+			break
+		}
+		if !seen[m.seq] {
+			seen[m.seq] = true
+			m.app = s.intern(m.app)
+			m.model = s.intern(m.model)
+			s.entries = append(s.entries, entry{meta: m, seg: no, off: off, n: frameSize + plen})
+		}
+		off += frameSize + plen
+	}
+	if off < int64(len(data)) {
+		valid = off
+		s.stats.CorruptFrames++
+		if newest {
+			// The normal crash shape: a torn append at the tail. Repair in
+			// place so the segment can keep taking appends.
+			if err := os.Truncate(path, valid); err != nil {
+				return fmt.Errorf("appstore: repair torn tail of segment %d: %w", no, err)
+			}
+			info.size = valid
+			s.opt.Logf("appstore: repaired torn tail of segment %d (truncated %d bytes)", no, int64(len(data))-valid)
+		} else {
+			// Corruption inside a closed segment is not a crash artifact;
+			// keep what decoded and say so loudly.
+			s.opt.Logf("appstore: CORRUPTION in closed segment %d at offset %d; %d trailing bytes unreadable",
+				no, off, int64(len(data))-valid)
+		}
+	}
+	return nil
+}
+
+func (s *Store) intern(v string) string {
+	if v == "" {
+		return ""
+	}
+	if i, ok := s.interns[v]; ok {
+		return i
+	}
+	s.interns[v] = v
+	return v
+}
+
+// indexEntry adds entries[i] to every posting list.
+func (s *Store) indexEntry(i int) {
+	e := &s.entries[i]
+	s.byApp[e.app] = append(s.byApp[e.app], i)
+	s.byClass[e.class] = append(s.byClass[e.class], i)
+	if e.verdict != "" {
+		s.byVerd[e.verdict] = append(s.byVerd[e.verdict], i)
+	}
+	if e.model != "" {
+		s.byModel[e.model] = append(s.byModel[e.model], i)
+	}
+}
+
+// openSegment creates a fresh active segment.
+func (s *Store) openSegment(no uint64) error {
+	path := segPath(s.dir, no)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("appstore: create segment %s: %w", path, err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], segMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("appstore: write segment header %s: %w", path, err)
+	}
+	s.f, s.seg, s.size = f, no, headerSize
+	if s.segs[no] == nil {
+		s.segs[no] = &segInfo{}
+	}
+	s.segs[no].size = headerSize
+	return nil
+}
+
+// Append validates nothing (appdb.Put validates) and appends one record
+// — the O(1) finalize hot path. The record is assigned the next
+// sequence number and fsynced before return unless Options.NoFsync.
+func (s *Store) Append(r *Record) error {
+	start := s.opt.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("appstore: store is closed")
+	}
+	seq := s.nextSeq
+	buf := append(s.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	buf, err := appendRecordPayload(buf, seq, r)
+	if err != nil {
+		return err
+	}
+	payload := buf[frameSize:]
+	if len(payload) > maxPayload {
+		return fmt.Errorf("appstore: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	s.buf = buf
+	if _, err := s.f.Write(buf); err != nil {
+		// The active segment's tail is now suspect; the next open repairs
+		// it by truncation. Refuse further appends to this handle by
+		// rotating to a fresh segment.
+		if rerr := s.rotateLocked(); rerr != nil {
+			s.opt.Logf("appstore: rotate after failed append: %v", rerr)
+		}
+		return fmt.Errorf("appstore: append to segment %d: %w", s.seg, err)
+	}
+	if !s.opt.NoFsync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("appstore: fsync segment %d: %w", s.seg, err)
+		}
+	}
+	off := s.size
+	s.size += int64(len(buf))
+	s.segs[s.seg].size = s.size
+	s.segs[s.seg].live++
+	s.nextSeq++
+	m := meta{
+		seq: seq, at: r.FinalizedAt, app: s.intern(r.App),
+		class: r.Class, verdict: r.Verdict, model: s.intern(r.ModelID),
+		exec: r.ExecutionTime, samples: r.Samples, gaps: r.Gaps,
+		hasFP: r.Fingerprint != nil && !r.Fingerprint.Empty(),
+	}
+	for _, c := range appclass.All() {
+		if f, ok := r.Composition[c]; ok {
+			m.comp = append(m.comp, compEntry{class: c, frac: f})
+		}
+	}
+	s.entries = append(s.entries, entry{meta: m, seg: s.seg, off: off, n: int64(len(buf))})
+	s.indexEntry(len(s.entries) - 1)
+	s.stats.Appends++
+	elapsed := s.opt.Now().Sub(start).Nanoseconds()
+	s.stats.AppendLastNanos = elapsed
+	s.stats.AppendTotalNanos += elapsed
+	if s.size >= s.opt.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+		s.maybeRetainLocked()
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and opens the next.
+func (s *Store) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		s.opt.Logf("appstore: sync closing segment %d: %v", s.seg, err)
+	}
+	if err := s.f.Close(); err != nil {
+		s.opt.Logf("appstore: close segment %d: %v", s.seg, err)
+	}
+	return s.openSegment(s.nextSegNoLocked())
+}
+
+func (s *Store) nextSegNoLocked() uint64 {
+	next := s.seg + 1
+	for no := range s.segs {
+		if no >= next {
+			next = no + 1
+		}
+	}
+	return next
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("appstore: store is closed")
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("appstore: fsync segment %d: %w", s.seg, err)
+	}
+	return nil
+}
+
+// Close syncs and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	for _, info := range s.segs {
+		if info.rd != nil {
+			info.rd.Close()
+			info.rd = nil
+		}
+	}
+	return err
+}
+
+// Stats returns a snapshot of the store's state.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.Segments = len(s.segs)
+	for _, info := range s.segs {
+		st.Bytes += info.size
+		st.LiveRecords += info.live
+		st.DeadRecords += info.dead
+	}
+	return st
+}
+
+// readEntry preads and decodes one record. Caller holds at least the
+// read lock; segment bytes are immutable while indexed.
+func (s *Store) readEntry(e *entry) (Record, error) {
+	info := s.segs[e.seg]
+	if info == nil {
+		return Record{}, fmt.Errorf("appstore: segment %d vanished from the index", e.seg)
+	}
+	if info.rd == nil {
+		f, err := os.Open(segPath(s.dir, e.seg))
+		if err != nil {
+			return Record{}, fmt.Errorf("appstore: open segment %d: %w", e.seg, err)
+		}
+		info.rd = f
+	}
+	buf := make([]byte, e.n)
+	if _, err := info.rd.ReadAt(buf, e.off); err != nil {
+		return Record{}, fmt.Errorf("appstore: read record %d from segment %d: %w", e.seq, e.seg, err)
+	}
+	plen := int64(binary.LittleEndian.Uint32(buf[:4]))
+	crc := binary.LittleEndian.Uint32(buf[4:8])
+	if plen != e.n-frameSize {
+		return Record{}, fmt.Errorf("appstore: record %d frame length drifted", e.seq)
+	}
+	payload := buf[frameSize:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return Record{}, fmt.Errorf("appstore: record %d failed its checksum", e.seq)
+	}
+	_, r, err := decodeRecordPayload(payload)
+	return r, err
+}
+
+// The read handle cache in segInfo is mutated under the read lock (two
+// readers may race to open the same segment); guard it with a small
+// dedicated mutex instead.
+var readOpenMu sync.Mutex
+
+// Get fetches one record by sequence number.
+func (s *Store) Get(seq uint64) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := s.findSeqLocked(seq)
+	if i < 0 || s.entries[i].dead {
+		return Record{}, fmt.Errorf("appstore: no record with seq %d", seq)
+	}
+	return s.getLocked(&s.entries[i])
+}
+
+func (s *Store) getLocked(e *entry) (Record, error) {
+	readOpenMu.Lock()
+	defer readOpenMu.Unlock()
+	return s.readEntry(e)
+}
+
+// findSeqLocked binary-searches entries (ascending seq).
+func (s *Store) findSeqLocked(seq uint64) int {
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].seq >= seq })
+	if i < len(s.entries) && s.entries[i].seq == seq {
+		return i
+	}
+	return -1
+}
+
+// ---- appdb read API, engine side -------------------------------------
+
+// Apps returns all application names with live records, sorted.
+func (s *Store) Apps() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byApp))
+	for app, idxs := range s.byApp {
+		if s.anyLiveLocked(idxs) {
+			out = append(out, app)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) anyLiveLocked(idxs []int) bool {
+	for _, i := range idxs {
+		if !s.entries[i].dead {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, info := range s.segs {
+		n += info.live
+	}
+	return n
+}
+
+// Runs returns all live records of an application, oldest first.
+func (s *Store) Runs(app string) ([]Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, i := range s.byApp[app] {
+		if s.entries[i].dead {
+			continue
+		}
+		r, err := s.getLocked(&s.entries[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Latest returns the most recent live record of an application.
+func (s *Store) Latest(app string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byApp[app]
+	for i := len(idxs) - 1; i >= 0; i-- {
+		if e := &s.entries[idxs[i]]; !e.dead {
+			return s.getLocked(e)
+		}
+	}
+	return Record{}, fmt.Errorf("appdb: no records for application %q", app)
+}
+
+// Summarize aggregates an application's live records from index
+// metadata alone — no record body is read.
+func (s *Store) Summarize(app string) (Summary, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	classCounts := make(map[appclass.Class]int)
+	comp := make(map[appclass.Class]float64)
+	var execSum time.Duration
+	runs := 0
+	for _, i := range s.byApp[app] {
+		e := &s.entries[i]
+		if e.dead {
+			continue
+		}
+		runs++
+		classCounts[e.class]++
+		for _, c := range e.comp {
+			comp[c.class] += c.frac
+		}
+		execSum += e.exec
+	}
+	if runs == 0 {
+		return Summary{}, fmt.Errorf("appdb: no records for application %q", app)
+	}
+	for c := range comp {
+		comp[c] /= float64(runs)
+	}
+	return Summary{
+		App:             app,
+		Runs:            runs,
+		Class:           modalClass(classCounts),
+		MeanComposition: comp,
+		MeanExecution:   execSum / time.Duration(runs),
+	}, nil
+}
+
+// modalClass picks the most frequent class, ties broken by the lesser
+// class label — the same rule the in-memory engine applies.
+func modalClass(counts map[appclass.Class]int) appclass.Class {
+	var modal appclass.Class
+	best := -1
+	for c, n := range counts {
+		if n > best || (n == best && c < modal) {
+			modal, best = c, n
+		}
+	}
+	return modal
+}
+
+// ByClass returns the applications whose modal class matches c, sorted.
+func (s *Store) ByClass(c appclass.Class) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for app, idxs := range s.byApp {
+		counts := make(map[appclass.Class]int)
+		for _, i := range idxs {
+			if e := &s.entries[i]; !e.dead {
+				counts[e.class]++
+			}
+		}
+		if len(counts) > 0 && modalClass(counts) == c {
+			out = append(out, app)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalExecution sums the execution time of every live record.
+func (s *Store) TotalExecution() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum time.Duration
+	for i := range s.entries {
+		if e := &s.entries[i]; !e.dead {
+			sum += e.exec
+		}
+	}
+	return sum
+}
+
+// Fingerprints returns the fingerprint dictionary — each application's
+// most recent fingerprinted live record. Only those records' bodies are
+// read, so the finalize-path dictionary lookup is O(apps), not
+// O(records).
+func (s *Store) Fingerprints() (map[string]phase.Fingerprint, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]phase.Fingerprint)
+	for app, idxs := range s.byApp {
+		for i := len(idxs) - 1; i >= 0; i-- {
+			e := &s.entries[idxs[i]]
+			if e.dead || !e.hasFP {
+				continue
+			}
+			r, err := s.getLocked(e)
+			if err != nil {
+				return nil, err
+			}
+			if r.Fingerprint != nil && !r.Fingerprint.Empty() {
+				out[app] = *r.Fingerprint
+			}
+			break
+		}
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/appclass"
+	"repro/internal/appstore"
 	"repro/internal/placement"
 	"repro/internal/wal"
 )
@@ -73,6 +74,14 @@ type counters struct {
 	// quiesced swap window.
 	swapLastNanos atomic.Int64
 
+	// Finalize-append instrumentation: how long the database Put on the
+	// finalize hot path takes (the O(1) append the segmented store
+	// replaced the O(n) file rewrite with). Last is a gauge, the other
+	// two counters feeding a mean.
+	finalizeAppends         atomic.Int64
+	finalizeAppendNanos     atomic.Int64
+	finalizeAppendLastNanos atomic.Int64
+
 	classifications map[appclass.Class]*atomic.Int64
 }
 
@@ -113,7 +122,7 @@ type resilienceGauges struct {
 // Prometheus text format. pstats is nil when no placement service is
 // configured; dg is nil when no journal is configured; historyDropped
 // sums Online.HistoryDropped over live sessions.
-func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges, mg modelGauges) {
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges, mg modelGauges, sg *appstore.Stats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -231,6 +240,25 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 		fmt.Fprintf(w, "# HELP appclassd_shadow_unknown_rate_delta Candidate unknown rate minus active unknown rate over shadowed snapshots.\n# TYPE appclassd_shadow_unknown_rate_delta gauge\nappclassd_shadow_unknown_rate_delta{candidate=%q} %g\n", sv.Candidate, sv.UnknownRateDelta)
 		fmt.Fprintf(w, "# HELP appclassd_shadow_latency_seconds Mean per-snapshot classification latency of the candidate.\n# TYPE appclassd_shadow_latency_seconds gauge\nappclassd_shadow_latency_seconds{candidate=%q} %g\n", sv.Candidate, float64(sv.MeanLatencyNanos)/1e9)
 		fmt.Fprintf(w, "# HELP appclassd_shadow_errors Candidate classification errors over shadowed snapshots.\n# TYPE appclassd_shadow_errors gauge\nappclassd_shadow_errors{candidate=%q} %d\n", sv.Candidate, sv.Errors)
+	}
+	// Finalize hot-path latency: the database Put per session finalize.
+	counter("appclassd_finalize_appends_total", "Session records appended to the application database.", c.finalizeAppends.Load())
+	fmt.Fprintf(w, "# HELP appclassd_finalize_append_seconds_total Cumulative time spent appending finalized records to the application database.\n# TYPE appclassd_finalize_append_seconds_total counter\nappclassd_finalize_append_seconds_total %g\n",
+		float64(c.finalizeAppendNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP appclassd_finalize_append_last_seconds Duration of the most recent finalize append (0 before any finalize).\n# TYPE appclassd_finalize_append_last_seconds gauge\nappclassd_finalize_append_last_seconds %g\n",
+		float64(c.finalizeAppendLastNanos.Load())/1e9)
+	if sg != nil {
+		// Segmented-store gauges (absent when the database is in-memory).
+		fmt.Fprintf(w, "# HELP appclassd_appdb_segments Application-database segment files on disk, including the active one.\n# TYPE appclassd_appdb_segments gauge\nappclassd_appdb_segments %d\n", sg.Segments)
+		fmt.Fprintf(w, "# HELP appclassd_appdb_bytes Total bytes of application-database segments on disk.\n# TYPE appclassd_appdb_bytes gauge\nappclassd_appdb_bytes %d\n", sg.Bytes)
+		fmt.Fprintf(w, "# HELP appclassd_appdb_live_records Live records in the application database.\n# TYPE appclassd_appdb_live_records gauge\nappclassd_appdb_live_records %d\n", sg.LiveRecords)
+		fmt.Fprintf(w, "# HELP appclassd_appdb_dead_records Tombstoned records awaiting compaction.\n# TYPE appclassd_appdb_dead_records gauge\nappclassd_appdb_dead_records %d\n", sg.DeadRecords)
+		counter("appclassd_appdb_compactions_total", "Application-database compaction passes since open.", sg.Compactions)
+		counter("appclassd_appdb_pruned_records_total", "Records marked dead by pruning and retention since open.", sg.PrunedRecords)
+		counter("appclassd_appdb_dropped_records_total", "Records physically removed by compaction since open.", sg.DroppedRecords)
+		counter("appclassd_appdb_corrupt_frames_total", "Corrupt application-database frames skipped at open.", sg.CorruptFrames)
+		fmt.Fprintf(w, "# HELP appclassd_appdb_append_last_seconds Duration of the store's most recent record append.\n# TYPE appclassd_appdb_append_last_seconds gauge\nappclassd_appdb_append_last_seconds %g\n",
+			float64(sg.AppendLastNanos)/1e9)
 	}
 	fmt.Fprintf(w, "# HELP appclassd_uptime_seconds Seconds since the daemon started.\n# TYPE appclassd_uptime_seconds gauge\nappclassd_uptime_seconds %g\n", uptimeSeconds)
 }

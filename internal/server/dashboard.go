@@ -1,0 +1,252 @@
+package server
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/appclass"
+	"repro/internal/appstore"
+)
+
+// The control-plane dashboard is a static single-page app compiled into
+// the binary: no build step, no CDN, nothing to deploy next to the
+// daemon. It polls the JSON endpoints below (which are always on; only
+// the asset mount is gated by Config.Dashboard).
+
+//go:embed dashboard
+var dashboardFiles embed.FS
+
+func dashboardAssets() fs.FS {
+	sub, err := fs.Sub(dashboardFiles, "dashboard")
+	if err != nil {
+		panic(err) // embedded tree is fixed at build time
+	}
+	return sub
+}
+
+// runJSON is one row of GET /v1/runs: a finalized application-database
+// record, rendered for operators (durations in seconds, times RFC3339).
+type runJSON struct {
+	App           string                     `json:"app"`
+	Class         string                     `json:"class"`
+	Composition   map[appclass.Class]float64 `json:"composition,omitempty"`
+	ExecutionSecs float64                    `json:"execution_s"`
+	Samples       int                        `json:"samples"`
+	FinalizedAt   string                     `json:"finalized_at,omitempty"`
+	Gaps          int                        `json:"gaps,omitempty"`
+	Verdict       string                     `json:"verdict,omitempty"`
+	Unknown       float64                    `json:"unknown_fraction,omitempty"`
+	Model         string                     `json:"model,omitempty"`
+	Phases        int                        `json:"phases,omitempty"`
+	Fingerprint   string                     `json:"fingerprint,omitempty"`
+	MatchedApp    string                     `json:"matched_app,omitempty"`
+	MatchScore    float64                    `json:"match_score,omitempty"`
+}
+
+// parseTimeParam accepts RFC3339 or integer unix seconds; zero when
+// absent.
+func parseTimeParam(v string) (int64, bool) {
+	if v == "" {
+		return 0, true
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return secs * int64(time.Second), true
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t.UnixNano(), true
+	}
+	return 0, false
+}
+
+// handleRuns serves the paginated finalized-run query API over the
+// application database: GET /v1/runs?app=&class=&verdict=&model=&since=
+// &until=&cursor=&limit=. Newest first; the response's next_cursor
+// resumes the scan (0 when exhausted).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := appstore.Filter{
+		App:     q.Get("app"),
+		Class:   appclass.Class(q.Get("class")),
+		Verdict: appclass.Class(q.Get("verdict")),
+		Model:   q.Get("model"),
+	}
+	if f.Class != "" && !appclass.Valid(f.Class) {
+		writeError(w, http.StatusBadRequest, "unknown class %q", f.Class)
+		return
+	}
+	if f.Verdict != "" && f.Verdict != appclass.Unknown && !appclass.Valid(f.Verdict) {
+		writeError(w, http.StatusBadRequest, "unknown verdict %q", f.Verdict)
+		return
+	}
+	var ok bool
+	if f.Since, ok = parseTimeParam(q.Get("since")); !ok {
+		writeError(w, http.StatusBadRequest, "since must be RFC3339 or unix seconds")
+		return
+	}
+	if f.Until, ok = parseTimeParam(q.Get("until")); !ok {
+		writeError(w, http.StatusBadRequest, "until must be RFC3339 or unix seconds")
+		return
+	}
+	var cursor uint64
+	if v := q.Get("cursor"); v != "" {
+		c, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cursor must be an unsigned integer")
+			return
+		}
+		cursor = c
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	recs, next, err := s.cfg.DB.Scan(f, cursor, limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "scan: %v", err)
+		return
+	}
+	out := struct {
+		Count      int       `json:"count"`
+		Runs       []runJSON `json:"runs"`
+		NextCursor uint64    `json:"next_cursor"`
+	}{Runs: make([]runJSON, 0, len(recs)), NextCursor: next}
+	for _, rec := range recs {
+		row := runJSON{
+			App:           rec.App,
+			Class:         string(rec.Class),
+			Composition:   rec.Composition,
+			ExecutionSecs: rec.ExecutionTime.Seconds(),
+			Samples:       rec.Samples,
+			Gaps:          rec.Gaps,
+			Verdict:       string(rec.Verdict),
+			Unknown:       rec.UnknownFraction,
+			Model:         rec.ModelID,
+			Phases:        len(rec.Phases),
+			MatchedApp:    rec.MatchedApp,
+			MatchScore:    rec.MatchScore,
+		}
+		if rec.FinalizedAt > 0 {
+			row.FinalizedAt = time.Unix(0, rec.FinalizedAt).UTC().Format(time.RFC3339)
+		}
+		if rec.Fingerprint != nil && !rec.Fingerprint.Empty() {
+			row.Fingerprint = rec.Fingerprint.String()
+		}
+		out.Runs = append(out.Runs, row)
+	}
+	out.Count = len(out.Runs)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statusJSON is GET /v1/status: the control-plane state the dashboard
+// renders — one JSON document instead of scraping Prometheus text.
+type statusJSON struct {
+	UptimeSecs float64 `json:"uptime_s"`
+	Sessions   int     `json:"sessions"`
+	Ingested   int64   `json:"ingested"`
+	// Durability is "none", "journaled", or "degraded"; Ready mirrors
+	// /readyz.
+	Durability string `json:"durability"`
+	Ready      bool   `json:"ready"`
+	Reason     string `json:"reason,omitempty"`
+	// Journal state (absent without a journal).
+	JournalSegments int   `json:"journal_segments,omitempty"`
+	JournalBytes    int64 `json:"journal_bytes,omitempty"`
+	// BreakerState is the poll breaker (0 closed, 1 half-open, 2 open);
+	// -1 when the daemon runs push-only.
+	BreakerState int64 `json:"breaker_state"`
+	// Classes counts live sessions by current class vote.
+	Classes map[string]int `json:"classes"`
+	// Model is the serving model's compatibility hash; ShadowCandidate
+	// the candidate currently shadow-classifying, if any.
+	Model           string `json:"model,omitempty"`
+	ShadowCandidate string `json:"shadow_candidate,omitempty"`
+	// Database state: record/application counts and — when the segmented
+	// store backs it — engine internals.
+	DBRecords int             `json:"db_records"`
+	DBApps    int             `json:"db_apps"`
+	Store     *storeStateJSON `json:"store,omitempty"`
+	// Placement inventory, when the placement service is configured.
+	Hosts      int  `json:"hosts,omitempty"`
+	Placements int  `json:"placements,omitempty"`
+	HasAdvice  bool `json:"has_advice"`
+}
+
+type storeStateJSON struct {
+	Dir            string  `json:"dir"`
+	Segments       int     `json:"segments"`
+	Bytes          int64   `json:"bytes"`
+	LiveRecords    int     `json:"live_records"`
+	DeadRecords    int     `json:"dead_records"`
+	Compactions    int64   `json:"compactions"`
+	PrunedRecords  int64   `json:"pruned_records"`
+	AppendLastSecs float64 `json:"append_last_s"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.readiness()
+	st := statusJSON{
+		UptimeSecs:   s.now().Sub(s.start).Seconds(),
+		Sessions:     s.reg.len(),
+		Ingested:     s.counters.ingested.Load(),
+		Durability:   "none",
+		Ready:        ready,
+		Reason:       reason,
+		BreakerState: -1,
+		Classes:      make(map[string]int),
+		Model:        s.ActiveModelID(),
+		DBRecords:    s.cfg.DB.Len(),
+		DBApps:       len(s.cfg.DB.Apps()),
+		HasAdvice:    s.cfg.Placement != nil,
+	}
+	if j := s.cfg.Journal; j != nil {
+		st.Durability = "journaled"
+		if s.DurabilityDegraded() {
+			st.Durability = "degraded"
+		}
+		js := j.Stats()
+		st.JournalSegments = js.Segments
+		st.JournalBytes = js.Bytes
+	}
+	// The breaker position is only meaningful once the poll loop has
+	// attempted something; a push-only daemon reports -1 (n/a).
+	if s.counters.polls.Load() > 0 {
+		st.BreakerState = s.counters.breakerState.Load()
+	}
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		view := sess.online.Snapshot()
+		sess.mu.Unlock()
+		if view.Total > 0 {
+			st.Classes[string(view.Class)]++
+		}
+	}
+	if se := s.shadow.Load(); se != nil {
+		st.ShadowCandidate = se.view().Candidate
+	}
+	if ss, ok := s.cfg.DB.StoreStats(); ok {
+		st.Store = &storeStateJSON{
+			Dir:            s.cfg.DB.Store().Dir(),
+			Segments:       ss.Segments,
+			Bytes:          ss.Bytes,
+			LiveRecords:    ss.LiveRecords,
+			DeadRecords:    ss.DeadRecords,
+			Compactions:    ss.Compactions,
+			PrunedRecords:  ss.PrunedRecords,
+			AppendLastSecs: float64(ss.AppendLastNanos) / 1e9,
+		}
+	}
+	if s.cfg.Placement != nil {
+		ps := s.cfg.Placement.Stat()
+		st.Hosts = ps.Hosts
+		st.Placements = ps.Placements
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/appclass"
+	"repro/internal/appstore"
 	"repro/internal/classify"
 	"repro/internal/metrics"
 	"repro/internal/phase"
@@ -40,6 +41,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/placements/{id}", s.handleRelease)
 	mux.HandleFunc("GET /v1/hosts", s.handleHosts)
 	mux.HandleFunc("GET /v1/hosts/{name}", s.handleHost)
+	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	if s.cfg.Dashboard {
+		mux.Handle("GET /dashboard/", http.StripPrefix("/dashboard/", http.FileServerFS(dashboardAssets())))
+		mux.HandleFunc("GET /dashboard", func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, "/dashboard/", http.StatusMovedPermanently)
+		})
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -639,5 +648,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		v := se.view()
 		mg.shadow = &v
 	}
-	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg, mg)
+	var sg *appstore.Stats
+	if st, ok := s.cfg.DB.StoreStats(); ok {
+		sg = &st
+	}
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg, mg, sg)
 }

@@ -136,6 +136,12 @@ type Config struct {
 	// binary columnar fast path is on by default; disabling it leaves
 	// JSON as the only ingest format.
 	DisableBinaryIngest bool
+	// Dashboard mounts the embedded control-plane dashboard under
+	// /dashboard/ (appclassd -dashboard): live sessions, class mix,
+	// breaker/durability state, and paginated finalized runs, all served
+	// from assets compiled into the binary. Off by default; the JSON
+	// endpoints backing it (/v1/runs, /v1/status) are always on.
+	Dashboard bool
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the daemon's mux. Off by default: the profiler
 	// exposes goroutine stacks and heap contents, so it is opt-in
@@ -550,9 +556,18 @@ func (s *Server) finalize(sess *session, journal bool) bool {
 			s.counters.fingerprintMisses.Add(1)
 		}
 	}
+	// Stamp the finalize time so both database engines store identical
+	// records and Scan/retention can order by it.
+	rec.FinalizedAt = s.now().UnixNano()
+	putStart := s.now()
 	if err := s.cfg.DB.Put(rec); err != nil {
 		s.counters.finalizeErrors.Add(1)
 		s.cfg.Logf("server: finalize %s: %v", sess.vm, err)
+	} else {
+		elapsed := s.now().Sub(putStart).Nanoseconds()
+		s.counters.finalizeAppendLastNanos.Store(elapsed)
+		s.counters.finalizeAppendNanos.Add(elapsed)
+		s.counters.finalizeAppends.Add(1)
 	}
 	return true
 }
