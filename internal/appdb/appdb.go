@@ -54,18 +54,22 @@ type DB struct {
 	mu      sync.RWMutex
 	records map[string][]stored
 	nextSeq uint64
-	store   *appstore.Store // nil for the in-memory engine
+	store   *appstore.Store       // nil for the in-memory engine
+	logf    func(string, ...any) // engine errors on no-error API paths
 }
 
 // New creates an empty in-memory database.
 func New() *DB {
-	return &DB{records: make(map[string][]stored), nextSeq: 1}
+	return &DB{records: make(map[string][]stored), nextSeq: 1, logf: func(string, ...any) {}}
 }
 
 // Open opens a database backed by the log-structured segmented store at
 // path (see appstore.Open; a legacy JSON file at path is converted in
 // place). The returned DB serves the same API as an in-memory one;
-// callers must Close it to flush the active segment.
+// callers must Close it to flush the active segment. Engine read errors
+// surfacing through API methods without an error return (Runs,
+// Fingerprints, Prune) are reported through opt.Logf, so a damaged
+// store degrades loudly instead of masquerading as an empty one.
 func Open(path string, opt appstore.Options) (*DB, error) {
 	st, err := appstore.Open(path, opt)
 	if err != nil {
@@ -73,6 +77,9 @@ func Open(path string, opt appstore.Options) (*DB, error) {
 	}
 	db := New()
 	db.store = st
+	if opt.Logf != nil {
+		db.logf = opt.Logf
+	}
 	return db, nil
 }
 
@@ -114,10 +121,15 @@ func (db *DB) Put(r Record) error {
 	return nil
 }
 
-// Runs returns all records of an application, oldest first.
+// Runs returns all records of an application, oldest first. On the
+// segmented store, unreadable records are logged and skipped — the
+// readable remainder is still returned.
 func (db *DB) Runs(app string) []Record {
 	if db.store != nil {
-		rs, _ := db.store.Runs(app)
+		rs, err := db.store.Runs(app)
+		if err != nil {
+			db.logf("appdb: reading runs for %q: %v", app, err)
+		}
 		return rs
 	}
 	db.mu.RLock()
@@ -233,7 +245,12 @@ func matchFilter(f Filter, r *Record) bool {
 // a finalizing session against.
 func (db *DB) Fingerprints() map[string]phase.Fingerprint {
 	if db.store != nil {
-		fps, _ := db.store.Fingerprints()
+		fps, err := db.store.Fingerprints()
+		if err != nil {
+			// The partial dictionary still matches what it can; say what
+			// was lost so degraded verdicts are explainable.
+			db.logf("appdb: reading fingerprint dictionary: %v", err)
+		}
 		return fps
 	}
 	db.mu.RLock()

@@ -76,7 +76,10 @@ func (db *DB) Prune(keep int) int {
 		return 0
 	}
 	if db.store != nil {
-		dropped, _ := db.store.Prune(keep)
+		dropped, err := db.store.Prune(keep)
+		if err != nil {
+			db.logf("appdb: prune(keep=%d): %v", keep, err)
+		}
 		return dropped
 	}
 	db.mu.Lock()

@@ -205,15 +205,11 @@ func (s *Store) compactLocked() error {
 				frame = make([]byte, e.n)
 			}
 			frame = frame[:e.n]
-			info := s.segs[e.seg]
-			if info.rd == nil {
-				rd, err := os.Open(segPath(s.dir, e.seg))
-				if err != nil {
-					return fail(fmt.Errorf("appstore: open victim segment %d: %w", e.seg, err))
-				}
-				info.rd = rd
+			rd, err := s.readHandle(e.seg, s.segs[e.seg])
+			if err != nil {
+				return fail(fmt.Errorf("appstore: open victim segment %d: %w", e.seg, err))
 			}
-			if _, err := info.rd.ReadAt(frame, e.off); err != nil {
+			if _, err := rd.ReadAt(frame, e.off); err != nil {
 				return fail(fmt.Errorf("appstore: read record %d for compaction: %w", e.seq, err))
 			}
 			if _, err := f.Write(frame); err != nil {

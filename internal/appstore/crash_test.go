@@ -179,7 +179,120 @@ func TestCrashMidCompaction(t *testing.T) {
 			}
 			seen[r.Samples] = true
 		}
+		// Every frame of the duplicated segment lost the dedup, so nothing
+		// indexes into it and compaction would never visit it (live=0,
+		// dead=0): reopen must reclaim the orphan, not leak it forever.
+		if _, err := os.Stat(filepath.Join(dir, "store-00009999.seg")); !os.IsNotExist(err) {
+			t.Errorf("fully duplicated segment survived reopen (stat err: %v)", err)
+		}
+		if st := s.Stats(); int64(st.LiveRecords) == 0 || st.Bytes != onDiskSegBytes(t, dir) {
+			t.Errorf("Stats inconsistent after orphan cleanup: %+v vs %d on-disk bytes", st, onDiskSegBytes(t, dir))
+		}
 	})
+}
+
+// onDiskSegBytes sums the sizes of the directory's segment files.
+func onDiskSegBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		if _, ok := parseSegName(e.Name()); ok {
+			fi, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// TestCorruptHeaderQuarantine smashes the newest segment's header and
+// asserts the segment is quarantined aside — not counted with a
+// fabricated SegmentBytes size that would skew Stats.Bytes and the
+// MaxBytes retention total — while records in older segments survive
+// and the store keeps taking appends.
+func TestCorruptHeaderQuarantine(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := openTest(t, dir, Options{SegmentBytes: 600})
+	const n = 12
+	for i := 0; i < n; i++ {
+		r := testRecord("vm", appclass.CPU, i)
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// The newest segment may be freshly rotated and empty; smash the
+	// newest one that actually holds records.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best uint64
+	var path string
+	for _, e := range ents {
+		no, ok := parseSegName(e.Name())
+		if !ok || no < best {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > int64(headerSize) {
+			best, path = no, filepath.Join(dir, e.Name())
+		}
+	}
+	if path == "" {
+		t.Fatal("no non-empty segment found")
+	}
+	if err := os.WriteFile(path, append([]byte("not a segment"), make([]byte, 64)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{SegmentBytes: 600})
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt segment still present as %s (stat err: %v)", path, err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt segment not quarantined to %s.corrupt: %v", path, err)
+	}
+	// The records in older, intact segments survive as a contiguous
+	// prefix of the appended sequence.
+	runs, err := s2.Runs("vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 || len(runs) >= n {
+		t.Fatalf("got %d surviving records, want between 1 and %d", len(runs), n-1)
+	}
+	for i, r := range runs {
+		if r.Samples != 10+i {
+			t.Fatalf("surviving record %d has Samples=%d, want %d", i, r.Samples, 10+i)
+		}
+	}
+	// The byte accounting reflects the real on-disk segments only — a
+	// fabricated SegmentBytes-sized phantom here would make the MaxBytes
+	// retention cap prune live records prematurely.
+	if st := s2.Stats(); st.Bytes != onDiskSegBytes(t, dir) {
+		t.Errorf("Stats.Bytes = %d, on-disk segment bytes = %d", st.Bytes, onDiskSegBytes(t, dir))
+	}
+	extra := testRecord("vm", appclass.CPU, 100)
+	if err := s2.Append(&extra); err != nil {
+		t.Fatal(err)
+	}
+	before := s2.Len()
+	s2.Close()
+	s3 := openTest(t, dir, Options{SegmentBytes: 600})
+	if got := s3.Len(); got != before {
+		t.Errorf("Len after quarantine+append+reopen = %d, want %d", got, before)
+	}
 }
 
 // indexSnapshot flattens the in-memory index for comparison.

@@ -93,7 +93,7 @@ func (s *Store) Scan(f Filter, cursor uint64, limit int) ([]Record, uint64, erro
 		if !match(e) {
 			return false, nil
 		}
-		r, err := s.getLocked(e)
+		r, err := s.readEntry(e)
 		if err != nil {
 			return false, err
 		}

@@ -92,10 +92,12 @@ type entry struct {
 
 // segInfo tracks one segment on disk.
 type segInfo struct {
-	size int64
-	live int
-	dead int
-	rd   *os.File // lazily opened read handle
+	size    int64
+	live    int
+	dead    int
+	corrupt bool // undecodable bytes seen at load; never reuse as active
+	dups    int  // frames skipped at load because their seq was already seen
+	rd      *os.File // lazily opened read handle
 }
 
 // Store is the log-structured application-record store. It is safe for
@@ -107,7 +109,8 @@ type Store struct {
 	opt Options
 
 	mu      sync.RWMutex
-	f       *os.File // active segment write handle
+	rdMu    sync.Mutex // guards lazy opens of segInfo.rd under the read lock
+	f       *os.File   // active segment write handle
 	seg     uint64   // active segment number
 	size    int64    // active segment size
 	nextSeq uint64
@@ -258,21 +261,39 @@ func (s *Store) load() error {
 			s.nextSeq = e.seq + 1
 		}
 	}
+	// A crash between a compaction's rename and its victim deletes can
+	// leave a fully duplicated segment: every frame decoded but every seq
+	// was already seen, so nothing indexes into it and compaction (which
+	// only targets dead>0) would never reclaim it. Its records all live
+	// elsewhere, so deleting it is safe.
+	for no, info := range s.segs {
+		if info.live == 0 && info.dead == 0 && info.dups > 0 && !info.corrupt {
+			if err := os.Remove(segPath(s.dir, no)); err != nil {
+				s.opt.Logf("appstore: delete fully duplicated segment %d: %v", no, err)
+				continue
+			}
+			s.opt.Logf("appstore: deleted segment %d: all %d frame(s) were duplicates from an interrupted compaction", no, info.dups)
+			delete(s.segs, no)
+		}
+	}
 	// Continue appending to the newest segment when it has room (its
 	// tail was just verified, and repaired if torn); otherwise start a
-	// fresh one.
-	if n := len(segNos); n > 0 && s.segs[segNos[n-1]].size < s.opt.SegmentBytes {
+	// fresh one. A newest segment that was quarantined or deleted above
+	// is absent from s.segs and never reused.
+	if n := len(segNos); n > 0 {
 		last := segNos[n-1]
-		f, err := os.OpenFile(segPath(s.dir, last), os.O_WRONLY, 0o644)
-		if err != nil {
-			return fmt.Errorf("appstore: reopen segment %d: %w", last, err)
+		if info := s.segs[last]; info != nil && !info.corrupt && info.size < s.opt.SegmentBytes {
+			f, err := os.OpenFile(segPath(s.dir, last), os.O_WRONLY, 0o644)
+			if err != nil {
+				return fmt.Errorf("appstore: reopen segment %d: %w", last, err)
+			}
+			if _, err := f.Seek(info.size, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("appstore: seek segment %d: %w", last, err)
+			}
+			s.f, s.seg, s.size = f, last, info.size
+			return nil
 		}
-		if _, err := f.Seek(s.segs[last].size, 0); err != nil {
-			f.Close()
-			return fmt.Errorf("appstore: seek segment %d: %w", last, err)
-		}
-		s.f, s.seg, s.size = f, last, s.segs[last].size
-		return nil
 	}
 	next := uint64(1)
 	if n := len(segNos); n > 0 {
@@ -289,20 +310,26 @@ func (s *Store) loadSegment(no uint64, newest bool, seen map[uint64]bool) error 
 	if err != nil {
 		return fmt.Errorf("appstore: read segment %d: %w", no, err)
 	}
-	info := &segInfo{size: int64(len(data))}
-	s.segs[no] = info
-	valid := int64(len(data))
 	if len(data) < headerSize || [4]byte(data[:4]) != segMagic ||
 		binary.LittleEndian.Uint32(data[4:8]) != segVersion {
-		s.opt.Logf("appstore: segment %d has a bad header; ignoring its contents", no)
+		// Nothing in this segment is readable. Quarantine it aside so it
+		// stops counting against the byte cap (and can be inspected), and
+		// so it is never reused as the active segment.
 		s.stats.CorruptFrames++
-		valid = int64(len(data))
-		if newest {
-			// Unusable as the active segment; force a fresh one.
-			info.size = s.opt.SegmentBytes
+		quarantine := path + ".corrupt"
+		if err := os.Rename(path, quarantine); err != nil {
+			// Can't move it; keep tracking its real on-disk size (never a
+			// fabricated one, which would skew Stats.Bytes and retention)
+			// and flag it so it is neither appended to nor deleted.
+			s.segs[no] = &segInfo{size: int64(len(data)), corrupt: true}
+			s.opt.Logf("appstore: segment %d has a bad header and could not be quarantined (%v); ignoring its contents", no, err)
+			return nil
 		}
+		s.opt.Logf("appstore: segment %d has a bad header; quarantined to %s", no, quarantine)
 		return nil
 	}
+	info := &segInfo{size: int64(len(data))}
+	s.segs[no] = info
 	off := int64(headerSize)
 	for off < int64(len(data)) {
 		rest := data[off:]
@@ -327,25 +354,29 @@ func (s *Store) loadSegment(no uint64, newest bool, seen map[uint64]bool) error 
 			m.app = s.intern(m.app)
 			m.model = s.intern(m.model)
 			s.entries = append(s.entries, entry{meta: m, seg: no, off: off, n: frameSize + plen})
+		} else {
+			// A crash between a compaction's rename and its victim deletes
+			// leaves the same seq in two segments; the first copy wins.
+			info.dups++
 		}
 		off += frameSize + plen
 	}
 	if off < int64(len(data)) {
-		valid = off
 		s.stats.CorruptFrames++
 		if newest {
 			// The normal crash shape: a torn append at the tail. Repair in
 			// place so the segment can keep taking appends.
-			if err := os.Truncate(path, valid); err != nil {
+			if err := os.Truncate(path, off); err != nil {
 				return fmt.Errorf("appstore: repair torn tail of segment %d: %w", no, err)
 			}
-			info.size = valid
-			s.opt.Logf("appstore: repaired torn tail of segment %d (truncated %d bytes)", no, int64(len(data))-valid)
+			info.size = off
+			s.opt.Logf("appstore: repaired torn tail of segment %d (truncated %d bytes)", no, int64(len(data))-off)
 		} else {
 			// Corruption inside a closed segment is not a crash artifact;
 			// keep what decoded and say so loudly.
+			info.corrupt = true
 			s.opt.Logf("appstore: CORRUPTION in closed segment %d at offset %d; %d trailing bytes unreadable",
-				no, off, int64(len(data))-valid)
+				no, off, int64(len(data))-off)
 		}
 	}
 	return nil
@@ -536,21 +567,20 @@ func (s *Store) Stats() Stats {
 }
 
 // readEntry preads and decodes one record. Caller holds at least the
-// read lock; segment bytes are immutable while indexed.
+// read lock; segment bytes are immutable while indexed. Concurrent
+// readers share the segment's cached handle — ReadAt carries its own
+// offset, so no further locking is needed here.
 func (s *Store) readEntry(e *entry) (Record, error) {
 	info := s.segs[e.seg]
 	if info == nil {
 		return Record{}, fmt.Errorf("appstore: segment %d vanished from the index", e.seg)
 	}
-	if info.rd == nil {
-		f, err := os.Open(segPath(s.dir, e.seg))
-		if err != nil {
-			return Record{}, fmt.Errorf("appstore: open segment %d: %w", e.seg, err)
-		}
-		info.rd = f
+	rd, err := s.readHandle(e.seg, info)
+	if err != nil {
+		return Record{}, err
 	}
 	buf := make([]byte, e.n)
-	if _, err := info.rd.ReadAt(buf, e.off); err != nil {
+	if _, err := rd.ReadAt(buf, e.off); err != nil {
 		return Record{}, fmt.Errorf("appstore: read record %d from segment %d: %w", e.seq, e.seg, err)
 	}
 	plen := int64(binary.LittleEndian.Uint32(buf[:4]))
@@ -566,10 +596,24 @@ func (s *Store) readEntry(e *entry) (Record, error) {
 	return r, err
 }
 
-// The read handle cache in segInfo is mutated under the read lock (two
-// readers may race to open the same segment); guard it with a small
-// dedicated mutex instead.
-var readOpenMu sync.Mutex
+// readHandle returns the segment's cached read handle, opening it
+// lazily. The cache slot is mutated under the shared read lock (two
+// readers may race to open the same segment), so the open itself is
+// guarded by a small per-store mutex; the returned *os.File is used
+// outside the guard, because ReadAt on a shared file is
+// concurrency-safe — reads do not serialize on each other.
+func (s *Store) readHandle(seg uint64, info *segInfo) (*os.File, error) {
+	s.rdMu.Lock()
+	defer s.rdMu.Unlock()
+	if info.rd == nil {
+		f, err := os.Open(segPath(s.dir, seg))
+		if err != nil {
+			return nil, fmt.Errorf("appstore: open segment %d: %w", seg, err)
+		}
+		info.rd = f
+	}
+	return info.rd, nil
+}
 
 // Get fetches one record by sequence number.
 func (s *Store) Get(seq uint64) (Record, error) {
@@ -579,13 +623,7 @@ func (s *Store) Get(seq uint64) (Record, error) {
 	if i < 0 || s.entries[i].dead {
 		return Record{}, fmt.Errorf("appstore: no record with seq %d", seq)
 	}
-	return s.getLocked(&s.entries[i])
-}
-
-func (s *Store) getLocked(e *entry) (Record, error) {
-	readOpenMu.Lock()
-	defer readOpenMu.Unlock()
-	return s.readEntry(e)
+	return s.readEntry(&s.entries[i])
 }
 
 // findSeqLocked binary-searches entries (ascending seq).
@@ -633,20 +671,33 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Runs returns all live records of an application, oldest first.
+// Runs returns all live records of an application, oldest first. An
+// unreadable record (I/O error, checksum failure) is skipped, not
+// fatal: the readable records are returned alongside an error
+// describing what was lost, so callers can tell a short history from a
+// damaged one.
 func (s *Store) Runs(app string) ([]Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Record
+	var firstErr error
+	failed := 0
 	for _, i := range s.byApp[app] {
 		if s.entries[i].dead {
 			continue
 		}
-		r, err := s.getLocked(&s.entries[i])
+		r, err := s.readEntry(&s.entries[i])
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			failed++
+			continue
 		}
 		out = append(out, r)
+	}
+	if firstErr != nil {
+		return out, fmt.Errorf("appstore: %d unreadable record(s) for %q: %w", failed, app, firstErr)
 	}
 	return out, nil
 }
@@ -658,7 +709,7 @@ func (s *Store) Latest(app string) (Record, error) {
 	idxs := s.byApp[app]
 	for i := len(idxs) - 1; i >= 0; i-- {
 		if e := &s.entries[idxs[i]]; !e.dead {
-			return s.getLocked(e)
+			return s.readEntry(e)
 		}
 	}
 	return Record{}, fmt.Errorf("appdb: no records for application %q", app)
@@ -749,26 +800,38 @@ func (s *Store) TotalExecution() time.Duration {
 // Fingerprints returns the fingerprint dictionary — each application's
 // most recent fingerprinted live record. Only those records' bodies are
 // read, so the finalize-path dictionary lookup is O(apps), not
-// O(records).
+// O(records). An unreadable dictionary entry drops its application from
+// the map; the partial dictionary is returned alongside an error naming
+// the loss, so the caller can log that matching degraded rather than
+// silently losing applications.
 func (s *Store) Fingerprints() (map[string]phase.Fingerprint, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]phase.Fingerprint)
+	var firstErr error
+	failed := 0
 	for app, idxs := range s.byApp {
 		for i := len(idxs) - 1; i >= 0; i-- {
 			e := &s.entries[idxs[i]]
 			if e.dead || !e.hasFP {
 				continue
 			}
-			r, err := s.getLocked(e)
+			r, err := s.readEntry(e)
 			if err != nil {
-				return nil, err
+				if firstErr == nil {
+					firstErr = err
+				}
+				failed++
+				break
 			}
 			if r.Fingerprint != nil && !r.Fingerprint.Empty() {
 				out[app] = *r.Fingerprint
 			}
 			break
 		}
+	}
+	if firstErr != nil {
+		return out, fmt.Errorf("appstore: %d unreadable fingerprint dictionary entr(ies): %w", failed, firstErr)
 	}
 	return out, nil
 }

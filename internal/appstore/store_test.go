@@ -319,6 +319,43 @@ func TestRotationAndReopen(t *testing.T) {
 	}
 }
 
+// TestRunsPartialOnUnreadableSegment deletes a closed segment out from
+// under an open store and asserts Runs returns the readable records
+// plus an error naming the loss — not a silent nil that looks like an
+// empty history.
+func TestRunsPartialOnUnreadableSegment(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := openTest(t, dir, Options{SegmentBytes: 600})
+	const n = 20
+	for i := 0; i < n; i++ {
+		r := testRecord("vm", appclass.CPU, i)
+		if i == 0 {
+			// The only fingerprinted record lands in the first segment, the
+			// one about to go missing — the dictionary read must then fail
+			// loudly, not shrink silently.
+			r.Fingerprint = testFingerprint()
+		}
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2 := openTest(t, dir, Options{SegmentBytes: 600})
+	if err := os.Remove(filepath.Join(dir, "store-00000001.seg")); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s2.Runs("vm")
+	if err == nil {
+		t.Fatal("Runs with a missing segment returned no error")
+	}
+	if len(runs) == 0 || len(runs) >= n {
+		t.Errorf("Runs returned %d records, want a partial result between 1 and %d", len(runs), n-1)
+	}
+	if _, err := s2.Fingerprints(); err == nil {
+		t.Error("Fingerprints with its dictionary entry unreadable returned no error")
+	}
+}
+
 func TestPrune(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	s := openTest(t, dir, Options{SegmentBytes: 600})

@@ -11,6 +11,16 @@ const REFRESH_MS = 3000;
 
 const $ = (id) => document.getElementById(id);
 
+// esc HTML-escapes a value before it is interpolated into an innerHTML
+// template. VM and application names, model ids and timestamps all come
+// from the untrusted ingest API, so anything reaching innerHTML without
+// this is stored XSS.
+function esc(v) {
+  return String(v ?? "").replace(/[&<>"']/g, (ch) => ({
+    "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;", "'": "&#39;",
+  }[ch]));
+}
+
 function fmtCount(n) {
   if (n >= 1e9) return (n / 1e9).toFixed(1) + "G";
   if (n >= 1e6) return (n / 1e6).toFixed(1) + "M";
@@ -46,7 +56,7 @@ function compBar(comp) {
     .filter(([, f]) => f > 0.005)
     .sort((a, b) => b[1] - a[1])
     .map(([c, f]) =>
-      `<span style="width:${(f * 100).toFixed(1)}%;background:${COLORS[c] || "var(--idle)"}" title="${c} ${(f * 100).toFixed(0)}%"></span>`);
+      `<span style="width:${(f * 100).toFixed(1)}%;background:${COLORS[c] || "var(--idle)"}" title="${esc(c)} ${(f * 100).toFixed(0)}%"></span>`);
   return `<div class="compbar">${parts.join("")}</div>`;
 }
 
@@ -120,15 +130,15 @@ async function refreshSessions() {
   const vms = data.vms || [];
   $("sessions-empty").hidden = vms.length > 0;
   tbody.innerHTML = vms.map((vm) => `<tr>
-    <td class="mono">${vm.vm}</td>
+    <td class="mono">${esc(vm.vm)}</td>
     <td>${classTag(vm.class)}</td>
     <td>${classTag(vm.verdict)}</td>
     <td>${vm.unknown_fraction ? (100 * vm.unknown_fraction).toFixed(0) + "%" : ""}</td>
-    <td>${vm.phases || ""}</td>
+    <td>${esc(vm.phases || "")}</td>
     <td>${fmtCount(vm.snapshots)}</td>
     <td>${vm.drift ? vm.drift.toFixed(3) : "0"}</td>
-    <td>${vm.gaps ? vm.gaps + " (" + fmtDuration(vm.gap_s) + ")" : ""}</td>
-    <td class="muted">${vm.last_seen}</td>
+    <td>${vm.gaps ? esc(vm.gaps) + " (" + fmtDuration(vm.gap_s) + ")" : ""}</td>
+    <td class="muted">${esc(vm.last_seen)}</td>
   </tr>`).join("");
 }
 
@@ -160,15 +170,15 @@ async function refreshRuns() {
   $("runs-empty").hidden = runs.length > 0;
   const tbody = $("runs").querySelector("tbody");
   tbody.innerHTML = runs.map((r) => `<tr>
-    <td class="mono">${r.app}</td>
+    <td class="mono">${esc(r.app)}</td>
     <td>${classTag(r.class)}</td>
     <td>${classTag(r.verdict)}</td>
     <td>${compBar(r.composition)}</td>
     <td>${fmtDuration(r.execution_s)}</td>
     <td>${fmtCount(r.samples)}</td>
-    <td class="mono muted">${r.model || ""}</td>
-    <td>${r.matched_app ? r.matched_app + " (" + r.match_score.toFixed(2) + ")" : ""}</td>
-    <td class="muted">${r.finalized_at || ""}</td>
+    <td class="mono muted">${esc(r.model || "")}</td>
+    <td>${r.matched_app ? esc(r.matched_app) + " (" + r.match_score.toFixed(2) + ")" : ""}</td>
+    <td class="muted">${esc(r.finalized_at || "")}</td>
   </tr>`).join("");
 }
 
