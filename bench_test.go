@@ -280,7 +280,7 @@ func BenchmarkClassificationCostPerSampleConvenience(b *testing.B) {
 // snaps/s metric is whole-pipeline throughput including JSON
 // encode/decode.
 func BenchmarkIngestBatch(b *testing.B) {
-	benchIngestBatch(b, nil, false)
+	benchIngestBatch(b, nil, false, false)
 }
 
 // BenchmarkIngestBatchJournaled is the same pipeline with write-ahead
@@ -297,7 +297,7 @@ func BenchmarkIngestBatchJournaled(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = j.Close() })
-	benchIngestBatch(b, j, false)
+	benchIngestBatch(b, j, false, false)
 }
 
 // BenchmarkIngestBatchJournaledSegmented layers the phase-aware
@@ -315,10 +315,32 @@ func BenchmarkIngestBatchJournaledSegmented(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = j.Close() })
-	benchIngestBatch(b, j, true)
+	benchIngestBatch(b, j, true, false)
 }
 
-func benchIngestBatch(b *testing.B, journal *wal.Journal, segmented bool) {
+// BenchmarkIngestBatchJournaledSegmentedScrubbed adds the background
+// storage scrubber to the full journaled+segmented pipeline,
+// re-verifying one sealed segment per tick while ingest is hot. The
+// 500ms cadence is still ~100x hotter than any sane production
+// setting (-scrub-every of minutes): one tick streams an 8MiB segment
+// for ~6ms of CPU (measured by an isolated A/B at a 100ms cadence),
+// so expected steady-state overhead here is ~1.2% — the acceptance
+// bar is <= 2%, and CI gates the same-run snaps/s ratio at a wider
+// floor only to absorb shared-runner drift (see BENCH_baseline.json).
+func BenchmarkIngestBatchJournaledSegmentedScrubbed(b *testing.B) {
+	j, err := wal.Open(wal.Config{
+		Dir:      b.TempDir(),
+		Fsync:    wal.FsyncInterval,
+		MaxBytes: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = j.Close() })
+	benchIngestBatch(b, j, true, true)
+}
+
+func benchIngestBatch(b *testing.B, journal *wal.Journal, segmented, scrubbed bool) {
 	b.Helper()
 	training, tests := loadRuns(b)
 	cl, err := classify.Train(training, classify.Config{})
@@ -327,6 +349,9 @@ func benchIngestBatch(b *testing.B, journal *wal.Journal, segmented bool) {
 	}
 	schema := tests[0].trace.Schema()
 	cfg := server.Config{Classifier: cl, Schema: schema, Journal: journal}
+	if scrubbed {
+		cfg.ScrubEvery = 500 * time.Millisecond
+	}
 	if !segmented {
 		// Baseline pipelines measure ingest without the phase-aware
 		// extension: segmentation and the open-set test disabled.
@@ -337,6 +362,7 @@ func benchIngestBatch(b *testing.B, journal *wal.Journal, segmented bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	srv.StartScrubber()
 	b.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

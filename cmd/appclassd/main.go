@@ -103,6 +103,15 @@ type config struct {
 	retrainEvery   time.Duration
 	retrainOut     string
 	retrainMinRows int
+
+	shutdownTimeout time.Duration
+	scrubEvery      time.Duration
+	storeMaintEvery time.Duration
+
+	probationWindow   time.Duration
+	probationUnknownX float64
+	probationDisagree float64
+	probationMinSnaps int64
 }
 
 func parseFlags(args []string) (config, error) {
@@ -151,6 +160,13 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.retrainEvery, "retrain-every", 0, "refit a candidate model from labeled appdb sessions at this cadence and shadow-evaluate it (default off)")
 	fs.StringVar(&cfg.retrainOut, "retrain-out", "", "persist each retrained model artifact to this path (atomic rename)")
 	fs.IntVar(&cfg.retrainMinRows, "retrain-min-rows", 0, "minimum retained sample rows a class needs to join a retrain (default 8)")
+	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "bound graceful shutdown (HTTP drain, session flush, final checkpoint) to this long")
+	fs.DurationVar(&cfg.scrubEvery, "scrub-every", 0, "verify one sealed journal segment and one closed appdb segment for latent corruption at this cadence, repairing damage (default off)")
+	fs.DurationVar(&cfg.storeMaintEvery, "store-maint-every", 0, "compact the application-database store at this cadence (default off)")
+	fs.DurationVar(&cfg.probationWindow, "probation-window", 0, "keep a freshly promoted model on probation this long, the displaced model shadow-guarding it; breaches auto-roll back (default off)")
+	fs.Float64Var(&cfg.probationUnknownX, "probation-unknown-factor", 0, "breach probation when the new model's unknown rate reaches this multiple of the guard's (default 3)")
+	fs.Float64Var(&cfg.probationDisagree, "probation-disagree-threshold", 0, "breach probation when the guard disagrees with this fraction of a class's votes (default 0.9)")
+	fs.Int64Var(&cfg.probationMinSnaps, "probation-min-snapshots", 0, "snapshots the guard must see before the unknown-rate test can breach (default 50)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -225,6 +241,33 @@ func parseFlags(args []string) (config, error) {
 		if len(set) > 0 {
 			return config{}, fmt.Errorf("%s require(s) -gmetad", strings.Join(set, ", "))
 		}
+	}
+	if cfg.shutdownTimeout <= 0 {
+		return config{}, fmt.Errorf("-shutdown-timeout must be positive, got %v", cfg.shutdownTimeout)
+	}
+	if cfg.scrubEvery < 0 || cfg.storeMaintEvery < 0 || cfg.probationWindow < 0 {
+		return config{}, fmt.Errorf("-scrub-every, -store-maint-every, and -probation-window must be non-negative")
+	}
+	if cfg.scrubEvery > 0 && cfg.journalDir == "" && cfg.dbPath == "" {
+		return config{}, fmt.Errorf("-scrub-every needs something to scrub: set -journal-dir and/or -db")
+	}
+	if cfg.storeMaintEvery > 0 && cfg.dbPath == "" {
+		return config{}, fmt.Errorf("-store-maint-every requires -db")
+	}
+	if cfg.probationWindow <= 0 {
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "probation-unknown-factor", "probation-disagree-threshold", "probation-min-snapshots":
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return config{}, fmt.Errorf("%s require(s) -probation-window", strings.Join(set, ", "))
+		}
+	}
+	if cfg.probationUnknownX < 0 || cfg.probationDisagree < 0 || cfg.probationDisagree > 1 || cfg.probationMinSnaps < 0 {
+		return config{}, fmt.Errorf("-probation-unknown-factor and -probation-min-snapshots must be non-negative and -probation-disagree-threshold in [0,1]")
 	}
 	return cfg, nil
 }
@@ -365,34 +408,40 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Classifier:          cl,
-		Schema:              metrics.DefaultSchema(),
-		DB:                  db,
-		IdleTTL:             cfg.ttl,
-		SweepInterval:       cfg.sweep,
-		Shards:              cfg.shards,
-		Placement:           placer,
-		Dashboard:           cfg.dashboard,
-		EnablePprof:         cfg.pprof,
-		DisableBinaryIngest: !cfg.binary,
-		Journal:             journal,
-		CheckpointEvery:     cfg.checkpointEvery,
-		MaxInflightBytes:    cfg.maxInflightB,
-		MaxInflightRequests: cfg.maxInflightReq,
-		IngestTimeout:       cfg.ingestTimeout,
-		DegradeOnWALError:   cfg.degradeOnWALErr,
-		SegmentWindow:       cfg.segWindow,
-		SegmentMinLen:       cfg.segMinPhase,
-		SegmentThreshold:    cfg.segThreshold,
-		UnknownSlack:        cfg.unknownSlack,
-		UnknownQuantile:     cfg.unknownQuant,
-		RecoverForce:        cfg.recoverForce,
-		TrainReservoir:      cfg.trainReservoir,
-		ModelDir:            cfg.modelDir,
-		RetrainEvery:        cfg.retrainEvery,
-		RetrainOut:          cfg.retrainOut,
-		RetrainMinRows:      cfg.retrainMinRows,
-		Logf:                log.Printf,
+		Classifier:                 cl,
+		Schema:                     metrics.DefaultSchema(),
+		DB:                         db,
+		IdleTTL:                    cfg.ttl,
+		SweepInterval:              cfg.sweep,
+		Shards:                     cfg.shards,
+		Placement:                  placer,
+		Dashboard:                  cfg.dashboard,
+		EnablePprof:                cfg.pprof,
+		DisableBinaryIngest:        !cfg.binary,
+		Journal:                    journal,
+		CheckpointEvery:            cfg.checkpointEvery,
+		MaxInflightBytes:           cfg.maxInflightB,
+		MaxInflightRequests:        cfg.maxInflightReq,
+		IngestTimeout:              cfg.ingestTimeout,
+		DegradeOnWALError:          cfg.degradeOnWALErr,
+		SegmentWindow:              cfg.segWindow,
+		SegmentMinLen:              cfg.segMinPhase,
+		SegmentThreshold:           cfg.segThreshold,
+		UnknownSlack:               cfg.unknownSlack,
+		UnknownQuantile:            cfg.unknownQuant,
+		RecoverForce:               cfg.recoverForce,
+		TrainReservoir:             cfg.trainReservoir,
+		ModelDir:                   cfg.modelDir,
+		RetrainEvery:               cfg.retrainEvery,
+		RetrainOut:                 cfg.retrainOut,
+		RetrainMinRows:             cfg.retrainMinRows,
+		ScrubEvery:                 cfg.scrubEvery,
+		StoreMaintEvery:            cfg.storeMaintEvery,
+		ProbationWindow:            cfg.probationWindow,
+		ProbationUnknownFactor:     cfg.probationUnknownX,
+		ProbationDisagreeThreshold: cfg.probationDisagree,
+		ProbationMinSnapshots:      cfg.probationMinSnaps,
+		Logf:                       log.Printf,
 	})
 	if err != nil {
 		return err
@@ -422,8 +471,17 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	srv.StartJanitor()
 	srv.StartCheckpointer()
 	srv.StartRetrainer()
+	srv.StartStoreMaint()
+	srv.StartScrubber()
+	srv.StartProbationWatcher()
 	if cfg.retrainEvery > 0 {
 		log.Printf("appclassd: retraining from %s every %v", cfg.dbPath, cfg.retrainEvery)
+	}
+	if cfg.scrubEvery > 0 {
+		log.Printf("appclassd: scrubbing storage every %v", cfg.scrubEvery)
+	}
+	if cfg.probationWindow > 0 {
+		log.Printf("appclassd: promoted models serve a %v probation under their displaced predecessor", cfg.probationWindow)
 	}
 	if cfg.gmetad != "" {
 		if err := srv.StartPoller(server.PollConfig{
@@ -451,7 +509,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	// Graceful shutdown: drain HTTP, flush every session into the db,
 	// write a final checkpoint, sync the journal. The deferred
 	// journal.Close then rotates it shut.
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err

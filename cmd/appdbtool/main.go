@@ -16,6 +16,7 @@
 //	appdbtool fingerprints appdb
 //	appdbtool retrain -out model.json appdb
 //	appdbtool prune -keep 5 appdb
+//	appdbtool scrub appdb
 //	appdbtool migrate appdb.json
 package main
 
@@ -62,6 +63,8 @@ commands:
            list stored phase fingerprints and their dictionary matches
   retrain  refit a classifier from labeled runs' retained samples (-out FILE)
   prune    keep only the newest records per application (-keep N)
+  scrub    verify every closed store segment frame-by-frame, repairing
+           latent corruption (damaged originals kept as .corrupt)
   migrate  convert a legacy JSON database file into the segmented store`)
 }
 
@@ -261,6 +264,36 @@ func run(cmd string, args []string, stdout io.Writer) error {
 			st, _ := db.StoreStats()
 			fmt.Fprintf(stdout, "migrated %s: %d record(s) in %d segment(s), %d bytes (legacy file kept at %s.legacy)\n",
 				path, st.LiveRecords, st.Segments, st.Bytes, path)
+			return nil
+		})
+	case "scrub":
+		return withDB(args, nil, func(db *appdb.DB, _ *flag.FlagSet) error {
+			st := db.Store()
+			if st == nil {
+				return fmt.Errorf("scrub: %v is a legacy JSON database; only the segmented store can be scrubbed", args)
+			}
+			// Cover every closed segment in one pass: the store's Scrub
+			// cursor is per-open, so one big budget beats looping.
+			stats, _ := db.StoreStats()
+			sum, err := st.Scrub(stats.Segments + 1)
+			if err != nil {
+				return err
+			}
+			for _, rep := range sum.Damaged {
+				status := "damaged, not repaired: " + rep.SkipReason
+				if rep.Repaired {
+					status = fmt.Sprintf("repaired, %d live record(s) lost (quarantined %s)", rep.LostRecords, rep.Quarantined)
+				}
+				fmt.Fprintf(stdout, "segment %d: %d bad frame(s), %s\n", rep.Seg, rep.BadFrames, status)
+			}
+			fmt.Fprintf(stdout, "scrubbed %d closed segment(s), %d damaged\n", sum.Scanned, len(sum.Damaged))
+			if n := len(sum.Damaged); n > 0 {
+				for _, rep := range sum.Damaged {
+					if !rep.Repaired {
+						return fmt.Errorf("scrub: %d segment(s) damaged, not all repaired", n)
+					}
+				}
+			}
 			return nil
 		})
 	case "retrain":

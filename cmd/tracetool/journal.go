@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -122,6 +123,55 @@ func journalTruncate(w io.Writer, dir string) error {
 	for _, info := range fixed {
 		fmt.Fprintf(w, "segment %d truncated to %d bytes (%d record(s) kept): %s\n",
 			info.Seq, info.ValidBytes, info.Records, info.TornReason)
+	}
+	return nil
+}
+
+// scrubCmd implements "tracetool scrub [-repair] <dir>": verify every
+// journal segment frame-by-frame against its CRC and — with -repair —
+// rewrite damaged segments without their bad frames, quarantining each
+// original as <segment>.corrupt. Without -repair it only reports, so a
+// cron job can alarm before anything is rewritten. Exits non-zero when
+// damage is found and not repaired.
+func scrubCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	repair := fs.Bool("repair", false, "rewrite damaged segments without their bad frames (default: report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scrub: want exactly one journal directory, got %v", fs.Args())
+	}
+	dir := fs.Arg(0)
+	reports, err := wal.ScrubDir(dir, *repair)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "segment\trecords\tbad\tstatus")
+	unrepaired := 0
+	for _, rep := range reports {
+		status := "ok"
+		switch {
+		case rep.Repaired:
+			status = fmt.Sprintf("repaired (quarantined %s)", rep.Quarantined)
+		case rep.SkipReason != "":
+			status = "damaged, not repaired: " + rep.SkipReason
+			unrepaired++
+		case rep.TornTail:
+			status = "torn tail: " + rep.TornReason
+			unrepaired++
+		case rep.BadFrames > 0:
+			status = "damaged (re-run with -repair)"
+			unrepaired++
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\n", rep.Seq, rep.Records, rep.BadFrames, status)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if unrepaired > 0 {
+		return fmt.Errorf("scrub: %d segment(s) still damaged in %s", unrepaired, dir)
 	}
 	return nil
 }

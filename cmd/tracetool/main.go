@@ -60,7 +60,9 @@ commands:
   journal     inspect an appclassd write-ahead journal:
               journal dump <dir>      print records and checkpoint
               journal verify <dir>    check segment integrity (exit 1 if torn)
-              journal truncate <dir>  cut torn segments at the last valid record`)
+              journal truncate <dir>  cut torn segments at the last valid record
+  scrub       verify every journal segment frame-by-frame and report (or,
+              with -repair, fix) latent corruption (scrub [-repair] <dir>)`)
 }
 
 func run(cmd string, args []string, stdout io.Writer) error {
@@ -134,6 +136,8 @@ func run(cmd string, args []string, stdout io.Writer) error {
 		})
 	case "journal":
 		return journalCmd(args, stdout)
+	case "scrub":
+		return scrubCmd(args, stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return nil

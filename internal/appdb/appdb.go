@@ -54,8 +54,9 @@ type DB struct {
 	mu      sync.RWMutex
 	records map[string][]stored
 	nextSeq uint64
-	store   *appstore.Store       // nil for the in-memory engine
+	store   *appstore.Store      // nil for the in-memory engine
 	logf    func(string, ...any) // engine errors on no-error API paths
+	events  eventLog
 }
 
 // New creates an empty in-memory database.

@@ -4,8 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
-
-	"repro/internal/appclass"
 )
 
 // Prune keeps at most keep most-recent records per application,
@@ -266,13 +264,7 @@ func (s *Store) compactLocked() error {
 		kept = append(kept, e)
 	}
 	s.entries = kept
-	s.byApp = make(map[string][]int)
-	s.byClass = make(map[appclass.Class][]int)
-	s.byVerd = make(map[appclass.Class][]int)
-	s.byModel = make(map[string][]int)
-	for i := range s.entries {
-		s.indexEntry(i)
-	}
+	s.rebuildIndexLocked()
 	if copies > 0 {
 		s.segs[newSeg].live = copies
 	}

@@ -1,6 +1,7 @@
 package appstore
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -408,5 +409,91 @@ func TestChurnAndReopenConsistency(t *testing.T) {
 	}
 	if st.Bytes != onDisk {
 		t.Errorf("Stats.Bytes = %d, on-disk = %d", st.Bytes, onDisk)
+	}
+}
+
+// TestCrashMidRetentionPrune simulates a crash inside retention's
+// narrowest window: the victim segment's records were tombstoned (the
+// sidecar hit disk), the segment file itself was deleted, and the
+// process died before the post-compaction state rewrite. What's left
+// on disk is a numbering gap plus tombstones pointing at sequence
+// numbers that no longer exist anywhere. Open-time rebuild must
+// converge — no error, no phantom records, truthful byte stats — and
+// the store must keep taking appends across further reopens.
+func TestCrashMidRetentionPrune(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := openTest(t, dir, Options{SegmentBytes: 600})
+	const n = 12
+	for i := 0; i < n; i++ {
+		r := testRecord("vm", appclass.CPU, i)
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.RLock()
+	victim := s.entries[0].seg
+	for _, e := range s.entries {
+		if e.seg < victim {
+			victim = e.seg
+		}
+	}
+	var victimSeqs []uint64
+	for _, e := range s.entries {
+		if e.seg == victim {
+			victimSeqs = append(victimSeqs, e.seq)
+		}
+	}
+	s.mu.RUnlock()
+	if len(victimSeqs) == 0 || len(victimSeqs) >= n {
+		t.Fatalf("oldest segment holds %d of %d records; need a proper subset", len(victimSeqs), n)
+	}
+	s.Close()
+
+	doc, err := json.Marshal(tombstoneDoc{Dead: victimSeqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tombstonesName), doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(segPath(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{SegmentBytes: 600})
+	want := n - len(victimSeqs)
+	if got := s2.Len(); got != want {
+		t.Fatalf("Len after mid-prune crash reopen = %d, want %d", got, want)
+	}
+	// The survivors are exactly the records that followed the victim
+	// segment, in order, with nothing duplicated or resurrected.
+	runs, err := s2.Runs("vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if wantSamples := 10 + len(victimSeqs) + i; r.Samples != wantSamples {
+			t.Fatalf("survivor %d has Samples=%d, want %d", i, r.Samples, wantSamples)
+		}
+	}
+	// Byte accounting reflects only the segments actually on disk — no
+	// phantom contribution from the vanished victim.
+	if st := s2.Stats(); st.Bytes != onDiskSegBytes(t, dir) {
+		t.Errorf("Stats.Bytes = %d, on-disk segment bytes = %d", st.Bytes, onDiskSegBytes(t, dir))
+	}
+
+	// The store keeps working: append, reopen, still consistent, and
+	// the stale tombstones never resurface.
+	extra := testRecord("vm", appclass.CPU, 100)
+	if err := s2.Append(&extra); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openTest(t, dir, Options{SegmentBytes: 600})
+	if got := s3.Len(); got != want+1 {
+		t.Errorf("Len after append+reopen = %d, want %d", got, want+1)
+	}
+	if st := s3.Stats(); st.Bytes != onDiskSegBytes(t, dir) {
+		t.Errorf("Stats.Bytes after reopen = %d, on-disk = %d", st.Bytes, onDiskSegBytes(t, dir))
 	}
 }

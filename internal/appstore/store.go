@@ -79,6 +79,16 @@ type Stats struct {
 	// finalize hot-path latency the JSON store paid O(n) for.
 	AppendLastNanos  int64
 	AppendTotalNanos int64
+	// ScrubScans counts closed segments examined by Scrub since open.
+	ScrubScans int64
+	// ScrubRepairedSegments counts segments Scrub rewrote to drop
+	// damaged frames.
+	ScrubRepairedSegments int64
+	// ScrubLostRecords counts live records inside damaged frames — the
+	// only records lost to the detected corruption.
+	ScrubLostRecords int64
+	// ScrubQuarantined counts damaged originals preserved as .corrupt.
+	ScrubQuarantined int64
 }
 
 // entry is one indexed record: the meta header plus its location.
@@ -124,6 +134,9 @@ type Store struct {
 	buf     []byte            // reused append encode buffer
 	stats   Stats
 	closed  bool
+	// scrubNext is the scrub cursor: the next closed segment Scrub
+	// examines, so successive low-rate passes cycle the store.
+	scrubNext uint64
 }
 
 // Open opens (or creates) a store at dir. If dir is an existing regular
@@ -391,6 +404,17 @@ func (s *Store) intern(v string) string {
 	}
 	s.interns[v] = v
 	return v
+}
+
+// rebuildIndexLocked recomputes every posting list from s.entries.
+func (s *Store) rebuildIndexLocked() {
+	s.byApp = make(map[string][]int)
+	s.byClass = make(map[appclass.Class][]int)
+	s.byVerd = make(map[appclass.Class][]int)
+	s.byModel = make(map[string][]int)
+	for i := range s.entries {
+		s.indexEntry(i)
+	}
 }
 
 // indexEntry adds entries[i] to every posting list.

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// TaskChaos injects faults into supervised background tasks through
+// the supervisor's Intercept hook (supervise.Config.Intercept): a
+// scripted panic loop (a crashing compactor), or a stuck task that
+// blocks without beating its heartbeat (a wedged checkpointer). All
+// fault scripts are exact counts or explicit stick/release pairs, so a
+// chaos scenario is deterministic — no randomness involved.
+type TaskChaos struct {
+	mu     sync.Mutex
+	panics map[string]int           // task -> remaining injected panics
+	stuck  map[string]chan struct{} // task -> release channel while stuck
+
+	injectedPanics map[string]int // task -> panics actually injected
+}
+
+// NewTaskChaos builds an empty injector; plug Intercept into
+// supervise.Config.Intercept.
+func NewTaskChaos() *TaskChaos {
+	return &TaskChaos{
+		panics:         make(map[string]int),
+		stuck:          make(map[string]chan struct{}),
+		injectedPanics: make(map[string]int),
+	}
+}
+
+// PanicNext makes the named task's next n attempts panic before the
+// task body runs — a deterministic crash loop the supervisor must ride
+// out with backoff restarts.
+func (c *TaskChaos) PanicNext(task string, n int) {
+	c.mu.Lock()
+	c.panics[task] = n
+	c.mu.Unlock()
+}
+
+// Stick blocks the named task's next attempt until Release — the task
+// stops beating its heartbeat and must be detected as wedged.
+func (c *TaskChaos) Stick(task string) {
+	c.mu.Lock()
+	if _, ok := c.stuck[task]; !ok {
+		c.stuck[task] = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// Release unblocks a stuck task (no-op if it is not stuck).
+func (c *TaskChaos) Release(task string) {
+	c.mu.Lock()
+	ch, ok := c.stuck[task]
+	if ok {
+		delete(c.stuck, task)
+	}
+	c.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// InjectedPanics reports how many panics were actually injected into
+// the named task.
+func (c *TaskChaos) InjectedPanics(task string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injectedPanics[task]
+}
+
+// Intercept is the supervise.Config.Intercept hook: it runs at the top
+// of every task attempt and applies whatever fault is scripted for the
+// task — blocking while stuck, then panicking if a panic budget
+// remains.
+func (c *TaskChaos) Intercept(task string) {
+	c.mu.Lock()
+	ch := c.stuck[task]
+	c.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	c.mu.Lock()
+	n := c.panics[task]
+	if n > 0 {
+		c.panics[task] = n - 1
+		c.injectedPanics[task]++
+		c.mu.Unlock()
+		panic(fmt.Sprintf("faultinject: scripted panic in task %s (%d left)", task, n-1))
+	}
+	c.mu.Unlock()
+}
+
+// FlipByte XORs the byte at off in path with mask — simulated bit rot
+// for storage-scrubber tests. A zero mask defaults to flipping the low
+// bit. The flip is in place and unsynced, like real silent corruption.
+func FlipByte(path string, off int64, mask byte) error {
+	if mask == 0 {
+		mask = 0x01
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("faultinject: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("faultinject: read %s@%d: %w", path, off, err)
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("faultinject: write %s@%d: %w", path, off, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTaskChaosPanicBudget(t *testing.T) {
+	c := NewTaskChaos()
+	c.PanicNext("compactor", 2)
+
+	panics := 0
+	attempt := func() {
+		defer func() {
+			if recover() != nil {
+				panics++
+			}
+		}()
+		c.Intercept("compactor")
+	}
+	for i := 0; i < 4; i++ {
+		attempt()
+	}
+	if panics != 2 {
+		t.Errorf("panics = %d, want 2", panics)
+	}
+	if got := c.InjectedPanics("compactor"); got != 2 {
+		t.Errorf("InjectedPanics = %d, want 2", got)
+	}
+	// Other tasks are unaffected.
+	c.Intercept("poller")
+}
+
+func TestTaskChaosStickRelease(t *testing.T) {
+	c := NewTaskChaos()
+	c.Stick("checkpointer")
+
+	entered := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(entered)
+		c.Intercept("checkpointer")
+		close(done)
+	}()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("Intercept returned while task was stuck")
+	default:
+	}
+	c.Release("checkpointer")
+	<-done
+	// Release with nothing stuck is a no-op.
+	c.Release("checkpointer")
+	// A released task passes straight through.
+	c.Intercept("checkpointer")
+}
+
+func TestFlipByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	if err := os.WriteFile(path, []byte{0x10, 0x20, 0x30}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(path, 1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x10 || b[1] != 0xDF || b[2] != 0x30 {
+		t.Errorf("bytes = %x, want 10df30", b)
+	}
+	// Zero mask defaults to the low bit.
+	if err := FlipByte(path, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if b[0] != 0x11 {
+		t.Errorf("byte 0 = %x, want 11", b[0])
+	}
+	if err := FlipByte(path, 99, 1); err == nil {
+		t.Error("FlipByte past EOF succeeded")
+	}
+	if err := FlipByte(filepath.Join(t.TempDir(), "missing"), 0, 1); err == nil {
+		t.Error("FlipByte on a missing file succeeded")
+	}
+}

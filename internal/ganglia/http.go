@@ -25,7 +25,7 @@ func (g *Gmetad) Handler(clock func() time.Duration) http.Handler {
 	})
 }
 
-// DefaultFetchTimeout bounds FetchClusterState requests when the caller
+// DefaultFetchTimeout bounds FetchClusterStateContext requests when the caller
 // passes a nil client. http.DefaultClient has no timeout, so without
 // this a hung gmetad would stall a poll loop forever.
 const DefaultFetchTimeout = 10 * time.Second
@@ -62,14 +62,4 @@ func FetchClusterStateContext(ctx context.Context, client *http.Client, url stri
 		return nil, err
 	}
 	return state, nil
-}
-
-// FetchClusterState is FetchClusterStateContext without cancellation.
-//
-// Deprecated: an in-flight fetch through this wrapper cannot be
-// cancelled and outlives its caller's shutdown; use
-// FetchClusterStateContext. No in-tree callers remain and this
-// wrapper is scheduled for removal in a future release.
-func FetchClusterState(client *http.Client, url string) (map[string]map[string]float64, error) {
-	return FetchClusterStateContext(context.Background(), client, url)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/appclass"
 	"repro/internal/appstore"
 	"repro/internal/placement"
+	"repro/internal/supervise"
 	"repro/internal/wal"
 )
 
@@ -66,6 +67,8 @@ type counters struct {
 	modelLoads      atomic.Int64 // candidate models loaded via POST /v1/models
 	modelLoadErrors atomic.Int64 // failed model loads / candidate installs
 	modelPromotes   atomic.Int64 // hot swaps performed
+	modelRollbacks  atomic.Int64 // probation breaches rolled back automatically
+	probationPasses atomic.Int64 // probation windows that closed without a breach
 	modelDiscards   atomic.Int64 // models removed from the registry
 	retrainRuns     atomic.Int64 // successful online-retraining passes
 	retrainErrors   atomic.Int64 // failed retraining passes
@@ -110,6 +113,15 @@ type durabilityGauges struct {
 	degraded bool
 }
 
+// superviseGauges is the task-supervision view rendered in /metricsz:
+// the per-task states plus the supervisor's lifetime totals.
+type superviseGauges struct {
+	tasks       []supervise.TaskState
+	panics      int64
+	escalations int64
+	wedges      int64
+}
+
 // resilienceGauges is the admission-control view rendered in /metricsz.
 type resilienceGauges struct {
 	inflightBytes    int64
@@ -122,7 +134,7 @@ type resilienceGauges struct {
 // Prometheus text format. pstats is nil when no placement service is
 // configured; dg is nil when no journal is configured; historyDropped
 // sums Online.HistoryDropped over live sessions.
-func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges, mg modelGauges, sg *appstore.Stats) {
+func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float64, pstats *placement.Stats, historyDropped int64, dg *durabilityGauges, rg resilienceGauges, mg modelGauges, sg *appstore.Stats, tg superviseGauges) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -173,6 +185,8 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 	counter("appclassd_model_loads_total", "Candidate models loaded via the model API.", c.modelLoads.Load())
 	counter("appclassd_model_load_errors_total", "Failed model loads and candidate installs.", c.modelLoadErrors.Load())
 	counter("appclassd_model_promotes_total", "Model hot swaps performed.", c.modelPromotes.Load())
+	counter("appclassd_model_rollbacks_total", "Probation breaches rolled back automatically to the displaced model.", c.modelRollbacks.Load())
+	counter("appclassd_probation_passes_total", "Probation windows that closed without a breach.", c.probationPasses.Load())
 	counter("appclassd_model_discards_total", "Models removed from the registry.", c.modelDiscards.Load())
 	counter("appclassd_retrain_runs_total", "Successful online-retraining passes.", c.retrainRuns.Load())
 	counter("appclassd_retrain_errors_total", "Failed online-retraining passes.", c.retrainErrors.Load())
@@ -216,6 +230,10 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 		// restart like every other counter here).
 		fmt.Fprintf(w, "# HELP appclassd_journal_truncated_segments_total Closed journal segments deleted by the retention cap.\n# TYPE appclassd_journal_truncated_segments_total counter\nappclassd_journal_truncated_segments_total %d\n", dg.journal.TruncatedSegments)
 		fmt.Fprintf(w, "# HELP appclassd_journal_last_fsync_age_seconds Seconds since the journal last fsynced (-1 if never).\n# TYPE appclassd_journal_last_fsync_age_seconds gauge\nappclassd_journal_last_fsync_age_seconds %g\n", dg.fsyncAgeSeconds)
+		counter("appclassd_journal_scrub_scans_total", "Sealed journal segments examined by the scrubber since open.", dg.journal.ScrubScans)
+		counter("appclassd_journal_scrub_repaired_segments_total", "Journal segments rewritten by the scrubber to drop damaged frames.", dg.journal.ScrubRepairedSegments)
+		counter("appclassd_journal_scrub_lost_records_total", "Journal records inside damaged frames the scrubber could not save.", dg.journal.ScrubLostRecords)
+		counter("appclassd_journal_scrub_quarantined_total", "Damaged journal segments preserved as .corrupt by the scrubber.", dg.journal.ScrubQuarantined)
 	}
 	if pstats != nil {
 		fmt.Fprintf(w, "# HELP appclassd_hosts Hosts in the placement inventory.\n# TYPE appclassd_hosts gauge\nappclassd_hosts %d\n", pstats.Hosts)
@@ -259,6 +277,46 @@ func (c *counters) writeMetrics(w io.Writer, sessions []int, uptimeSeconds float
 		counter("appclassd_appdb_corrupt_frames_total", "Corrupt application-database frames skipped at open.", sg.CorruptFrames)
 		fmt.Fprintf(w, "# HELP appclassd_appdb_append_last_seconds Duration of the store's most recent record append.\n# TYPE appclassd_appdb_append_last_seconds gauge\nappclassd_appdb_append_last_seconds %g\n",
 			float64(sg.AppendLastNanos)/1e9)
+		counter("appclassd_appdb_scrub_scans_total", "Closed application-database segments examined by the scrubber since open.", sg.ScrubScans)
+		counter("appclassd_appdb_scrub_repaired_segments_total", "Application-database segments rewritten by the scrubber to drop damaged frames.", sg.ScrubRepairedSegments)
+		counter("appclassd_appdb_scrub_lost_records_total", "Live application-database records inside damaged frames the scrubber could not save.", sg.ScrubLostRecords)
+		counter("appclassd_appdb_scrub_quarantined_total", "Damaged application-database segments preserved as .corrupt by the scrubber.", sg.ScrubQuarantined)
+	}
+	// Probation: whether a freshly promoted model is still under its
+	// displaced predecessor's guard, and how the guard sees it.
+	probationActive := 0
+	if mg.probation != nil {
+		probationActive = 1
+	}
+	fmt.Fprintf(w, "# HELP appclassd_probation_active Whether the serving model is inside its post-promote probation window.\n# TYPE appclassd_probation_active gauge\nappclassd_probation_active %d\n", probationActive)
+	if pv := mg.probation; pv != nil {
+		fmt.Fprintf(w, "# HELP appclassd_probation_remaining_seconds Seconds until the probation window closes.\n# TYPE appclassd_probation_remaining_seconds gauge\nappclassd_probation_remaining_seconds{model=%q,guard=%q} %g\n", pv.Model, pv.Guard, pv.RemainingSeconds)
+		fmt.Fprintf(w, "# HELP appclassd_probation_snapshots Snapshots the probation guard has shadow-classified.\n# TYPE appclassd_probation_snapshots gauge\nappclassd_probation_snapshots{model=%q,guard=%q} %d\n", pv.Model, pv.Guard, pv.Shadow.Snapshots)
+		fmt.Fprintf(w, "# HELP appclassd_probation_unknown_rate Open-set unknown rate of the model under probation over guarded snapshots.\n# TYPE appclassd_probation_unknown_rate gauge\nappclassd_probation_unknown_rate{model=%q,guard=%q} %g\n", pv.Model, pv.Guard, pv.Shadow.UnknownRateActive)
+		fmt.Fprintf(w, "# HELP appclassd_probation_guard_unknown_rate Open-set unknown rate of the displaced guard model over the same snapshots.\n# TYPE appclassd_probation_guard_unknown_rate gauge\nappclassd_probation_guard_unknown_rate{model=%q,guard=%q} %g\n", pv.Model, pv.Guard, pv.Shadow.UnknownRateCandidate)
+	}
+	// Task supervision: one info/restart/wedged series per supervised
+	// task plus the supervisor's lifetime totals.
+	counter("appclassd_task_panics_total", "Panics captured in supervised background tasks.", tg.panics)
+	counter("appclassd_task_escalations_total", "Supervised tasks escalated to degraded after repeated panics.", tg.escalations)
+	counter("appclassd_task_wedge_events_total", "Heartbeat-deadline misses observed by the supervisor.", tg.wedges)
+	if len(tg.tasks) > 0 {
+		fmt.Fprintf(w, "# HELP appclassd_task_info Supervised task state (1 per task, labeled with its status).\n# TYPE appclassd_task_info gauge\n")
+		for _, ts := range tg.tasks {
+			fmt.Fprintf(w, "appclassd_task_info{task=%q,status=%q} 1\n", ts.Name, ts.Status)
+		}
+		fmt.Fprintf(w, "# HELP appclassd_task_restarts_total Restarts of each supervised task after a panic.\n# TYPE appclassd_task_restarts_total counter\n")
+		for _, ts := range tg.tasks {
+			fmt.Fprintf(w, "appclassd_task_restarts_total{task=%q} %d\n", ts.Name, ts.Restarts)
+		}
+		fmt.Fprintf(w, "# HELP appclassd_task_wedged Whether a supervised task has missed its heartbeat deadline.\n# TYPE appclassd_task_wedged gauge\n")
+		for _, ts := range tg.tasks {
+			wedged := 0
+			if ts.Wedged {
+				wedged = 1
+			}
+			fmt.Fprintf(w, "appclassd_task_wedged{task=%q} %d\n", ts.Name, wedged)
+		}
 	}
 	fmt.Fprintf(w, "# HELP appclassd_uptime_seconds Seconds since the daemon started.\n# TYPE appclassd_uptime_seconds gauge\nappclassd_uptime_seconds %g\n", uptimeSeconds)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/appclass"
 	"repro/internal/appstore"
+	"repro/internal/supervise"
 )
 
 // The control-plane dashboard is a static single-page app compiled into
@@ -177,6 +178,11 @@ type statusJSON struct {
 	Hosts      int  `json:"hosts,omitempty"`
 	Placements int  `json:"placements,omitempty"`
 	HasAdvice  bool `json:"has_advice"`
+	// Tasks are the supervised background loops with their restart
+	// counters and health; Probation is the running post-promote
+	// guardrail window, if any.
+	Tasks     []supervise.TaskState `json:"tasks,omitempty"`
+	Probation *probationView        `json:"probation,omitempty"`
 }
 
 type storeStateJSON struct {
@@ -248,5 +254,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		st.Hosts = ps.Hosts
 		st.Placements = ps.Placements
 	}
+	st.Tasks = s.sup.Snapshot()
+	st.Probation = s.probationView()
 	writeJSON(w, http.StatusOK, st)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/supervise"
 	"repro/internal/wal"
 )
 
@@ -75,29 +76,33 @@ func (s *Server) Checkpoint() error {
 }
 
 // StartCheckpointer launches the periodic checkpoint loop (cadence
-// Config.CheckpointEvery). Finalizations nudge it so finalize markers
-// are covered by a checkpoint promptly. No-op without a journal.
+// Config.CheckpointEvery) as a supervised task. Finalizations nudge it
+// so finalize markers are covered by a checkpoint promptly. The
+// heartbeat beats per iteration, so a checkpoint quiesce that never
+// drains (ckptMu held forever by a stuck reader) is detected as a
+// wedged task and surfaced through /readyz instead of silently leaving
+// the journal to grow unbounded. No-op without a journal.
 func (s *Server) StartCheckpointer() {
 	if s.cfg.Journal == nil {
 		return
 	}
-	s.loops.Add(1)
-	go func() {
-		defer s.loops.Done()
-		t := time.NewTicker(s.cfg.CheckpointEvery)
-		defer t.Stop()
+	hb := 4 * s.cfg.CheckpointEvery
+	s.sup.Go("checkpointer", supervise.TaskOptions{Heartbeat: hb}, func(stop <-chan struct{}, t *supervise.Task) {
+		tick := time.NewTicker(s.cfg.CheckpointEvery)
+		defer tick.Stop()
 		for {
 			select {
-			case <-s.stopc:
+			case <-stop:
 				return
-			case <-t.C:
+			case <-tick.C:
 			case <-s.ckptKick:
 			}
+			t.Beat()
 			if err := s.Checkpoint(); err != nil {
 				s.cfg.Logf("server: %v", err)
 			}
 		}
-	}()
+	})
 }
 
 // kickCheckpointer requests a prompt checkpoint without blocking; a

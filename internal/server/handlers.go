@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -575,6 +576,16 @@ func (s *Server) readiness() (ready bool, reason string) {
 	if s.cfg.Journal != nil && s.DurabilityDegraded() {
 		return false, "durability degraded: journal failing, ingest is memory-only"
 	}
+	if wedged, escalated := s.sup.Unhealthy(); len(wedged) > 0 || len(escalated) > 0 {
+		var parts []string
+		if len(wedged) > 0 {
+			parts = append(parts, "supervised task(s) wedged: "+strings.Join(wedged, ", "))
+		}
+		if len(escalated) > 0 {
+			parts = append(parts, "supervised task(s) escalated after repeated panics: "+strings.Join(escalated, ", "))
+		}
+		return false, strings.Join(parts, "; ")
+	}
 	return true, ""
 }
 
@@ -648,9 +659,16 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		v := se.view()
 		mg.shadow = &v
 	}
+	mg.probation = s.probationView()
 	var sg *appstore.Stats
 	if st, ok := s.cfg.DB.StoreStats(); ok {
 		sg = &st
 	}
-	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg, mg, sg)
+	tg := superviseGauges{
+		tasks:       s.sup.Snapshot(),
+		panics:      s.sup.Panics(),
+		escalations: s.sup.Escalations(),
+		wedges:      s.sup.Wedges(),
+	}
+	s.counters.writeMetrics(w, s.reg.counts(), s.now().Sub(s.start).Seconds(), pstats, historyDropped, dg, rg, mg, sg, tg)
 }

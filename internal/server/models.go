@@ -15,6 +15,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/metrics"
 	"repro/internal/modelreg"
+	"repro/internal/supervise"
 )
 
 // activeModel pairs the serving model with its calibrated open-set
@@ -220,7 +221,18 @@ var (
 // snapshots classify under the new model). The pause is bounded by the
 // same quiesce a checkpoint takes; everything slow happens outside it.
 // It returns the swap pause.
+//
+// With Config.ProbationWindow > 0 the promoted model enters probation:
+// the displaced model shadow-classifies in reverse for the window, and
+// a breach (see probation.go) rolls the swap back automatically.
 func (s *Server) Promote(id string) (time.Duration, error) {
+	return s.promote(id, false)
+}
+
+// promote is Promote plus the rollback flag: a rollback re-promotes the
+// probation guard and must not arm a fresh probation around it (the
+// guard already earned its trust serving before the swap).
+func (s *Server) promote(id string, rollback bool) (time.Duration, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	m, state, ok := s.models.Get(id)
@@ -281,6 +293,15 @@ func (s *Server) Promote(id string) (time.Duration, error) {
 	if se := s.shadow.Swap(nil); se != nil && se.model.ID != id {
 		s.models.ClearCandidate()
 		s.cfg.Logf("server: promote %s: shadow evaluation of %s reset (baseline changed)", id, se.model.ID)
+	}
+	// Any swap invalidates a running probation: its guard measured the
+	// baseline that just changed. A forward promote then arms a new
+	// window around the model it installed.
+	s.probation.Store(nil)
+	if rollback {
+		s.cfg.Logf("server: rolled back to model %s", id)
+	} else if s.cfg.ProbationWindow > 0 {
+		s.startProbation(cur, m)
 	}
 	s.counters.modelPromotes.Add(1)
 	s.counters.swapLastNanos.Store(int64(pause))
@@ -369,11 +390,12 @@ func (s *Server) modelJSON(e modelreg.Entry) modelJSON {
 // report.
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	out := struct {
-		Active    string      `json:"active"`
-		Models    []modelJSON `json:"models"`
-		Shadow    *shadowView `json:"shadow,omitempty"`
-		SwapPause float64     `json:"last_swap_pause_s,omitempty"`
-	}{Active: s.ActiveModelID()}
+		Active    string         `json:"active"`
+		Models    []modelJSON    `json:"models"`
+		Shadow    *shadowView    `json:"shadow,omitempty"`
+		Probation *probationView `json:"probation,omitempty"`
+		SwapPause float64        `json:"last_swap_pause_s,omitempty"`
+	}{Active: s.ActiveModelID(), Probation: s.probationView()}
 	for _, e := range s.models.List() {
 		out.Models = append(out.Models, s.modelJSON(e))
 	}
@@ -467,6 +489,12 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no model %s", id)
 		return
 	}
+	if pb := s.probation.Load(); pb != nil && pb.prevID == id {
+		// The guard is the rollback target; removing it would leave a
+		// probation that cannot act on a breach.
+		writeError(w, http.StatusConflict, "model %s guards the probation of %s; retry after the window closes", id, pb.newID)
+		return
+	}
 	if state == modelreg.StateCandidate {
 		s.shadow.Store(nil)
 		s.models.ClearCandidate()
@@ -489,20 +517,19 @@ func (s *Server) StartRetrainer() {
 	if s.cfg.RetrainEvery <= 0 {
 		return
 	}
-	s.loops.Add(1)
-	go func() {
-		defer s.loops.Done()
-		t := time.NewTicker(s.cfg.RetrainEvery)
-		defer t.Stop()
+	s.sup.Go("retrainer", supervise.TaskOptions{Heartbeat: 4 * s.cfg.RetrainEvery}, func(stop <-chan struct{}, t *supervise.Task) {
+		tick := time.NewTicker(s.cfg.RetrainEvery)
+		defer tick.Stop()
 		for {
 			select {
-			case <-s.stopc:
+			case <-stop:
 				return
-			case <-t.C:
+			case <-tick.C:
+				t.Beat()
 				s.retrainOnce()
 			}
 		}
-	}()
+	})
 }
 
 // retrainOnce runs one retraining pass. Split out for tests.
@@ -565,4 +592,5 @@ type modelGauges struct {
 	activeID      string
 	swapLastNanos int64
 	shadow        *shadowView
+	probation     *probationView
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ganglia"
 	"repro/internal/resilience"
+	"repro/internal/supervise"
 )
 
 // PollConfig describes the pull-mode ingestion source: a gmetad
@@ -103,41 +104,48 @@ func (s *Server) newPoller(pc PollConfig) *poller {
 	return p
 }
 
-// StartPoller launches the pull-mode ingestion loop.
+// StartPoller launches the pull-mode ingestion loop as a supervised
+// task: a panic inside a poll restarts the loop (fresh breaker and
+// backoff state) instead of silently ending pull ingestion, and a
+// wedged fetch shows up on the heartbeat.
 func (s *Server) StartPoller(pc PollConfig) error {
 	if pc.URL == "" {
 		return fmt.Errorf("server: poller needs a gmetad URL")
 	}
 	p := s.newPoller(pc)
-	s.loops.Add(1)
-	go func() {
-		defer s.loops.Done()
-		// The context cancels in-flight fetches the moment the server
+	// The loop sleeps up to BackoffMax between beats and a fetch can
+	// hold it for FetchTimeout more; twice that is decisively wedged.
+	hb := 2 * (p.pc.BackoffMax + p.pc.FetchTimeout + p.pc.Interval)
+	s.sup.Go("poller", supervise.TaskOptions{Heartbeat: hb}, func(stop <-chan struct{}, t *supervise.Task) {
+		// The context cancels in-flight fetches the moment the task
 		// stops, so no poll outlives Shutdown.
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		go func() {
-			<-s.stopc
+			<-stop
 			cancel()
 		}()
-		p.run(ctx)
-	}()
+		p.run(ctx, t)
+	})
 	return nil
 }
 
 // run is the poll loop: interval cadence while healthy, exponential
 // backoff with jitter across consecutive failures, breaker-open ticks
 // that skip the fetch entirely but keep accounting the lost coverage.
-func (p *poller) run(ctx context.Context) {
+func (p *poller) run(ctx context.Context, t *supervise.Task) {
 	s := p.s
 	timer := time.NewTimer(p.pc.Interval)
 	defer timer.Stop()
 	failures := 0
 	for {
 		select {
-		case <-s.stopc:
+		case <-ctx.Done():
 			return
 		case <-timer.C:
+		}
+		if t != nil {
+			t.Beat()
 		}
 		delay := p.pc.Interval
 		if !p.breaker.Allow() {

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appdb"
+	"repro/internal/supervise"
+	"repro/internal/wal"
+)
+
+// The self-healing loops: background storage maintenance and scrubbing,
+// both supervised — a panic mid-compaction restarts the task instead of
+// silently ending maintenance for the life of the process.
+
+// putEvent records an operational incident (rollback, scrub repair,
+// task escalation) in the application database's event log. Best-effort:
+// a failure to record is logged, never propagated — the incident
+// response must not depend on the incident log.
+func (s *Server) putEvent(typ string, detail map[string]string) {
+	if s.cfg.DB == nil {
+		return
+	}
+	if err := s.cfg.DB.PutEvent(appdb.Event{
+		AtUnixNS: s.now().UnixNano(),
+		Type:     typ,
+		Detail:   detail,
+	}); err != nil {
+		s.cfg.Logf("server: record %s event: %v", typ, err)
+	}
+}
+
+// StartStoreMaint launches the supervised application-database
+// maintenance loop: every StoreMaintEvery it compacts the segmented
+// store (rewriting segments whose dead fraction crossed the store's
+// threshold — a no-op when nothing qualifies). No-op unless
+// Config.StoreMaintEvery > 0 and the database is store-backed.
+func (s *Server) StartStoreMaint() {
+	if s.cfg.StoreMaintEvery <= 0 || s.cfg.DB == nil || s.cfg.DB.Store() == nil {
+		return
+	}
+	s.sup.Go("store-maint", supervise.TaskOptions{Heartbeat: 4 * s.cfg.StoreMaintEvery}, func(stop <-chan struct{}, t *supervise.Task) {
+		tick := time.NewTicker(s.cfg.StoreMaintEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Beat()
+				if err := s.cfg.DB.Store().Compact(); err != nil {
+					s.cfg.Logf("server: store maintenance: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// StartScrubber launches the supervised storage scrubber: every
+// ScrubEvery it verifies one sealed journal segment and one closed
+// application-database segment frame-by-frame, repairing any latent
+// corruption it finds (quarantining the damaged original as .corrupt).
+// The low rate — one segment per side per tick — keeps the read cost
+// negligible next to ingest; the per-side cursors cycle the whole store
+// across ticks. No-op unless Config.ScrubEvery > 0.
+func (s *Server) StartScrubber() {
+	if s.cfg.ScrubEvery <= 0 {
+		return
+	}
+	s.sup.Go("scrubber", supervise.TaskOptions{Heartbeat: 4 * s.cfg.ScrubEvery}, func(stop <-chan struct{}, t *supervise.Task) {
+		tick := time.NewTicker(s.cfg.ScrubEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Beat()
+				s.scrubTick()
+			}
+		}
+	})
+}
+
+// scrubTick runs one scrub pass over both stores. Split out for tests.
+func (s *Server) scrubTick() {
+	if j := s.cfg.Journal; j != nil {
+		sum, err := j.Scrub(wal.ScrubConfig{
+			MaxSegments: 1,
+			// Repair rewrites byte offsets, which is only safe once no
+			// checkpoint still points into the damaged segment. The hook
+			// runs outside the journal lock, so checkpointing here cannot
+			// deadlock.
+			PreRepair: func(seq uint64, uncheckpointed bool) error {
+				if !uncheckpointed {
+					return nil
+				}
+				s.cfg.Logf("server: scrub: journal segment %d damage overlaps un-checkpointed state; checkpointing before repair", seq)
+				return s.Checkpoint()
+			},
+		})
+		if err != nil {
+			s.cfg.Logf("server: journal scrub: %v", err)
+		}
+		for _, rep := range sum.Damaged {
+			detail := map[string]string{
+				"store":      "journal",
+				"segment":    fmt.Sprintf("%d", rep.Seq),
+				"bad_frames": fmt.Sprintf("%d", rep.BadFrames),
+			}
+			switch {
+			case rep.Repaired:
+				detail["quarantined"] = rep.Quarantined
+				s.cfg.Logf("server: scrub: REPAIRED journal segment %d: %d bad frame(s) dropped, original quarantined at %s",
+					rep.Seq, rep.BadFrames, rep.Quarantined)
+			case rep.SkipReason != "":
+				detail["skipped"] = rep.SkipReason
+				s.cfg.Logf("server: scrub: journal segment %d damaged (%d bad frame(s)) but NOT repaired: %s",
+					rep.Seq, rep.BadFrames, rep.SkipReason)
+			default:
+				// Torn tail only: replay already stops cleanly there.
+				detail["torn_tail"] = rep.TornReason
+				s.cfg.Logf("server: scrub: journal segment %d has a torn tail (%s); left for the operator", rep.Seq, rep.TornReason)
+			}
+			s.putEvent("scrub_repair", detail)
+		}
+	}
+	if s.cfg.DB != nil && s.cfg.DB.Store() != nil {
+		sum, err := s.cfg.DB.Store().Scrub(1)
+		if err != nil {
+			s.cfg.Logf("server: application-database scrub: %v", err)
+		}
+		for _, rep := range sum.Damaged {
+			detail := map[string]string{
+				"store":        "appdb",
+				"segment":      fmt.Sprintf("%d", rep.Seg),
+				"bad_frames":   fmt.Sprintf("%d", rep.BadFrames),
+				"lost_records": fmt.Sprintf("%d", rep.LostRecords),
+			}
+			if rep.Repaired {
+				detail["quarantined"] = rep.Quarantined
+				s.cfg.Logf("server: scrub: REPAIRED application-database segment %d: %d bad frame(s), %d live record(s) lost, original quarantined at %s",
+					rep.Seg, rep.BadFrames, rep.LostRecords, rep.Quarantined)
+			} else {
+				detail["skipped"] = rep.SkipReason
+				s.cfg.Logf("server: scrub: application-database segment %d damaged but NOT repaired: %s", rep.Seg, rep.SkipReason)
+			}
+			s.putEvent("scrub_repair", detail)
+		}
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"repro/internal/modelreg"
 	"repro/internal/phase"
 	"repro/internal/placement"
+	"repro/internal/resilience"
+	"repro/internal/supervise"
 	"repro/internal/wal"
 )
 
@@ -136,6 +138,48 @@ type Config struct {
 	// binary columnar fast path is on by default; disabling it leaves
 	// JSON as the only ingest format.
 	DisableBinaryIngest bool
+	// ScrubEvery is the background storage scrubber's cadence: every
+	// tick it verifies one sealed journal segment and one closed
+	// application-database segment frame-by-frame, repairing damage by
+	// copy-forward and quarantining the damaged original. Zero or
+	// negative disables scrubbing (appclassd enables it by default).
+	ScrubEvery time.Duration
+	// StoreMaintEvery is the cadence of the store maintenance task,
+	// which compacts tombstoned application-database records between
+	// segment rotations. Zero or negative disables it; it is a no-op on
+	// the in-memory engine either way.
+	StoreMaintEvery time.Duration
+	// ProbationWindow puts every promoted model on probation: for this
+	// long after a hot swap, the displaced model keeps classifying the
+	// live traffic in shadow (the PR-7 machinery run in reverse) and a
+	// breach of the guardrails below rolls the promotion back
+	// automatically through the same atomic swap. Zero or negative
+	// disables promotion guardrails.
+	ProbationWindow time.Duration
+	// ProbationUnknownFactor triggers a rollback when the new model's
+	// open-set unknown rate reaches this multiple of the displaced
+	// model's rate over the same snapshots (with an absolute floor, so
+	// 0 vs 0.001 does not trip it). Zero means 3.
+	ProbationUnknownFactor float64
+	// ProbationDisagreeThreshold triggers a rollback when, for any
+	// class, the displaced model disagrees with this fraction (or more)
+	// of the new model's votes. Zero means 0.9.
+	ProbationDisagreeThreshold float64
+	// ProbationMinSnapshots is how many snapshots probation must observe
+	// before the guardrails can trip (per class, a tenth of it). Zero
+	// means 50.
+	ProbationMinSnapshots int64
+	// TaskBackoff schedules supervised-task restart delays after panics.
+	// Zero-valued fields get supervise's defaults (base 1s, max 1m).
+	TaskBackoff resilience.Backoff
+	// TaskMaxRestarts is how many consecutive panics escalate a
+	// supervised task into the degraded state /readyz reports. Zero
+	// means 5.
+	TaskMaxRestarts int
+	// TaskIntercept, when set, runs at the top of every supervised task
+	// attempt. It exists for fault injection (faultinject.TaskChaos
+	// panics or blocks inside it); production leaves it nil.
+	TaskIntercept func(task string)
 	// Dashboard mounts the embedded control-plane dashboard under
 	// /dashboard/ (appclassd -dashboard): live sessions, class mix,
 	// breaker/durability state, and paginated finalized runs, all served
@@ -184,13 +228,21 @@ type Server struct {
 	// models is the versioned model registry; active is the serving
 	// model + open-set threshold pair, swapped atomically by Promote;
 	// shadow is the candidate evaluation riding along live traffic (nil
-	// when no candidate is staged). swapMu serializes model lifecycle
-	// transitions (load, promote, discard, retrain-install) against each
-	// other — never held during classification.
-	models *modelreg.Registry
-	active atomic.Pointer[activeModel]
-	shadow atomic.Pointer[shadowEval]
-	swapMu sync.Mutex
+	// when no candidate is staged); probation is the reverse evaluation
+	// guarding the most recent promote (nil outside a probation window).
+	// swapMu serializes model lifecycle transitions (load, promote,
+	// discard, retrain-install, rollback) against each other — never
+	// held during classification.
+	models    *modelreg.Registry
+	active    atomic.Pointer[activeModel]
+	shadow    atomic.Pointer[shadowEval]
+	probation atomic.Pointer[probationEval]
+	swapMu    sync.Mutex
+
+	// sup keeps the daemon's long-lived background loops (janitor,
+	// checkpointer, poller, retrainer, store maintenance, scrubber,
+	// probation watcher) alive across panics and observable when wedged.
+	sup *supervise.Supervisor
 
 	// admit sheds push-path load before it reaches any lock; degraded
 	// tracks whether ingest is currently memory-only because the journal
@@ -246,6 +298,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DegradedProbeEvery <= 0 {
 		cfg.DegradedProbeEvery = defaultDegradedProbeEvery
+	}
+	if cfg.ProbationUnknownFactor <= 0 {
+		cfg.ProbationUnknownFactor = defaultProbationUnknownFactor
+	}
+	if cfg.ProbationDisagreeThreshold <= 0 {
+		cfg.ProbationDisagreeThreshold = defaultProbationDisagreeThreshold
+	}
+	if cfg.ProbationMinSnapshots <= 0 {
+		cfg.ProbationMinSnapshots = defaultProbationMinSnapshots
 	}
 	// Fail fast on a classifier/schema mismatch instead of on the first
 	// ingest request.
@@ -332,6 +393,20 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	cfg.Logf("server: model %s (hash %s) active", boot.ID, boot.Hash.String())
+	s.sup = supervise.New(supervise.Config{
+		Backoff:     cfg.TaskBackoff,
+		MaxRestarts: cfg.TaskMaxRestarts,
+		Now:         cfg.Now,
+		Logf:        cfg.Logf,
+		Intercept:   cfg.TaskIntercept,
+		OnEscalate: func(task string, restarts int64, lastPanic string) {
+			s.putEvent("task_escalated", map[string]string{
+				"task":     task,
+				"restarts": fmt.Sprintf("%d", restarts),
+				"panic":    lastPanic,
+			})
+		},
+	})
 	s.mux = s.routes()
 	return s, nil
 }
@@ -411,24 +486,27 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// StartJanitor launches the idle-TTL eviction loop.
+// StartJanitor launches the idle-TTL eviction loop as a supervised
+// task: a panic restarts it under backoff, and a sweep that wedges
+// (e.g. behind a stuck session lock) misses its heartbeat and degrades
+// /readyz instead of silently leaving sessions unevicted.
 func (s *Server) StartJanitor() {
-	s.loops.Add(1)
-	go func() {
-		defer s.loops.Done()
-		t := time.NewTicker(s.cfg.SweepInterval)
-		defer t.Stop()
+	hb := 4 * s.cfg.SweepInterval
+	s.sup.Go("janitor", supervise.TaskOptions{Heartbeat: hb}, func(stop <-chan struct{}, t *supervise.Task) {
+		tick := time.NewTicker(s.cfg.SweepInterval)
+		defer tick.Stop()
 		for {
 			select {
-			case <-s.stopc:
+			case <-stop:
 				return
-			case <-t.C:
+			case <-tick.C:
+				t.Beat()
 				if n := s.EvictIdle(); n > 0 {
 					s.cfg.Logf("server: evicted %d idle session(s)", n)
 				}
 			}
 		}
-	}()
+	})
 }
 
 // EvictIdle runs one janitor sweep: every session idle longer than
@@ -602,10 +680,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	srv := s.httpSrv
 	s.mu.Unlock()
 
-	s.loops.Wait()
 	var err error
+	if serr := s.sup.Stop(ctx); serr != nil {
+		// A wedged task cannot be joined; report it and keep draining —
+		// abandoning it is exactly what the shutdown timeout is for.
+		s.cfg.Logf("server: shutdown: %v", serr)
+		err = serr
+	}
+	s.loops.Wait()
 	if srv != nil {
-		err = srv.Shutdown(ctx)
+		if herr := srv.Shutdown(ctx); herr != nil && err == nil {
+			err = herr
+		}
 	}
 	if n := s.FlushAll(); n > 0 {
 		s.cfg.Logf("server: flushed %d open session(s)", n)
@@ -801,6 +887,12 @@ func (s *Server) observeBatch(vm string, snaps []metrics.Snapshot, classes []app
 		// served but can only ever produce statistics.
 		if se := s.shadow.Load(); se != nil {
 			se.observe(snaps, out, newUnknown)
+		}
+		// During a probation window the displaced model does the same in
+		// reverse, feeding the guardrails that can auto-roll the promote
+		// back. One atomic load on the hot path, nil outside probation.
+		if pb := s.probation.Load(); pb != nil {
+			pb.eval.observe(snaps, out, newUnknown)
 		}
 		return out, durable, nil
 	}

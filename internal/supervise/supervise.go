@@ -1,0 +1,397 @@
+// Package supervise keeps a daemon's long-lived background goroutines
+// alive and observable. Every loop the daemon depends on — pollers,
+// checkpointers, compactors, scrubbers — runs as a supervised task: a
+// panic is captured and logged instead of killing the process, the
+// task restarts under jittered exponential backoff
+// (internal/resilience), and a task that panics persistently escalates
+// so readiness probes can report the daemon degraded instead of
+// silently running without, say, its checkpointer.
+//
+// Tasks additionally carry a heartbeat: the loop calls Task.Beat every
+// iteration, and a task whose last beat is older than its declared
+// heartbeat deadline is reported wedged — the failure mode restarts
+// cannot fix (a goroutine blocked on a lock or a dead disk, e.g. a
+// checkpoint quiesce that never drains) is detected and surfaced
+// instead of silently stalling. Wedge state is derived from the
+// heartbeat timestamp at read time, so probes see it immediately and
+// deterministically; a background monitor logs the transitions.
+package supervise
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Status is a task's supervision state. Wedged is derived from the
+// heartbeat at read time and never stored.
+type Status int32
+
+const (
+	// StatusRunning: the task goroutine is (as far as supervision
+	// knows) executing its loop.
+	StatusRunning Status = iota
+	// StatusRestarting: the task panicked and is sleeping out its
+	// restart backoff.
+	StatusRestarting
+	// StatusEscalated: the task panicked MaxRestarts times in a row.
+	// It keeps restarting — a later healthy run de-escalates — but the
+	// daemon should report itself degraded while any task is here.
+	StatusEscalated
+	// StatusStopped: the task returned normally or the supervisor shut
+	// down.
+	StatusStopped
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusRestarting:
+		return "restarting"
+	case StatusEscalated:
+		return "escalated"
+	case StatusStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("status(%d)", int32(s))
+	}
+}
+
+// Config configures a Supervisor. The zero value is usable.
+type Config struct {
+	// Backoff schedules restart delays after panics. Zero-valued fields
+	// get defaults (base 1s, max 1m, ±25% jitter).
+	Backoff resilience.Backoff
+	// MaxRestarts is how many consecutive panics escalate a task
+	// (default 5). Escalation does not stop the restart loop; it flips
+	// the task's status so readiness can degrade.
+	MaxRestarts int
+	// CheckEvery is the heartbeat monitor's logging cadence (default
+	// 1s). Wedge state itself is derived at read time; the monitor only
+	// logs edges.
+	CheckEvery time.Duration
+	// Now is the clock (default time.Now). Injectable for tests.
+	Now func() time.Time
+	// Logf receives supervision events (default: drop).
+	Logf func(format string, args ...any)
+	// OnEscalate fires once per escalation edge, outside any lock.
+	OnEscalate func(task string, restarts int64, lastPanic string)
+	// Intercept, when set, runs at the top of every task attempt. It
+	// exists for fault injection: a chaos harness can panic or block
+	// inside it to simulate a crashing or wedged task deterministically.
+	Intercept func(task string)
+}
+
+// Task is one supervised goroutine's state. All fields are updated
+// with atomics; Snapshot readers never block the task.
+type Task struct {
+	name      string
+	heartbeat time.Duration // wedge deadline; 0 disables
+
+	status      atomic.Int32
+	restarts    atomic.Int64 // lifetime restarts
+	consecutive atomic.Int64 // panics since the last healthy beat
+	lastBeat    atomic.Int64 // unix nanos of the last Beat
+	lastPanicAt atomic.Int64 // unix nanos of the last captured panic
+	lastPanic   atomic.Value // string: message of the last captured panic
+	wedgedLog   atomic.Bool  // monitor's edge-detection latch
+
+	sup *Supervisor
+}
+
+// Beat records liveness. Loops call it once per iteration; it also
+// clears restart escalation, because a task that reached its loop body
+// is healthy again.
+func (t *Task) Beat() {
+	t.lastBeat.Store(t.sup.now().UnixNano())
+	if t.consecutive.Load() != 0 {
+		t.consecutive.Store(0)
+	}
+	// A beat proves the task is doing work again: de-escalate.
+	if t.status.CompareAndSwap(int32(StatusEscalated), int32(StatusRunning)) {
+		t.sup.cfg.Logf("supervise: task %s recovered (de-escalated)", t.name)
+	}
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }
+
+// TaskOptions declares per-task supervision parameters.
+type TaskOptions struct {
+	// Heartbeat is the wedge deadline: the task counts as wedged when
+	// its last Beat is older than this. Zero disables wedge detection
+	// (for loops with no natural cadence). Set it to several times the
+	// loop's tick so a slow-but-live loop is never flagged.
+	Heartbeat time.Duration
+}
+
+// TaskState is one task's observable state, exported for /metricsz and
+// /v1/status.
+type TaskState struct {
+	Name     string `json:"name"`
+	Status   string `json:"status"`
+	Restarts int64  `json:"restarts"`
+	// Wedged is true when the task's heartbeat deadline has lapsed.
+	Wedged bool `json:"wedged,omitempty"`
+	// LastPanic is the last captured panic message, if any.
+	LastPanic       string `json:"last_panic,omitempty"`
+	LastPanicUnixNS int64  `json:"last_panic_unix_ns,omitempty"`
+	LastBeatUnixNS  int64  `json:"last_beat_unix_ns,omitempty"`
+}
+
+// Supervisor runs tasks. Create with New, launch with Go, stop with
+// Stop.
+type Supervisor struct {
+	cfg Config
+
+	mu    sync.Mutex
+	tasks []*Task
+
+	stopc   chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	panics      atomic.Int64 // lifetime captured panics
+	escalations atomic.Int64 // lifetime escalation edges
+	wedges      atomic.Int64 // lifetime wedge-detection edges (monitor)
+}
+
+// New builds a Supervisor and starts its heartbeat monitor.
+func New(cfg Config) *Supervisor {
+	if cfg.Backoff.Base <= 0 {
+		cfg.Backoff.Base = time.Second
+	}
+	if cfg.Backoff.Max <= 0 {
+		cfg.Backoff.Max = time.Minute
+	}
+	if cfg.Backoff.Jitter == 0 {
+		cfg.Backoff.Jitter = 0.25
+	}
+	if cfg.Backoff.Rand == nil {
+		cfg.Backoff.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 5
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Supervisor{cfg: cfg, stopc: make(chan struct{})}
+	s.wg.Add(1)
+	go s.monitor()
+	return s
+}
+
+func (s *Supervisor) now() time.Time { return s.cfg.Now() }
+
+// Stop shuts the supervisor down: the stop channel every task run
+// received closes, and Stop waits for the tasks to return — bounded by
+// ctx, because a wedged task by definition may never return. On ctx
+// expiry it reports which tasks are still running and abandons them.
+func (s *Supervisor) Stop(ctx context.Context) error {
+	if s.stopped.CompareAndSwap(false, true) {
+		close(s.stopc)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		var stuck []string
+		for _, st := range s.Snapshot() {
+			if st.Status != StatusStopped.String() {
+				stuck = append(stuck, st.Name)
+			}
+		}
+		return fmt.Errorf("supervise: shutdown abandoned %d task(s) still running: %v", len(stuck), stuck)
+	}
+}
+
+// Go launches a supervised task. run receives the supervisor's stop
+// channel and its Task handle; it should select on stop and call
+// t.Beat() every loop iteration. A run that returns normally stops the
+// task for good; a panic restarts it under backoff.
+func (s *Supervisor) Go(name string, opts TaskOptions, run func(stop <-chan struct{}, t *Task)) *Task {
+	t := &Task{name: name, heartbeat: opts.Heartbeat, sup: s}
+	t.lastBeat.Store(s.now().UnixNano())
+	s.mu.Lock()
+	s.tasks = append(s.tasks, t)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.runTask(t, run)
+	return t
+}
+
+// runTask is the per-task restart loop.
+func (s *Supervisor) runTask(t *Task, run func(stop <-chan struct{}, t *Task)) {
+	defer s.wg.Done()
+	for {
+		panicked := s.attempt(t, run)
+		if !panicked || s.stopped.Load() {
+			t.status.Store(int32(StatusStopped))
+			return
+		}
+		t.restarts.Add(1)
+		n := t.consecutive.Add(1)
+		s.panics.Add(1)
+		if n == int64(s.cfg.MaxRestarts) {
+			t.status.Store(int32(StatusEscalated))
+			s.escalations.Add(1)
+			msg, _ := t.lastPanic.Load().(string)
+			s.cfg.Logf("supervise: task %s ESCALATED after %d consecutive panics (last: %s); restarts continue but the daemon should report degraded", t.name, n, msg)
+			if s.cfg.OnEscalate != nil {
+				s.cfg.OnEscalate(t.name, t.restarts.Load(), msg)
+			}
+		} else if t.status.Load() != int32(StatusEscalated) {
+			t.status.Store(int32(StatusRestarting))
+		}
+		// Sleep out the backoff, stop-aware. Attempts are 1-based for
+		// Backoff.Next; cap the exponent input so the delay saturates at
+		// Backoff.Max instead of overflowing.
+		attempt := int(n)
+		if attempt > 30 {
+			attempt = 30
+		}
+		delay := s.cfg.Backoff.Next(attempt)
+		timer := time.NewTimer(delay)
+		select {
+		case <-s.stopc:
+			timer.Stop()
+			t.status.Store(int32(StatusStopped))
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// attempt runs one task attempt, capturing a panic. It reports whether
+// the attempt panicked.
+func (s *Supervisor) attempt(t *Task, run func(stop <-chan struct{}, t *Task)) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			msg := fmt.Sprintf("%v", r)
+			t.lastPanic.Store(msg)
+			t.lastPanicAt.Store(s.now().UnixNano())
+			s.cfg.Logf("supervise: task %s panicked: %s\n%s", t.name, msg, debug.Stack())
+		}
+	}()
+	if t.status.Load() != int32(StatusEscalated) {
+		t.status.Store(int32(StatusRunning))
+	}
+	if s.cfg.Intercept != nil {
+		s.cfg.Intercept(t.name)
+	}
+	run(s.stopc, t)
+	return false
+}
+
+// wedged reports whether t's heartbeat deadline has lapsed. Only a
+// task that believes it is running can be wedged — one sleeping out a
+// restart backoff or already stopped is not.
+func (s *Supervisor) wedged(t *Task, now time.Time) bool {
+	if t.heartbeat <= 0 {
+		return false
+	}
+	st := Status(t.status.Load())
+	if st != StatusRunning && st != StatusEscalated {
+		return false
+	}
+	return now.Sub(time.Unix(0, t.lastBeat.Load())) > t.heartbeat
+}
+
+// Snapshot returns every task's observable state, wedge status derived
+// against the current clock.
+func (s *Supervisor) Snapshot() []TaskState {
+	s.mu.Lock()
+	tasks := make([]*Task, len(s.tasks))
+	copy(tasks, s.tasks)
+	s.mu.Unlock()
+	now := s.now()
+	out := make([]TaskState, 0, len(tasks))
+	for _, t := range tasks {
+		msg, _ := t.lastPanic.Load().(string)
+		out = append(out, TaskState{
+			Name:            t.name,
+			Status:          Status(t.status.Load()).String(),
+			Restarts:        t.restarts.Load(),
+			Wedged:          s.wedged(t, now),
+			LastPanic:       msg,
+			LastPanicUnixNS: t.lastPanicAt.Load(),
+			LastBeatUnixNS:  t.lastBeat.Load(),
+		})
+	}
+	return out
+}
+
+// Unhealthy returns the names of currently wedged and currently
+// escalated tasks — the readiness probe's input.
+func (s *Supervisor) Unhealthy() (wedged, escalated []string) {
+	s.mu.Lock()
+	tasks := make([]*Task, len(s.tasks))
+	copy(tasks, s.tasks)
+	s.mu.Unlock()
+	now := s.now()
+	for _, t := range tasks {
+		if s.wedged(t, now) {
+			wedged = append(wedged, t.name)
+		}
+		if Status(t.status.Load()) == StatusEscalated {
+			escalated = append(escalated, t.name)
+		}
+	}
+	return wedged, escalated
+}
+
+// Panics, Escalations, and Wedges report lifetime event counts for
+// metrics.
+func (s *Supervisor) Panics() int64      { return s.panics.Load() }
+func (s *Supervisor) Escalations() int64 { return s.escalations.Load() }
+func (s *Supervisor) Wedges() int64      { return s.wedges.Load() }
+
+// monitor logs wedge transitions. Detection itself happens at read
+// time in Snapshot/Unhealthy; this loop only makes the state loud.
+func (s *Supervisor) monitor() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		tasks := make([]*Task, len(s.tasks))
+		copy(tasks, s.tasks)
+		s.mu.Unlock()
+		now := s.now()
+		for _, task := range tasks {
+			w := s.wedged(task, now)
+			if w && task.wedgedLog.CompareAndSwap(false, true) {
+				s.wedges.Add(1)
+				age := now.Sub(time.Unix(0, task.lastBeat.Load()))
+				s.cfg.Logf("supervise: task %s WEDGED: no heartbeat for %v (deadline %v)", task.name, age.Round(time.Millisecond), task.heartbeat)
+			} else if !w && task.wedgedLog.CompareAndSwap(true, false) {
+				s.cfg.Logf("supervise: task %s unwedged: heartbeat resumed", task.name)
+			}
+		}
+	}
+}

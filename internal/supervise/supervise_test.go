@@ -1,0 +1,278 @@
+package supervise
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// testConfig returns a supervisor config with microscopic backoff so
+// restart loops complete in test time, and a logger that records
+// events.
+func testConfig(t *testing.T) (Config, *logRecorder) {
+	t.Helper()
+	lr := &logRecorder{}
+	return Config{
+		Backoff: resilience.Backoff{
+			Base:   time.Microsecond,
+			Max:    10 * time.Microsecond,
+			Jitter: 0.01,
+			Rand:   rand.New(rand.NewSource(1)),
+		},
+		MaxRestarts: 3,
+		CheckEvery:  time.Millisecond,
+		Logf:        lr.logf,
+	}, lr
+}
+
+type logRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logRecorder) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logRecorder) contains(sub string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ln := range l.lines {
+		if strings.Contains(ln, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPanicCaptureAndRestart(t *testing.T) {
+	cfg, lr := testConfig(t)
+	s := New(cfg)
+	defer mustStop(t, s)
+
+	var runs atomic.Int64
+	s.Go("flappy", TaskOptions{}, func(stop <-chan struct{}, task *Task) {
+		if runs.Add(1) <= 2 {
+			panic("injected")
+		}
+		task.Beat()
+		<-stop
+	})
+	waitFor(t, "two restarts", func() bool { return runs.Load() >= 3 })
+	if got := s.Panics(); got != 2 {
+		t.Errorf("panics = %d, want 2", got)
+	}
+	waitFor(t, "running status", func() bool {
+		st := s.Snapshot()
+		return len(st) == 1 && st[0].Status == "running"
+	})
+	st := s.Snapshot()[0]
+	if st.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2", st.Restarts)
+	}
+	if st.LastPanic != "injected" || st.LastPanicUnixNS == 0 {
+		t.Errorf("last panic = %q at %d, want recorded", st.LastPanic, st.LastPanicUnixNS)
+	}
+	if !lr.contains("task flappy panicked") {
+		t.Error("panic was not logged")
+	}
+}
+
+func TestEscalationAndDeescalation(t *testing.T) {
+	cfg, lr := testConfig(t)
+	var escalated atomic.Int64
+	cfg.OnEscalate = func(task string, restarts int64, lastPanic string) {
+		escalated.Add(1)
+	}
+	s := New(cfg)
+	defer mustStop(t, s)
+
+	var heal atomic.Bool
+	var runs atomic.Int64
+	s.Go("crashy", TaskOptions{}, func(stop <-chan struct{}, task *Task) {
+		runs.Add(1)
+		if !heal.Load() {
+			panic("crash loop")
+		}
+		task.Beat()
+		<-stop
+	})
+
+	// MaxRestarts consecutive panics escalate exactly once…
+	waitFor(t, "escalation", func() bool {
+		_, esc := s.Unhealthy()
+		return len(esc) == 1 && esc[0] == "crashy"
+	})
+	if got := escalated.Load(); got != 1 {
+		t.Errorf("OnEscalate fired %d times, want 1", got)
+	}
+	if !lr.contains("ESCALATED") {
+		t.Error("escalation was not logged")
+	}
+	// …but restarts continue past escalation…
+	prev := runs.Load()
+	waitFor(t, "restarts past escalation", func() bool { return runs.Load() > prev })
+
+	// …and a healthy run de-escalates.
+	heal.Store(true)
+	waitFor(t, "de-escalation", func() bool {
+		_, esc := s.Unhealthy()
+		return len(esc) == 0
+	})
+	if st := s.Snapshot()[0]; st.Status != "running" {
+		t.Errorf("status after healing = %s, want running", st.Status)
+	}
+}
+
+func TestWedgeDetection(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+
+	cfg, lr := testConfig(t)
+	cfg.Now = clock
+	s := New(cfg)
+	defer mustStop(t, s)
+
+	release := make(chan struct{})
+	beating := make(chan struct{}, 16)
+	s.Go("sticky", TaskOptions{Heartbeat: 10 * time.Second}, func(stop <-chan struct{}, task *Task) {
+		task.Beat()
+		beating <- struct{}{}
+		<-release // wedge: no beats while blocked here
+		task.Beat()
+		beating <- struct{}{}
+		<-stop
+	})
+	<-beating
+
+	// Within the deadline: healthy.
+	advance(5 * time.Second)
+	if w, _ := s.Unhealthy(); len(w) != 0 {
+		t.Fatalf("wedged within deadline: %v", w)
+	}
+	// Past the deadline: wedged, and the monitor logs it.
+	advance(10 * time.Second)
+	if w, _ := s.Unhealthy(); len(w) != 1 || w[0] != "sticky" {
+		t.Fatalf("wedged = %v, want [sticky]", w)
+	}
+	if !s.Snapshot()[0].Wedged {
+		t.Error("snapshot does not show the task wedged")
+	}
+	waitFor(t, "wedge log", func() bool { return lr.contains("WEDGED") })
+	if s.Wedges() == 0 {
+		t.Error("wedge edge not counted")
+	}
+
+	// Unstick: the next beat clears the wedge.
+	close(release)
+	<-beating
+	if w, _ := s.Unhealthy(); len(w) != 0 {
+		t.Errorf("still wedged after heartbeat resumed: %v", w)
+	}
+}
+
+func TestInterceptHookPanics(t *testing.T) {
+	cfg, _ := testConfig(t)
+	var intercepts atomic.Int64
+	cfg.Intercept = func(task string) {
+		if task == "target" && intercepts.Add(1) == 1 {
+			panic("injected by intercept")
+		}
+	}
+	s := New(cfg)
+	defer mustStop(t, s)
+
+	var runs atomic.Int64
+	s.Go("target", TaskOptions{}, func(stop <-chan struct{}, task *Task) {
+		runs.Add(1)
+		task.Beat()
+		<-stop
+	})
+	// The first attempt dies in the intercept before run executes; the
+	// restart goes through.
+	waitFor(t, "restart after intercept panic", func() bool { return runs.Load() >= 1 })
+	if got := s.Panics(); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+}
+
+func TestStopBoundedByContext(t *testing.T) {
+	cfg, _ := testConfig(t)
+	s := New(cfg)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Go("wedge-forever", TaskOptions{}, func(stop <-chan struct{}, task *Task) {
+		close(entered)
+		<-release // ignores stop: simulates a truly stuck goroutine
+	})
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Stop(ctx)
+	if err == nil {
+		t.Fatal("Stop returned nil despite a stuck task")
+	}
+	if !strings.Contains(err.Error(), "wedge-forever") {
+		t.Errorf("Stop error %q does not name the stuck task", err)
+	}
+	close(release)
+}
+
+func TestNormalReturnStops(t *testing.T) {
+	cfg, _ := testConfig(t)
+	s := New(cfg)
+	defer mustStop(t, s)
+
+	s.Go("one-shot", TaskOptions{}, func(stop <-chan struct{}, task *Task) {
+		task.Beat()
+	})
+	waitFor(t, "stopped status", func() bool {
+		st := s.Snapshot()
+		return len(st) == 1 && st[0].Status == "stopped"
+	})
+	if got := s.Panics(); got != 0 {
+		t.Errorf("panics = %d, want 0", got)
+	}
+}
+
+func mustStop(t *testing.T, s *Supervisor) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}

@@ -155,6 +155,16 @@ type Stats struct {
 	TruncatedSegments int64
 	// LastSync is when the journal last fsynced (zero if never).
 	LastSync time.Time
+	// ScrubScans counts sealed segments examined by Scrub since Open.
+	ScrubScans int64
+	// ScrubRepairedSegments counts segments Scrub rewrote to drop
+	// damaged frames.
+	ScrubRepairedSegments int64
+	// ScrubLostRecords counts records dropped with those frames — the
+	// only records lost to the detected corruption.
+	ScrubLostRecords int64
+	// ScrubQuarantined counts damaged originals preserved as .corrupt.
+	ScrubQuarantined int64
 }
 
 // closedSegment is one immutable, fully written segment on disk.
@@ -193,6 +203,9 @@ type Journal struct {
 	// false) means no checkpoint has been seen and prune is unrestricted.
 	retainSeg uint64
 	retainSet bool
+	// scrubNext is the scrub cursor: the next sealed segment sequence
+	// Scrub examines, so successive low-rate passes cycle the journal.
+	scrubNext uint64
 	// modelHash is stamped into every segment header (see SetModelHash).
 	modelHash [modelHashSize]byte
 
